@@ -1,0 +1,46 @@
+// Ablation (DESIGN.md §5): the paper fixes C1 = C2 = 1 in Eq. 3 "for
+// simplicity". Sweep the PC:FC weight ratio to see how sensitive the
+// combined similarity actually is, for both CAFC-C and CAFC-CH.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cafc;         // NOLINT
+  using namespace cafc::bench;  // NOLINT
+
+  Workbench wb = BuildWorkbench();
+  const int k = web::kNumDomains;
+
+  Table table({"C1 (page) : C2 (form)", "CAFC-C entropy (avg 20)",
+               "f-measure", "CAFC-CH entropy", "f-measure "});
+  struct Ratio {
+    const char* name;
+    double page;
+    double form;
+  };
+  for (const Ratio& ratio :
+       {Ratio{"4 : 1", 4.0, 1.0}, Ratio{"2 : 1", 2.0, 1.0},
+        Ratio{"1 : 1 (paper)", 1.0, 1.0}, Ratio{"1 : 2", 1.0, 2.0},
+        Ratio{"1 : 4", 1.0, 4.0}}) {
+    CafcOptions options;
+    options.weights.page = ratio.page;
+    options.weights.form = ratio.form;
+    Quality c = AverageCafcC(wb, k, options, /*runs=*/20);
+    CafcChOptions ch_options;
+    ch_options.cafc = options;
+    Quality ch = Score(wb, CafcCh(wb.pages, k, ch_options));
+    table.AddRow({ratio.name, Fmt(c.entropy), Fmt(c.f_measure),
+                  Fmt(ch.entropy), Fmt(ch.f_measure)});
+  }
+
+  std::printf("=== Ablation: Eq. 3 space weights (C1 : C2) ===\n%s",
+              table.ToString().c_str());
+  std::printf(
+      "expected shape: a broad plateau around 1:1 — leaning mildly toward "
+      "PC is tolerable, collapsing onto one space hurts (consistent with "
+      "Figure 2)\n");
+  return 0;
+}

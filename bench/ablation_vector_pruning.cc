@@ -1,0 +1,50 @@
+// Ablation: index pruning. Production deployments truncate TF-IDF vectors
+// to their top-weighted terms to bound memory and similarity cost. How few
+// terms per vector can CAFC live with before quality degrades?
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cafc;         // NOLINT
+  using namespace cafc::bench;  // NOLINT
+
+  const int k = web::kNumDomains;
+  web::SyntheticWeb web = web::Synthesizer({}).Generate();
+  Result<Dataset> dataset = BuildDataset(web);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  Table table({"terms kept per vector", "avg PC terms", "CAFC-CH entropy",
+               "f-measure"});
+  for (size_t cap : {size_t{0}, size_t{128}, size_t{64}, size_t{32},
+                     size_t{16}, size_t{8}, size_t{4}}) {
+    FormPageSet pages = BuildFormPageSet(*dataset, {}, cap);
+    double total_terms = 0.0;
+    for (size_t i = 0; i < pages.size(); ++i) {
+      total_terms += static_cast<double>(pages.page(i).pc.size());
+    }
+    Workbench wb;
+    wb.dataset = std::move(BuildDataset(web)).value();
+    wb.pages = std::move(pages);
+    wb.gold = wb.dataset.GoldLabels();
+
+    CafcChOptions options;
+    Quality q = Score(wb, CafcCh(wb.pages, k, options));
+    table.AddRow({cap == 0 ? "all" : std::to_string(cap),
+                  Fmt(total_terms / static_cast<double>(wb.pages.size()), 1),
+                  Fmt(q.entropy), Fmt(q.f_measure)});
+  }
+
+  std::printf("=== Ablation: vector pruning (top-k terms) ===\n%s",
+              table.ToString().c_str());
+  std::printf(
+      "expected shape: quality is flat down to a few dozen terms per "
+      "vector — the IDF-weighted anchors carry the signal — then collapses "
+      "when the cap starves the centroids\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: the paper's Eq. 1 (LOC * TF * IDF) versus Okapi BM25 with the
+// same location factors — would two more decades of IR weighting change
+// the clustering outcome?
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cafc;         // NOLINT
+  using namespace cafc::bench;  // NOLINT
+
+  const int k = web::kNumDomains;
+  web::SyntheticWeb web = web::Synthesizer({}).Generate();
+  Result<Dataset> dataset = BuildDataset(web);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  Table table({"weighting", "CAFC-C entropy (avg 20)", "f-measure",
+               "CAFC-CH entropy", "f-measure "});
+  struct Scheme {
+    const char* name;
+    bool bm25;
+  };
+  for (const Scheme& scheme :
+       {Scheme{"Eq. 1 TF-IDF (paper)", false}, Scheme{"Okapi BM25", true}}) {
+    Workbench wb;
+    wb.dataset = std::move(BuildDataset(web)).value();
+    wb.pages = scheme.bm25 ? BuildFormPageSetBm25(wb.dataset)
+                           : BuildFormPageSet(wb.dataset);
+    wb.gold = wb.dataset.GoldLabels();
+
+    Quality c = AverageCafcC(wb, k, CafcOptions{}, /*runs=*/20);
+    CafcChOptions ch_options;
+    Quality ch = Score(wb, CafcCh(wb.pages, k, ch_options));
+    table.AddRow({scheme.name, Fmt(c.entropy), Fmt(c.f_measure),
+                  Fmt(ch.entropy), Fmt(ch.f_measure)});
+  }
+
+  std::printf("=== Ablation: Eq. 1 TF-IDF vs BM25 ===\n%s",
+              table.ToString().c_str());
+  std::printf(
+      "expected shape: comparable quality — the discriminative power lives "
+      "in the IDF anchors and the FC/PC split, not in the exact TF "
+      "saturation curve\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace cafc::bench {
+
+Workbench BuildWorkbench(uint64_t seed) {
+  Workbench wb;
+  web::SynthesizerConfig config;
+  config.seed = seed;
+  wb.web = web::Synthesizer(config).Generate();
+
+  Result<Dataset> dataset = BuildDataset(wb.web);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "workbench pipeline failed: %s\n",
+                 dataset.status().ToString().c_str());
+    std::abort();
+  }
+  wb.dataset = std::move(dataset).value();
+  wb.pages = BuildFormPageSet(wb.dataset);
+  wb.gold = wb.dataset.GoldLabels();
+  return wb;
+}
+
+Quality Score(const Workbench& wb, const cluster::Clustering& clustering) {
+  eval::ContingencyTable table(wb.gold, wb.dataset.num_classes, clustering);
+  return Quality{eval::TotalEntropy(table), eval::OverallFMeasure(table)};
+}
+
+Quality AverageCafcC(const Workbench& wb, int k, const CafcOptions& options,
+                     int runs, uint64_t rng_seed) {
+  Quality sum;
+  for (int r = 0; r < runs; ++r) {
+    Rng rng(rng_seed + static_cast<uint64_t>(r));
+    cluster::Clustering clustering = CafcC(wb.pages, k, options, &rng);
+    Quality q = Score(wb, clustering);
+    sum.entropy += q.entropy;
+    sum.f_measure += q.f_measure;
+  }
+  sum.entropy /= runs;
+  sum.f_measure /= runs;
+  return sum;
+}
+
+std::string Fmt(double v, int digits) { return FormatDouble(v, digits); }
+
+}  // namespace cafc::bench

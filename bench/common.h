@@ -1,0 +1,45 @@
+#ifndef CAFC_BENCH_COMMON_H_
+#define CAFC_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cafc.h"
+#include "core/dataset.h"
+#include "eval/metrics.h"
+#include "web/synthesizer.h"
+
+namespace cafc::bench {
+
+/// The assembled experimental environment shared by all benches: the
+/// synthetic web, the pipeline's dataset, and the default-weighted page set.
+struct Workbench {
+  web::SyntheticWeb web;
+  Dataset dataset;
+  FormPageSet pages;
+  std::vector<int> gold;
+};
+
+/// Builds the standard §4.1-shaped workbench (454 form pages, 8 domains).
+/// Deterministic per seed.
+Workbench BuildWorkbench(uint64_t seed = 42);
+
+/// Entropy / F-measure of a clustering against the workbench gold labels.
+struct Quality {
+  double entropy = 0.0;
+  double f_measure = 0.0;
+};
+
+Quality Score(const Workbench& wb, const cluster::Clustering& clustering);
+
+/// Average quality of `runs` CAFC-C executions with seeds rng_seed+0..runs-1
+/// (the paper reports CAFC-C as the average over 20 runs).
+Quality AverageCafcC(const Workbench& wb, int k, const CafcOptions& options,
+                     int runs = 20, uint64_t rng_seed = 1000);
+
+/// Formats a double with 2 (or `digits`) decimals.
+std::string Fmt(double v, int digits = 2);
+
+}  // namespace cafc::bench
+
+#endif  // CAFC_BENCH_COMMON_H_

@@ -1,0 +1,56 @@
+// Extension: choosing k. The paper assumes the number of domains (k = 8)
+// is known. Sweeping k and tracking the internal silhouette coefficient
+// (no gold labels needed) reveals the corpus's two-scale structure: a
+// global silhouette peak at a coarse k (the travel trio and the media pair
+// are near-merged super-verticals) and a secondary local peak at the true
+// k = 8, where the external entropy bottoms out. An operator without gold
+// labels would shortlist exactly these candidate granularities.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cafc;         // NOLINT
+  using namespace cafc::bench;  // NOLINT
+
+  Workbench wb = BuildWorkbench();
+
+  // Precompute the pairwise Eq. 3 similarity matrix once (454^2 cosines).
+  const size_t n = wb.pages.size();
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 1.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      sim[i][j] = sim[j][i] = FormPageSimilarity(
+          wb.pages.page(i), wb.pages.page(j), ContentConfig::kFcPlusPc);
+    }
+  }
+  auto sim_fn = [&sim](size_t a, size_t b) { return sim[a][b]; };
+
+  Table table({"k", "silhouette (internal)", "entropy (external)",
+               "f-measure"});
+  double best_silhouette = -2.0;
+  int best_k = 0;
+  for (int k = 2; k <= 14; ++k) {
+    CafcChOptions options;
+    cluster::Clustering c = CafcCh(wb.pages, k, options);
+    double silhouette = eval::MeanSilhouette(c, sim_fn);
+    Quality q = Score(wb, c);
+    table.AddRow({std::to_string(k), Fmt(silhouette, 3), Fmt(q.entropy),
+                  Fmt(q.f_measure)});
+    if (silhouette > best_silhouette) {
+      best_silhouette = silhouette;
+      best_k = k;
+    }
+  }
+
+  std::printf("=== Extension: choosing k via silhouette ===\n%s",
+              table.ToString().c_str());
+  std::printf("global silhouette peak: k = %d (true domains: 8)\n", best_k);
+  std::printf(
+      "expected shape: a coarse global peak (super-verticals: travel trio, "
+      "media pair) plus a secondary local peak at the true k = 8 where "
+      "external entropy bottoms out\n");
+  return 0;
+}

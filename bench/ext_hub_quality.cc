@@ -1,0 +1,79 @@
+// Future-work extension (paper §6: "the quality of hub pages"): filter hub
+// clusters by *content cohesion* (mean pairwise member similarity) instead
+// of — or in addition to — the cardinality heuristic of §3.3, then seed
+// CAFC's k-means as usual.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/hub_quality.h"
+#include "core/select_hub_clusters.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cafc;         // NOLINT
+using namespace cafc::bench;  // NOLINT
+
+Quality RunWithSeeds(const Workbench& wb,
+                     const std::vector<HubCluster>& clusters, int k) {
+  std::vector<HubCluster> selected =
+      SelectHubClusters(wb.pages, clusters, k, {});
+  std::vector<std::vector<size_t>> seeds;
+  for (const HubCluster& s : selected) seeds.push_back(s.members);
+  return Score(wb, CafcCWithSeeds(wb.pages, seeds, CafcOptions{}));
+}
+
+}  // namespace
+
+int main() {
+  Workbench wb = BuildWorkbench();
+  const int k = web::kNumDomains;
+
+  std::vector<HubCluster> all = GenerateHubClusters(wb.pages);
+
+  Table table({"hub-cluster filter", "clusters kept", "entropy",
+               "f-measure"});
+
+  {
+    std::vector<HubCluster> kept = FilterByCardinality(all, 8);
+    Quality q = RunWithSeeds(wb, kept, k);
+    table.AddRow({"cardinality >= 8 (paper)", std::to_string(kept.size()),
+                  Fmt(q.entropy), Fmt(q.f_measure)});
+  }
+  for (double min_cohesion : {0.10, 0.20, 0.30}) {
+    std::vector<HubCluster> kept =
+        FilterByCohesion(wb.pages, all, min_cohesion);
+    // Keep the candidate set tractable for the O(n^2) greedy selection:
+    // cohesion alone admits thousands of small clusters, so pair it with a
+    // mild cardinality floor, as the paper's pruning discussion suggests.
+    kept = FilterByCardinality(std::move(kept), 3);
+    Quality q = RunWithSeeds(wb, kept, k);
+    table.AddRow({"cohesion >= " + Fmt(min_cohesion) + " (card >= 3)",
+                  std::to_string(kept.size()), Fmt(q.entropy),
+                  Fmt(q.f_measure)});
+  }
+  {
+    std::vector<HubCluster> kept =
+        FilterByCohesion(wb.pages, FilterByCardinality(all, 8), 0.20);
+    Quality q = RunWithSeeds(wb, kept, k);
+    table.AddRow({"cardinality >= 8 AND cohesion >= 0.20",
+                  std::to_string(kept.size()), Fmt(q.entropy),
+                  Fmt(q.f_measure)});
+  }
+
+  Quality cafc_c = AverageCafcC(wb, k, CafcOptions{}, /*runs=*/20);
+  table.AddSeparator();
+  table.AddRow({"CAFC-C reference (random seeds)", "-", Fmt(cafc_c.entropy),
+                Fmt(cafc_c.f_measure)});
+
+  std::printf("=== Extension: hub quality (content cohesion) filter ===\n%s",
+              table.ToString().c_str());
+  std::printf(
+      "expected shape: cohesion alone is NOT sufficient — small cohesive "
+      "clusters still have unrepresentative centroids, confirming the "
+      "paper's §3.3 argument that cluster *size* carries evidence. "
+      "Combining both filters matches or slightly beats cardinality "
+      "alone by discarding cohesionless directories early\n");
+  return 0;
+}

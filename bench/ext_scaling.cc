@@ -1,0 +1,74 @@
+// Scalability check for the paper's claim that CAFC "is scalable [and]
+// requires no manual pre-processing": sweep the corpus size and measure
+// end-to-end wall time of each pipeline stage plus CAFC-CH quality.
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cafc;         // NOLINT
+using namespace cafc::bench;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  Table table({"form pages", "web pages", "crawl+extract (ms)",
+               "cluster (ms)", "entropy", "f-measure"});
+
+  for (int form_pages : {113, 227, 454, 908, 1816}) {
+    web::SynthesizerConfig config;
+    config.seed = 42;
+    config.form_pages_total = form_pages;
+    config.single_attribute_forms = form_pages / 8;
+    // Scale the hub structure with the corpus.
+    double scale = static_cast<double>(form_pages) / 454.0;
+    config.homogeneous_hubs_per_domain =
+        static_cast<int>(360 * scale);
+    config.mixed_hubs = static_cast<int>(1100 * scale);
+    config.directory_hubs = static_cast<int>(24 * scale) + 1;
+    config.large_air_hotel_hubs = static_cast<int>(30 * scale) + 1;
+    config.outlier_pages = static_cast<int>(10 * scale);
+    web::SyntheticWeb web = web::Synthesizer(config).Generate();
+
+    Clock::time_point start = Clock::now();
+    Result<Dataset> dataset = BuildDataset(web);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "pipeline failed at %d pages: %s\n", form_pages,
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    FormPageSet pages = BuildFormPageSet(*dataset);
+    double extract_ms = MsSince(start);
+
+    start = Clock::now();
+    CafcChOptions options;
+    cluster::Clustering clustering =
+        CafcCh(pages, web::kNumDomains, options);
+    double cluster_ms = MsSince(start);
+
+    eval::ContingencyTable t(dataset->GoldLabels(), dataset->num_classes,
+                             clustering);
+    table.AddRow({std::to_string(dataset->entries.size()),
+                  std::to_string(web.pages().size()),
+                  Fmt(extract_ms, 0), Fmt(cluster_ms, 0),
+                  Fmt(eval::TotalEntropy(t)),
+                  Fmt(eval::OverallFMeasure(t))});
+  }
+
+  std::printf("=== Scaling: corpus size sweep ===\n%s",
+              table.ToString().c_str());
+  std::printf(
+      "expected shape: near-linear crawl/extract cost, quality stable as "
+      "the corpus grows (the pipeline has no manual steps to amortize)\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 3: entropy of CAFC-CH (FC+PC) as the minimum hub-cluster
+// cardinality varies from >2 to >11, with the CAFC-C average as the
+// reference line.
+//
+// Paper reference: best entropy when small hub clusters (cardinality < 7)
+// are eliminated; very large thresholds degrade again because the surviving
+// clusters are heterogeneous directories and no longer cover all domains
+// (clusters with 14+ members contain only Air and Hotel). CAFC-CH stays
+// below CAFC-C at every threshold.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cafc;         // NOLINT
+  using namespace cafc::bench;  // NOLINT
+
+  Workbench wb = BuildWorkbench();
+  const int k = web::kNumDomains;
+
+  Quality cafc_c = AverageCafcC(wb, k, CafcOptions{}, /*runs=*/20);
+
+  Table table({"min cardinality", "hub clusters kept", "padded seeds",
+               "entropy", "f-measure"});
+  for (size_t min_card = 3; min_card <= 12; ++min_card) {
+    CafcChOptions options;
+    options.min_hub_cardinality = min_card;
+    CafcChReport report;
+    cluster::Clustering clustering = CafcCh(wb.pages, k, options, &report);
+    Quality q = Score(wb, clustering);
+    table.AddRow({"> " + std::to_string(min_card - 1),
+                  std::to_string(report.hub_clusters_kept),
+                  std::to_string(report.padded_seeds), Fmt(q.entropy),
+                  Fmt(q.f_measure)});
+  }
+  table.AddSeparator();
+  table.AddRow({"CAFC-C reference", "-", "-", Fmt(cafc_c.entropy),
+                Fmt(cafc_c.f_measure)});
+
+  std::printf("=== Figure 3: sensitivity to hub-cluster cardinality ===\n%s",
+              table.ToString().c_str());
+  std::printf(
+      "paper: entropy minimized around cardinality 7-8; CAFC-CH below "
+      "CAFC-C at every threshold\n");
+  return 0;
+}

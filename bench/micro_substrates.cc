@@ -1,0 +1,185 @@
+// Engineering micro-benchmarks (google-benchmark) for the hand-rolled
+// substrates: HTML parsing, Porter stemming, sparse-vector cosine, TF-IDF
+// weighting, and a full k-means iteration. Not part of the paper — these
+// document the cost profile of the pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/centroid_model.h"
+#include "core/directory.h"
+#include "web/backlink_index.h"
+#include "html/dom.h"
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "vsm/sparse_vector.h"
+#include "web/synthesizer.h"
+
+namespace {
+
+using namespace cafc;  // NOLINT
+
+const web::SyntheticWeb& SharedWeb() {
+  static const web::SyntheticWeb& web =
+      *new web::SyntheticWeb(web::Synthesizer({}).Generate());
+  return web;
+}
+
+const bench::Workbench& SharedWorkbench() {
+  static const bench::Workbench& wb =
+      *new bench::Workbench(bench::BuildWorkbench());
+  return wb;
+}
+
+void BM_HtmlParse(benchmark::State& state) {
+  const auto& pages = SharedWeb().pages();
+  size_t i = 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const web::WebPage& page = pages[i++ % pages.size()];
+    html::Document doc = html::Parse(page.html);
+    benchmark::DoNotOptimize(doc.root().children().size());
+    bytes += page.html.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_HtmlParse);
+
+void BM_PorterStem(benchmark::State& state) {
+  const std::vector<std::string> words = {
+      "relational", "organization", "controlling", "databases",
+      "clustering", "searchable",   "hierarchies", "effectiveness"};
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::PorterStem(words[i++ % words.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_Analyze(benchmark::State& state) {
+  const auto& pages = SharedWeb().pages();
+  text::Analyzer analyzer;
+  size_t i = 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const web::WebPage& page = pages[i++ % pages.size()];
+    benchmark::DoNotOptimize(analyzer.Analyze(page.html));
+    bytes += page.html.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Analyze);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  const bench::Workbench& wb = SharedWorkbench();
+  const auto& pages = wb.pages.pages();
+  size_t i = 0;
+  for (auto _ : state) {
+    const FormPage& a = pages[i % pages.size()];
+    const FormPage& b = pages[(i * 7 + 13) % pages.size()];
+    benchmark::DoNotOptimize(vsm::CosineSimilarity(a.pc, b.pc));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CosineSimilarity);
+
+void BM_KMeansIteration(benchmark::State& state) {
+  const bench::Workbench& wb = SharedWorkbench();
+  const int k = web::kNumDomains;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(99);
+    auto seeds = cluster::RandomSingletonSeeds(wb.pages.size(), k, &rng);
+    FormPageCentroidModel model(&wb.pages, k, ContentConfig::kFcPlusPc);
+    cluster::KMeansOptions options;
+    options.max_iterations = 1;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cluster::KMeans(&model, seeds, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(wb.pages.size()));
+}
+BENCHMARK(BM_KMeansIteration);
+
+void BM_GenerateHubClusters(benchmark::State& state) {
+  const bench::Workbench& wb = SharedWorkbench();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateHubClusters(wb.pages));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(wb.pages.size()));
+}
+BENCHMARK(BM_GenerateHubClusters)->Unit(benchmark::kMillisecond);
+
+void BM_SelectHubClusters(benchmark::State& state) {
+  const bench::Workbench& wb = SharedWorkbench();
+  std::vector<HubCluster> kept =
+      FilterByCardinality(GenerateHubClusters(wb.pages), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectHubClusters(wb.pages, kept, web::kNumDomains, {}));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kept.size()));
+}
+BENCHMARK(BM_SelectHubClusters)->Unit(benchmark::kMillisecond);
+
+void BM_BacklinkQuery(benchmark::State& state) {
+  const web::SyntheticWeb& web = SharedWeb();
+  web::BacklinkIndex index(&web.graph(), {});
+  const auto& form_pages = web.form_pages();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.Backlinks(form_pages[i++ % form_pages.size()].url));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BacklinkQuery);
+
+void BM_HacFullCorpus(benchmark::State& state) {
+  const bench::Workbench& wb = SharedWorkbench();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CafcHac(wb.pages, web::kNumDomains, CafcOptions{}));
+  }
+}
+BENCHMARK(BM_HacFullCorpus)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+void BM_DirectoryClassify(benchmark::State& state) {
+  const bench::Workbench& wb = SharedWorkbench();
+  static const DatabaseDirectory& dir = []() -> const DatabaseDirectory& {
+    const bench::Workbench& w = SharedWorkbench();
+    cluster::Clustering c = CafcCh(w.pages, web::kNumDomains, {});
+    return *new DatabaseDirectory(DatabaseDirectory::Build(
+        w.pages, c, DatabaseDirectory::AutoLabels(w.pages, c)));
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dir.ClassifyDocument(wb.dataset.entries[i++ %
+                                                wb.dataset.entries.size()]
+                                 .doc));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectoryClassify);
+
+void BM_FullCafcCh(benchmark::State& state) {
+  const bench::Workbench& wb = SharedWorkbench();
+  for (auto _ : state) {
+    CafcChOptions options;
+    benchmark::DoNotOptimize(
+        CafcCh(wb.pages, web::kNumDomains, options));
+  }
+}
+BENCHMARK(BM_FullCafcCh)->Unit(benchmark::kMillisecond)->Iterations(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// §3.1 hub-cluster study: how many distinct co-citation sets the backlinks
+// induce, what fraction is homogeneous, domain coverage, and the effect of
+// the cardinality filter.
+//
+// Paper reference: 454 form pages -> 3,450 hub clusters, 69% homogeneous,
+// representative homogeneous clusters in all 8 domains; >15% of pages have
+// no direct backlinks (root-page fallback used); eliminating small clusters
+// cuts 3,450 -> 164 candidates; clusters with 14+ members contain only Air
+// and Hotel.
+
+#include <cstdio>
+#include <set>
+
+#include "bench/common.h"
+#include "core/hub_clusters.h"
+#include "util/table.h"
+#include "web/domain_vocab.h"
+
+int main() {
+  using namespace cafc;         // NOLINT
+  using namespace cafc::bench;  // NOLINT
+
+  Workbench wb = BuildWorkbench();
+
+  std::vector<HubCluster> clusters = GenerateHubClusters(wb.pages);
+
+  size_t homogeneous = 0;
+  std::set<int> domains_with_homogeneous;
+  std::set<int> domains_in_large;  // clusters with >= 14 members
+  for (const HubCluster& hc : clusters) {
+    std::set<int> domains;
+    for (size_t m : hc.members) domains.insert(wb.gold[m]);
+    if (domains.size() == 1) {
+      ++homogeneous;
+      domains_with_homogeneous.insert(*domains.begin());
+    }
+    if (hc.cardinality() >= 14) {
+      domains_in_large.insert(domains.begin(), domains.end());
+    }
+  }
+  size_t kept = FilterByCardinality(clusters, 8).size();
+
+  Table table({"statistic", "this repo", "paper"});
+  table.AddRow({"form pages", std::to_string(wb.pages.size()), "454"});
+  table.AddRow({"distinct hub clusters", std::to_string(clusters.size()),
+                "3,450"});
+  table.AddRow({"homogeneous fraction",
+                Fmt(100.0 * static_cast<double>(homogeneous) /
+                        static_cast<double>(clusters.size()),
+                    1) + "%",
+                "69%"});
+  table.AddRow({"domains with homogeneous clusters",
+                std::to_string(domains_with_homogeneous.size()) + " of 8",
+                "8 of 8"});
+  table.AddRow({"pages with no direct backlinks",
+                std::to_string(wb.dataset.stats.pages_without_backlinks) +
+                    " (" +
+                    Fmt(100.0 *
+                            static_cast<double>(
+                                wb.dataset.stats.pages_without_backlinks) /
+                            static_cast<double>(wb.pages.size()),
+                        1) +
+                    "%)",
+                ">15%"});
+  table.AddRow({"clusters kept at cardinality >= 8", std::to_string(kept),
+                "164"});
+  std::string large_domains;
+  for (int d : domains_in_large) {
+    if (!large_domains.empty()) large_domains += ", ";
+    large_domains += std::string(
+        web::DomainName(web::AllDomains()[static_cast<size_t>(d)]));
+  }
+  table.AddRow({"domains in clusters with >= 14 members",
+                large_domains.empty() ? "(none)" : large_domains,
+                "Air, Hotel"});
+
+  std::printf("=== Section 3.1: hub-induced similarity ===\n%s",
+              table.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// §4.3 (second part): the classic "sample + HAC" seeding for k-means,
+// compared against CAFC-CH.
+//
+// Paper reference: HAC over the full data set used as k-means seeds yields
+// an F-measure close to CAFC-CH (0.93 vs 0.96) but entropy ~60% higher —
+// hub-cluster seeds beat HAC-derived seeds.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cafc;         // NOLINT
+  using namespace cafc::bench;  // NOLINT
+
+  Workbench wb = BuildWorkbench();
+  const int k = web::kNumDomains;
+  const CafcOptions options;  // FC+PC
+
+  Quality hac_seeded = Score(wb, HacSeededKMeans(wb.pages, k, options));
+
+  CafcChOptions ch_options;
+  cluster::Clustering ch = CafcCh(wb.pages, k, ch_options);
+  Quality cafc_ch = Score(wb, ch);
+
+  Table table({"seeding", "entropy", "f-measure"});
+  table.AddRow({"HAC-derived seeds + k-means", Fmt(hac_seeded.entropy),
+                Fmt(hac_seeded.f_measure)});
+  table.AddRow({"CAFC-CH (hub-cluster seeds)", Fmt(cafc_ch.entropy),
+                Fmt(cafc_ch.f_measure)});
+
+  std::printf("=== Section 4.3: HAC-seeded k-means vs CAFC-CH ===\n%s",
+              table.ToString().c_str());
+  if (cafc_ch.entropy > 0.0) {
+    std::printf("entropy ratio (HAC-seeded / CAFC-CH): %.2f (paper: ~1.6)\n",
+                hac_seeded.entropy / cafc_ch.entropy);
+  }
+  std::printf("paper: F 0.93 vs 0.96; entropy ~60%% higher for HAC seeds\n");
+  return 0;
+}

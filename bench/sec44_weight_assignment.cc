@@ -1,0 +1,69 @@
+// §4.4: differentiated location weights (LOC factor of Eq. 1) versus
+// uniform weights, for the best configuration (CAFC-CH over FC+PC).
+//
+// Paper reference: uniform weights barely change the F-measure (0.96 ->
+// 0.91) but raise entropy from 0.15 to 0.43. Note the paper's second
+// observation: CAFC-CH with uniform weights still beats CAFC-C with
+// differentiated weights.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cafc;         // NOLINT
+  using namespace cafc::bench;  // NOLINT
+
+  Workbench wb = BuildWorkbench();
+  const int k = web::kNumDomains;
+
+  // Differentiated weights: the workbench default.
+  CafcChOptions options;
+  Quality differentiated = Score(wb, CafcCh(wb.pages, k, options));
+
+  // Uniform weights: re-weigh the same crawled dataset with LOC == 1.
+  FormPageSet uniform_pages =
+      BuildFormPageSet(wb.dataset, vsm::LocationWeightConfig::Uniform());
+  cluster::Clustering uniform_clustering =
+      CafcCh(uniform_pages, k, options);
+  eval::ContingencyTable uniform_table(wb.gold, wb.dataset.num_classes,
+                                       uniform_clustering);
+  Quality uniform{eval::TotalEntropy(uniform_table),
+                  eval::OverallFMeasure(uniform_table)};
+
+  // The paper's cross-check: CAFC-C with differentiated weights; plus the
+  // same ablation applied to CAFC-C (averaged over 20 runs), where seed
+  // randomness does not mask the weighting effect.
+  Quality cafc_c = AverageCafcC(wb, k, CafcOptions{}, /*runs=*/20);
+  Quality cafc_c_uniform{0.0, 0.0};
+  {
+    for (int r = 0; r < 20; ++r) {
+      Rng rng(1000 + static_cast<uint64_t>(r));
+      cluster::Clustering c =
+          CafcC(uniform_pages, k, CafcOptions{}, &rng);
+      eval::ContingencyTable t(wb.gold, wb.dataset.num_classes, c);
+      cafc_c_uniform.entropy += eval::TotalEntropy(t);
+      cafc_c_uniform.f_measure += eval::OverallFMeasure(t);
+    }
+    cafc_c_uniform.entropy /= 20;
+    cafc_c_uniform.f_measure /= 20;
+  }
+
+  Table table({"configuration", "entropy", "f-measure"});
+  table.AddRow({"CAFC-CH, differentiated LOC weights",
+                Fmt(differentiated.entropy), Fmt(differentiated.f_measure)});
+  table.AddRow({"CAFC-CH, uniform weights", Fmt(uniform.entropy),
+                Fmt(uniform.f_measure)});
+  table.AddRow({"CAFC-C, differentiated (avg 20 runs)", Fmt(cafc_c.entropy),
+                Fmt(cafc_c.f_measure)});
+  table.AddRow({"CAFC-C, uniform (avg 20 runs)",
+                Fmt(cafc_c_uniform.entropy), Fmt(cafc_c_uniform.f_measure)});
+
+  std::printf("=== Section 4.4: differentiated weight assignment ===\n%s",
+              table.ToString().c_str());
+  std::printf(
+      "paper: 0.15/0.96 differentiated vs 0.43/0.91 uniform; uniform "
+      "CAFC-CH still beats CAFC-C\n");
+  return 0;
+}

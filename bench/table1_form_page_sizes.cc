@@ -1,0 +1,63 @@
+// Table 1: relationship between form size and the amount of page text
+// outside the form — the evidence for combining the FC and PC spaces.
+//
+// Paper reference (avg page terms outside the form, by form-size bucket):
+//   < 10: 274   [10,50): 131   [50,100): 76   [100,200): 83   >= 200: 31
+// Expected shape: pages with small forms are content-rich; pages with very
+// large forms carry little other text.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cafc;         // NOLINT
+  using namespace cafc::bench;  // NOLINT
+
+  Workbench wb = BuildWorkbench();
+
+  struct Bucket {
+    const char* label;
+    size_t lo;
+    size_t hi;  // exclusive
+    size_t pages = 0;
+    size_t page_terms = 0;
+  };
+  std::vector<Bucket> buckets = {
+      {"< 10", 0, 10},
+      {"[10, 50)", 10, 50},
+      {"[50, 100)", 50, 100},
+      {"[100, 200)", 100, 200},
+      {">= 200", 200, static_cast<size_t>(-1)},
+  };
+
+  for (const DatasetEntry& entry : wb.dataset.entries) {
+    size_t form_terms = entry.doc.NumFormTerms();
+    size_t page_terms = entry.doc.NumPageTerms();
+    for (Bucket& b : buckets) {
+      if (form_terms >= b.lo && form_terms < b.hi) {
+        ++b.pages;
+        b.page_terms += page_terms;
+        break;
+      }
+    }
+  }
+
+  Table table({"form size (terms)", "pages", "avg page terms - form terms"});
+  for (const Bucket& b : buckets) {
+    table.AddRow(
+        {b.label, std::to_string(b.pages),
+         b.pages == 0 ? "-"
+                      : Fmt(static_cast<double>(b.page_terms) /
+                                static_cast<double>(b.pages),
+                            0)});
+  }
+  std::printf("=== Table 1: form size vs page contents ===\n%s",
+              table.ToString().c_str());
+  std::printf(
+      "paper: <10: 274, [10,50): 131, [50,100): 76, [100,200): 83, "
+      ">=200: 31\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Table 2: HAC versus k-means as the base clustering strategy, with and
+// without hub-cluster seeding (FC+PC configuration).
+//
+// Paper reference:
+//   CAFC-C  (k-means) E 0.56 / F 0.74    CAFC-C  (HAC) E 0.52 / F 0.77
+//   CAFC-CH (k-means) E 0.15 / F 0.96    CAFC-CH (HAC) E 0.34 / F 0.93
+// Expected shape: hub seeding helps both strategies; the k-means variant of
+// CAFC-CH ends up clearly more homogeneous than the HAC variant, because
+// HAC's local merge decisions propagate early mistakes.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "core/select_hub_clusters.h"
+#include "util/table.h"
+
+int main() {
+  using namespace cafc;         // NOLINT
+  using namespace cafc::bench;  // NOLINT
+
+  Workbench wb = BuildWorkbench();
+  const int k = web::kNumDomains;
+  const CafcOptions options;  // FC+PC
+
+  Table table({"technique", "entropy", "f-measure"});
+
+  // CAFC-C with k-means (avg of 20 runs) and with HAC (deterministic).
+  Quality c_kmeans = AverageCafcC(wb, k, options, /*runs=*/20);
+  table.AddRow({"CAFC-C (k-means)", Fmt(c_kmeans.entropy),
+                Fmt(c_kmeans.f_measure)});
+  Quality c_hac = Score(wb, CafcHac(wb.pages, k, options));
+  table.AddRow({"CAFC-C (HAC)", Fmt(c_hac.entropy), Fmt(c_hac.f_measure)});
+  // Bonus row: bisecting k-means, the method advocated by the paper's
+  // citation [31] (Steinbach et al.) for document clustering.
+  {
+    Quality sum;
+    const int runs = 20;
+    for (int r = 0; r < runs; ++r) {
+      Rng rng(9000 + static_cast<uint64_t>(r));
+      Quality q = Score(wb, CafcBisecting(wb.pages, k, options, &rng));
+      sum.entropy += q.entropy;
+      sum.f_measure += q.f_measure;
+    }
+    table.AddRow({"CAFC-C (bisecting k-means, avg 20)",
+                  Fmt(sum.entropy / runs), Fmt(sum.f_measure / runs)});
+  }
+  table.AddSeparator();
+
+  // Shared hub-cluster seeds (the paper's best setting: min cardinality 8).
+  std::vector<HubCluster> hubs =
+      FilterByCardinality(GenerateHubClusters(wb.pages), 8);
+  SelectHubClustersOptions select_options;
+  std::vector<HubCluster> seeds =
+      SelectHubClusters(wb.pages, hubs, k, select_options);
+  std::vector<std::vector<size_t>> seed_members;
+  for (const HubCluster& s : seeds) seed_members.push_back(s.members);
+
+  Quality ch_kmeans = Score(wb, CafcCWithSeeds(wb.pages, seed_members,
+                                               options));
+  table.AddRow({"CAFC-CH (k-means)", Fmt(ch_kmeans.entropy),
+                Fmt(ch_kmeans.f_measure)});
+  Quality ch_hac =
+      Score(wb, CafcHacWithSeeds(wb.pages, seed_members, k, options));
+  table.AddRow({"CAFC-CH (HAC)", Fmt(ch_hac.entropy),
+                Fmt(ch_hac.f_measure)});
+
+  std::printf("=== Table 2: HAC versus k-means ===\n%s",
+              table.ToString().c_str());
+  std::printf(
+      "paper: k-means 0.56/0.74 -> 0.15/0.96 with hubs; "
+      "HAC 0.52/0.77 -> 0.34/0.93\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Parses an HTML page and dumps the form-page model: every form's
+// structure, the searchable-form verdict, and the FC / PC term streams with
+// their locations — a debugging lens into what CAFC actually "sees".
+//
+// Run: ./build/examples/form_inspector [path/to/page.html]
+// Without an argument it inspects a built-in page modeled on the paper's
+// Figure 1(c): a keyword form whose descriptive label sits *outside* the
+// FORM tags.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "forms/form_classifier.h"
+#include "forms/form_page_model.h"
+#include "vsm/weighting.h"
+
+namespace {
+
+constexpr const char* kBuiltinPage = R"html(
+<html><head><title>Monster Job Search - find careers online</title></head>
+<body>
+<h1>Welcome to the job center</h1>
+<p>Search thousands of job postings, employment opportunities and careers.
+Post your resume and let employers find you. Salary surveys, career advice
+and more.</p>
+<b>Search Jobs</b>
+<form action="/cgi-bin/jobsearch" method="get">
+<input type="text" name="q" size="30">
+<select name="state"><option value="">all states</option>
+<option>california</option><option>new york</option><option>texas</option>
+</select>
+<input type="submit" value="find jobs">
+<input type="hidden" name="sid" value="xkqzjw">
+</form>
+<form action="/login.cgi" method="post">
+username <input type="text" name="username">
+password <input type="password" name="password">
+<input type="submit" value="login">
+</form>
+<p>copyright 2006 - privacy policy - help - contact us</p>
+</body></html>
+)html";
+
+const char* LocationName(cafc::vsm::Location loc) {
+  switch (loc) {
+    case cafc::vsm::Location::kPageBody:
+      return "body";
+    case cafc::vsm::Location::kPageTitle:
+      return "title";
+    case cafc::vsm::Location::kAnchorText:
+      return "anchor";
+    case cafc::vsm::Location::kFormText:
+      return "form";
+    case cafc::vsm::Location::kFormOption:
+      return "option";
+    default:
+      return "?";
+  }
+}
+
+const char* FieldTypeName(cafc::forms::FieldType type) {
+  using cafc::forms::FieldType;
+  switch (type) {
+    case FieldType::kText: return "text";
+    case FieldType::kPassword: return "password";
+    case FieldType::kHidden: return "hidden";
+    case FieldType::kCheckbox: return "checkbox";
+    case FieldType::kRadio: return "radio";
+    case FieldType::kSubmit: return "submit";
+    case FieldType::kReset: return "reset";
+    case FieldType::kButton: return "button";
+    case FieldType::kFile: return "file";
+    case FieldType::kImage: return "image";
+    case FieldType::kSelect: return "select";
+    case FieldType::kTextArea: return "textarea";
+    default: return "other";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cafc;  // NOLINT — example code
+
+  std::string html;
+  std::string url = "http://www.example.com/search.html";
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::printf("cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    html = buffer.str();
+    url = std::string("file://") + argv[1];
+  } else {
+    html = kBuiltinPage;
+  }
+
+  forms::FormPageModelBuilder builder;
+  forms::FormPageDocument doc = builder.Build(url, html);
+  forms::FormClassifier classifier;
+
+  std::printf("page: %s\nforms found: %zu\n\n", doc.url.c_str(),
+              doc.forms.size());
+  for (size_t f = 0; f < doc.forms.size(); ++f) {
+    const forms::Form& form = doc.forms[f];
+    forms::FormVerdict verdict = classifier.Classify(form);
+    std::printf("form #%zu  action=\"%s\" method=%s\n", f,
+                form.action.c_str(), form.method.c_str());
+    std::printf("  verdict: %s (searchable score %d vs %d)\n",
+                verdict.searchable ? "SEARCHABLE" : "non-searchable",
+                verdict.searchable_score, verdict.non_searchable_score);
+    std::printf("  attributes: %d fillable, %d total fields\n",
+                form.NumAttributes(), static_cast<int>(form.fields.size()));
+    for (const forms::FormField& field : form.fields) {
+      std::printf("    [%s] name=\"%s\"%s\n", FieldTypeName(field.type),
+                  field.name.c_str(),
+                  field.options.empty()
+                      ? ""
+                      : (" (" + std::to_string(field.options.size()) +
+                         " options)").c_str());
+    }
+    std::printf("  form text: \"%s\"\n", form.text.c_str());
+    std::printf("  option text: \"%s\"\n\n", form.option_text.c_str());
+  }
+
+  std::printf("FC terms (%zu):", doc.form_terms.size());
+  for (const vsm::LocatedTerm& t : doc.form_terms) {
+    std::printf(" %s/%s", t.term.c_str(), LocationName(t.location));
+  }
+  std::printf("\n\nPC terms (%zu):", doc.page_terms.size());
+  for (const vsm::LocatedTerm& t : doc.page_terms) {
+    std::printf(" %s/%s", t.term.c_str(), LocationName(t.location));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "cluster/hac.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace cafc::cluster {
+namespace {
+
+/// Lance–Williams-style combination of cluster-pair similarities.
+double Combine(Linkage linkage, double sim_a, double sim_b, size_t size_a,
+               size_t size_b) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::max(sim_a, sim_b);
+    case Linkage::kComplete:
+      return std::min(sim_a, sim_b);
+    case Linkage::kAverage:
+      return (sim_a * static_cast<double>(size_a) +
+              sim_b * static_cast<double>(size_b)) /
+             static_cast<double>(size_a + size_b);
+  }
+  return 0.0;
+}
+
+/// Shared agglomeration loop over an initial group-level similarity matrix.
+/// `members[g]` lists the point indices of group g.
+HacResult RunAgglomeration(std::vector<std::vector<double>> sim,
+                           std::vector<std::vector<size_t>> members,
+                           size_t num_points, int k, Linkage linkage) {
+  HacResult result;
+  const size_t g = members.size();
+  std::vector<bool> active(g, true);
+  std::vector<size_t> size(g);
+  for (size_t i = 0; i < g; ++i) size[i] = members[i].size();
+
+  size_t active_count = g;
+  while (active_count > static_cast<size_t>(k)) {
+    double best = -std::numeric_limits<double>::infinity();
+    size_t bi = 0;
+    size_t bj = 0;
+    bool found = false;
+    for (size_t i = 0; i < g; ++i) {
+      if (!active[i]) continue;
+      for (size_t j = i + 1; j < g; ++j) {
+        if (!active[j]) continue;
+        if (!found || sim[i][j] > best) {
+          best = sim[i][j];
+          bi = i;
+          bj = j;
+          found = true;
+        }
+      }
+    }
+    if (!found) break;
+    result.merges.push_back(
+        Merge{static_cast<int>(bj), static_cast<int>(bi), best});
+    for (size_t x = 0; x < g; ++x) {
+      if (!active[x] || x == bi || x == bj) continue;
+      sim[bi][x] = sim[x][bi] =
+          Combine(linkage, sim[bi][x], sim[bj][x], size[bi], size[bj]);
+    }
+    size[bi] += size[bj];
+    members[bi].insert(members[bi].end(), members[bj].begin(),
+                       members[bj].end());
+    members[bj].clear();
+    active[bj] = false;
+    --active_count;
+  }
+
+  result.clustering.assignment.assign(num_points, -1);
+  int next = 0;
+  for (size_t i = 0; i < g; ++i) {
+    if (!active[i]) continue;
+    for (size_t p : members[i]) {
+      result.clustering.assignment[p] = next;
+    }
+    ++next;
+  }
+  result.clustering.num_clusters = next;
+  return result;
+}
+
+}  // namespace
+
+HacResult Hac(size_t num_points, const SimilarityFn& similarity, int k,
+              Linkage linkage) {
+  assert(k >= 1);
+  if (num_points == 0) {
+    HacResult result;
+    result.clustering.num_clusters = 0;
+    return result;
+  }
+  std::vector<std::vector<double>> sim(num_points,
+                                       std::vector<double>(num_points, 0.0));
+  std::vector<std::vector<size_t>> members(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    members[i] = {i};
+    for (size_t j = i + 1; j < num_points; ++j) {
+      sim[i][j] = sim[j][i] = similarity(i, j);
+    }
+  }
+  return RunAgglomeration(std::move(sim), std::move(members), num_points, k,
+                          linkage);
+}
+
+HacResult HacFromGroups(size_t num_points, const SimilarityFn& similarity,
+                        const std::vector<std::vector<size_t>>& initial_groups,
+                        int k, Linkage linkage) {
+  assert(k >= 1);
+  if (num_points == 0) {
+    HacResult result;
+    result.clustering.num_clusters = 0;
+    return result;
+  }
+  // Assign each point to its first-listed group; leftovers are singletons.
+  std::vector<int> group_of(num_points, -1);
+  std::vector<std::vector<size_t>> members;
+  for (const auto& group : initial_groups) {
+    std::vector<size_t> kept;
+    for (size_t p : group) {
+      if (p < num_points && group_of[p] == -1) {
+        group_of[p] = static_cast<int>(members.size());
+        kept.push_back(p);
+      }
+    }
+    if (!kept.empty()) members.push_back(std::move(kept));
+  }
+  for (size_t p = 0; p < num_points; ++p) {
+    if (group_of[p] == -1) {
+      group_of[p] = static_cast<int>(members.size());
+      members.push_back({p});
+    }
+  }
+
+  const size_t g = members.size();
+  std::vector<std::vector<double>> sim(g, std::vector<double>(g, 0.0));
+  for (size_t a = 0; a < g; ++a) {
+    for (size_t b = a + 1; b < g; ++b) {
+      double combined;
+      bool first = true;
+      combined = 0.0;
+      double sum = 0.0;
+      double best_max = -std::numeric_limits<double>::infinity();
+      double best_min = std::numeric_limits<double>::infinity();
+      for (size_t pa : members[a]) {
+        for (size_t pb : members[b]) {
+          double s = similarity(pa, pb);
+          sum += s;
+          best_max = std::max(best_max, s);
+          best_min = std::min(best_min, s);
+          first = false;
+        }
+      }
+      if (first) continue;
+      switch (linkage) {
+        case Linkage::kSingle:
+          combined = best_max;
+          break;
+        case Linkage::kComplete:
+          combined = best_min;
+          break;
+        case Linkage::kAverage:
+          combined = sum / static_cast<double>(members[a].size() *
+                                               members[b].size());
+          break;
+      }
+      sim[a][b] = sim[b][a] = combined;
+    }
+  }
+  return RunAgglomeration(std::move(sim), std::move(members), num_points, k,
+                          linkage);
+}
+
+}  // namespace cafc::cluster

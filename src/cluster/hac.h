@@ -1,0 +1,50 @@
+#ifndef CAFC_CLUSTER_HAC_H_
+#define CAFC_CLUSTER_HAC_H_
+
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace cafc::cluster {
+
+/// Cluster-to-cluster similarity rule for agglomeration.
+enum class Linkage {
+  kSingle,    ///< max pairwise similarity
+  kComplete,  ///< min pairwise similarity
+  kAverage,   ///< UPGMA: mean pairwise similarity
+};
+
+/// One agglomeration step (for dendrogram inspection / tests).
+struct Merge {
+  int left;        ///< cluster label absorbed
+  int right;       ///< surviving cluster label
+  double similarity;
+};
+
+struct HacResult {
+  Clustering clustering;
+  std::vector<Merge> merges;  ///< in merge order (n - k entries)
+};
+
+/// \brief Hierarchical agglomerative clustering (§4.3's alternative base
+/// strategy): start from singletons, repeatedly merge the closest pair,
+/// stop at `k` clusters.
+///
+/// O(n^3) with an O(n^2) materialized similarity matrix — fine at the
+/// paper's scale (454 pages). `similarity` must be symmetric.
+HacResult Hac(size_t num_points, const SimilarityFn& similarity, int k,
+              Linkage linkage = Linkage::kAverage);
+
+/// \brief HAC starting from pre-merged groups instead of singletons.
+///
+/// Points listed in `initial_groups` start merged; every unlisted point is
+/// its own singleton. Group-to-group similarities are derived from the
+/// point similarities per the linkage rule, then agglomeration proceeds to
+/// `k` clusters. A point appearing in two groups is kept in the first.
+HacResult HacFromGroups(size_t num_points, const SimilarityFn& similarity,
+                        const std::vector<std::vector<size_t>>& initial_groups,
+                        int k, Linkage linkage = Linkage::kAverage);
+
+}  // namespace cafc::cluster
+
+#endif  // CAFC_CLUSTER_HAC_H_

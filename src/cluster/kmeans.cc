@@ -1,0 +1,98 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cafc::cluster {
+
+Clustering KMeans(CentroidModel* model,
+                  const std::vector<std::vector<size_t>>& seed_clusters,
+                  const KMeansOptions& options, KMeansStats* stats) {
+  const size_t n = model->num_points();
+  const int k = static_cast<int>(seed_clusters.size());
+  assert(k > 0);
+  assert(model->num_clusters() == k);
+
+  Clustering result;
+  result.num_clusters = k;
+  result.assignment.assign(n, -1);
+
+  for (int c = 0; c < k; ++c) {
+    model->RecomputeCentroid(c, seed_clusters[c]);
+  }
+
+  KMeansStats local_stats;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++local_stats.iterations;
+    size_t moved = 0;
+    // Assign every point to the most similar centroid; ties break toward
+    // the lowest cluster index (deterministic).
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_sim = model->Similarity(i, 0);
+      for (int c = 1; c < k; ++c) {
+        double sim = model->Similarity(i, c);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        ++moved;
+      }
+    }
+    // Recompute centroids from the fresh assignment.
+    for (int c = 0; c < k; ++c) {
+      model->RecomputeCentroid(c, result.Members(c));
+    }
+    if (static_cast<double>(moved) <
+        options.movement_stop_fraction * static_cast<double>(n)) {
+      local_stats.converged = true;
+      break;
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return result;
+}
+
+std::vector<std::vector<size_t>> RandomSingletonSeeds(size_t num_points,
+                                                      int k, Rng* rng) {
+  std::vector<std::vector<size_t>> seeds;
+  for (size_t idx : rng->SampleWithoutReplacement(
+           num_points, static_cast<size_t>(k))) {
+    seeds.push_back({idx});
+  }
+  return seeds;
+}
+
+std::vector<std::vector<size_t>> KMeansPlusPlusSeeds(
+    size_t num_points, int k, const SimilarityFn& similarity, Rng* rng) {
+  std::vector<std::vector<size_t>> seeds;
+  if (num_points == 0 || k <= 0) return seeds;
+  std::vector<size_t> chosen;
+  chosen.push_back(static_cast<size_t>(rng->Uniform(num_points)));
+  // d2[i]: squared distance to the nearest chosen seed so far.
+  std::vector<double> d2(num_points, 0.0);
+  auto distance = [&similarity](size_t a, size_t b) {
+    double d = 1.0 - similarity(a, b);
+    return d > 0.0 ? d : 0.0;
+  };
+  for (size_t i = 0; i < num_points; ++i) {
+    double d = distance(i, chosen[0]);
+    d2[i] = d * d;
+  }
+  while (chosen.size() < static_cast<size_t>(k) &&
+         chosen.size() < num_points) {
+    size_t next = rng->WeightedIndex(d2);
+    chosen.push_back(next);
+    for (size_t i = 0; i < num_points; ++i) {
+      double d = distance(i, next);
+      d2[i] = std::min(d2[i], d * d);
+    }
+  }
+  for (size_t c : chosen) seeds.push_back({c});
+  return seeds;
+}
+
+}  // namespace cafc::cluster

@@ -1,0 +1,73 @@
+#ifndef CAFC_CLUSTER_KMEANS_H_
+#define CAFC_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "cluster/types.h"
+#include "util/rng.h"
+
+namespace cafc::cluster {
+
+/// \brief Point/centroid state for k-means, abstracted so the CAFC layer
+/// can supply the two-feature-space form-page model (Eq. 3/4).
+///
+/// The algorithm never sees vectors — only similarities between points and
+/// the current centroids, and requests to rebuild a centroid from members.
+class CentroidModel {
+ public:
+  virtual ~CentroidModel() = default;
+
+  virtual size_t num_points() const = 0;
+  virtual int num_clusters() const = 0;
+
+  /// Similarity of `point` to the current centroid of `cluster`
+  /// (higher = closer).
+  virtual double Similarity(size_t point, int cluster) const = 0;
+
+  /// Rebuilds the centroid of `cluster` as the mean of `members` (Eq. 4).
+  /// An empty member list leaves the previous centroid in place (standard
+  /// empty-cluster handling: the cluster keeps attracting points).
+  virtual void RecomputeCentroid(int cluster,
+                                 const std::vector<size_t>& members) = 0;
+};
+
+struct KMeansOptions {
+  /// The paper's stop criterion: iterate "until fewer than 10% of the form
+  /// pages move across clusters".
+  double movement_stop_fraction = 0.10;
+  /// Hard cap for pathological non-convergence.
+  int max_iterations = 100;
+};
+
+/// Per-run diagnostics.
+struct KMeansStats {
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// \brief K-means over a CentroidModel (Algorithm 1 core loop).
+///
+/// `seed_clusters` provides the initial clusters; each inner vector is the
+/// member set whose mean forms the initial centroid (singletons for random
+/// seeding, hub clusters for CAFC-CH). Its size defines k. Every point —
+/// including seed members — is (re)assigned on every iteration.
+Clustering KMeans(CentroidModel* model,
+                  const std::vector<std::vector<size_t>>& seed_clusters,
+                  const KMeansOptions& options = {},
+                  KMeansStats* stats = nullptr);
+
+/// Uniformly samples `k` distinct points as singleton seed clusters.
+std::vector<std::vector<size_t>> RandomSingletonSeeds(size_t num_points,
+                                                      int k, Rng* rng);
+
+/// k-means++ seeding (Arthur & Vassilvitskii, 2007 — contemporary with the
+/// paper): the first seed is uniform, each further seed is sampled with
+/// probability proportional to its squared distance to the nearest chosen
+/// seed. `similarity` is the usual higher-is-closer oracle; distance is
+/// taken as max(0, 1 - similarity). Returns singleton seed clusters.
+std::vector<std::vector<size_t>> KMeansPlusPlusSeeds(
+    size_t num_points, int k, const SimilarityFn& similarity, Rng* rng);
+
+}  // namespace cafc::cluster
+
+#endif  // CAFC_CLUSTER_KMEANS_H_

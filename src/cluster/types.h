@@ -1,0 +1,43 @@
+#ifndef CAFC_CLUSTER_TYPES_H_
+#define CAFC_CLUSTER_TYPES_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace cafc::cluster {
+
+/// A clustering of n points into k clusters: assignment[i] is the cluster
+/// index of point i, in [0, num_clusters). -1 marks an unassigned point
+/// (never produced by the algorithms here, but tolerated by the metrics).
+struct Clustering {
+  std::vector<int> assignment;
+  int num_clusters = 0;
+
+  /// Members of cluster `c`.
+  std::vector<size_t> Members(int c) const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < assignment.size(); ++i) {
+      if (assignment[i] == c) out.push_back(i);
+    }
+    return out;
+  }
+
+  /// Number of points in cluster `c`.
+  size_t ClusterSize(int c) const {
+    size_t n = 0;
+    for (int a : assignment) {
+      if (a == c) ++n;
+    }
+    return n;
+  }
+};
+
+/// Pairwise similarity oracle over points 0..n-1. Higher = more similar.
+/// Both k-means and HAC are written against this abstraction so the CAFC
+/// layer can plug in the Eq. 3 combined form-page similarity.
+using SimilarityFn = std::function<double(size_t, size_t)>;
+
+}  // namespace cafc::cluster
+
+#endif  // CAFC_CLUSTER_TYPES_H_

@@ -1,0 +1,199 @@
+#include "core/cafc.h"
+
+#include "core/centroid_model.h"
+
+namespace cafc {
+namespace {
+
+cluster::SimilarityFn PairwiseSimilarity(const FormPageSet& pages,
+                                         const CafcOptions& options) {
+  return [&pages, options](size_t i, size_t j) {
+    return FormPageSimilarity(pages.page(i), pages.page(j), options.content,
+                              options.weights);
+  };
+}
+
+}  // namespace
+
+cluster::Clustering CafcCWithSeeds(
+    const FormPageSet& pages,
+    const std::vector<std::vector<size_t>>& seed_clusters,
+    const CafcOptions& options, cluster::KMeansStats* stats) {
+  FormPageCentroidModel model(&pages, static_cast<int>(seed_clusters.size()),
+                              options.content, options.weights);
+  return cluster::KMeans(&model, seed_clusters, options.kmeans, stats);
+}
+
+cluster::Clustering CafcC(const FormPageSet& pages, int k,
+                          const CafcOptions& options, Rng* rng,
+                          cluster::KMeansStats* stats) {
+  std::vector<std::vector<size_t>> seeds =
+      cluster::RandomSingletonSeeds(pages.size(), k, rng);
+  return CafcCWithSeeds(pages, seeds, options, stats);
+}
+
+cluster::Clustering CafcCh(const FormPageSet& pages, int k,
+                           const CafcChOptions& options,
+                           CafcChReport* report) {
+  std::vector<HubCluster> all = GenerateHubClusters(pages);
+  size_t total = all.size();
+  std::vector<HubCluster> kept =
+      FilterByCardinality(std::move(all), options.min_hub_cardinality);
+
+  SelectHubClustersOptions select_options;
+  select_options.content = options.cafc.content;
+  select_options.weights = options.cafc.weights;
+  std::vector<HubCluster> seeds =
+      SelectHubClusters(pages, kept, k, select_options);
+
+  std::vector<std::vector<size_t>> seed_members;
+  size_t padded = 0;
+  seed_members.reserve(seeds.size());
+  for (const HubCluster& s : seeds) {
+    if (s.hub_url.rfind("(padding:", 0) == 0) ++padded;
+    seed_members.push_back(s.members);
+  }
+
+  if (report != nullptr) {
+    report->hub_clusters_total = total;
+    report->hub_clusters_kept = kept.size();
+    report->padded_seeds = padded;
+  }
+  return CafcCWithSeeds(pages, seed_members, options.cafc,
+                        report != nullptr ? &report->kmeans : nullptr);
+}
+
+namespace {
+
+/// One 2-means run over `members`; returns the two halves and their mean
+/// intra-cluster similarity (the split quality).
+struct Split {
+  std::vector<size_t> left;
+  std::vector<size_t> right;
+  double cohesion = -1.0;
+};
+
+Split TwoMeans(const FormPageSet& pages, const std::vector<size_t>& members,
+               const CafcOptions& options, Rng* rng) {
+  Split split;
+  if (members.size() < 2) {
+    split.left = members;
+    return split;
+  }
+  // Two distinct random seed pages.
+  size_t a = members[rng->Uniform(members.size())];
+  size_t b = a;
+  while (b == a) b = members[rng->Uniform(members.size())];
+  CentroidPair ca = ComputeCentroid(pages.pages(), {a});
+  CentroidPair cb = ComputeCentroid(pages.pages(), {b});
+
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<size_t> left;
+    std::vector<size_t> right;
+    for (size_t m : members) {
+      double sa = PageCentroidSimilarity(pages.page(m), ca, options.content,
+                                         options.weights);
+      double sb = PageCentroidSimilarity(pages.page(m), cb, options.content,
+                                         options.weights);
+      (sa >= sb ? left : right).push_back(m);
+    }
+    if (left.empty() || right.empty()) {
+      // Degenerate: force a singleton split.
+      left.assign(members.begin(), members.end() - 1);
+      right.assign(members.end() - 1, members.end());
+    }
+    bool stable = left == split.left && right == split.right;
+    split.left = std::move(left);
+    split.right = std::move(right);
+    ca = ComputeCentroid(pages.pages(), split.left);
+    cb = ComputeCentroid(pages.pages(), split.right);
+    if (stable) break;
+  }
+
+  // Cohesion: mean member-to-own-centroid similarity across both halves.
+  double sum = 0.0;
+  for (size_t m : split.left) {
+    sum += PageCentroidSimilarity(pages.page(m), ca, options.content,
+                                  options.weights);
+  }
+  for (size_t m : split.right) {
+    sum += PageCentroidSimilarity(pages.page(m), cb, options.content,
+                                  options.weights);
+  }
+  split.cohesion = sum / static_cast<double>(members.size());
+  return split;
+}
+
+}  // namespace
+
+cluster::Clustering CafcBisecting(const FormPageSet& pages, int k,
+                                  const CafcOptions& options, Rng* rng,
+                                  int trials) {
+  std::vector<std::vector<size_t>> clusters;
+  std::vector<size_t> all(pages.size());
+  for (size_t i = 0; i < pages.size(); ++i) all[i] = i;
+  clusters.push_back(std::move(all));
+
+  while (static_cast<int>(clusters.size()) < k) {
+    // Split the largest cluster that still has >= 2 members.
+    size_t victim = clusters.size();
+    size_t largest = 1;
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      if (clusters[c].size() > largest) {
+        largest = clusters[c].size();
+        victim = c;
+      }
+    }
+    if (victim == clusters.size()) break;  // nothing splittable
+
+    Split best;
+    for (int t = 0; t < trials; ++t) {
+      Split candidate = TwoMeans(pages, clusters[victim], options, rng);
+      if (candidate.cohesion > best.cohesion) best = std::move(candidate);
+    }
+    clusters[victim] = std::move(best.left);
+    clusters.push_back(std::move(best.right));
+  }
+
+  cluster::Clustering result;
+  result.num_clusters = static_cast<int>(clusters.size());
+  result.assignment.assign(pages.size(), -1);
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    for (size_t m : clusters[c]) {
+      result.assignment[m] = static_cast<int>(c);
+    }
+  }
+  return result;
+}
+
+cluster::Clustering CafcHac(const FormPageSet& pages, int k,
+                            const CafcOptions& options,
+                            cluster::Linkage linkage) {
+  return cluster::Hac(pages.size(), PairwiseSimilarity(pages, options), k,
+                      linkage)
+      .clustering;
+}
+
+cluster::Clustering CafcHacWithSeeds(
+    const FormPageSet& pages,
+    const std::vector<std::vector<size_t>>& seed_clusters, int k,
+    const CafcOptions& options, cluster::Linkage linkage) {
+  return cluster::HacFromGroups(pages.size(),
+                                PairwiseSimilarity(pages, options),
+                                seed_clusters, k, linkage)
+      .clustering;
+}
+
+cluster::Clustering HacSeededKMeans(const FormPageSet& pages, int k,
+                                    const CafcOptions& options,
+                                    cluster::KMeansStats* stats) {
+  cluster::Clustering hac = CafcHac(pages, k, options);
+  std::vector<std::vector<size_t>> seeds;
+  seeds.reserve(static_cast<size_t>(hac.num_clusters));
+  for (int c = 0; c < hac.num_clusters; ++c) {
+    seeds.push_back(hac.Members(c));
+  }
+  return CafcCWithSeeds(pages, seeds, options, stats);
+}
+
+}  // namespace cafc

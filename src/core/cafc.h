@@ -1,0 +1,91 @@
+#ifndef CAFC_CORE_CAFC_H_
+#define CAFC_CORE_CAFC_H_
+
+#include <vector>
+
+#include "cluster/hac.h"
+#include "cluster/kmeans.h"
+#include "core/form_page.h"
+#include "core/hub_clusters.h"
+#include "core/select_hub_clusters.h"
+#include "util/rng.h"
+
+namespace cafc {
+
+/// Shared options of the CAFC family.
+struct CafcOptions {
+  ContentConfig content = ContentConfig::kFcPlusPc;
+  SimilarityWeights weights;  ///< Eq. 3 C1/C2; the paper uses 1/1
+  cluster::KMeansOptions kmeans;
+};
+
+/// \brief CAFC-C (Algorithm 1): k-means over the form-page model with
+/// randomly selected singleton seeds.
+cluster::Clustering CafcC(const FormPageSet& pages, int k,
+                          const CafcOptions& options, Rng* rng,
+                          cluster::KMeansStats* stats = nullptr);
+
+/// CAFC-C with caller-provided seed clusters (the k-means phase shared by
+/// CAFC-CH and the HAC-seeded baseline of §4.3).
+cluster::Clustering CafcCWithSeeds(
+    const FormPageSet& pages,
+    const std::vector<std::vector<size_t>>& seed_clusters,
+    const CafcOptions& options, cluster::KMeansStats* stats = nullptr);
+
+/// Options of CAFC-CH (Algorithm 2).
+struct CafcChOptions {
+  CafcOptions cafc;
+  /// Minimum hub-cluster cardinality admitted to seed selection (the
+  /// paper's best setting is 8; Figure 3 sweeps 2..11).
+  size_t min_hub_cardinality = 8;
+};
+
+/// Diagnostics of a CAFC-CH run.
+struct CafcChReport {
+  size_t hub_clusters_total = 0;     ///< distinct co-citation sets
+  size_t hub_clusters_kept = 0;      ///< after the cardinality filter
+  size_t padded_seeds = 0;           ///< singleton seeds added (if any)
+  cluster::KMeansStats kmeans;
+};
+
+/// \brief CAFC-CH (Algorithm 2): derive hub clusters from backlinks, select
+/// the k most distant ones (Algorithm 3), and run the content k-means from
+/// those seeds.
+cluster::Clustering CafcCh(const FormPageSet& pages, int k,
+                           const CafcChOptions& options,
+                           CafcChReport* report = nullptr);
+
+/// \brief Bisecting k-means (Steinbach, Karypis & Kumar — the paper's
+/// citation [31], which advocates it for document clustering): start from
+/// one cluster, repeatedly split the largest cluster with 2-means (best of
+/// `trials` random seed pairs by intra-cluster cohesion) until k clusters
+/// exist.
+cluster::Clustering CafcBisecting(const FormPageSet& pages, int k,
+                                  const CafcOptions& options, Rng* rng,
+                                  int trials = 5);
+
+/// \brief HAC variants of §4.3: run hierarchical agglomerative clustering
+/// with the Eq. 3 pairwise similarity directly to k clusters.
+cluster::Clustering CafcHac(const FormPageSet& pages, int k,
+                            const CafcOptions& options,
+                            cluster::Linkage linkage =
+                                cluster::Linkage::kAverage);
+
+/// \brief HAC with hub-cluster seeding (§4.3, Table 2's CAFC-CH (HAC)):
+/// the selected hub clusters are pre-merged, then agglomeration continues
+/// to k clusters.
+cluster::Clustering CafcHacWithSeeds(
+    const FormPageSet& pages,
+    const std::vector<std::vector<size_t>>& seed_clusters, int k,
+    const CafcOptions& options,
+    cluster::Linkage linkage = cluster::Linkage::kAverage);
+
+/// \brief The §4.3 "HAC-derived seeds for k-means" baseline: run HAC over
+/// all points to k clusters, use the result as k-means seeds.
+cluster::Clustering HacSeededKMeans(const FormPageSet& pages, int k,
+                                    const CafcOptions& options,
+                                    cluster::KMeansStats* stats = nullptr);
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_CAFC_H_

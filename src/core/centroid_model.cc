@@ -1,0 +1,33 @@
+#include "core/centroid_model.h"
+
+#include <cassert>
+
+namespace cafc {
+
+FormPageCentroidModel::FormPageCentroidModel(const FormPageSet* pages, int k,
+                                             ContentConfig config,
+                                             SimilarityWeights weights)
+    : pages_(pages),
+      k_(k),
+      config_(config),
+      weights_(weights),
+      centroids_(static_cast<size_t>(k)) {
+  assert(k > 0);
+}
+
+size_t FormPageCentroidModel::num_points() const { return pages_->size(); }
+
+double FormPageCentroidModel::Similarity(size_t point, int cluster) const {
+  return PageCentroidSimilarity(pages_->page(point),
+                                centroids_[static_cast<size_t>(cluster)],
+                                config_, weights_);
+}
+
+void FormPageCentroidModel::RecomputeCentroid(
+    int cluster, const std::vector<size_t>& members) {
+  if (members.empty()) return;  // keep previous centroid
+  centroids_[static_cast<size_t>(cluster)] =
+      ComputeCentroid(pages_->pages(), members);
+}
+
+}  // namespace cafc

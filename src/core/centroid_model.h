@@ -1,0 +1,39 @@
+#ifndef CAFC_CORE_CENTROID_MODEL_H_
+#define CAFC_CORE_CENTROID_MODEL_H_
+
+#include <vector>
+
+#include "cluster/kmeans.h"
+#include "core/form_page.h"
+
+namespace cafc {
+
+/// \brief Adapts the form-page model to the generic k-means interface:
+/// centroids are (PC, FC) pairs (Eq. 4); point↔centroid similarity is
+/// Eq. 3 under the chosen content configuration.
+class FormPageCentroidModel : public cluster::CentroidModel {
+ public:
+  FormPageCentroidModel(const FormPageSet* pages, int k, ContentConfig config,
+                        SimilarityWeights weights = {});
+
+  size_t num_points() const override;
+  int num_clusters() const override { return k_; }
+  double Similarity(size_t point, int cluster) const override;
+  void RecomputeCentroid(int cluster,
+                         const std::vector<size_t>& members) override;
+
+  const CentroidPair& centroid(int cluster) const {
+    return centroids_[static_cast<size_t>(cluster)];
+  }
+
+ private:
+  const FormPageSet* pages_;  // not owned
+  int k_;
+  ContentConfig config_;
+  SimilarityWeights weights_;
+  std::vector<CentroidPair> centroids_;
+};
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_CENTROID_MODEL_H_

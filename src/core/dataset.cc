@@ -1,0 +1,225 @@
+#include "core/dataset.h"
+
+#include <unordered_set>
+
+#include "forms/form_classifier.h"
+#include "html/dom.h"
+#include "web/url.h"
+
+namespace cafc {
+
+namespace {
+
+/// Fetches up to `max_sources` backlink pages and appends the anchor text
+/// of links targeting the form page (or its root) to the entry's PC terms,
+/// tagged Location::kAnchorText.
+void CollectAnchorText(const web::SyntheticWeb& web,
+                       const text::Analyzer& analyzer, size_t max_sources,
+                       DatasetEntry* entry) {
+  size_t fetched = 0;
+  for (const std::string& hub_url : entry->backlinks) {
+    if (fetched >= max_sources) break;
+    Result<const web::WebPage*> hub = web.Fetch(hub_url);
+    if (!hub.ok()) continue;
+    ++fetched;
+    Result<web::Url> base = web::ParseUrl(hub_url);
+    if (!base.ok()) continue;
+    html::Document doc = html::Parse((*hub)->html);
+    for (const html::Node* anchor : doc.root().FindAll("a")) {
+      Result<web::Url> target =
+          web::ResolveHref(*base, anchor->GetAttr("href"));
+      if (!target.ok()) continue;
+      std::string target_url = target->ToString();
+      if (target_url != entry->doc.url && target_url != entry->root_url) {
+        continue;
+      }
+      for (std::string& term : analyzer.Analyze(anchor->TextContent())) {
+        entry->doc.page_terms.push_back(
+            {std::move(term), vsm::Location::kAnchorText});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<int> Dataset::GoldLabels() const {
+  std::vector<int> gold;
+  gold.reserve(entries.size());
+  for (const DatasetEntry& e : entries) gold.push_back(e.gold);
+  return gold;
+}
+
+Result<Dataset> BuildDataset(const web::SyntheticWeb& web,
+                             const DatasetOptions& options) {
+  Dataset dataset;
+
+  // 1. Crawl.
+  web::Crawler crawler(&web, options.crawler);
+  web::CrawlResult crawl = crawler.Crawl(web.seed_urls());
+  dataset.stats.crawled_pages = crawl.visited.size();
+  dataset.stats.pages_with_forms = crawl.form_page_urls.size();
+  if (crawl.form_page_urls.empty()) {
+    return Status::FailedPrecondition("crawl found no form pages");
+  }
+
+  // 2. Parse + classify each candidate form page.
+  forms::FormPageModelBuilder builder(options.analyzer, options.model);
+  forms::FormClassifier classifier;
+  web::BacklinkIndex backlinks(&web.graph(), options.backlinks);
+
+  std::unordered_set<std::string> kept;
+  for (const std::string& url : crawl.form_page_urls) {
+    Result<const web::WebPage*> page = web.Fetch(url);
+    if (!page.ok()) continue;
+    forms::FormPageDocument doc = builder.Build(url, (*page)->html);
+
+    bool searchable = false;
+    for (const forms::Form& form : doc.forms) {
+      if (classifier.IsSearchable(form)) {
+        searchable = true;
+        break;
+      }
+    }
+    const web::FormPageInfo* info = web.FindFormPage(url);
+    if (!searchable) {
+      if (info != nullptr) ++dataset.stats.classifier_false_negatives;
+      continue;
+    }
+    ++dataset.stats.classified_searchable;
+    if (info == nullptr) {
+      ++dataset.stats.classifier_false_positives;
+      continue;  // searchable by the classifier but outside the gold set
+    }
+    if (!kept.insert(url).second) continue;
+
+    DatasetEntry entry;
+    entry.doc = std::move(doc);
+    entry.labels = forms::ExtractAllLabels(html::Parse((*page)->html));
+    entry.gold = static_cast<int>(info->domain);
+    entry.single_attribute = info->single_attribute;
+    entry.root_url = info->root_url;
+    entry.site = web::SiteOf(url);
+
+    // 3. Backlinks with the paper's root-page fallback (§3.1). Intra-site
+    // backlinks (the site's own navigation) are dropped up front — they say
+    // nothing about the page's topic, and keeping them would mask the
+    // "engine returned no backlinks" condition that triggers the fallback.
+    auto offsite = [&entry](std::vector<std::string> links) {
+      std::erase_if(links, [&entry](const std::string& link) {
+        return web::SiteOf(link) == entry.site;
+      });
+      return links;
+    };
+    entry.backlinks = offsite(backlinks.Backlinks(url));
+    if (entry.backlinks.empty()) {
+      ++dataset.stats.pages_without_backlinks;
+      entry.backlinks = offsite(backlinks.Backlinks(entry.root_url));
+      if (entry.backlinks.empty()) {
+        ++dataset.stats.pages_without_any_backlinks;
+      }
+    }
+
+    // 4. Optional §6 extension: anchor text of the citing hubs.
+    if (options.collect_anchor_text) {
+      CollectAnchorText(web, builder.analyzer(), options.max_anchor_sources,
+                        &entry);
+    }
+    dataset.entries.push_back(std::move(entry));
+  }
+
+  if (dataset.entries.empty()) {
+    return Status::FailedPrecondition(
+        "classifier rejected every candidate form page");
+  }
+  return dataset;
+}
+
+FormPageSet BuildFormPageSet(
+    const Dataset& dataset,
+    const vsm::LocationWeightConfig& location_weights,
+    size_t max_terms_per_vector) {
+  FormPageSet set;
+  set.set_location_weights(location_weights);
+
+  // Per-space document frequencies over the collection (shared term ids).
+  vsm::CorpusStats& pc_stats = *set.mutable_pc_stats();
+  vsm::CorpusStats& fc_stats = *set.mutable_fc_stats();
+  for (const DatasetEntry& e : dataset.entries) {
+    pc_stats.AddDocument(e.doc.page_terms);
+    fc_stats.AddDocument(e.doc.form_terms);
+  }
+
+  vsm::TfIdfWeighter pc_weighter(&pc_stats, location_weights);
+  vsm::TfIdfWeighter fc_weighter(&fc_stats, location_weights);
+
+  std::vector<FormPage>* pages = set.mutable_pages();
+  pages->reserve(dataset.entries.size());
+  for (const DatasetEntry& e : dataset.entries) {
+    FormPage page;
+    page.url = e.doc.url;
+    page.site = e.site;
+    page.backlinks = e.backlinks;
+    page.pc = pc_weighter.Weigh(e.doc.page_terms);
+    page.fc = fc_weighter.Weigh(e.doc.form_terms);
+    if (max_terms_per_vector > 0) {
+      page.pc.KeepTopK(max_terms_per_vector);
+      page.fc.KeepTopK(max_terms_per_vector);
+    }
+    pages->push_back(std::move(page));
+  }
+  return set;
+}
+
+FormPageSet BuildFormPageSetBm25(
+    const Dataset& dataset,
+    const vsm::LocationWeightConfig& location_weights,
+    vsm::Bm25Params params) {
+  FormPageSet set;
+  set.set_location_weights(location_weights);
+
+  vsm::CorpusStats& pc_stats = *set.mutable_pc_stats();
+  vsm::CorpusStats& fc_stats = *set.mutable_fc_stats();
+  double pc_length_sum = 0.0;
+  double fc_length_sum = 0.0;
+  for (const DatasetEntry& e : dataset.entries) {
+    pc_stats.AddDocument(e.doc.page_terms);
+    fc_stats.AddDocument(e.doc.form_terms);
+    pc_length_sum += static_cast<double>(e.doc.page_terms.size());
+    fc_length_sum += static_cast<double>(e.doc.form_terms.size());
+  }
+  double n = static_cast<double>(dataset.entries.size());
+  vsm::Bm25Weighter pc_weighter(&pc_stats, location_weights,
+                                pc_length_sum / n, params);
+  vsm::Bm25Weighter fc_weighter(&fc_stats, location_weights,
+                                fc_length_sum / n, params);
+
+  std::vector<FormPage>* pages = set.mutable_pages();
+  pages->reserve(dataset.entries.size());
+  for (const DatasetEntry& e : dataset.entries) {
+    FormPage page;
+    page.url = e.doc.url;
+    page.site = e.site;
+    page.backlinks = e.backlinks;
+    page.pc = pc_weighter.Weigh(e.doc.page_terms);
+    page.fc = fc_weighter.Weigh(e.doc.form_terms);
+    pages->push_back(std::move(page));
+  }
+  return set;
+}
+
+FormPage WeighNewDocument(const FormPageSet& collection,
+                          const forms::FormPageDocument& doc) {
+  vsm::TfIdfWeighter pc_weighter(&collection.pc_stats(),
+                                 collection.location_weights());
+  vsm::TfIdfWeighter fc_weighter(&collection.fc_stats(),
+                                 collection.location_weights());
+  FormPage page;
+  page.url = doc.url;
+  page.site = web::SiteOf(doc.url);
+  page.pc = pc_weighter.Weigh(doc.page_terms);
+  page.fc = fc_weighter.Weigh(doc.form_terms);
+  return page;
+}
+
+}  // namespace cafc

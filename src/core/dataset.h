@@ -1,0 +1,108 @@
+#ifndef CAFC_CORE_DATASET_H_
+#define CAFC_CORE_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/form_page.h"
+#include "forms/form_page_model.h"
+#include "forms/label_extractor.h"
+#include "text/analyzer.h"
+#include "util/status.h"
+#include "web/backlink_index.h"
+#include "web/crawler.h"
+#include "web/synthesizer.h"
+
+namespace cafc {
+
+/// One gold-labelled form page with its raw (unweighted) located terms and
+/// retrieved backlinks. Kept unweighted so alternative weighting schemes
+/// (§4.4) can be applied without re-crawling.
+struct DatasetEntry {
+  forms::FormPageDocument doc;
+  /// Heuristically extracted per-field labels (input to the schema-based
+  /// baseline; CAFC itself never uses them).
+  std::vector<forms::LabeledField> labels;
+  std::vector<std::string> backlinks;  ///< after root-page fallback
+  std::string site;                    ///< lowercase host
+  std::string root_url;
+  int gold = -1;  ///< domain index (web::Domain cast to int)
+  bool single_attribute = false;
+};
+
+/// Pipeline counters for reporting.
+struct DatasetStats {
+  size_t crawled_pages = 0;
+  size_t pages_with_forms = 0;
+  size_t classified_searchable = 0;
+  /// Classifier errors against the generator's gold standard.
+  size_t classifier_false_positives = 0;  // non-searchable kept
+  size_t classifier_false_negatives = 0;  // gold form pages rejected
+  size_t pages_without_backlinks = 0;     // before root fallback
+  size_t pages_without_any_backlinks = 0; // even after root fallback
+};
+
+/// The assembled experimental data set (§4.1 equivalent).
+struct Dataset {
+  std::vector<DatasetEntry> entries;
+  int num_classes = web::kNumDomains;
+  DatasetStats stats;
+
+  /// Gold labels aligned with `entries`.
+  std::vector<int> GoldLabels() const;
+};
+
+/// Knobs of the end-to-end assembly pipeline.
+struct DatasetOptions {
+  text::AnalyzerOptions analyzer;
+  forms::FormPageModelOptions model;
+  web::CrawlerOptions crawler;
+  web::BacklinkIndexOptions backlinks;
+  /// Future-work extension (paper §6): harvest the anchor text of
+  /// backlinking hubs and add it to the page's PC space tagged
+  /// Location::kAnchorText. Costs one extra fetch per backlink.
+  bool collect_anchor_text = false;
+  /// Cap on backlink pages fetched for anchor text, per form page.
+  size_t max_anchor_sources = 25;
+};
+
+/// \brief Runs the full acquisition pipeline against a synthetic web:
+/// crawl from the seeds, detect forms, keep pages whose forms the generic
+/// classifier deems searchable, attach gold labels, and retrieve backlinks
+/// (with the paper's root-page fallback).
+///
+/// Pages the classifier accepts but that have no gold label (classifier
+/// false positives) are counted and dropped — the paper's §4 input is the
+/// manually verified searchable set.
+Result<Dataset> BuildDataset(const web::SyntheticWeb& web,
+                             const DatasetOptions& options = {});
+
+/// Applies Eq. 1 weighting to a dataset: builds per-space document
+/// frequencies over the collection and produces the weighted FormPageSet.
+/// `location_weights` selects differentiated (default) vs uniform (§4.4).
+/// `max_terms_per_vector` > 0 prunes each PC/FC vector to its top-weighted
+/// terms (index pruning for scale; 0 = keep everything).
+FormPageSet BuildFormPageSet(
+    const Dataset& dataset,
+    const vsm::LocationWeightConfig& location_weights = {},
+    size_t max_terms_per_vector = 0);
+
+/// BM25 variant of BuildFormPageSet (weighting-scheme ablation): same
+/// collection statistics and LOC semantics, Okapi BM25 term weights
+/// instead of Eq. 1. Average document length is computed per space over
+/// the collection.
+FormPageSet BuildFormPageSetBm25(
+    const Dataset& dataset,
+    const vsm::LocationWeightConfig& location_weights = {},
+    vsm::Bm25Params params = {});
+
+/// Weighs a *new* document against an existing collection's statistics
+/// (same term ids, same IDF, same LOC config) — the directory-maintenance
+/// scenario: classify incoming sources without re-clustering. Terms unseen
+/// in the collection are dropped (they carry no usable IDF).
+FormPage WeighNewDocument(const FormPageSet& collection,
+                          const forms::FormPageDocument& doc);
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_DATASET_H_

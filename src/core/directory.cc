@@ -1,0 +1,289 @@
+#include "core/directory.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/dataset.h"
+#include "text/analyzer.h"
+
+namespace cafc {
+namespace {
+
+/// Copies dictionary, stats, and weights of `source` into `target` (term
+/// ids are preserved because the dictionary copy keeps insertion order).
+void CopyCollectionState(const FormPageSet& source, FormPageSet* target) {
+  *target->mutable_dictionary() = source.dictionary();
+  const size_t n_terms = source.dictionary().size();
+  std::vector<size_t> pc_df(n_terms);
+  std::vector<size_t> fc_df(n_terms);
+  for (size_t id = 0; id < n_terms; ++id) {
+    pc_df[id] = source.pc_stats().DocumentFrequency(
+        static_cast<vsm::TermId>(id));
+    fc_df[id] = source.fc_stats().DocumentFrequency(
+        static_cast<vsm::TermId>(id));
+  }
+  target->mutable_pc_stats()->Restore(source.pc_stats().num_documents(),
+                                      std::move(pc_df));
+  target->mutable_fc_stats()->Restore(source.fc_stats().num_documents(),
+                                      std::move(fc_df));
+  target->set_location_weights(source.location_weights());
+}
+
+void WriteVector(const vsm::SparseVector& v, const char* tag,
+                 std::ostream& out) {
+  out << tag << ' ' << v.size() << '\n';
+  for (const vsm::Entry& e : v.entries()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", e.weight);
+    out << e.term << ' ' << buf << '\n';
+  }
+}
+
+Result<vsm::SparseVector> ReadVector(std::istream& in, const char* tag,
+                                     size_t vocabulary_size) {
+  std::string seen_tag;
+  size_t count = 0;
+  if (!(in >> seen_tag >> count) || seen_tag != tag) {
+    return Status::ParseError(std::string("expected vector tag ") + tag);
+  }
+  std::vector<vsm::Entry> entries;
+  entries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t term = 0;
+    double weight = 0.0;
+    if (!(in >> term >> weight)) {
+      return Status::ParseError("truncated vector data");
+    }
+    if (term >= vocabulary_size) {
+      return Status::ParseError("term id out of range");
+    }
+    entries.push_back({static_cast<vsm::TermId>(term), weight});
+  }
+  return vsm::SparseVector::FromUnsorted(std::move(entries));
+}
+
+}  // namespace
+
+DatabaseDirectory DatabaseDirectory::Build(
+    const FormPageSet& pages, const cluster::Clustering& clustering,
+    const std::vector<std::string>& labels) {
+  DatabaseDirectory dir;
+  CopyCollectionState(pages, &dir.collection_);
+  for (int c = 0; c < clustering.num_clusters; ++c) {
+    std::vector<size_t> members = clustering.Members(c);
+    if (members.empty()) continue;
+    DirectoryEntry entry;
+    entry.label = static_cast<size_t>(c) < labels.size()
+                      ? labels[static_cast<size_t>(c)]
+                      : "cluster " + std::to_string(c);
+    entry.centroid = ComputeCentroid(pages.pages(), members);
+    for (size_t m : members) entry.member_urls.push_back(pages.page(m).url);
+    dir.entries_.push_back(std::move(entry));
+  }
+  return dir;
+}
+
+std::vector<std::string> DatabaseDirectory::AutoLabels(
+    const FormPageSet& pages, const cluster::Clustering& clustering,
+    size_t top_terms) {
+  std::vector<std::string> labels;
+  for (int c = 0; c < clustering.num_clusters; ++c) {
+    std::vector<size_t> members = clustering.Members(c);
+    if (members.empty()) {
+      labels.push_back("(empty)");
+      continue;
+    }
+    CentroidPair centroid = ComputeCentroid(pages.pages(), members);
+    vsm::SparseVector combined = centroid.pc;
+    combined.Axpy(1.0, centroid.fc);
+    std::vector<vsm::Entry> entries = combined.entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const vsm::Entry& a, const vsm::Entry& b) {
+                return a.weight > b.weight;
+              });
+    std::string label;
+    for (size_t i = 0; i < entries.size() && i < top_terms; ++i) {
+      if (!label.empty()) label += ", ";
+      label += pages.dictionary().term(entries[i].term);
+    }
+    labels.push_back(label.empty() ? "(empty)" : label);
+  }
+  return labels;
+}
+
+DatabaseDirectory::Classification DatabaseDirectory::ClassifyPage(
+    const FormPage& page, ContentConfig config) const {
+  Classification best;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    double sim = PageCentroidSimilarity(page, entries_[i].centroid, config,
+                                        SimilarityWeights{});
+    if (best.entry == -1 || sim > best.similarity) {
+      best.entry = static_cast<int>(i);
+      best.similarity = sim;
+    }
+  }
+  return best;
+}
+
+DatabaseDirectory::Classification DatabaseDirectory::ClassifyDocument(
+    const forms::FormPageDocument& doc, ContentConfig config) const {
+  return ClassifyPage(WeighNewDocument(collection_, doc), config);
+}
+
+DatabaseDirectory::Classification DatabaseDirectory::AddSource(
+    const forms::FormPageDocument& doc, ContentConfig config) {
+  FormPage page = WeighNewDocument(collection_, doc);
+  Classification verdict = ClassifyPage(page, config);
+  if (verdict.entry < 0) return verdict;
+  DirectoryEntry& entry = entries_[static_cast<size_t>(verdict.entry)];
+  // Running mean: c' = (n*c + v) / (n + 1), per feature space.
+  double n = static_cast<double>(entry.member_urls.size());
+  entry.centroid.pc.Scale(n);
+  entry.centroid.pc.Axpy(1.0, page.pc);
+  entry.centroid.pc.Scale(1.0 / (n + 1.0));
+  entry.centroid.fc.Scale(n);
+  entry.centroid.fc.Axpy(1.0, page.fc);
+  entry.centroid.fc.Scale(1.0 / (n + 1.0));
+  entry.member_urls.push_back(doc.url);
+  return verdict;
+}
+
+std::vector<DatabaseDirectory::SearchHit> DatabaseDirectory::Search(
+    std::string_view query, size_t top_k) const {
+  // The query is a tiny pseudo-document placed in both feature spaces, so
+  // it can match schema-ish terms (FC centroids) and topical terms (PC).
+  text::Analyzer analyzer;
+  forms::FormPageDocument pseudo;
+  for (std::string& term : analyzer.Analyze(query)) {
+    pseudo.page_terms.push_back({term, vsm::Location::kPageBody});
+    pseudo.form_terms.push_back({std::move(term), vsm::Location::kFormText});
+  }
+  FormPage page = WeighNewDocument(collection_, pseudo);
+
+  std::vector<SearchHit> hits;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    double sim = PageCentroidSimilarity(page, entries_[i].centroid,
+                                        ContentConfig::kFcPlusPc);
+    if (sim > 0.0) hits.push_back({static_cast<int>(i), sim});
+  }
+  std::sort(hits.begin(), hits.end(),
+            [](const SearchHit& a, const SearchHit& b) {
+              return a.similarity > b.similarity;
+            });
+  if (hits.size() > top_k) hits.resize(top_k);
+  return hits;
+}
+
+Status DatabaseDirectory::SaveToFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open for writing: " + path);
+
+  out << "CAFC-DIRECTORY 1\n";
+  const vsm::LocationWeightConfig& w = collection_.location_weights();
+  out << "weights " << w.page_body << ' ' << w.page_title << ' '
+      << w.anchor_text << ' ' << w.form_text << ' ' << w.form_option << '\n';
+
+  const vsm::TermDictionary& dict = collection_.dictionary();
+  out << "stats " << collection_.pc_stats().num_documents() << ' '
+      << collection_.fc_stats().num_documents() << ' ' << dict.size()
+      << '\n';
+  for (size_t id = 0; id < dict.size(); ++id) {
+    vsm::TermId term_id = static_cast<vsm::TermId>(id);
+    out << dict.term(term_id) << ' '
+        << collection_.pc_stats().DocumentFrequency(term_id) << ' '
+        << collection_.fc_stats().DocumentFrequency(term_id) << '\n';
+  }
+
+  out << "entries " << entries_.size() << '\n';
+  for (const DirectoryEntry& entry : entries_) {
+    out << "label " << entry.label << '\n';
+    out << "members " << entry.member_urls.size() << '\n';
+    for (const std::string& url : entry.member_urls) out << url << '\n';
+    WriteVector(entry.centroid.pc, "pc", out);
+    WriteVector(entry.centroid.fc, "fc", out);
+  }
+  out.flush();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<DatabaseDirectory> DatabaseDirectory::LoadFromFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open: " + path);
+
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "CAFC-DIRECTORY") {
+    return Status::ParseError("not a CAFC directory file: " + path);
+  }
+  if (version != 1) {
+    return Status::ParseError("unsupported directory version " +
+                              std::to_string(version));
+  }
+
+  DatabaseDirectory dir;
+
+  std::string tag;
+  vsm::LocationWeightConfig weights;
+  if (!(in >> tag >> weights.page_body >> weights.page_title >>
+        weights.anchor_text >> weights.form_text >> weights.form_option) ||
+      tag != "weights") {
+    return Status::ParseError("bad weights section");
+  }
+  dir.collection_.set_location_weights(weights);
+
+  size_t pc_docs = 0;
+  size_t fc_docs = 0;
+  size_t num_terms = 0;
+  if (!(in >> tag >> pc_docs >> fc_docs >> num_terms) || tag != "stats") {
+    return Status::ParseError("bad stats section");
+  }
+  std::vector<size_t> pc_df(num_terms);
+  std::vector<size_t> fc_df(num_terms);
+  vsm::TermDictionary* dict = dir.collection_.mutable_dictionary();
+  for (size_t i = 0; i < num_terms; ++i) {
+    std::string term;
+    if (!(in >> term >> pc_df[i] >> fc_df[i])) {
+      return Status::ParseError("truncated vocabulary");
+    }
+    if (dict->Intern(term) != static_cast<vsm::TermId>(i)) {
+      return Status::ParseError("duplicate term in vocabulary: " + term);
+    }
+  }
+  dir.collection_.mutable_pc_stats()->Restore(pc_docs, std::move(pc_df));
+  dir.collection_.mutable_fc_stats()->Restore(fc_docs, std::move(fc_df));
+
+  size_t num_entries = 0;
+  if (!(in >> tag >> num_entries) || tag != "entries") {
+    return Status::ParseError("bad entries section");
+  }
+  for (size_t e = 0; e < num_entries; ++e) {
+    DirectoryEntry entry;
+    if (!(in >> tag) || tag != "label") {
+      return Status::ParseError("bad entry label");
+    }
+    std::getline(in >> std::ws, entry.label);
+    size_t members = 0;
+    if (!(in >> tag >> members) || tag != "members") {
+      return Status::ParseError("bad member count");
+    }
+    for (size_t m = 0; m < members; ++m) {
+      std::string url;
+      if (!(in >> url)) return Status::ParseError("truncated member list");
+      entry.member_urls.push_back(std::move(url));
+    }
+    Result<vsm::SparseVector> pc = ReadVector(in, "pc", num_terms);
+    if (!pc.ok()) return pc.status();
+    Result<vsm::SparseVector> fc = ReadVector(in, "fc", num_terms);
+    if (!fc.ok()) return fc.status();
+    entry.centroid.pc = std::move(pc).value();
+    entry.centroid.fc = std::move(fc).value();
+    dir.entries_.push_back(std::move(entry));
+  }
+  return dir;
+}
+
+}  // namespace cafc

@@ -1,0 +1,107 @@
+#ifndef CAFC_CORE_DIRECTORY_H_
+#define CAFC_CORE_DIRECTORY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/types.h"
+#include "core/form_page.h"
+#include "forms/form_page_model.h"
+#include "util/status.h"
+
+namespace cafc {
+
+/// One section of a hidden-web database directory.
+struct DirectoryEntry {
+  std::string label;                     ///< human-readable section name
+  CentroidPair centroid;                 ///< Eq. 4 centroid of the members
+  std::vector<std::string> member_urls;  ///< databases filed here
+};
+
+/// \brief A persisted hidden-web database directory — the application the
+/// paper builds toward (§1, §5): clusters labeled and frozen so that new
+/// sources can be classified into them without re-clustering.
+///
+/// The directory owns the term dictionary, the per-space IDF statistics,
+/// and the LOC weight configuration of the collection it was built from,
+/// so `Classify` reproduces the training-time weighting for any incoming
+/// document.
+class DatabaseDirectory {
+ public:
+  DatabaseDirectory() = default;
+  DatabaseDirectory(DatabaseDirectory&&) = default;
+  DatabaseDirectory& operator=(DatabaseDirectory&&) = default;
+
+  /// Builds a directory from a clustered collection. `labels[c]` names
+  /// cluster c; pass AutoLabels(...) when no gold names exist. Empty
+  /// clusters are dropped.
+  static DatabaseDirectory Build(const FormPageSet& pages,
+                                 const cluster::Clustering& clustering,
+                                 const std::vector<std::string>& labels);
+
+  /// Generates a label for every cluster from the `top_terms` strongest
+  /// centroid terms (PC + FC combined), e.g. "job, career, employ".
+  static std::vector<std::string> AutoLabels(
+      const FormPageSet& pages, const cluster::Clustering& clustering,
+      size_t top_terms = 3);
+
+  const std::vector<DirectoryEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Classification verdict for an incoming source.
+  struct Classification {
+    int entry = -1;           ///< index into entries(), -1 when empty
+    double similarity = 0.0;  ///< Eq. 3 similarity to the winning centroid
+  };
+
+  /// Files a weighted page into the best-matching section.
+  Classification ClassifyPage(const FormPage& page,
+                              ContentConfig config =
+                                  ContentConfig::kFcPlusPc) const;
+
+  /// Files a raw form-page document: weighs it against the directory's
+  /// collection statistics, then classifies.
+  Classification ClassifyDocument(const forms::FormPageDocument& doc,
+                                  ContentConfig config =
+                                      ContentConfig::kFcPlusPc) const;
+
+  /// Incremental maintenance: files `doc` into its best-matching section,
+  /// updates that section's centroid to the running mean including the new
+  /// source, and appends the URL to its member list. Collection IDF
+  /// statistics stay frozen (refresh them by rebuilding periodically — the
+  /// standard trade-off for online directory maintenance). Returns the
+  /// classification used for filing; entry is -1 (and nothing changes) on
+  /// an empty directory.
+  Classification AddSource(const forms::FormPageDocument& doc,
+                           ContentConfig config = ContentConfig::kFcPlusPc);
+
+  /// A ranked hit of a keyword search over the directory.
+  struct SearchHit {
+    int entry = -1;
+    double similarity = 0.0;
+  };
+
+  /// Keyword search over the directory sections (the §6 "query-based
+  /// interface for exploring the resulting clusters"): the query is
+  /// analyzed and weighed against the collection statistics, then scored
+  /// against every entry centroid. Returns up to `top_k` hits with
+  /// positive similarity, best first.
+  std::vector<SearchHit> Search(std::string_view query,
+                                size_t top_k = 5) const;
+
+  /// Serializes to a line-oriented text file. The format is versioned and
+  /// self-contained (vocabulary, IDF statistics, weights, centroids).
+  Status SaveToFile(const std::string& path) const;
+
+  /// Loads a directory previously written by SaveToFile.
+  static Result<DatabaseDirectory> LoadFromFile(const std::string& path);
+
+ private:
+  FormPageSet collection_;  // dictionary + stats + weights; pages empty
+  std::vector<DirectoryEntry> entries_;
+};
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_DIRECTORY_H_

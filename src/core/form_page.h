@@ -1,0 +1,114 @@
+#ifndef CAFC_CORE_FORM_PAGE_H_
+#define CAFC_CORE_FORM_PAGE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vsm/sparse_vector.h"
+#include "vsm/term_dictionary.h"
+#include "vsm/weighting.h"
+
+namespace cafc {
+
+/// Which feature spaces participate in the similarity (the FC / PC / FC+PC
+/// configurations of §4).
+enum class ContentConfig {
+  kFcOnly,
+  kPcOnly,
+  kFcPlusPc,
+};
+
+/// Human-readable name for a configuration ("FC", "PC", "FC+PC").
+std::string_view ContentConfigName(ContentConfig config);
+
+/// The C1/C2 weights of Eq. 3. The paper uses C1 = C2 = 1.
+struct SimilarityWeights {
+  double page = 1.0;  ///< C1, weight of the PC cosine
+  double form = 1.0;  ///< C2, weight of the FC cosine
+};
+
+/// \brief The paper's form-page object FP(Backlink, PC, FC) in its final,
+/// weighted form: two TF-IDF-weighted sparse vectors plus backlink URLs.
+struct FormPage {
+  std::string url;
+  std::string site;  ///< lowercase host (intra-site hub filtering)
+  std::vector<std::string> backlinks;
+  vsm::SparseVector pc;
+  vsm::SparseVector fc;
+};
+
+/// A (PC, FC) pair — the centroid representation of Eq. 4.
+struct CentroidPair {
+  vsm::SparseVector pc;
+  vsm::SparseVector fc;
+};
+
+/// \brief An immutable weighted collection of form pages sharing one term
+/// dictionary and one pair of per-space corpus statistics.
+///
+/// Produced by `BuildFormPageSet`; consumed by CAFC-C / CAFC-CH.
+class FormPageSet {
+ public:
+  FormPageSet()
+      : dictionary_(std::make_unique<vsm::TermDictionary>()),
+        pc_stats_(std::make_unique<vsm::CorpusStats>(dictionary_.get())),
+        fc_stats_(std::make_unique<vsm::CorpusStats>(dictionary_.get())) {}
+  FormPageSet(FormPageSet&&) = default;
+  FormPageSet& operator=(FormPageSet&&) = default;
+
+  const std::vector<FormPage>& pages() const { return pages_; }
+  size_t size() const { return pages_.size(); }
+  const FormPage& page(size_t i) const { return pages_[i]; }
+
+  const vsm::TermDictionary& dictionary() const { return *dictionary_; }
+  /// Collection statistics of the PC / FC spaces (IDF source); retained so
+  /// that *new* documents can be weighed consistently against this
+  /// collection (directory-maintenance use case).
+  const vsm::CorpusStats& pc_stats() const { return *pc_stats_; }
+  const vsm::CorpusStats& fc_stats() const { return *fc_stats_; }
+  /// LOC weight configuration the vectors were built with.
+  const vsm::LocationWeightConfig& location_weights() const {
+    return location_weights_;
+  }
+
+  /// Mutable access for the builder.
+  std::vector<FormPage>* mutable_pages() { return &pages_; }
+  vsm::TermDictionary* mutable_dictionary() { return dictionary_.get(); }
+  vsm::CorpusStats* mutable_pc_stats() { return pc_stats_.get(); }
+  vsm::CorpusStats* mutable_fc_stats() { return fc_stats_.get(); }
+  void set_location_weights(const vsm::LocationWeightConfig& weights) {
+    location_weights_ = weights;
+  }
+
+ private:
+  std::unique_ptr<vsm::TermDictionary> dictionary_;
+  std::unique_ptr<vsm::CorpusStats> pc_stats_;
+  std::unique_ptr<vsm::CorpusStats> fc_stats_;
+  vsm::LocationWeightConfig location_weights_;
+  std::vector<FormPage> pages_;
+};
+
+/// Eq. 3: weighted average of per-space cosines. Under kFcOnly / kPcOnly
+/// the other space is ignored entirely.
+double FormPageSimilarity(const FormPage& a, const FormPage& b,
+                          ContentConfig config,
+                          const SimilarityWeights& weights = {});
+
+/// Similarity between a form page and a centroid pair (used by k-means).
+double PageCentroidSimilarity(const FormPage& page, const CentroidPair& c,
+                              ContentConfig config,
+                              const SimilarityWeights& weights = {});
+
+/// Similarity between two centroid pairs (used by hub-cluster selection).
+double CentroidSimilarity(const CentroidPair& a, const CentroidPair& b,
+                          ContentConfig config,
+                          const SimilarityWeights& weights = {});
+
+/// Eq. 4: mean of members' PC and FC vectors.
+CentroidPair ComputeCentroid(const std::vector<FormPage>& pages,
+                             const std::vector<size_t>& members);
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_FORM_PAGE_H_

@@ -1,0 +1,59 @@
+#include "core/hub_clusters.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "web/url.h"
+
+namespace cafc {
+
+std::vector<HubCluster> GenerateHubClusters(const FormPageSet& pages) {
+  // hub URL → member indices.
+  std::unordered_map<std::string, std::vector<size_t>> by_hub;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    const FormPage& page = pages.page(i);
+    for (const std::string& hub : page.backlinks) {
+      // Intra-site filter: hubs on the page's own host are navigation, not
+      // endorsement.
+      if (web::SiteOf(hub) == page.site) continue;
+      by_hub[hub].push_back(i);
+    }
+  }
+
+  // Deduplicate identical member sets (the paper counts *distinct* co-cited
+  // sets). std::map keyed by the sorted member vector gives a deterministic
+  // order for downstream algorithms.
+  std::map<std::vector<size_t>, std::string> distinct;
+  for (auto& [hub, members] : by_hub) {
+    std::sort(members.begin(), members.end());
+    members.erase(std::unique(members.begin(), members.end()), members.end());
+    auto it = distinct.find(members);
+    if (it == distinct.end()) {
+      distinct.emplace(members, hub);
+    } else if (hub < it->second) {
+      it->second = hub;  // deterministic representative
+    }
+  }
+
+  std::vector<HubCluster> clusters;
+  clusters.reserve(distinct.size());
+  for (auto& [members, hub] : distinct) {
+    clusters.push_back(HubCluster{hub, members});
+  }
+  return clusters;
+}
+
+std::vector<HubCluster> FilterByCardinality(std::vector<HubCluster> clusters,
+                                            size_t min_cardinality) {
+  clusters.erase(
+      std::remove_if(clusters.begin(), clusters.end(),
+                     [min_cardinality](const HubCluster& c) {
+                       return c.cardinality() < min_cardinality;
+                     }),
+      clusters.end());
+  return clusters;
+}
+
+}  // namespace cafc

@@ -1,0 +1,36 @@
+#ifndef CAFC_CORE_HUB_CLUSTERS_H_
+#define CAFC_CORE_HUB_CLUSTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/form_page.h"
+
+namespace cafc {
+
+/// \brief A hub cluster: the set of form pages (indices into a FormPageSet)
+/// co-cited by one hub (§3.1).
+struct HubCluster {
+  /// A hub URL that produced this co-citation set (representative; several
+  /// hubs may induce the same set — sets are deduplicated).
+  std::string hub_url;
+  /// Sorted, unique member indices.
+  std::vector<size_t> members;
+
+  size_t cardinality() const { return members.size(); }
+};
+
+/// \brief Builds hub clusters from the pages' retrieved backlinks:
+/// inverts page→backlink into hub→pages, drops intra-site hubs (a hub on
+/// the same host as the page it cites "does not add much information",
+/// §3.3), and deduplicates identical co-citation sets.
+std::vector<HubCluster> GenerateHubClusters(const FormPageSet& pages);
+
+/// Keeps clusters with cardinality >= `min_cardinality` (the paper's
+/// small-cluster elimination; Figure 3 sweeps this threshold).
+std::vector<HubCluster> FilterByCardinality(std::vector<HubCluster> clusters,
+                                            size_t min_cardinality);
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_HUB_CLUSTERS_H_

@@ -1,0 +1,38 @@
+#include "core/hub_quality.h"
+
+#include <algorithm>
+
+namespace cafc {
+
+double HubClusterCohesion(const FormPageSet& pages, const HubCluster& cluster,
+                          const HubQualityOptions& options) {
+  const std::vector<size_t>& members = cluster.members;
+  if (members.size() < 2) return 0.0;
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      sum += FormPageSimilarity(pages.page(members[i]),
+                                pages.page(members[j]), options.content,
+                                options.weights);
+      ++pairs;
+    }
+  }
+  return sum / static_cast<double>(pairs);
+}
+
+std::vector<HubCluster> FilterByCohesion(const FormPageSet& pages,
+                                         std::vector<HubCluster> clusters,
+                                         double min_cohesion,
+                                         const HubQualityOptions& options) {
+  clusters.erase(
+      std::remove_if(clusters.begin(), clusters.end(),
+                     [&pages, min_cohesion, &options](const HubCluster& c) {
+                       return HubClusterCohesion(pages, c, options) <
+                              min_cohesion;
+                     }),
+      clusters.end());
+  return clusters;
+}
+
+}  // namespace cafc

@@ -1,0 +1,38 @@
+#ifndef CAFC_CORE_HUB_QUALITY_H_
+#define CAFC_CORE_HUB_QUALITY_H_
+
+#include <vector>
+
+#include "core/form_page.h"
+#include "core/hub_clusters.h"
+
+namespace cafc {
+
+/// Options for content-reinforced hub-quality scoring.
+struct HubQualityOptions {
+  ContentConfig content = ContentConfig::kFcPlusPc;
+  SimilarityWeights weights;
+};
+
+/// \brief Content-cohesion score of a hub cluster in [0, 1]: the mean
+/// pairwise Eq. 3 similarity of its members.
+///
+/// This operationalizes the paper's §6 future-work idea of using "the
+/// quality of hub pages": a good hub co-cites databases that also *look*
+/// alike; a directory that spans many domains scores low. Singleton
+/// clusters score 0 — one page is no evidence of anything (mirroring the
+/// cardinality argument of §3.3).
+double HubClusterCohesion(const FormPageSet& pages, const HubCluster& cluster,
+                          const HubQualityOptions& options = {});
+
+/// Keeps clusters whose cohesion is at least `min_cohesion`. An
+/// alternative (or complement) to the cardinality filter: instead of
+/// assuming small = unreliable and large = heterogeneous, measure
+/// heterogeneity directly.
+std::vector<HubCluster> FilterByCohesion(
+    const FormPageSet& pages, std::vector<HubCluster> clusters,
+    double min_cohesion, const HubQualityOptions& options = {});
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_HUB_QUALITY_H_

@@ -1,0 +1,64 @@
+#include "core/schema_baseline.h"
+
+#include <string>
+
+#include "util/string_util.h"
+#include "web/url.h"
+
+namespace cafc {
+namespace {
+
+/// Analyzed terms of one page's extracted schema.
+std::vector<vsm::LocatedTerm> SchemaTerms(
+    const DatasetEntry& entry, const text::Analyzer& analyzer,
+    const SchemaBaselineOptions& options) {
+  std::vector<vsm::LocatedTerm> terms;
+  for (const forms::LabeledField& field : entry.labels) {
+    for (std::string& term : analyzer.Analyze(field.label)) {
+      terms.push_back({std::move(term), vsm::Location::kFormText});
+    }
+    if (options.include_field_names) {
+      // "job_category" / "pickup-location" → "job category" ...
+      std::string spaced = field.field_name;
+      for (char& c : spaced) {
+        if (c == '_' || c == '-' || c == '.') c = ' ';
+      }
+      for (std::string& term : analyzer.Analyze(spaced)) {
+        terms.push_back({std::move(term), vsm::Location::kFormText});
+      }
+    }
+  }
+  return terms;
+}
+
+}  // namespace
+
+FormPageSet BuildSchemaPageSet(const Dataset& dataset,
+                               const SchemaBaselineOptions& options) {
+  text::Analyzer analyzer(options.analyzer);
+  FormPageSet set;
+
+  std::vector<std::vector<vsm::LocatedTerm>> docs;
+  docs.reserve(dataset.entries.size());
+  vsm::CorpusStats& stats = *set.mutable_fc_stats();
+  for (const DatasetEntry& e : dataset.entries) {
+    docs.push_back(SchemaTerms(e, analyzer, options));
+    stats.AddDocument(docs.back());
+  }
+
+  vsm::TfIdfWeighter weighter(&stats, vsm::LocationWeightConfig::Uniform());
+  std::vector<FormPage>* pages = set.mutable_pages();
+  pages->reserve(dataset.entries.size());
+  for (size_t i = 0; i < dataset.entries.size(); ++i) {
+    FormPage page;
+    page.url = dataset.entries[i].doc.url;
+    page.site = dataset.entries[i].site;
+    page.backlinks = dataset.entries[i].backlinks;
+    page.fc = weighter.Weigh(docs[i]);
+    // PC intentionally empty: the baseline sees only the schema.
+    pages->push_back(std::move(page));
+  }
+  return set;
+}
+
+}  // namespace cafc

@@ -1,0 +1,39 @@
+#ifndef CAFC_CORE_SCHEMA_BASELINE_H_
+#define CAFC_CORE_SCHEMA_BASELINE_H_
+
+#include "core/dataset.h"
+#include "core/form_page.h"
+#include "text/analyzer.h"
+
+namespace cafc {
+
+/// Options of the schema-based baseline.
+struct SchemaBaselineOptions {
+  /// Also tokenize field `name` attributes ("job_category" → job category)
+  /// as a fallback signal when no label was extracted. He et al. work from
+  /// extracted interface schemas, which in practice include such hints.
+  bool include_field_names = true;
+  text::AnalyzerOptions analyzer;
+};
+
+/// \brief The pre-query baseline the paper compares against: He, Tao &
+/// Chang (CIKM'04) organize sources by clustering their *query schemas* —
+/// the extracted attribute labels — instead of the full form context.
+///
+/// This builder represents each form page solely by the bag of terms of
+/// its heuristically extracted labels (see forms/label_extractor.h),
+/// TF-IDF weighted over the collection, stored in the FC slot of a
+/// FormPageSet (PC is left empty). Cluster it with
+/// `CafcC(..., {.content = ContentConfig::kFcOnly}, ...)` to get the
+/// baseline; the same clustering machinery is reused so the comparison
+/// isolates the *representation*.
+///
+/// Expected behaviour (the paper's core argument): competitive on clean
+/// multi-attribute forms, but brittle — single-attribute keyword forms
+/// have no descriptive labels at all and end up with (near-)empty vectors.
+FormPageSet BuildSchemaPageSet(const Dataset& dataset,
+                               const SchemaBaselineOptions& options = {});
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_SCHEMA_BASELINE_H_

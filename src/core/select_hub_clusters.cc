@@ -1,0 +1,138 @@
+#include "core/select_hub_clusters.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <unordered_set>
+
+namespace cafc {
+namespace {
+
+/// Greedy farthest-point selection over a distance matrix: start from the
+/// most distant pair, then repeatedly add the item maximizing the summed
+/// distance to the selected set. Returns indices into the matrix.
+std::vector<size_t> FarthestPointOrder(
+    const std::vector<std::vector<double>>& distance, size_t k) {
+  const size_t n = distance.size();
+  std::vector<size_t> selected;
+  if (n == 0 || k == 0) return selected;
+  if (n == 1) return {0};
+
+  // Most distant pair.
+  size_t best_i = 0;
+  size_t best_j = 1;
+  double best = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (distance[i][j] > best) {
+        best = distance[i][j];
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  selected.push_back(best_i);
+  if (k >= 2) selected.push_back(best_j);
+
+  std::vector<bool> in_set(n, false);
+  in_set[best_i] = in_set[best_j] = true;
+  // Summed distance from each candidate to the selected set.
+  std::vector<double> sum_dist(n, 0.0);
+  for (size_t x = 0; x < n; ++x) {
+    sum_dist[x] = distance[x][best_i] + distance[x][best_j];
+  }
+  while (selected.size() < k && selected.size() < n) {
+    size_t best_x = 0;
+    double best_sum = -std::numeric_limits<double>::infinity();
+    for (size_t x = 0; x < n; ++x) {
+      if (in_set[x]) continue;
+      if (sum_dist[x] > best_sum) {
+        best_sum = sum_dist[x];
+        best_x = x;
+      }
+    }
+    selected.push_back(best_x);
+    in_set[best_x] = true;
+    for (size_t x = 0; x < n; ++x) sum_dist[x] += distance[x][best_x];
+  }
+  return selected;
+}
+
+}  // namespace
+
+std::vector<HubCluster> SelectHubClusters(
+    const FormPageSet& pages, const std::vector<HubCluster>& hub_clusters,
+    int k, const SelectHubClustersOptions& options) {
+  assert(k > 0);
+  const size_t want = static_cast<size_t>(k);
+
+  // Centroids of every candidate hub cluster.
+  std::vector<CentroidPair> centroids;
+  centroids.reserve(hub_clusters.size());
+  for (const HubCluster& hc : hub_clusters) {
+    centroids.push_back(ComputeCentroid(pages.pages(), hc.members));
+  }
+
+  // Pairwise distances (line 3 of Algorithm 3).
+  const size_t n = centroids.size();
+  std::vector<std::vector<double>> distance(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double d = 1.0 - CentroidSimilarity(centroids[i], centroids[j],
+                                          options.content, options.weights);
+      distance[i][j] = distance[j][i] = d;
+    }
+  }
+
+  std::vector<HubCluster> seeds;
+  for (size_t idx : FarthestPointOrder(distance, want)) {
+    seeds.push_back(hub_clusters[idx]);
+  }
+
+  if (seeds.size() >= want || pages.size() == 0) return seeds;
+
+  // Padding: fewer hub clusters than k. Extend with singleton clusters of
+  // the pages farthest (summed distance) from the current seeds.
+  std::vector<CentroidPair> seed_centroids;
+  for (const HubCluster& s : seeds) {
+    seed_centroids.push_back(ComputeCentroid(pages.pages(), s.members));
+  }
+  std::unordered_set<size_t> used;
+  for (const HubCluster& s : seeds) {
+    used.insert(s.members.begin(), s.members.end());
+  }
+  std::vector<double> sum_dist(pages.size(), 0.0);
+  auto page_distance = [&](size_t p, const CentroidPair& c) {
+    return 1.0 - PageCentroidSimilarity(pages.page(p), c, options.content,
+                                        options.weights);
+  };
+  for (size_t p = 0; p < pages.size(); ++p) {
+    for (const CentroidPair& c : seed_centroids) {
+      sum_dist[p] += page_distance(p, c);
+    }
+  }
+  while (seeds.size() < want && used.size() < pages.size()) {
+    size_t best_p = pages.size();
+    double best_sum = -std::numeric_limits<double>::infinity();
+    for (size_t p = 0; p < pages.size(); ++p) {
+      if (used.contains(p)) continue;
+      if (sum_dist[p] > best_sum) {
+        best_sum = sum_dist[p];
+        best_p = p;
+      }
+    }
+    if (best_p == pages.size()) break;
+    used.insert(best_p);
+    HubCluster singleton;
+    singleton.hub_url = "(padding:" + pages.page(best_p).url + ")";
+    singleton.members = {best_p};
+    CentroidPair c = ComputeCentroid(pages.pages(), singleton.members);
+    for (size_t p = 0; p < pages.size(); ++p) {
+      sum_dist[p] += page_distance(p, c);
+    }
+    seeds.push_back(std::move(singleton));
+  }
+  return seeds;
+}
+
+}  // namespace cafc

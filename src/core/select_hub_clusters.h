@@ -1,0 +1,35 @@
+#ifndef CAFC_CORE_SELECT_HUB_CLUSTERS_H_
+#define CAFC_CORE_SELECT_HUB_CLUSTERS_H_
+
+#include <vector>
+
+#include "core/form_page.h"
+#include "core/hub_clusters.h"
+
+namespace cafc {
+
+/// Options for the Algorithm-3 greedy selection.
+struct SelectHubClustersOptions {
+  ContentConfig content = ContentConfig::kFcPlusPc;
+  SimilarityWeights weights;
+};
+
+/// \brief Algorithm 3: selects the k most mutually distant hub clusters as
+/// k-means seeds.
+///
+/// Distances are 1 - Eq.3 similarity between cluster centroids. The two
+/// most distant clusters seed the selection; each following pick maximizes
+/// the sum of distances to the already-selected set (farthest-point
+/// heuristic).
+///
+/// If fewer than k hub clusters are available, the selection is padded with
+/// singleton clusters of the individual form pages farthest from the
+/// selected seeds, so the caller always gets exactly k seeds (min(k, n)
+/// when the page set itself is tiny).
+std::vector<HubCluster> SelectHubClusters(
+    const FormPageSet& pages, const std::vector<HubCluster>& hub_clusters,
+    int k, const SelectHubClustersOptions& options = {});
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_SELECT_HUB_CLUSTERS_H_

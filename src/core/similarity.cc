@@ -1,0 +1,89 @@
+#include "core/form_page.h"
+
+namespace cafc {
+namespace {
+
+/// Shared Eq. 3 kernel over the two per-space cosines.
+double Combine(double pc_cos, double fc_cos, ContentConfig config,
+               const SimilarityWeights& weights) {
+  switch (config) {
+    case ContentConfig::kFcOnly:
+      return fc_cos;
+    case ContentConfig::kPcOnly:
+      return pc_cos;
+    case ContentConfig::kFcPlusPc: {
+      double denom = weights.page + weights.form;
+      if (denom == 0.0) return 0.0;
+      return (weights.page * pc_cos + weights.form * fc_cos) / denom;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::string_view ContentConfigName(ContentConfig config) {
+  switch (config) {
+    case ContentConfig::kFcOnly:
+      return "FC";
+    case ContentConfig::kPcOnly:
+      return "PC";
+    case ContentConfig::kFcPlusPc:
+      return "FC+PC";
+  }
+  return "?";
+}
+
+double FormPageSimilarity(const FormPage& a, const FormPage& b,
+                          ContentConfig config,
+                          const SimilarityWeights& weights) {
+  double pc_cos = config == ContentConfig::kFcOnly
+                      ? 0.0
+                      : vsm::CosineSimilarity(a.pc, b.pc);
+  double fc_cos = config == ContentConfig::kPcOnly
+                      ? 0.0
+                      : vsm::CosineSimilarity(a.fc, b.fc);
+  return Combine(pc_cos, fc_cos, config, weights);
+}
+
+double PageCentroidSimilarity(const FormPage& page, const CentroidPair& c,
+                              ContentConfig config,
+                              const SimilarityWeights& weights) {
+  double pc_cos = config == ContentConfig::kFcOnly
+                      ? 0.0
+                      : vsm::CosineSimilarity(page.pc, c.pc);
+  double fc_cos = config == ContentConfig::kPcOnly
+                      ? 0.0
+                      : vsm::CosineSimilarity(page.fc, c.fc);
+  return Combine(pc_cos, fc_cos, config, weights);
+}
+
+double CentroidSimilarity(const CentroidPair& a, const CentroidPair& b,
+                          ContentConfig config,
+                          const SimilarityWeights& weights) {
+  double pc_cos = config == ContentConfig::kFcOnly
+                      ? 0.0
+                      : vsm::CosineSimilarity(a.pc, b.pc);
+  double fc_cos = config == ContentConfig::kPcOnly
+                      ? 0.0
+                      : vsm::CosineSimilarity(a.fc, b.fc);
+  return Combine(pc_cos, fc_cos, config, weights);
+}
+
+CentroidPair ComputeCentroid(const std::vector<FormPage>& pages,
+                             const std::vector<size_t>& members) {
+  std::vector<const vsm::SparseVector*> pcs;
+  std::vector<const vsm::SparseVector*> fcs;
+  pcs.reserve(members.size());
+  fcs.reserve(members.size());
+  for (size_t m : members) {
+    pcs.push_back(&pages[m].pc);
+    fcs.push_back(&pages[m].fc);
+  }
+  CentroidPair out;
+  out.pc = vsm::Centroid(pcs);
+  out.fc = vsm::Centroid(fcs);
+  return out;
+}
+
+}  // namespace cafc

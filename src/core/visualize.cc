@@ -1,0 +1,70 @@
+#include "core/visualize.h"
+
+#include "util/string_util.h"
+
+namespace cafc {
+namespace {
+
+/// DOT string literal: escape quotes and backslashes.
+std::string Quote(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string ExportClusteringToDot(const FormPageSet& pages,
+                                  const cluster::Clustering& clustering,
+                                  const std::vector<std::string>& labels,
+                                  const DotExportOptions& options) {
+  std::string dot = "graph cafc_clusters {\n";
+  dot += "  graph [overlap=false, splines=true];\n";
+  dot += "  node [fontsize=9];\n";
+
+  for (int c = 0; c < clustering.num_clusters; ++c) {
+    std::vector<size_t> members = clustering.Members(c);
+    if (members.empty()) continue;
+    CentroidPair centroid = ComputeCentroid(pages.pages(), members);
+
+    std::string hub_id = "hub" + std::to_string(c);
+    std::string label = static_cast<size_t>(c) < labels.size()
+                            ? labels[static_cast<size_t>(c)]
+                            : "cluster " + std::to_string(c);
+    dot += "  subgraph cluster_" + std::to_string(c) + " {\n";
+    dot += "    label=" + Quote(label) + ";\n";
+    dot += "    " + hub_id + " [shape=box, style=bold, label=" +
+           Quote(label + "\\n(" + std::to_string(members.size()) +
+                 " databases)") +
+           "];\n";
+    size_t drawn = 0;
+    for (size_t m : members) {
+      if (options.max_members_per_cluster != 0 &&
+          drawn >= options.max_members_per_cluster) {
+        dot += "    more" + std::to_string(c) +
+               " [shape=plaintext, label=" +
+               Quote("... +" + std::to_string(members.size() - drawn)) +
+               "];\n";
+        break;
+      }
+      double sim = PageCentroidSimilarity(pages.page(m), centroid,
+                                          options.content);
+      if (sim < options.min_edge_similarity) continue;
+      std::string node_id = "p" + std::to_string(m);
+      dot += "    " + node_id + " [label=" + Quote(pages.page(m).site) +
+             "];\n";
+      dot += "    " + hub_id + " -- " + node_id + " [penwidth=" +
+             FormatDouble(0.5 + 3.0 * sim, 2) + "];\n";
+      ++drawn;
+    }
+    dot += "  }\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+}  // namespace cafc

@@ -1,0 +1,37 @@
+#ifndef CAFC_CORE_VISUALIZE_H_
+#define CAFC_CORE_VISUALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+#include "core/form_page.h"
+
+namespace cafc {
+
+/// Options for the GraphViz export.
+struct DotExportOptions {
+  /// Cap members drawn per cluster (0 = all). Directories with hundreds of
+  /// nodes render poorly; the cap keeps the graph legible.
+  size_t max_members_per_cluster = 12;
+  /// Draw an edge between a member and its cluster hub node only when the
+  /// Eq. 3 similarity to the centroid is at least this value (0 = always).
+  double min_edge_similarity = 0.0;
+  ContentConfig content = ContentConfig::kFcPlusPc;
+};
+
+/// \brief Renders a clustering as a GraphViz DOT document — the paper's §6
+/// "visual interfaces for exploring the resulting clusters".
+///
+/// Layout: one subgraph cluster per entry; a central label node carries
+/// `labels[c]`; member nodes show the page host and connect to the label
+/// node with edges weighted by their centroid similarity. Feed the output
+/// to `dot -Tsvg` / `neato`.
+std::string ExportClusteringToDot(const FormPageSet& pages,
+                                  const cluster::Clustering& clustering,
+                                  const std::vector<std::string>& labels,
+                                  const DotExportOptions& options = {});
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_VISUALIZE_H_

@@ -1,0 +1,269 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace cafc::eval {
+
+ContingencyTable::ContingencyTable(const std::vector<int>& gold,
+                                   int num_classes,
+                                   const cluster::Clustering& clustering)
+    : num_classes_(num_classes), num_clusters_(clustering.num_clusters) {
+  assert(gold.size() == clustering.assignment.size());
+  cells_.assign(
+      static_cast<size_t>(num_classes_) * static_cast<size_t>(num_clusters_),
+      0);
+  class_size_.assign(static_cast<size_t>(num_classes_), 0);
+  cluster_size_.assign(static_cast<size_t>(num_clusters_), 0);
+  for (size_t p = 0; p < gold.size(); ++p) {
+    int clus = clustering.assignment[p];
+    if (clus < 0) continue;
+    int cls = gold[p];
+    assert(cls >= 0 && cls < num_classes_);
+    assert(clus < num_clusters_);
+    ++cells_[static_cast<size_t>(cls) * static_cast<size_t>(num_clusters_) +
+             static_cast<size_t>(clus)];
+    ++class_size_[static_cast<size_t>(cls)];
+    ++cluster_size_[static_cast<size_t>(clus)];
+    ++total_;
+  }
+}
+
+size_t ContingencyTable::cell(int cls, int clus) const {
+  return cells_[static_cast<size_t>(cls) * static_cast<size_t>(num_clusters_) +
+                static_cast<size_t>(clus)];
+}
+
+double ClusterEntropy(const ContingencyTable& table, int clus) {
+  size_t n_j = table.ClusterSize(clus);
+  if (n_j == 0) return 0.0;
+  double entropy = 0.0;
+  for (int i = 0; i < table.num_classes(); ++i) {
+    size_t n_ij = table.cell(i, clus);
+    if (n_ij == 0) continue;
+    double p = static_cast<double>(n_ij) / static_cast<double>(n_j);
+    entropy -= p * std::log(p);
+  }
+  return entropy;
+}
+
+double TotalEntropy(const ContingencyTable& table) {
+  if (table.total() == 0) return 0.0;
+  double total = 0.0;
+  for (int j = 0; j < table.num_clusters(); ++j) {
+    double weight = static_cast<double>(table.ClusterSize(j)) /
+                    static_cast<double>(table.total());
+    total += weight * ClusterEntropy(table, j);
+  }
+  return total;
+}
+
+double Recall(const ContingencyTable& table, int cls, int clus) {
+  size_t n_i = table.ClassSize(cls);
+  if (n_i == 0) return 0.0;
+  return static_cast<double>(table.cell(cls, clus)) /
+         static_cast<double>(n_i);
+}
+
+double Precision(const ContingencyTable& table, int cls, int clus) {
+  size_t n_j = table.ClusterSize(clus);
+  if (n_j == 0) return 0.0;
+  return static_cast<double>(table.cell(cls, clus)) /
+         static_cast<double>(n_j);
+}
+
+double FScore(const ContingencyTable& table, int cls, int clus) {
+  double r = Recall(table, cls, clus);
+  double p = Precision(table, cls, clus);
+  if (r + p == 0.0) return 0.0;
+  return 2.0 * r * p / (r + p);
+}
+
+double OverallFMeasure(const ContingencyTable& table) {
+  if (table.total() == 0) return 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < table.num_classes(); ++i) {
+    double best = 0.0;
+    for (int j = 0; j < table.num_clusters(); ++j) {
+      best = std::max(best, FScore(table, i, j));
+    }
+    sum += best * static_cast<double>(table.ClassSize(i));
+  }
+  return sum / static_cast<double>(table.total());
+}
+
+double Purity(const ContingencyTable& table) {
+  if (table.total() == 0) return 0.0;
+  size_t correct = 0;
+  for (int j = 0; j < table.num_clusters(); ++j) {
+    size_t best = 0;
+    for (int i = 0; i < table.num_classes(); ++i) {
+      best = std::max(best, table.cell(i, j));
+    }
+    correct += best;
+  }
+  return static_cast<double>(correct) / static_cast<double>(table.total());
+}
+
+double HomogeneousClusterFraction(const ContingencyTable& table) {
+  int non_empty = 0;
+  int homogeneous = 0;
+  for (int j = 0; j < table.num_clusters(); ++j) {
+    if (table.ClusterSize(j) == 0) continue;
+    ++non_empty;
+    int classes_present = 0;
+    for (int i = 0; i < table.num_classes(); ++i) {
+      if (table.cell(i, j) > 0) ++classes_present;
+    }
+    if (classes_present == 1) ++homogeneous;
+  }
+  if (non_empty == 0) return 0.0;
+  return static_cast<double>(homogeneous) / static_cast<double>(non_empty);
+}
+
+namespace {
+
+double Entropy(const std::vector<size_t>& counts, size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (size_t c : counts) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+double PairCount(size_t n) {
+  if (n < 2) return 0.0;
+  return static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+}
+
+}  // namespace
+
+double NormalizedMutualInformation(const ContingencyTable& table) {
+  const size_t n = table.total();
+  if (n == 0) return 0.0;
+  std::vector<size_t> class_sizes;
+  for (int i = 0; i < table.num_classes(); ++i) {
+    class_sizes.push_back(table.ClassSize(i));
+  }
+  std::vector<size_t> cluster_sizes;
+  for (int j = 0; j < table.num_clusters(); ++j) {
+    cluster_sizes.push_back(table.ClusterSize(j));
+  }
+  double h_class = Entropy(class_sizes, n);
+  double h_cluster = Entropy(cluster_sizes, n);
+  if (h_class == 0.0 || h_cluster == 0.0) return 0.0;
+
+  double mi = 0.0;
+  for (int i = 0; i < table.num_classes(); ++i) {
+    for (int j = 0; j < table.num_clusters(); ++j) {
+      size_t nij = table.cell(i, j);
+      if (nij == 0) continue;
+      double pij = static_cast<double>(nij) / static_cast<double>(n);
+      double pi = static_cast<double>(table.ClassSize(i)) /
+                  static_cast<double>(n);
+      double pj = static_cast<double>(table.ClusterSize(j)) /
+                  static_cast<double>(n);
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  return mi / std::sqrt(h_class * h_cluster);
+}
+
+double RandIndex(const ContingencyTable& table) {
+  const size_t n = table.total();
+  if (n < 2) return 1.0;
+  double same_both = 0.0;  // pairs together in both partitions
+  for (int i = 0; i < table.num_classes(); ++i) {
+    for (int j = 0; j < table.num_clusters(); ++j) {
+      same_both += PairCount(table.cell(i, j));
+    }
+  }
+  double same_class = 0.0;
+  for (int i = 0; i < table.num_classes(); ++i) {
+    same_class += PairCount(table.ClassSize(i));
+  }
+  double same_cluster = 0.0;
+  for (int j = 0; j < table.num_clusters(); ++j) {
+    same_cluster += PairCount(table.ClusterSize(j));
+  }
+  double all_pairs = PairCount(n);
+  // agreements = pairs together in both + pairs apart in both.
+  double agreements =
+      same_both + (all_pairs - same_class - same_cluster + same_both);
+  return agreements / all_pairs;
+}
+
+double AdjustedRandIndex(const ContingencyTable& table) {
+  const size_t n = table.total();
+  if (n < 2) return 1.0;
+  double sum_cells = 0.0;
+  for (int i = 0; i < table.num_classes(); ++i) {
+    for (int j = 0; j < table.num_clusters(); ++j) {
+      sum_cells += PairCount(table.cell(i, j));
+    }
+  }
+  double sum_class = 0.0;
+  for (int i = 0; i < table.num_classes(); ++i) {
+    sum_class += PairCount(table.ClassSize(i));
+  }
+  double sum_cluster = 0.0;
+  for (int j = 0; j < table.num_clusters(); ++j) {
+    sum_cluster += PairCount(table.ClusterSize(j));
+  }
+  double all_pairs = PairCount(n);
+  double expected = sum_class * sum_cluster / all_pairs;
+  double max_index = 0.5 * (sum_class + sum_cluster);
+  if (max_index == expected) return 1.0;  // degenerate: single cluster/class
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+double MeanSilhouette(const cluster::Clustering& clustering,
+                      const cluster::SimilarityFn& similarity) {
+  const size_t n = clustering.assignment.size();
+  const int k = clustering.num_clusters;
+  if (n == 0 || k < 2) return 0.0;
+
+  std::vector<size_t> cluster_size(static_cast<size_t>(k), 0);
+  for (int a : clustering.assignment) {
+    if (a >= 0) ++cluster_size[static_cast<size_t>(a)];
+  }
+
+  double total = 0.0;
+  size_t scored = 0;
+  // sum of distances from i to each cluster, computed per point.
+  std::vector<double> dist_sum(static_cast<size_t>(k));
+  for (size_t i = 0; i < n; ++i) {
+    int own = clustering.assignment[i];
+    if (own < 0) continue;
+    ++scored;
+    if (cluster_size[static_cast<size_t>(own)] < 2) continue;  // s(i) = 0
+
+    std::fill(dist_sum.begin(), dist_sum.end(), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      int other = clustering.assignment[j];
+      if (other < 0 || j == i) continue;
+      dist_sum[static_cast<size_t>(other)] += 1.0 - similarity(i, j);
+    }
+    double a = dist_sum[static_cast<size_t>(own)] /
+               static_cast<double>(cluster_size[static_cast<size_t>(own)] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      if (c == own || cluster_size[static_cast<size_t>(c)] == 0) continue;
+      b = std::min(b, dist_sum[static_cast<size_t>(c)] /
+                          static_cast<double>(
+                              cluster_size[static_cast<size_t>(c)]));
+    }
+    if (!std::isfinite(b)) continue;  // no other non-empty cluster
+    double denom = std::max(a, b);
+    if (denom > 0.0) total += (b - a) / denom;
+  }
+  return scored == 0 ? 0.0 : total / static_cast<double>(scored);
+}
+
+}  // namespace cafc::eval

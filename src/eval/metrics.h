@@ -1,0 +1,92 @@
+#ifndef CAFC_EVAL_METRICS_H_
+#define CAFC_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/types.h"
+
+namespace cafc::eval {
+
+/// \brief Cluster-by-class contingency table: cell(i, j) = number of
+/// members of gold class i placed in cluster j (the n_ij of §4.1).
+class ContingencyTable {
+ public:
+  /// `gold[p]` is the class of point p in [0, num_classes); `clustering`
+  /// assigns the same points. Points with assignment -1 are skipped.
+  ContingencyTable(const std::vector<int>& gold, int num_classes,
+                   const cluster::Clustering& clustering);
+
+  int num_classes() const { return num_classes_; }
+  int num_clusters() const { return num_clusters_; }
+  size_t total() const { return total_; }
+
+  size_t cell(int cls, int clus) const;
+  size_t ClassSize(int cls) const { return class_size_[cls]; }
+  size_t ClusterSize(int clus) const { return cluster_size_[clus]; }
+
+ private:
+  int num_classes_;
+  int num_clusters_;
+  std::vector<size_t> cells_;  // row-major [class][cluster]
+  std::vector<size_t> class_size_;
+  std::vector<size_t> cluster_size_;
+  size_t total_ = 0;
+};
+
+/// Entropy of one cluster (Eq. 5): -sum_i p_ij log(p_ij), natural log.
+double ClusterEntropy(const ContingencyTable& table, int clus);
+
+/// Total entropy: cluster entropies weighted by cluster size (the paper's
+/// "sum of the entropies of each cluster, weighted by the size of each
+/// cluster" — i.e. sum_j (n_j / n) * E_j). Lower is better; 0 is perfect.
+double TotalEntropy(const ContingencyTable& table);
+
+/// Recall(i, j) = n_ij / n_i and Precision(i, j) = n_ij / n_j.
+double Recall(const ContingencyTable& table, int cls, int clus);
+double Precision(const ContingencyTable& table, int cls, int clus);
+
+/// F(i, j) per Eq. 6 (harmonic mean; 0 when both terms are 0).
+double FScore(const ContingencyTable& table, int cls, int clus);
+
+/// Overall F-measure: for each gold class take the best F over clusters,
+/// then average weighted by class size (Larsen & Aone; the measure the
+/// paper cites). 1.0 is perfect.
+double OverallFMeasure(const ContingencyTable& table);
+
+/// Purity: fraction of points whose cluster's majority class matches their
+/// own (not reported in the paper; useful extra diagnostic).
+double Purity(const ContingencyTable& table);
+
+/// Fraction of clusters whose members all share one class ("homogeneous"
+/// in the §3.1 hub-cluster study). Empty clusters are skipped.
+double HomogeneousClusterFraction(const ContingencyTable& table);
+
+/// Normalized mutual information: I(class; cluster) / sqrt(H(class) *
+/// H(cluster)), in [0, 1]. 0 when either marginal entropy is 0.
+/// (Not reported in the paper; standard modern companion metric.)
+double NormalizedMutualInformation(const ContingencyTable& table);
+
+/// Rand index: fraction of point pairs on which the clustering and the
+/// gold classes agree (same/same or different/different). In [0, 1].
+double RandIndex(const ContingencyTable& table);
+
+/// Adjusted Rand index (Hubert & Arabie): Rand corrected for chance.
+/// 1 for identical partitions, ~0 for random ones (can be negative).
+double AdjustedRandIndex(const ContingencyTable& table);
+
+/// \brief Mean silhouette coefficient of a clustering, an *internal*
+/// quality measure needing no gold labels — usable for choosing k, which
+/// the paper takes as given.
+///
+/// Distances are 1 - similarity. For point i in cluster C: a(i) is the
+/// mean distance to other members of C, b(i) the smallest mean distance to
+/// any other cluster, s(i) = (b - a) / max(a, b). Singleton-cluster points
+/// score 0 (standard convention). Returns the mean over all assigned
+/// points; 0 for fewer than 2 clusters.
+double MeanSilhouette(const cluster::Clustering& clustering,
+                      const cluster::SimilarityFn& similarity);
+
+}  // namespace cafc::eval
+
+#endif  // CAFC_EVAL_METRICS_H_

@@ -1,0 +1,70 @@
+#include "forms/form.h"
+
+#include "util/string_util.h"
+
+namespace cafc::forms {
+
+FieldType InputTypeFromString(std::string_view type) {
+  if (type.empty() || EqualsIgnoreCase(type, "text")) return FieldType::kText;
+  if (EqualsIgnoreCase(type, "password")) return FieldType::kPassword;
+  if (EqualsIgnoreCase(type, "hidden")) return FieldType::kHidden;
+  if (EqualsIgnoreCase(type, "checkbox")) return FieldType::kCheckbox;
+  if (EqualsIgnoreCase(type, "radio")) return FieldType::kRadio;
+  if (EqualsIgnoreCase(type, "submit")) return FieldType::kSubmit;
+  if (EqualsIgnoreCase(type, "reset")) return FieldType::kReset;
+  if (EqualsIgnoreCase(type, "button")) return FieldType::kButton;
+  if (EqualsIgnoreCase(type, "file")) return FieldType::kFile;
+  if (EqualsIgnoreCase(type, "image")) return FieldType::kImage;
+  return FieldType::kText;
+}
+
+int Form::NumFillableFields() const {
+  int n = 0;
+  for (const FormField& f : fields) {
+    switch (f.type) {
+      case FieldType::kHidden:
+      case FieldType::kSubmit:
+      case FieldType::kReset:
+      case FieldType::kButton:
+      case FieldType::kImage:
+        break;
+      default:
+        ++n;
+    }
+  }
+  return n;
+}
+
+int Form::NumAttributes() const {
+  int n = 0;
+  for (const FormField& f : fields) {
+    switch (f.type) {
+      case FieldType::kText:
+      case FieldType::kSelect:
+      case FieldType::kTextArea:
+      case FieldType::kRadio:
+      case FieldType::kCheckbox:
+        ++n;
+        break;
+      default:
+        break;
+    }
+  }
+  return n;
+}
+
+bool Form::HasFieldType(FieldType type) const {
+  for (const FormField& f : fields) {
+    if (f.type == type) return true;
+  }
+  return false;
+}
+
+bool Form::HasFieldNamed(std::string_view field_name) const {
+  for (const FormField& f : fields) {
+    if (EqualsIgnoreCase(f.name, field_name)) return true;
+  }
+  return false;
+}
+
+}  // namespace cafc::forms

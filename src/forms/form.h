@@ -1,0 +1,68 @@
+#ifndef CAFC_FORMS_FORM_H_
+#define CAFC_FORMS_FORM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cafc::forms {
+
+/// Kind of a form control.
+enum class FieldType {
+  kText = 0,
+  kPassword,
+  kHidden,
+  kCheckbox,
+  kRadio,
+  kSubmit,
+  kReset,
+  kButton,
+  kFile,
+  kImage,
+  kSelect,
+  kTextArea,
+  kOther,
+};
+
+/// Maps an `<input type=...>` value (lowercase) to a FieldType; unknown
+/// types default to kText, matching browser behaviour.
+FieldType InputTypeFromString(std::string_view type);
+
+/// One form control.
+struct FormField {
+  FieldType type = FieldType::kText;
+  std::string name;
+  std::string value;                 ///< the value attribute (may be empty)
+  std::vector<std::string> options;  ///< option texts for selects
+};
+
+/// \brief A parsed `<form>` element: its structure plus the raw visible
+/// text partitioned by location.
+///
+/// `text` is the character data inside the FORM tags excluding option
+/// contents; `option_text` is the character data inside `<option>` tags.
+/// Hidden fields are kept in `fields` (the classifier may inspect them) but
+/// their names/values never reach `text` — the paper excludes hidden
+/// attributes from the model (§4.1 footnote).
+struct Form {
+  std::string action;
+  std::string method;  ///< lowercase; "get" if unspecified
+  std::string name;
+  std::vector<FormField> fields;
+  std::string text;
+  std::string option_text;
+
+  /// Fields a user can fill: everything except hidden/submit/reset/button.
+  int NumFillableFields() const;
+  /// Fillable fields that accept free text or a selection — the paper's
+  /// notion of "attributes" (text inputs, selects, textareas, radios,
+  /// checkboxes).
+  int NumAttributes() const;
+  bool HasFieldType(FieldType type) const;
+  /// True if any field name equals `name` (case-insensitive).
+  bool HasFieldNamed(std::string_view field_name) const;
+};
+
+}  // namespace cafc::forms
+
+#endif  // CAFC_FORMS_FORM_H_

@@ -1,0 +1,111 @@
+#include "forms/form_classifier.h"
+
+#include <string_view>
+
+#include "util/string_util.h"
+
+namespace cafc::forms {
+namespace {
+
+constexpr std::string_view kNonSearchableNameCues[] = {
+    "username", "user",  "password", "passwd", "email",   "e-mail",
+    "phone",    "fax",   "address",  "zip4",   "comment", "comments",
+    "message",  "login", "firstname", "lastname",
+};
+
+constexpr std::string_view kNonSearchableTextCues[] = {
+    "login",     "log in",    "sign in",   "signin",   "register",
+    "subscribe", "newsletter", "password",  "quote",    "contact us",
+    "feedback",  "your name", "email address",
+};
+
+constexpr std::string_view kSearchableTextCues[] = {
+    "search", "find", "lookup", "browse", "advanced",
+};
+
+constexpr std::string_view kSearchableNameCues[] = {
+    "q", "query", "keyword", "keywords", "search", "searchfor", "terms",
+};
+
+constexpr std::string_view kSearchableActionCues[] = {
+    "search", "find", "query", "locate", "results", "dbsearch",
+};
+
+template <size_t N>
+bool AnyFieldNameMatches(const Form& form, const std::string_view (&cues)[N]) {
+  for (std::string_view cue : cues) {
+    if (form.HasFieldNamed(cue)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+FormVerdict FormClassifier::Classify(const Form& form) const {
+  FormVerdict verdict;
+
+  // --- structural evidence against searchability ---
+  if (form.HasFieldType(FieldType::kPassword)) {
+    verdict.non_searchable_score += 4;
+  }
+  if (form.HasFieldType(FieldType::kTextArea)) {
+    verdict.non_searchable_score += 3;
+  }
+  if (form.HasFieldType(FieldType::kFile)) {
+    verdict.non_searchable_score += 3;
+  }
+  if (AnyFieldNameMatches(form, kNonSearchableNameCues)) {
+    verdict.non_searchable_score += 2;
+  }
+  for (std::string_view cue : kNonSearchableTextCues) {
+    if (ContainsIgnoreCase(form.text, cue)) {
+      verdict.non_searchable_score += 2;
+      break;
+    }
+  }
+  // POST forms with no selects tend to be data-submission forms; GET forms
+  // are overwhelmingly queries.
+  if (form.method == "post" && !form.HasFieldType(FieldType::kSelect)) {
+    verdict.non_searchable_score += 1;
+  }
+  if (form.NumFillableFields() == 0) {
+    verdict.non_searchable_score += 2;  // nothing to query with
+  }
+
+  // --- evidence for searchability ---
+  int selects = 0;
+  for (const FormField& f : form.fields) {
+    if (f.type == FieldType::kSelect && f.options.size() >= 2) ++selects;
+  }
+  verdict.searchable_score += selects >= 2 ? 3 : selects;
+  for (std::string_view cue : kSearchableNameCues) {
+    if (form.HasFieldNamed(cue)) {
+      verdict.searchable_score += 3;
+      break;
+    }
+  }
+  for (std::string_view cue : kSearchableTextCues) {
+    if (ContainsIgnoreCase(form.text, cue)) {
+      verdict.searchable_score += 2;
+      break;
+    }
+  }
+  for (std::string_view cue : kSearchableActionCues) {
+    if (ContainsIgnoreCase(form.action, cue)) {
+      verdict.searchable_score += 2;
+      break;
+    }
+  }
+  if (form.method == "get") verdict.searchable_score += 1;
+  // The classic single-keyword interface: exactly one text field.
+  if (form.NumAttributes() == 1 && form.HasFieldType(FieldType::kText) &&
+      !form.HasFieldType(FieldType::kPassword)) {
+    verdict.searchable_score += 1;
+  }
+
+  verdict.searchable =
+      verdict.searchable_score > verdict.non_searchable_score;
+  return verdict;
+}
+
+}  // namespace cafc::forms

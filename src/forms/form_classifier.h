@@ -1,0 +1,37 @@
+#ifndef CAFC_FORMS_FORM_CLASSIFIER_H_
+#define CAFC_FORMS_FORM_CLASSIFIER_H_
+
+#include "forms/form.h"
+
+namespace cafc::forms {
+
+/// Verdict with the evidence that produced it (for debugging/inspection).
+struct FormVerdict {
+  bool searchable = false;
+  int searchable_score = 0;
+  int non_searchable_score = 0;
+};
+
+/// \brief Generic searchable-form classifier (the filter of Barbosa &
+/// Freire, WebDB'05, which the paper assumes as a preprocessing step).
+///
+/// A transparent decision-rule classifier over structural and lexical form
+/// features: password/textarea fields, field-name cues (username, email,
+/// phone, ...), form-text cues (login, subscribe, quote, ...), select
+/// richness, search-action cues. Searchable forms of *any* domain pass;
+/// login / registration / newsletter / quote-request forms are rejected.
+class FormClassifier {
+ public:
+  FormClassifier() = default;
+
+  FormVerdict Classify(const Form& form) const;
+
+  /// Convenience: Classify(form).searchable.
+  bool IsSearchable(const Form& form) const {
+    return Classify(form).searchable;
+  }
+};
+
+}  // namespace cafc::forms
+
+#endif  // CAFC_FORMS_FORM_CLASSIFIER_H_

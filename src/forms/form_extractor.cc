@@ -1,0 +1,93 @@
+#include "forms/form_extractor.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace cafc::forms {
+namespace {
+
+/// Appends `piece` to `out` with single-space separation.
+void AppendText(std::string_view piece, std::string* out) {
+  std::string_view stripped = StripAsciiWhitespace(piece);
+  if (stripped.empty()) return;
+  if (!out->empty()) out->push_back(' ');
+  out->append(stripped);
+}
+
+/// Recursive walk below a form node. `in_option` tracks whether we are
+/// inside an <option> subtree, which routes text into `option_text`.
+void Walk(const html::Node& node, bool in_option, Form* form) {
+  for (const auto& child : node.children()) {
+    switch (child->type()) {
+      case html::NodeType::kText:
+        AppendText(child->text(), in_option ? &form->option_text
+                                            : &form->text);
+        break;
+      case html::NodeType::kComment:
+      case html::NodeType::kDocument:
+        break;
+      case html::NodeType::kElement: {
+        const html::Node& el = *child;
+        if (el.tag() == "input") {
+          FormField field;
+          field.type = InputTypeFromString(el.GetAttr("type"));
+          field.name = std::string(el.GetAttr("name"));
+          field.value = std::string(el.GetAttr("value"));
+          // Visible button captions are user-facing text; hidden values are
+          // machine tokens and must not leak into the text space.
+          if (field.type == FieldType::kSubmit ||
+              field.type == FieldType::kButton) {
+            AppendText(field.value, &form->text);
+          }
+          form->fields.push_back(std::move(field));
+        } else if (el.tag() == "select") {
+          FormField field;
+          field.type = FieldType::kSelect;
+          field.name = std::string(el.GetAttr("name"));
+          for (const html::Node* option : el.FindAll("option")) {
+            std::string text = option->TextContent();
+            AppendText(text, &form->option_text);
+            if (!text.empty()) field.options.push_back(std::move(text));
+          }
+          form->fields.push_back(std::move(field));
+          break;  // options already consumed; do not descend again
+        } else if (el.tag() == "textarea") {
+          FormField field;
+          field.type = FieldType::kTextArea;
+          field.name = std::string(el.GetAttr("name"));
+          field.value = el.TextContent();
+          form->fields.push_back(std::move(field));
+          break;  // textarea content is a default value, not page text
+        } else {
+          Walk(el, in_option || el.tag() == "option", form);
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Form ExtractForm(const html::Node& form_node) {
+  assert(form_node.type() == html::NodeType::kElement &&
+         form_node.tag() == "form");
+  Form form;
+  form.action = std::string(form_node.GetAttr("action"));
+  std::string method = ToLower(form_node.GetAttr("method"));
+  form.method = method.empty() ? "get" : method;
+  form.name = std::string(form_node.GetAttr("name"));
+  Walk(form_node, /*in_option=*/false, &form);
+  return form;
+}
+
+std::vector<Form> ExtractForms(const html::Document& document) {
+  std::vector<Form> forms;
+  for (const html::Node* node : document.root().FindAll("form")) {
+    forms.push_back(ExtractForm(*node));
+  }
+  return forms;
+}
+
+}  // namespace cafc::forms

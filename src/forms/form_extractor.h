@@ -1,0 +1,21 @@
+#ifndef CAFC_FORMS_FORM_EXTRACTOR_H_
+#define CAFC_FORMS_FORM_EXTRACTOR_H_
+
+#include <vector>
+
+#include "forms/form.h"
+#include "html/dom.h"
+
+namespace cafc::forms {
+
+/// Extracts every `<form>` element of `document` into a structured Form.
+/// Nested forms (invalid HTML, but the DOM cannot produce them anyway) are
+/// not a concern; forms appear in document order.
+std::vector<Form> ExtractForms(const html::Document& document);
+
+/// Extracts a single form element (must be a `<form>` node).
+Form ExtractForm(const html::Node& form_node);
+
+}  // namespace cafc::forms
+
+#endif  // CAFC_FORMS_FORM_EXTRACTOR_H_

@@ -1,0 +1,74 @@
+#include "forms/form_page_model.h"
+
+#include "forms/form_extractor.h"
+#include "html/dom.h"
+
+namespace cafc::forms {
+namespace {
+
+using vsm::LocatedTerm;
+using vsm::Location;
+
+/// Analyzes `raw` and appends each surviving term with `location`.
+void AppendTerms(const text::Analyzer& analyzer, std::string_view raw,
+                 Location location, std::vector<LocatedTerm>* out) {
+  for (std::string& term : analyzer.Analyze(raw)) {
+    out->push_back(LocatedTerm{std::move(term), location});
+  }
+}
+
+/// Walks the page outside form subtrees, routing text into PC with the
+/// right location tag.
+void WalkPage(const html::Node& node, Location current,
+              bool skip_forms, const text::Analyzer& analyzer,
+              std::vector<LocatedTerm>* out) {
+  for (const auto& child : node.children()) {
+    switch (child->type()) {
+      case html::NodeType::kText:
+        AppendTerms(analyzer, child->text(), current, out);
+        break;
+      case html::NodeType::kElement: {
+        const html::Node& el = *child;
+        if (skip_forms && el.tag() == "form") break;
+        Location next = current;
+        if (el.tag() == "title") {
+          next = Location::kPageTitle;
+        } else if (el.tag() == "a") {
+          next = Location::kAnchorText;
+        } else if (el.tag() == "script" || el.tag() == "style") {
+          break;  // never page text
+        }
+        WalkPage(el, next, skip_forms, analyzer, out);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+FormPageDocument FormPageModelBuilder::Build(std::string_view url,
+                                             std::string_view html) const {
+  FormPageDocument doc;
+  doc.url = std::string(url);
+
+  html::Document dom = html::Parse(html);
+  doc.forms = ExtractForms(dom);
+
+  // FC: the extractor already partitioned form text by location and has
+  // dropped hidden-field content.
+  for (const Form& form : doc.forms) {
+    AppendTerms(analyzer_, form.text, Location::kFormText, &doc.form_terms);
+    AppendTerms(analyzer_, form.option_text, Location::kFormOption,
+                &doc.form_terms);
+  }
+
+  // PC: everything else on the page.
+  WalkPage(dom.root(), Location::kPageBody,
+           options_.partition_page_and_form, analyzer_, &doc.page_terms);
+  return doc;
+}
+
+}  // namespace cafc::forms

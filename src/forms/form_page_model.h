@@ -1,0 +1,61 @@
+#ifndef CAFC_FORMS_FORM_PAGE_MODEL_H_
+#define CAFC_FORMS_FORM_PAGE_MODEL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "forms/form.h"
+#include "text/analyzer.h"
+#include "vsm/weighting.h"
+
+namespace cafc::forms {
+
+/// \brief The textual side of the paper's form-page model FP(PC, FC):
+/// a page's analyzed terms partitioned into the two feature spaces, each
+/// occurrence tagged with its location (§2.1).
+struct FormPageDocument {
+  std::string url;
+  /// PC space: page text outside the form(s). Title terms carry
+  /// Location::kPageTitle, anchor text kAnchorText, the rest kPageBody.
+  std::vector<vsm::LocatedTerm> page_terms;
+  /// FC space: text inside FORM tags. Option contents carry
+  /// Location::kFormOption, everything else kFormText. Hidden-field
+  /// names/values are never included.
+  std::vector<vsm::LocatedTerm> form_terms;
+  /// Structured forms found on the page (classifier input).
+  std::vector<Form> forms;
+
+  /// Table-1 statistics: raw counts of analyzed terms per space.
+  size_t NumFormTerms() const { return form_terms.size(); }
+  size_t NumPageTerms() const { return page_terms.size(); }
+};
+
+/// Options for the model builder.
+struct FormPageModelOptions {
+  /// When true (the paper's partition), form-subtree text is excluded from
+  /// PC; when false, PC covers the whole page including the form.
+  bool partition_page_and_form = true;
+};
+
+/// \brief Parses raw HTML into a FormPageDocument.
+class FormPageModelBuilder {
+ public:
+  explicit FormPageModelBuilder(text::AnalyzerOptions analyzer_options = {},
+                                FormPageModelOptions options = {})
+      : analyzer_(analyzer_options), options_(options) {}
+
+  /// Builds the document for `html` at `url`. Pages without forms yield an
+  /// empty `forms` vector and empty FC (still usable as plain documents).
+  FormPageDocument Build(std::string_view url, std::string_view html) const;
+
+  const text::Analyzer& analyzer() const { return analyzer_; }
+
+ private:
+  text::Analyzer analyzer_;
+  FormPageModelOptions options_;
+};
+
+}  // namespace cafc::forms
+
+#endif  // CAFC_FORMS_FORM_PAGE_MODEL_H_

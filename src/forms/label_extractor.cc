@@ -1,0 +1,215 @@
+#include "forms/label_extractor.h"
+
+#include <unordered_map>
+
+#include "forms/form.h"
+#include "util/string_util.h"
+
+namespace cafc::forms {
+namespace {
+
+struct Item {
+  enum class Kind { kText, kControl };
+  Kind kind;
+  std::string text;        // text run, or "" for controls
+  std::string field_name;  // controls only
+  std::string field_id;    // controls only
+  int cell = 0;            // enclosing <td>/<th> counter (0 = none)
+  int row = 0;             // enclosing <tr> counter (0 = none)
+};
+
+struct FlatForm {
+  std::vector<Item> items;
+  // id attribute of a control -> <label for=...> text.
+  std::unordered_map<std::string, std::string> label_for;
+};
+
+bool IsSchemaControl(const html::Node& el) {
+  if (el.tag() == "select" || el.tag() == "textarea") return true;
+  if (el.tag() != "input") return false;
+  FieldType type = InputTypeFromString(el.GetAttr("type"));
+  switch (type) {
+    case FieldType::kText:
+    case FieldType::kPassword:
+    case FieldType::kCheckbox:
+    case FieldType::kRadio:
+    case FieldType::kFile:
+      return true;
+    default:
+      return false;  // hidden/submit/reset/button/image carry no schema
+  }
+}
+
+/// Flattens the form subtree into text runs and controls, tagging each with
+/// its enclosing table cell/row.
+class Flattener {
+ public:
+  FlatForm Run(const html::Node& form) {
+    Walk(form);
+    return std::move(out_);
+  }
+
+ private:
+  void Walk(const html::Node& node) {
+    for (const auto& child : node.children()) {
+      switch (child->type()) {
+        case html::NodeType::kText: {
+          std::string_view text = StripAsciiWhitespace(child->text());
+          if (!text.empty()) {
+            Item item;
+            item.kind = Item::Kind::kText;
+            item.text = std::string(text);
+            item.cell = cell_;
+            item.row = row_;
+            out_.items.push_back(std::move(item));
+          }
+          break;
+        }
+        case html::NodeType::kElement: {
+          const html::Node& el = *child;
+          if (el.tag() == "label") {
+            std::string target(el.GetAttr("for"));
+            std::string text = el.TextContent();
+            if (!target.empty() && !text.empty()) {
+              out_.label_for.emplace(std::move(target), std::move(text));
+            }
+            // Label text also participates as an ordinary text run (for
+            // controls nested inside the label element).
+            Walk(el);
+            break;
+          }
+          if (IsSchemaControl(el)) {
+            Item item;
+            item.kind = Item::Kind::kControl;
+            item.field_name = std::string(el.GetAttr("name"));
+            item.field_id = std::string(el.GetAttr("id"));
+            item.cell = cell_;
+            item.row = row_;
+            out_.items.push_back(std::move(item));
+            break;  // selects' option text is not a label source
+          }
+          if (el.tag() == "option") break;  // values, not labels
+          int saved_cell = cell_;
+          int saved_row = row_;
+          if (el.tag() == "tr") row_ = ++row_counter_;
+          if (el.tag() == "td" || el.tag() == "th") cell_ = ++cell_counter_;
+          Walk(el);
+          cell_ = saved_cell;
+          row_ = saved_row;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  FlatForm out_;
+  int cell_ = 0;
+  int row_ = 0;
+  int cell_counter_ = 0;
+  int row_counter_ = 0;
+};
+
+/// Keeps a label candidate short: at most the last `max_words` words, with
+/// trailing separators stripped.
+std::string CleanLabel(std::string_view raw, size_t max_words = 6) {
+  // Normalize all whitespace (labels may span source lines) and strip
+  // trailing separators.
+  std::string normalized(raw);
+  for (char& c : normalized) {
+    if (IsAsciiSpace(c)) c = ' ';
+  }
+  std::string_view stripped = StripAsciiWhitespace(normalized);
+  while (!stripped.empty() &&
+         (stripped.back() == ':' || stripped.back() == '-' ||
+          stripped.back() == '*')) {
+    stripped = StripAsciiWhitespace(stripped.substr(0, stripped.size() - 1));
+  }
+  std::vector<std::string> words = SplitNonEmpty(stripped, ' ');
+  if (words.size() > max_words) {
+    words.erase(words.begin(),
+                words.begin() + static_cast<long>(words.size() - max_words));
+  }
+  return Join(words, " ");
+}
+
+}  // namespace
+
+std::vector<LabeledField> ExtractLabels(const html::Node& form_node) {
+  FlatForm flat = Flattener().Run(form_node);
+
+  // Pre-compute per-cell text (in item order) for the cell heuristics.
+  std::unordered_map<int, std::string> cell_text_before;  // rebuilt per scan
+
+  std::vector<LabeledField> out;
+  for (size_t i = 0; i < flat.items.size(); ++i) {
+    const Item& item = flat.items[i];
+    if (item.kind != Item::Kind::kControl) continue;
+
+    LabeledField field;
+    field.field_name = item.field_name;
+
+    // 1. <label for=...>.
+    if (!item.field_id.empty()) {
+      auto it = flat.label_for.find(item.field_id);
+      if (it != flat.label_for.end()) {
+        field.label = CleanLabel(it->second);
+        out.push_back(std::move(field));
+        continue;
+      }
+    }
+
+    // 2. Text earlier in the same cell.
+    std::string same_cell;
+    // 3. Text of the nearest earlier cell in the same row.
+    std::string previous_cell;
+    int previous_cell_id = -1;
+    // 4. Nearest preceding text run (any cell), unless a control
+    //    intervenes.
+    std::string preceding;
+    bool control_between = false;
+
+    for (size_t j = i; j-- > 0;) {
+      const Item& prior = flat.items[j];
+      if (prior.kind == Item::Kind::kControl) {
+        if (preceding.empty()) control_between = true;
+        continue;
+      }
+      if (item.cell != 0 && prior.cell == item.cell && same_cell.empty()) {
+        same_cell = prior.text;
+      }
+      if (item.cell != 0 && item.row != 0 && prior.row == item.row &&
+          prior.cell != item.cell && prior.cell != 0 &&
+          (previous_cell_id == -1 || prior.cell > previous_cell_id)) {
+        previous_cell_id = prior.cell;
+        previous_cell = prior.text;
+      }
+      if (preceding.empty() && !control_between) {
+        preceding = prior.text;
+      }
+    }
+
+    if (!same_cell.empty()) {
+      field.label = CleanLabel(same_cell);
+    } else if (!previous_cell.empty()) {
+      field.label = CleanLabel(previous_cell);
+    } else if (!preceding.empty()) {
+      field.label = CleanLabel(preceding);
+    }
+    out.push_back(std::move(field));
+  }
+  return out;
+}
+
+std::vector<LabeledField> ExtractAllLabels(const html::Document& document) {
+  std::vector<LabeledField> out;
+  for (const html::Node* form : document.root().FindAll("form")) {
+    std::vector<LabeledField> labels = ExtractLabels(*form);
+    out.insert(out.end(), std::make_move_iterator(labels.begin()),
+               std::make_move_iterator(labels.end()));
+  }
+  return out;
+}
+
+}  // namespace cafc::forms

@@ -1,0 +1,45 @@
+#ifndef CAFC_FORMS_LABEL_EXTRACTOR_H_
+#define CAFC_FORMS_LABEL_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+
+namespace cafc::forms {
+
+/// One form field paired with its heuristically extracted label.
+struct LabeledField {
+  std::string field_name;  ///< the control's name attribute (may be empty)
+  std::string label;       ///< extracted label text; empty when none found
+};
+
+/// \brief Heuristic per-field label extraction — the hard-to-automate step
+/// the paper deliberately avoids (§1: "approaches to label extraction often
+/// use heuristics to guess the appropriate label"), implemented here so the
+/// schema-based baseline of He et al. (CIKM'04) can be reproduced and
+/// compared against CAFC.
+///
+/// Heuristics, in priority order, applied per control inside a form:
+///  1. `<label for=...>` whose `for` matches the control's id.
+///  2. Text in the same table cell before the control.
+///  3. Text in the immediately preceding table cell of the same row.
+///  4. The nearest text run preceding the control in document order,
+///     clipped at another control and limited to a few words.
+///
+/// Selects additionally fall back to their own name attribute when no text
+/// label is found. Hidden / submit / reset / button controls are skipped —
+/// they carry no schema.
+///
+/// These heuristics are intentionally imperfect on purpose-built pages
+/// (e.g. a label rendered as an image, or text outside the FORM tags): that
+/// brittleness is the paper's argument for the form-page model.
+std::vector<LabeledField> ExtractLabels(const html::Node& form_node);
+
+/// Convenience: labels for every form in `document`, concatenated in form
+/// order.
+std::vector<LabeledField> ExtractAllLabels(const html::Document& document);
+
+}  // namespace cafc::forms
+
+#endif  // CAFC_FORMS_LABEL_EXTRACTOR_H_

@@ -1,0 +1,172 @@
+#include "html/dom.h"
+
+#include <array>
+
+#include "util/string_util.h"
+
+namespace cafc::html {
+namespace {
+
+constexpr std::array<std::string_view, 14> kVoidElements = {
+    "area", "base", "br",    "col",   "embed", "hr",    "img",
+    "input", "link", "meta", "param", "source", "track", "wbr"};
+
+// Elements that implicitly close an open element of the same tag, e.g.
+// "<option>a<option>b" — the second <option> closes the first.
+bool ClosesSameTag(std::string_view tag) {
+  return tag == "option" || tag == "li" || tag == "p" || tag == "tr" ||
+         tag == "td" || tag == "th" || tag == "dt" || tag == "dd";
+}
+
+}  // namespace
+
+bool IsVoidElement(std::string_view tag) {
+  for (std::string_view v : kVoidElements) {
+    if (tag == v) return true;
+  }
+  return false;
+}
+
+std::string_view Node::GetAttr(std::string_view name) const {
+  for (const Attribute& attr : attrs_) {
+    if (attr.name == name) return attr.value;
+  }
+  return {};
+}
+
+bool Node::HasAttr(std::string_view name) const {
+  for (const Attribute& attr : attrs_) {
+    if (attr.name == name) return true;
+  }
+  return false;
+}
+
+void Node::Visit(const std::function<bool(const Node&)>& visitor) const {
+  if (!visitor(*this)) return;
+  for (const auto& child : children_) child->Visit(visitor);
+}
+
+std::vector<const Node*> Node::FindAll(std::string_view tag) const {
+  std::vector<const Node*> out;
+  Visit([&out, tag](const Node& node) {
+    if (node.type() == NodeType::kElement && node.tag() == tag) {
+      out.push_back(&node);
+    }
+    return true;
+  });
+  return out;
+}
+
+const Node* Node::FindFirst(std::string_view tag) const {
+  const Node* found = nullptr;
+  Visit([&found, tag](const Node& node) {
+    if (found != nullptr) return false;
+    if (node.type() == NodeType::kElement && node.tag() == tag) {
+      found = &node;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+std::string Node::TextContent() const {
+  std::string out;
+  Visit([&out](const Node& node) {
+    if (node.type() == NodeType::kText) {
+      std::string_view stripped = StripAsciiWhitespace(node.text());
+      if (!stripped.empty()) {
+        if (!out.empty()) out.push_back(' ');
+        out.append(stripped);
+      }
+    }
+    return true;
+  });
+  return out;
+}
+
+/// Internal tree builder: maintains a stack of open elements.
+class Parser {
+ public:
+  Document Run(std::string_view input) {
+    auto root = std::make_unique<Node>(NodeType::kDocument, "");
+    stack_.push_back(root.get());
+
+    Tokenizer tokenizer(input);
+    Token token;
+    while (tokenizer.Next(&token)) {
+      switch (token.type) {
+        case TokenType::kText:
+          if (!token.text.empty()) {
+            Append(std::make_unique<Node>(NodeType::kText,
+                                          std::move(token.text)));
+          }
+          break;
+        case TokenType::kComment:
+          Append(std::make_unique<Node>(NodeType::kComment,
+                                        std::move(token.text)));
+          break;
+        case TokenType::kDoctype:
+          break;  // dropped
+        case TokenType::kStartTag:
+          HandleStartTag(&token);
+          break;
+        case TokenType::kEndTag:
+          HandleEndTag(token.name);
+          break;
+      }
+    }
+    return Document(std::move(root));
+  }
+
+ private:
+  void Append(std::unique_ptr<Node> node) {
+    stack_.back()->children_.push_back(std::move(node));
+  }
+
+  void HandleStartTag(Token* token) {
+    if (ClosesSameTag(token->name)) {
+      // Implicitly close an open element of the same tag, but never pop past
+      // a structural boundary (form/select/table/body).
+      for (size_t depth = stack_.size(); depth > 1; --depth) {
+        const std::string& open = stack_[depth - 1]->tag();
+        if (open == token->name) {
+          stack_.resize(depth - 1);
+          break;
+        }
+        if (open == "form" || open == "select" || open == "table" ||
+            open == "body" || open == "html") {
+          break;
+        }
+      }
+    }
+    auto node = std::make_unique<Node>(NodeType::kElement, token->name);
+    node->attrs_ = std::move(token->attrs);
+    Node* raw = node.get();
+    Append(std::move(node));
+    if (!token->self_closing && !IsVoidElement(token->name)) {
+      stack_.push_back(raw);
+    }
+  }
+
+  void HandleEndTag(const std::string& name) {
+    if (IsVoidElement(name)) return;  // "</br>" and friends — ignore
+    // Find the nearest open element with this tag; if none, ignore the
+    // unmatched end tag (tag-soup tolerance).
+    for (size_t depth = stack_.size(); depth > 1; --depth) {
+      if (stack_[depth - 1]->tag() == name) {
+        stack_.resize(depth - 1);
+        return;
+      }
+    }
+  }
+
+  std::vector<Node*> stack_;
+};
+
+Document Parse(std::string_view input) {
+  Parser parser;
+  return parser.Run(input);
+}
+
+}  // namespace cafc::html

@@ -1,0 +1,92 @@
+#ifndef CAFC_HTML_DOM_H_
+#define CAFC_HTML_DOM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "html/tokenizer.h"
+
+namespace cafc::html {
+
+/// Node kind in the parsed tree.
+enum class NodeType { kDocument, kElement, kText, kComment };
+
+/// \brief A node in the lightweight DOM.
+///
+/// Elements own their children; the tree is immutable after parsing. Tag
+/// names are lowercase. This is not a conforming HTML5 tree builder — it is
+/// a pragmatic tag-soup parser sufficient for form extraction: void elements
+/// never take children, a small set of elements (`option`, `li`, `p`, `tr`,
+/// `td`, `th`) close implicitly, and unmatched end tags are ignored.
+class Node {
+ public:
+  Node(NodeType type, std::string name_or_text)
+      : type_(type), name_or_text_(std::move(name_or_text)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeType type() const { return type_; }
+  /// Lowercased tag name for elements.
+  const std::string& tag() const { return name_or_text_; }
+  /// Character data for text/comment nodes.
+  const std::string& text() const { return name_or_text_; }
+
+  const std::vector<Attribute>& attrs() const { return attrs_; }
+  const std::vector<std::unique_ptr<Node>>& children() const {
+    return children_;
+  }
+
+  /// Returns the value of attribute `name` (lowercase), or "" if absent.
+  std::string_view GetAttr(std::string_view name) const;
+  /// True if attribute `name` is present (possibly with empty value).
+  bool HasAttr(std::string_view name) const;
+
+  /// Depth-first pre-order visit of this subtree (including `this`).
+  /// The visitor returns false to prune descent into a node's children.
+  void Visit(const std::function<bool(const Node&)>& visitor) const;
+
+  /// All descendant elements (pre-order) whose tag equals `tag` (lowercase).
+  std::vector<const Node*> FindAll(std::string_view tag) const;
+
+  /// First descendant element with tag `tag`, or nullptr.
+  const Node* FindFirst(std::string_view tag) const;
+
+  /// Concatenated text of all descendant text nodes, space-separated.
+  std::string TextContent() const;
+
+ private:
+  friend class Parser;
+
+  NodeType type_;
+  std::string name_or_text_;
+  std::vector<Attribute> attrs_;
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+/// \brief Result of parsing: owns the document root.
+class Document {
+ public:
+  explicit Document(std::unique_ptr<Node> root) : root_(std::move(root)) {}
+
+  const Node& root() const { return *root_; }
+
+ private:
+  std::unique_ptr<Node> root_;
+};
+
+/// Parses `input` into a Document. Never fails: tag soup degrades to a
+/// best-effort tree rather than an error (matching the paper's setting of
+/// machine-consuming human-authored pages).
+Document Parse(std::string_view input);
+
+/// True for HTML void elements (`<br>`, `<input>`, ...), which never have
+/// children.
+bool IsVoidElement(std::string_view tag);
+
+}  // namespace cafc::html
+
+#endif  // CAFC_HTML_DOM_H_

@@ -1,0 +1,121 @@
+#include "html/entities.h"
+
+#include <cstdint>
+
+#include "util/string_util.h"
+
+namespace cafc::html {
+namespace {
+
+struct NamedEntity {
+  const char* name;
+  uint32_t code_point;
+};
+
+// Entities that actually occur in the era's form pages; sorted by name for
+// readability (lookup is linear — the table is tiny and decoding is not on a
+// hot path).
+constexpr NamedEntity kNamedEntities[] = {
+    {"AMP", '&'},     {"GT", '>'},       {"LT", '<'},      {"QUOT", '"'},
+    {"amp", '&'},     {"apos", '\''},    {"bull", 0x2022}, {"cent", 0x00a2},
+    {"copy", 0x00a9}, {"deg", 0x00b0},   {"eacute", 0x00e9},
+    {"gt", '>'},      {"hellip", 0x2026}, {"laquo", 0x00ab},
+    {"ldquo", 0x201c}, {"lsquo", 0x2018}, {"lt", '<'},
+    {"mdash", 0x2014}, {"middot", 0x00b7}, {"nbsp", 0x00a0},
+    {"ndash", 0x2013}, {"pound", 0x00a3}, {"quot", '"'},
+    {"raquo", 0x00bb}, {"rdquo", 0x201d}, {"reg", 0x00ae},
+    {"rsquo", 0x2019}, {"sect", 0x00a7},  {"times", 0x00d7},
+    {"trade", 0x2122}, {"yen", 0x00a5},
+};
+
+bool LookupNamed(std::string_view name, uint32_t* code_point) {
+  for (const NamedEntity& e : kNamedEntities) {
+    if (name == e.name) {
+      *code_point = e.code_point;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp >= 0xd800 && cp <= 0xdfff) cp = 0xfffd;  // surrogate
+  if (cp > 0x10ffff) cp = 0xfffd;
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  } else {
+    out->push_back(static_cast<char>(0xf0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+  }
+}
+
+std::string DecodeEntities(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    if (s[i] != '&') {
+      out.push_back(s[i++]);
+      continue;
+    }
+    // Find a terminating ';' within a reasonable window.
+    size_t semi = std::string_view::npos;
+    for (size_t j = i + 1; j < s.size() && j < i + 12; ++j) {
+      if (s[j] == ';') {
+        semi = j;
+        break;
+      }
+      if (s[j] == '&' || IsAsciiSpace(s[j])) break;
+    }
+    if (semi == std::string_view::npos || semi == i + 1) {
+      out.push_back(s[i++]);  // bare '&' — pass through
+      continue;
+    }
+    std::string_view body = s.substr(i + 1, semi - i - 1);
+    uint32_t cp = 0;
+    bool ok = false;
+    if (body[0] == '#') {
+      std::string_view digits = body.substr(1);
+      bool hex = !digits.empty() && (digits[0] == 'x' || digits[0] == 'X');
+      if (hex) digits = digits.substr(1);
+      ok = !digits.empty();
+      for (char c : digits) {
+        uint32_t d;
+        if (IsAsciiDigit(c)) {
+          d = static_cast<uint32_t>(c - '0');
+        } else if (hex && c >= 'a' && c <= 'f') {
+          d = static_cast<uint32_t>(c - 'a' + 10);
+        } else if (hex && c >= 'A' && c <= 'F') {
+          d = static_cast<uint32_t>(c - 'A' + 10);
+        } else {
+          ok = false;
+          break;
+        }
+        cp = cp * (hex ? 16 : 10) + d;
+        if (cp > 0x10ffff) cp = 0xfffd;
+      }
+    } else {
+      ok = LookupNamed(body, &cp);
+    }
+    if (ok) {
+      AppendUtf8(cp, &out);
+      i = semi + 1;
+    } else {
+      out.push_back(s[i++]);  // unknown entity — pass through verbatim
+    }
+  }
+  return out;
+}
+
+}  // namespace cafc::html

@@ -1,0 +1,24 @@
+#ifndef CAFC_HTML_ENTITIES_H_
+#define CAFC_HTML_ENTITIES_H_
+
+#include <string>
+#include <string_view>
+
+namespace cafc::html {
+
+/// \brief Decodes HTML character references in `s`.
+///
+/// Supports the named entities common in 2000s-era web pages (`&amp;`,
+/// `&nbsp;`, `&copy;`, ...) and decimal / hexadecimal numeric references
+/// (`&#65;`, `&#x41;`). Code points above 0x7F are emitted as UTF-8.
+/// Malformed references are passed through verbatim, matching browser
+/// behaviour on tag soup.
+std::string DecodeEntities(std::string_view s);
+
+/// Appends the UTF-8 encoding of `code_point` to `out`. Invalid code points
+/// (surrogates, > U+10FFFF) are replaced with U+FFFD.
+void AppendUtf8(uint32_t code_point, std::string* out);
+
+}  // namespace cafc::html
+
+#endif  // CAFC_HTML_ENTITIES_H_

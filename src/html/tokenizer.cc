@@ -1,0 +1,195 @@
+#include "html/tokenizer.h"
+
+#include "html/entities.h"
+#include "util/string_util.h"
+
+namespace cafc::html {
+namespace {
+
+bool IsTagNameChar(char c) {
+  return IsAsciiAlnum(c) || c == '-' || c == ':' || c == '_';
+}
+
+bool IsAttrNameChar(char c) {
+  return IsAsciiAlnum(c) || c == '-' || c == ':' || c == '_' || c == '.';
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(std::string_view input) : input_(input) {}
+
+std::vector<Token> Tokenizer::TokenizeAll(std::string_view input) {
+  Tokenizer tokenizer(input);
+  std::vector<Token> tokens;
+  Token token;
+  while (tokenizer.Next(&token)) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+bool Tokenizer::Next(Token* token) {
+  if (!pending_rawtext_.empty()) {
+    std::string closing = "</" + pending_rawtext_;
+    pending_rawtext_.clear();
+    return LexRawText(closing, token);
+  }
+  if (pos_ >= input_.size()) return false;
+
+  if (input_[pos_] == '<') {
+    // Peek: is this a plausible tag, comment, or doctype? Otherwise treat
+    // the '<' as text (common in tag soup, e.g. "price < 100").
+    if (pos_ + 1 < input_.size()) {
+      char c = input_[pos_ + 1];
+      if (IsAsciiAlpha(c) || c == '/' || c == '!' || c == '?') {
+        return LexTag(token);
+      }
+    }
+  }
+
+  // Text run until the next plausible tag opener.
+  size_t start = pos_;
+  while (pos_ < input_.size()) {
+    if (input_[pos_] == '<' && pos_ + 1 < input_.size()) {
+      char c = input_[pos_ + 1];
+      if (IsAsciiAlpha(c) || c == '/' || c == '!' || c == '?') break;
+    }
+    ++pos_;
+  }
+  if (pos_ == start) {  // single trailing '<'
+    pos_ = input_.size();
+  }
+  token->type = TokenType::kText;
+  token->name.clear();
+  token->attrs.clear();
+  token->self_closing = false;
+  token->text = DecodeEntities(input_.substr(start, pos_ - start));
+  return true;
+}
+
+bool Tokenizer::LexTag(Token* token) {
+  token->name.clear();
+  token->text.clear();
+  token->attrs.clear();
+  token->self_closing = false;
+
+  size_t i = pos_ + 1;  // past '<'
+
+  // Comment.
+  if (input_.substr(i).substr(0, 3) == "!--") {
+    size_t end = input_.find("-->", i + 3);
+    size_t body_end = (end == std::string_view::npos) ? input_.size() : end;
+    token->type = TokenType::kComment;
+    token->text = std::string(input_.substr(i + 3, body_end - (i + 3)));
+    pos_ = (end == std::string_view::npos) ? input_.size() : end + 3;
+    return true;
+  }
+  // Doctype / other markup declarations / processing instructions.
+  if (i < input_.size() && (input_[i] == '!' || input_[i] == '?')) {
+    size_t end = input_.find('>', i);
+    size_t body_end = (end == std::string_view::npos) ? input_.size() : end;
+    token->type = TokenType::kDoctype;
+    token->text = std::string(input_.substr(i + 1, body_end - (i + 1)));
+    pos_ = (end == std::string_view::npos) ? input_.size() : end + 1;
+    return true;
+  }
+
+  bool end_tag = false;
+  if (i < input_.size() && input_[i] == '/') {
+    end_tag = true;
+    ++i;
+  }
+
+  // Tag name.
+  size_t name_start = i;
+  while (i < input_.size() && IsTagNameChar(input_[i])) ++i;
+  if (i == name_start) {
+    // "</>" or similar garbage: skip to '>' and drop it as a comment-like
+    // no-op; emit empty text to keep the stream moving.
+    size_t end = input_.find('>', i);
+    pos_ = (end == std::string_view::npos) ? input_.size() : end + 1;
+    token->type = TokenType::kText;
+    token->text.clear();
+    return true;
+  }
+  token->name = ToLower(input_.substr(name_start, i - name_start));
+  token->type = end_tag ? TokenType::kEndTag : TokenType::kStartTag;
+
+  // Attributes.
+  while (i < input_.size() && input_[i] != '>') {
+    while (i < input_.size() && IsAsciiSpace(input_[i])) ++i;
+    if (i >= input_.size() || input_[i] == '>') break;
+    if (input_[i] == '/') {
+      // Possible self-closing slash; only meaningful right before '>'.
+      ++i;
+      continue;
+    }
+    size_t attr_start = i;
+    while (i < input_.size() && IsAttrNameChar(input_[i])) ++i;
+    if (i == attr_start) {  // stray char — skip it
+      ++i;
+      continue;
+    }
+    Attribute attr;
+    attr.name = ToLower(input_.substr(attr_start, i - attr_start));
+    while (i < input_.size() && IsAsciiSpace(input_[i])) ++i;
+    if (i < input_.size() && input_[i] == '=') {
+      ++i;
+      while (i < input_.size() && IsAsciiSpace(input_[i])) ++i;
+      if (i < input_.size() && (input_[i] == '"' || input_[i] == '\'')) {
+        char quote = input_[i++];
+        size_t value_start = i;
+        while (i < input_.size() && input_[i] != quote) ++i;
+        attr.value =
+            DecodeEntities(input_.substr(value_start, i - value_start));
+        if (i < input_.size()) ++i;  // past closing quote
+      } else {
+        size_t value_start = i;
+        while (i < input_.size() && !IsAsciiSpace(input_[i]) &&
+               input_[i] != '>') {
+          ++i;
+        }
+        attr.value =
+            DecodeEntities(input_.substr(value_start, i - value_start));
+      }
+    }
+    if (!end_tag) token->attrs.push_back(std::move(attr));
+  }
+
+  if (i > pos_ + 1 && i <= input_.size() && i > 0 && input_[i - 1] == '/') {
+    token->self_closing = true;
+  }
+  // Detect "... />": the '/' right before '>'.
+  if (i < input_.size() && input_[i] == '>' && i > 0 && input_[i - 1] == '/') {
+    token->self_closing = true;
+  }
+  pos_ = (i < input_.size()) ? i + 1 : input_.size();
+
+  if (token->type == TokenType::kStartTag && !token->self_closing &&
+      (token->name == "script" || token->name == "style")) {
+    pending_rawtext_ = token->name;
+  }
+  return true;
+}
+
+bool Tokenizer::LexRawText(std::string_view closing_tag, Token* token) {
+  // Scan for the close tag case-insensitively.
+  size_t i = pos_;
+  size_t found = std::string_view::npos;
+  for (; i + closing_tag.size() <= input_.size(); ++i) {
+    if (input_[i] == '<' &&
+        EqualsIgnoreCase(input_.substr(i, closing_tag.size()), closing_tag)) {
+      found = i;
+      break;
+    }
+  }
+  size_t text_end = (found == std::string_view::npos) ? input_.size() : found;
+  token->type = TokenType::kText;
+  token->name.clear();
+  token->attrs.clear();
+  token->self_closing = false;
+  // Raw text: no entity decoding inside script/style.
+  token->text = std::string(input_.substr(pos_, text_end - pos_));
+  pos_ = text_end;
+  return true;
+}
+
+}  // namespace cafc::html

@@ -1,0 +1,66 @@
+#ifndef CAFC_HTML_TOKENIZER_H_
+#define CAFC_HTML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cafc::html {
+
+/// One `name="value"` pair in a start tag. Names are lowercased; values are
+/// entity-decoded. Valueless attributes (e.g. `selected`) have empty value.
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// Kind of lexical token produced by the tokenizer.
+enum class TokenType {
+  kStartTag,  ///< `<form ...>` (self_closing true for `<br/>`)
+  kEndTag,    ///< `</form>`
+  kText,      ///< character data between tags (entity-decoded)
+  kComment,   ///< `<!-- ... -->`
+  kDoctype,   ///< `<!DOCTYPE ...>`
+};
+
+/// A single lexical token. Tag names are lowercased.
+struct Token {
+  TokenType type;
+  std::string name;               ///< tag name for start/end tags
+  std::string text;               ///< character data / comment body
+  std::vector<Attribute> attrs;   ///< start-tag attributes
+  bool self_closing = false;
+};
+
+/// \brief Streaming HTML lexer tolerant of 2000s-era tag soup.
+///
+/// Deviations from strict HTML that it accepts: unquoted attribute values,
+/// attributes without values, stray `<` in text, unterminated tags at EOF
+/// (flushed as text), uppercase tag names (lowercased). Contents of
+/// `<script>` and `<style>` are treated as raw text until the matching close
+/// tag and emitted as a text token (callers typically discard them).
+class Tokenizer {
+ public:
+  /// `input` must outlive the tokenizer.
+  explicit Tokenizer(std::string_view input);
+
+  /// Produces the next token into `*token`; returns false at end of input.
+  bool Next(Token* token);
+
+  /// Convenience: tokenizes the whole input.
+  static std::vector<Token> TokenizeAll(std::string_view input);
+
+ private:
+  bool LexTag(Token* token);
+  bool LexRawText(std::string_view closing_tag, Token* token);
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  // Set after a <script>/<style> start tag: the element whose raw content
+  // must be consumed before regular lexing resumes.
+  std::string pending_rawtext_;
+};
+
+}  // namespace cafc::html
+
+#endif  // CAFC_HTML_TOKENIZER_H_

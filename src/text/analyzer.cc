@@ -1,0 +1,40 @@
+#include "text/analyzer.h"
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/word_tokenizer.h"
+#include "util/string_util.h"
+
+namespace cafc::text {
+
+std::string Analyzer::AnalyzeWord(std::string_view word) const {
+  if (word.size() < options_.min_word_length ||
+      word.size() > options_.max_word_length) {
+    return "";
+  }
+  std::string lower = ToLower(word);
+  if (options_.remove_stopwords && IsStopword(lower)) return "";
+  if (options_.stem) lower = PorterStem(lower);
+  // Stemming can shorten a word below the minimum ("ties" → "ti"); keep it —
+  // the paper stems after stopword removal and does not re-filter.
+  return lower;
+}
+
+std::vector<std::string> Analyzer::Analyze(std::string_view input) const {
+  std::vector<std::string> terms;
+  for (const std::string& word :
+       TokenizeWords(input, options_.min_word_length)) {
+    std::string term = AnalyzeWord(word);
+    if (!term.empty()) terms.push_back(std::move(term));
+  }
+  if (options_.emit_bigrams && terms.size() >= 2) {
+    size_t unigrams = terms.size();
+    terms.reserve(unigrams * 2 - 1);
+    for (size_t i = 0; i + 1 < unigrams; ++i) {
+      terms.push_back(terms[i] + "_" + terms[i + 1]);
+    }
+  }
+  return terms;
+}
+
+}  // namespace cafc::text

@@ -1,0 +1,46 @@
+#ifndef CAFC_TEXT_ANALYZER_H_
+#define CAFC_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cafc::text {
+
+/// Options controlling the text analysis pipeline.
+struct AnalyzerOptions {
+  bool remove_stopwords = true;
+  bool stem = true;
+  size_t min_word_length = 2;
+  /// Tokens longer than this are discarded (URL fragments, base64 blobs...).
+  size_t max_word_length = 24;
+  /// Additionally emit adjacent-term bigrams joined with '_'
+  /// ("job_categori"), formed over the post-filter term stream. Captures
+  /// multiword attribute names ("job category", "check in") as units.
+  bool emit_bigrams = false;
+};
+
+/// \brief The tokenize → lowercase → stopword-filter → Porter-stem pipeline
+/// the paper applies to both feature spaces ("the terms are obtained by
+/// stemming all the distinct words", §2.1).
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {}) : options_(options) {}
+
+  /// Analyzes free text into a sequence of terms (duplicates preserved —
+  /// term frequency is computed downstream).
+  std::vector<std::string> Analyze(std::string_view input) const;
+
+  /// Analyzes a single already-tokenized word; returns "" if it is filtered
+  /// out (stopword / too short / too long).
+  std::string AnalyzeWord(std::string_view word) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace cafc::text
+
+#endif  // CAFC_TEXT_ANALYZER_H_

@@ -1,0 +1,314 @@
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace cafc::text {
+namespace {
+
+// Implementation notes: this follows M. F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980, using the same structure as the author's
+// reference implementation: the word is held in a mutable buffer b[0..k],
+// and `j` marks the end of the stem when a suffix match is being considered.
+// Indices are signed because j may legitimately become -1 when a candidate
+// suffix spans the whole word.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word)
+      : b_(word), k_(static_cast<int>(word.size()) - 1) {}
+
+  std::string Run() {
+    if (k_ <= 1) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, static_cast<size_t>(k_) + 1);
+  }
+
+ private:
+  // True if b_[i] is a consonant, with the Porter treatment of 'y': 'y' is a
+  // consonant when at position 0 or preceded by a vowel.
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  char At(int i) const { return b_[static_cast<size_t>(i)]; }
+
+  // Measure m of the stem b_[0..j_]: number of VC sequences in the
+  // [C](VC)^m[V] decomposition.
+  int Measure() const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j_) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j_) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j_) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // *v*: stem contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  // *d: position i ends a double consonant.
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (At(i) != At(i - 1)) return false;
+    return IsConsonant(i);
+  }
+
+  // *o: b_[i-2..i] is consonant-vowel-consonant where the final consonant is
+  // not w, x or y; signals a short syllable like "hop" in "hopping".
+  bool CvcEnding(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2))
+      return false;
+    char c = At(i);
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  // True if b_[0..k_] ends with `suffix`; sets j_ to the stem end on match.
+  bool Ends(const char* suffix) {
+    int len = static_cast<int>(std::strlen(suffix));
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ + 1 - len), static_cast<size_t>(len),
+                   suffix) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the matched suffix (b_[j_+1..k_]) with `s`.
+  void SetTo(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    b_.replace(static_cast<size_t>(j_ + 1), static_cast<size_t>(k_ - j_), s);
+    k_ = j_ + len;
+  }
+
+  // SetTo when the m-condition holds.
+  void ReplaceIfM(const char* s) {
+    if (Measure() > 0) SetTo(s);
+  }
+
+  // Step 1a: plurals. SSES→SS, IES→I, SS→SS, S→"".
+  // Step 1b: -ED and -ING, with second-chance fixups.
+  void Step1ab() {
+    if (At(k_) == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (At(k_ - 1) != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (Measure() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char c = At(k_);
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (Measure() == 1 && CvcEnding(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: Y→I when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) b_[static_cast<size_t>(k_)] = 'i';
+  }
+
+  // Step 2: double/triple suffixes mapped to single ones when m(stem) > 0.
+  void Step2() {
+    if (k_ < 1) return;
+    switch (At(k_ - 1)) {
+      case 'a':
+        if (Ends("ational")) { ReplaceIfM("ate"); break; }
+        if (Ends("tional")) { ReplaceIfM("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { ReplaceIfM("ence"); break; }
+        if (Ends("anci")) { ReplaceIfM("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { ReplaceIfM("ize"); break; }
+        break;
+      case 'l':
+        // "bli" (Porter's later revision) rather than the original "abli".
+        if (Ends("bli")) { ReplaceIfM("ble"); break; }
+        if (Ends("alli")) { ReplaceIfM("al"); break; }
+        if (Ends("entli")) { ReplaceIfM("ent"); break; }
+        if (Ends("eli")) { ReplaceIfM("e"); break; }
+        if (Ends("ousli")) { ReplaceIfM("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { ReplaceIfM("ize"); break; }
+        if (Ends("ation")) { ReplaceIfM("ate"); break; }
+        if (Ends("ator")) { ReplaceIfM("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { ReplaceIfM("al"); break; }
+        if (Ends("iveness")) { ReplaceIfM("ive"); break; }
+        if (Ends("fulness")) { ReplaceIfM("ful"); break; }
+        if (Ends("ousness")) { ReplaceIfM("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { ReplaceIfM("al"); break; }
+        if (Ends("iviti")) { ReplaceIfM("ive"); break; }
+        if (Ends("biliti")) { ReplaceIfM("ble"); break; }
+        break;
+      case 'g':
+        // "logi" → "log" (Porter's later revision).
+        if (Ends("logi")) { ReplaceIfM("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -icate, -ative, etc.
+  void Step3() {
+    switch (At(k_)) {
+      case 'e':
+        if (Ends("icate")) { ReplaceIfM("ic"); break; }
+        if (Ends("ative")) { ReplaceIfM(""); break; }
+        if (Ends("alize")) { ReplaceIfM("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { ReplaceIfM("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { ReplaceIfM("ic"); break; }
+        if (Ends("ful")) { ReplaceIfM(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { ReplaceIfM(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: drop residual suffixes when m(stem) > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    switch (At(k_ - 1)) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        // -ion only when the stem ends in s or t.
+        if (Ends("ion") && j_ >= 0 && (At(j_) == 's' || At(j_) == 't')) break;
+        if (Ends("ou")) break;  // as in "homologou"
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (Measure() > 1) k_ = j_;
+  }
+
+  // Step 5a: drop final -e when m > 1, or m == 1 and not *o.
+  // Step 5b: -ll → -l when m > 1.
+  void Step5() {
+    j_ = k_;
+    if (At(k_) == 'e') {
+      int m = Measure();
+      if (m > 1 || (m == 1 && !CvcEnding(k_ - 1))) --k_;
+    }
+    if (At(k_) == 'l' && DoubleConsonant(k_) && Measure() > 1) --k_;
+  }
+
+  std::string b_;
+  int k_;      // index of last char of the current word
+  int j_ = 0;  // index of last char of the stem during suffix tests
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (c < 'a' || c > 'z') return std::string(word);
+  }
+  return Stemmer(word).Run();
+}
+
+}  // namespace cafc::text

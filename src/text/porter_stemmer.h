@@ -1,0 +1,24 @@
+#ifndef CAFC_TEXT_PORTER_STEMMER_H_
+#define CAFC_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace cafc::text {
+
+/// \brief Stems `word` with the classic Porter (1980) algorithm.
+///
+/// Input must be lowercase ASCII letters (the word tokenizer guarantees
+/// this); other characters are passed through untouched, in which case the
+/// word is returned unmodified. Words of length <= 2 are returned as-is, per
+/// the original algorithm.
+///
+/// Implements all five steps of the original paper, including the m-measure
+/// conditions, *v*, *d, *o and the step-1b "second chance" rules, so that
+/// e.g. "caresses"→"caress", "ponies"→"poni", "relational"→"relat",
+/// "probate"→"probat", "controll"→"control".
+std::string PorterStem(std::string_view word);
+
+}  // namespace cafc::text
+
+#endif  // CAFC_TEXT_PORTER_STEMMER_H_

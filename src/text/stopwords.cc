@@ -1,0 +1,62 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+
+namespace cafc::text {
+namespace {
+
+// Grouped thematically; sorted copy is built below for binary search.
+constexpr std::array<std::string_view, 181> kStopwords = {
+    "a",       "about",   "above",   "after",   "again",  "against", "all",
+    "also",    "am",      "an",      "and",     "any",    "are",     "aren",
+    "as",      "at",      "be",      "because", "been",   "before",  "being",
+    "below",   "between", "both",    "but",     "by",     "can",     "cannot",
+    "could",   "couldn",  "did",     "didn",    "do",     "does",    "doesn",
+    "doing",   "don",     "down",    "during",  "each",   "etc",     "few",
+    "for",     "from",    "further", "had",     "hadn",   "has",     "hasn",
+    "have",    "haven",   "having",  "he",      "her",    "here",    "hers",
+    "herself", "him",     "himself", "his",     "how",    "i",       "if",
+    "in",      "into",    "is",      "isn",     "it",     "its",     "itself",
+    "just",    "let",     "ll",      "me",      "more",   "most",    "mustn",
+    "my",      "myself",  "no",      "nor",     "not",    "now",     "of",
+    "off",     "on",      "once",    "only",    "or",     "other",   "ought",
+    "our",     "ours",    "ourselves", "out",   "over",   "own",     "re",
+    "s",       "same",    "shan",    "she",     "should", "shouldn", "so",
+    "some",    "such",    "t",       "than",    "that",   "the",     "their",
+    "theirs",  "them",    "themselves", "then", "there",  "these",   "they",
+    "this",    "those",   "through", "to",      "too",    "under",   "until",
+    "up",      "ve",      "very",    "was",     "wasn",   "we",      "were",
+    "weren",   "what",    "when",    "where",   "which",  "while",   "who",
+    "whom",    "why",     "will",    "with",    "won",    "would",   "wouldn",
+    "you",     "your",    "yours",   "yourself", "yourselves",
+    // Word fragments that the tokenizer can produce from contractions.
+    "d",       "m",       "o",       "y",
+    // High-frequency web glue that carries no topical signal at all.
+    "click",   "please",  "page",    "site",    "web",     "www",
+    "http",    "html",    "com",     "org",     "net",     "inc",
+    "copyright", "reserved", "rights", "terms",  "e",       "g",
+    "ie",      "eg",      "per",     "via",     "within",  "without",
+    "yes",
+};
+
+static_assert(kStopwords.size() == 181);
+
+// Sort at compile time so lookup can binary-search regardless of how the
+// source list above is grouped.
+constexpr auto kSortedStopwords = [] {
+  auto sorted = kStopwords;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}();
+
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  return std::binary_search(kSortedStopwords.begin(), kSortedStopwords.end(),
+                            word);
+}
+
+size_t StopwordCount() { return kStopwords.size(); }
+
+}  // namespace cafc::text

@@ -1,0 +1,19 @@
+#ifndef CAFC_TEXT_STOPWORDS_H_
+#define CAFC_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace cafc::text {
+
+/// True if `word` (lowercase) is an English stopword. The list is the
+/// classic SMART-derived function-word list trimmed to what matters for web
+/// form pages; domain-generic web terms ("click", "home", ...) are *not*
+/// stopwords — the paper relies on IDF, not the stop list, to discount them.
+bool IsStopword(std::string_view word);
+
+/// Number of entries in the stopword list (for tests).
+size_t StopwordCount();
+
+}  // namespace cafc::text
+
+#endif  // CAFC_TEXT_STOPWORDS_H_

@@ -1,0 +1,33 @@
+#include "text/word_tokenizer.h"
+
+#include "util/string_util.h"
+
+namespace cafc::text {
+
+std::vector<std::string> TokenizeWords(std::string_view input,
+                                       size_t min_length) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&out, &current, min_length]() {
+    if (current.size() >= min_length) out.push_back(current);
+    current.clear();
+  };
+  for (size_t i = 0; i < input.size(); ++i) {
+    char c = input[i];
+    if (IsAsciiAlpha(c)) {
+      current.push_back(AsciiToLower(c));
+    } else if (c == '\'' && !current.empty() && i + 1 < input.size() &&
+               IsAsciiAlpha(input[i + 1])) {
+      // Possessive / contraction: keep the stem, drop the suffix
+      // ("job's" → "job", "don't" → "don").
+      flush();
+      while (i + 1 < input.size() && IsAsciiAlpha(input[i + 1])) ++i;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace cafc::text

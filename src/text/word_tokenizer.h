@@ -1,0 +1,22 @@
+#ifndef CAFC_TEXT_WORD_TOKENIZER_H_
+#define CAFC_TEXT_WORD_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cafc::text {
+
+/// \brief Splits free text into lowercase word tokens.
+///
+/// A word is a maximal run of ASCII letters; embedded apostrophes are
+/// dropped together with the possessive suffix ("job's" → "job"). Digits and
+/// punctuation separate words; non-ASCII bytes act as separators (the
+/// corpus is English web text). Words shorter than `min_length` are
+/// discarded.
+std::vector<std::string> TokenizeWords(std::string_view input,
+                                       size_t min_length = 2);
+
+}  // namespace cafc::text
+
+#endif  // CAFC_TEXT_WORD_TOKENIZER_H_

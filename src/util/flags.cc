@@ -1,0 +1,97 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace cafc {
+
+FlagParser::FlagParser(int argc, const char* const* argv) {
+  bool flags_done = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (flags_done || !StartsWith(arg, "--")) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    std::string_view body = arg.substr(2);
+    size_t eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      flags_.emplace(std::string(body.substr(0, eq)),
+                     std::string(body.substr(eq + 1)));
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag; otherwise a
+    // bare boolean.
+    if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      flags_.emplace(std::string(body), argv[i + 1]);
+      ++i;
+    } else {
+      flags_.emplace(std::string(body), "");
+    }
+  }
+}
+
+bool FlagParser::Has(std::string_view name) const {
+  return flags_.find(name) != flags_.end();
+}
+
+std::string FlagParser::GetString(std::string_view name,
+                                  std::string default_value) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? default_value : it->second;
+}
+
+int64_t FlagParser::GetInt(std::string_view name,
+                           int64_t default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return default_value;
+  char* end = nullptr;
+  long long value = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? value : default_value;
+}
+
+double FlagParser::GetDouble(std::string_view name,
+                             double default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return default_value;
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? value : default_value;
+}
+
+bool FlagParser::GetBool(std::string_view name, bool default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  if (it->second.empty()) return true;  // bare --flag
+  std::string lower = ToLower(it->second);
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  return default_value;
+}
+
+std::vector<std::string> FlagParser::UnknownFlags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : flags_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
+}
+
+}  // namespace cafc

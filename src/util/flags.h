@@ -1,0 +1,49 @@
+#ifndef CAFC_UTIL_FLAGS_H_
+#define CAFC_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cafc {
+
+/// \brief Minimal command-line parser for the repository's tools.
+///
+/// Grammar: `--name=value`, `--name value`, or bare `--name` (boolean
+/// true). Everything else is positional. `--` terminates flag parsing.
+/// Flags may appear in any order relative to positionals.
+class FlagParser {
+ public:
+  /// Parses argv[1..argc). Never fails: unknown flags are recorded and can
+  /// be validated with UnknownFlags().
+  FlagParser(int argc, const char* const* argv);
+
+  bool Has(std::string_view name) const;
+
+  /// Typed getters with defaults. Malformed numeric values fall back to
+  /// the default (callers validate via Has + GetString when strictness
+  /// matters).
+  std::string GetString(std::string_view name,
+                        std::string default_value = "") const;
+  int64_t GetInt(std::string_view name, int64_t default_value) const;
+  double GetDouble(std::string_view name, double default_value) const;
+  bool GetBool(std::string_view name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names present on the command line but not in `known` — for usage
+  /// errors.
+  std::vector<std::string> UnknownFlags(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cafc
+
+#endif  // CAFC_UTIL_FLAGS_H_

@@ -1,0 +1,53 @@
+#ifndef CAFC_UTIL_STRING_UTIL_H_
+#define CAFC_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cafc {
+
+/// ASCII-only lowercase of a single character.
+char AsciiToLower(char c);
+
+/// ASCII-only lowercase copy of `s` (web-era text processing; the paper's
+/// corpus is English HTML).
+std::string ToLower(std::string_view s);
+
+/// True for ASCII letters a-z / A-Z.
+bool IsAsciiAlpha(char c);
+
+/// True for ASCII digits 0-9.
+bool IsAsciiDigit(char c);
+
+/// True for ASCII letters or digits.
+bool IsAsciiAlnum(char c);
+
+/// True for space, tab, CR, LF, FF, VT.
+bool IsAsciiSpace(char c);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Splits on `sep`, omitting empty pieces.
+std::vector<std::string> SplitNonEmpty(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` begins with `prefix` / ends with `suffix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive (ASCII) equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// True if `haystack` contains `needle` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// Formats a double with `digits` fractional digits (fixed notation).
+std::string FormatDouble(double value, int digits);
+
+}  // namespace cafc
+
+#endif  // CAFC_UTIL_STRING_UTIL_H_

@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+namespace cafc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), /*separator=*/false});
+}
+
+void Table::AddSeparator() { rows_.push_back(Row{{}, /*separator=*/true}); }
+
+std::string Table::ToString() const {
+  size_t columns = header_.size();
+  for (const Row& row : rows_) columns = std::max(columns, row.cells.size());
+
+  std::vector<size_t> widths(columns, 0);
+  auto account = [&widths](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  account(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) account(row.cells);
+  }
+
+  auto render = [&widths, columns](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      line += "| ";
+      line += cell;
+      line.append(widths[i] - cell.size() + 1, ' ');
+    }
+    line += "|\n";
+    return line;
+  };
+
+  std::string rule;
+  for (size_t i = 0; i < columns; ++i) {
+    rule += "+";
+    rule.append(widths[i] + 2, '-');
+  }
+  rule += "+\n";
+
+  std::string out = rule + render(header_) + rule;
+  for (const Row& row : rows_) {
+    out += row.separator ? rule : render(row.cells);
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace cafc

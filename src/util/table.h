@@ -1,0 +1,44 @@
+#ifndef CAFC_UTIL_TABLE_H_
+#define CAFC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cafc {
+
+/// \brief Plain-text table printer used by the experiment harnesses to emit
+/// the paper's rows.
+///
+/// Usage:
+///   Table t({"config", "entropy", "f-measure"});
+///   t.AddRow({"FC+PC", "0.56", "0.74"});
+///   std::cout << t.ToString();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  /// Extra cells are kept and widen the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the table with column-aligned cells and a header rule.
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace cafc
+
+#endif  // CAFC_UTIL_TABLE_H_

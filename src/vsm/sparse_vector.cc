@@ -1,0 +1,131 @@
+#include "vsm/sparse_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cafc::vsm {
+
+SparseVector SparseVector::FromUnsorted(std::vector<Entry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.term < b.term; });
+  SparseVector out;
+  out.entries_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    if (!out.entries_.empty() && out.entries_.back().term == e.term) {
+      out.entries_.back().weight += e.weight;
+    } else {
+      out.entries_.push_back(e);
+    }
+  }
+  return out;
+}
+
+void SparseVector::Add(TermId term, double weight) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const Entry& e, TermId t) { return e.term < t; });
+  if (it != entries_.end() && it->term == term) {
+    it->weight += weight;
+  } else {
+    entries_.insert(it, Entry{term, weight});
+  }
+}
+
+double SparseVector::Get(TermId term) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), term,
+      [](const Entry& e, TermId t) { return e.term < t; });
+  return (it != entries_.end() && it->term == term) ? it->weight : 0.0;
+}
+
+double SparseVector::Norm() const {
+  double sum_sq = 0.0;
+  for (const Entry& e : entries_) sum_sq += e.weight * e.weight;
+  return std::sqrt(sum_sq);
+}
+
+double SparseVector::Sum() const {
+  double sum = 0.0;
+  for (const Entry& e : entries_) sum += e.weight;
+  return sum;
+}
+
+void SparseVector::Scale(double factor) {
+  for (Entry& e : entries_) e.weight *= factor;
+}
+
+void SparseVector::Axpy(double factor, const SparseVector& other) {
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size() + other.entries_.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (j >= other.entries_.size() ||
+        (i < entries_.size() && entries_[i].term < other.entries_[j].term)) {
+      merged.push_back(entries_[i++]);
+    } else if (i >= entries_.size() ||
+               other.entries_[j].term < entries_[i].term) {
+      merged.push_back(
+          Entry{other.entries_[j].term, factor * other.entries_[j].weight});
+      ++j;
+    } else {
+      merged.push_back(Entry{entries_[i].term,
+                             entries_[i].weight +
+                                 factor * other.entries_[j].weight});
+      ++i;
+      ++j;
+    }
+  }
+  entries_ = std::move(merged);
+}
+
+void SparseVector::Compact(double epsilon) {
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [epsilon](const Entry& e) {
+                                  return std::abs(e.weight) <= epsilon;
+                                }),
+                 entries_.end());
+}
+
+void SparseVector::KeepTopK(size_t k) {
+  if (entries_.size() <= k) return;
+  std::vector<Entry> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.term < b.term;
+            });
+  sorted.resize(k);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry& a, const Entry& b) { return a.term < b.term; });
+  entries_ = std::move(sorted);
+}
+
+double Dot(const SparseVector& a, const SparseVector& b) {
+  double sum = 0.0;
+  const auto& ea = a.entries();
+  const auto& eb = b.entries();
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ea.size() && j < eb.size()) {
+    if (ea[i].term < eb[j].term) {
+      ++i;
+    } else if (eb[j].term < ea[i].term) {
+      ++j;
+    } else {
+      sum += ea[i].weight * eb[j].weight;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  double na = a.Norm();
+  double nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+}  // namespace cafc::vsm

@@ -1,0 +1,79 @@
+#ifndef CAFC_VSM_SPARSE_VECTOR_H_
+#define CAFC_VSM_SPARSE_VECTOR_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "vsm/term_dictionary.h"
+
+namespace cafc::vsm {
+
+/// One (term, weight) entry of a sparse vector.
+struct Entry {
+  TermId term;
+  double weight;
+
+  bool operator==(const Entry&) const = default;
+};
+
+/// \brief Sparse term-weight vector, sorted by term id.
+///
+/// The workhorse of the form-page model: every FC / PC feature vector and
+/// every centroid is a SparseVector. Entries with zero weight are dropped on
+/// normalization of the representation (`Compact`).
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds from unsorted entries; duplicate term ids are summed.
+  static SparseVector FromUnsorted(std::vector<Entry> entries);
+
+  /// Adds `weight` to `term`'s entry (O(log n) lookup + O(n) insert for new
+  /// terms; prefer FromUnsorted for bulk construction).
+  void Add(TermId term, double weight);
+
+  /// Weight of `term`, or 0.0 when absent.
+  double Get(TermId term) const;
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Euclidean (L2) norm.
+  double Norm() const;
+
+  /// Sum of weights (L1 mass).
+  double Sum() const;
+
+  /// Multiplies all weights by `factor`.
+  void Scale(double factor);
+
+  /// Adds `factor * other` into this vector (sparse axpy).
+  void Axpy(double factor, const SparseVector& other);
+
+  /// Drops entries with |weight| <= epsilon.
+  void Compact(double epsilon = 0.0);
+
+  /// Keeps only the `k` highest-weight entries (ties broken toward lower
+  /// term ids); a standard index-pruning step for scaling the vector-space
+  /// model. No-op when size() <= k.
+  void KeepTopK(size_t k);
+
+  bool operator==(const SparseVector&) const = default;
+
+ private:
+  std::vector<Entry> entries_;  // sorted by term, unique
+};
+
+/// Dot product of two sparse vectors (linear merge).
+double Dot(const SparseVector& a, const SparseVector& b);
+
+/// Cosine similarity (Eq. 2 of the paper): dot(a,b) / (|a| * |b|).
+/// Returns 0 when either vector is empty or has zero norm — two empty form
+/// pages are maximally uninformative, not identical.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+}  // namespace cafc::vsm
+
+#endif  // CAFC_VSM_SPARSE_VECTOR_H_

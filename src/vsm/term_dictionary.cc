@@ -1,0 +1,19 @@
+#include "vsm/term_dictionary.h"
+
+namespace cafc::vsm {
+
+TermId TermDictionary::Intern(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId TermDictionary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+}  // namespace cafc::vsm

@@ -1,0 +1,44 @@
+#ifndef CAFC_VSM_TERM_DICTIONARY_H_
+#define CAFC_VSM_TERM_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cafc::vsm {
+
+/// Integer id of a term within a TermDictionary.
+using TermId = uint32_t;
+
+/// Sentinel returned by Lookup for unknown terms.
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// \brief Bidirectional term ↔ id mapping shared by all vectors of a corpus.
+///
+/// Ids are dense and assigned in first-seen order, so they index directly
+/// into document-frequency arrays.
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term`, or kInvalidTermId if it was never interned.
+  TermId Lookup(std::string_view term) const;
+
+  /// Precondition: id < size().
+  const std::string& term(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace cafc::vsm
+
+#endif  // CAFC_VSM_TERM_DICTIONARY_H_

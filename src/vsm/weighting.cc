@@ -1,0 +1,137 @@
+#include "vsm/weighting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace cafc::vsm {
+
+LocationWeightConfig LocationWeightConfig::Uniform() {
+  LocationWeightConfig config;
+  config.page_body = 1;
+  config.page_title = 1;
+  config.anchor_text = 1;
+  config.form_text = 1;
+  config.form_option = 1;
+  return config;
+}
+
+int LocationWeightConfig::Factor(Location loc) const {
+  switch (loc) {
+    case Location::kPageBody:
+      return page_body;
+    case Location::kPageTitle:
+      return page_title;
+    case Location::kAnchorText:
+      return anchor_text;
+    case Location::kFormText:
+      return form_text;
+    case Location::kFormOption:
+      return form_option;
+    case Location::kMaxLocation:
+      break;
+  }
+  return 1;
+}
+
+CorpusStats::CorpusStats(TermDictionary* dictionary)
+    : dictionary_(dictionary) {}
+
+void CorpusStats::AddDocument(const std::vector<LocatedTerm>& terms) {
+  ++num_documents_;
+  std::vector<TermId> seen;
+  seen.reserve(terms.size());
+  for (const LocatedTerm& lt : terms) {
+    seen.push_back(dictionary_->Intern(lt.term));
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  if (dictionary_->size() > document_frequency_.size()) {
+    document_frequency_.resize(dictionary_->size(), 0);
+  }
+  for (TermId id : seen) ++document_frequency_[id];
+}
+
+void CorpusStats::Restore(size_t num_documents,
+                          std::vector<size_t> document_frequency) {
+  num_documents_ = num_documents;
+  document_frequency_ = std::move(document_frequency);
+}
+
+size_t CorpusStats::DocumentFrequency(TermId id) const {
+  return id < document_frequency_.size() ? document_frequency_[id] : 0;
+}
+
+double CorpusStats::Idf(TermId id) const {
+  if (num_documents_ == 0) return 0.0;
+  size_t df = std::max<size_t>(DocumentFrequency(id), 1);
+  return std::log(static_cast<double>(num_documents_) /
+                  static_cast<double>(df));
+}
+
+SparseVector TfIdfWeighter::Weigh(
+    const std::vector<LocatedTerm>& terms) const {
+  struct Accumulator {
+    double tf = 0.0;
+    int loc_factor = 1;
+  };
+  std::unordered_map<TermId, Accumulator> acc;
+  for (const LocatedTerm& lt : terms) {
+    TermId id = stats_->dictionary().Lookup(lt.term);
+    if (id == kInvalidTermId) continue;
+    Accumulator& a = acc[id];
+    a.tf += 1.0;
+    a.loc_factor = std::max(a.loc_factor, config_.Factor(lt.location));
+  }
+  std::vector<Entry> entries;
+  entries.reserve(acc.size());
+  for (const auto& [id, a] : acc) {
+    double w = a.loc_factor * a.tf * stats_->Idf(id);
+    if (w > 0.0) entries.push_back(Entry{id, w});
+  }
+  return SparseVector::FromUnsorted(std::move(entries));
+}
+
+Bm25Weighter::Bm25Weighter(const CorpusStats* stats,
+                           LocationWeightConfig config,
+                           double average_document_length, Bm25Params params)
+    : stats_(stats),
+      config_(config),
+      avgdl_(average_document_length > 0.0 ? average_document_length : 1.0),
+      params_(params) {}
+
+SparseVector Bm25Weighter::Weigh(
+    const std::vector<LocatedTerm>& terms) const {
+  struct Accumulator {
+    double tf = 0.0;
+    int loc_factor = 1;
+  };
+  std::unordered_map<TermId, Accumulator> acc;
+  for (const LocatedTerm& lt : terms) {
+    TermId id = stats_->dictionary().Lookup(lt.term);
+    if (id == kInvalidTermId) continue;
+    Accumulator& a = acc[id];
+    a.tf += 1.0;
+    a.loc_factor = std::max(a.loc_factor, config_.Factor(lt.location));
+  }
+  const double dl = static_cast<double>(terms.size());
+  const double norm = params_.k1 * (1.0 - params_.b + params_.b * dl / avgdl_);
+  std::vector<Entry> entries;
+  entries.reserve(acc.size());
+  for (const auto& [id, a] : acc) {
+    double saturation = a.tf * (params_.k1 + 1.0) / (a.tf + norm);
+    double w = a.loc_factor * saturation * stats_->Idf(id);
+    if (w > 0.0) entries.push_back(Entry{id, w});
+  }
+  return SparseVector::FromUnsorted(std::move(entries));
+}
+
+SparseVector Centroid(const std::vector<const SparseVector*>& vectors) {
+  SparseVector sum;
+  for (const SparseVector* v : vectors) sum.Axpy(1.0, *v);
+  if (!vectors.empty()) sum.Scale(1.0 / static_cast<double>(vectors.size()));
+  sum.Compact();
+  return sum;
+}
+
+}  // namespace cafc::vsm

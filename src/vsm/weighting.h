@@ -1,0 +1,137 @@
+#ifndef CAFC_VSM_WEIGHTING_H_
+#define CAFC_VSM_WEIGHTING_H_
+
+#include <string>
+#include <vector>
+
+#include "vsm/sparse_vector.h"
+#include "vsm/term_dictionary.h"
+
+namespace cafc::vsm {
+
+/// Where a term occurrence was found; drives the LOC factor of Eq. 1.
+enum class Location {
+  kPageBody = 0,   ///< ordinary page text outside the form
+  kPageTitle,      ///< inside <title>
+  kAnchorText,     ///< inside <a> (future-work feature; default = body)
+  kFormText,       ///< text inside <form> (labels, free text, buttons)
+  kFormOption,     ///< text inside <option> — database *contents*, not schema
+  kMaxLocation,    ///< sentinel
+};
+
+/// One analyzed term occurrence tagged with its location.
+struct LocatedTerm {
+  std::string term;
+  Location location;
+};
+
+/// LOC factors per location ("a small integer", §2.1). Defaults follow
+/// §4.4: form text above option values; page title above body.
+struct LocationWeightConfig {
+  int page_body = 1;
+  int page_title = 2;
+  int anchor_text = 1;
+  int form_text = 2;
+  int form_option = 1;
+
+  /// The §4.4 ablation: every location weighs 1.
+  static LocationWeightConfig Uniform();
+
+  int Factor(Location loc) const;
+};
+
+/// \brief Document-frequency statistics of one feature space.
+///
+/// `n_i` counts documents containing term i (Eq. 1); `N` is the collection
+/// size. Build by calling AddDocument once per document, then Finalize.
+class CorpusStats {
+ public:
+  explicit CorpusStats(TermDictionary* dictionary);
+
+  /// Registers a document's term occurrences. Terms are interned into the
+  /// shared dictionary; duplicate terms in one document count once toward
+  /// document frequency.
+  void AddDocument(const std::vector<LocatedTerm>& terms);
+
+  size_t num_documents() const { return num_documents_; }
+
+  /// Document frequency of `id` (0 for ids interned after the last
+  /// AddDocument touching them).
+  size_t DocumentFrequency(TermId id) const;
+
+  /// Restores persisted statistics (model loading): `document_frequency`
+  /// is indexed by TermId of the shared dictionary. Replaces any state.
+  void Restore(size_t num_documents, std::vector<size_t> document_frequency);
+
+  /// Smoothed inverse document frequency: log(N / max(n_i, 1)). A term in
+  /// every document gets 0 — exactly the paper's noise elimination.
+  double Idf(TermId id) const;
+
+  const TermDictionary& dictionary() const { return *dictionary_; }
+  TermDictionary* mutable_dictionary() { return dictionary_; }
+
+ private:
+  TermDictionary* dictionary_;  // not owned
+  std::vector<size_t> document_frequency_;
+  size_t num_documents_ = 0;
+};
+
+/// \brief Computes the Eq. 1 vector of a document:
+/// w_i = LOC_i * TF_i * log(N / n_i).
+///
+/// TF_i is the total frequency of term i in the document; LOC_i is the
+/// maximum location factor among the term's occurrences (a term used both in
+/// the form body and inside an option is schema-like, so the stronger signal
+/// wins).
+class TfIdfWeighter {
+ public:
+  TfIdfWeighter(const CorpusStats* stats, LocationWeightConfig config)
+      : stats_(stats), config_(config) {}
+
+  /// Builds the weighted vector for a document already registered in (or at
+  /// least drawn from the same distribution as) the corpus stats. Unknown
+  /// terms are skipped — they carry no usable IDF.
+  SparseVector Weigh(const std::vector<LocatedTerm>& terms) const;
+
+  const LocationWeightConfig& config() const { return config_; }
+
+ private:
+  const CorpusStats* stats_;  // not owned
+  LocationWeightConfig config_;
+};
+
+/// BM25 parameters (Robertson/Spärck Jones). Defaults are the classic
+/// k1 = 1.2, b = 0.75.
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// \brief Okapi BM25 weighting as a modern alternative to the paper's
+/// Eq. 1 (an ablation: would 20 years of IR progress change the result?).
+///
+/// w_i = LOC_i * idf(i) * (tf_i * (k1 + 1)) / (tf_i + k1 * (1 - b + b *
+/// dl/avgdl)), with the same location factor semantics as TfIdfWeighter.
+/// The average document length is supplied at construction (compute it
+/// from the same corpus the stats come from).
+class Bm25Weighter {
+ public:
+  Bm25Weighter(const CorpusStats* stats, LocationWeightConfig config,
+               double average_document_length, Bm25Params params = {});
+
+  SparseVector Weigh(const std::vector<LocatedTerm>& terms) const;
+
+ private:
+  const CorpusStats* stats_;  // not owned
+  LocationWeightConfig config_;
+  double avgdl_;
+  Bm25Params params_;
+};
+
+/// Mean of `vectors` (Eq. 4): the centroid used by k-means and by hub
+/// clusters. Empty input yields an empty vector.
+SparseVector Centroid(const std::vector<const SparseVector*>& vectors);
+
+}  // namespace cafc::vsm
+
+#endif  // CAFC_VSM_WEIGHTING_H_

@@ -1,0 +1,51 @@
+#include "web/backlink_index.h"
+
+namespace cafc::web {
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BacklinkIndex::BacklinkIndex(const LinkGraph* graph,
+                             BacklinkIndexOptions options)
+    : graph_(graph), options_(options) {}
+
+bool BacklinkIndex::EdgeIndexed(PageId from, PageId to) const {
+  if (options_.coverage >= 1.0) return true;
+  if (options_.coverage <= 0.0) return false;
+  uint64_t h = Mix((static_cast<uint64_t>(from) << 32) ^ to ^ options_.seed);
+  // Map the hash to [0,1) and keep the edge below the coverage threshold.
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < options_.coverage;
+}
+
+std::vector<std::string> BacklinkIndex::Backlinks(std::string_view url) const {
+  std::vector<std::string> out;
+  PageId id = graph_->Lookup(url);
+  if (id == kInvalidPageId) return out;
+  for (PageId from : graph_->InLinks(id)) {
+    if (!EdgeIndexed(from, id)) continue;
+    out.push_back(graph_->url(from));
+    if (out.size() >= options_.max_results) break;
+  }
+  return out;
+}
+
+bool BacklinkIndex::HasBacklinks(std::string_view url) const {
+  PageId id = graph_->Lookup(url);
+  if (id == kInvalidPageId) return false;
+  for (PageId from : graph_->InLinks(id)) {
+    if (EdgeIndexed(from, id)) return true;
+  }
+  return false;
+}
+
+}  // namespace cafc::web

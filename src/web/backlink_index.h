@@ -1,0 +1,55 @@
+#ifndef CAFC_WEB_BACKLINK_INDEX_H_
+#define CAFC_WEB_BACKLINK_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "web/link_graph.h"
+
+namespace cafc::web {
+
+/// Options simulating the limitations of a 2006 search-engine `link:` API
+/// (AltaVista in the paper, §3.1).
+struct BacklinkIndexOptions {
+  /// Fraction of true in-links the engine has indexed; each edge is kept
+  /// deterministically by hash, so coverage is stable across queries.
+  double coverage = 0.75;
+  /// Maximum results returned per query ("we extracted a maximum of 100
+  /// backlinks" — the engine-side cap).
+  size_t max_results = 100;
+  /// Salt for the deterministic edge-sampling hash.
+  uint64_t seed = 0;
+};
+
+/// \brief Read-only facade over a LinkGraph that mimics the `link:` query
+/// facility of a search engine.
+///
+/// The paper cannot see the Web graph; it can only ask an engine "which
+/// pages link to U?" and gets an incomplete answer. This class reproduces
+/// that interface and its incompleteness, which CAFC-CH must tolerate
+/// (§3.1: no backlinks at all for >15% of the collection).
+class BacklinkIndex {
+ public:
+  /// `graph` must outlive the index.
+  BacklinkIndex(const LinkGraph* graph, BacklinkIndexOptions options);
+
+  /// URLs of indexed pages linking to `url`, capped at max_results.
+  /// Unknown URLs yield an empty result (the engine has not crawled them).
+  std::vector<std::string> Backlinks(std::string_view url) const;
+
+  /// True if the engine would return at least one backlink for `url`.
+  bool HasBacklinks(std::string_view url) const;
+
+  const BacklinkIndexOptions& options() const { return options_; }
+
+ private:
+  bool EdgeIndexed(PageId from, PageId to) const;
+
+  const LinkGraph* graph_;  // not owned
+  BacklinkIndexOptions options_;
+};
+
+}  // namespace cafc::web
+
+#endif  // CAFC_WEB_BACKLINK_INDEX_H_

@@ -1,0 +1,76 @@
+#include "web/crawler.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "html/dom.h"
+#include "web/url.h"
+
+namespace cafc::web {
+
+Result<Url> DocumentBaseUrl(const html::Document& document,
+                            const Url& page_url) {
+  const html::Node* base = document.root().FindFirst("base");
+  if (base != nullptr) {
+    std::string_view href = base->GetAttr("href");
+    if (!href.empty()) {
+      Result<Url> resolved = ResolveHref(page_url, href);
+      if (resolved.ok()) return resolved;
+    }
+  }
+  return page_url;
+}
+
+CrawlResult Crawler::Crawl(const std::vector<std::string>& seeds) const {
+  CrawlResult result;
+  std::deque<std::pair<std::string, size_t>> frontier;  // (url, depth)
+  std::unordered_set<std::string> enqueued;
+
+  for (const std::string& seed : seeds) {
+    Result<Url> parsed = ParseUrl(seed);
+    if (!parsed.ok()) continue;
+    std::string canonical = parsed->ToString();
+    if (enqueued.insert(canonical).second) {
+      frontier.emplace_back(std::move(canonical), 0);
+    }
+  }
+
+  while (!frontier.empty()) {
+    if (options_.max_pages != 0 && result.visited.size() >= options_.max_pages)
+      break;
+    auto [url, depth] = std::move(frontier.front());
+    frontier.pop_front();
+
+    Result<const WebPage*> fetched = fetcher_->Fetch(url);
+    if (!fetched.ok()) {
+      ++result.fetch_failures;
+      continue;
+    }
+    result.visited.push_back(url);
+
+    html::Document doc = html::Parse((*fetched)->html);
+    if (doc.root().FindFirst("form") != nullptr) {
+      result.form_page_urls.push_back(url);
+    }
+
+    Result<Url> page_url = ParseUrl(url);
+    if (!page_url.ok()) continue;
+    Result<Url> base = DocumentBaseUrl(doc, *page_url);
+    if (!base.ok()) continue;
+    for (const html::Node* anchor : doc.root().FindAll("a")) {
+      std::string_view href = anchor->GetAttr("href");
+      if (href.empty()) continue;
+      Result<Url> target = ResolveHref(*base, href);
+      if (!target.ok()) continue;
+      std::string target_url = target->ToString();
+      result.graph.AddLink(url, target_url);
+      if (depth + 1 <= options_.max_depth &&
+          enqueued.insert(target_url).second) {
+        frontier.emplace_back(std::move(target_url), depth + 1);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cafc::web

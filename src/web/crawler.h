@@ -1,0 +1,62 @@
+#ifndef CAFC_WEB_CRAWLER_H_
+#define CAFC_WEB_CRAWLER_H_
+
+#include <string>
+#include <vector>
+
+#include "html/dom.h"
+#include "web/link_graph.h"
+#include "web/url.h"
+#include "web/page.h"
+
+namespace cafc::web {
+
+/// Crawl limits.
+struct CrawlerOptions {
+  /// Stop after fetching this many pages (0 = unlimited).
+  size_t max_pages = 0;
+  /// Maximum link depth from a seed (seeds are depth 0).
+  size_t max_depth = 8;
+};
+
+/// Output of a crawl.
+struct CrawlResult {
+  /// URLs fetched, in BFS order.
+  std::vector<std::string> visited;
+  /// URLs of fetched pages that contain at least one `<form>` element —
+  /// the raw candidate set fed to the searchable-form classifier.
+  std::vector<std::string> form_page_urls;
+  /// Hyperlink graph discovered by parsing fetched pages. Contains only
+  /// edges whose source was fetched; targets may be unfetched frontier.
+  LinkGraph graph;
+  /// Fetches that failed (dangling links).
+  size_t fetch_failures = 0;
+};
+
+/// Effective base URL for resolving a page's links: the first
+/// `<base href>` of the document when present and parsable, otherwise the
+/// page's own URL (HTML4 §12.4 behaviour that 2000s sites relied on).
+Result<Url> DocumentBaseUrl(const html::Document& document,
+                            const Url& page_url);
+
+/// \brief Breadth-first crawler over a WebFetcher.
+///
+/// Parses each fetched page with the HTML DOM parser, resolves `<a href>`
+/// values against the page URL, and records the link structure. This is the
+/// "Web crawler [3]" substrate the paper uses to gather half its data set.
+class Crawler {
+ public:
+  explicit Crawler(const WebFetcher* fetcher, CrawlerOptions options = {})
+      : fetcher_(fetcher), options_(options) {}
+
+  /// Crawls from `seeds` until the frontier is exhausted or limits hit.
+  CrawlResult Crawl(const std::vector<std::string>& seeds) const;
+
+ private:
+  const WebFetcher* fetcher_;  // not owned
+  CrawlerOptions options_;
+};
+
+}  // namespace cafc::web
+
+#endif  // CAFC_WEB_CRAWLER_H_

@@ -1,0 +1,515 @@
+#include "web/domain_vocab.h"
+
+#include <cassert>
+
+namespace cafc::web {
+namespace {
+
+// Static-storage pattern for non-trivially-destructible constants: heap
+// allocate once, never delete (per style-guide guidance on static globals).
+template <typename T>
+const T& Leak(T* value) {
+  return *value;
+}
+
+DomainSpec* MakeAirfare() {
+  auto* spec = new DomainSpec;
+  spec->domain = Domain::kAirfare;
+  spec->attributes = {
+      {{"from city", "departure city", "origin", "leaving from"}, {}, false},
+      {{"to city", "destination", "arrival city", "going to"}, {}, false},
+      {{"departure date", "depart", "departing", "outbound date"}, {}, false},
+      {{"return date", "returning", "inbound date"}, {}, false},
+      {{"passengers", "travelers", "adults"},
+       {"1 adult", "2 adults", "3 adults", "4 adults", "1 child", "2 children",
+        "infant"},
+       true},
+      {{"cabin class", "class of service", "seating class"},
+       {"economy", "premium economy", "business", "first class"},
+       true},
+      {{"airline", "carrier", "preferred airline"},
+       {"american airlines", "delta", "united", "continental", "northwest",
+        "us airways", "southwest", "jetblue", "alaska air", "frontier",
+        "airtran", "spirit", "hawaiian", "midwest express", "any airline"},
+       true},
+      {{"trip type", "flight type"},
+       {"round trip", "one way", "multi city"},
+       true},
+      {{"departure airport", "from airport"},
+       {"jfk new york", "lga new york", "lax los angeles", "ord chicago",
+        "mdw chicago", "atl atlanta", "dfw dallas", "iah houston",
+        "sfo san francisco", "san diego", "bos boston", "mia miami",
+        "mco orlando", "las vegas", "phx phoenix", "sea seattle",
+        "dtw detroit", "msp minneapolis", "phl philadelphia",
+        "iad washington dulles"},
+       true},
+  };
+  spec->content_terms = {
+      "flight",      "flights",    "airfare",     "airfares",  "airline",
+      "airlines",    "airport",    "airports",    "depart",    "departure",
+      "arrival",     "arrive",     "nonstop",     "connecting", "layover",
+      "roundtrip",   "fare",       "fares",       "ticket",    "tickets",
+      "booking",     "itinerary",  "travel",      "traveler",  "vacation",
+      "vacations",   "destination", "destinations", "passenger", "passengers",
+      "seat",        "seats",      "cabin",       "economy",   "business",
+      "mileage",     "miles",      "frequent",    "flyer",     "carrier",
+      "carriers",    "domestic",   "international", "getaway", "lowfare",
+      "lastminute",  "charter",    "jet",         "aviation",  "boarding",
+      "baggage",     "luggage",    "stopover",    "redeye",    "airways",
+      "departing",   "returning",  "cheap",       "saver",     "deal",
+      "deals",       "specials",   "trip",        "trips",     "tour",
+  };
+  spec->title_terms = {"cheap", "flights", "airfare", "airline", "tickets",
+                       "travel", "book", "flight", "deals", "search"};
+  spec->site_terms = {"flights", "airfare", "fly", "travel", "air",
+                      "trips", "skyfare", "jetsearch"};
+  return spec;
+}
+
+DomainSpec* MakeAuto() {
+  auto* spec = new DomainSpec;
+  spec->domain = Domain::kAuto;
+  spec->attributes = {
+      {{"make", "manufacturer", "brand"},
+       {"ford", "chevrolet", "toyota", "honda", "nissan", "bmw", "audi",
+        "mercedes benz", "volkswagen", "dodge", "jeep", "lexus", "mazda",
+        "subaru", "hyundai", "kia", "volvo", "pontiac", "saturn"},
+       true},
+      {{"model", "vehicle model"},
+       {"accord", "civic", "camry", "corolla", "mustang", "explorer",
+        "taurus", "f150", "altima", "maxima", "jetta", "passat", "outback"},
+       true},
+      {{"year", "model year", "year range"},
+       {"1998", "1999", "2000", "2001", "2002", "2003", "2004", "2005",
+        "2006", "2007"},
+       true},
+      {{"price range", "maximum price", "price"},
+       {"under 5000", "5000 to 10000", "10000 to 15000", "15000 to 20000",
+        "20000 to 30000", "over 30000"},
+       true},
+      {{"body style", "vehicle type", "category"},
+       {"sedan", "coupe", "convertible", "wagon", "suv", "truck", "van",
+        "hatchback", "minivan"},
+       true},
+      {{"zip code", "postal code", "your zip"}, {}, false},
+      {{"mileage", "maximum mileage"},
+       {"under 30000", "under 60000", "under 100000", "any mileage"},
+       true},
+      {{"condition"}, {"new", "used", "certified preowned"}, true},
+      {{"keyword", "search our inventory"}, {}, false},
+  };
+  spec->content_terms = {
+      "car",        "cars",       "auto",       "autos",      "automobile",
+      "automobiles", "vehicle",   "vehicles",   "dealer",     "dealers",
+      "dealership", "dealerships", "inventory", "preowned",   "certified",
+      "sedan",      "coupe",      "suv",        "truck",      "trucks",
+      "minivan",    "convertible", "wagon",     "hatchback",  "engine",
+      "transmission", "automatic", "manual",    "cylinder",   "horsepower",
+      "drivetrain", "odometer",   "mileage",    "warranty",   "financing",
+      "finance",    "loan",       "lease",      "payment",    "payments",
+      "trade",      "tradein",    "appraisal",  "msrp",       "invoice",
+      "sticker",    "bluebook",   "carfax",     "listing",    "listings",
+      "classifieds", "sale",      "motor",      "motors",     "automotive",
+      "makes",      "models",     "test", "drive", "showroom", "leather",
+      "sunroof",    "airbag",     "brakes",     "wheels",
+  };
+  spec->title_terms = {"used", "cars", "new", "auto", "sale", "find",
+                       "vehicle", "dealer", "search", "automobiles"};
+  spec->site_terms = {"cars", "auto", "motors", "autotrader", "carfinder",
+                      "wheels", "usedcars", "automart"};
+  return spec;
+}
+
+DomainSpec* MakeBook() {
+  auto* spec = new DomainSpec;
+  spec->domain = Domain::kBook;
+  spec->attributes = {
+      {{"title", "book title"}, {}, false},
+      {{"author", "author name", "written by"}, {}, false},
+      {{"isbn", "isbn number"}, {}, false},
+      {{"keyword", "keywords", "search for"}, {}, false},
+      {{"subject", "category", "genre"},
+       {"fiction", "nonfiction", "mystery", "romance", "science fiction",
+        "biography", "history", "children", "poetry", "reference",
+        "textbooks", "cooking", "travel", "religion", "business"},
+       true},
+      {{"publisher", "publishing house"},
+       {"penguin", "random house", "harpercollins", "simon schuster",
+        "oxford", "wiley", "mcgraw hill", "scholastic"},
+       true},
+      {{"format", "binding"},
+       {"hardcover", "paperback", "audio cassette", "audio cd", "ebook",
+        "large print"},
+       true},
+      {{"price range"},
+       {"under 10", "10 to 25", "25 to 50", "over 50"},
+       true},
+  };
+  spec->content_terms = {
+      "book",       "books",      "author",     "authors",    "title",
+      "titles",     "isbn",       "publisher",  "publishers", "publishing",
+      "paperback",  "hardcover",  "edition",    "editions",   "fiction",
+      "nonfiction", "novel",      "novels",     "textbook",   "textbooks",
+      "bestseller", "bestsellers", "literature", "literary",  "bookstore",
+      "bookseller", "booksellers", "library",   "chapter",    "chapters",
+      "reader",     "readers",    "reading",    "reviews",    "bibliography",
+      "anthology",  "memoir",     "biography",  "autobiography", "poetry",
+      "poems",      "prose",      "mystery",    "romance",    "thriller",
+      "fantasy",    "bound",      "print",      "printing",   "copy",
+      "copies",     "rare",       "signed",     "firstedition", "outofprint",
+      "volume",     "volumes",    "series",     "excerpt",    "synopsis",
+      "jacket",     "shelf",      "stacks",
+  };
+  spec->title_terms = {"books", "bookstore", "buy", "online", "search",
+                       "new", "used", "rare", "titles", "authors"};
+  spec->site_terms = {"books", "bookstore", "readers", "bookshop",
+                      "pageturner", "bookfinder", "libris", "novelidea"};
+  return spec;
+}
+
+DomainSpec* MakeCarRental() {
+  auto* spec = new DomainSpec;
+  spec->domain = Domain::kCarRental;
+  spec->attributes = {
+      {{"pickup location", "pick up city", "renting city"},
+       {"new york", "los angeles", "chicago", "miami", "orlando", "denver",
+        "seattle", "boston", "las vegas", "phoenix", "atlanta", "dallas",
+        "houston", "detroit", "minneapolis", "tampa", "san jose",
+        "salt lake city"},
+       true},
+      {{"return location", "drop off location", "dropoff city"}, {}, false},
+      {{"pickup date", "pick up date", "rental date"}, {}, false},
+      {{"return date", "drop off date"}, {}, false},
+      {{"pickup time", "pick up time"},
+       {"8 00 am", "10 00 am", "noon", "2 00 pm", "4 00 pm", "6 00 pm"},
+       true},
+      {{"car type", "car class", "vehicle class"},
+       {"economy", "compact", "midsize", "fullsize", "standard", "premium",
+        "luxury", "convertible", "minivan", "suv"},
+       true},
+      {{"driver age", "age of driver"},
+       {"under 25", "25 and over", "over 65"},
+       true},
+      {{"discount code", "coupon code", "corporate id"}, {}, false},
+  };
+  spec->content_terms = {
+      "rental",     "rentals",    "rent",       "renting",    "renter",
+      "pickup",     "dropoff",    "car",        "cars",       "fleet",
+      "vehicle",    "vehicles",   "economy",    "compact",    "midsize",
+      "fullsize",   "luxury",     "minivan",    "suv",        "convertible",
+      "daily",      "weekly",     "weekend",    "rates",      "rate",
+      "unlimited",  "mileage",    "insurance",  "collision",  "waiver",
+      "driver",     "drivers",    "license",    "surcharge",  "deposit",
+      "reservation", "reservations", "reserve", "confirmation", "counter",
+      "location",   "locations",  "branch",     "branches",   "airport",
+      "offairport", "corporate",  "coupon",     "discount",   "upgrade",
+      "dropcharge", "oneway",     "roadside",   "assistance", "gps",
+      "childseat",  "returning",  "pick", "drop", "hire",
+  };
+  spec->title_terms = {"car", "rental", "rent", "rates", "reserve",
+                       "cheap", "deals", "locations", "book", "online"};
+  spec->site_terms = {"rentacar", "carrental", "rentals", "driveaway",
+                      "autorent", "hirecar", "wheelsrent", "easyrent"};
+  return spec;
+}
+
+DomainSpec* MakeHotel() {
+  auto* spec = new DomainSpec;
+  spec->domain = Domain::kHotel;
+  spec->attributes = {
+      {{"city", "destination", "where are you going"},
+       {"new york", "chicago", "san francisco", "los angeles", "orlando",
+        "las vegas", "miami", "boston", "seattle", "new orleans",
+        "washington dc", "atlanta", "dallas", "denver", "philadelphia",
+        "san diego", "phoenix", "honolulu", "nashville", "austin"},
+       true},
+      {{"check in date", "checkin", "arrival date"}, {}, false},
+      {{"check out date", "checkout", "departure date"}, {}, false},
+      {{"rooms", "number of rooms"}, {"1", "2", "3", "4"}, true},
+      {{"adults", "guests", "number of guests"},
+       {"1 adult", "2 adults", "3 adults", "4 adults"},
+       true},
+      {{"children", "kids"}, {"0", "1", "2", "3"}, true},
+      {{"hotel name", "property name"}, {}, false},
+      {{"star rating", "hotel class"},
+       {"1 star", "2 star", "3 star", "4 star", "5 star"},
+       true},
+      {{"price per night", "nightly rate"},
+       {"under 50", "50 to 100", "100 to 200", "over 200"},
+       true},
+  };
+  spec->content_terms = {
+      "hotel",      "hotels",     "room",       "rooms",      "reservation",
+      "reservations", "availability", "checkin", "checkout",  "night",
+      "nights",     "nightly",    "guest",      "guests",     "suite",
+      "suites",     "amenities",  "lodging",    "accommodation",
+      "accommodations", "resort", "resorts",    "inn",        "inns",
+      "motel",      "motels",     "bed",        "beds",       "breakfast",
+      "pool",       "spa",        "fitness",    "concierge",  "housekeeping",
+      "lobby",      "oceanfront", "downtown",   "smoking",    "nonsmoking",
+      "king",       "queen",      "doublebed",  "occupancy",  "rate",
+      "rates",      "stay",       "stays",      "vacancy",    "getaways",
+      "hospitality", "frontdesk", "valet",      "parking",    "wifi",
+      "continental", "suitehotel", "boutique",  "property",   "properties",
+      "destination", "romantic", "family",
+  };
+  spec->title_terms = {"hotel", "hotels", "rooms", "reservations", "cheap",
+                       "discount", "book", "deals", "availability", "find"};
+  spec->site_terms = {"hotels", "lodging", "rooms", "stayfinder",
+                      "hotelguide", "innsearch", "bookaroom", "suites"};
+  return spec;
+}
+
+DomainSpec* MakeJob() {
+  auto* spec = new DomainSpec;
+  spec->domain = Domain::kJob;
+  spec->attributes = {
+      {{"job category", "industry", "field", "job function"},
+       {"accounting", "administrative", "advertising", "aerospace",
+        "agriculture", "banking", "biotechnology", "construction",
+        "consulting", "customer service", "education", "engineering",
+        "entertainment", "finance", "government", "healthcare",
+        "hospitality", "human resources", "information technology",
+        "insurance", "legal", "manufacturing", "marketing", "media",
+        "nonprofit", "pharmaceutical", "real estate", "retail", "sales",
+        "telecommunications", "transportation", "utilities"},
+       true},
+      {{"state", "location", "region"},
+       {"alabama", "alaska", "arizona", "arkansas", "california", "colorado",
+        "connecticut", "delaware", "florida", "georgia", "hawaii", "idaho",
+        "illinois", "indiana", "iowa", "kansas", "kentucky", "louisiana",
+        "maine", "maryland", "massachusetts", "michigan", "minnesota",
+        "mississippi", "missouri", "montana", "nebraska", "nevada",
+        "new hampshire", "new jersey", "new mexico", "new york",
+        "north carolina", "ohio", "oklahoma", "oregon", "pennsylvania",
+        "tennessee", "texas", "utah", "vermont", "virginia", "washington",
+        "wisconsin", "wyoming"},
+       true},
+      {{"keyword", "keywords", "job title keywords"}, {}, false},
+      {{"city", "metro area"}, {}, false},
+      {{"salary range", "desired salary", "compensation"},
+       {"under 30000", "30000 to 50000", "50000 to 75000", "75000 to 100000",
+        "over 100000"},
+       true},
+      {{"job type", "employment type"},
+       {"full time", "part time", "contract", "temporary", "internship"},
+       true},
+      {{"experience level", "career level"},
+       {"entry level", "mid career", "senior", "executive"},
+       true},
+      {{"posted within", "date posted"},
+       {"last 24 hours", "last 7 days", "last 30 days", "anytime"},
+       true},
+  };
+  spec->content_terms = {
+      "job",        "jobs",       "career",     "careers",    "employment",
+      "employer",   "employers",  "employee",   "employees",  "resume",
+      "resumes",    "salary",     "salaries",   "position",   "positions",
+      "opening",    "openings",   "applicant",  "applicants", "apply",
+      "application", "applications", "hire",    "hiring",     "recruiter",
+      "recruiters", "recruiting", "recruitment", "staffing",  "workforce",
+      "workplace",  "occupation", "occupations", "profession", "professional",
+      "vacancy",    "vacancies",  "posting",    "postings",   "candidate",
+      "candidates", "interview",  "interviews", "qualification",
+      "qualifications", "skills", "experience", "benefits",   "fulltime",
+      "parttime",   "temp",       "internship", "internships", "seeker",
+      "seekers",    "jobseeker",  "opportunity", "opportunities", "payroll",
+      "industry",   "industries", "employed", "coverletter",
+  };
+  spec->title_terms = {"jobs", "careers", "employment", "search", "find",
+                       "job", "resume", "openings", "career", "work"};
+  spec->site_terms = {"jobs", "careers", "employment", "jobhunt",
+                      "careerbuilder", "hotjobs", "worksearch", "hireme"};
+  return spec;
+}
+
+DomainSpec* MakeMovie() {
+  auto* spec = new DomainSpec;
+  spec->domain = Domain::kMovie;
+  spec->attributes = {
+      {{"title", "movie title", "film title"}, {}, false},
+      {{"actor", "actor name", "starring"}, {}, false},
+      {{"director", "directed by"}, {}, false},
+      {{"genre", "category"},
+       {"action", "comedy", "drama", "horror", "thriller", "romance",
+        "science fiction", "documentary", "animation", "family", "western",
+        "musical"},
+       true},
+      {{"rating", "mpaa rating"},
+       {"g", "pg", "pg 13", "r", "nc 17", "unrated"},
+       true},
+      {{"format"},
+       {"dvd", "vhs", "widescreen dvd", "fullscreen dvd", "laserdisc"},
+       true},
+      {{"release year", "year"},
+       {"2007", "2006", "2005", "2004", "2003", "2002", "older"},
+       true},
+      {{"keyword", "search movies"}, {}, false},
+      {{"studio"},
+       {"warner", "paramount", "universal", "columbia", "miramax", "disney",
+        "dreamworks", "mgm"},
+       true},
+  };
+  spec->content_terms = {
+      "movie",      "movies",     "film",       "films",      "cinema",
+      "actor",      "actors",     "actress",    "actresses",  "director",
+      "directors",  "screenplay", "trailer",    "trailers",   "theater",
+      "theaters",   "showtimes",  "boxoffice",  "cast",       "casting",
+      "scene",      "scenes",     "sequel",     "screening",  "premiere",
+      "filmography", "comedy",    "drama",      "thriller",   "horror",
+      "western",    "documentary", "animation", "animated",   "subtitles",
+      "widescreen", "fullscreen", "vhs",        "laserdisc",  "blockbuster",
+      "oscar",      "academy",    "hollywood",  "studio",     "studios",
+      "moviegoer",  "critics",    "critic",     "reel",       "feature",
+      "matinee",    "cinematography", "starring", "costar",   "plot",
+      "synopsis",   "remake",
+  };
+  spec->title_terms = {"movies", "dvd", "film", "search", "buy", "rent",
+                       "new", "releases", "videos", "cinema"};
+  spec->site_terms = {"movies", "films", "dvdstore", "cinemaworld",
+                      "moviefinder", "reelsearch", "filmvault", "screenit"};
+  return spec;
+}
+
+DomainSpec* MakeMusic() {
+  auto* spec = new DomainSpec;
+  spec->domain = Domain::kMusic;
+  spec->attributes = {
+      {{"artist", "artist name", "band", "performer"}, {}, false},
+      {{"album", "album title"}, {}, false},
+      {{"song", "song title", "track"}, {}, false},
+      {{"genre", "style", "category"},
+       {"rock", "pop", "jazz", "classical", "country", "rap", "hip hop",
+        "blues", "folk", "electronic", "reggae", "metal", "soul", "gospel"},
+       true},
+      {{"label", "record label"},
+       {"sony", "emi", "warner", "universal", "atlantic", "capitol",
+        "motown", "geffen", "interscope"},
+       true},
+      {{"format"},
+       {"cd", "cassette", "vinyl", "mp3", "dvd audio", "sacd"},
+       true},
+      {{"keyword", "search music"}, {}, false},
+      {{"decade", "era"},
+       {"2000s", "1990s", "1980s", "1970s", "1960s", "oldies"},
+       true},
+  };
+  spec->content_terms = {
+      "music",      "album",      "albums",     "artist",     "artists",
+      "band",       "bands",      "song",       "songs",      "track",
+      "tracks",     "lyrics",     "vinyl",      "cassette",   "recording",
+      "recordings", "label",      "labels",     "rock",       "pop",
+      "jazz",       "classical",  "country",    "rap",        "hiphop",
+      "blues",      "folk",       "reggae",     "metal",      "punk",
+      "soul",       "gospel",     "electronica", "techno",    "acoustic",
+      "instrumental", "vocals",   "vocalist",   "singer",     "singers",
+      "songwriter", "composer",   "orchestra",  "symphony",   "concert",
+      "concerts",   "tour",       "tours",      "billboard",  "charts",
+      "playlist",   "audio",      "stereo",     "remix",      "remastered",
+      "compilation", "discography", "single",   "singles",    "listen",
+      "mp3",        "download",   "grammy",
+  };
+  spec->title_terms = {"music", "cds", "albums", "search", "buy", "artists",
+                       "new", "releases", "songs", "store"};
+  spec->site_terms = {"music", "cdstore", "records", "tunes", "soundshop",
+                      "discworld", "melodymart", "trackfinder"};
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<Domain>& AllDomains() {
+  static const auto& domains = Leak(new std::vector<Domain>{
+      Domain::kAirfare, Domain::kAuto, Domain::kBook, Domain::kCarRental,
+      Domain::kHotel, Domain::kJob, Domain::kMovie, Domain::kMusic});
+  return domains;
+}
+
+std::string_view DomainName(Domain domain) {
+  switch (domain) {
+    case Domain::kAirfare:
+      return "Airfare";
+    case Domain::kAuto:
+      return "Auto";
+    case Domain::kBook:
+      return "Book";
+    case Domain::kCarRental:
+      return "CarRental";
+    case Domain::kHotel:
+      return "Hotel";
+    case Domain::kJob:
+      return "Job";
+    case Domain::kMovie:
+      return "Movie";
+    case Domain::kMusic:
+      return "Music";
+  }
+  return "Unknown";
+}
+
+const DomainSpec& GetDomainSpec(Domain domain) {
+  static const DomainSpec* const kSpecs[kNumDomains] = {
+      MakeAirfare(),   MakeAuto(), MakeBook(),  MakeCarRental(),
+      MakeHotel(),     MakeJob(),  MakeMovie(), MakeMusic(),
+  };
+  int index = static_cast<int>(domain);
+  assert(index >= 0 && index < kNumDomains);
+  return *kSpecs[index];
+}
+
+const std::vector<std::string>& GenericWebTerms() {
+  static const auto& terms = Leak(new std::vector<std::string>{
+      "home",      "contact",   "about",     "help",      "privacy",
+      "policy",    "legal",     "sitemap",   "login",     "logout",
+      "register",  "account",   "password",  "username",  "email",
+      "newsletter", "subscribe", "unsubscribe", "member",  "members",
+      "membership", "signin",   "signup",    "welcome",   "customer",
+      "service",   "support",   "faq",       "feedback",  "shop",
+      "shopping",  "cart",      "checkout",  "order",     "orders",
+      "shipping",  "delivery",  "returns",   "payment",   "secure",
+      "security",  "guarantee", "free",      "gift",      "gifts",
+      "special",   "offers",    "promotion", "promotions", "news",
+      "press",     "company",   "partners",  "affiliates", "advertise",
+      "advertising", "jobsatcompany", "investor", "relations", "international",
+      "directory", "links",     "resources", "tools",     "guide",
+      "guides",    "top",       "best",      "popular",   "featured",
+      "recommended", "today",   "daily",     "update",    "updated",
+  });
+  return terms;
+}
+
+const std::vector<std::string>& GenericFormTerms() {
+  static const auto& terms = Leak(new std::vector<std::string>{
+      "search", "find", "go", "submit", "advanced", "browse", "select",
+      "enter", "choose", "all", "any", "clear", "reset", "show", "results",
+      "sort", "options", "refine", "lookup", "quick",
+  });
+  return terms;
+}
+
+const std::vector<std::string>& MediaOverlapTerms() {
+  static const auto& terms = Leak(new std::vector<std::string>{
+      "title",     "titles",   "dvd",       "dvds",      "video",
+      "videos",    "release",  "releases",  "genre",     "rating",
+      "ratings",   "review",   "reviews",   "store",     "entertainment",
+      "media",     "chart",    "bestselling", "soundtrack", "soundtracks",
+      "disc",      "discs",    "boxset",    "collection", "collections",
+      "edition",   "preorder", "newrelease", "catalog",  "catalogue",
+  });
+  return terms;
+}
+
+const std::vector<std::string>& TravelOverlapTerms() {
+  static const auto& terms = Leak(new std::vector<std::string>{
+      "travel",      "traveler",   "trip",        "trips",      "destination",
+      "destinations", "reservation", "reservations", "booking",  "bookings",
+      "book",        "confirm",    "confirmation", "itinerary", "vacation",
+      "vacations",   "getaway",    "airport",     "city",       "cities",
+      "dates",       "arrival",    "departure",   "return",     "rates",
+      "rate",        "discount",   "deals",       "specials",   "leisure",
+      "agent",       "agency",     "online",      "lowest",     "guarantee",
+  });
+  return terms;
+}
+
+}  // namespace cafc::web

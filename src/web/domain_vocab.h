@@ -1,0 +1,81 @@
+#ifndef CAFC_WEB_DOMAIN_VOCAB_H_
+#define CAFC_WEB_DOMAIN_VOCAB_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cafc::web {
+
+/// The eight online-database domains of the paper's gold standard (§4.1).
+enum class Domain {
+  kAirfare = 0,
+  kAuto,
+  kBook,
+  kCarRental,
+  kHotel,
+  kJob,
+  kMovie,
+  kMusic,
+};
+
+inline constexpr int kNumDomains = 8;
+
+/// All eight domains in enum order.
+const std::vector<Domain>& AllDomains();
+
+/// Human-readable domain name ("Airfare", ...).
+std::string_view DomainName(Domain domain);
+
+/// \brief One queryable attribute of a domain's form schema.
+///
+/// `labels` are synonymous names used by different sites for the same
+/// concept (the paper's Figure 1: "Job Category" vs "Industry"); a site
+/// picks one. `values` populate `<option>` tags when the attribute is
+/// rendered as a select.
+struct AttributeSpec {
+  std::vector<std::string> labels;
+  std::vector<std::string> values;
+  /// Render as <select> when values are available (vs free-text input).
+  bool prefer_select = false;
+};
+
+/// \brief Vocabulary and schema pool for one database domain.
+struct DomainSpec {
+  Domain domain;
+  /// Pool of attributes; a generated form samples a subset.
+  std::vector<AttributeSpec> attributes;
+  /// Distinctive body vocabulary ("anchors" in the paper's terminology):
+  /// high TF within the domain, low document frequency outside it.
+  std::vector<std::string> content_terms;
+  /// Words composing page titles.
+  std::vector<std::string> title_terms;
+  /// Host-name fragments for synthetic sites ("jobs", "career", ...).
+  std::vector<std::string> site_terms;
+};
+
+/// Immutable spec for `domain`.
+const DomainSpec& GetDomainSpec(Domain domain);
+
+/// Generic web-boilerplate vocabulary shared by every site (navigation,
+/// legal, account chrome). These are the terms the paper observes to have
+/// "high frequency in form pages of all domains" and hence near-zero IDF.
+const std::vector<std::string>& GenericWebTerms();
+
+/// Generic form-chrome vocabulary (search, submit, advanced, ...), shared
+/// by searchable forms in every domain.
+const std::vector<std::string>& GenericFormTerms();
+
+/// Extra vocabulary shared by the Music and Movie domains only — the
+/// paper's observed "large vocabulary overlap between the two domains"
+/// (§4.2) that causes most clustering mistakes.
+const std::vector<std::string>& MediaOverlapTerms();
+
+/// Extra vocabulary shared by the travel verticals (Airfare, Hotel,
+/// CarRental) — reservations, destinations, dates — which makes the travel
+/// trio mutually confusable for content-only clustering.
+const std::vector<std::string>& TravelOverlapTerms();
+
+}  // namespace cafc::web
+
+#endif  // CAFC_WEB_DOMAIN_VOCAB_H_

@@ -1,0 +1,135 @@
+#include "web/focused_crawler.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "html/dom.h"
+#include "web/domain_vocab.h"
+#include "web/url.h"
+
+namespace cafc::web {
+namespace {
+
+/// Frontier entry. Higher score pops first; among equal scores, earlier
+/// discovery wins (stable, deterministic order).
+struct FrontierEntry {
+  double score;
+  uint64_t sequence;
+  std::string url;
+};
+
+struct FrontierCompare {
+  bool operator()(const FrontierEntry& a, const FrontierEntry& b) const {
+    if (a.score != b.score) return a.score < b.score;  // max-heap on score
+    return a.sequence > b.sequence;                    // FIFO tie-break
+  }
+};
+
+}  // namespace
+
+FocusedCrawler::FocusedCrawler(const WebFetcher* fetcher,
+                               FocusedCrawlerOptions options)
+    : fetcher_(fetcher), options_(std::move(options)) {
+  std::vector<std::string> raw = options_.target_terms;
+  if (raw.empty()) {
+    raw = GenericFormTerms();
+    raw.insert(raw.end(), {"database", "databases", "directory", "listings"});
+  }
+  for (const std::string& term : raw) {
+    for (std::string& stem : analyzer_.Analyze(term)) {
+      target_stems_.push_back(std::move(stem));
+    }
+  }
+  std::sort(target_stems_.begin(), target_stems_.end());
+  target_stems_.erase(
+      std::unique(target_stems_.begin(), target_stems_.end()),
+      target_stems_.end());
+}
+
+double FocusedCrawler::ScoreLink(std::string_view anchor_text,
+                                 std::string_view url,
+                                 bool parent_had_form) const {
+  auto is_target = [this](const std::string& stem) {
+    return std::binary_search(target_stems_.begin(), target_stems_.end(),
+                              stem);
+  };
+  double score = 0.0;
+  for (const std::string& stem : analyzer_.Analyze(anchor_text)) {
+    if (is_target(stem)) score += options_.anchor_weight;
+  }
+  // URL path tokens: split on the usual separators via the analyzer.
+  size_t path_start = url.find("://");
+  std::string_view path =
+      path_start == std::string_view::npos ? url : url.substr(path_start + 3);
+  size_t slash = path.find('/');
+  if (slash != std::string_view::npos) path = path.substr(slash);
+  for (const std::string& stem : analyzer_.Analyze(path)) {
+    if (is_target(stem)) score += options_.url_weight;
+  }
+  if (parent_had_form) score += options_.parent_form_bonus;
+  return score;
+}
+
+CrawlResult FocusedCrawler::Crawl(
+    const std::vector<std::string>& seeds) const {
+  CrawlResult result;
+  std::priority_queue<FrontierEntry, std::vector<FrontierEntry>,
+                      FrontierCompare>
+      frontier;
+  std::unordered_set<std::string> enqueued;
+  uint64_t sequence = 0;
+
+  for (const std::string& seed : seeds) {
+    Result<Url> parsed = ParseUrl(seed);
+    if (!parsed.ok()) continue;
+    std::string canonical = parsed->ToString();
+    if (enqueued.insert(canonical).second) {
+      // Seeds start with their URL-only score so promising seeds go first.
+      frontier.push(FrontierEntry{ScoreLink("", canonical, false),
+                                  sequence++, std::move(canonical)});
+    }
+  }
+
+  while (!frontier.empty()) {
+    if (options_.max_pages != 0 &&
+        result.visited.size() >= options_.max_pages) {
+      break;
+    }
+    FrontierEntry top = frontier.top();
+    frontier.pop();
+
+    Result<const WebPage*> fetched = fetcher_->Fetch(top.url);
+    if (!fetched.ok()) {
+      ++result.fetch_failures;
+      continue;
+    }
+    result.visited.push_back(top.url);
+
+    html::Document doc = html::Parse((*fetched)->html);
+    bool has_form = doc.root().FindFirst("form") != nullptr;
+    if (has_form) result.form_page_urls.push_back(top.url);
+
+    Result<Url> page_url = ParseUrl(top.url);
+    if (!page_url.ok()) continue;
+    Result<Url> base = DocumentBaseUrl(doc, *page_url);
+    if (!base.ok()) continue;
+    for (const html::Node* anchor : doc.root().FindAll("a")) {
+      std::string_view href = anchor->GetAttr("href");
+      if (href.empty()) continue;
+      Result<Url> target = ResolveHref(*base, href);
+      if (!target.ok()) continue;
+      std::string target_url = target->ToString();
+      result.graph.AddLink(top.url, target_url);
+      if (enqueued.insert(target_url).second) {
+        double score =
+            ScoreLink(anchor->TextContent(), target_url, has_form);
+        frontier.push(
+            FrontierEntry{score, sequence++, std::move(target_url)});
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cafc::web

@@ -1,0 +1,42 @@
+#include "web/link_graph.h"
+
+#include <algorithm>
+
+namespace cafc::web {
+
+PageId LinkGraph::Intern(std::string_view url) {
+  auto it = index_.find(std::string(url));
+  if (it != index_.end()) return it->second;
+  PageId id = static_cast<PageId>(urls_.size());
+  urls_.emplace_back(url);
+  index_.emplace(urls_.back(), id);
+  out_links_.emplace_back();
+  in_links_.emplace_back();
+  return id;
+}
+
+PageId LinkGraph::Lookup(std::string_view url) const {
+  auto it = index_.find(std::string(url));
+  return it == index_.end() ? kInvalidPageId : it->second;
+}
+
+void LinkGraph::AddLink(std::string_view from, std::string_view to) {
+  PageId a = Intern(from);
+  PageId b = Intern(to);
+  if (a == b) return;
+  auto& out = out_links_[a];
+  if (std::find(out.begin(), out.end(), b) != out.end()) return;
+  out.push_back(b);
+  in_links_[b].push_back(a);
+  ++num_edges_;
+}
+
+const std::vector<PageId>& LinkGraph::OutLinks(PageId id) const {
+  return out_links_[id];
+}
+
+const std::vector<PageId>& LinkGraph::InLinks(PageId id) const {
+  return in_links_[id];
+}
+
+}  // namespace cafc::web

@@ -1,0 +1,56 @@
+#ifndef CAFC_WEB_LINK_GRAPH_H_
+#define CAFC_WEB_LINK_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cafc::web {
+
+/// Dense id of a page within a LinkGraph.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = static_cast<PageId>(-1);
+
+/// \brief Directed hyperlink graph over page URLs.
+///
+/// Stores forward and backward adjacency; self-links and duplicate edges
+/// are dropped. URLs are canonical strings (produced by Url::ToString).
+class LinkGraph {
+ public:
+  LinkGraph() = default;
+
+  /// Returns the id of `url`, registering it if new.
+  PageId Intern(std::string_view url);
+
+  /// Returns the id of `url`, or kInvalidPageId.
+  PageId Lookup(std::string_view url) const;
+
+  /// Adds edge from → to (interning both). Self-links and duplicates are
+  /// ignored.
+  void AddLink(std::string_view from, std::string_view to);
+
+  /// Precondition: id < num_pages().
+  const std::string& url(PageId id) const { return urls_[id]; }
+
+  size_t num_pages() const { return urls_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Pages that `id` links to.
+  const std::vector<PageId>& OutLinks(PageId id) const;
+  /// Pages that link to `id`.
+  const std::vector<PageId>& InLinks(PageId id) const;
+
+ private:
+  std::unordered_map<std::string, PageId> index_;
+  std::vector<std::string> urls_;
+  std::vector<std::vector<PageId>> out_links_;
+  std::vector<std::vector<PageId>> in_links_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace cafc::web
+
+#endif  // CAFC_WEB_LINK_GRAPH_H_

@@ -1,0 +1,32 @@
+#ifndef CAFC_WEB_PAGE_H_
+#define CAFC_WEB_PAGE_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cafc::web {
+
+/// A fetched web page: canonical URL plus raw HTML.
+struct WebPage {
+  std::string url;
+  std::string html;
+};
+
+/// \brief Abstract page fetcher — the crawler's view of "the Web".
+///
+/// Production deployments would implement this over HTTP; the repository
+/// ships `SyntheticWeb`, which serves the generated corpus.
+class WebFetcher {
+ public:
+  virtual ~WebFetcher() = default;
+
+  /// Fetches `url`. NotFound for URLs outside the fetcher's universe. The
+  /// returned pointer remains valid for the fetcher's lifetime.
+  virtual Result<const WebPage*> Fetch(std::string_view url) const = 0;
+};
+
+}  // namespace cafc::web
+
+#endif  // CAFC_WEB_PAGE_H_

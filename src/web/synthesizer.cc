@@ -1,0 +1,704 @@
+#include "web/synthesizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cafc::web {
+
+Result<const WebPage*> SyntheticWeb::Fetch(std::string_view url) const {
+  auto it = index_.find(std::string(url));
+  if (it == index_.end()) {
+    return Status::NotFound("no such page: " + std::string(url));
+  }
+  return &pages_[it->second];
+}
+
+const FormPageInfo* SyntheticWeb::FindFormPage(std::string_view url) const {
+  for (const FormPageInfo& info : form_pages_) {
+    if (info.url == url) return &info;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Top-level-domain suffixes for synthetic hosts.
+constexpr const char* kTlds[] = {"com", "com", "com", "net", "org"};
+
+constexpr const char* kHubHostWords[] = {
+    "links",   "portal",   "webguide", "favorites", "toplist",
+    "bestof",  "netindex", "pathfinder", "surfer",  "compass",
+    "gateway", "webring",  "hotlist",  "bookmarks", "navigator",
+};
+
+constexpr const char* kFormPaths[] = {
+    "/search.html",   "/find.asp",     "/query.php",   "/cgi-bin/search",
+    "/search/index.html", "/advanced_search.html", "/locate.jsp",
+    "/dbsearch.html",
+};
+
+// Letter-only tokens for hidden-input values; the form-page model must not
+// let these leak into feature vectors.
+constexpr const char* kHiddenTokens[] = {
+    "xkqzjw", "pqvbnm", "zzyxw", "qqklm", "vbnmp", "wwxyz",
+};
+
+}  // namespace
+
+/// Generates the corpus. All randomness flows from the config seed.
+class SyntheticWebBuilder {
+ public:
+  explicit SyntheticWebBuilder(const SynthesizerConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  SyntheticWeb Build() {
+    PlanDomainCounts();
+    GenerateFormSites();
+    GenerateNonSearchableSites();
+    GenerateNoisePages();
+    GenerateHubs();
+    return std::move(web_);
+  }
+
+ private:
+  // ---------------------------------------------------------------- helpers
+
+  const std::string& Pick(const std::vector<std::string>& pool) {
+    assert(!pool.empty());
+    return pool[rng_.Uniform(pool.size())];
+  }
+
+  template <typename T, size_t N>
+  const T& Pick(const T (&pool)[N]) {
+    return pool[rng_.Uniform(N)];
+  }
+
+  /// `n` terms sampled with replacement, space separated.
+  std::string SampleTerms(const std::vector<std::string>& pool, int n) {
+    std::vector<std::string> words;
+    words.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) words.push_back(Pick(pool));
+    return Join(words, " ");
+  }
+
+  /// Per-site slice of a domain's vocabulary: real sites each use only a
+  /// fragment of their domain's language, which is exactly the intra-domain
+  /// "vocabulary heterogeneity" the paper identifies as the hard case for
+  /// content-only clustering (§2.3).
+  std::vector<std::string> SampleSiteVocabulary(const DomainSpec& spec) {
+    size_t want = std::max<size_t>(
+        10,
+        static_cast<size_t>(config_.site_vocabulary_fraction *
+                            static_cast<double>(spec.content_terms.size())));
+    want = std::min(want, spec.content_terms.size());
+    std::vector<std::string> vocab;
+    for (size_t idx :
+         rng_.SampleWithoutReplacement(spec.content_terms.size(), want)) {
+      vocab.push_back(spec.content_terms[idx]);
+    }
+    return vocab;
+  }
+
+  /// Body prose for a page of `domain`: a mixture of domain anchors (drawn
+  /// from `site_vocab` when provided), generic web chrome, cross-domain
+  /// noise, and (for Music/Movie) the shared media vocabulary.
+  std::string DomainProse(Domain domain, int n_terms,
+                          const std::vector<std::string>* site_vocab = nullptr,
+                          double domain_share_scale = 1.0) {
+    const DomainSpec& spec = GetDomainSpec(domain);
+    bool media = domain == Domain::kMusic || domain == Domain::kMovie;
+    bool travel = domain == Domain::kAirfare || domain == Domain::kHotel ||
+                  domain == Domain::kCarRental;
+    double overlap = media    ? config_.media_overlap_strength
+                     : travel ? config_.travel_overlap_strength
+                              : 0.0;
+    const std::vector<std::string>& overlap_pool =
+        media ? MediaOverlapTerms() : TravelOverlapTerms();
+    double domain_share = config_.domain_term_share * domain_share_scale;
+    const std::vector<std::string>& domain_pool =
+        (site_vocab != nullptr && !site_vocab->empty()) ? *site_vocab
+                                                        : spec.content_terms;
+    std::vector<std::string> words;
+    words.reserve(static_cast<size_t>(n_terms));
+    for (int i = 0; i < n_terms; ++i) {
+      double u = rng_.UniformDouble();
+      if (u < overlap) {
+        words.push_back(Pick(overlap_pool));
+      } else if (u < overlap + config_.cross_domain_noise) {
+        const DomainSpec& other = GetDomainSpec(
+            AllDomains()[rng_.Uniform(AllDomains().size())]);
+        words.push_back(Pick(other.content_terms));
+      } else if (u < overlap + config_.cross_domain_noise + domain_share) {
+        words.push_back(Pick(domain_pool));
+      } else {
+        words.push_back(Pick(GenericWebTerms()));
+      }
+    }
+    return Join(words, " ");
+  }
+
+  /// Page titles mix domain words with generic site chrome ("welcome",
+  /// "online", brand fragments), like real 2000s titles.
+  std::string TitleText(const DomainSpec& spec, int n_terms) {
+    std::vector<std::string> words;
+    words.reserve(static_cast<size_t>(n_terms));
+    for (int i = 0; i < n_terms; ++i) {
+      words.push_back(rng_.Bernoulli(0.30) ? Pick(GenericWebTerms())
+                                           : Pick(spec.title_terms));
+    }
+    return Join(words, " ");
+  }
+
+  /// Pseudo-words for outlier pages: unique, meaningless, high-IDF tokens
+  /// that place the page far from every domain centroid.
+  std::string JunkWord() {
+    static constexpr const char* kSyllables[] = {
+        "zor", "quin", "bax", "fex",  "mul",  "tro", "vel",  "gly",
+        "pho", "dran", "skel", "urt", "wib",  "yax", "crum", "plen"};
+    std::string word;
+    int syllables = 3 + static_cast<int>(rng_.Uniform(2));
+    for (int i = 0; i < syllables; ++i) {
+      word += kSyllables[rng_.Uniform(std::size(kSyllables))];
+    }
+    return word;
+  }
+
+  std::string JunkProse(int n_terms) {
+    std::vector<std::string> lexicon;
+    for (int i = 0; i < 25; ++i) lexicon.push_back(JunkWord());
+    std::vector<std::string> words;
+    for (int i = 0; i < n_terms; ++i) {
+      words.push_back(lexicon[rng_.Uniform(lexicon.size())]);
+    }
+    return Join(words, " ");
+  }
+
+  /// Registers a page and its outgoing links in the truth graph.
+  void AddPage(std::string url, std::string html,
+               const std::vector<std::string>& out_links) {
+    web_.index_.emplace(url, web_.pages_.size());
+    web_.graph_.Intern(url);
+    for (const std::string& target : out_links) {
+      web_.graph_.AddLink(url, target);
+    }
+    web_.pages_.push_back(WebPage{std::move(url), std::move(html)});
+  }
+
+  std::string NewHost(const std::vector<std::string>& words) {
+    return "www." + Pick(words) + std::to_string(++site_counter_) + "." +
+           std::string(Pick(kTlds));
+  }
+
+  // ------------------------------------------------------------------ plan
+
+  void PlanDomainCounts() {
+    int base = config_.form_pages_total / kNumDomains;
+    int rem = config_.form_pages_total % kNumDomains;
+    int single_base = config_.single_attribute_forms / kNumDomains;
+    int single_rem = config_.single_attribute_forms % kNumDomains;
+    for (int d = 0; d < kNumDomains; ++d) {
+      pages_per_domain_[d] = base + (d < rem ? 1 : 0);
+      singles_per_domain_[d] = single_base + (d < single_rem ? 1 : 0);
+    }
+  }
+
+  // ------------------------------------------------------------ form sites
+
+  struct RenderedForm {
+    std::string html;
+    int approx_form_terms = 0;
+  };
+
+  /// Renders one attribute as a table row: label cell + control cell.
+  std::string RenderAttribute(const AttributeSpec& attr, int* term_count) {
+    const std::string& label = attr.labels[rng_.Uniform(attr.labels.size())];
+    *term_count += static_cast<int>(SplitNonEmpty(label, ' ').size());
+    std::string control;
+    bool as_select = attr.prefer_select && !attr.values.empty() &&
+                     rng_.Bernoulli(0.85);
+    std::string field_name = ToLower(label);
+    std::replace(field_name.begin(), field_name.end(), ' ', '_');
+    if (as_select) {
+      control = "<select name=\"" + field_name + "\">\n";
+      control += "<option value=\"\">" +
+                 std::string(rng_.Bernoulli(0.5) ? "any" : "select one") +
+                 "</option>\n";
+      // A site shows a subset of the canonical value list, and real-world
+      // option lists are database *contents*: they carry site-specific
+      // noise (chrome entries, off-vertical values) alongside the canonical
+      // values. This is exactly why the paper downweights option text.
+      size_t show = std::max<size_t>(
+          2, attr.values.size() - rng_.Uniform(attr.values.size() / 2 + 1));
+      for (size_t v = 0; v < show && v < attr.values.size(); ++v) {
+        std::string value = attr.values[v];
+        if (rng_.Bernoulli(0.45)) {
+          const DomainSpec& other = GetDomainSpec(
+              AllDomains()[rng_.Uniform(AllDomains().size())]);
+          value = rng_.Bernoulli(0.5) ? Pick(other.content_terms)
+                                      : Pick(GenericWebTerms());
+        }
+        control += "<option value=\"" + std::to_string(v) + "\">" + value +
+                   "</option>\n";
+        *term_count += static_cast<int>(SplitNonEmpty(value, ' ').size());
+      }
+      control += "</select>";
+    } else {
+      control = "<input type=\"text\" name=\"" + field_name +
+                "\" size=\"" + std::to_string(10 + rng_.Uniform(20)) + "\">";
+    }
+    std::string label_text = label;
+    label_text[0] = static_cast<char>(label_text[0] - 'a' + 'A');
+    return "<tr><td><b>" + label_text + ":</b></td><td>" + control +
+           "</td></tr>\n";
+  }
+
+  /// Builds a multi-attribute searchable form for `domain`, drawing
+  /// `n_attrs` attributes from the domain pool (plus, for ambiguous media
+  /// stores, from the other media domain too).
+  RenderedForm RenderMultiAttributeForm(Domain domain, int n_attrs,
+                                        bool ambiguous_media) {
+    RenderedForm out;
+    std::vector<const AttributeSpec*> pool;
+    for (const AttributeSpec& a : GetDomainSpec(domain).attributes) {
+      pool.push_back(&a);
+    }
+    if (ambiguous_media) {
+      Domain other = domain == Domain::kMusic ? Domain::kMovie
+                                              : Domain::kMusic;
+      for (const AttributeSpec& a : GetDomainSpec(other).attributes) {
+        pool.push_back(&a);
+      }
+    }
+    std::vector<size_t> chosen = rng_.SampleWithoutReplacement(
+        pool.size(), static_cast<size_t>(n_attrs));
+
+    std::string rows;
+    for (size_t idx : chosen) {
+      rows += RenderAttribute(*pool[idx], &out.approx_form_terms);
+    }
+    // Real sites bolt on attributes that belong to no particular domain
+    // schema (zip code, price range, generic keyword) or borrow from
+    // another vertical — schema-level noise for the FC space.
+    if (rng_.Bernoulli(config_.foreign_attribute_prob)) {
+      const DomainSpec& other = GetDomainSpec(
+          AllDomains()[rng_.Uniform(AllDomains().size())]);
+      const AttributeSpec& borrowed =
+          other.attributes[rng_.Uniform(other.attributes.size())];
+      rows += RenderAttribute(borrowed, &out.approx_form_terms);
+    }
+    const std::string& submit_word = Pick(GenericFormTerms());
+    out.html = "<form action=\"" + std::string(Pick(kFormPaths)) +
+               "\" method=\"get\" name=\"searchform\">\n<table>\n" + rows +
+               "</table>\n<input type=\"submit\" value=\"" + submit_word +
+               "\"> <input type=\"reset\" value=\"clear\">\n";
+    // 1–3 hidden fields with opaque tokens (must be excluded downstream).
+    int hidden = 1 + static_cast<int>(rng_.Uniform(3));
+    for (int h = 0; h < hidden; ++h) {
+      out.html += "<input type=\"hidden\" name=\"sid\" value=\"" +
+                  std::string(Pick(kHiddenTokens)) + "\">\n";
+    }
+    out.html += "</form>\n";
+    out.approx_form_terms += 2;
+    return out;
+  }
+
+  /// Single-attribute keyword interface; ~40% of the time the descriptive
+  /// label sits *outside* the FORM tags (the paper's Figure 1(c)).
+  RenderedForm RenderSingleAttributeForm(Domain domain,
+                                         std::string* outside_label) {
+    RenderedForm out;
+    const DomainSpec& spec = GetDomainSpec(domain);
+    bool label_outside = rng_.Bernoulli(0.4);
+    std::string label = "search " + Pick(spec.title_terms);
+    if (label_outside) {
+      *outside_label = "<b>" + label + "</b>\n";
+    }
+    out.html = "<form action=\"" + std::string(Pick(kFormPaths)) +
+               "\" method=\"get\">\n";
+    if (!label_outside && rng_.Bernoulli(0.6)) {
+      out.html += label + " ";
+      out.approx_form_terms += 2;
+    }
+    out.html +=
+        "<input type=\"text\" name=\"" +
+        std::string(rng_.Bernoulli(0.5) ? "q" : "keywords") +
+        "\" size=\"25\"> <input type=\"submit\" value=\"" +
+        Pick(GenericFormTerms()) + "\">\n</form>\n";
+    out.approx_form_terms += 1;
+    return out;
+  }
+
+  /// Page body size follows the paper's Table 1: pages with small forms are
+  /// content-rich; pages with large forms are sparse.
+  int BodyTermsForFormSize(int form_terms) {
+    if (form_terms < 10) return 250 + static_cast<int>(rng_.Uniform(80));
+    if (form_terms < 50) return 110 + static_cast<int>(rng_.Uniform(50));
+    if (form_terms < 100) return 55 + static_cast<int>(rng_.Uniform(35));
+    if (form_terms < 200) return 55 + static_cast<int>(rng_.Uniform(45));
+    return 20 + static_cast<int>(rng_.Uniform(20));
+  }
+
+  void GenerateFormSites() {
+    int ambiguous_left = config_.ambiguous_media_stores;
+    int outliers_left = config_.outlier_pages;
+    for (int d = 0; d < kNumDomains; ++d) {
+      Domain domain = AllDomains()[static_cast<size_t>(d)];
+      const DomainSpec& spec = GetDomainSpec(domain);
+      for (int i = 0; i < pages_per_domain_[d]; ++i) {
+        bool single = i < singles_per_domain_[d];
+        bool ambiguous = false;
+        if (domain == Domain::kMusic && !single && ambiguous_left > 0) {
+          ambiguous = true;
+          --ambiguous_left;
+        }
+        // The last page of the first few domains is an outlier: junk
+        // vocabulary, generic one-field form.
+        bool outlier = outliers_left > 0 && !single &&
+                       i == pages_per_domain_[d] - 1;
+        if (outlier) --outliers_left;
+
+        std::string host = NewHost(spec.site_terms);
+        std::string root_url = "http://" + host + "/";
+        std::string form_path = Pick(kFormPaths);
+        std::string form_url = "http://" + host + form_path;
+
+        // --- form page ---
+        std::string outside_label;
+        RenderedForm form;
+        if (outlier) {
+          form.html =
+              "<form action=\"/cgi-bin/search\" method=\"get\">\n"
+              "<input type=\"text\" name=\"keyword\" size=\"20\">\n"
+              "<input type=\"submit\" value=\"search\">\n</form>\n";
+          form.approx_form_terms = 1;
+        } else if (single) {
+          form = RenderSingleAttributeForm(domain, &outside_label);
+        } else {
+          // Attribute count skews mid-size; a few very large forms exist.
+          int n_attrs;
+          double u = rng_.UniformDouble();
+          size_t pool = spec.attributes.size();
+          if (u < 0.40) {
+            n_attrs = 2 + static_cast<int>(rng_.Uniform(2));  // 2-3
+          } else if (u < 0.80) {
+            n_attrs = 4 + static_cast<int>(rng_.Uniform(2));  // 4-5
+          } else {
+            n_attrs = 6 + static_cast<int>(rng_.Uniform(4));  // 6-9
+          }
+          n_attrs = std::min<int>(n_attrs,
+                                  static_cast<int>(ambiguous ? pool * 2 : pool));
+          form = RenderMultiAttributeForm(domain, n_attrs, ambiguous);
+        }
+
+        int body_terms = BodyTermsForFormSize(form.approx_form_terms);
+        // Table 1's flip side: pages hosting large forms are not only
+        // short on text, what text they have is mostly site chrome — PC is
+        // weak exactly where FC is strong.
+        double share_scale = form.approx_form_terms >= 100  ? 0.10
+                             : form.approx_form_terms >= 50 ? 0.25
+                             : form.approx_form_terms >= 10 ? 0.80
+                                                            : 1.0;
+        std::vector<std::string> site_vocab = SampleSiteVocabulary(spec);
+        std::string title =
+            TitleText(spec, 3 + static_cast<int>(rng_.Uniform(3)));
+
+        std::string html = "<html><head><title>" + title +
+                           "</title></head>\n<body>\n";
+        html += "<h1>" + TitleText(spec, 2) + "</h1>\n";
+        // Navigation chrome (links stay on-site).
+        html += "<p><a href=\"/\">home</a> | <a href=\"/about.html\">about "
+                "us</a> | <a href=\"/help.html\">help</a></p>\n";
+        std::string prose;
+        if (outlier) {
+          // Weird but not alien: junk dominates, yet enough real domain
+          // text remains that agglomerative methods can eventually place
+          // the page — it is the *greedy seed selection* that outliers
+          // must fool, per §3.3.
+          prose = JunkProse((body_terms * 11) / 20) + " " +
+                  DomainProse(domain, (body_terms * 9) / 20, &site_vocab);
+        } else if (ambiguous) {
+          prose = DomainProse(Domain::kMusic, body_terms / 2) + " " +
+                  DomainProse(Domain::kMovie, body_terms - body_terms / 2);
+        } else {
+          prose = DomainProse(domain, body_terms, &site_vocab, share_scale);
+        }
+        html += "<p>" + prose + "</p>\n";
+        html += outside_label;
+        html += form.html;
+        html += "<p>" + SampleTerms(GenericWebTerms(), 12) + "</p>\n";
+        html += "</body></html>\n";
+
+        AddPage(form_url, std::move(html), {root_url});
+
+        // --- root page (intra-site hub; must be filtered by CAFC-CH) ---
+        std::string root_html =
+            "<html><head><title>" + title + "</title></head>\n<body>\n";
+        root_html += "<h1>" + TitleText(spec, 3) + "</h1>\n";
+        root_html += "<p>" + DomainProse(domain, 100, &site_vocab) + "</p>\n";
+        root_html += "<p><a href=\"" + form_path + "\">" +
+                     SampleTerms(GenericFormTerms(), 2) + "</a></p>\n";
+        root_html += "<p>" + SampleTerms(GenericWebTerms(), 30) + "</p>\n";
+        root_html += "</body></html>\n";
+        AddPage(root_url, std::move(root_html), {form_url});
+        web_.seed_urls_.push_back(root_url);
+
+        FormPageInfo info;
+        info.url = form_url;
+        info.root_url = root_url;
+        info.domain = domain;
+        info.single_attribute = single;
+        info.ambiguous_media = ambiguous;
+        info.outlier_vocabulary = outlier;
+        web_.form_pages_.push_back(std::move(info));
+      }
+    }
+    // Interleave domains in the gold list so clustering seeds drawn from a
+    // prefix are not all one domain.
+    rng_.Shuffle(&web_.form_pages_);
+  }
+
+  // ----------------------------------------------- non-searchable / noise
+
+  void GenerateNonSearchableSites() {
+    for (int i = 0; i < config_.non_searchable_form_pages; ++i) {
+      Domain domain = AllDomains()[rng_.Uniform(AllDomains().size())];
+      const DomainSpec& spec = GetDomainSpec(domain);
+      std::string host = NewHost(spec.site_terms);
+      std::string url = "http://" + host + "/" +
+                        (rng_.Bernoulli(0.5) ? "login.html" : "signup.html");
+      std::string html = "<html><head><title>member login</title></head>\n"
+                         "<body>\n<p>" +
+                         DomainProse(domain, 60) + "</p>\n";
+      int kind = static_cast<int>(rng_.Uniform(3));
+      if (kind == 0) {
+        html +=
+            "<form action=\"/login.cgi\" method=\"post\">\n"
+            "username <input type=\"text\" name=\"username\">\n"
+            "password <input type=\"password\" name=\"password\">\n"
+            "<input type=\"submit\" value=\"login\">\n</form>\n";
+      } else if (kind == 1) {
+        html +=
+            "<form action=\"/subscribe\" method=\"post\">\n"
+            "email address <input type=\"text\" name=\"email\">\n"
+            "<input type=\"submit\" value=\"subscribe\">\n</form>\n";
+      } else {
+        html +=
+            "<form action=\"/quote\" method=\"post\">\n"
+            "your name <input type=\"text\" name=\"name\">\n"
+            "phone <input type=\"text\" name=\"phone\">\n"
+            "comments <textarea name=\"comments\"></textarea>\n"
+            "<input type=\"submit\" value=\"request a quote\">\n</form>\n";
+      }
+      html += "</body></html>\n";
+      AddPage(url, std::move(html), {});
+      web_.seed_urls_.push_back(url);
+      non_searchable_urls_.push_back(url);
+    }
+  }
+
+  void GenerateNoisePages() {
+    for (int i = 0; i < config_.noise_pages; ++i) {
+      Domain domain = AllDomains()[rng_.Uniform(AllDomains().size())];
+      std::string host = NewHost(GetDomainSpec(domain).site_terms);
+      std::string url = "http://" + host + "/article" +
+                        std::to_string(i) + ".html";
+      std::string html = "<html><head><title>" +
+                         SampleTerms(GenericWebTerms(), 4) +
+                         "</title></head>\n<body>\n<p>" +
+                         DomainProse(domain, 180) + "</p>\n</body></html>\n";
+      AddPage(url, std::move(html), {});
+      noise_urls_.push_back(url);
+      web_.seed_urls_.push_back(url);
+    }
+  }
+
+  // ------------------------------------------------------------------ hubs
+
+  /// Form pages of one domain, as indices into web_.form_pages_. Outlier
+  /// pages are excluded — they are only cited by their dedicated tiny hubs.
+  std::vector<size_t> DomainMembers(Domain domain) const {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < web_.form_pages_.size(); ++i) {
+      if (web_.form_pages_[i].domain == domain &&
+          !web_.form_pages_[i].outlier_vocabulary) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  }
+
+  /// The URL a hub uses to cite form page `index`: orphan pages are cited
+  /// via their site root only.
+  const std::string& CiteUrl(size_t index) const {
+    const FormPageInfo& info = web_.form_pages_[index];
+    return orphan_[index] ? info.root_url : info.url;
+  }
+
+  void EmitHub(const std::vector<size_t>& members, Domain flavor) {
+    const DomainSpec& spec = GetDomainSpec(flavor);
+    std::string host = NewHost(hub_host_words_);
+    std::string url = "http://" + host + "/links.html";
+    std::string html = "<html><head><title>" +
+                       SampleTerms(spec.title_terms, 2) +
+                       " directory</title></head>\n<body>\n<ul>\n";
+    std::vector<std::string> targets;
+    for (size_t index : members) {
+      const std::string& cite = CiteUrl(index);
+      const DomainSpec& member_spec =
+          GetDomainSpec(web_.form_pages_[index].domain);
+      html += "<li><a href=\"" + cite + "\">" +
+              SampleTerms(member_spec.title_terms, 2) + "</a></li>\n";
+      targets.push_back(cite);
+    }
+    // Occasionally link a noise page (keeps the crawl frontier honest).
+    if (!noise_urls_.empty() && rng_.Bernoulli(0.1)) {
+      const std::string& noise = noise_urls_[rng_.Uniform(noise_urls_.size())];
+      html += "<li><a href=\"" + noise + "\">" +
+              SampleTerms(GenericWebTerms(), 2) + "</a></li>\n";
+      targets.push_back(noise);
+    }
+    html += "</ul>\n<p>" + SampleTerms(GenericWebTerms(), 25) +
+            "</p>\n</body></html>\n";
+    AddPage(url, std::move(html), targets);
+    web_.hub_urls_.push_back(url);
+    web_.seed_urls_.push_back(url);
+  }
+
+  /// Cardinality distribution for homogeneous in-domain hubs: mostly small,
+  /// a usable tail above the paper's cardinality-8 filter. Only some
+  /// domains have hubs above cardinality 9 — at high thresholds the
+  /// surviving clusters no longer cover every domain, which is the paper's
+  /// explanation for the right side of Figure 3.
+  size_t SampleHubCardinality(Domain domain) {
+    bool deep = domain != Domain::kBook && domain != Domain::kCarRental;
+    double top_band = deep ? 0.96 : 0.985;
+    double u = rng_.UniformDouble();
+    if (u < 0.58) return 1 + rng_.Uniform(3);                // 1-3
+    if (u < 0.85) return 4 + rng_.Uniform(3);                // 4-6
+    if (u < top_band) return 7 + rng_.Uniform(3);            // 7-9
+    return 10 + rng_.Uniform(4);                             // 10-13
+  }
+
+  void GenerateHubs() {
+    hub_host_words_.assign(std::begin(kHubHostWords),
+                           std::end(kHubHostWords));
+
+    // Mark orphan form pages (no direct backlinks; cited via root).
+    orphan_.assign(web_.form_pages_.size(), false);
+    size_t orphan_count = static_cast<size_t>(
+        config_.orphan_form_fraction *
+        static_cast<double>(web_.form_pages_.size()));
+    for (size_t idx : rng_.SampleWithoutReplacement(web_.form_pages_.size(),
+                                                    orphan_count)) {
+      orphan_[idx] = true;
+    }
+
+    // Homogeneous hubs.
+    for (Domain domain : AllDomains()) {
+      std::vector<size_t> members = DomainMembers(domain);
+      for (int h = 0; h < config_.homogeneous_hubs_per_domain; ++h) {
+        size_t card = std::min(SampleHubCardinality(domain), members.size());
+        std::vector<size_t> chosen;
+        for (size_t pos :
+             rng_.SampleWithoutReplacement(members.size(), card)) {
+          chosen.push_back(members[pos]);
+        }
+        EmitHub(chosen, domain);
+      }
+    }
+
+    // Large hubs exist only for Airfare and Hotel (paper §4.2: hub clusters
+    // with 14+ form pages only contain Air and Hotel).
+    for (int h = 0; h < config_.large_air_hotel_hubs; ++h) {
+      Domain domain = rng_.Bernoulli(0.5) ? Domain::kAirfare : Domain::kHotel;
+      std::vector<size_t> members = DomainMembers(domain);
+      size_t card = std::min<size_t>(14 + rng_.Uniform(7), members.size());
+      std::vector<size_t> chosen;
+      for (size_t pos : rng_.SampleWithoutReplacement(members.size(), card)) {
+        chosen.push_back(members[pos]);
+      }
+      EmitHub(chosen, domain);
+    }
+
+    // Mixed hubs: 2-4 domains, small cardinality.
+    for (int h = 0; h < config_.mixed_hubs; ++h) {
+      size_t n_domains = 2 + rng_.Uniform(3);
+      std::vector<size_t> chosen;
+      std::vector<size_t> domain_picks = rng_.SampleWithoutReplacement(
+          AllDomains().size(), n_domains);
+      size_t total = 2 + rng_.Uniform(7);  // 2-8
+      for (size_t t = 0; t < total; ++t) {
+        Domain domain =
+            AllDomains()[domain_picks[t % domain_picks.size()]];
+        std::vector<size_t> members = DomainMembers(domain);
+        chosen.push_back(members[rng_.Uniform(members.size())]);
+      }
+      std::sort(chosen.begin(), chosen.end());
+      chosen.erase(std::unique(chosen.begin(), chosen.end()), chosen.end());
+      EmitHub(chosen, AllDomains()[domain_picks[0]]);
+    }
+
+    // Outlier link farms: small rings of hubs co-citing outlier pages.
+    // Their clusters live at cardinality 1-6 and are maximally distant from
+    // every real domain — exactly the outliers that poison the greedy
+    // selection when small hub clusters are admitted (§3.3), and that the
+    // cardinality filter is meant to remove.
+    std::vector<size_t> outlier_indices;
+    for (size_t i = 0; i < web_.form_pages_.size(); ++i) {
+      if (web_.form_pages_[i].outlier_vocabulary) outlier_indices.push_back(i);
+    }
+    for (size_t i : outlier_indices) {
+      EmitHub({i}, web_.form_pages_[i].domain);
+    }
+    if (outlier_indices.size() >= 3) {
+      int rings = static_cast<int>(outlier_indices.size()) + 4;
+      for (int r = 0; r < rings; ++r) {
+        size_t card = std::min<size_t>(3 + rng_.Uniform(4),
+                                       outlier_indices.size());
+        std::vector<size_t> chosen;
+        for (size_t pos : rng_.SampleWithoutReplacement(
+                 outlier_indices.size(), card)) {
+          chosen.push_back(outlier_indices[pos]);
+        }
+        EmitHub(chosen, web_.form_pages_[chosen[0]].domain);
+      }
+    }
+
+    // Directory hubs: wide, heterogeneous (the paper's "online
+    // directories" that point to databases in many different domains).
+    for (int h = 0; h < config_.directory_hubs; ++h) {
+      // Capped at 11 members: in the paper, only Airfare/Hotel hubs reach
+      // cardinality 14+ — directories stay well below that line.
+      size_t total = 10 + rng_.Uniform(2);  // 10-11
+      std::vector<size_t> chosen;
+      for (size_t idx : rng_.SampleWithoutReplacement(
+               web_.form_pages_.size(), total)) {
+        if (!web_.form_pages_[idx].outlier_vocabulary) chosen.push_back(idx);
+      }
+      EmitHub(chosen, AllDomains()[rng_.Uniform(AllDomains().size())]);
+    }
+
+  }
+
+  const SynthesizerConfig& config_;
+  Rng rng_;
+  SyntheticWeb web_;
+  int site_counter_ = 0;
+  int pages_per_domain_[kNumDomains] = {};
+  int singles_per_domain_[kNumDomains] = {};
+  std::vector<bool> orphan_;
+  std::vector<std::string> noise_urls_;
+  std::vector<std::string> non_searchable_urls_;
+  std::vector<std::string> hub_host_words_;
+};
+
+SyntheticWeb Synthesizer::Generate() const {
+  SyntheticWebBuilder builder(config_);
+  return builder.Build();
+}
+
+}  // namespace cafc::web

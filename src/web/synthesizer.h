@@ -1,0 +1,140 @@
+#ifndef CAFC_WEB_SYNTHESIZER_H_
+#define CAFC_WEB_SYNTHESIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "web/domain_vocab.h"
+#include "web/link_graph.h"
+#include "web/page.h"
+
+namespace cafc::web {
+
+/// Gold-standard record for one searchable form page.
+struct FormPageInfo {
+  std::string url;       ///< the page containing the searchable form
+  std::string root_url;  ///< root page of its site (backlink fallback)
+  Domain domain;
+  bool single_attribute = false;
+  /// True for the deliberately ambiguous Music+Movie stores the paper found
+  /// ("forms which actually search databases that have information from
+  /// both domains", §4.2). Their gold label is Music.
+  bool ambiguous_media = false;
+  /// True for outlier pages: idiosyncratic vocabulary far from everything
+  /// (the outliers §3.3 warns can poison greedy hub-cluster selection when
+  /// small clusters are admitted).
+  bool outlier_vocabulary = false;
+};
+
+/// \brief The generated corpus: pages, true link graph, and gold labels.
+///
+/// `graph` is the *true* hyperlink graph (every `<a href>` in the generated
+/// HTML); algorithms must not read it directly — they see it only through a
+/// BacklinkIndex, which simulates a search engine's incomplete `link:` API.
+class SyntheticWeb : public WebFetcher {
+ public:
+  SyntheticWeb() = default;
+  SyntheticWeb(SyntheticWeb&&) = default;
+  SyntheticWeb& operator=(SyntheticWeb&&) = default;
+
+  Result<const WebPage*> Fetch(std::string_view url) const override;
+
+  /// All generated pages (form pages, roots, hubs, noise).
+  const std::vector<WebPage>& pages() const { return pages_; }
+  /// Gold standard: every searchable form page with its true domain.
+  const std::vector<FormPageInfo>& form_pages() const { return form_pages_; }
+  /// URLs of all hub pages (diagnostics only).
+  const std::vector<std::string>& hub_urls() const { return hub_urls_; }
+  /// Crawl entry points (directories and site roots).
+  const std::vector<std::string>& seed_urls() const { return seed_urls_; }
+  /// True hyperlink graph.
+  const LinkGraph& graph() const { return graph_; }
+
+  /// Gold domain of `form_page_url`, or nullptr if it is not a gold form
+  /// page.
+  const FormPageInfo* FindFormPage(std::string_view url) const;
+
+ private:
+  friend class SyntheticWebBuilder;
+
+  std::vector<WebPage> pages_;
+  std::unordered_map<std::string, size_t> index_;
+  std::vector<FormPageInfo> form_pages_;
+  std::vector<std::string> hub_urls_;
+  std::vector<std::string> seed_urls_;
+  LinkGraph graph_;
+};
+
+/// Tunable knobs of the corpus generator. Defaults reproduce the paper's
+/// §4.1 data set shape: 454 searchable form pages (56 single-attribute) in
+/// 8 domains, with ~3,450 hub clusters of which ~69% are homogeneous.
+struct SynthesizerConfig {
+  uint64_t seed = 42;
+
+  /// Searchable form pages (total across the 8 domains) and how many of
+  /// them are single-attribute keyword interfaces.
+  int form_pages_total = 454;
+  int single_attribute_forms = 56;
+
+  /// Hub structure. Homogeneous hubs cite form pages of one domain; mixed
+  /// hubs co-cite 2–4 domains; directory hubs span most domains (the
+  /// "online directories" the paper calls out as heterogeneous); large
+  /// hubs (cardinality >= 14) are generated only for Airfare and Hotel,
+  /// matching the paper's observation.
+  int homogeneous_hubs_per_domain = 360;
+  int mixed_hubs = 1100;
+  int directory_hubs = 24;
+  int large_air_hotel_hubs = 30;
+
+  /// Fraction of form pages that receive no direct backlinks (hubs cite
+  /// their site root instead) — the paper saw >15% with no backlinks.
+  double orphan_form_fraction = 0.16;
+
+  /// Non-searchable forms (login, newsletter, quote request) and formless
+  /// noise pages, for crawler/classifier realism.
+  int non_searchable_form_pages = 60;
+  int noise_pages = 80;
+
+  /// Fraction of Music/Movie body vocabulary drawn from the shared media
+  /// pool (drives the paper's Music↔Movie confusion).
+  double media_overlap_strength = 0.46;
+  /// Same for the travel trio (Airfare / Hotel / CarRental).
+  double travel_overlap_strength = 0.30;
+  /// Fraction of any page's body terms drawn from a random other domain
+  /// (vocabulary heterogeneity / noise).
+  double cross_domain_noise = 0.22;
+  /// Fraction of body terms drawn from the site's domain vocabulary; the
+  /// remainder is generic web chrome.
+  double domain_term_share = 0.17;
+  /// Each site uses only this fraction of its domain's vocabulary —
+  /// intra-domain heterogeneity (§2.3's hard case for content clustering).
+  double site_vocabulary_fraction = 0.16;
+  /// Probability that a multi-attribute form carries one attribute
+  /// borrowed from another vertical (schema-level noise).
+  double foreign_attribute_prob = 0.20;
+  /// Number of deliberately ambiguous Music+Movie stores (§4.2, Figure 4).
+  int ambiguous_media_stores = 4;
+  /// Number of outlier form pages with idiosyncratic vocabulary, each cited
+  /// only by tiny dedicated hubs — the §3.3 failure mode for low
+  /// min-cardinality thresholds in SelectHubClusters.
+  int outlier_pages = 10;
+};
+
+/// \brief Generates a SyntheticWeb from a config. Deterministic per seed.
+class Synthesizer {
+ public:
+  explicit Synthesizer(SynthesizerConfig config) : config_(config) {}
+
+  SyntheticWeb Generate() const;
+
+  const SynthesizerConfig& config() const { return config_; }
+
+ private:
+  SynthesizerConfig config_;
+};
+
+}  // namespace cafc::web
+
+#endif  // CAFC_WEB_SYNTHESIZER_H_

@@ -1,0 +1,106 @@
+#include "web/url.h"
+
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace cafc::web {
+
+std::string Url::ToString() const {
+  std::string out = scheme + "://" + host + path;
+  if (!query.empty()) {
+    out += '?';
+    out += query;
+  }
+  return out;
+}
+
+Result<Url> ParseUrl(std::string_view input) {
+  input = StripAsciiWhitespace(input);
+  size_t scheme_end = input.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return Status::ParseError("missing scheme in URL: " + std::string(input));
+  }
+  Url url;
+  url.scheme = ToLower(input.substr(0, scheme_end));
+  if (url.scheme != "http" && url.scheme != "https") {
+    return Status::ParseError("unsupported scheme: " + url.scheme);
+  }
+  std::string_view rest = input.substr(scheme_end + 3);
+  size_t host_end = rest.find_first_of("/?#");
+  std::string_view host =
+      host_end == std::string_view::npos ? rest : rest.substr(0, host_end);
+  if (host.empty()) {
+    return Status::ParseError("missing host in URL: " + std::string(input));
+  }
+  url.host = ToLower(host);
+  if (host_end == std::string_view::npos) {
+    url.path = "/";
+    return url;
+  }
+  rest = rest.substr(host_end);
+  size_t frag = rest.find('#');
+  if (frag != std::string_view::npos) rest = rest.substr(0, frag);
+  size_t query_start = rest.find('?');
+  if (query_start != std::string_view::npos) {
+    url.query = std::string(rest.substr(query_start + 1));
+    rest = rest.substr(0, query_start);
+  }
+  url.path = rest.empty() || rest[0] != '/' ? "/" + std::string(rest)
+                                            : std::string(rest);
+  return url;
+}
+
+Result<Url> ResolveHref(const Url& base, std::string_view href) {
+  href = StripAsciiWhitespace(href);
+  if (href.empty()) return Status::ParseError("empty href");
+  if (href.find("://") != std::string_view::npos) return ParseUrl(href);
+  if (StartsWith(href, "mailto:") || StartsWith(href, "javascript:") ||
+      StartsWith(href, "ftp:") || StartsWith(href, "#")) {
+    return Status::ParseError("unsupported href: " + std::string(href));
+  }
+  Url out = base;
+  out.query.clear();
+  size_t frag = href.find('#');
+  if (frag != std::string_view::npos) href = href.substr(0, frag);
+  size_t query_start = href.find('?');
+  if (query_start != std::string_view::npos) {
+    out.query = std::string(href.substr(query_start + 1));
+    href = href.substr(0, query_start);
+  }
+  if (!href.empty() && href[0] == '/') {
+    out.path = std::string(href);
+    return out;
+  }
+  // Relative: resolve against the base directory, handling "." / "..".
+  std::string dir = base.path.substr(0, base.path.rfind('/') + 1);
+  std::vector<std::string> segments;
+  for (const std::string& seg : SplitNonEmpty(dir, '/')) {
+    segments.push_back(seg);
+  }
+  for (const std::string& seg : SplitNonEmpty(href, '/')) {
+    if (seg == ".") continue;
+    if (seg == "..") {
+      if (!segments.empty()) segments.pop_back();
+      continue;
+    }
+    segments.push_back(seg);
+  }
+  out.path = "/" + Join(segments, "/");
+  // Keep a trailing slash if the href had one (directory-style link).
+  if (!href.empty() && href.back() == '/' && out.path.back() != '/') {
+    out.path += '/';
+  }
+  return out;
+}
+
+std::string SiteOf(std::string_view url) {
+  Result<Url> parsed = ParseUrl(url);
+  return parsed.ok() ? parsed->host : std::string();
+}
+
+std::string RootPageOf(const Url& url) {
+  return url.scheme + "://" + url.host + "/";
+}
+
+}  // namespace cafc::web

@@ -1,0 +1,45 @@
+#ifndef CAFC_WEB_URL_H_
+#define CAFC_WEB_URL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cafc::web {
+
+/// \brief Parsed absolute URL (scheme://host/path?query).
+///
+/// Only http/https are relevant to the corpus. Fragments are stripped.
+struct Url {
+  std::string scheme;
+  std::string host;   ///< lowercase
+  std::string path;   ///< always begins with '/'
+  std::string query;  ///< without '?'
+
+  /// Canonical string form.
+  std::string ToString() const;
+
+  bool operator==(const Url&) const = default;
+};
+
+/// Parses an absolute URL. Fails on missing scheme/host.
+Result<Url> ParseUrl(std::string_view input);
+
+/// Resolves `href` against `base`: absolute URLs pass through; paths
+/// starting with '/' replace the base path; relative paths resolve against
+/// the base directory. Returns an error for unsupported schemes (mailto,
+/// javascript) and unparsable bases.
+Result<Url> ResolveHref(const Url& base, std::string_view href);
+
+/// The site of a URL — its lowercase host. Hub filtering treats two pages on
+/// the same host as intra-site (§3.3).
+std::string SiteOf(std::string_view url);
+
+/// Root page of the site containing `url` (scheme://host/). Used for the
+/// paper's fallback when a form page has no direct backlinks (§3.1).
+std::string RootPageOf(const Url& url);
+
+}  // namespace cafc::web
+
+#endif  // CAFC_WEB_URL_H_

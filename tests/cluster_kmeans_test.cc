@@ -1,0 +1,197 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cafc::cluster {
+namespace {
+
+/// 1-D points with mean centroids and negative-distance similarity — the
+/// simplest possible CentroidModel for exercising the algorithm.
+class LineModel : public CentroidModel {
+ public:
+  explicit LineModel(std::vector<double> points, int k)
+      : points_(std::move(points)), centroids_(static_cast<size_t>(k), 0.0) {}
+
+  size_t num_points() const override { return points_.size(); }
+  int num_clusters() const override {
+    return static_cast<int>(centroids_.size());
+  }
+
+  double Similarity(size_t point, int cluster) const override {
+    return -std::abs(points_[point] -
+                     centroids_[static_cast<size_t>(cluster)]);
+  }
+
+  void RecomputeCentroid(int cluster,
+                         const std::vector<size_t>& members) override {
+    if (members.empty()) return;
+    double sum = 0.0;
+    for (size_t m : members) sum += points_[m];
+    centroids_[static_cast<size_t>(cluster)] =
+        sum / static_cast<double>(members.size());
+    ++recomputes_;
+  }
+
+  double centroid(int c) const { return centroids_[static_cast<size_t>(c)]; }
+  int recomputes() const { return recomputes_; }
+
+ private:
+  std::vector<double> points_;
+  std::vector<double> centroids_;
+  int recomputes_ = 0;
+};
+
+TEST(KMeansTest, SeparatesTwoObviousGroups) {
+  LineModel model({0.0, 0.1, 0.2, 10.0, 10.1, 10.2}, 2);
+  Clustering c = KMeans(&model, {{0}, {3}});
+  ASSERT_EQ(c.num_clusters, 2);
+  EXPECT_EQ(c.assignment[0], c.assignment[1]);
+  EXPECT_EQ(c.assignment[1], c.assignment[2]);
+  EXPECT_EQ(c.assignment[3], c.assignment[4]);
+  EXPECT_EQ(c.assignment[4], c.assignment[5]);
+  EXPECT_NE(c.assignment[0], c.assignment[3]);
+}
+
+TEST(KMeansTest, RecoveryFromBadSeedsInSameGroup) {
+  LineModel model({0.0, 0.1, 10.0, 10.1, 20.0, 20.1}, 3);
+  // Two seeds in the first group, none in the last.
+  KMeansStats stats;
+  Clustering c = KMeans(&model, {{0}, {1}, {2}}, {}, &stats);
+  // The natural groups should still end up separated into at least two
+  // clusters (k-means can recover because centroids move).
+  std::set<int> groups = {c.assignment[0], c.assignment[2], c.assignment[4]};
+  EXPECT_GE(groups.size(), 2u);
+  EXPECT_EQ(c.assignment[4], c.assignment[5]);
+}
+
+TEST(KMeansTest, EveryPointAssigned) {
+  LineModel model({1, 2, 3, 4, 5, 6, 7, 8}, 3);
+  Clustering c = KMeans(&model, {{0}, {3}, {7}});
+  for (int a : c.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(KMeansTest, MultiMemberSeedCentroidIsMean) {
+  LineModel model({0.0, 4.0, 100.0}, 2);
+  KMeansOptions options;
+  options.max_iterations = 0;  // no iterations: probe the initial centroid
+  KMeans(&model, {{0, 1}, {2}}, options);
+  EXPECT_DOUBLE_EQ(model.centroid(0), 2.0);
+  EXPECT_DOUBLE_EQ(model.centroid(1), 100.0);
+}
+
+TEST(KMeansTest, StopCriterionReportsConvergence) {
+  LineModel model({0, 0, 0, 9, 9, 9}, 2);
+  KMeansStats stats;
+  KMeans(&model, {{0}, {5}}, {}, &stats);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_GE(stats.iterations, 1);
+  EXPECT_LE(stats.iterations, 3);
+}
+
+TEST(KMeansTest, MaxIterationsBoundsWork) {
+  LineModel model({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 4);
+  KMeansOptions options;
+  options.max_iterations = 1;
+  options.movement_stop_fraction = 0.0;  // never converges by movement
+  KMeansStats stats;
+  KMeans(&model, {{0}, {3}, {6}, {9}}, options, &stats);
+  EXPECT_EQ(stats.iterations, 1);
+  EXPECT_FALSE(stats.converged);
+}
+
+TEST(KMeansTest, TenPercentStopCriterion) {
+  // With the paper's 10% movement threshold, a clustering where fewer than
+  // 10% of points would still move stops immediately after one pass.
+  LineModel model({0, 0.1, 0.2, 0.3, 0.4, 9, 9.1, 9.2, 9.3, 9.4}, 2);
+  KMeansOptions options;
+  options.movement_stop_fraction = 2.0;  // everything counts as converged
+  KMeansStats stats;
+  KMeans(&model, {{0}, {5}}, options, &stats);
+  EXPECT_EQ(stats.iterations, 1);
+  EXPECT_TRUE(stats.converged);
+}
+
+TEST(KMeansTest, DeterministicGivenSeeds) {
+  std::vector<double> points = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  LineModel a(points, 3);
+  LineModel b(points, 3);
+  Clustering ca = KMeans(&a, {{0}, {5}, {9}});
+  Clustering cb = KMeans(&b, {{0}, {5}, {9}});
+  EXPECT_EQ(ca.assignment, cb.assignment);
+}
+
+TEST(KMeansTest, SingleCluster) {
+  LineModel model({1, 2, 3}, 1);
+  Clustering c = KMeans(&model, {{0}});
+  EXPECT_EQ(c.num_clusters, 1);
+  for (int a : c.assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(RandomSingletonSeedsTest, DistinctSingletons) {
+  Rng rng(5);
+  auto seeds = RandomSingletonSeeds(20, 8, &rng);
+  ASSERT_EQ(seeds.size(), 8u);
+  std::set<size_t> used;
+  for (const auto& s : seeds) {
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_TRUE(used.insert(s[0]).second);
+    EXPECT_LT(s[0], 20u);
+  }
+}
+
+TEST(KMeansPlusPlusTest, ReturnsKDistinctSingletons) {
+  // 3 topic blocks: in-block sim 1, cross 0.
+  auto sim = [](size_t a, size_t b) { return (a / 3) == (b / 3) ? 1.0 : 0.0; };
+  Rng rng(5);
+  auto seeds = KMeansPlusPlusSeeds(9, 3, sim, &rng);
+  ASSERT_EQ(seeds.size(), 3u);
+  std::set<size_t> blocks;
+  std::set<size_t> points;
+  for (const auto& s : seeds) {
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_TRUE(points.insert(s[0]).second);
+    blocks.insert(s[0] / 3);
+  }
+  // d^2 sampling makes same-block repeats impossible (distance 0).
+  EXPECT_EQ(blocks.size(), 3u);
+}
+
+TEST(KMeansPlusPlusTest, HandlesKLargerThanPoints) {
+  auto sim = [](size_t, size_t) { return 0.5; };
+  Rng rng(7);
+  auto seeds = KMeansPlusPlusSeeds(2, 8, sim, &rng);
+  EXPECT_EQ(seeds.size(), 2u);
+}
+
+TEST(KMeansPlusPlusTest, EmptyInput) {
+  auto sim = [](size_t, size_t) { return 0.5; };
+  Rng rng(7);
+  EXPECT_TRUE(KMeansPlusPlusSeeds(0, 3, sim, &rng).empty());
+  EXPECT_TRUE(KMeansPlusPlusSeeds(5, 0, sim, &rng).empty());
+}
+
+TEST(KMeansPlusPlusTest, DeterministicPerRngSeed) {
+  auto sim = [](size_t a, size_t b) { return (a / 4) == (b / 4) ? 0.9 : 0.1; };
+  Rng a(11);
+  Rng b(11);
+  EXPECT_EQ(KMeansPlusPlusSeeds(12, 3, sim, &a),
+            KMeansPlusPlusSeeds(12, 3, sim, &b));
+}
+
+TEST(ClusteringTest, MembersAndSizes) {
+  Clustering c;
+  c.num_clusters = 2;
+  c.assignment = {0, 1, 0, 1, 0};
+  EXPECT_EQ(c.Members(0), (std::vector<size_t>{0, 2, 4}));
+  EXPECT_EQ(c.ClusterSize(0), 3u);
+  EXPECT_EQ(c.ClusterSize(1), 2u);
+}
+
+}  // namespace
+}  // namespace cafc::cluster

@@ -1,0 +1,251 @@
+#include "core/cafc.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/dataset.h"
+#include "eval/metrics.h"
+#include "web/synthesizer.h"
+
+namespace cafc {
+namespace {
+
+web::SynthesizerConfig SmallConfig() {
+  web::SynthesizerConfig config;
+  config.seed = 99;
+  config.form_pages_total = 96;
+  config.single_attribute_forms = 12;
+  config.homogeneous_hubs_per_domain = 60;
+  config.mixed_hubs = 120;
+  config.directory_hubs = 6;
+  config.large_air_hotel_hubs = 6;
+  config.non_searchable_form_pages = 10;
+  config.noise_pages = 10;
+  config.outlier_pages = 0;  // keep the small corpus clean
+  return config;
+}
+
+class CafcTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    web::SyntheticWeb web = web::Synthesizer(SmallConfig()).Generate();
+    dataset_ = new Dataset(std::move(BuildDataset(web)).value());
+    pages_ = new FormPageSet(BuildFormPageSet(*dataset_));
+    gold_ = new std::vector<int>(dataset_->GoldLabels());
+  }
+  static void TearDownTestSuite() {
+    delete gold_;
+    delete pages_;
+    delete dataset_;
+    gold_ = nullptr;
+    pages_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static double Entropy(const cluster::Clustering& c) {
+    eval::ContingencyTable t(*gold_, web::kNumDomains, c);
+    return eval::TotalEntropy(t);
+  }
+  static double FMeasure(const cluster::Clustering& c) {
+    eval::ContingencyTable t(*gold_, web::kNumDomains, c);
+    return eval::OverallFMeasure(t);
+  }
+
+  static Dataset* dataset_;
+  static FormPageSet* pages_;
+  static std::vector<int>* gold_;
+};
+
+Dataset* CafcTest::dataset_ = nullptr;
+FormPageSet* CafcTest::pages_ = nullptr;
+std::vector<int>* CafcTest::gold_ = nullptr;
+
+TEST_F(CafcTest, CafcCProducesKClustersWithFullAssignment) {
+  Rng rng(1);
+  cluster::Clustering c = CafcC(*pages_, 8, CafcOptions{}, &rng);
+  EXPECT_EQ(c.num_clusters, 8);
+  ASSERT_EQ(c.assignment.size(), pages_->size());
+  for (int a : c.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 8);
+  }
+}
+
+TEST_F(CafcTest, CafcCQualityIsReasonable) {
+  // Averaged over a few random seeds, content k-means must do far better
+  // than chance on this clean corpus.
+  double entropy_sum = 0.0;
+  double f_sum = 0.0;
+  const int runs = 5;
+  for (int r = 0; r < runs; ++r) {
+    Rng rng(100 + static_cast<uint64_t>(r));
+    cluster::Clustering c = CafcC(*pages_, 8, CafcOptions{}, &rng);
+    entropy_sum += Entropy(c);
+    f_sum += FMeasure(c);
+  }
+  EXPECT_LT(entropy_sum / runs, 1.0);   // chance would be ~ln(8) = 2.08
+  EXPECT_GT(f_sum / runs, 0.6);
+}
+
+TEST_F(CafcTest, CafcCDeterministicGivenRngSeed) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  cluster::Clustering a = CafcC(*pages_, 8, CafcOptions{}, &rng_a);
+  cluster::Clustering b = CafcC(*pages_, 8, CafcOptions{}, &rng_b);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST_F(CafcTest, CafcChBeatsCafcCOnAverage) {
+  CafcChOptions ch_options;
+  ch_options.min_hub_cardinality = 5;  // small corpus → smaller clusters
+  CafcChReport report;
+  cluster::Clustering ch = CafcCh(*pages_, 8, ch_options, &report);
+  double ch_entropy = Entropy(ch);
+
+  double c_entropy_sum = 0.0;
+  const int runs = 5;
+  for (int r = 0; r < runs; ++r) {
+    Rng rng(200 + static_cast<uint64_t>(r));
+    c_entropy_sum += Entropy(CafcC(*pages_, 8, CafcOptions{}, &rng));
+  }
+  EXPECT_LT(ch_entropy, c_entropy_sum / runs + 1e-9);
+  EXPECT_GT(report.hub_clusters_total, 0u);
+  EXPECT_GT(report.hub_clusters_kept, 0u);
+  EXPECT_GT(FMeasure(ch), 0.8);
+}
+
+TEST_F(CafcTest, CafcChReportsFilteringCounts) {
+  CafcChOptions options;
+  options.min_hub_cardinality = 3;
+  CafcChReport loose;
+  CafcCh(*pages_, 8, options, &loose);
+  options.min_hub_cardinality = 8;
+  CafcChReport strict;
+  CafcCh(*pages_, 8, options, &strict);
+  EXPECT_EQ(loose.hub_clusters_total, strict.hub_clusters_total);
+  EXPECT_GT(loose.hub_clusters_kept, strict.hub_clusters_kept);
+}
+
+TEST_F(CafcTest, CafcChDeterministic) {
+  CafcChOptions options;
+  cluster::Clustering a = CafcCh(*pages_, 8, options);
+  cluster::Clustering b = CafcCh(*pages_, 8, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST_F(CafcTest, ContentConfigsProduceDifferentClusterings) {
+  CafcChOptions fc_only;
+  fc_only.cafc.content = ContentConfig::kFcOnly;
+  CafcChOptions pc_only;
+  pc_only.cafc.content = ContentConfig::kPcOnly;
+  cluster::Clustering fc = CafcCh(*pages_, 8, fc_only);
+  cluster::Clustering pc = CafcCh(*pages_, 8, pc_only);
+  EXPECT_NE(fc.assignment, pc.assignment);
+}
+
+TEST_F(CafcTest, HacVariantsProduceValidClusterings) {
+  cluster::Clustering plain = CafcHac(*pages_, 8, CafcOptions{});
+  EXPECT_EQ(plain.num_clusters, 8);
+  for (int a : plain.assignment) EXPECT_GE(a, 0);
+
+  std::vector<HubCluster> hubs =
+      FilterByCardinality(GenerateHubClusters(*pages_), 5);
+  std::vector<HubCluster> seeds = SelectHubClusters(*pages_, hubs, 8, {});
+  std::vector<std::vector<size_t>> members;
+  for (const HubCluster& s : seeds) members.push_back(s.members);
+  cluster::Clustering seeded = CafcHacWithSeeds(*pages_, members, 8,
+                                                CafcOptions{});
+  EXPECT_EQ(seeded.num_clusters, 8);
+}
+
+TEST_F(CafcTest, HacSeededKMeansRuns) {
+  cluster::Clustering c = HacSeededKMeans(*pages_, 8, CafcOptions{});
+  EXPECT_EQ(c.num_clusters, 8);
+  EXPECT_LT(Entropy(c), std::log(8.0));
+}
+
+TEST_F(CafcTest, BisectingProducesKClusters) {
+  Rng rng(3);
+  cluster::Clustering c = CafcBisecting(*pages_, 8, CafcOptions{}, &rng);
+  EXPECT_EQ(c.num_clusters, 8);
+  for (int a : c.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 8);
+  }
+  // All clusters non-empty (we always split into two non-empty halves).
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_GT(c.ClusterSize(j), 0u) << j;
+  }
+}
+
+TEST_F(CafcTest, BisectingQualityComparableToKMeans) {
+  double entropy_sum = 0.0;
+  const int runs = 5;
+  for (int r = 0; r < runs; ++r) {
+    Rng rng(700 + static_cast<uint64_t>(r));
+    entropy_sum += Entropy(CafcBisecting(*pages_, 8, CafcOptions{}, &rng));
+  }
+  EXPECT_LT(entropy_sum / runs, 1.2);  // far better than chance (ln 8)
+}
+
+TEST_F(CafcTest, BisectingDeterministicPerRngSeed) {
+  Rng a(17);
+  Rng b(17);
+  EXPECT_EQ(CafcBisecting(*pages_, 8, CafcOptions{}, &a).assignment,
+            CafcBisecting(*pages_, 8, CafcOptions{}, &b).assignment);
+}
+
+TEST_F(CafcTest, BisectingKLargerThanPoints) {
+  // Build a 3-page set; asking for 8 clusters must stop at 3.
+  FormPageSet tiny;
+  for (int i = 0; i < 3; ++i) {
+    FormPage page;
+    page.pc = vsm::SparseVector::FromUnsorted(
+        {{static_cast<vsm::TermId>(i), 1.0}});
+    page.fc = page.pc;
+    tiny.mutable_pages()->push_back(std::move(page));
+  }
+  Rng rng(5);
+  cluster::Clustering c = CafcBisecting(tiny, 8, CafcOptions{}, &rng);
+  EXPECT_EQ(c.num_clusters, 3);
+}
+
+TEST_F(CafcTest, SingleAttributePagesClusteredWithTheirDomain) {
+  // The paper's headline: single-attribute forms are handled correctly
+  // because PC compensates for the empty FC. Check that CAFC-CH places a
+  // clear majority of singles into their domain-majority cluster.
+  CafcChOptions options;
+  options.min_hub_cardinality = 5;
+  cluster::Clustering c = CafcCh(*pages_, 8, options);
+
+  // Majority gold domain per cluster.
+  std::vector<std::vector<int>> votes(
+      8, std::vector<int>(web::kNumDomains, 0));
+  for (size_t i = 0; i < pages_->size(); ++i) {
+    ++votes[static_cast<size_t>(c.assignment[i])]
+           [static_cast<size_t>((*gold_)[i])];
+  }
+  std::vector<int> majority(8, 0);
+  for (int j = 0; j < 8; ++j) {
+    for (int d = 1; d < web::kNumDomains; ++d) {
+      if (votes[j][d] > votes[j][majority[j]]) majority[j] = d;
+    }
+  }
+  int singles = 0;
+  int singles_correct = 0;
+  for (size_t i = 0; i < pages_->size(); ++i) {
+    if (!dataset_->entries[i].single_attribute) continue;
+    ++singles;
+    if (majority[static_cast<size_t>(c.assignment[i])] == (*gold_)[i]) {
+      ++singles_correct;
+    }
+  }
+  ASSERT_GT(singles, 0);
+  EXPECT_GE(singles_correct * 10, singles * 7)  // >= 70%
+      << singles_correct << "/" << singles;
+}
+
+}  // namespace
+}  // namespace cafc

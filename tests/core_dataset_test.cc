@@ -1,0 +1,229 @@
+#include "core/dataset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "web/url.h"
+
+namespace cafc {
+namespace {
+
+web::SynthesizerConfig SmallConfig() {
+  web::SynthesizerConfig config;
+  config.seed = 77;
+  config.form_pages_total = 64;
+  config.single_attribute_forms = 8;
+  config.homogeneous_hubs_per_domain = 30;
+  config.mixed_hubs = 60;
+  config.directory_hubs = 4;
+  config.large_air_hotel_hubs = 4;
+  config.non_searchable_form_pages = 12;
+  config.noise_pages = 8;
+  config.outlier_pages = 2;
+  return config;
+}
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    web_ = new web::SyntheticWeb(web::Synthesizer(SmallConfig()).Generate());
+    dataset_ = new Dataset(std::move(BuildDataset(*web_)).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete web_;
+    dataset_ = nullptr;
+    web_ = nullptr;
+  }
+
+  static web::SyntheticWeb* web_;
+  static Dataset* dataset_;
+};
+
+web::SyntheticWeb* DatasetTest::web_ = nullptr;
+Dataset* DatasetTest::dataset_ = nullptr;
+
+TEST_F(DatasetTest, RecoversAllGoldFormPages) {
+  // The classifier should keep essentially the whole gold set.
+  EXPECT_GE(dataset_->entries.size(), 60u);
+  EXPECT_LE(dataset_->entries.size(), 64u);
+  EXPECT_LE(dataset_->stats.classifier_false_negatives, 4u);
+}
+
+TEST_F(DatasetTest, CrawlCoveredTheWholeWeb) {
+  EXPECT_EQ(dataset_->stats.crawled_pages, web_->pages().size());
+  EXPECT_GT(dataset_->stats.pages_with_forms, dataset_->entries.size());
+}
+
+TEST_F(DatasetTest, GoldLabelsValid) {
+  for (const DatasetEntry& e : dataset_->entries) {
+    EXPECT_GE(e.gold, 0);
+    EXPECT_LT(e.gold, dataset_->num_classes);
+    const web::FormPageInfo* info = web_->FindFormPage(e.doc.url);
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(e.gold, static_cast<int>(info->domain));
+    EXPECT_EQ(e.single_attribute, info->single_attribute);
+  }
+}
+
+TEST_F(DatasetTest, GoldLabelsAccessorAligned) {
+  std::vector<int> gold = dataset_->GoldLabels();
+  ASSERT_EQ(gold.size(), dataset_->entries.size());
+  for (size_t i = 0; i < gold.size(); ++i) {
+    EXPECT_EQ(gold[i], dataset_->entries[i].gold);
+  }
+}
+
+TEST_F(DatasetTest, BacklinksAreOffSiteOnly) {
+  for (const DatasetEntry& e : dataset_->entries) {
+    for (const std::string& link : e.backlinks) {
+      EXPECT_NE(web::SiteOf(link), e.site) << e.doc.url;
+    }
+  }
+}
+
+TEST_F(DatasetTest, MostPagesHaveBacklinksAfterFallback) {
+  size_t with_backlinks = 0;
+  for (const DatasetEntry& e : dataset_->entries) {
+    if (!e.backlinks.empty()) ++with_backlinks;
+  }
+  EXPECT_GE(with_backlinks, dataset_->entries.size() * 9 / 10);
+  EXPECT_EQ(dataset_->entries.size() - with_backlinks,
+            dataset_->stats.pages_without_any_backlinks);
+}
+
+TEST_F(DatasetTest, NoDuplicateUrls) {
+  std::set<std::string> urls;
+  for (const DatasetEntry& e : dataset_->entries) {
+    EXPECT_TRUE(urls.insert(e.doc.url).second);
+  }
+}
+
+TEST_F(DatasetTest, DocumentsCarryTerms) {
+  for (const DatasetEntry& e : dataset_->entries) {
+    EXPECT_FALSE(e.doc.page_terms.empty()) << e.doc.url;
+    EXPECT_FALSE(e.doc.forms.empty()) << e.doc.url;
+  }
+}
+
+TEST_F(DatasetTest, BuildFormPageSetAlignsWithEntries) {
+  FormPageSet set = BuildFormPageSet(*dataset_);
+  ASSERT_EQ(set.size(), dataset_->entries.size());
+  for (size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(set.page(i).url, dataset_->entries[i].doc.url);
+    EXPECT_EQ(set.page(i).site, dataset_->entries[i].site);
+    EXPECT_EQ(set.page(i).backlinks, dataset_->entries[i].backlinks);
+    EXPECT_FALSE(set.page(i).pc.empty()) << set.page(i).url;
+  }
+  EXPECT_EQ(set.pc_stats().num_documents(), set.size());
+  EXPECT_EQ(set.fc_stats().num_documents(), set.size());
+}
+
+TEST_F(DatasetTest, UniformWeightsChangeVectors) {
+  FormPageSet differentiated = BuildFormPageSet(*dataset_);
+  FormPageSet uniform =
+      BuildFormPageSet(*dataset_, vsm::LocationWeightConfig::Uniform());
+  bool any_difference = false;
+  for (size_t i = 0; i < differentiated.size(); ++i) {
+    if (!(differentiated.page(i).pc == uniform.page(i).pc)) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(DatasetTest, WeighNewDocumentUsesCollectionSpace) {
+  FormPageSet set = BuildFormPageSet(*dataset_);
+  // Re-weigh an existing entry: it must reproduce the stored vectors.
+  FormPage reweighed = WeighNewDocument(set, dataset_->entries[0].doc);
+  EXPECT_EQ(reweighed.pc, set.page(0).pc);
+  EXPECT_EQ(reweighed.fc, set.page(0).fc);
+
+  // A document full of unseen terms yields an empty vector.
+  forms::FormPageDocument alien;
+  alien.url = "http://alien.com/";
+  alien.page_terms.push_back(
+      {"zzzzunseenterm", vsm::Location::kPageBody});
+  EXPECT_TRUE(WeighNewDocument(set, alien).pc.empty());
+}
+
+TEST(BuildDatasetTest, AnchorTextCollectionAddsAnchorTerms) {
+  web::SyntheticWeb web = web::Synthesizer(SmallConfig()).Generate();
+  DatasetOptions plain;
+  DatasetOptions with_anchors;
+  with_anchors.collect_anchor_text = true;
+  Dataset without = std::move(BuildDataset(web, plain)).value();
+  Dataset with = std::move(BuildDataset(web, with_anchors)).value();
+  ASSERT_EQ(without.entries.size(), with.entries.size());
+
+  size_t anchor_terms = 0;
+  size_t pages_with_anchors = 0;
+  for (size_t i = 0; i < with.entries.size(); ++i) {
+    size_t here = 0;
+    for (const vsm::LocatedTerm& t : with.entries[i].doc.page_terms) {
+      if (t.location == vsm::Location::kAnchorText) ++here;
+    }
+    // Anchor terms only ever get added, never removed.
+    EXPECT_GE(with.entries[i].doc.page_terms.size(),
+              without.entries[i].doc.page_terms.size());
+    anchor_terms += here;
+    if (here > 0) ++pages_with_anchors;
+  }
+  EXPECT_GT(anchor_terms, 0u);
+  // Most pages have at least one citing hub whose anchor text survives
+  // analysis.
+  EXPECT_GE(pages_with_anchors * 2, with.entries.size());
+
+  // The plain run must carry no anchor-tagged terms beyond the page's own
+  // <a> elements (nav links are "home | about us | help" — stopwords and
+  // short words mostly vanish).
+  for (const DatasetEntry& e : without.entries) {
+    for (const vsm::LocatedTerm& t : e.doc.page_terms) {
+      if (t.location == vsm::Location::kAnchorText) {
+        // allowed: the page's own anchors
+        SUCCEED();
+      }
+    }
+  }
+}
+
+TEST(BuildDatasetTest, PrunedVectorsRespectCap) {
+  web::SyntheticWeb web = web::Synthesizer(SmallConfig()).Generate();
+  Dataset dataset = std::move(BuildDataset(web)).value();
+  FormPageSet pruned = BuildFormPageSet(dataset, {}, 16);
+  for (size_t i = 0; i < pruned.size(); ++i) {
+    EXPECT_LE(pruned.page(i).pc.size(), 16u);
+    EXPECT_LE(pruned.page(i).fc.size(), 16u);
+  }
+}
+
+TEST(BuildDatasetTest, Bm25SetAlignedAndDifferent) {
+  web::SyntheticWeb web = web::Synthesizer(SmallConfig()).Generate();
+  Dataset dataset = std::move(BuildDataset(web)).value();
+  FormPageSet tfidf = BuildFormPageSet(dataset);
+  FormPageSet bm25 = BuildFormPageSetBm25(dataset);
+  ASSERT_EQ(bm25.size(), tfidf.size());
+  bool any_difference = false;
+  for (size_t i = 0; i < bm25.size(); ++i) {
+    EXPECT_EQ(bm25.page(i).url, tfidf.page(i).url);
+    EXPECT_FALSE(bm25.page(i).pc.empty());
+    if (!(bm25.page(i).pc == tfidf.page(i).pc)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BuildDatasetTest, DeterministicAcrossRuns) {
+  web::SyntheticWeb web = web::Synthesizer(SmallConfig()).Generate();
+  Dataset a = std::move(BuildDataset(web)).value();
+  Dataset b = std::move(BuildDataset(web)).value();
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].doc.url, b.entries[i].doc.url);
+    EXPECT_EQ(a.entries[i].backlinks, b.entries[i].backlinks);
+  }
+}
+
+}  // namespace
+}  // namespace cafc

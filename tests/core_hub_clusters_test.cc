@@ -1,0 +1,115 @@
+#include "core/hub_clusters.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc {
+namespace {
+
+FormPage MakePage(std::string url, std::string site,
+                  std::vector<std::string> backlinks) {
+  FormPage page;
+  page.url = std::move(url);
+  page.site = std::move(site);
+  page.backlinks = std::move(backlinks);
+  return page;
+}
+
+FormPageSet MakeSet(std::vector<FormPage> pages) {
+  FormPageSet set;
+  *set.mutable_pages() = std::move(pages);
+  return set;
+}
+
+TEST(HubClustersTest, InvertsBacklinksToCoCitation) {
+  FormPageSet set = MakeSet({
+      MakePage("http://a.com/f", "a.com", {"http://hub.net/l"}),
+      MakePage("http://b.com/f", "b.com", {"http://hub.net/l"}),
+      MakePage("http://c.com/f", "c.com", {"http://other.net/l"}),
+  });
+  auto clusters = GenerateHubClusters(set);
+  ASSERT_EQ(clusters.size(), 2u);
+  // Deterministic order: member sets sorted lexicographically.
+  EXPECT_EQ(clusters[0].members, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(clusters[0].hub_url, "http://hub.net/l");
+  EXPECT_EQ(clusters[1].members, (std::vector<size_t>{2}));
+}
+
+TEST(HubClustersTest, IntraSiteHubsFiltered) {
+  FormPageSet set = MakeSet({
+      MakePage("http://a.com/f", "a.com",
+               {"http://a.com/", "http://hub.net/l"}),
+  });
+  auto clusters = GenerateHubClusters(set);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].hub_url, "http://hub.net/l");
+}
+
+TEST(HubClustersTest, PageWithOnlyIntraSiteBacklinksAbsent) {
+  FormPageSet set = MakeSet({
+      MakePage("http://a.com/f", "a.com", {"http://a.com/"}),
+      MakePage("http://b.com/f", "b.com", {"http://hub.net/l"}),
+  });
+  auto clusters = GenerateHubClusters(set);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members, (std::vector<size_t>{1}));
+}
+
+TEST(HubClustersTest, IdenticalSetsDeduplicated) {
+  FormPageSet set = MakeSet({
+      MakePage("http://a.com/f", "a.com",
+               {"http://hub1.net/l", "http://hub2.net/l"}),
+      MakePage("http://b.com/f", "b.com",
+               {"http://hub1.net/l", "http://hub2.net/l"}),
+  });
+  auto clusters = GenerateHubClusters(set);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members, (std::vector<size_t>{0, 1}));
+  // Deterministic representative: lexicographically smallest hub URL.
+  EXPECT_EQ(clusters[0].hub_url, "http://hub1.net/l");
+}
+
+TEST(HubClustersTest, DistinctSubsetsKeptSeparately) {
+  FormPageSet set = MakeSet({
+      MakePage("http://a.com/f", "a.com",
+               {"http://big.net/l", "http://small.net/l"}),
+      MakePage("http://b.com/f", "b.com", {"http://big.net/l"}),
+  });
+  auto clusters = GenerateHubClusters(set);
+  EXPECT_EQ(clusters.size(), 2u);  // {0} and {0,1}
+}
+
+TEST(HubClustersTest, NoBacklinksNoClusters) {
+  FormPageSet set = MakeSet({MakePage("http://a.com/f", "a.com", {})});
+  EXPECT_TRUE(GenerateHubClusters(set).empty());
+}
+
+TEST(FilterByCardinalityTest, DropsSmallClusters) {
+  std::vector<HubCluster> clusters = {
+      {"h1", {0}},
+      {"h2", {0, 1}},
+      {"h3", {0, 1, 2}},
+  };
+  auto filtered = FilterByCardinality(clusters, 2);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].hub_url, "h2");
+  EXPECT_EQ(filtered[1].hub_url, "h3");
+}
+
+TEST(FilterByCardinalityTest, ThresholdOneKeepsAll) {
+  std::vector<HubCluster> clusters = {{"h1", {0}}, {"h2", {1, 2}}};
+  EXPECT_EQ(FilterByCardinality(clusters, 1).size(), 2u);
+  EXPECT_EQ(FilterByCardinality(clusters, 0).size(), 2u);
+}
+
+TEST(FilterByCardinalityTest, AllFilteredYieldsEmpty) {
+  std::vector<HubCluster> clusters = {{"h1", {0}}};
+  EXPECT_TRUE(FilterByCardinality(clusters, 10).empty());
+}
+
+TEST(HubClusterTest, Cardinality) {
+  HubCluster hc{"h", {3, 7, 9}};
+  EXPECT_EQ(hc.cardinality(), 3u);
+}
+
+}  // namespace
+}  // namespace cafc

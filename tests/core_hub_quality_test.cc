@@ -1,0 +1,92 @@
+#include "core/hub_quality.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc {
+namespace {
+
+/// Pages on orthogonal topics (one term per topic); same-topic pages are
+/// identical, cross-topic pages orthogonal.
+FormPageSet TopicSet(const std::vector<int>& topics) {
+  FormPageSet set;
+  for (size_t i = 0; i < topics.size(); ++i) {
+    FormPage page;
+    page.url = "http://p" + std::to_string(i) + ".com/";
+    page.pc = vsm::SparseVector::FromUnsorted(
+        {{static_cast<vsm::TermId>(topics[i]), 1.0}});
+    page.fc = page.pc;
+    set.mutable_pages()->push_back(std::move(page));
+  }
+  return set;
+}
+
+TEST(HubQualityTest, SingletonScoresZero) {
+  FormPageSet pages = TopicSet({0});
+  EXPECT_DOUBLE_EQ(HubClusterCohesion(pages, HubCluster{"h", {0}}), 0.0);
+  EXPECT_DOUBLE_EQ(HubClusterCohesion(pages, HubCluster{"h", {}}), 0.0);
+}
+
+TEST(HubQualityTest, PureClusterScoresOne) {
+  FormPageSet pages = TopicSet({0, 0, 0});
+  EXPECT_NEAR(HubClusterCohesion(pages, HubCluster{"h", {0, 1, 2}}), 1.0,
+              1e-12);
+}
+
+TEST(HubQualityTest, OrthogonalClusterScoresZero) {
+  FormPageSet pages = TopicSet({0, 1, 2});
+  EXPECT_NEAR(HubClusterCohesion(pages, HubCluster{"h", {0, 1, 2}}), 0.0,
+              1e-12);
+}
+
+TEST(HubQualityTest, MixedClusterScoresBetween) {
+  // Two same-topic + one foreign: 1 of 3 pairs is similar.
+  FormPageSet pages = TopicSet({0, 0, 1});
+  EXPECT_NEAR(HubClusterCohesion(pages, HubCluster{"h", {0, 1, 2}}),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(HubQualityTest, FilterKeepsCohesiveOnly) {
+  FormPageSet pages = TopicSet({0, 0, 1, 1, 2, 3});
+  std::vector<HubCluster> clusters = {
+      {"pure", {0, 1}},      // cohesion 1
+      {"mixed", {0, 2}},     // cohesion 0
+      {"pure2", {2, 3}},     // cohesion 1
+      {"directory", {4, 5}}  // cohesion 0
+  };
+  std::vector<HubCluster> kept =
+      FilterByCohesion(pages, clusters, 0.5);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].hub_url, "pure");
+  EXPECT_EQ(kept[1].hub_url, "pure2");
+}
+
+TEST(HubQualityTest, ThresholdZeroKeepsMultiMemberOnly) {
+  FormPageSet pages = TopicSet({0, 1});
+  std::vector<HubCluster> clusters = {{"single", {0}}, {"pair", {0, 1}}};
+  // Cohesion of the singleton is 0 and of the orthogonal pair is 0; with a
+  // strictly positive threshold both drop, at 0.0 both stay.
+  EXPECT_EQ(FilterByCohesion(pages, clusters, 0.0).size(), 2u);
+  EXPECT_EQ(FilterByCohesion(pages, clusters, 0.01).size(), 0u);
+}
+
+TEST(HubQualityTest, ContentConfigRespected) {
+  // Pages identical in PC but orthogonal in FC.
+  FormPageSet set;
+  for (int i = 0; i < 2; ++i) {
+    FormPage page;
+    page.pc = vsm::SparseVector::FromUnsorted({{0, 1.0}});
+    page.fc = vsm::SparseVector::FromUnsorted(
+        {{static_cast<vsm::TermId>(10 + i), 1.0}});
+    set.mutable_pages()->push_back(std::move(page));
+  }
+  HubCluster cluster{"h", {0, 1}};
+  HubQualityOptions pc_only;
+  pc_only.content = ContentConfig::kPcOnly;
+  HubQualityOptions fc_only;
+  fc_only.content = ContentConfig::kFcOnly;
+  EXPECT_NEAR(HubClusterCohesion(set, cluster, pc_only), 1.0, 1e-12);
+  EXPECT_NEAR(HubClusterCohesion(set, cluster, fc_only), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace cafc

@@ -1,0 +1,138 @@
+#include "core/schema_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cafc.h"
+#include "eval/metrics.h"
+#include "web/synthesizer.h"
+
+namespace cafc {
+namespace {
+
+web::SynthesizerConfig SmallConfig() {
+  web::SynthesizerConfig config;
+  config.seed = 31;
+  config.form_pages_total = 96;
+  config.single_attribute_forms = 16;
+  config.homogeneous_hubs_per_domain = 20;
+  config.mixed_hubs = 30;
+  config.directory_hubs = 2;
+  config.large_air_hotel_hubs = 2;
+  config.non_searchable_form_pages = 0;
+  config.noise_pages = 0;
+  config.outlier_pages = 0;
+  return config;
+}
+
+class SchemaBaselineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    web::SyntheticWeb web = web::Synthesizer(SmallConfig()).Generate();
+    dataset_ = new Dataset(std::move(BuildDataset(web)).value());
+    schema_ = new FormPageSet(BuildSchemaPageSet(*dataset_));
+  }
+  static void TearDownTestSuite() {
+    delete schema_;
+    delete dataset_;
+    schema_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static FormPageSet* schema_;
+};
+
+Dataset* SchemaBaselineTest::dataset_ = nullptr;
+FormPageSet* SchemaBaselineTest::schema_ = nullptr;
+
+TEST_F(SchemaBaselineTest, AlignedWithDataset) {
+  ASSERT_EQ(schema_->size(), dataset_->entries.size());
+  for (size_t i = 0; i < schema_->size(); ++i) {
+    EXPECT_EQ(schema_->page(i).url, dataset_->entries[i].doc.url);
+  }
+}
+
+TEST_F(SchemaBaselineTest, PcIsAlwaysEmpty) {
+  for (size_t i = 0; i < schema_->size(); ++i) {
+    EXPECT_TRUE(schema_->page(i).pc.empty());
+  }
+}
+
+TEST_F(SchemaBaselineTest, MultiAttributePagesHaveSchemaVectors) {
+  size_t multi = 0;
+  size_t multi_with_schema = 0;
+  for (size_t i = 0; i < schema_->size(); ++i) {
+    if (dataset_->entries[i].single_attribute) continue;
+    ++multi;
+    if (!schema_->page(i).fc.empty()) ++multi_with_schema;
+  }
+  ASSERT_GT(multi, 0u);
+  EXPECT_GE(multi_with_schema * 10, multi * 9);  // >= 90%
+}
+
+TEST_F(SchemaBaselineTest, SingleAttributePagesOftenEmptyOrThin) {
+  // The paper's argument: keyword interfaces carry no schema. Their
+  // vectors must be markedly thinner than multi-attribute ones.
+  double single_terms = 0.0;
+  size_t singles = 0;
+  double multi_terms = 0.0;
+  size_t multis = 0;
+  for (size_t i = 0; i < schema_->size(); ++i) {
+    if (dataset_->entries[i].single_attribute) {
+      ++singles;
+      single_terms += static_cast<double>(schema_->page(i).fc.size());
+    } else {
+      ++multis;
+      multi_terms += static_cast<double>(schema_->page(i).fc.size());
+    }
+  }
+  ASSERT_GT(singles, 0u);
+  ASSERT_GT(multis, 0u);
+  EXPECT_LT(single_terms / static_cast<double>(singles),
+            0.5 * multi_terms / static_cast<double>(multis));
+}
+
+TEST_F(SchemaBaselineTest, ClusteringBeatsChanceButLosesToCafc) {
+  std::vector<int> gold = dataset_->GoldLabels();
+  CafcOptions fc_only;
+  fc_only.content = ContentConfig::kFcOnly;
+
+  double schema_entropy = 0.0;
+  for (int r = 0; r < 5; ++r) {
+    Rng rng(400 + static_cast<uint64_t>(r));
+    cluster::Clustering c =
+        CafcC(*schema_, web::kNumDomains, fc_only, &rng);
+    eval::ContingencyTable t(gold, web::kNumDomains, c);
+    schema_entropy += eval::TotalEntropy(t);
+  }
+  schema_entropy /= 5;
+  EXPECT_LT(schema_entropy, 1.8);  // far better than chance (ln 8 = 2.08)
+
+  FormPageSet cafc_pages = BuildFormPageSet(*dataset_);
+  double cafc_entropy = 0.0;
+  for (int r = 0; r < 5; ++r) {
+    Rng rng(400 + static_cast<uint64_t>(r));
+    cluster::Clustering c =
+        CafcC(cafc_pages, web::kNumDomains, CafcOptions{}, &rng);
+    eval::ContingencyTable t(gold, web::kNumDomains, c);
+    cafc_entropy += eval::TotalEntropy(t);
+  }
+  cafc_entropy /= 5;
+  EXPECT_LT(cafc_entropy, schema_entropy);
+}
+
+TEST_F(SchemaBaselineTest, FieldNamesOptional) {
+  SchemaBaselineOptions no_names;
+  no_names.include_field_names = false;
+  FormPageSet without = BuildSchemaPageSet(*dataset_, no_names);
+  // Dropping field names can only shrink (or keep) the vectors.
+  size_t shrunk = 0;
+  for (size_t i = 0; i < without.size(); ++i) {
+    EXPECT_LE(without.page(i).fc.size(), schema_->page(i).fc.size() + 2);
+    if (without.page(i).fc.size() < schema_->page(i).fc.size()) ++shrunk;
+  }
+  EXPECT_GT(shrunk, 0u);
+}
+
+}  // namespace
+}  // namespace cafc

@@ -1,0 +1,120 @@
+#include "core/select_hub_clusters.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cafc {
+namespace {
+
+/// Pages with orthogonal PC vectors per "topic"; pages of the same topic
+/// share the same term.
+FormPageSet TopicSet(const std::vector<int>& topics) {
+  FormPageSet set;
+  for (size_t i = 0; i < topics.size(); ++i) {
+    FormPage page;
+    page.url = "http://p" + std::to_string(i) + ".com/";
+    page.site = "p" + std::to_string(i) + ".com";
+    page.pc = vsm::SparseVector::FromUnsorted(
+        {{static_cast<vsm::TermId>(topics[i]), 1.0}});
+    page.fc = page.pc;
+    set.mutable_pages()->push_back(std::move(page));
+  }
+  return set;
+}
+
+TEST(SelectHubClustersTest, PicksOnePerTopic) {
+  // 3 topics x 2 pages; 6 singleton-ish hub clusters (2 per topic).
+  FormPageSet pages = TopicSet({0, 0, 1, 1, 2, 2});
+  std::vector<HubCluster> hubs = {
+      {"h0", {0, 1}}, {"h1", {0}},    {"h2", {2, 3}},
+      {"h3", {3}},    {"h4", {4, 5}}, {"h5", {5}},
+  };
+  auto seeds = SelectHubClusters(pages, hubs, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  // The selected clusters must cover all three topics (mutually distant).
+  std::set<vsm::TermId> covered;
+  for (const HubCluster& s : seeds) {
+    covered.insert(pages.page(s.members[0]).pc.entries()[0].term);
+  }
+  EXPECT_EQ(covered.size(), 3u);
+}
+
+TEST(SelectHubClustersTest, FirstTwoAreMostDistantPair) {
+  // Two near-identical clusters plus one distant; the greedy must start
+  // with a (near, far) pair, never (near, near).
+  FormPageSet pages = TopicSet({0, 0, 1});
+  std::vector<HubCluster> hubs = {{"near1", {0}}, {"near2", {1}},
+                                  {"far", {2}}};
+  auto seeds = SelectHubClusters(pages, hubs, 2);
+  ASSERT_EQ(seeds.size(), 2u);
+  std::set<std::string> names = {seeds[0].hub_url, seeds[1].hub_url};
+  EXPECT_TRUE(names.contains("far"));
+}
+
+TEST(SelectHubClustersTest, ExactlyKReturned) {
+  FormPageSet pages = TopicSet({0, 1, 2, 3, 4, 5, 6, 7});
+  std::vector<HubCluster> hubs;
+  for (size_t i = 0; i < 8; ++i) {
+    hubs.push_back({"h" + std::to_string(i), {i}});
+  }
+  EXPECT_EQ(SelectHubClusters(pages, hubs, 4).size(), 4u);
+  EXPECT_EQ(SelectHubClusters(pages, hubs, 8).size(), 8u);
+}
+
+TEST(SelectHubClustersTest, KOfOne) {
+  FormPageSet pages = TopicSet({0, 1});
+  std::vector<HubCluster> hubs = {{"h0", {0}}, {"h1", {1}}};
+  EXPECT_EQ(SelectHubClusters(pages, hubs, 1).size(), 1u);
+}
+
+TEST(SelectHubClustersTest, PadsWithSingletonsWhenTooFewHubs) {
+  FormPageSet pages = TopicSet({0, 1, 2, 3});
+  std::vector<HubCluster> hubs = {{"only", {0}}};
+  auto seeds = SelectHubClusters(pages, hubs, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_EQ(seeds[0].hub_url, "only");
+  // Padding clusters are singletons of not-yet-used pages.
+  std::set<size_t> used;
+  for (const HubCluster& s : seeds) {
+    for (size_t m : s.members) {
+      EXPECT_TRUE(used.insert(m).second);
+    }
+  }
+  EXPECT_EQ(seeds[1].members.size(), 1u);
+  EXPECT_EQ(seeds[2].members.size(), 1u);
+}
+
+TEST(SelectHubClustersTest, NoHubsAtAllPadsEntirely) {
+  FormPageSet pages = TopicSet({0, 1, 2});
+  auto seeds = SelectHubClusters(pages, {}, 3);
+  ASSERT_EQ(seeds.size(), 3u);
+  std::set<vsm::TermId> covered;
+  for (const HubCluster& s : seeds) {
+    covered.insert(pages.page(s.members[0]).pc.entries()[0].term);
+  }
+  EXPECT_EQ(covered.size(), 3u);  // padding also spreads across topics
+}
+
+TEST(SelectHubClustersTest, PaddingNeverExceedsPageCount) {
+  FormPageSet pages = TopicSet({0, 1});
+  auto seeds = SelectHubClusters(pages, {}, 5);
+  EXPECT_EQ(seeds.size(), 2u);  // min(k, n)
+}
+
+TEST(SelectHubClustersTest, DeterministicSelection) {
+  FormPageSet pages = TopicSet({0, 0, 1, 1, 2, 2, 3, 3});
+  std::vector<HubCluster> hubs = {
+      {"a", {0, 1}}, {"b", {2, 3}}, {"c", {4, 5}}, {"d", {6, 7}},
+      {"e", {0}},    {"f", {2}},
+  };
+  auto first = SelectHubClusters(pages, hubs, 4);
+  auto second = SelectHubClusters(pages, hubs, 4);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].hub_url, second[i].hub_url);
+  }
+}
+
+}  // namespace
+}  // namespace cafc

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/centroid_model.h"
+#include "core/form_page.h"
+
+namespace cafc {
+namespace {
+
+FormPage MakePage(std::vector<vsm::Entry> pc, std::vector<vsm::Entry> fc) {
+  FormPage page;
+  page.pc = vsm::SparseVector::FromUnsorted(std::move(pc));
+  page.fc = vsm::SparseVector::FromUnsorted(std::move(fc));
+  return page;
+}
+
+TEST(FormPageSimilarityTest, FcOnlyIgnoresPc) {
+  FormPage a = MakePage({{0, 1.0}}, {{10, 1.0}});
+  FormPage b = MakePage({{1, 1.0}}, {{10, 1.0}});  // orthogonal PC, same FC
+  EXPECT_NEAR(FormPageSimilarity(a, b, ContentConfig::kFcOnly), 1.0, 1e-12);
+  EXPECT_NEAR(FormPageSimilarity(a, b, ContentConfig::kPcOnly), 0.0, 1e-12);
+}
+
+TEST(FormPageSimilarityTest, CombinedIsAverageWithUnitWeights) {
+  FormPage a = MakePage({{0, 1.0}}, {{10, 1.0}});
+  FormPage b = MakePage({{0, 1.0}}, {{11, 1.0}});  // same PC, orthogonal FC
+  EXPECT_NEAR(FormPageSimilarity(a, b, ContentConfig::kFcPlusPc), 0.5, 1e-12);
+}
+
+TEST(FormPageSimilarityTest, WeightsShiftTheAverage) {
+  FormPage a = MakePage({{0, 1.0}}, {{10, 1.0}});
+  FormPage b = MakePage({{0, 1.0}}, {{11, 1.0}});
+  SimilarityWeights weights;
+  weights.page = 3.0;  // C1
+  weights.form = 1.0;  // C2
+  // (3*1 + 1*0) / 4 = 0.75
+  EXPECT_NEAR(
+      FormPageSimilarity(a, b, ContentConfig::kFcPlusPc, weights), 0.75,
+      1e-12);
+}
+
+TEST(FormPageSimilarityTest, ZeroWeightsSafe) {
+  FormPage a = MakePage({{0, 1.0}}, {{10, 1.0}});
+  SimilarityWeights weights;
+  weights.page = 0.0;
+  weights.form = 0.0;
+  EXPECT_DOUBLE_EQ(
+      FormPageSimilarity(a, a, ContentConfig::kFcPlusPc, weights), 0.0);
+}
+
+TEST(FormPageSimilarityTest, SelfSimilarityIsOne) {
+  FormPage a = MakePage({{0, 2.0}, {3, 1.0}}, {{10, 1.0}});
+  EXPECT_NEAR(FormPageSimilarity(a, a, ContentConfig::kFcPlusPc), 1.0, 1e-12);
+}
+
+TEST(FormPageSimilarityTest, EmptyFcActsAsZeroSimilarity) {
+  // A single-attribute form page with (near) empty FC: the FC cosine is 0,
+  // the combined score is half the PC cosine.
+  FormPage a = MakePage({{0, 1.0}}, {});
+  FormPage b = MakePage({{0, 1.0}}, {{10, 1.0}});
+  EXPECT_NEAR(FormPageSimilarity(a, b, ContentConfig::kFcPlusPc), 0.5, 1e-12);
+}
+
+TEST(ContentConfigNameTest, Names) {
+  EXPECT_EQ(ContentConfigName(ContentConfig::kFcOnly), "FC");
+  EXPECT_EQ(ContentConfigName(ContentConfig::kPcOnly), "PC");
+  EXPECT_EQ(ContentConfigName(ContentConfig::kFcPlusPc), "FC+PC");
+}
+
+TEST(ComputeCentroidTest, AveragesBothSpaces) {
+  std::vector<FormPage> pages;
+  pages.push_back(MakePage({{0, 2.0}}, {{10, 4.0}}));
+  pages.push_back(MakePage({{1, 2.0}}, {{10, 0.0}}));
+  CentroidPair c = ComputeCentroid(pages, {0, 1});
+  EXPECT_DOUBLE_EQ(c.pc.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.pc.Get(1), 1.0);
+  EXPECT_DOUBLE_EQ(c.fc.Get(10), 2.0);
+}
+
+TEST(ComputeCentroidTest, SubsetOnly) {
+  std::vector<FormPage> pages;
+  pages.push_back(MakePage({{0, 1.0}}, {}));
+  pages.push_back(MakePage({{0, 3.0}}, {}));
+  pages.push_back(MakePage({{0, 100.0}}, {}));
+  CentroidPair c = ComputeCentroid(pages, {0, 1});
+  EXPECT_DOUBLE_EQ(c.pc.Get(0), 2.0);
+}
+
+TEST(PageCentroidSimilarityTest, MatchesPagePageWhenCentroidIsPage) {
+  FormPage a = MakePage({{0, 1.0}, {1, 2.0}}, {{10, 1.0}});
+  FormPage b = MakePage({{0, 2.0}}, {{10, 1.0}, {11, 1.0}});
+  CentroidPair c;
+  c.pc = b.pc;
+  c.fc = b.fc;
+  EXPECT_NEAR(PageCentroidSimilarity(a, c, ContentConfig::kFcPlusPc),
+              FormPageSimilarity(a, b, ContentConfig::kFcPlusPc), 1e-12);
+}
+
+TEST(CentroidModelTest, SimilarityAndRecompute) {
+  FormPageSet set;
+  set.mutable_pages()->push_back(MakePage({{0, 1.0}}, {{10, 1.0}}));
+  set.mutable_pages()->push_back(MakePage({{1, 1.0}}, {{11, 1.0}}));
+  FormPageCentroidModel model(&set, 2, ContentConfig::kFcPlusPc);
+  model.RecomputeCentroid(0, {0});
+  model.RecomputeCentroid(1, {1});
+  EXPECT_NEAR(model.Similarity(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(model.Similarity(0, 1), 0.0, 1e-12);
+  EXPECT_EQ(model.num_points(), 2u);
+  EXPECT_EQ(model.num_clusters(), 2);
+}
+
+TEST(CentroidModelTest, EmptyMembersKeepPreviousCentroid) {
+  FormPageSet set;
+  set.mutable_pages()->push_back(MakePage({{0, 1.0}}, {}));
+  FormPageCentroidModel model(&set, 1, ContentConfig::kPcOnly);
+  model.RecomputeCentroid(0, {0});
+  double before = model.Similarity(0, 0);
+  model.RecomputeCentroid(0, {});
+  EXPECT_DOUBLE_EQ(model.Similarity(0, 0), before);
+}
+
+}  // namespace
+}  // namespace cafc

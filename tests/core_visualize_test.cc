@@ -1,0 +1,88 @@
+#include "core/visualize.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc {
+namespace {
+
+FormPageSet TwoTopicPages() {
+  FormPageSet set;
+  for (int i = 0; i < 6; ++i) {
+    FormPage page;
+    page.url = "http://site" + std::to_string(i) + ".com/search";
+    page.site = "site" + std::to_string(i) + ".com";
+    page.pc = vsm::SparseVector::FromUnsorted(
+        {{static_cast<vsm::TermId>(i / 3), 1.0}});
+    page.fc = page.pc;
+    set.mutable_pages()->push_back(std::move(page));
+  }
+  return set;
+}
+
+cluster::Clustering TwoClusters() {
+  cluster::Clustering c;
+  c.num_clusters = 2;
+  c.assignment = {0, 0, 0, 1, 1, 1};
+  return c;
+}
+
+TEST(VisualizeTest, WellFormedDot) {
+  FormPageSet pages = TwoTopicPages();
+  std::string dot = ExportClusteringToDot(pages, TwoClusters(),
+                                          {"jobs", "hotels"});
+  EXPECT_EQ(dot.find("graph cafc_clusters {"), 0u);
+  EXPECT_EQ(dot.back(), '\n');
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("\"jobs"), std::string::npos);
+  EXPECT_NE(dot.find("\"hotels"), std::string::npos);
+  // Braces balance.
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+TEST(VisualizeTest, MemberNodesShowHosts) {
+  FormPageSet pages = TwoTopicPages();
+  std::string dot = ExportClusteringToDot(pages, TwoClusters(),
+                                          {"a", "b"});
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NE(dot.find("site" + std::to_string(i) + ".com"),
+              std::string::npos);
+  }
+}
+
+TEST(VisualizeTest, MemberCapTruncatesWithEllipsis) {
+  FormPageSet pages = TwoTopicPages();
+  DotExportOptions options;
+  options.max_members_per_cluster = 2;
+  std::string dot =
+      ExportClusteringToDot(pages, TwoClusters(), {"a", "b"}, options);
+  EXPECT_NE(dot.find("... +1"), std::string::npos);
+}
+
+TEST(VisualizeTest, LabelQuotesEscaped) {
+  FormPageSet pages = TwoTopicPages();
+  std::string dot = ExportClusteringToDot(pages, TwoClusters(),
+                                          {"say \"hi\"", "b"});
+  EXPECT_NE(dot.find("say \\\"hi\\\""), std::string::npos);
+}
+
+TEST(VisualizeTest, MissingLabelsFallBack) {
+  FormPageSet pages = TwoTopicPages();
+  std::string dot = ExportClusteringToDot(pages, TwoClusters(), {});
+  EXPECT_NE(dot.find("cluster 0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster 1"), std::string::npos);
+}
+
+TEST(VisualizeTest, EmptyClusteringProducesValidSkeleton) {
+  FormPageSet pages;
+  cluster::Clustering c;
+  c.num_clusters = 0;
+  std::string dot = ExportClusteringToDot(pages, c, {});
+  EXPECT_EQ(dot.find("graph cafc_clusters {"), 0u);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'),
+            std::count(dot.begin(), dot.end(), '}'));
+}
+
+}  // namespace
+}  // namespace cafc

@@ -1,0 +1,269 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cafc::eval {
+namespace {
+
+cluster::Clustering MakeClustering(std::vector<int> assignment, int k) {
+  cluster::Clustering c;
+  c.assignment = std::move(assignment);
+  c.num_clusters = k;
+  return c;
+}
+
+TEST(ContingencyTableTest, CellsAndMarginals) {
+  // classes: 0 0 1 1 1; clusters: 0 1 1 1 0
+  ContingencyTable t({0, 0, 1, 1, 1}, 2, MakeClustering({0, 1, 1, 1, 0}, 2));
+  EXPECT_EQ(t.total(), 5u);
+  EXPECT_EQ(t.cell(0, 0), 1u);
+  EXPECT_EQ(t.cell(0, 1), 1u);
+  EXPECT_EQ(t.cell(1, 0), 1u);
+  EXPECT_EQ(t.cell(1, 1), 2u);
+  EXPECT_EQ(t.ClassSize(0), 2u);
+  EXPECT_EQ(t.ClassSize(1), 3u);
+  EXPECT_EQ(t.ClusterSize(0), 2u);
+  EXPECT_EQ(t.ClusterSize(1), 3u);
+}
+
+TEST(ContingencyTableTest, UnassignedPointsSkipped) {
+  ContingencyTable t({0, 1}, 2, MakeClustering({0, -1}, 1));
+  EXPECT_EQ(t.total(), 1u);
+}
+
+TEST(EntropyTest, PureClusterIsZero) {
+  ContingencyTable t({0, 0, 1, 1}, 2, MakeClustering({0, 0, 1, 1}, 2));
+  EXPECT_DOUBLE_EQ(ClusterEntropy(t, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ClusterEntropy(t, 1), 0.0);
+  EXPECT_DOUBLE_EQ(TotalEntropy(t), 0.0);
+}
+
+TEST(EntropyTest, FiftyFiftyClusterIsLnTwo) {
+  ContingencyTable t({0, 1}, 2, MakeClustering({0, 0}, 1));
+  EXPECT_NEAR(ClusterEntropy(t, 0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(TotalEntropy(t), std::log(2.0), 1e-12);
+}
+
+TEST(EntropyTest, WeightedBySize) {
+  // Cluster 0: 4 pure points (entropy 0); cluster 1: 2 mixed (ln 2).
+  ContingencyTable t({0, 0, 0, 0, 0, 1}, 2,
+                     MakeClustering({0, 0, 0, 0, 1, 1}, 2));
+  EXPECT_NEAR(TotalEntropy(t), (2.0 / 6.0) * std::log(2.0), 1e-12);
+}
+
+TEST(EntropyTest, UniformOverKClassesIsLnK) {
+  ContingencyTable t({0, 1, 2, 3}, 4, MakeClustering({0, 0, 0, 0}, 1));
+  EXPECT_NEAR(TotalEntropy(t), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyTest, EmptyClusterContributesNothing) {
+  ContingencyTable t({0, 0}, 1, MakeClustering({1, 1}, 2));
+  EXPECT_DOUBLE_EQ(ClusterEntropy(t, 0), 0.0);
+  EXPECT_DOUBLE_EQ(TotalEntropy(t), 0.0);
+}
+
+TEST(PrecisionRecallTest, Formulas) {
+  // class 0: 3 members, 2 land in cluster 0 (size 4).
+  ContingencyTable t({0, 0, 0, 1, 1, 1, 1}, 2,
+                     MakeClustering({0, 0, 1, 0, 0, 1, 1}, 2));
+  EXPECT_NEAR(Recall(t, 0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(Precision(t, 0, 0), 2.0 / 4.0, 1e-12);
+  double r = 2.0 / 3.0;
+  double p = 0.5;
+  EXPECT_NEAR(FScore(t, 0, 0), 2 * r * p / (r + p), 1e-12);
+}
+
+TEST(PrecisionRecallTest, ZeroCellGivesZeroF) {
+  ContingencyTable t({0, 1}, 2, MakeClustering({0, 1}, 2));
+  EXPECT_DOUBLE_EQ(FScore(t, 0, 1), 0.0);
+}
+
+TEST(FMeasureTest, PerfectClusteringScoresOne) {
+  ContingencyTable t({0, 0, 1, 1, 2, 2}, 3,
+                     MakeClustering({2, 2, 0, 0, 1, 1}, 3));
+  EXPECT_NEAR(OverallFMeasure(t), 1.0, 1e-12);
+  EXPECT_NEAR(Purity(t), 1.0, 1e-12);
+  EXPECT_NEAR(TotalEntropy(t), 0.0, 1e-12);
+}
+
+TEST(FMeasureTest, SingleBlobScoresLow) {
+  // Everything in one cluster: per-class F = 2*1*(1/k)/(1+1/k).
+  ContingencyTable t({0, 1, 2, 3}, 4, MakeClustering({0, 0, 0, 0}, 1));
+  double per_class = 2.0 * 1.0 * 0.25 / (1.0 + 0.25);
+  EXPECT_NEAR(OverallFMeasure(t), per_class, 1e-12);
+}
+
+TEST(FMeasureTest, ClassWeightedAverage) {
+  // class 0 (4 pts) perfectly clustered; class 1 (2 pts) split in half
+  // across cluster 1 (alone) and cluster 0.
+  ContingencyTable t({0, 0, 0, 0, 1, 1}, 2,
+                     MakeClustering({0, 0, 0, 0, 0, 1}, 2));
+  // class 0: best F vs cluster 0: r=1, p=4/5 → 8/9.
+  // class 1: vs cluster 1: r=1/2, p=1 → 2/3; vs cluster 0: r=1/2,p=1/5→2/7.
+  double expected = (4.0 * (8.0 / 9.0) + 2.0 * (2.0 / 3.0)) / 6.0;
+  EXPECT_NEAR(OverallFMeasure(t), expected, 1e-12);
+}
+
+TEST(PurityTest, MajorityFraction) {
+  ContingencyTable t({0, 0, 1, 1, 1, 0}, 2,
+                     MakeClustering({0, 0, 0, 1, 1, 1}, 2));
+  // cluster 0: {0,0,1} majority 2; cluster 1: {1,1,0} majority 2 → 4/6.
+  EXPECT_NEAR(Purity(t), 4.0 / 6.0, 1e-12);
+}
+
+TEST(HomogeneityTest, CountsPureClusters) {
+  ContingencyTable t({0, 0, 1, 1, 0, 1}, 2,
+                     MakeClustering({0, 0, 1, 1, 2, 2}, 3));
+  // clusters 0 and 1 pure, cluster 2 mixed → 2/3.
+  EXPECT_NEAR(HomogeneousClusterFraction(t), 2.0 / 3.0, 1e-12);
+}
+
+TEST(HomogeneityTest, EmptyClustersSkipped) {
+  ContingencyTable t({0, 0}, 1, MakeClustering({2, 2}, 3));
+  EXPECT_NEAR(HomogeneousClusterFraction(t), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyInputSafe) {
+  ContingencyTable t({}, 2, MakeClustering({}, 0));
+  EXPECT_DOUBLE_EQ(TotalEntropy(t), 0.0);
+  EXPECT_DOUBLE_EQ(OverallFMeasure(t), 0.0);
+  EXPECT_DOUBLE_EQ(Purity(t), 0.0);
+  EXPECT_DOUBLE_EQ(HomogeneousClusterFraction(t), 0.0);
+}
+
+TEST(NmiTest, PerfectClusteringIsOne) {
+  ContingencyTable t({0, 0, 1, 1}, 2, MakeClustering({1, 1, 0, 0}, 2));
+  EXPECT_NEAR(NormalizedMutualInformation(t), 1.0, 1e-12);
+}
+
+TEST(NmiTest, SingleBlobIsZero) {
+  ContingencyTable t({0, 1, 0, 1}, 2, MakeClustering({0, 0, 0, 0}, 1));
+  EXPECT_NEAR(NormalizedMutualInformation(t), 0.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsNearZero) {
+  // Classes and clusters fully crossed: MI = 0.
+  ContingencyTable t({0, 0, 1, 1}, 2, MakeClustering({0, 1, 0, 1}, 2));
+  EXPECT_NEAR(NormalizedMutualInformation(t), 0.0, 1e-12);
+}
+
+TEST(RandIndexTest, PerfectIsOne) {
+  ContingencyTable t({0, 0, 1, 1}, 2, MakeClustering({1, 1, 0, 0}, 2));
+  EXPECT_NEAR(RandIndex(t), 1.0, 1e-12);
+  EXPECT_NEAR(AdjustedRandIndex(t), 1.0, 1e-12);
+}
+
+TEST(RandIndexTest, KnownHandValue) {
+  // gold: {a,b} {c,d,e}; clustering: {a,b,c} {d,e}.
+  // pairs (10 total): agree on ab, de; agree-apart on ad, ae, bd, be;
+  // disagree on ac, bc, cd, ce → Rand = 6/10.
+  ContingencyTable t({0, 0, 1, 1, 1}, 2, MakeClustering({0, 0, 0, 1, 1}, 2));
+  EXPECT_NEAR(RandIndex(t), 0.6, 1e-12);
+}
+
+TEST(RandIndexTest, AdjustedBelowPlainForImperfect) {
+  ContingencyTable t({0, 0, 1, 1, 1}, 2, MakeClustering({0, 0, 0, 1, 1}, 2));
+  EXPECT_LT(AdjustedRandIndex(t), RandIndex(t));
+}
+
+TEST(RandIndexTest, SingleBlobDegenerateAri) {
+  // One cluster vs one class: identical trivial partitions.
+  ContingencyTable t({0, 0, 0}, 1, MakeClustering({0, 0, 0}, 1));
+  EXPECT_NEAR(AdjustedRandIndex(t), 1.0, 1e-12);
+  EXPECT_NEAR(RandIndex(t), 1.0, 1e-12);
+}
+
+TEST(RandIndexTest, TinyInputs) {
+  ContingencyTable t({0}, 1, MakeClustering({0}, 1));
+  EXPECT_DOUBLE_EQ(RandIndex(t), 1.0);
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(t), 1.0);
+}
+
+TEST(SilhouetteTest, WellSeparatedBlocksScoreHigh) {
+  // 2 blocks of 3; in-block distance 0.1, cross 0.9.
+  auto sim = [](size_t a, size_t b) {
+    return (a / 3) == (b / 3) ? 0.9 : 0.1;
+  };
+  cluster::Clustering c = MakeClustering({0, 0, 0, 1, 1, 1}, 2);
+  // a = 0.1, b = 0.9 → s = (0.9-0.1)/0.9 ≈ 0.888...
+  EXPECT_NEAR(MeanSilhouette(c, sim), 0.8 / 0.9, 1e-12);
+}
+
+TEST(SilhouetteTest, WrongPartitionScoresNegative) {
+  auto sim = [](size_t a, size_t b) {
+    return (a / 3) == (b / 3) ? 0.9 : 0.1;
+  };
+  // Split each true block across both clusters.
+  cluster::Clustering c = MakeClustering({0, 1, 0, 1, 0, 1}, 2);
+  EXPECT_LT(MeanSilhouette(c, sim), 0.0);
+}
+
+TEST(SilhouetteTest, SingleClusterIsZero) {
+  auto sim = [](size_t, size_t) { return 0.5; };
+  cluster::Clustering c = MakeClustering({0, 0, 0}, 1);
+  EXPECT_DOUBLE_EQ(MeanSilhouette(c, sim), 0.0);
+}
+
+TEST(SilhouetteTest, SingletonClustersScoreZero) {
+  auto sim = [](size_t, size_t) { return 0.5; };
+  cluster::Clustering c = MakeClustering({0, 1}, 2);
+  EXPECT_DOUBLE_EQ(MeanSilhouette(c, sim), 0.0);
+}
+
+TEST(SilhouetteTest, EmptyInputSafe) {
+  auto sim = [](size_t, size_t) { return 0.5; };
+  cluster::Clustering c = MakeClustering({}, 0);
+  EXPECT_DOUBLE_EQ(MeanSilhouette(c, sim), 0.0);
+}
+
+TEST(SilhouetteTest, UnassignedPointsIgnored) {
+  auto sim = [](size_t a, size_t b) {
+    return (a / 2) == (b / 2) ? 0.9 : 0.1;
+  };
+  cluster::Clustering c = MakeClustering({0, 0, 1, 1, -1}, 2);
+  EXPECT_GT(MeanSilhouette(c, sim), 0.5);
+}
+
+// Property sweep: entropy of random clusterings is within [0, ln(classes)]
+// and perfect assignments always score best.
+class MetricsPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricsPropertyTest, EntropyBounds) {
+  int k = GetParam();
+  std::vector<int> gold;
+  std::vector<int> assignment;
+  uint64_t state = static_cast<uint64_t>(k) * 2654435761u + 17;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int>((state >> 33) % 1000);
+  };
+  for (int i = 0; i < 100; ++i) {
+    gold.push_back(next() % k);
+    assignment.push_back(next() % k);
+  }
+  ContingencyTable t(gold, k, MakeClustering(assignment, k));
+  EXPECT_GE(TotalEntropy(t), 0.0);
+  EXPECT_LE(TotalEntropy(t), std::log(static_cast<double>(k)) + 1e-9);
+  EXPECT_GE(OverallFMeasure(t), 0.0);
+  EXPECT_LE(OverallFMeasure(t), 1.0 + 1e-9);
+
+  EXPECT_GE(NormalizedMutualInformation(t), -1e-9);
+  EXPECT_LE(NormalizedMutualInformation(t), 1.0 + 1e-9);
+  EXPECT_GE(RandIndex(t), 0.0);
+  EXPECT_LE(RandIndex(t), 1.0 + 1e-9);
+  EXPECT_LE(AdjustedRandIndex(t), 1.0 + 1e-9);
+
+  ContingencyTable perfect(gold, k, MakeClustering(gold, k));
+  EXPECT_LE(TotalEntropy(perfect), TotalEntropy(t) + 1e-9);
+  EXPECT_GE(OverallFMeasure(perfect), OverallFMeasure(t) - 1e-9);
+  EXPECT_NEAR(NormalizedMutualInformation(perfect), 1.0, 1e-9);
+  EXPECT_NEAR(AdjustedRandIndex(perfect), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, MetricsPropertyTest,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+}  // namespace
+}  // namespace cafc::eval

@@ -1,0 +1,212 @@
+#include "forms/form_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "forms/form_extractor.h"
+#include "html/dom.h"
+#include "web/synthesizer.h"
+
+namespace cafc::forms {
+namespace {
+
+Form FromHtml(std::string_view html) {
+  html::Document doc = html::Parse(html);
+  auto forms = ExtractForms(doc);
+  EXPECT_EQ(forms.size(), 1u);
+  return forms.empty() ? Form{} : forms[0];
+}
+
+TEST(FormClassifierTest, KeywordSearchFormIsSearchable) {
+  Form form = FromHtml(
+      R"(<form action="/search" method="get">
+         <input type="text" name="q"><input type="submit" value="search">
+         </form>)");
+  FormClassifier classifier;
+  FormVerdict verdict = classifier.Classify(form);
+  EXPECT_TRUE(verdict.searchable);
+  EXPECT_GT(verdict.searchable_score, verdict.non_searchable_score);
+}
+
+TEST(FormClassifierTest, MultiSelectSearchFormIsSearchable) {
+  Form form = FromHtml(
+      R"(<form action="/findcars" method="get">
+         Make: <select name="make"><option>ford</option><option>honda</option>
+         </select>
+         Model: <select name="model"><option>civic</option><option>accord
+         </option></select>
+         <input type="submit" value="find"></form>)");
+  EXPECT_TRUE(FormClassifier().IsSearchable(form));
+}
+
+TEST(FormClassifierTest, LoginFormRejected) {
+  Form form = FromHtml(
+      R"(<form action="/login.cgi" method="post">
+         username <input type="text" name="username">
+         password <input type="password" name="password">
+         <input type="submit" value="login"></form>)");
+  FormVerdict verdict = FormClassifier().Classify(form);
+  EXPECT_FALSE(verdict.searchable);
+  EXPECT_GE(verdict.non_searchable_score, 4);
+}
+
+TEST(FormClassifierTest, NewsletterSignupRejected) {
+  Form form = FromHtml(
+      R"(<form action="/subscribe" method="post">
+         email address <input type="text" name="email">
+         <input type="submit" value="subscribe"></form>)");
+  EXPECT_FALSE(FormClassifier().IsSearchable(form));
+}
+
+TEST(FormClassifierTest, QuoteRequestRejected) {
+  Form form = FromHtml(
+      R"(<form action="/quote" method="post">
+         your name <input type="text" name="name">
+         phone <input type="text" name="phone">
+         comments <textarea name="comments"></textarea>
+         <input type="submit" value="request a quote"></form>)");
+  EXPECT_FALSE(FormClassifier().IsSearchable(form));
+}
+
+TEST(FormClassifierTest, FileUploadRejected) {
+  Form form = FromHtml(
+      R"(<form action="/upload" method="post">
+         <input type="file" name="resume">
+         <input type="submit" value="send"></form>)");
+  EXPECT_FALSE(FormClassifier().IsSearchable(form));
+}
+
+TEST(FormClassifierTest, EmptyFormRejected) {
+  Form form = FromHtml("<form action=\"/x\"></form>");
+  EXPECT_FALSE(FormClassifier().IsSearchable(form));
+}
+
+TEST(FormClassifierTest, UnlabeledSingleFieldGetFormSearchable) {
+  // The Figure 1(c) case: no label at all, generic action.
+  Form form = FromHtml(
+      R"(<form action="/query.php" method="get">
+         <input type="text" name="keywords">
+         <input type="submit" value="go"></form>)");
+  EXPECT_TRUE(FormClassifier().IsSearchable(form));
+}
+
+TEST(FormClassifierTest, PostSearchFormStillSearchableWithStrongCues) {
+  Form form = FromHtml(
+      R"(<form action="/search" method="post">
+         search our inventory <input type="text" name="query">
+         <select name="category"><option>books</option><option>music</option>
+         </select><input type="submit" value="search"></form>)");
+  EXPECT_TRUE(FormClassifier().IsSearchable(form));
+}
+
+struct CueCase {
+  const char* name;
+  const char* html;
+  bool searchable;
+};
+
+class ClassifierCueTest : public ::testing::TestWithParam<CueCase> {};
+
+TEST_P(ClassifierCueTest, VerdictMatches) {
+  const CueCase& c = GetParam();
+  html::Document doc = html::Parse(c.html);
+  auto forms = ExtractForms(doc);
+  ASSERT_EQ(forms.size(), 1u) << c.name;
+  EXPECT_EQ(FormClassifier().IsSearchable(forms[0]), c.searchable)
+      << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cues, ClassifierCueTest,
+    ::testing::Values(
+        CueCase{"advanced_search_text",
+                R"(<form action="/as" method="get">advanced search
+                   <input name="terms"><input type=submit value=go></form>)",
+                true},
+        CueCase{"browse_catalog_selects",
+                R"(<form action="/browse" method="get">
+                   <select name="cat"><option>a</option><option>b</option>
+                   </select><select name="sub"><option>x</option>
+                   <option>y</option></select>
+                   <input type=submit value=browse></form>)",
+                true},
+        CueCase{"query_field_name",
+                R"(<form action="/x" method="get"><input name="query">
+                   <input type=submit></form>)",
+                true},
+        CueCase{"locate_action_cue",
+                R"(<form action="/locate.jsp" method="get">
+                   <input name="city"><input type=submit value=ok></form>)",
+                true},
+        CueCase{"signin_text_cue",
+                R"(<form action="/x" method="post">please sign in
+                   <input name="u"><input type="password" name="p">
+                   <input type=submit value=ok></form>)",
+                false},
+        CueCase{"registration_names",
+                R"(<form action="/reg" method="post">
+                   <input name="firstname"><input name="lastname">
+                   <input name="email"><input type=submit value=ok></form>)",
+                false},
+        CueCase{"feedback_textarea",
+                R"(<form action="/fb" method="post">feedback
+                   <textarea name="message"></textarea>
+                   <input type=submit value=send></form>)",
+                false},
+        CueCase{"no_fillable_fields",
+                R"(<form action="/go" method="get">
+                   <input type="submit" value="continue"></form>)",
+                false}),
+    [](const ::testing::TestParamInfo<CueCase>& info) {
+      return info.param.name;
+    });
+
+// Corpus-level check: the classifier must accept (nearly) all generated
+// searchable forms and reject (nearly) all generated non-searchable ones.
+TEST(FormClassifierTest, HighAccuracyOnSyntheticCorpus) {
+  web::SynthesizerConfig config;
+  config.seed = 11;
+  config.form_pages_total = 120;
+  config.single_attribute_forms = 15;
+  config.homogeneous_hubs_per_domain = 10;
+  config.mixed_hubs = 10;
+  config.directory_hubs = 2;
+  config.large_air_hotel_hubs = 2;
+  config.non_searchable_form_pages = 40;
+  config.noise_pages = 0;
+  web::SyntheticWeb web = web::Synthesizer(config).Generate();
+
+  FormClassifier classifier;
+  int searchable_accepted = 0;
+  for (const web::FormPageInfo& info : web.form_pages()) {
+    auto page = web.Fetch(info.url);
+    ASSERT_TRUE(page.ok());
+    html::Document doc = html::Parse((*page)->html);
+    bool any = false;
+    for (const Form& form : ExtractForms(doc)) {
+      any = any || classifier.IsSearchable(form);
+    }
+    searchable_accepted += any ? 1 : 0;
+  }
+  EXPECT_GE(searchable_accepted, 114);  // >= 95% recall
+
+  int non_searchable_rejected = 0;
+  int non_searchable_total = 0;
+  for (const web::WebPage& page : web.pages()) {
+    if (page.url.find("login.html") == std::string::npos &&
+        page.url.find("signup.html") == std::string::npos) {
+      continue;
+    }
+    ++non_searchable_total;
+    html::Document doc = html::Parse(page.html);
+    bool any = false;
+    for (const Form& form : ExtractForms(doc)) {
+      any = any || classifier.IsSearchable(form);
+    }
+    non_searchable_rejected += any ? 0 : 1;
+  }
+  ASSERT_EQ(non_searchable_total, 40);
+  EXPECT_GE(non_searchable_rejected, 38);  // >= 95% rejection
+}
+
+}  // namespace
+}  // namespace cafc::forms

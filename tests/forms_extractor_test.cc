@@ -1,0 +1,150 @@
+#include "forms/form_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "html/dom.h"
+
+namespace cafc::forms {
+namespace {
+
+std::vector<Form> Extract(std::string_view html) {
+  html::Document doc = html::Parse(html);
+  return ExtractForms(doc);
+}
+
+TEST(FormExtractorTest, NoFormsOnPlainPage) {
+  EXPECT_TRUE(Extract("<html><body><p>text</p></body></html>").empty());
+}
+
+TEST(FormExtractorTest, ActionMethodName) {
+  auto forms = Extract(
+      R"(<form action="/cgi-bin/search" method="POST" name="sf"></form>)");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].action, "/cgi-bin/search");
+  EXPECT_EQ(forms[0].method, "post");  // lowercased
+  EXPECT_EQ(forms[0].name, "sf");
+}
+
+TEST(FormExtractorTest, MethodDefaultsToGet) {
+  auto forms = Extract("<form action=\"/s\"></form>");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].method, "get");
+}
+
+TEST(FormExtractorTest, InputFieldsCaptured) {
+  auto forms = Extract(
+      R"(<form><input type="text" name="q" value="default">
+         <input type="hidden" name="sid" value="tok"></form>)");
+  ASSERT_EQ(forms.size(), 1u);
+  ASSERT_EQ(forms[0].fields.size(), 2u);
+  EXPECT_EQ(forms[0].fields[0].type, FieldType::kText);
+  EXPECT_EQ(forms[0].fields[0].name, "q");
+  EXPECT_EQ(forms[0].fields[0].value, "default");
+  EXPECT_EQ(forms[0].fields[1].type, FieldType::kHidden);
+}
+
+TEST(FormExtractorTest, SelectOptionsCaptured) {
+  auto forms = Extract(
+      R"(<form><select name="state">
+           <option value="">all</option>
+           <option>california</option>
+           <option>texas</option>
+         </select></form>)");
+  ASSERT_EQ(forms.size(), 1u);
+  ASSERT_EQ(forms[0].fields.size(), 1u);
+  const FormField& select = forms[0].fields[0];
+  EXPECT_EQ(select.type, FieldType::kSelect);
+  EXPECT_EQ(select.name, "state");
+  EXPECT_EQ(select.options,
+            (std::vector<std::string>{"all", "california", "texas"}));
+  EXPECT_EQ(forms[0].option_text, "all california texas");
+}
+
+TEST(FormExtractorTest, OptionTextSeparateFromFormText) {
+  auto forms = Extract(
+      R"(<form>Job Category: <select name="c"><option>sales</option>
+         </select></form>)");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].text, "Job Category:");
+  EXPECT_EQ(forms[0].option_text, "sales");
+}
+
+TEST(FormExtractorTest, HiddenValuesNeverInText) {
+  auto forms = Extract(
+      R"(<form>visible label
+         <input type="hidden" name="sid" value="secrettoken"></form>)");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].text.find("secrettoken"), std::string::npos);
+  // The field itself is still recorded for the classifier.
+  EXPECT_TRUE(forms[0].HasFieldType(FieldType::kHidden));
+}
+
+TEST(FormExtractorTest, SubmitButtonCaptionIsFormText) {
+  auto forms = Extract(
+      R"(<form><input type="submit" value="Search Jobs"></form>)");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].text, "Search Jobs");
+}
+
+TEST(FormExtractorTest, TextareaDefaultValueNotText) {
+  auto forms = Extract(
+      R"(<form><textarea name="comments">prefilled text</textarea></form>)");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].fields[0].type, FieldType::kTextArea);
+  EXPECT_EQ(forms[0].fields[0].value, "prefilled text");
+  EXPECT_EQ(forms[0].text, "");
+}
+
+TEST(FormExtractorTest, LabelOutsideFormExcluded) {
+  // The paper's Figure 1(c): "Search Jobs" above the form is NOT form text.
+  auto forms = Extract(
+      R"(<b>Search Jobs</b><form><input type="text" name="q"></form>)");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].text, "");
+}
+
+TEST(FormExtractorTest, NestedMarkupTextGathered) {
+  auto forms = Extract(
+      R"(<form><table><tr><td><b>Make:</b></td><td>
+         <input name="make"></td></tr></table></form>)");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].text, "Make:");
+  EXPECT_EQ(forms[0].fields.size(), 1u);
+}
+
+TEST(FormExtractorTest, MultipleFormsInOrder) {
+  auto forms = Extract(
+      R"(<form action="/search"></form><form action="/login"></form>)");
+  ASSERT_EQ(forms.size(), 2u);
+  EXPECT_EQ(forms[0].action, "/search");
+  EXPECT_EQ(forms[1].action, "/login");
+}
+
+TEST(FormExtractorTest, RadioAndCheckbox) {
+  auto forms = Extract(
+      R"(<form><input type="radio" name="type" value="new"> new
+         <input type="radio" name="type" value="used"> used
+         <input type="checkbox" name="photos"> with photos</form>)");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].fields.size(), 3u);
+  EXPECT_EQ(forms[0].fields[0].type, FieldType::kRadio);
+  EXPECT_EQ(forms[0].fields[2].type, FieldType::kCheckbox);
+  EXPECT_EQ(forms[0].text, "new used with photos");
+}
+
+TEST(FormExtractorTest, ImplicitlyClosedOptionsAllCaptured) {
+  auto forms = Extract(
+      "<form><select name=\"x\"><option>a<option>b<option>c</select></form>");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].fields[0].options.size(), 3u);
+}
+
+TEST(FormExtractorTest, UnclosedFormAtEof) {
+  auto forms = Extract("<form action=\"/s\"><input name=\"q\">trailing");
+  ASSERT_EQ(forms.size(), 1u);
+  EXPECT_EQ(forms[0].fields.size(), 1u);
+  EXPECT_EQ(forms[0].text, "trailing");
+}
+
+}  // namespace
+}  // namespace cafc::forms

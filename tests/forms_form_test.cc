@@ -1,0 +1,84 @@
+#include "forms/form.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc::forms {
+namespace {
+
+TEST(InputTypeTest, KnownTypes) {
+  EXPECT_EQ(InputTypeFromString("text"), FieldType::kText);
+  EXPECT_EQ(InputTypeFromString("TEXT"), FieldType::kText);
+  EXPECT_EQ(InputTypeFromString("password"), FieldType::kPassword);
+  EXPECT_EQ(InputTypeFromString("hidden"), FieldType::kHidden);
+  EXPECT_EQ(InputTypeFromString("checkbox"), FieldType::kCheckbox);
+  EXPECT_EQ(InputTypeFromString("radio"), FieldType::kRadio);
+  EXPECT_EQ(InputTypeFromString("submit"), FieldType::kSubmit);
+  EXPECT_EQ(InputTypeFromString("reset"), FieldType::kReset);
+  EXPECT_EQ(InputTypeFromString("button"), FieldType::kButton);
+  EXPECT_EQ(InputTypeFromString("file"), FieldType::kFile);
+  EXPECT_EQ(InputTypeFromString("image"), FieldType::kImage);
+}
+
+TEST(InputTypeTest, EmptyAndUnknownDefaultToText) {
+  EXPECT_EQ(InputTypeFromString(""), FieldType::kText);
+  EXPECT_EQ(InputTypeFromString("bogus"), FieldType::kText);
+}
+
+Form MakeForm(std::vector<FieldType> types) {
+  Form form;
+  for (FieldType t : types) {
+    FormField f;
+    f.type = t;
+    form.fields.push_back(f);
+  }
+  return form;
+}
+
+TEST(FormTest, NumFillableFieldsExcludesChrome) {
+  Form form = MakeForm({FieldType::kText, FieldType::kHidden,
+                        FieldType::kSubmit, FieldType::kReset,
+                        FieldType::kButton, FieldType::kImage,
+                        FieldType::kSelect});
+  EXPECT_EQ(form.NumFillableFields(), 2);
+}
+
+TEST(FormTest, NumFillableIncludesPasswordAndFile) {
+  Form form = MakeForm({FieldType::kPassword, FieldType::kFile});
+  EXPECT_EQ(form.NumFillableFields(), 2);
+}
+
+TEST(FormTest, NumAttributesCountsQueryControls) {
+  Form form = MakeForm({FieldType::kText, FieldType::kSelect,
+                        FieldType::kTextArea, FieldType::kRadio,
+                        FieldType::kCheckbox, FieldType::kPassword,
+                        FieldType::kHidden, FieldType::kSubmit});
+  EXPECT_EQ(form.NumAttributes(), 5);
+}
+
+TEST(FormTest, HasFieldType) {
+  Form form = MakeForm({FieldType::kText, FieldType::kHidden});
+  EXPECT_TRUE(form.HasFieldType(FieldType::kText));
+  EXPECT_TRUE(form.HasFieldType(FieldType::kHidden));
+  EXPECT_FALSE(form.HasFieldType(FieldType::kPassword));
+}
+
+TEST(FormTest, HasFieldNamedCaseInsensitive) {
+  Form form;
+  FormField f;
+  f.type = FieldType::kText;
+  f.name = "UserName";
+  form.fields.push_back(f);
+  EXPECT_TRUE(form.HasFieldNamed("username"));
+  EXPECT_TRUE(form.HasFieldNamed("USERNAME"));
+  EXPECT_FALSE(form.HasFieldNamed("user"));
+}
+
+TEST(FormTest, EmptyForm) {
+  Form form;
+  EXPECT_EQ(form.NumFillableFields(), 0);
+  EXPECT_EQ(form.NumAttributes(), 0);
+  EXPECT_FALSE(form.HasFieldNamed("q"));
+}
+
+}  // namespace
+}  // namespace cafc::forms

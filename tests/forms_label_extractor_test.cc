@@ -1,0 +1,135 @@
+#include "forms/label_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "html/dom.h"
+
+namespace cafc::forms {
+namespace {
+
+std::vector<LabeledField> Extract(std::string_view html) {
+  html::Document doc = html::Parse(html);
+  return ExtractAllLabels(doc);
+}
+
+TEST(LabelExtractorTest, LabelForAttributeWins) {
+  auto labels = Extract(
+      R"(<form><label for="cat">Job Category</label>
+         <input type="text" name="category" id="cat"></form>)");
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].field_name, "category");
+  EXPECT_EQ(labels[0].label, "Job Category");
+}
+
+TEST(LabelExtractorTest, SameCellTextBeforeControl) {
+  auto labels = Extract(
+      R"(<form><table><tr><td>State: <select name="state">
+         <option>ca</option></select></td></tr></table></form>)");
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].label, "State");
+}
+
+TEST(LabelExtractorTest, PreviousCellInSameRow) {
+  auto labels = Extract(
+      R"(<form><table><tr><td><b>Make:</b></td>
+         <td><select name="make"><option>ford</option></select></td>
+         </tr></table></form>)");
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].label, "Make");
+}
+
+TEST(LabelExtractorTest, TwoRowsTwoLabels) {
+  auto labels = Extract(
+      R"(<form><table>
+         <tr><td>From city:</td><td><input name="from"></td></tr>
+         <tr><td>To city:</td><td><input name="to"></td></tr>
+         </table></form>)");
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].field_name, "from");
+  EXPECT_EQ(labels[0].label, "From city");
+  EXPECT_EQ(labels[1].field_name, "to");
+  EXPECT_EQ(labels[1].label, "To city");
+}
+
+TEST(LabelExtractorTest, PrecedingTextWithoutTables) {
+  auto labels = Extract(
+      R"(<form>Departure date: <input name="depart"></form>)");
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].label, "Departure date");
+}
+
+TEST(LabelExtractorTest, InterveningControlBlocksPrecedingText) {
+  // "Year" belongs to the first input; the second gets the text "to".
+  auto labels = Extract(
+      R"(<form>Year <input name="min"> to <input name="max"></form>)");
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].label, "Year");
+  EXPECT_EQ(labels[1].label, "to");
+}
+
+TEST(LabelExtractorTest, NoLabelAtAllYieldsEmpty) {
+  auto labels = Extract(R"(<form><input type="text" name="q"></form>)");
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].label, "");
+}
+
+TEST(LabelExtractorTest, LabelOutsideFormInvisible) {
+  // The paper's Figure 1(c): the descriptive string sits outside the FORM
+  // tags; per-field extraction cannot see it.
+  auto labels = Extract(
+      R"(<b>Search Jobs</b><form><input type="text" name="q"></form>)");
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].label, "");
+}
+
+TEST(LabelExtractorTest, ChromeControlsSkipped) {
+  auto labels = Extract(
+      R"(<form>Keyword <input name="q">
+         <input type="submit" value="go"><input type="reset">
+         <input type="hidden" name="sid" value="x"></form>)");
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].field_name, "q");
+}
+
+TEST(LabelExtractorTest, OptionTextNeverALabel) {
+  auto labels = Extract(
+      R"(<form><select name="a"><option>first option</option></select>
+         <input name="b"></form>)");
+  ASSERT_EQ(labels.size(), 2u);
+  // Input "b" must not inherit the option text of select "a".
+  EXPECT_NE(labels[1].label, "first option");
+}
+
+TEST(LabelExtractorTest, TrailingPunctuationStripped) {
+  auto labels = Extract(R"(<form>Zip code: * <input name="zip"></form>)");
+  ASSERT_EQ(labels.size(), 1u);
+  EXPECT_EQ(labels[0].label, "Zip code");
+}
+
+TEST(LabelExtractorTest, LongTextClippedToTail) {
+  auto labels = Extract(
+      R"(<form>Please use the box below to enter your desired job title
+         keywords: <input name="kw"></form>)");
+  ASSERT_EQ(labels.size(), 1u);
+  // Clipped to the last few words — the part nearest the control.
+  EXPECT_EQ(labels[0].label, "enter your desired job title keywords");
+}
+
+TEST(LabelExtractorTest, MultipleFormsConcatenated) {
+  auto labels = Extract(
+      R"(<form>A <input name="a"></form><form>B <input name="b"></form>)");
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].label, "A");
+  EXPECT_EQ(labels[1].label, "B");
+}
+
+TEST(LabelExtractorTest, RadioGroupEachGetsNearestText) {
+  auto labels = Extract(
+      R"(<form><input type="radio" name="cond" value="new"> new
+         <input type="radio" name="cond" value="used"> used</form>)");
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[1].label, "new");  // text preceding the second radio
+}
+
+}  // namespace
+}  // namespace cafc::forms

@@ -1,0 +1,152 @@
+#include "forms/form_page_model.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace cafc::forms {
+namespace {
+
+using vsm::LocatedTerm;
+using vsm::Location;
+
+constexpr const char* kPage = R"html(
+<html><head><title>Cheap Flights Online</title></head>
+<body>
+<h1>Welcome travelers</h1>
+<p>Find airline tickets and vacation deals. <a href="/deals">hot deals</a></p>
+<form action="/search" method="get">
+Departure city: <input type="text" name="from">
+<select name="class"><option>economy</option><option>business</option></select>
+<input type="submit" value="find flights">
+<input type="hidden" name="sid" value="zzyxw">
+</form>
+<p>copyright notice</p>
+</body></html>
+)html";
+
+bool HasTerm(const std::vector<LocatedTerm>& terms, std::string_view term,
+             Location loc) {
+  return std::any_of(terms.begin(), terms.end(),
+                     [term, loc](const LocatedTerm& t) {
+                       return t.term == term && t.location == loc;
+                     });
+}
+
+bool HasTermAnywhere(const std::vector<LocatedTerm>& terms,
+                     std::string_view term) {
+  return std::any_of(terms.begin(), terms.end(), [term](const LocatedTerm& t) {
+    return t.term == term;
+  });
+}
+
+class FormPageModelTest : public ::testing::Test {
+ protected:
+  FormPageModelBuilder builder_;
+  FormPageDocument doc_ = builder_.Build("http://x.com/search.html", kPage);
+};
+
+TEST_F(FormPageModelTest, UrlRecorded) {
+  EXPECT_EQ(doc_.url, "http://x.com/search.html");
+}
+
+TEST_F(FormPageModelTest, FormsExtracted) {
+  ASSERT_EQ(doc_.forms.size(), 1u);
+  EXPECT_EQ(doc_.forms[0].action, "/search");
+}
+
+TEST_F(FormPageModelTest, TitleTermsTagged) {
+  EXPECT_TRUE(HasTerm(doc_.page_terms, "cheap", Location::kPageTitle));
+  EXPECT_TRUE(HasTerm(doc_.page_terms, "flight", Location::kPageTitle));
+}
+
+TEST_F(FormPageModelTest, AnchorTermsTagged) {
+  EXPECT_TRUE(HasTerm(doc_.page_terms, "deal", Location::kAnchorText));
+}
+
+TEST_F(FormPageModelTest, BodyTermsTagged) {
+  EXPECT_TRUE(HasTerm(doc_.page_terms, "airlin", Location::kPageBody));
+  EXPECT_TRUE(HasTerm(doc_.page_terms, "vacat", Location::kPageBody));
+}
+
+TEST_F(FormPageModelTest, FormTextGoesToFc) {
+  EXPECT_TRUE(HasTerm(doc_.form_terms, "departur", Location::kFormText));
+  EXPECT_TRUE(HasTerm(doc_.form_terms, "citi", Location::kFormText));
+  // Submit caption counts as form text.
+  EXPECT_TRUE(HasTerm(doc_.form_terms, "find", Location::kFormText));
+}
+
+TEST_F(FormPageModelTest, OptionTermsTagged) {
+  EXPECT_TRUE(HasTerm(doc_.form_terms, "economi", Location::kFormOption));
+  EXPECT_TRUE(HasTerm(doc_.form_terms, "busi", Location::kFormOption));
+}
+
+TEST_F(FormPageModelTest, PartitionIsDisjoint) {
+  // Form-subtree terms must not appear in PC.
+  EXPECT_FALSE(HasTermAnywhere(doc_.page_terms, "economi"));
+  EXPECT_FALSE(HasTermAnywhere(doc_.page_terms, "departur"));
+  // Page terms must not appear in FC.
+  EXPECT_FALSE(HasTermAnywhere(doc_.form_terms, "welcom"));
+}
+
+TEST_F(FormPageModelTest, HiddenTokensExcludedEverywhere) {
+  EXPECT_FALSE(HasTermAnywhere(doc_.form_terms, "zzyxw"));
+  EXPECT_FALSE(HasTermAnywhere(doc_.page_terms, "zzyxw"));
+}
+
+TEST_F(FormPageModelTest, StopwordsFiltered) {
+  EXPECT_FALSE(HasTermAnywhere(doc_.page_terms, "and"));
+  EXPECT_FALSE(HasTermAnywhere(doc_.page_terms, "copyright"));
+}
+
+TEST(FormPageModelOptionsTest, UnpartitionedModeIncludesFormInPc) {
+  FormPageModelOptions options;
+  options.partition_page_and_form = false;
+  FormPageModelBuilder builder({}, options);
+  FormPageDocument doc = builder.Build("http://x.com/", kPage);
+  // Form text now also appears in the page space (as body text).
+  EXPECT_TRUE(HasTermAnywhere(doc.page_terms, "departur"));
+  // FC is unchanged.
+  EXPECT_TRUE(HasTermAnywhere(doc.form_terms, "departur"));
+}
+
+TEST(FormPageModelPlainTest, PageWithoutFormsHasEmptyFc) {
+  FormPageModelBuilder builder;
+  FormPageDocument doc =
+      builder.Build("http://x.com/", "<html><body>just text</body></html>");
+  EXPECT_TRUE(doc.forms.empty());
+  EXPECT_TRUE(doc.form_terms.empty());
+  EXPECT_FALSE(doc.page_terms.empty());
+}
+
+TEST(FormPageModelPlainTest, ScriptAndStyleNeverPageText) {
+  FormPageModelBuilder builder;
+  FormPageDocument doc = builder.Build(
+      "http://x.com/",
+      "<html><head><style>body { margincolor: red }</style></head>"
+      "<body><script>var secretword = 1;</script>visible</body></html>");
+  EXPECT_TRUE(HasTermAnywhere(doc.page_terms, "visibl"));
+  EXPECT_FALSE(HasTermAnywhere(doc.page_terms, "secretword"));
+  EXPECT_FALSE(HasTermAnywhere(doc.page_terms, "margincolor"));
+}
+
+TEST(FormPageModelPlainTest, CountsMatchTermVectors) {
+  FormPageModelBuilder builder;
+  FormPageDocument doc = builder.Build("http://x.com/", kPage);
+  EXPECT_EQ(doc.NumFormTerms(), doc.form_terms.size());
+  EXPECT_EQ(doc.NumPageTerms(), doc.page_terms.size());
+  EXPECT_GT(doc.NumPageTerms(), doc.NumFormTerms());
+}
+
+TEST(FormPageModelPlainTest, MultipleFormsAllContributeToFc) {
+  FormPageModelBuilder builder;
+  FormPageDocument doc = builder.Build(
+      "http://x.com/",
+      "<form>alpha words</form><p>interstitial</p><form>bravo words</form>");
+  EXPECT_TRUE(HasTermAnywhere(doc.form_terms, "alpha"));
+  EXPECT_TRUE(HasTermAnywhere(doc.form_terms, "bravo"));
+  EXPECT_TRUE(HasTermAnywhere(doc.page_terms, "interstiti"));
+}
+
+}  // namespace
+}  // namespace cafc::forms

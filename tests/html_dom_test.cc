@@ -1,0 +1,179 @@
+#include "html/dom.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc::html {
+namespace {
+
+TEST(DomTest, SimpleTree) {
+  Document doc = Parse("<html><body><p>hi</p></body></html>");
+  const Node* html = doc.root().FindFirst("html");
+  ASSERT_NE(html, nullptr);
+  const Node* p = doc.root().FindFirst("p");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->TextContent(), "hi");
+}
+
+TEST(DomTest, VoidElementsTakeNoChildren) {
+  Document doc = Parse("<p><br>text after br</p>");
+  const Node* br = doc.root().FindFirst("br");
+  ASSERT_NE(br, nullptr);
+  EXPECT_TRUE(br->children().empty());
+  const Node* p = doc.root().FindFirst("p");
+  EXPECT_EQ(p->TextContent(), "text after br");
+}
+
+TEST(DomTest, InputIsVoid) {
+  Document doc = Parse("<form><input type=text>trailing</form>");
+  const Node* input = doc.root().FindFirst("input");
+  ASSERT_NE(input, nullptr);
+  EXPECT_TRUE(input->children().empty());
+  EXPECT_EQ(doc.root().FindFirst("form")->TextContent(), "trailing");
+}
+
+TEST(DomTest, IsVoidElement) {
+  EXPECT_TRUE(IsVoidElement("br"));
+  EXPECT_TRUE(IsVoidElement("input"));
+  EXPECT_TRUE(IsVoidElement("img"));
+  EXPECT_FALSE(IsVoidElement("form"));
+  EXPECT_FALSE(IsVoidElement("option"));
+}
+
+TEST(DomTest, ImplicitOptionClose) {
+  Document doc = Parse(
+      "<select><option>a<option>b<option>c</select>");
+  auto options = doc.root().FindAll("option");
+  ASSERT_EQ(options.size(), 3u);
+  EXPECT_EQ(options[0]->TextContent(), "a");
+  EXPECT_EQ(options[1]->TextContent(), "b");
+  EXPECT_EQ(options[2]->TextContent(), "c");
+}
+
+TEST(DomTest, ImplicitLiClose) {
+  Document doc = Parse("<ul><li>one<li>two</ul>");
+  auto items = doc.root().FindAll("li");
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0]->TextContent(), "one");
+  EXPECT_EQ(items[1]->TextContent(), "two");
+}
+
+TEST(DomTest, ImplicitCloseStopsAtFormBoundary) {
+  // The <option> inside the form must not close a <p> outside it in a way
+  // that pops the form off the stack.
+  Document doc = Parse("<p>before<form><select><option>x</select></form>");
+  const Node* form = doc.root().FindFirst("form");
+  ASSERT_NE(form, nullptr);
+  EXPECT_NE(form->FindFirst("option"), nullptr);
+}
+
+TEST(DomTest, UnmatchedEndTagIgnored) {
+  Document doc = Parse("<div>a</span>b</div>");
+  const Node* div = doc.root().FindFirst("div");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->TextContent(), "a b");
+}
+
+TEST(DomTest, UnclosedTagsClosedAtEof) {
+  Document doc = Parse("<div><p>dangling");
+  EXPECT_NE(doc.root().FindFirst("p"), nullptr);
+  EXPECT_EQ(doc.root().FindFirst("p")->TextContent(), "dangling");
+}
+
+TEST(DomTest, EndTagClosesIntermediateElements) {
+  // </div> closes the still-open <b>.
+  Document doc = Parse("<div><b>bold</div>after");
+  const Node* div = doc.root().FindFirst("div");
+  ASSERT_NE(div, nullptr);
+  EXPECT_EQ(div->TextContent(), "bold");
+}
+
+TEST(DomTest, GetAttr) {
+  Document doc = Parse("<form action=\"/search\" method=\"GET\">");
+  const Node* form = doc.root().FindFirst("form");
+  ASSERT_NE(form, nullptr);
+  EXPECT_EQ(form->GetAttr("action"), "/search");
+  EXPECT_EQ(form->GetAttr("method"), "GET");
+  EXPECT_EQ(form->GetAttr("missing"), "");
+  EXPECT_TRUE(form->HasAttr("action"));
+  EXPECT_FALSE(form->HasAttr("missing"));
+}
+
+TEST(DomTest, FindAllPreOrder) {
+  Document doc = Parse("<div><a>1</a><p><a>2</a></p><a>3</a></div>");
+  auto anchors = doc.root().FindAll("a");
+  ASSERT_EQ(anchors.size(), 3u);
+  EXPECT_EQ(anchors[0]->TextContent(), "1");
+  EXPECT_EQ(anchors[1]->TextContent(), "2");
+  EXPECT_EQ(anchors[2]->TextContent(), "3");
+}
+
+TEST(DomTest, FindFirstReturnsNullWhenAbsent) {
+  Document doc = Parse("<p>no form here</p>");
+  EXPECT_EQ(doc.root().FindFirst("form"), nullptr);
+}
+
+TEST(DomTest, TextContentCollapsesWhitespace) {
+  Document doc = Parse("<p>  a  \n  b  </p>");
+  EXPECT_EQ(doc.root().FindFirst("p")->TextContent(), "a  \n  b");
+}
+
+TEST(DomTest, TextContentJoinsAcrossElements) {
+  Document doc = Parse("<p>one<b>two</b>three</p>");
+  EXPECT_EQ(doc.root().FindFirst("p")->TextContent(), "one two three");
+}
+
+TEST(DomTest, CommentsPreservedAsNodes) {
+  Document doc = Parse("<div><!-- hidden --></div>");
+  const Node* div = doc.root().FindFirst("div");
+  ASSERT_EQ(div->children().size(), 1u);
+  EXPECT_EQ(div->children()[0]->type(), NodeType::kComment);
+  EXPECT_EQ(div->TextContent(), "");  // comments are not text
+}
+
+TEST(DomTest, VisitPrunesSubtree) {
+  Document doc = Parse("<div><form><p>in form</p></form><p>outside</p></div>");
+  int paragraphs_seen = 0;
+  doc.root().Visit([&paragraphs_seen](const Node& node) {
+    if (node.type() == NodeType::kElement && node.tag() == "form") {
+      return false;  // prune
+    }
+    if (node.type() == NodeType::kElement && node.tag() == "p") {
+      ++paragraphs_seen;
+    }
+    return true;
+  });
+  EXPECT_EQ(paragraphs_seen, 1);
+}
+
+TEST(DomTest, EmptyInput) {
+  Document doc = Parse("");
+  EXPECT_EQ(doc.root().type(), NodeType::kDocument);
+  EXPECT_TRUE(doc.root().children().empty());
+}
+
+TEST(DomTest, DeeplyNestedSoupDoesNotCrash) {
+  std::string soup;
+  for (int i = 0; i < 200; ++i) soup += "<div><span>";
+  soup += "core";
+  Document doc = Parse(soup);
+  EXPECT_NE(doc.root().FindFirst("span"), nullptr);
+}
+
+TEST(DomTest, NestedTablesWithImplicitCells) {
+  Document doc = Parse(
+      "<table><tr><td>a<td>b<tr><td>c</table>");
+  auto cells = doc.root().FindAll("td");
+  ASSERT_EQ(cells.size(), 3u);
+  auto rows = doc.root().FindAll("tr");
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(DomTest, SelfClosingNonVoidTakesNoChildren) {
+  Document doc = Parse("<div/>text");
+  const Node* div = doc.root().FindFirst("div");
+  ASSERT_NE(div, nullptr);
+  EXPECT_TRUE(div->children().empty());
+}
+
+}  // namespace
+}  // namespace cafc::html

@@ -1,0 +1,96 @@
+#include "html/entities.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc::html {
+namespace {
+
+TEST(EntitiesTest, PassThroughPlainText) {
+  EXPECT_EQ(DecodeEntities("hello world"), "hello world");
+  EXPECT_EQ(DecodeEntities(""), "");
+}
+
+TEST(EntitiesTest, NamedEntities) {
+  EXPECT_EQ(DecodeEntities("a &amp; b"), "a & b");
+  EXPECT_EQ(DecodeEntities("&lt;form&gt;"), "<form>");
+  EXPECT_EQ(DecodeEntities("&quot;hi&quot;"), "\"hi\"");
+  EXPECT_EQ(DecodeEntities("it&apos;s"), "it's");
+}
+
+TEST(EntitiesTest, UppercaseVariants) {
+  EXPECT_EQ(DecodeEntities("&AMP;&LT;&GT;"), "&<>");
+}
+
+TEST(EntitiesTest, NbspBecomesUtf8NonBreakingSpace) {
+  EXPECT_EQ(DecodeEntities("a&nbsp;b"), "a\xc2\xa0" "b");
+}
+
+TEST(EntitiesTest, CopyrightAndTrademark) {
+  EXPECT_EQ(DecodeEntities("&copy;"), "\xc2\xa9");
+  EXPECT_EQ(DecodeEntities("&trade;"), "\xe2\x84\xa2");
+}
+
+TEST(EntitiesTest, DecimalNumeric) {
+  EXPECT_EQ(DecodeEntities("&#65;&#66;"), "AB");
+  EXPECT_EQ(DecodeEntities("&#38;"), "&");
+}
+
+TEST(EntitiesTest, HexNumeric) {
+  EXPECT_EQ(DecodeEntities("&#x41;"), "A");
+  EXPECT_EQ(DecodeEntities("&#X61;"), "a");
+  EXPECT_EQ(DecodeEntities("&#x20AC;"), "\xe2\x82\xac");  // euro sign
+}
+
+TEST(EntitiesTest, MalformedPassThrough) {
+  EXPECT_EQ(DecodeEntities("&bogus;"), "&bogus;");
+  EXPECT_EQ(DecodeEntities("& amp;"), "& amp;");
+  EXPECT_EQ(DecodeEntities("&;"), "&;");
+  EXPECT_EQ(DecodeEntities("&#;"), "&#;");
+  EXPECT_EQ(DecodeEntities("&#xzz;"), "&#xzz;");
+  EXPECT_EQ(DecodeEntities("tom & jerry"), "tom & jerry");
+}
+
+TEST(EntitiesTest, UnterminatedReference) {
+  EXPECT_EQ(DecodeEntities("a&ampb"), "a&ampb");
+  EXPECT_EQ(DecodeEntities("trailing &"), "trailing &");
+}
+
+TEST(EntitiesTest, ConsecutiveEntities) {
+  EXPECT_EQ(DecodeEntities("&lt;&lt;&gt;&gt;"), "<<>>");
+}
+
+TEST(EntitiesTest, SurrogateCodePointReplaced) {
+  // U+D800 is a surrogate — must become U+FFFD, not raw bytes.
+  EXPECT_EQ(DecodeEntities("&#xD800;"), "\xef\xbf\xbd");
+}
+
+TEST(EntitiesTest, OverlargeCodePointReplaced) {
+  EXPECT_EQ(DecodeEntities("&#x110000;"), "\xef\xbf\xbd");
+}
+
+TEST(AppendUtf8Test, AsciiRange) {
+  std::string out;
+  AppendUtf8('A', &out);
+  EXPECT_EQ(out, "A");
+}
+
+TEST(AppendUtf8Test, TwoByteRange) {
+  std::string out;
+  AppendUtf8(0xE9, &out);  // é
+  EXPECT_EQ(out, "\xc3\xa9");
+}
+
+TEST(AppendUtf8Test, ThreeByteRange) {
+  std::string out;
+  AppendUtf8(0x20AC, &out);  // €
+  EXPECT_EQ(out, "\xe2\x82\xac");
+}
+
+TEST(AppendUtf8Test, FourByteRange) {
+  std::string out;
+  AppendUtf8(0x1F600, &out);
+  EXPECT_EQ(out, "\xf0\x9f\x98\x80");
+}
+
+}  // namespace
+}  // namespace cafc::html

@@ -1,0 +1,138 @@
+// Property tests hammering the HTML stack with generated tag soup: the
+// parser must never crash, always terminate, produce deterministic trees,
+// and uphold structural invariants regardless of input garbage.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "forms/form_extractor.h"
+#include "forms/form_page_model.h"
+#include "html/dom.h"
+#include "html/entities.h"
+#include "html/tokenizer.h"
+#include "util/rng.h"
+
+namespace cafc::html {
+namespace {
+
+/// Deterministic tag-soup generator: a mix of well-formed fragments,
+/// malformed tags, entities, raw-text elements, and binary-ish junk.
+std::string GenerateSoup(Rng* rng, size_t pieces) {
+  static constexpr const char* kFragments[] = {
+      "<div>", "</div>", "<p>", "</p>", "<form action=\"/s\">", "</form>",
+      "<input type=text name=q>", "<input type=\"submit\" value=\"go\">",
+      "<select name='x'>", "<option>a", "<option value=>b", "</select>",
+      "<table><tr><td>", "</td></tr></table>", "<b>", "</i>", "<br/>",
+      "<a href=\"/x\">link</a>", "<a href=>", "<!-- comment ",
+      "-->", "<!DOCTYPE html>", "<script>var x = '<div>';</script>",
+      "<style>p { }</style>", "plain text ", "&amp;", "&bogus;", "&#65;",
+      "&#xZZ;", "< not a tag", ">", "\"", "'", "<123>", "</>",
+      "<p attr=\"unterminated", "<textarea>free text", "</textarea>",
+      "<label for=\"a\">L</label>", "<img src=x>", "<option>",
+      "word1 word2 ", "\t\n  ", "<FORM METHOD=POST>", "</FoRm>",
+  };
+  std::string soup;
+  for (size_t i = 0; i < pieces; ++i) {
+    soup += kFragments[rng->Uniform(std::size(kFragments))];
+    if (rng->Bernoulli(0.1)) {
+      // A few raw bytes, including non-ASCII.
+      soup += static_cast<char>(rng->UniformInt(1, 255));
+    }
+  }
+  return soup;
+}
+
+size_t CountNodes(const Node& node) {
+  size_t n = 1;
+  for (const auto& child : node.children()) n += CountNodes(*child);
+  return n;
+}
+
+size_t MaxDepth(const Node& node) {
+  size_t deepest = 0;
+  for (const auto& child : node.children()) {
+    deepest = std::max(deepest, MaxDepth(*child));
+  }
+  return deepest + 1;
+}
+
+class SoupPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SoupPropertyTest, ParseNeverCrashesAndIsDeterministic) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 30; ++round) {
+    std::string soup = GenerateSoup(&rng, 5 + rng.Uniform(120));
+    Document first = Parse(soup);
+    Document second = Parse(soup);
+    EXPECT_EQ(CountNodes(first.root()), CountNodes(second.root()));
+    EXPECT_EQ(first.root().TextContent(), second.root().TextContent());
+  }
+}
+
+TEST_P(SoupPropertyTest, NodeCountBoundedByInput) {
+  Rng rng(GetParam() ^ 0x50550ull);
+  for (int round = 0; round < 30; ++round) {
+    std::string soup = GenerateSoup(&rng, 5 + rng.Uniform(120));
+    Document doc = Parse(soup);
+    // Every node needs at least one input character ('<' or a text byte).
+    EXPECT_LE(CountNodes(doc.root()), soup.size() + 2);
+    EXPECT_LE(MaxDepth(doc.root()), soup.size() + 2);
+  }
+}
+
+TEST_P(SoupPropertyTest, TokenizerRoundTerminates) {
+  Rng rng(GetParam() ^ 0xbeef);
+  for (int round = 0; round < 30; ++round) {
+    std::string soup = GenerateSoup(&rng, 5 + rng.Uniform(120));
+    std::vector<Token> tokens = Tokenizer::TokenizeAll(soup);
+    // Token count is bounded: each token consumes at least one byte.
+    EXPECT_LE(tokens.size(), soup.size() + 1);
+  }
+}
+
+TEST_P(SoupPropertyTest, FormExtractionSurvivesSoup) {
+  Rng rng(GetParam() ^ 0xf00d);
+  for (int round = 0; round < 20; ++round) {
+    std::string soup = GenerateSoup(&rng, 5 + rng.Uniform(150));
+    Document doc = Parse(soup);
+    std::vector<forms::Form> extracted = forms::ExtractForms(doc);
+    for (const forms::Form& form : extracted) {
+      // Structural invariants hold even on garbage.
+      EXPECT_GE(form.NumFillableFields(), 0);
+      EXPECT_LE(form.NumAttributes(), form.NumFillableFields() + 100);
+    }
+  }
+}
+
+TEST_P(SoupPropertyTest, FormPageModelSurvivesSoup) {
+  Rng rng(GetParam() ^ 0xcafe);
+  forms::FormPageModelBuilder builder;
+  for (int round = 0; round < 20; ++round) {
+    std::string soup = GenerateSoup(&rng, 5 + rng.Uniform(150));
+    forms::FormPageDocument doc = builder.Build("http://x.com/", soup);
+    for (const auto& term : doc.page_terms) {
+      EXPECT_FALSE(term.term.empty());
+    }
+    for (const auto& term : doc.form_terms) {
+      EXPECT_FALSE(term.term.empty());
+    }
+  }
+}
+
+TEST_P(SoupPropertyTest, EntityDecodingNeverGrowsPathologically) {
+  Rng rng(GetParam() ^ 0x1111);
+  for (int round = 0; round < 50; ++round) {
+    std::string soup = GenerateSoup(&rng, 1 + rng.Uniform(40));
+    std::string decoded = DecodeEntities(soup);
+    // Decoding replaces references with at most 4 UTF-8 bytes each; output
+    // can never be more than ~4x input.
+    EXPECT_LE(decoded.size(), soup.size() * 4 + 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoupPropertyTest,
+                         ::testing::Values(1, 7, 99, 1234, 987654));
+
+}  // namespace
+}  // namespace cafc::html

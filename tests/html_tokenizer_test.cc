@@ -1,0 +1,197 @@
+#include "html/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc::html {
+namespace {
+
+std::vector<Token> Lex(std::string_view input) {
+  return Tokenizer::TokenizeAll(input);
+}
+
+TEST(TokenizerTest, PlainText) {
+  auto tokens = Lex("hello world");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kText);
+  EXPECT_EQ(tokens[0].text, "hello world");
+}
+
+TEST(TokenizerTest, SimpleElement) {
+  auto tokens = Lex("<b>bold</b>");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kStartTag);
+  EXPECT_EQ(tokens[0].name, "b");
+  EXPECT_EQ(tokens[1].type, TokenType::kText);
+  EXPECT_EQ(tokens[1].text, "bold");
+  EXPECT_EQ(tokens[2].type, TokenType::kEndTag);
+  EXPECT_EQ(tokens[2].name, "b");
+}
+
+TEST(TokenizerTest, TagNamesLowercased) {
+  auto tokens = Lex("<FORM></Form>");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].name, "form");
+  EXPECT_EQ(tokens[1].name, "form");
+}
+
+TEST(TokenizerTest, QuotedAttributes) {
+  auto tokens = Lex(R"(<input type="text" name='query'>)");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attrs.size(), 2u);
+  EXPECT_EQ(tokens[0].attrs[0].name, "type");
+  EXPECT_EQ(tokens[0].attrs[0].value, "text");
+  EXPECT_EQ(tokens[0].attrs[1].name, "name");
+  EXPECT_EQ(tokens[0].attrs[1].value, "query");
+}
+
+TEST(TokenizerTest, UnquotedAttributeValue) {
+  auto tokens = Lex("<input size=20 name=q>");
+  ASSERT_EQ(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attrs.size(), 2u);
+  EXPECT_EQ(tokens[0].attrs[0].value, "20");
+  EXPECT_EQ(tokens[0].attrs[1].value, "q");
+}
+
+TEST(TokenizerTest, ValuelessAttribute) {
+  auto tokens = Lex("<option selected>x</option>");
+  ASSERT_GE(tokens.size(), 1u);
+  ASSERT_EQ(tokens[0].attrs.size(), 1u);
+  EXPECT_EQ(tokens[0].attrs[0].name, "selected");
+  EXPECT_EQ(tokens[0].attrs[0].value, "");
+}
+
+TEST(TokenizerTest, AttributeNamesLowercased) {
+  auto tokens = Lex("<input TYPE=\"TEXT\">");
+  ASSERT_EQ(tokens[0].attrs.size(), 1u);
+  EXPECT_EQ(tokens[0].attrs[0].name, "type");
+  EXPECT_EQ(tokens[0].attrs[0].value, "TEXT");  // values keep case
+}
+
+TEST(TokenizerTest, EntityDecodedInAttributeValue) {
+  auto tokens = Lex("<a href=\"x?a=1&amp;b=2\">");
+  ASSERT_EQ(tokens[0].attrs.size(), 1u);
+  EXPECT_EQ(tokens[0].attrs[0].value, "x?a=1&b=2");
+}
+
+TEST(TokenizerTest, EntityDecodedInText) {
+  auto tokens = Lex("fish &amp; chips");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "fish & chips");
+}
+
+TEST(TokenizerTest, SelfClosingTag) {
+  auto tokens = Lex("<br/><hr />");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].self_closing);
+  EXPECT_TRUE(tokens[1].self_closing);
+}
+
+TEST(TokenizerTest, Comment) {
+  auto tokens = Lex("a<!-- note -->b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::kComment);
+  EXPECT_EQ(tokens[1].text, " note ");
+}
+
+TEST(TokenizerTest, UnterminatedCommentConsumesRest) {
+  auto tokens = Lex("a<!-- oops");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].type, TokenType::kComment);
+}
+
+TEST(TokenizerTest, Doctype) {
+  auto tokens = Lex("<!DOCTYPE html><p>x</p>");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kDoctype);
+}
+
+TEST(TokenizerTest, StrayLessThanIsText) {
+  auto tokens = Lex("price < 100");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "price < 100");
+}
+
+TEST(TokenizerTest, TrailingLessThan) {
+  auto tokens = Lex("x <");
+  ASSERT_GE(tokens.size(), 1u);
+  std::string all;
+  for (const auto& t : tokens) all += t.text;
+  EXPECT_EQ(all, "x <");
+}
+
+TEST(TokenizerTest, ScriptContentIsRawText) {
+  auto tokens = Lex("<script>if (a < b) { x(); }</script>done");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kStartTag);
+  EXPECT_EQ(tokens[0].name, "script");
+  EXPECT_EQ(tokens[1].type, TokenType::kText);
+  EXPECT_EQ(tokens[1].text, "if (a < b) { x(); }");
+  EXPECT_EQ(tokens[2].type, TokenType::kEndTag);
+  EXPECT_EQ(tokens[3].text, "done");
+}
+
+TEST(TokenizerTest, StyleContentIsRawText) {
+  auto tokens = Lex("<style>p > a { color: red }</style>");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].text, "p > a { color: red }");
+}
+
+TEST(TokenizerTest, ScriptCloseTagCaseInsensitive) {
+  auto tokens = Lex("<script>x</SCRIPT>after");
+  std::string text;
+  for (const auto& t : tokens) {
+    if (t.type == TokenType::kText) text += t.text;
+  }
+  EXPECT_EQ(text, "xafter");
+}
+
+TEST(TokenizerTest, UnterminatedScriptConsumesRest) {
+  auto tokens = Lex("<script>never closed");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[1].text, "never closed");
+}
+
+TEST(TokenizerTest, EndTagAttributesDropped) {
+  auto tokens = Lex("</form junk=1>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEndTag);
+  EXPECT_TRUE(tokens[0].attrs.empty());
+}
+
+TEST(TokenizerTest, GarbageTagSkipped) {
+  auto tokens = Lex("a</>b");
+  std::string text;
+  for (const auto& t : tokens) text += t.text;
+  EXPECT_EQ(text, "ab");
+}
+
+TEST(TokenizerTest, UnterminatedTagAtEof) {
+  auto tokens = Lex("<input type=text");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kStartTag);
+  EXPECT_EQ(tokens[0].name, "input");
+}
+
+TEST(TokenizerTest, NewlinesInsideTag) {
+  auto tokens = Lex("<select\n name=\"x\"\n>");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].name, "select");
+  ASSERT_EQ(tokens[0].attrs.size(), 1u);
+  EXPECT_EQ(tokens[0].attrs[0].value, "x");
+}
+
+TEST(TokenizerTest, RealisticFormSnippet) {
+  auto tokens = Lex(
+      "<form action=\"/cgi-bin/search\" method=\"get\">"
+      "<input type=\"text\" name=\"q\"><input type=submit value=\"Go\">"
+      "</form>");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].name, "form");
+  EXPECT_EQ(tokens[0].attrs[0].value, "/cgi-bin/search");
+  EXPECT_EQ(tokens[1].name, "input");
+  EXPECT_EQ(tokens[2].attrs[1].value, "Go");
+  EXPECT_EQ(tokens[3].type, TokenType::kEndTag);
+}
+
+}  // namespace
+}  // namespace cafc::html

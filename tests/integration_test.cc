@@ -1,0 +1,254 @@
+// End-to-end integration tests over the full paper-scale corpus (454 form
+// pages). These assert the *shape* of the paper's headline results, with
+// generous margins so they stay robust to generator tweaks.
+
+#include <gtest/gtest.h>
+
+#include "core/cafc.h"
+#include "core/dataset.h"
+#include "eval/metrics.h"
+#include "web/synthesizer.h"
+
+namespace cafc {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    web_ = new web::SyntheticWeb(
+        web::Synthesizer(web::SynthesizerConfig{}).Generate());
+    dataset_ = new Dataset(std::move(BuildDataset(*web_)).value());
+    pages_ = new FormPageSet(BuildFormPageSet(*dataset_));
+    gold_ = new std::vector<int>(dataset_->GoldLabels());
+  }
+  static void TearDownTestSuite() {
+    delete gold_;
+    delete pages_;
+    delete dataset_;
+    delete web_;
+    gold_ = nullptr;
+    pages_ = nullptr;
+    dataset_ = nullptr;
+    web_ = nullptr;
+  }
+
+  struct Quality {
+    double entropy;
+    double f_measure;
+  };
+
+  static Quality Score(const cluster::Clustering& c) {
+    eval::ContingencyTable t(*gold_, web::kNumDomains, c);
+    return {eval::TotalEntropy(t), eval::OverallFMeasure(t)};
+  }
+
+  static Quality AverageCafcC(ContentConfig config, int runs) {
+    Quality sum{0.0, 0.0};
+    CafcOptions options;
+    options.content = config;
+    for (int r = 0; r < runs; ++r) {
+      Rng rng(5000 + static_cast<uint64_t>(r));
+      Quality q = Score(CafcC(*pages_, web::kNumDomains, options, &rng));
+      sum.entropy += q.entropy;
+      sum.f_measure += q.f_measure;
+    }
+    return {sum.entropy / runs, sum.f_measure / runs};
+  }
+
+  static web::SyntheticWeb* web_;
+  static Dataset* dataset_;
+  static FormPageSet* pages_;
+  static std::vector<int>* gold_;
+};
+
+web::SyntheticWeb* IntegrationTest::web_ = nullptr;
+Dataset* IntegrationTest::dataset_ = nullptr;
+FormPageSet* IntegrationTest::pages_ = nullptr;
+std::vector<int>* IntegrationTest::gold_ = nullptr;
+
+TEST_F(IntegrationTest, DatasetMatchesPaperScale) {
+  EXPECT_GE(dataset_->entries.size(), 440u);
+  EXPECT_LE(dataset_->entries.size(), 454u);
+}
+
+TEST_F(IntegrationTest, HubClusterStatisticsMatchPaperShape) {
+  std::vector<HubCluster> clusters = GenerateHubClusters(*pages_);
+  // ~3,450 distinct co-citation sets in the paper.
+  EXPECT_GT(clusters.size(), 2000u);
+  EXPECT_LT(clusters.size(), 6000u);
+
+  // ~69% homogeneous.
+  size_t homogeneous = 0;
+  for (const HubCluster& hc : clusters) {
+    std::set<int> domains;
+    for (size_t m : hc.members) domains.insert((*gold_)[m]);
+    if (domains.size() == 1) ++homogeneous;
+  }
+  double fraction =
+      static_cast<double>(homogeneous) / static_cast<double>(clusters.size());
+  EXPECT_GT(fraction, 0.55);
+  EXPECT_LT(fraction, 0.85);
+
+  // The cardinality filter prunes the candidate space dramatically
+  // (3,450 → 164 in the paper).
+  size_t kept = FilterByCardinality(clusters, 8).size();
+  EXPECT_LT(kept, clusters.size() / 10);
+  EXPECT_GT(kept, 20u);
+}
+
+TEST_F(IntegrationTest, CafcChFcPcBeatsCafcC) {
+  // Figure 2's headline comparison.
+  Quality cafc_c = AverageCafcC(ContentConfig::kFcPlusPc, 5);
+  CafcChOptions options;
+  Quality cafc_ch = Score(CafcCh(*pages_, web::kNumDomains, options));
+  EXPECT_LT(cafc_ch.entropy, cafc_c.entropy);
+  EXPECT_GT(cafc_ch.f_measure, cafc_c.f_measure);
+  // Absolute quality in the paper's ballpark.
+  EXPECT_LT(cafc_ch.entropy, 0.35);
+  EXPECT_GT(cafc_ch.f_measure, 0.88);
+}
+
+TEST_F(IntegrationTest, CombinedSpacesBeatFcAloneForCafcC) {
+  Quality fc = AverageCafcC(ContentConfig::kFcOnly, 5);
+  Quality combined = AverageCafcC(ContentConfig::kFcPlusPc, 5);
+  EXPECT_LT(combined.entropy, fc.entropy);
+  EXPECT_GT(combined.f_measure, fc.f_measure);
+}
+
+TEST_F(IntegrationTest, MidCardinalityBeatsExtremesForCafcCh) {
+  // Figure 3's U shape, sampled at three thresholds.
+  auto entropy_at = [this](size_t min_card) {
+    CafcChOptions options;
+    options.min_hub_cardinality = min_card;
+    return Score(CafcCh(*pages_, web::kNumDomains, options)).entropy;
+  };
+  double low = entropy_at(3);
+  double mid = entropy_at(8);
+  double high = entropy_at(12);
+  EXPECT_LT(mid, low);
+  EXPECT_LT(mid, high);
+}
+
+TEST_F(IntegrationTest, HubSeedingImprovesKMeansMoreThanHac) {
+  // Table 2's headline: the k-means variant of CAFC-CH is clearly more
+  // homogeneous than the HAC variant.
+  std::vector<HubCluster> hubs =
+      FilterByCardinality(GenerateHubClusters(*pages_), 8);
+  std::vector<HubCluster> selected =
+      SelectHubClusters(*pages_, hubs, web::kNumDomains, {});
+  std::vector<std::vector<size_t>> seeds;
+  for (const HubCluster& s : selected) seeds.push_back(s.members);
+
+  Quality km = Score(CafcCWithSeeds(*pages_, seeds, CafcOptions{}));
+  Quality hac = Score(
+      CafcHacWithSeeds(*pages_, seeds, web::kNumDomains, CafcOptions{}));
+  EXPECT_LT(km.entropy, hac.entropy);
+  EXPECT_GT(km.f_measure, hac.f_measure);
+}
+
+TEST_F(IntegrationTest, HubSeedsBeatHacDerivedSeeds) {
+  // §4.3: CAFC-CH's entropy is markedly lower than HAC-seeded k-means.
+  Quality hac_seeded =
+      Score(HacSeededKMeans(*pages_, web::kNumDomains, CafcOptions{}));
+  CafcChOptions options;
+  Quality cafc_ch = Score(CafcCh(*pages_, web::kNumDomains, options));
+  EXPECT_LT(cafc_ch.entropy, hac_seeded.entropy);
+}
+
+TEST_F(IntegrationTest, MisclusteredPagesSkewTowardMusicMovie) {
+  // §4.2: most incorrectly clustered pages belong to Music/Movie. Compare
+  // the per-domain error rates under CAFC-CH.
+  CafcChOptions options;
+  cluster::Clustering c = CafcCh(*pages_, web::kNumDomains, options);
+  // Majority-label clusters.
+  std::vector<std::vector<int>> votes(
+      static_cast<size_t>(c.num_clusters),
+      std::vector<int>(web::kNumDomains, 0));
+  for (size_t i = 0; i < pages_->size(); ++i) {
+    ++votes[static_cast<size_t>(c.assignment[i])]
+           [static_cast<size_t>((*gold_)[i])];
+  }
+  std::vector<int> majority(static_cast<size_t>(c.num_clusters), 0);
+  for (int j = 0; j < c.num_clusters; ++j) {
+    for (int d = 1; d < web::kNumDomains; ++d) {
+      if (votes[static_cast<size_t>(j)][d] >
+          votes[static_cast<size_t>(j)][majority[static_cast<size_t>(j)]]) {
+        majority[static_cast<size_t>(j)] = d;
+      }
+    }
+  }
+  int media_errors = 0;
+  int total_errors = 0;
+  for (size_t i = 0; i < pages_->size(); ++i) {
+    if (majority[static_cast<size_t>(c.assignment[i])] != (*gold_)[i]) {
+      ++total_errors;
+      int gold = (*gold_)[i];
+      if (gold == static_cast<int>(web::Domain::kMusic) ||
+          gold == static_cast<int>(web::Domain::kMovie)) {
+        ++media_errors;
+      }
+    }
+  }
+  if (total_errors > 0) {
+    // Music+Movie hold 2/8 of pages but should account for a
+    // disproportionate share of the errors.
+    EXPECT_GE(media_errors * 4, total_errors)
+        << media_errors << " of " << total_errors;
+  }
+}
+
+TEST_F(IntegrationTest, DifferentiatedWeightsNoWorseThanUniform) {
+  CafcChOptions options;
+  Quality differentiated = Score(CafcCh(*pages_, web::kNumDomains, options));
+  FormPageSet uniform_pages =
+      BuildFormPageSet(*dataset_, vsm::LocationWeightConfig::Uniform());
+  eval::ContingencyTable t(
+      *gold_, web::kNumDomains,
+      CafcCh(uniform_pages, web::kNumDomains, options));
+  double uniform_entropy = eval::TotalEntropy(t);
+  EXPECT_LE(differentiated.entropy, uniform_entropy + 0.1);
+}
+
+TEST_F(IntegrationTest, HeadlineResultRobustAcrossGeneratorSeeds) {
+  // The CAFC-CH > CAFC-C claim must not hinge on the default seed.
+  for (uint64_t seed : {101ULL, 202ULL}) {
+    web::SynthesizerConfig config;
+    config.seed = seed;
+    web::SyntheticWeb web = web::Synthesizer(config).Generate();
+    Dataset dataset = std::move(BuildDataset(web)).value();
+    FormPageSet pages = BuildFormPageSet(dataset);
+    std::vector<int> gold = dataset.GoldLabels();
+
+    CafcChOptions ch_options;
+    cluster::Clustering ch = CafcCh(pages, web::kNumDomains, ch_options);
+    eval::ContingencyTable ch_table(gold, dataset.num_classes, ch);
+
+    double c_entropy = 0.0;
+    const int runs = 3;
+    for (int r = 0; r < runs; ++r) {
+      Rng rng(seed * 31 + static_cast<uint64_t>(r));
+      cluster::Clustering c =
+          CafcC(pages, web::kNumDomains, CafcOptions{}, &rng);
+      eval::ContingencyTable t(gold, dataset.num_classes, c);
+      c_entropy += eval::TotalEntropy(t);
+    }
+    c_entropy /= runs;
+
+    EXPECT_LT(eval::TotalEntropy(ch_table), c_entropy) << "seed " << seed;
+    EXPECT_GT(eval::OverallFMeasure(ch_table), 0.85) << "seed " << seed;
+  }
+}
+
+TEST_F(IntegrationTest, FullPipelineDeterministic) {
+  web::SyntheticWeb web2 =
+      web::Synthesizer(web::SynthesizerConfig{}).Generate();
+  Dataset dataset2 = std::move(BuildDataset(web2)).value();
+  FormPageSet pages2 = BuildFormPageSet(dataset2);
+  CafcChOptions options;
+  cluster::Clustering a = CafcCh(*pages_, web::kNumDomains, options);
+  cluster::Clustering b = CafcCh(pages2, web::kNumDomains, options);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+}  // namespace
+}  // namespace cafc

@@ -1,0 +1,105 @@
+#include "text/analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc::text {
+namespace {
+
+TEST(AnalyzerTest, FullPipeline) {
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.Analyze("The flights were booked"),
+            (std::vector<std::string>{"flight", "book"}));
+}
+
+TEST(AnalyzerTest, StopwordsRemoved) {
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.Analyze("the a of and"), (std::vector<std::string>{}));
+}
+
+TEST(AnalyzerTest, DuplicatesPreserved) {
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.Analyze("jobs jobs jobs"),
+            (std::vector<std::string>{"job", "job", "job"}));
+}
+
+TEST(AnalyzerTest, StemmingDisabled) {
+  AnalyzerOptions options;
+  options.stem = false;
+  Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.Analyze("flights booked"),
+            (std::vector<std::string>{"flights", "booked"}));
+}
+
+TEST(AnalyzerTest, StopwordsDisabled) {
+  AnalyzerOptions options;
+  options.remove_stopwords = false;
+  options.stem = false;
+  Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.Analyze("the cat"),
+            (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(AnalyzerTest, MaxWordLengthDropsBlobs) {
+  Analyzer analyzer;  // max 24 default
+  std::string blob(30, 'x');
+  EXPECT_TRUE(analyzer.Analyze(blob).empty());
+  EXPECT_EQ(analyzer.Analyze("normal " + blob),
+            (std::vector<std::string>{"normal"}));
+}
+
+TEST(AnalyzerTest, AnalyzeWordFiltersAndStems) {
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.AnalyzeWord("Flights"), "flight");
+  EXPECT_EQ(analyzer.AnalyzeWord("the"), "");
+  EXPECT_EQ(analyzer.AnalyzeWord("a"), "");  // below min length
+}
+
+TEST(AnalyzerTest, StemsCanShrinkBelowMinLength) {
+  // "ties" → "ti": the pipeline keeps post-stem short terms.
+  Analyzer analyzer;
+  EXPECT_EQ(analyzer.AnalyzeWord("ties"), "ti");
+}
+
+TEST(AnalyzerTest, MixedMarkupFreeText) {
+  Analyzer analyzer;
+  auto terms = analyzer.Analyze("Search 1,000+ job openings today!");
+  EXPECT_EQ(terms,
+            (std::vector<std::string>{"search", "job", "open", "todai"}));
+}
+
+TEST(AnalyzerTest, BigramsEmittedAfterUnigrams) {
+  AnalyzerOptions options;
+  options.emit_bigrams = true;
+  Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.Analyze("job category state"),
+            (std::vector<std::string>{"job", "categori", "state",
+                                      "job_categori", "categori_state"}));
+}
+
+TEST(AnalyzerTest, BigramsSkipStopwords) {
+  AnalyzerOptions options;
+  options.emit_bigrams = true;
+  Analyzer analyzer(options);
+  // "check" + "in": "in" is a stopword, so the bigram bridges to "date".
+  EXPECT_EQ(analyzer.Analyze("check in date"),
+            (std::vector<std::string>{"check", "date", "check_date"}));
+}
+
+TEST(AnalyzerTest, NoBigramForSingleTerm) {
+  AnalyzerOptions options;
+  options.emit_bigrams = true;
+  Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.Analyze("flights"),
+            (std::vector<std::string>{"flight"}));
+}
+
+TEST(AnalyzerTest, OptionsAccessor) {
+  AnalyzerOptions options;
+  options.min_word_length = 3;
+  Analyzer analyzer(options);
+  EXPECT_EQ(analyzer.options().min_word_length, 3u);
+  EXPECT_TRUE(analyzer.Analyze("go up").empty());
+}
+
+}  // namespace
+}  // namespace cafc::text

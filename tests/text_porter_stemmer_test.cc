@@ -1,0 +1,157 @@
+#include "text/porter_stemmer.h"
+
+#include <string>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+namespace cafc::text {
+namespace {
+
+struct Case {
+  const char* input;
+  const char* expected;
+};
+
+class PorterCaseTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PorterCaseTest, StemsToExpected) {
+  const Case& c = GetParam();
+  EXPECT_EQ(PorterStem(c.input), c.expected) << "input: " << c.input;
+}
+
+// Step 1a: plural handling (examples from Porter 1980).
+INSTANTIATE_TEST_SUITE_P(
+    Step1aPlurals, PorterCaseTest,
+    ::testing::Values(Case{"caresses", "caress"}, Case{"ponies", "poni"},
+                      Case{"ties", "ti"}, Case{"caress", "caress"},
+                      Case{"cats", "cat"}, Case{"forms", "form"},
+                      Case{"databases", "databas"}));
+
+// Step 1b: -eed / -ed / -ing with second-chance fixups.
+INSTANTIATE_TEST_SUITE_P(
+    Step1bEdIng, PorterCaseTest,
+    ::testing::Values(Case{"feed", "feed"}, Case{"agreed", "agre"},
+                      Case{"plastered", "plaster"}, Case{"bled", "bled"},
+                      Case{"motoring", "motor"}, Case{"sing", "sing"},
+                      Case{"conflated", "conflat"}, Case{"troubled", "troubl"},
+                      Case{"sized", "size"}, Case{"hopping", "hop"},
+                      Case{"tanned", "tan"}, Case{"falling", "fall"},
+                      Case{"hissing", "hiss"}, Case{"fizzed", "fizz"},
+                      Case{"failing", "fail"}, Case{"filing", "file"}));
+
+// Step 1c: y -> i.
+INSTANTIATE_TEST_SUITE_P(
+    Step1cY, PorterCaseTest,
+    ::testing::Values(Case{"happy", "happi"}, Case{"sky", "sky"}));
+
+// Step 2: double suffixes.
+INSTANTIATE_TEST_SUITE_P(
+    Step2, PorterCaseTest,
+    ::testing::Values(Case{"relational", "relat"},
+                      Case{"conditional", "condit"},
+                      Case{"rational", "ration"}, Case{"valenci", "valenc"},
+                      Case{"hesitanci", "hesit"}, Case{"digitizer", "digit"},
+                      Case{"conformabli", "conform"},
+                      Case{"radicalli", "radic"},
+                      Case{"differentli", "differ"}, Case{"vileli", "vile"},
+                      Case{"analogousli", "analog"},
+                      Case{"vietnamization", "vietnam"},
+                      Case{"predication", "predic"},
+                      Case{"operator", "oper"}, Case{"feudalism", "feudal"},
+                      Case{"decisiveness", "decis"},
+                      Case{"hopefulness", "hope"},
+                      Case{"callousness", "callous"},
+                      Case{"formaliti", "formal"},
+                      Case{"sensitiviti", "sensit"},
+                      Case{"sensibiliti", "sensibl"}));
+
+// Step 3.
+INSTANTIATE_TEST_SUITE_P(
+    Step3, PorterCaseTest,
+    ::testing::Values(Case{"triplicate", "triplic"},
+                      Case{"formative", "form"}, Case{"formalize", "formal"},
+                      Case{"electriciti", "electr"},
+                      Case{"electrical", "electr"}, Case{"hopeful", "hope"},
+                      Case{"goodness", "good"}));
+
+// Step 4: residual suffixes require m > 1.
+INSTANTIATE_TEST_SUITE_P(
+    Step4, PorterCaseTest,
+    ::testing::Values(Case{"revival", "reviv"}, Case{"allowance", "allow"},
+                      Case{"inference", "infer"}, Case{"airliner", "airlin"},
+                      Case{"gyroscopic", "gyroscop"},
+                      Case{"adjustable", "adjust"},
+                      Case{"defensible", "defens"},
+                      Case{"irritant", "irrit"},
+                      Case{"replacement", "replac"},
+                      Case{"adjustment", "adjust"},
+                      Case{"dependent", "depend"}, Case{"adoption", "adopt"},
+                      Case{"homologou", "homolog"},
+                      Case{"communism", "commun"}, Case{"activate", "activ"},
+                      Case{"angulariti", "angular"},
+                      Case{"homologous", "homolog"},
+                      Case{"effective", "effect"}, Case{"bowdlerize",
+                                                        "bowdler"}));
+
+// Step 5: final -e and -ll.
+INSTANTIATE_TEST_SUITE_P(
+    Step5, PorterCaseTest,
+    ::testing::Values(Case{"probate", "probat"}, Case{"rate", "rate"},
+                      Case{"cease", "ceas"}, Case{"controll", "control"},
+                      Case{"roll", "roll"}));
+
+// Domain vocabulary of the paper's corpus.
+INSTANTIATE_TEST_SUITE_P(
+    DomainWords, PorterCaseTest,
+    ::testing::Values(Case{"flights", "flight"}, Case{"booking", "book"},
+                      Case{"hotels", "hotel"}, Case{"reservations",
+                                                    "reserv"},
+                      Case{"movies", "movi"}, Case{"rental", "rental"},
+                      Case{"searching", "search"}, Case{"clustering",
+                                                        "cluster"},
+                      Case{"privacy", "privaci"}, Case{"copyright",
+                                                       "copyright"}));
+
+TEST(PorterStemTest, ShortWordsUntouched) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("as"), "as");
+  EXPECT_EQ(PorterStem("is"), "is");
+  EXPECT_EQ(PorterStem(""), "");
+}
+
+TEST(PorterStemTest, NonLowercaseInputPassesThrough) {
+  EXPECT_EQ(PorterStem("Forms"), "Forms");
+  EXPECT_EQ(PorterStem("abc123"), "abc123");
+  EXPECT_EQ(PorterStem("top-10"), "top-10");
+}
+
+TEST(PorterStemTest, IdempotentOnTypicalStems) {
+  // Porter is not idempotent in general ("databases" -> "databas" ->
+  // "databa"); but for these common families the stem is a fixed point.
+  for (const char* word :
+       {"flights", "relational", "hopping", "caresses", "formalize",
+        "adjustment", "probate", "controlling"}) {
+    std::string once = PorterStem(word);
+    EXPECT_EQ(PorterStem(once), once) << "not idempotent for " << word;
+  }
+}
+
+TEST(PorterStemTest, NeverLengthens) {
+  for (const char* word :
+       {"cat", "flights", "relational", "agreement", "skies", "controlled",
+        "electricity", "engineering"}) {
+    EXPECT_LE(PorterStem(word).size(), std::string(word).size());
+  }
+}
+
+TEST(PorterStemTest, StemIsPrefixCompatibleFamily) {
+  // Inflected family collapses to one stem.
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connected"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connecting"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connection"));
+  EXPECT_EQ(PorterStem("connect"), PorterStem("connections"));
+}
+
+}  // namespace
+}  // namespace cafc::text

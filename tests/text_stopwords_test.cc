@@ -1,0 +1,52 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc::text {
+namespace {
+
+TEST(StopwordsTest, CommonFunctionWords) {
+  for (const char* w : {"the", "a", "an", "and", "or", "of", "to", "in",
+                        "is", "are", "was", "were", "this", "that", "with"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, WebGlue) {
+  for (const char* w : {"www", "http", "com", "click", "copyright"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, DomainTermsAreNotStopwords) {
+  // The paper relies on IDF, not the stop list, for generic-but-topical
+  // terms; domain anchors must never be filtered.
+  for (const char* w :
+       {"flight", "hotel", "job", "music", "movie", "book", "car", "rental",
+        "search", "shop", "help", "privacy", "home"}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, CaseSensitiveLowercaseOnly) {
+  // Callers lowercase before lookup; uppercase is not matched.
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_FALSE(IsStopword("The"));
+}
+
+TEST(StopwordsTest, EmptyStringNotStopword) {
+  EXPECT_FALSE(IsStopword(""));
+}
+
+TEST(StopwordsTest, CountMatchesDeclaredSize) {
+  EXPECT_EQ(StopwordCount(), 181u);
+}
+
+TEST(StopwordsTest, ContractionFragments) {
+  for (const char* w : {"don", "isn", "won", "ll", "ve", "re"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+}  // namespace
+}  // namespace cafc::text

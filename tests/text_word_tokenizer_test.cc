@@ -1,0 +1,76 @@
+#include "text/word_tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc::text {
+namespace {
+
+TEST(WordTokenizerTest, SimpleWords) {
+  EXPECT_EQ(TokenizeWords("hello world"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(WordTokenizerTest, Lowercases) {
+  EXPECT_EQ(TokenizeWords("Job Category"),
+            (std::vector<std::string>{"job", "category"}));
+}
+
+TEST(WordTokenizerTest, PunctuationSeparates) {
+  EXPECT_EQ(TokenizeWords("cars, trucks; vans!"),
+            (std::vector<std::string>{"cars", "trucks", "vans"}));
+}
+
+TEST(WordTokenizerTest, DigitsSeparate) {
+  EXPECT_EQ(TokenizeWords("top10 hits 2006"),
+            (std::vector<std::string>{"top", "hits"}));
+}
+
+TEST(WordTokenizerTest, PossessiveDropped) {
+  EXPECT_EQ(TokenizeWords("job's requirements"),
+            (std::vector<std::string>{"job", "requirements"}));
+}
+
+TEST(WordTokenizerTest, ContractionKeepsStem) {
+  EXPECT_EQ(TokenizeWords("don't can't"),
+            (std::vector<std::string>{"don", "can"}));
+}
+
+TEST(WordTokenizerTest, MinLengthFiltersShortWords) {
+  EXPECT_EQ(TokenizeWords("a to be or I am", 2),
+            (std::vector<std::string>{"to", "be", "or", "am"}));
+  EXPECT_EQ(TokenizeWords("a to be", 3), (std::vector<std::string>{}));
+}
+
+TEST(WordTokenizerTest, MinLengthOneKeepsSingles) {
+  EXPECT_EQ(TokenizeWords("a b", 1), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(WordTokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords("   \t\n ").empty());
+  EXPECT_TRUE(TokenizeWords("123 456 !!").empty());
+}
+
+TEST(WordTokenizerTest, NonAsciiBytesSeparate) {
+  // UTF-8 bytes act as separators (English-only corpus).
+  EXPECT_EQ(TokenizeWords("caf\xc3\xa9 latte"),
+            (std::vector<std::string>{"caf", "latte"}));
+}
+
+TEST(WordTokenizerTest, TrailingWord) {
+  EXPECT_EQ(TokenizeWords("ends with word"),
+            (std::vector<std::string>{"ends", "with", "word"}));
+}
+
+TEST(WordTokenizerTest, HyphenatedSplit) {
+  EXPECT_EQ(TokenizeWords("check-in drop-off"),
+            (std::vector<std::string>{"check", "in", "drop", "off"}));
+}
+
+TEST(WordTokenizerTest, ApostropheAtWordEndNotConsumed) {
+  EXPECT_EQ(TokenizeWords("cars' wheels"),
+            (std::vector<std::string>{"cars", "wheels"}));
+}
+
+}  // namespace
+}  // namespace cafc::text

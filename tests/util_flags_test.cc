@@ -1,0 +1,94 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagParserTest, EmptyCommandLine) {
+  FlagParser flags = Parse({});
+  EXPECT_TRUE(flags.positional().empty());
+  EXPECT_FALSE(flags.Has("anything"));
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser flags = Parse({"--seed=42", "--name=hello"});
+  EXPECT_EQ(flags.GetInt("seed", 0), 42);
+  EXPECT_EQ(flags.GetString("name"), "hello");
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser flags = Parse({"--seed", "42", "--name", "hello"});
+  EXPECT_EQ(flags.GetInt("seed", 0), 42);
+  EXPECT_EQ(flags.GetString("name"), "hello");
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(FlagParserTest, BareBooleanFlag) {
+  FlagParser flags = Parse({"--verbose", "--quiet", "--x=1"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.GetBool("quiet", false));
+  EXPECT_FALSE(flags.GetBool("absent", false));
+  EXPECT_TRUE(flags.GetBool("absent", true));
+}
+
+TEST(FlagParserTest, BooleanValues) {
+  FlagParser flags = Parse({"--a=true", "--b=false", "--c=1", "--d=off",
+                            "--e=garbage"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_FALSE(flags.GetBool("b", true));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+  EXPECT_TRUE(flags.GetBool("e", true));  // malformed → default
+}
+
+TEST(FlagParserTest, Positionals) {
+  FlagParser flags = Parse({"cluster", "--k=8", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "cluster");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagParserTest, DoubleDashEndsFlags) {
+  FlagParser flags = Parse({"--a=1", "--", "--not-a-flag"});
+  EXPECT_TRUE(flags.Has("a"));
+  EXPECT_FALSE(flags.Has("not-a-flag"));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "--not-a-flag");
+}
+
+TEST(FlagParserTest, NumericParsing) {
+  FlagParser flags = Parse({"--i=-5", "--d=2.5", "--bad=xyz"});
+  EXPECT_EQ(flags.GetInt("i", 0), -5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("d", 0.0), 2.5);
+  EXPECT_EQ(flags.GetInt("bad", 7), 7);       // malformed → default
+  EXPECT_DOUBLE_EQ(flags.GetDouble("bad", 1.5), 1.5);
+  EXPECT_EQ(flags.GetInt("absent", 9), 9);
+}
+
+TEST(FlagParserTest, SpaceSyntaxDoesNotEatNextFlag) {
+  FlagParser flags = Parse({"--a", "--b=2"});
+  EXPECT_TRUE(flags.Has("a"));
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_EQ(flags.GetInt("b", 0), 2);
+}
+
+TEST(FlagParserTest, UnknownFlags) {
+  FlagParser flags = Parse({"--known=1", "--mystery=2"});
+  std::vector<std::string> unknown = flags.UnknownFlags({"known", "other"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "mystery");
+}
+
+TEST(FlagParserTest, NegativeNumberAsSpaceValue) {
+  FlagParser flags = Parse({"--offset", "-3"});
+  EXPECT_EQ(flags.GetInt("offset", 0), -3);
+}
+
+}  // namespace
+}  // namespace cafc

@@ -1,0 +1,95 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc {
+namespace {
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC dEf"), "abc def");
+  EXPECT_EQ(ToLower(""), "");
+  EXPECT_EQ(ToLower("123!@#"), "123!@#");
+}
+
+TEST(StringUtilTest, CharacterClasses) {
+  EXPECT_TRUE(IsAsciiAlpha('a'));
+  EXPECT_TRUE(IsAsciiAlpha('Z'));
+  EXPECT_FALSE(IsAsciiAlpha('1'));
+  EXPECT_FALSE(IsAsciiAlpha(' '));
+  EXPECT_TRUE(IsAsciiDigit('0'));
+  EXPECT_TRUE(IsAsciiDigit('9'));
+  EXPECT_FALSE(IsAsciiDigit('a'));
+  EXPECT_TRUE(IsAsciiAlnum('a'));
+  EXPECT_TRUE(IsAsciiAlnum('7'));
+  EXPECT_FALSE(IsAsciiAlnum('-'));
+  EXPECT_TRUE(IsAsciiSpace(' '));
+  EXPECT_TRUE(IsAsciiSpace('\t'));
+  EXPECT_TRUE(IsAsciiSpace('\n'));
+  EXPECT_TRUE(IsAsciiSpace('\r'));
+  EXPECT_FALSE(IsAsciiSpace('x'));
+}
+
+TEST(StringUtilTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  abc  "), "abc");
+  EXPECT_EQ(StripAsciiWhitespace("abc"), "abc");
+  EXPECT_EQ(StripAsciiWhitespace("\t\n abc def \r"), "abc def");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+TEST(StringUtilTest, SplitNonEmpty) {
+  EXPECT_EQ(SplitNonEmpty("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitNonEmpty("a,,c", ','), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(SplitNonEmpty(",,", ','), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitNonEmpty("", ','), (std::vector<std::string>{}));
+  EXPECT_EQ(SplitNonEmpty("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(SplitNonEmpty("/a/b/", '/'), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  std::string input = "alpha beta gamma";
+  EXPECT_EQ(Join(SplitNonEmpty(input, ' '), " "), input);
+}
+
+TEST(StringUtilTest, StartsAndEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("ttp://x", "http://"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_TRUE(EndsWith("page.html", ".html"));
+  EXPECT_FALSE(EndsWith("page.htm", ".html"));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("FORM", "form"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("form", "forms"));
+  EXPECT_FALSE(EqualsIgnoreCase("form", "farm"));
+}
+
+TEST(StringUtilTest, ContainsIgnoreCase) {
+  EXPECT_TRUE(ContainsIgnoreCase("Search Jobs Now", "search"));
+  EXPECT_TRUE(ContainsIgnoreCase("Search Jobs Now", "JOBS"));
+  EXPECT_TRUE(ContainsIgnoreCase("abc", ""));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abcd"));
+  EXPECT_FALSE(ContainsIgnoreCase("login form", "search"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(0.5, 2), "0.50");
+  EXPECT_EQ(FormatDouble(1.005, 2), "1.00");  // round-to-even artifacts ok
+  EXPECT_EQ(FormatDouble(3.14159, 3), "3.142");
+  EXPECT_EQ(FormatDouble(-2.0, 1), "-2.0");
+  EXPECT_EQ(FormatDouble(7.0, 0), "7");
+}
+
+}  // namespace
+}  // namespace cafc

@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| alpha "), std::string::npos);
+  EXPECT_NE(out.find("| 22 "), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table t({"h", "x"});
+  t.AddRow({"longcell", "1"});
+  std::string out = t.ToString();
+  // Every line must have the same length (aligned columns).
+  size_t line_len = out.find('\n');
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t next = out.find('\n', pos);
+    ASSERT_NE(next, std::string::npos);
+    EXPECT_EQ(next - pos, line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| only "), std::string::npos);
+}
+
+TEST(TableTest, ExtraCellsWidenTable) {
+  Table t({"a"});
+  t.AddRow({"x", "extra"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("extra"), std::string::npos);
+}
+
+TEST(TableTest, SeparatorRendersRule) {
+  Table t({"a"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  std::string out = t.ToString();
+  // rule appears: top, under header, separator, bottom = 4 occurrences.
+  int rules = 0;
+  size_t pos = 0;
+  while ((pos = out.find("+--", pos)) != std::string::npos) {
+    ++rules;
+    pos += 3;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TableTest, NumRows) {
+  Table t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddSeparator();
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, EmptyTableStillRenders) {
+  Table t({"col"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cafc

@@ -1,0 +1,216 @@
+#include "vsm/sparse_vector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cafc::vsm {
+namespace {
+
+SparseVector Make(std::vector<Entry> entries) {
+  return SparseVector::FromUnsorted(std::move(entries));
+}
+
+TEST(SparseVectorTest, FromUnsortedSortsAndMerges) {
+  SparseVector v = Make({{5, 1.0}, {2, 2.0}, {5, 3.0}, {1, 0.5}});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.entries()[0].term, 1u);
+  EXPECT_EQ(v.entries()[1].term, 2u);
+  EXPECT_EQ(v.entries()[2].term, 5u);
+  EXPECT_DOUBLE_EQ(v.Get(5), 4.0);
+}
+
+TEST(SparseVectorTest, AddInsertsAndAccumulates) {
+  SparseVector v;
+  v.Add(3, 1.0);
+  v.Add(1, 2.0);
+  v.Add(3, 0.5);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.Get(3), 1.5);
+  EXPECT_DOUBLE_EQ(v.Get(1), 2.0);
+  EXPECT_DOUBLE_EQ(v.Get(99), 0.0);
+}
+
+TEST(SparseVectorTest, NormAndSum) {
+  SparseVector v = Make({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(SparseVector().Norm(), 0.0);
+}
+
+TEST(SparseVectorTest, Scale) {
+  SparseVector v = Make({{0, 2.0}, {7, -1.0}});
+  v.Scale(0.5);
+  EXPECT_DOUBLE_EQ(v.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(v.Get(7), -0.5);
+}
+
+TEST(SparseVectorTest, AxpyMergesDisjoint) {
+  SparseVector a = Make({{0, 1.0}});
+  SparseVector b = Make({{1, 2.0}});
+  a.Axpy(1.0, b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.Get(1), 2.0);
+}
+
+TEST(SparseVectorTest, AxpyAccumulatesOverlap) {
+  SparseVector a = Make({{0, 1.0}, {2, 1.0}});
+  SparseVector b = Make({{0, 3.0}, {1, 1.0}});
+  a.Axpy(2.0, b);
+  EXPECT_DOUBLE_EQ(a.Get(0), 7.0);
+  EXPECT_DOUBLE_EQ(a.Get(1), 2.0);
+  EXPECT_DOUBLE_EQ(a.Get(2), 1.0);
+}
+
+TEST(SparseVectorTest, AxpyWithSelfEquivalentDoubling) {
+  SparseVector a = Make({{0, 1.0}, {3, 2.0}});
+  SparseVector copy = a;
+  a.Axpy(1.0, copy);
+  EXPECT_DOUBLE_EQ(a.Get(0), 2.0);
+  EXPECT_DOUBLE_EQ(a.Get(3), 4.0);
+}
+
+TEST(SparseVectorTest, CompactDropsZeros) {
+  SparseVector a = Make({{0, 1.0}, {1, 0.0}, {2, 1e-12}});
+  a.Compact(1e-9);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.Get(0), 1.0);
+}
+
+TEST(SparseVectorTest, KeepTopKPrunesToLargestWeights) {
+  SparseVector v = Make({{0, 1.0}, {1, 5.0}, {2, 3.0}, {3, 4.0}});
+  v.KeepTopK(2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.Get(1), 5.0);
+  EXPECT_DOUBLE_EQ(v.Get(3), 4.0);
+  EXPECT_DOUBLE_EQ(v.Get(0), 0.0);
+  // Entries stay sorted by term id.
+  EXPECT_LT(v.entries()[0].term, v.entries()[1].term);
+}
+
+TEST(SparseVectorTest, KeepTopKNoopWhenSmaller) {
+  SparseVector v = Make({{0, 1.0}, {1, 2.0}});
+  SparseVector copy = v;
+  v.KeepTopK(10);
+  EXPECT_EQ(v, copy);
+}
+
+TEST(SparseVectorTest, KeepTopKTieBreaksTowardLowerIds) {
+  SparseVector v = Make({{5, 1.0}, {2, 1.0}, {9, 1.0}});
+  v.KeepTopK(2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v.Get(2), 1.0);
+  EXPECT_DOUBLE_EQ(v.Get(5), 1.0);
+}
+
+TEST(SparseVectorTest, KeepTopKZeroEmpties) {
+  SparseVector v = Make({{0, 1.0}});
+  v.KeepTopK(0);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SparseVectorTest, DotDisjointIsZero) {
+  EXPECT_DOUBLE_EQ(Dot(Make({{0, 1.0}}), Make({{1, 1.0}})), 0.0);
+}
+
+TEST(SparseVectorTest, DotOverlap) {
+  SparseVector a = Make({{0, 1.0}, {1, 2.0}, {5, 3.0}});
+  SparseVector b = Make({{1, 4.0}, {5, 1.0}, {9, 7.0}});
+  EXPECT_DOUBLE_EQ(Dot(a, b), 2.0 * 4.0 + 3.0 * 1.0);
+}
+
+TEST(CosineTest, IdenticalVectorsSimilarityOne) {
+  SparseVector a = Make({{0, 1.0}, {1, 2.0}});
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(CosineTest, ScaleInvariant) {
+  SparseVector a = Make({{0, 1.0}, {1, 2.0}});
+  SparseVector b = a;
+  b.Scale(42.0);
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-12);
+}
+
+TEST(CosineTest, OrthogonalIsZero) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity(Make({{0, 1.0}}), Make({{1, 1.0}})), 0.0);
+}
+
+TEST(CosineTest, EmptyVectorYieldsZero) {
+  SparseVector empty;
+  SparseVector a = Make({{0, 1.0}});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(empty, a), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(empty, empty), 0.0);
+}
+
+TEST(CosineTest, KnownValue) {
+  SparseVector a = Make({{0, 1.0}, {1, 1.0}});
+  SparseVector b = Make({{0, 1.0}});
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+// ---- property tests over random vectors ----
+
+class CosinePropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  SparseVector RandomVector(Rng* rng, size_t max_terms) {
+    std::vector<Entry> entries;
+    size_t n = 1 + rng->Uniform(max_terms);
+    for (size_t i = 0; i < n; ++i) {
+      entries.push_back(Entry{static_cast<TermId>(rng->Uniform(50)),
+                              rng->UniformDouble() + 0.01});
+    }
+    return SparseVector::FromUnsorted(std::move(entries));
+  }
+};
+
+TEST_P(CosinePropertyTest, BoundedAndSymmetric) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    SparseVector a = RandomVector(&rng, 20);
+    SparseVector b = RandomVector(&rng, 20);
+    double ab = CosineSimilarity(a, b);
+    double ba = CosineSimilarity(b, a);
+    EXPECT_NEAR(ab, ba, 1e-12);
+    EXPECT_GE(ab, 0.0);          // non-negative weights
+    EXPECT_LE(ab, 1.0 + 1e-12);  // Cauchy-Schwarz
+  }
+}
+
+TEST_P(CosinePropertyTest, SelfSimilarityIsOne) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 100; ++i) {
+    SparseVector a = RandomVector(&rng, 20);
+    EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-9);
+  }
+}
+
+TEST_P(CosinePropertyTest, AxpyMatchesDenseAddition) {
+  Rng rng(GetParam() ^ 0x1234);
+  for (int i = 0; i < 100; ++i) {
+    SparseVector a = RandomVector(&rng, 15);
+    SparseVector b = RandomVector(&rng, 15);
+    double factor = rng.UniformDouble() * 4.0 - 2.0;
+    SparseVector sum = a;
+    sum.Axpy(factor, b);
+    for (TermId t = 0; t < 50; ++t) {
+      EXPECT_NEAR(sum.Get(t), a.Get(t) + factor * b.Get(t), 1e-12);
+    }
+  }
+}
+
+TEST_P(CosinePropertyTest, DotCommutesAndMatchesNormIdentity) {
+  Rng rng(GetParam() ^ 0x77);
+  for (int i = 0; i < 100; ++i) {
+    SparseVector a = RandomVector(&rng, 15);
+    EXPECT_NEAR(Dot(a, a), a.Norm() * a.Norm(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CosinePropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace cafc::vsm

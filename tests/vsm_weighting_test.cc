@@ -1,0 +1,237 @@
+#include "vsm/weighting.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cafc::vsm {
+namespace {
+
+std::vector<LocatedTerm> Terms(
+    std::initializer_list<std::pair<const char*, Location>> items) {
+  std::vector<LocatedTerm> out;
+  for (const auto& [term, loc] : items) out.push_back({term, loc});
+  return out;
+}
+
+TEST(LocationWeightConfigTest, DefaultsAreDifferentiated) {
+  LocationWeightConfig config;
+  EXPECT_GT(config.Factor(Location::kPageTitle),
+            config.Factor(Location::kPageBody));
+  EXPECT_GT(config.Factor(Location::kFormText),
+            config.Factor(Location::kFormOption));
+}
+
+TEST(LocationWeightConfigTest, UniformIsAllOnes) {
+  LocationWeightConfig config = LocationWeightConfig::Uniform();
+  for (Location loc :
+       {Location::kPageBody, Location::kPageTitle, Location::kAnchorText,
+        Location::kFormText, Location::kFormOption}) {
+    EXPECT_EQ(config.Factor(loc), 1);
+  }
+}
+
+TEST(CorpusStatsTest, DocumentFrequencyCountsDocumentsNotOccurrences) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  stats.AddDocument(Terms({{"job", Location::kPageBody},
+                           {"job", Location::kPageBody},
+                           {"career", Location::kPageBody}}));
+  stats.AddDocument(Terms({{"job", Location::kPageBody}}));
+  EXPECT_EQ(stats.num_documents(), 2u);
+  EXPECT_EQ(stats.DocumentFrequency(dict.Lookup("job")), 2u);
+  EXPECT_EQ(stats.DocumentFrequency(dict.Lookup("career")), 1u);
+}
+
+TEST(CorpusStatsTest, IdfFormula) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  for (int i = 0; i < 4; ++i) {
+    std::vector<LocatedTerm> doc = {{"common", Location::kPageBody}};
+    if (i == 0) doc.push_back({"rare", Location::kPageBody});
+    stats.AddDocument(doc);
+  }
+  EXPECT_NEAR(stats.Idf(dict.Lookup("common")), std::log(4.0 / 4.0), 1e-12);
+  EXPECT_NEAR(stats.Idf(dict.Lookup("rare")), std::log(4.0 / 1.0), 1e-12);
+}
+
+TEST(CorpusStatsTest, TermInEveryDocumentHasZeroIdf) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  stats.AddDocument(Terms({{"noise", Location::kPageBody}}));
+  stats.AddDocument(Terms({{"noise", Location::kPageBody}}));
+  EXPECT_DOUBLE_EQ(stats.Idf(dict.Lookup("noise")), 0.0);
+}
+
+TEST(CorpusStatsTest, UnknownTermIdfClamped) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  stats.AddDocument(Terms({{"x", Location::kPageBody}}));
+  TermId later = dict.Intern("never-in-a-doc");
+  EXPECT_NEAR(stats.Idf(later), std::log(1.0), 1e-12);
+  EXPECT_EQ(stats.DocumentFrequency(later), 0u);
+}
+
+TEST(TfIdfWeighterTest, WeightIsLocTimesTfTimesIdf) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  // 2 documents; "flight" in one → idf = ln 2.
+  stats.AddDocument(Terms({{"flight", Location::kPageTitle},
+                           {"flight", Location::kPageBody},
+                           {"other", Location::kPageBody}}));
+  stats.AddDocument(Terms({{"other", Location::kPageBody}}));
+
+  LocationWeightConfig config;  // title factor 2
+  TfIdfWeighter weighter(&stats, config);
+  SparseVector v = weighter.Weigh(Terms({{"flight", Location::kPageTitle},
+                                         {"flight", Location::kPageBody}}));
+  // LOC = max(title=2, body=1) = 2; TF = 2; idf = ln 2.
+  EXPECT_NEAR(v.Get(dict.Lookup("flight")), 2 * 2 * std::log(2.0), 1e-12);
+}
+
+TEST(TfIdfWeighterTest, ZeroIdfTermsDropped) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  stats.AddDocument(Terms({{"everywhere", Location::kPageBody}}));
+  stats.AddDocument(Terms({{"everywhere", Location::kPageBody}}));
+  TfIdfWeighter weighter(&stats, LocationWeightConfig{});
+  SparseVector v =
+      weighter.Weigh(Terms({{"everywhere", Location::kPageBody}}));
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(TfIdfWeighterTest, UnknownTermsSkipped) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  stats.AddDocument(Terms({{"known", Location::kPageBody}}));
+  stats.AddDocument(Terms({{"also", Location::kPageBody}}));
+  TfIdfWeighter weighter(&stats, LocationWeightConfig{});
+  SparseVector v = weighter.Weigh(Terms({{"unknown", Location::kPageBody},
+                                         {"known", Location::kPageBody}}));
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_GT(v.Get(dict.Lookup("known")), 0.0);
+}
+
+TEST(TfIdfWeighterTest, UniformVsDifferentiatedTitleBoost) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  stats.AddDocument(Terms({{"word", Location::kPageTitle}}));
+  stats.AddDocument(Terms({{"pad", Location::kPageBody}}));
+
+  TfIdfWeighter differentiated(&stats, LocationWeightConfig{});
+  TfIdfWeighter uniform(&stats, LocationWeightConfig::Uniform());
+  auto doc = Terms({{"word", Location::kPageTitle}});
+  EXPECT_NEAR(differentiated.Weigh(doc).Get(dict.Lookup("word")),
+              2.0 * uniform.Weigh(doc).Get(dict.Lookup("word")), 1e-12);
+}
+
+TEST(Bm25WeighterTest, SingleDocBehaviour) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  stats.AddDocument(Terms({{"rare", Location::kPageBody},
+                           {"pad", Location::kPageBody}}));
+  stats.AddDocument(Terms({{"pad", Location::kPageBody}}));
+
+  Bm25Weighter weighter(&stats, LocationWeightConfig::Uniform(),
+                        /*average_document_length=*/1.5);
+  SparseVector v = weighter.Weigh(Terms({{"rare", Location::kPageBody}}));
+  // tf=1, dl=1, avgdl=1.5, k1=1.2, b=0.75:
+  // norm = 1.2 * (1 - 0.75 + 0.75 * (1/1.5)) = 1.2 * 0.75 = 0.9
+  // sat = 1 * 2.2 / (1 + 0.9) = 2.2 / 1.9; idf = ln 2.
+  EXPECT_NEAR(v.Get(dict.Lookup("rare")),
+              (2.2 / 1.9) * std::log(2.0), 1e-12);
+}
+
+TEST(Bm25WeighterTest, TermFrequencySaturates) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  stats.AddDocument(Terms({{"x", Location::kPageBody}}));
+  stats.AddDocument(Terms({{"pad", Location::kPageBody}}));
+  Bm25Weighter weighter(&stats, LocationWeightConfig::Uniform(), 1.0);
+
+  auto weight_for_tf = [&](int tf) {
+    std::vector<LocatedTerm> doc;
+    for (int i = 0; i < tf; ++i) doc.push_back({"x", Location::kPageBody});
+    return weighter.Weigh(doc).Get(dict.Lookup("x"));
+  };
+  double w1 = weight_for_tf(1);
+  double w10 = weight_for_tf(10);
+  double w100 = weight_for_tf(100);
+  EXPECT_LT(w1, w10);
+  EXPECT_LT(w10, w100);
+  // Saturation: x100 increase in tf buys far less than x100 in weight
+  // (BM25 caps at (k1+1)*idf).
+  EXPECT_LT(w100, (1.2 + 1.0) * std::log(2.0) + 1e-12);
+}
+
+TEST(Bm25WeighterTest, LongDocumentsPenalized) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  stats.AddDocument(Terms({{"x", Location::kPageBody}}));
+  stats.AddDocument(Terms({{"pad", Location::kPageBody}}));
+  Bm25Weighter weighter(&stats, LocationWeightConfig::Uniform(),
+                        /*average_document_length=*/5.0);
+
+  std::vector<LocatedTerm> short_doc = {{"x", Location::kPageBody}};
+  std::vector<LocatedTerm> long_doc = {{"x", Location::kPageBody}};
+  for (int i = 0; i < 50; ++i) {
+    long_doc.push_back({"pad", Location::kPageBody});
+  }
+  EXPECT_GT(weighter.Weigh(short_doc).Get(dict.Lookup("x")),
+            weighter.Weigh(long_doc).Get(dict.Lookup("x")));
+}
+
+TEST(Bm25WeighterTest, LocationFactorApplies) {
+  TermDictionary dict;
+  CorpusStats stats(&dict);
+  stats.AddDocument(Terms({{"x", Location::kPageTitle}}));
+  stats.AddDocument(Terms({{"pad", Location::kPageBody}}));
+  Bm25Weighter differentiated(&stats, LocationWeightConfig{}, 1.0);
+  Bm25Weighter uniform(&stats, LocationWeightConfig::Uniform(), 1.0);
+  auto doc = Terms({{"x", Location::kPageTitle}});
+  EXPECT_NEAR(differentiated.Weigh(doc).Get(dict.Lookup("x")),
+              2.0 * uniform.Weigh(doc).Get(dict.Lookup("x")), 1e-12);
+}
+
+TEST(CentroidTest, MeanOfVectors) {
+  SparseVector a = SparseVector::FromUnsorted({{0, 2.0}, {1, 4.0}});
+  SparseVector b = SparseVector::FromUnsorted({{1, 2.0}, {2, 6.0}});
+  SparseVector c = Centroid({&a, &b});
+  EXPECT_DOUBLE_EQ(c.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.Get(1), 3.0);
+  EXPECT_DOUBLE_EQ(c.Get(2), 3.0);
+}
+
+TEST(CentroidTest, SingleVectorIsItself) {
+  SparseVector a = SparseVector::FromUnsorted({{3, 5.0}});
+  SparseVector c = Centroid({&a});
+  EXPECT_EQ(c, a);
+}
+
+TEST(CentroidTest, EmptyInputYieldsEmpty) {
+  EXPECT_TRUE(Centroid({}).empty());
+}
+
+TEST(TermDictionaryTest, InternIsIdempotent) {
+  TermDictionary dict;
+  TermId a = dict.Intern("abc");
+  TermId b = dict.Intern("abc");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.term(a), "abc");
+}
+
+TEST(TermDictionaryTest, LookupUnknownReturnsSentinel) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Lookup("nope"), kInvalidTermId);
+}
+
+TEST(TermDictionaryTest, DenseSequentialIds) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Intern("a"), 0u);
+  EXPECT_EQ(dict.Intern("b"), 1u);
+  EXPECT_EQ(dict.Intern("c"), 2u);
+}
+
+}  // namespace
+}  // namespace cafc::vsm

@@ -1,0 +1,94 @@
+#include "web/backlink_index.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc::web {
+namespace {
+
+LinkGraph StarGraph(int spokes) {
+  LinkGraph g;
+  for (int i = 0; i < spokes; ++i) {
+    g.AddLink("http://hub" + std::to_string(i) + ".com/",
+              "http://center.com/");
+  }
+  return g;
+}
+
+TEST(BacklinkIndexTest, FullCoverageReturnsAll) {
+  LinkGraph g = StarGraph(10);
+  BacklinkIndexOptions options;
+  options.coverage = 1.0;
+  BacklinkIndex index(&g, options);
+  EXPECT_EQ(index.Backlinks("http://center.com/").size(), 10u);
+  EXPECT_TRUE(index.HasBacklinks("http://center.com/"));
+}
+
+TEST(BacklinkIndexTest, ZeroCoverageReturnsNone) {
+  LinkGraph g = StarGraph(10);
+  BacklinkIndexOptions options;
+  options.coverage = 0.0;
+  BacklinkIndex index(&g, options);
+  EXPECT_TRUE(index.Backlinks("http://center.com/").empty());
+  EXPECT_FALSE(index.HasBacklinks("http://center.com/"));
+}
+
+TEST(BacklinkIndexTest, UnknownUrlEmpty) {
+  LinkGraph g = StarGraph(3);
+  BacklinkIndex index(&g, BacklinkIndexOptions{});
+  EXPECT_TRUE(index.Backlinks("http://unknown.com/").empty());
+  EXPECT_FALSE(index.HasBacklinks("http://unknown.com/"));
+}
+
+TEST(BacklinkIndexTest, MaxResultsCapApplied) {
+  LinkGraph g = StarGraph(50);
+  BacklinkIndexOptions options;
+  options.coverage = 1.0;
+  options.max_results = 7;
+  BacklinkIndex index(&g, options);
+  EXPECT_EQ(index.Backlinks("http://center.com/").size(), 7u);
+}
+
+TEST(BacklinkIndexTest, DeterministicAcrossQueries) {
+  LinkGraph g = StarGraph(100);
+  BacklinkIndexOptions options;
+  options.coverage = 0.5;
+  BacklinkIndex index(&g, options);
+  auto first = index.Backlinks("http://center.com/");
+  auto second = index.Backlinks("http://center.com/");
+  EXPECT_EQ(first, second);
+}
+
+TEST(BacklinkIndexTest, CoverageApproximatelyRespected) {
+  LinkGraph g = StarGraph(2000);
+  BacklinkIndexOptions options;
+  options.coverage = 0.6;
+  options.max_results = 100000;
+  BacklinkIndex index(&g, options);
+  size_t returned = index.Backlinks("http://center.com/").size();
+  EXPECT_NEAR(static_cast<double>(returned) / 2000.0, 0.6, 0.05);
+}
+
+TEST(BacklinkIndexTest, SeedChangesSample) {
+  LinkGraph g = StarGraph(200);
+  BacklinkIndexOptions a;
+  a.coverage = 0.5;
+  a.seed = 1;
+  BacklinkIndexOptions b = a;
+  b.seed = 2;
+  BacklinkIndex ia(&g, a);
+  BacklinkIndex ib(&g, b);
+  EXPECT_NE(ia.Backlinks("http://center.com/"),
+            ib.Backlinks("http://center.com/"));
+}
+
+TEST(BacklinkIndexTest, HasBacklinksConsistentWithBacklinks) {
+  LinkGraph g = StarGraph(30);
+  BacklinkIndexOptions options;
+  options.coverage = 0.4;
+  BacklinkIndex index(&g, options);
+  EXPECT_EQ(index.HasBacklinks("http://center.com/"),
+            !index.Backlinks("http://center.com/").empty());
+}
+
+}  // namespace
+}  // namespace cafc::web

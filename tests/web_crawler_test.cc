@@ -1,0 +1,181 @@
+#include "web/crawler.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "web/synthesizer.h"
+
+namespace cafc::web {
+namespace {
+
+/// Tiny hand-built web for precise crawl assertions.
+class MiniWeb : public WebFetcher {
+ public:
+  void Add(std::string url, std::string html) {
+    pages_[url] = WebPage{url, std::move(html)};
+  }
+
+  Result<const WebPage*> Fetch(std::string_view url) const override {
+    auto it = pages_.find(std::string(url));
+    if (it == pages_.end()) return Status::NotFound("404");
+    return &it->second;
+  }
+
+ private:
+  std::map<std::string, WebPage> pages_;
+};
+
+MiniWeb ThreePageWeb() {
+  MiniWeb web;
+  web.Add("http://a.com/",
+          R"(<a href="/page1.html">one</a> <a href="http://b.com/">b</a>)");
+  web.Add("http://a.com/page1.html",
+          R"(<form action="/s"><input name=q></form>)");
+  web.Add("http://b.com/", "terminal page, no links");
+  return web;
+}
+
+TEST(CrawlerTest, VisitsAllReachablePages) {
+  MiniWeb web = ThreePageWeb();
+  Crawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"http://a.com/"});
+  EXPECT_EQ(result.visited.size(), 3u);
+  EXPECT_EQ(result.visited[0], "http://a.com/");  // BFS order: seed first
+}
+
+TEST(CrawlerTest, DetectsFormPages) {
+  MiniWeb web = ThreePageWeb();
+  Crawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"http://a.com/"});
+  ASSERT_EQ(result.form_page_urls.size(), 1u);
+  EXPECT_EQ(result.form_page_urls[0], "http://a.com/page1.html");
+}
+
+TEST(CrawlerTest, BuildsLinkGraph) {
+  MiniWeb web = ThreePageWeb();
+  Crawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"http://a.com/"});
+  PageId a = result.graph.Lookup("http://a.com/");
+  ASSERT_NE(a, kInvalidPageId);
+  EXPECT_EQ(result.graph.OutLinks(a).size(), 2u);
+}
+
+TEST(CrawlerTest, DanglingLinksCountedAsFailures) {
+  MiniWeb web;
+  web.Add("http://a.com/", R"(<a href="/missing.html">x</a>)");
+  Crawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"http://a.com/"});
+  EXPECT_EQ(result.visited.size(), 1u);
+  EXPECT_EQ(result.fetch_failures, 1u);
+}
+
+TEST(CrawlerTest, MaxPagesLimit) {
+  MiniWeb web = ThreePageWeb();
+  CrawlerOptions options;
+  options.max_pages = 1;
+  Crawler crawler(&web, options);
+  CrawlResult result = crawler.Crawl({"http://a.com/"});
+  EXPECT_EQ(result.visited.size(), 1u);
+}
+
+TEST(CrawlerTest, MaxDepthLimit) {
+  MiniWeb web;
+  web.Add("http://a.com/", R"(<a href="/1.html">x</a>)");
+  web.Add("http://a.com/1.html", R"(<a href="/2.html">x</a>)");
+  web.Add("http://a.com/2.html", "deep");
+  CrawlerOptions options;
+  options.max_depth = 1;
+  Crawler crawler(&web, options);
+  CrawlResult result = crawler.Crawl({"http://a.com/"});
+  EXPECT_EQ(result.visited.size(), 2u);  // seed + depth-1 page
+}
+
+TEST(CrawlerTest, DuplicateSeedsVisitedOnce) {
+  MiniWeb web = ThreePageWeb();
+  Crawler crawler(&web);
+  CrawlResult result =
+      crawler.Crawl({"http://a.com/", "http://a.com/", "http://a.com/"});
+  EXPECT_EQ(std::count(result.visited.begin(), result.visited.end(),
+                       "http://a.com/"),
+            1);
+}
+
+TEST(CrawlerTest, CyclesTerminate) {
+  MiniWeb web;
+  web.Add("http://a.com/x", R"(<a href="/y">y</a>)");
+  web.Add("http://a.com/y", R"(<a href="/x">x</a>)");
+  Crawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"http://a.com/x"});
+  EXPECT_EQ(result.visited.size(), 2u);
+}
+
+TEST(CrawlerTest, BadSeedSkipped) {
+  MiniWeb web = ThreePageWeb();
+  Crawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"not a url", "http://a.com/"});
+  EXPECT_EQ(result.visited.size(), 3u);
+}
+
+TEST(CrawlerTest, JavascriptAndMailtoIgnored) {
+  MiniWeb web;
+  web.Add("http://a.com/",
+          R"html(<a href="javascript:void(0)">j</a><a href="mailto:x@y">m</a>)html");
+  Crawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"http://a.com/"});
+  EXPECT_EQ(result.visited.size(), 1u);
+  EXPECT_EQ(result.fetch_failures, 0u);
+}
+
+TEST(CrawlerTest, BaseHrefRespected) {
+  MiniWeb web;
+  web.Add("http://a.com/deep/dir/page.html",
+          R"html(<base href="http://cdn.example.com/assets/">
+                 <a href="rel.html">x</a>)html");
+  web.Add("http://cdn.example.com/assets/rel.html", "resolved via base");
+  Crawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"http://a.com/deep/dir/page.html"});
+  EXPECT_EQ(result.visited.size(), 2u);
+  EXPECT_EQ(result.visited[1], "http://cdn.example.com/assets/rel.html");
+}
+
+TEST(CrawlerTest, MalformedBaseHrefFallsBackToPageUrl) {
+  MiniWeb web;
+  web.Add("http://a.com/dir/page.html",
+          R"html(<base href="mailto:bad"><a href="rel.html">x</a>)html");
+  web.Add("http://a.com/dir/rel.html", "resolved against page");
+  Crawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"http://a.com/dir/page.html"});
+  EXPECT_EQ(result.visited.size(), 2u);
+}
+
+TEST(CrawlerTest, CoversFullSyntheticWeb) {
+  SynthesizerConfig config;
+  config.seed = 3;
+  config.form_pages_total = 40;
+  config.single_attribute_forms = 5;
+  config.homogeneous_hubs_per_domain = 20;
+  config.mixed_hubs = 40;
+  config.directory_hubs = 4;
+  config.large_air_hotel_hubs = 4;
+  config.non_searchable_form_pages = 5;
+  config.noise_pages = 5;
+  config.outlier_pages = 0;
+  SyntheticWeb web = Synthesizer(config).Generate();
+
+  Crawler crawler(&web);
+  CrawlResult result = crawler.Crawl(web.seed_urls());
+  // Every generated page is reachable from the seeds.
+  EXPECT_EQ(result.visited.size(), web.pages().size());
+  // Every gold form page is discovered as a form page.
+  for (const FormPageInfo& info : web.form_pages()) {
+    EXPECT_NE(std::find(result.form_page_urls.begin(),
+                        result.form_page_urls.end(), info.url),
+              result.form_page_urls.end())
+        << info.url;
+  }
+}
+
+}  // namespace
+}  // namespace cafc::web

@@ -1,0 +1,123 @@
+#include "web/domain_vocab.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace cafc::web {
+namespace {
+
+TEST(DomainVocabTest, AllDomainsEnumerated) {
+  EXPECT_EQ(AllDomains().size(), static_cast<size_t>(kNumDomains));
+  std::set<Domain> unique(AllDomains().begin(), AllDomains().end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(kNumDomains));
+}
+
+TEST(DomainVocabTest, NamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (Domain d : AllDomains()) names.insert(DomainName(d));
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumDomains));
+}
+
+class DomainSpecTest : public ::testing::TestWithParam<Domain> {};
+
+TEST_P(DomainSpecTest, SpecIsWellFormed) {
+  const DomainSpec& spec = GetDomainSpec(GetParam());
+  EXPECT_EQ(spec.domain, GetParam());
+  EXPECT_GE(spec.attributes.size(), 6u) << DomainName(GetParam());
+  EXPECT_GE(spec.content_terms.size(), 50u);
+  EXPECT_GE(spec.title_terms.size(), 5u);
+  EXPECT_GE(spec.site_terms.size(), 5u);
+}
+
+TEST_P(DomainSpecTest, AttributesHaveLabels) {
+  const DomainSpec& spec = GetDomainSpec(GetParam());
+  for (const AttributeSpec& attr : spec.attributes) {
+    EXPECT_FALSE(attr.labels.empty());
+    for (const std::string& label : attr.labels) {
+      EXPECT_FALSE(label.empty());
+    }
+    if (attr.prefer_select) {
+      EXPECT_GE(attr.values.size(), 2u);
+    }
+  }
+}
+
+TEST_P(DomainSpecTest, SchemaHasMultiAttributeCapacity) {
+  // The generator renders up to 9 attributes + 1 borrowed; the pool must
+  // support that without repetition.
+  EXPECT_GE(GetDomainSpec(GetParam()).attributes.size(), 6u);
+}
+
+TEST_P(DomainSpecTest, SpecIsSingletonReference) {
+  const DomainSpec& a = GetDomainSpec(GetParam());
+  const DomainSpec& b = GetDomainSpec(GetParam());
+  EXPECT_EQ(&a, &b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DomainSpecTest,
+                         ::testing::ValuesIn(AllDomains()),
+                         [](const ::testing::TestParamInfo<Domain>& info) {
+                           return std::string(DomainName(info.param));
+                         });
+
+TEST(DomainVocabTest, SharedPoolsNonEmpty) {
+  EXPECT_GE(GenericWebTerms().size(), 40u);
+  EXPECT_GE(GenericFormTerms().size(), 10u);
+  EXPECT_GE(MediaOverlapTerms().size(), 15u);
+  EXPECT_GE(TravelOverlapTerms().size(), 15u);
+}
+
+TEST(DomainVocabTest, MediaOverlapIsAboutMedia) {
+  // Spot-check that the pool carries the Music/Movie-shared signal the
+  // paper describes (dvd, soundtrack, title...).
+  std::set<std::string> pool(MediaOverlapTerms().begin(),
+                             MediaOverlapTerms().end());
+  EXPECT_TRUE(pool.contains("dvd"));
+  EXPECT_TRUE(pool.contains("soundtrack"));
+  EXPECT_TRUE(pool.contains("title"));
+}
+
+TEST(DomainVocabTest, JobAndAirfareVocabulariesMostlyDisjoint) {
+  std::set<std::string> job(GetDomainSpec(Domain::kJob).content_terms.begin(),
+                            GetDomainSpec(Domain::kJob).content_terms.end());
+  int shared = 0;
+  for (const std::string& t :
+       GetDomainSpec(Domain::kAirfare).content_terms) {
+    if (job.contains(t)) ++shared;
+  }
+  EXPECT_LE(shared, 3);
+}
+
+TEST(DomainVocabTest, AutoAndCarRentalOverlapExists) {
+  // Realistic cross-domain confusion: both verticals talk about cars.
+  std::set<std::string> auto_terms(
+      GetDomainSpec(Domain::kAuto).content_terms.begin(),
+      GetDomainSpec(Domain::kAuto).content_terms.end());
+  int shared = 0;
+  for (const std::string& t :
+       GetDomainSpec(Domain::kCarRental).content_terms) {
+    if (auto_terms.contains(t)) ++shared;
+  }
+  EXPECT_GE(shared, 3);
+}
+
+TEST(DomainVocabTest, FigureOneSynonymsPresent) {
+  // The paper's Figure 1: "Job Category" vs "Industry" name the same
+  // attribute on different sites.
+  const DomainSpec& job = GetDomainSpec(Domain::kJob);
+  bool found = false;
+  for (const AttributeSpec& attr : job.attributes) {
+    bool has_category = false;
+    bool has_industry = false;
+    for (const std::string& label : attr.labels) {
+      if (label == "job category") has_category = true;
+      if (label == "industry") has_industry = true;
+    }
+    found = found || (has_category && has_industry);
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace cafc::web

@@ -1,0 +1,168 @@
+#include "web/focused_crawler.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "web/synthesizer.h"
+
+namespace cafc::web {
+namespace {
+
+class MiniWeb : public WebFetcher {
+ public:
+  void Add(std::string url, std::string html) {
+    pages_[url] = WebPage{url, std::move(html)};
+  }
+  Result<const WebPage*> Fetch(std::string_view url) const override {
+    auto it = pages_.find(std::string(url));
+    if (it == pages_.end()) return Status::NotFound("404");
+    return &it->second;
+  }
+
+ private:
+  std::map<std::string, WebPage> pages_;
+};
+
+TEST(FocusedCrawlerTest, ScoreLinkAnchorCues) {
+  MiniWeb web;
+  FocusedCrawler crawler(&web);
+  double search_anchor =
+      crawler.ScoreLink("search the database", "http://x.com/page", false);
+  double plain_anchor =
+      crawler.ScoreLink("our privacy statement", "http://x.com/page", false);
+  EXPECT_GT(search_anchor, plain_anchor);
+}
+
+TEST(FocusedCrawlerTest, ScoreLinkUrlCues) {
+  MiniWeb web;
+  FocusedCrawler crawler(&web);
+  double search_url = crawler.ScoreLink("", "http://x.com/search.html", false);
+  double plain_url = crawler.ScoreLink("", "http://x.com/about.html", false);
+  EXPECT_GT(search_url, plain_url);
+}
+
+TEST(FocusedCrawlerTest, ParentFormBonus) {
+  MiniWeb web;
+  FocusedCrawler crawler(&web);
+  EXPECT_GT(crawler.ScoreLink("x", "http://x.com/a", true),
+            crawler.ScoreLink("x", "http://x.com/a", false));
+}
+
+TEST(FocusedCrawlerTest, CustomTargetTermsAreStemmed) {
+  MiniWeb web;
+  FocusedCrawlerOptions options;
+  options.target_terms = {"flights"};
+  FocusedCrawler crawler(&web, options);
+  // "flight" (different inflection) must match via stemming.
+  EXPECT_GT(crawler.ScoreLink("cheap flight deals", "http://x.com/", false),
+            0.0);
+  // Default cues are replaced.
+  EXPECT_EQ(crawler.ScoreLink("search here", "http://x.com/", false), 0.0);
+}
+
+TEST(FocusedCrawlerTest, PrioritizesPromisingLinks) {
+  MiniWeb web;
+  // Hub links to a boring page and to a "search" page; the search page
+  // must be fetched first even though it is listed second.
+  web.Add("http://hub.com/",
+          R"html(<a href="http://a.com/about.html">company history</a>
+                 <a href="http://b.com/search.html">search databases</a>)html");
+  web.Add("http://a.com/about.html", "nothing here");
+  web.Add("http://b.com/search.html", "<form><input name=q></form>");
+  FocusedCrawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"http://hub.com/"});
+  ASSERT_EQ(result.visited.size(), 3u);
+  EXPECT_EQ(result.visited[0], "http://hub.com/");
+  EXPECT_EQ(result.visited[1], "http://b.com/search.html");
+  EXPECT_EQ(result.visited[2], "http://a.com/about.html");
+}
+
+TEST(FocusedCrawlerTest, EquallyScoredLinksFetchedInDiscoveryOrder) {
+  MiniWeb web;
+  web.Add("http://hub.com/",
+          R"html(<a href="http://a.com/x">one</a>
+                 <a href="http://b.com/x">two</a>)html");
+  web.Add("http://a.com/x", "a");
+  web.Add("http://b.com/x", "b");
+  FocusedCrawler crawler(&web);
+  CrawlResult result = crawler.Crawl({"http://hub.com/"});
+  ASSERT_EQ(result.visited.size(), 3u);
+  EXPECT_EQ(result.visited[1], "http://a.com/x");
+  EXPECT_EQ(result.visited[2], "http://b.com/x");
+}
+
+TEST(FocusedCrawlerTest, MaxPagesRespected) {
+  MiniWeb web;
+  web.Add("http://hub.com/",
+          R"html(<a href="http://a.com/x">a</a><a href="http://b.com/x">b</a>)html");
+  web.Add("http://a.com/x", "a");
+  web.Add("http://b.com/x", "b");
+  FocusedCrawlerOptions options;
+  options.max_pages = 2;
+  FocusedCrawler crawler(&web, options);
+  EXPECT_EQ(crawler.Crawl({"http://hub.com/"}).visited.size(), 2u);
+}
+
+TEST(FocusedCrawlerTest, CoversSyntheticWebCompletely) {
+  SynthesizerConfig config;
+  config.seed = 12;
+  config.form_pages_total = 32;
+  config.single_attribute_forms = 4;
+  config.homogeneous_hubs_per_domain = 10;
+  config.mixed_hubs = 10;
+  config.directory_hubs = 2;
+  config.large_air_hotel_hubs = 2;
+  config.non_searchable_form_pages = 4;
+  config.noise_pages = 4;
+  config.outlier_pages = 0;
+  SyntheticWeb synthetic = Synthesizer(config).Generate();
+
+  FocusedCrawler crawler(&synthetic);
+  CrawlResult result = crawler.Crawl(synthetic.seed_urls());
+  EXPECT_EQ(result.visited.size(), synthetic.pages().size());
+  std::unordered_set<std::string> forms(result.form_page_urls.begin(),
+                                        result.form_page_urls.end());
+  for (const FormPageInfo& info : synthetic.form_pages()) {
+    EXPECT_TRUE(forms.contains(info.url)) << info.url;
+  }
+}
+
+TEST(FocusedCrawlerTest, HigherHarvestRateThanBfsOnSyntheticWeb) {
+  SynthesizerConfig config;
+  config.seed = 13;
+  config.form_pages_total = 64;
+  config.single_attribute_forms = 8;
+  config.homogeneous_hubs_per_domain = 40;
+  config.mixed_hubs = 60;
+  config.directory_hubs = 4;
+  config.large_air_hotel_hubs = 4;
+  config.non_searchable_form_pages = 8;
+  config.noise_pages = 8;
+  SyntheticWeb synthetic = Synthesizer(config).Generate();
+
+  auto fetches_to_half = [&synthetic](const std::vector<std::string>& order) {
+    std::unordered_set<std::string> gold;
+    for (const FormPageInfo& info : synthetic.form_pages()) {
+      gold.insert(info.url);
+    }
+    size_t want = gold.size() / 2;
+    size_t found = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (gold.contains(order[i]) && ++found >= want) return i + 1;
+    }
+    return order.size();
+  };
+
+  Crawler bfs(&synthetic);
+  FocusedCrawler focused(&synthetic);
+  size_t bfs_cost = fetches_to_half(bfs.Crawl(synthetic.seed_urls()).visited);
+  size_t focused_cost =
+      fetches_to_half(focused.Crawl(synthetic.seed_urls()).visited);
+  EXPECT_LT(focused_cost, bfs_cost);
+}
+
+}  // namespace
+}  // namespace cafc::web

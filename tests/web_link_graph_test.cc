@@ -1,0 +1,64 @@
+#include "web/link_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc::web {
+namespace {
+
+TEST(LinkGraphTest, InternAssignsDenseIds) {
+  LinkGraph g;
+  EXPECT_EQ(g.Intern("http://a.com/"), 0u);
+  EXPECT_EQ(g.Intern("http://b.com/"), 1u);
+  EXPECT_EQ(g.Intern("http://a.com/"), 0u);
+  EXPECT_EQ(g.num_pages(), 2u);
+}
+
+TEST(LinkGraphTest, LookupUnknown) {
+  LinkGraph g;
+  EXPECT_EQ(g.Lookup("http://nope.com/"), kInvalidPageId);
+}
+
+TEST(LinkGraphTest, AddLinkPopulatesBothDirections) {
+  LinkGraph g;
+  g.AddLink("http://hub.com/", "http://page.com/");
+  PageId hub = g.Lookup("http://hub.com/");
+  PageId page = g.Lookup("http://page.com/");
+  ASSERT_NE(hub, kInvalidPageId);
+  ASSERT_NE(page, kInvalidPageId);
+  EXPECT_EQ(g.OutLinks(hub), std::vector<PageId>{page});
+  EXPECT_EQ(g.InLinks(page), std::vector<PageId>{hub});
+  EXPECT_TRUE(g.OutLinks(page).empty());
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(LinkGraphTest, DuplicateEdgesIgnored) {
+  LinkGraph g;
+  g.AddLink("a://x", "a://y");
+  g.AddLink("a://x", "a://y");
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(LinkGraphTest, SelfLinksIgnored) {
+  LinkGraph g;
+  g.AddLink("a://x", "a://x");
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.OutLinks(g.Lookup("a://x")).empty());
+}
+
+TEST(LinkGraphTest, UrlRoundTrip) {
+  LinkGraph g;
+  PageId id = g.Intern("http://x.com/page");
+  EXPECT_EQ(g.url(id), "http://x.com/page");
+}
+
+TEST(LinkGraphTest, FanInAccumulates) {
+  LinkGraph g;
+  g.AddLink("h://1", "h://t");
+  g.AddLink("h://2", "h://t");
+  g.AddLink("h://3", "h://t");
+  EXPECT_EQ(g.InLinks(g.Lookup("h://t")).size(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+}  // namespace
+}  // namespace cafc::web

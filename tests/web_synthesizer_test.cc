@@ -1,0 +1,238 @@
+#include "web/synthesizer.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "html/dom.h"
+#include "web/url.h"
+
+namespace cafc::web {
+namespace {
+
+SynthesizerConfig SmallConfig(uint64_t seed = 5) {
+  SynthesizerConfig config;
+  config.seed = seed;
+  config.form_pages_total = 80;
+  config.single_attribute_forms = 10;
+  config.homogeneous_hubs_per_domain = 40;
+  config.mixed_hubs = 100;
+  config.directory_hubs = 5;
+  config.large_air_hotel_hubs = 6;
+  config.non_searchable_form_pages = 10;
+  config.noise_pages = 10;
+  config.outlier_pages = 2;
+  return config;
+}
+
+TEST(SynthesizerTest, GoldFormPageCountMatchesConfig) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  EXPECT_EQ(web.form_pages().size(), 80u);
+}
+
+TEST(SynthesizerTest, SingleAttributeCountMatchesConfig) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  int singles = 0;
+  for (const FormPageInfo& info : web.form_pages()) {
+    if (info.single_attribute) ++singles;
+  }
+  EXPECT_EQ(singles, 10);
+}
+
+TEST(SynthesizerTest, DefaultConfigMatchesPaperDataset) {
+  SyntheticWeb web = Synthesizer(SynthesizerConfig{}).Generate();
+  EXPECT_EQ(web.form_pages().size(), 454u);
+  int singles = 0;
+  for (const FormPageInfo& info : web.form_pages()) {
+    if (info.single_attribute) ++singles;
+  }
+  EXPECT_EQ(singles, 56);
+}
+
+TEST(SynthesizerTest, AllEightDomainsRepresented) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  std::set<Domain> domains;
+  for (const FormPageInfo& info : web.form_pages()) {
+    domains.insert(info.domain);
+  }
+  EXPECT_EQ(domains.size(), static_cast<size_t>(kNumDomains));
+}
+
+TEST(SynthesizerTest, DeterministicPerSeed) {
+  SyntheticWeb a = Synthesizer(SmallConfig(9)).Generate();
+  SyntheticWeb b = Synthesizer(SmallConfig(9)).Generate();
+  ASSERT_EQ(a.pages().size(), b.pages().size());
+  for (size_t i = 0; i < a.pages().size(); ++i) {
+    EXPECT_EQ(a.pages()[i].url, b.pages()[i].url);
+    EXPECT_EQ(a.pages()[i].html, b.pages()[i].html);
+  }
+}
+
+TEST(SynthesizerTest, DifferentSeedsDiffer) {
+  SyntheticWeb a = Synthesizer(SmallConfig(1)).Generate();
+  SyntheticWeb b = Synthesizer(SmallConfig(2)).Generate();
+  bool any_difference = a.pages().size() != b.pages().size();
+  for (size_t i = 0; !any_difference && i < a.pages().size(); ++i) {
+    any_difference = a.pages()[i].html != b.pages()[i].html;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SynthesizerTest, UrlsAreUniqueAndFetchable) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  std::unordered_set<std::string> urls;
+  for (const WebPage& page : web.pages()) {
+    EXPECT_TRUE(urls.insert(page.url).second) << "duplicate " << page.url;
+    Result<const WebPage*> fetched = web.Fetch(page.url);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ((*fetched)->url, page.url);
+  }
+}
+
+TEST(SynthesizerTest, FetchUnknownFails) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  EXPECT_FALSE(web.Fetch("http://not-generated.com/").ok());
+}
+
+TEST(SynthesizerTest, GoldFormPagesContainForms) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  for (const FormPageInfo& info : web.form_pages()) {
+    Result<const WebPage*> page = web.Fetch(info.url);
+    ASSERT_TRUE(page.ok());
+    html::Document doc = html::Parse((*page)->html);
+    EXPECT_NE(doc.root().FindFirst("form"), nullptr) << info.url;
+  }
+}
+
+TEST(SynthesizerTest, RootPagesLinkToFormPages) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  const LinkGraph& g = web.graph();
+  for (const FormPageInfo& info : web.form_pages()) {
+    PageId root = g.Lookup(info.root_url);
+    PageId form = g.Lookup(info.url);
+    ASSERT_NE(root, kInvalidPageId);
+    ASSERT_NE(form, kInvalidPageId);
+    const auto& out = g.OutLinks(root);
+    EXPECT_NE(std::find(out.begin(), out.end(), form), out.end())
+        << info.root_url << " must link " << info.url;
+  }
+}
+
+TEST(SynthesizerTest, FormAndRootShareSite) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  for (const FormPageInfo& info : web.form_pages()) {
+    EXPECT_EQ(SiteOf(info.url), SiteOf(info.root_url));
+  }
+}
+
+TEST(SynthesizerTest, HubPagesLinkOnlyOffSite) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  const LinkGraph& g = web.graph();
+  for (const std::string& hub : web.hub_urls()) {
+    PageId id = g.Lookup(hub);
+    ASSERT_NE(id, kInvalidPageId);
+    for (PageId target : g.OutLinks(id)) {
+      EXPECT_NE(SiteOf(g.url(target)), SiteOf(hub));
+    }
+  }
+}
+
+TEST(SynthesizerTest, SeedsCoverHubsAndRoots) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  std::unordered_set<std::string> seeds(web.seed_urls().begin(),
+                                        web.seed_urls().end());
+  for (const std::string& hub : web.hub_urls()) {
+    EXPECT_TRUE(seeds.contains(hub));
+  }
+  for (const FormPageInfo& info : web.form_pages()) {
+    EXPECT_TRUE(seeds.contains(info.root_url));
+  }
+}
+
+TEST(SynthesizerTest, FindFormPage) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  const FormPageInfo& first = web.form_pages().front();
+  const FormPageInfo* found = web.FindFormPage(first.url);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->domain, first.domain);
+  EXPECT_EQ(web.FindFormPage("http://nope.com/"), nullptr);
+}
+
+TEST(SynthesizerTest, OutlierPagesMarked) {
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  int outliers = 0;
+  for (const FormPageInfo& info : web.form_pages()) {
+    if (info.outlier_vocabulary) ++outliers;
+  }
+  EXPECT_EQ(outliers, 2);
+}
+
+TEST(SynthesizerTest, AmbiguousMediaStoresAreMusicLabelled) {
+  SyntheticWeb web = Synthesizer(SynthesizerConfig{}).Generate();
+  int ambiguous = 0;
+  for (const FormPageInfo& info : web.form_pages()) {
+    if (info.ambiguous_media) {
+      ++ambiguous;
+      EXPECT_EQ(info.domain, Domain::kMusic);
+    }
+  }
+  EXPECT_EQ(ambiguous, SynthesizerConfig{}.ambiguous_media_stores);
+}
+
+TEST(SynthesizerTest, GeneratedHtmlParsesWithoutFormLeakage) {
+  // Hidden-input machine tokens must sit inside attribute values only —
+  // never as visible page text.
+  SyntheticWeb web = Synthesizer(SmallConfig()).Generate();
+  int checked = 0;
+  for (const FormPageInfo& info : web.form_pages()) {
+    Result<const WebPage*> page = web.Fetch(info.url);
+    html::Document doc = html::Parse((*page)->html);
+    std::string text = doc.root().TextContent();
+    EXPECT_EQ(text.find("xkqzjw"), std::string::npos);
+    if (++checked > 20) break;
+  }
+}
+
+// Property sweep: corpus invariants hold for any generator seed.
+class SynthesizerSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SynthesizerSeedTest, CorpusInvariants) {
+  SyntheticWeb web = Synthesizer(SmallConfig(GetParam())).Generate();
+
+  // Exact gold counts.
+  EXPECT_EQ(web.form_pages().size(), 80u);
+  int singles = 0;
+  std::set<Domain> domains;
+  std::unordered_set<std::string> urls;
+  for (const FormPageInfo& info : web.form_pages()) {
+    singles += info.single_attribute ? 1 : 0;
+    domains.insert(info.domain);
+    EXPECT_TRUE(urls.insert(info.url).second);
+    // Root and form page exist and live on the same host.
+    EXPECT_TRUE(web.Fetch(info.url).ok());
+    EXPECT_TRUE(web.Fetch(info.root_url).ok());
+    EXPECT_EQ(SiteOf(info.url), SiteOf(info.root_url));
+  }
+  EXPECT_EQ(singles, 10);
+  EXPECT_EQ(domains.size(), static_cast<size_t>(kNumDomains));
+
+  // Graph is consistent: every recorded edge connects generated pages or
+  // frontier URLs; hub pages never self-cite.
+  const LinkGraph& g = web.graph();
+  EXPECT_GT(g.num_edges(), web.form_pages().size());
+  for (const std::string& hub : web.hub_urls()) {
+    PageId id = g.Lookup(hub);
+    ASSERT_NE(id, kInvalidPageId);
+    for (PageId target : g.OutLinks(id)) {
+      EXPECT_NE(g.url(target), hub);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthesizerSeedTest,
+                         ::testing::Values(1, 17, 333, 2026));
+
+}  // namespace
+}  // namespace cafc::web

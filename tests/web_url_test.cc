@@ -1,0 +1,133 @@
+#include "web/url.h"
+
+#include <gtest/gtest.h>
+
+namespace cafc::web {
+namespace {
+
+TEST(ParseUrlTest, BasicHttp) {
+  Result<Url> url = ParseUrl("http://www.example.com/path/page.html");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->scheme, "http");
+  EXPECT_EQ(url->host, "www.example.com");
+  EXPECT_EQ(url->path, "/path/page.html");
+  EXPECT_EQ(url->query, "");
+}
+
+TEST(ParseUrlTest, HostOnlyGetsRootPath) {
+  Result<Url> url = ParseUrl("http://example.com");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->path, "/");
+  EXPECT_EQ(url->ToString(), "http://example.com/");
+}
+
+TEST(ParseUrlTest, QueryPreserved) {
+  Result<Url> url = ParseUrl("http://x.com/search?q=jobs&state=ca");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->query, "q=jobs&state=ca");
+  EXPECT_EQ(url->ToString(), "http://x.com/search?q=jobs&state=ca");
+}
+
+TEST(ParseUrlTest, FragmentStripped) {
+  Result<Url> url = ParseUrl("http://x.com/page#section");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->path, "/page");
+}
+
+TEST(ParseUrlTest, HostLowercased) {
+  Result<Url> url = ParseUrl("HTTP://WWW.Example.COM/Page");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->scheme, "http");
+  EXPECT_EQ(url->host, "www.example.com");
+  EXPECT_EQ(url->path, "/Page");  // path keeps case
+}
+
+TEST(ParseUrlTest, HttpsAccepted) {
+  EXPECT_TRUE(ParseUrl("https://secure.example.com/").ok());
+}
+
+TEST(ParseUrlTest, RejectsMissingScheme) {
+  EXPECT_FALSE(ParseUrl("www.example.com/page").ok());
+  EXPECT_FALSE(ParseUrl("").ok());
+}
+
+TEST(ParseUrlTest, RejectsUnsupportedScheme) {
+  EXPECT_FALSE(ParseUrl("ftp://example.com/file").ok());
+  EXPECT_FALSE(ParseUrl("mailto://someone").ok());
+}
+
+TEST(ParseUrlTest, RejectsMissingHost) {
+  EXPECT_FALSE(ParseUrl("http:///path").ok());
+}
+
+TEST(ParseUrlTest, SurroundingWhitespaceTrimmed) {
+  Result<Url> url = ParseUrl("  http://x.com/a  ");
+  ASSERT_TRUE(url.ok());
+  EXPECT_EQ(url->host, "x.com");
+}
+
+struct ResolveCase {
+  const char* base;
+  const char* href;
+  const char* expected;  // nullptr = expect failure
+};
+
+class ResolveHrefTest : public ::testing::TestWithParam<ResolveCase> {};
+
+TEST_P(ResolveHrefTest, Resolves) {
+  const ResolveCase& c = GetParam();
+  Url base = ParseUrl(c.base).value();
+  Result<Url> resolved = ResolveHref(base, c.href);
+  if (c.expected == nullptr) {
+    EXPECT_FALSE(resolved.ok());
+  } else {
+    ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+    EXPECT_EQ(resolved->ToString(), c.expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ResolveHrefTest,
+    ::testing::Values(
+        // Absolute pass-through.
+        ResolveCase{"http://a.com/x", "http://b.com/y", "http://b.com/y"},
+        // Root-relative.
+        ResolveCase{"http://a.com/deep/page.html", "/top.html",
+                    "http://a.com/top.html"},
+        // Sibling-relative.
+        ResolveCase{"http://a.com/dir/page.html", "other.html",
+                    "http://a.com/dir/other.html"},
+        // Relative from root.
+        ResolveCase{"http://a.com/", "search.html",
+                    "http://a.com/search.html"},
+        // Dot segments.
+        ResolveCase{"http://a.com/a/b/c.html", "../up.html",
+                    "http://a.com/a/up.html"},
+        ResolveCase{"http://a.com/a/b/c.html", "./same.html",
+                    "http://a.com/a/b/same.html"},
+        // Excess parent segments clamp at root.
+        ResolveCase{"http://a.com/a.html", "../../x.html",
+                    "http://a.com/x.html"},
+        // Query handling.
+        ResolveCase{"http://a.com/dir/p.html", "find?q=1",
+                    "http://a.com/dir/find?q=1"},
+        // Directory-style link keeps trailing slash.
+        ResolveCase{"http://a.com/x.html", "sub/", "http://a.com/sub/"},
+        // Unsupported schemes fail.
+        ResolveCase{"http://a.com/", "mailto:me@x.com", nullptr},
+        ResolveCase{"http://a.com/", "javascript:void(0)", nullptr},
+        ResolveCase{"http://a.com/", "#anchor", nullptr},
+        ResolveCase{"http://a.com/", "", nullptr}));
+
+TEST(SiteOfTest, ExtractsHost) {
+  EXPECT_EQ(SiteOf("http://www.jobs1.com/search.html"), "www.jobs1.com");
+  EXPECT_EQ(SiteOf("not a url"), "");
+}
+
+TEST(RootPageOfTest, BuildsRoot) {
+  Url url = ParseUrl("http://www.jobs1.com/a/b?q=1").value();
+  EXPECT_EQ(RootPageOf(url), "http://www.jobs1.com/");
+}
+
+}  // namespace
+}  // namespace cafc::web

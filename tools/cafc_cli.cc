@@ -1,0 +1,384 @@
+// cafc — command-line front end for the CAFC pipeline.
+//
+//   cafc stats    [--seed N]
+//       Corpus + hub-cluster statistics of the synthetic web.
+//
+//   cafc cluster  [--seed N] [--k 8] [--algo ch|c|hac]
+//                 [--min-cardinality 8] [--content fc|pc|fcpc]
+//                 [--save FILE] [--dot FILE] [--show-members N]
+//       Run the full pipeline (crawl → classify → model → cluster), print
+//       the resulting directory, optionally persist it.
+//
+//   cafc classify --dir FILE [--seed M] [--pages N]
+//       Load a saved directory and classify the form pages of a *fresh*
+//       corpus into it; report accuracy against the generator's gold.
+//
+//   cafc search   --dir FILE "query terms" [--top 5]
+//       Keyword search over a saved directory's sections.
+//
+//   cafc add      --dir FILE [--seed M] [--pages N]
+//       Incremental maintenance: file the form pages of a fresh corpus
+//       into a saved directory (updating centroids) and re-save it.
+//
+//   cafc labels   FILE.html
+//       Run the heuristic label extractor on a page (baseline input).
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "core/cafc.h"
+#include "core/dataset.h"
+#include "core/directory.h"
+#include "core/visualize.h"
+#include "eval/metrics.h"
+#include "forms/label_extractor.h"
+#include "html/dom.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "web/domain_vocab.h"
+#include "web/synthesizer.h"
+
+namespace {
+
+using namespace cafc;  // NOLINT — tool code
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cafc <stats|cluster|classify|labels> [flags]\n"
+               "run with a command to see its flags (documented in the "
+               "source header)\n");
+  return 2;
+}
+
+web::SyntheticWeb MakeWeb(uint64_t seed, int pages, int singles) {
+  web::SynthesizerConfig config;
+  config.seed = seed;
+  if (pages > 0) {
+    config.form_pages_total = pages;
+    config.single_attribute_forms = std::max(1, pages / 8);
+  }
+  if (singles >= 0) config.single_attribute_forms = singles;
+  return web::Synthesizer(config).Generate();
+}
+
+Result<Dataset> MakeDataset(const web::SyntheticWeb& web) {
+  return BuildDataset(web);
+}
+
+int RunStats(const FlagParser& flags) {
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  web::SyntheticWeb web =
+      MakeWeb(seed, static_cast<int>(flags.GetInt("pages", 0)), -1);
+  Result<Dataset> dataset = MakeDataset(web);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  FormPageSet pages = BuildFormPageSet(*dataset);
+  std::vector<HubCluster> hubs = GenerateHubClusters(pages);
+
+  Table table({"statistic", "value"});
+  table.AddRow({"generated pages", std::to_string(web.pages().size())});
+  table.AddRow({"crawled pages",
+                std::to_string(dataset->stats.crawled_pages)});
+  table.AddRow({"pages with forms",
+                std::to_string(dataset->stats.pages_with_forms)});
+  table.AddRow({"searchable form pages (gold)",
+                std::to_string(dataset->entries.size())});
+  table.AddRow({"classifier false negatives",
+                std::to_string(dataset->stats.classifier_false_negatives)});
+  table.AddRow({"pages without direct backlinks",
+                std::to_string(dataset->stats.pages_without_backlinks)});
+  table.AddRow({"distinct hub clusters", std::to_string(hubs.size())});
+  table.AddRow({"hub clusters (cardinality >= 8)",
+                std::to_string(FilterByCardinality(hubs, 8).size())});
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+/// Gold-majority label of a cluster, formatted "Domain | top terms".
+std::vector<std::string> GoldAwareLabels(const FormPageSet& pages,
+                                         const Dataset& dataset,
+                                         const cluster::Clustering& c) {
+  std::vector<std::string> auto_labels =
+      DatabaseDirectory::AutoLabels(pages, c);
+  std::vector<std::string> labels;
+  for (int j = 0; j < c.num_clusters; ++j) {
+    std::vector<size_t> members = c.Members(j);
+    std::vector<int> votes(web::kNumDomains, 0);
+    for (size_t m : members) {
+      ++votes[static_cast<size_t>(dataset.entries[m].gold)];
+    }
+    int best = 0;
+    for (int d = 1; d < web::kNumDomains; ++d) {
+      if (votes[static_cast<size_t>(d)] > votes[static_cast<size_t>(best)]) {
+        best = d;
+      }
+    }
+    std::string domain(members.empty()
+                           ? "(empty)"
+                           : web::DomainName(web::AllDomains()
+                                                 [static_cast<size_t>(best)]));
+    labels.push_back(domain + " | " +
+                     auto_labels[static_cast<size_t>(j)]);
+  }
+  return labels;
+}
+
+int RunCluster(const FlagParser& flags) {
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  int k = static_cast<int>(flags.GetInt("k", web::kNumDomains));
+  std::string algo = flags.GetString("algo", "ch");
+  std::string content_name = flags.GetString("content", "fcpc");
+
+  ContentConfig content = ContentConfig::kFcPlusPc;
+  if (content_name == "fc") content = ContentConfig::kFcOnly;
+  if (content_name == "pc") content = ContentConfig::kPcOnly;
+
+  web::SyntheticWeb web =
+      MakeWeb(seed, static_cast<int>(flags.GetInt("pages", 0)), -1);
+  Result<Dataset> dataset = MakeDataset(web);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  FormPageSet pages = BuildFormPageSet(*dataset);
+
+  cluster::Clustering clustering;
+  if (algo == "ch") {
+    CafcChOptions options;
+    options.cafc.content = content;
+    options.min_hub_cardinality =
+        static_cast<size_t>(flags.GetInt("min-cardinality", 8));
+    CafcChReport report;
+    clustering = CafcCh(pages, k, options, &report);
+    std::printf("hub clusters: %zu total, %zu kept\n",
+                report.hub_clusters_total, report.hub_clusters_kept);
+  } else if (algo == "c") {
+    CafcOptions options;
+    options.content = content;
+    Rng rng(seed ^ 0x5eed);
+    clustering = CafcC(pages, k, options, &rng);
+  } else if (algo == "hac") {
+    CafcOptions options;
+    options.content = content;
+    clustering = CafcHac(pages, k, options);
+  } else {
+    std::fprintf(stderr, "unknown --algo %s (use ch|c|hac)\n", algo.c_str());
+    return 2;
+  }
+
+  eval::ContingencyTable table(dataset->GoldLabels(), dataset->num_classes,
+                               clustering);
+  std::printf("quality: entropy=%.3f f-measure=%.3f purity=%.3f\n",
+              eval::TotalEntropy(table), eval::OverallFMeasure(table),
+              eval::Purity(table));
+
+  std::vector<std::string> labels =
+      GoldAwareLabels(pages, *dataset, clustering);
+  Table out({"cluster", "databases", "label"});
+  for (int j = 0; j < clustering.num_clusters; ++j) {
+    out.AddRow({std::to_string(j),
+                std::to_string(clustering.ClusterSize(j)),
+                labels[static_cast<size_t>(j)]});
+  }
+  std::printf("%s", out.ToString().c_str());
+
+  int show = static_cast<int>(flags.GetInt("show-members", 0));
+  if (show > 0) {
+    for (int j = 0; j < clustering.num_clusters; ++j) {
+      std::printf("cluster %d:\n", j);
+      int printed = 0;
+      for (size_t m : clustering.Members(j)) {
+        std::printf("  %s\n", pages.page(m).url.c_str());
+        if (++printed >= show) break;
+      }
+    }
+  }
+
+  std::string dot_path = flags.GetString("dot");
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", dot_path.c_str());
+      return 1;
+    }
+    out << ExportClusteringToDot(pages, clustering, labels);
+    std::printf("DOT graph written to %s (render: neato -Tsvg %s)\n",
+                dot_path.c_str(), dot_path.c_str());
+  }
+
+  std::string save_path = flags.GetString("save");
+  if (!save_path.empty()) {
+    DatabaseDirectory directory =
+        DatabaseDirectory::Build(pages, clustering, labels);
+    Status status = directory.SaveToFile(save_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("directory saved to %s (%zu entries)\n", save_path.c_str(),
+                directory.size());
+  }
+  return 0;
+}
+
+int RunClassify(const FlagParser& flags) {
+  std::string dir_path = flags.GetString("dir");
+  if (dir_path.empty()) {
+    std::fprintf(stderr, "classify requires --dir FILE\n");
+    return 2;
+  }
+  Result<DatabaseDirectory> directory =
+      DatabaseDirectory::LoadFromFile(dir_path);
+  if (!directory.ok()) {
+    std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
+    return 1;
+  }
+
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 777));
+  int pages = static_cast<int>(flags.GetInt("pages", 120));
+  web::SyntheticWeb web = MakeWeb(seed, pages, -1);
+  Result<Dataset> dataset = MakeDataset(web);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // Entry labels carry the gold domain name before " | " (see RunCluster).
+  auto entry_domain = [&directory](int entry) {
+    const std::string& label =
+        directory->entries()[static_cast<size_t>(entry)].label;
+    return label.substr(0, label.find(" | "));
+  };
+
+  size_t correct = 0;
+  for (const DatasetEntry& e : dataset->entries) {
+    DatabaseDirectory::Classification verdict =
+        directory->ClassifyDocument(e.doc);
+    if (verdict.entry < 0) continue;
+    std::string gold(web::DomainName(
+        web::AllDomains()[static_cast<size_t>(e.gold)]));
+    if (entry_domain(verdict.entry) == gold) ++correct;
+  }
+  std::printf("classified %zu new sources, accuracy %.1f%%\n",
+              dataset->entries.size(),
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(dataset->entries.size()));
+  return 0;
+}
+
+int RunSearch(const FlagParser& flags) {
+  std::string dir_path = flags.GetString("dir");
+  if (dir_path.empty() || flags.positional().size() < 2) {
+    std::fprintf(stderr, "search requires --dir FILE and a query string\n");
+    return 2;
+  }
+  Result<DatabaseDirectory> directory =
+      DatabaseDirectory::LoadFromFile(dir_path);
+  if (!directory.ok()) {
+    std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
+    return 1;
+  }
+  std::string query;
+  for (size_t i = 1; i < flags.positional().size(); ++i) {
+    if (!query.empty()) query += ' ';
+    query += flags.positional()[i];
+  }
+  auto hits = directory->Search(
+      query, static_cast<size_t>(flags.GetInt("top", 5)));
+  if (hits.empty()) {
+    std::printf("no matching sections for \"%s\"\n", query.c_str());
+    return 0;
+  }
+  Table table({"score", "databases", "section"});
+  for (const auto& hit : hits) {
+    const DirectoryEntry& entry =
+        directory->entries()[static_cast<size_t>(hit.entry)];
+    char score[32];
+    std::snprintf(score, sizeof(score), "%.3f", hit.similarity);
+    table.AddRow({score, std::to_string(entry.member_urls.size()),
+                  entry.label});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int RunAdd(const FlagParser& flags) {
+  std::string dir_path = flags.GetString("dir");
+  if (dir_path.empty()) {
+    std::fprintf(stderr, "add requires --dir FILE\n");
+    return 2;
+  }
+  Result<DatabaseDirectory> directory =
+      DatabaseDirectory::LoadFromFile(dir_path);
+  if (!directory.ok()) {
+    std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 888));
+  int pages = static_cast<int>(flags.GetInt("pages", 40));
+  web::SyntheticWeb web = MakeWeb(seed, pages, -1);
+  Result<Dataset> dataset = MakeDataset(web);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::map<int, int> filed;
+  for (const DatasetEntry& e : dataset->entries) {
+    DatabaseDirectory::Classification verdict = directory->AddSource(e.doc);
+    if (verdict.entry >= 0) ++filed[verdict.entry];
+  }
+  for (const auto& [entry, count] : filed) {
+    std::printf("filed %3d new sources under [%s]\n", count,
+                directory->entries()[static_cast<size_t>(entry)]
+                    .label.c_str());
+  }
+  Status status = directory->SaveToFile(dir_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("directory updated: %s\n", dir_path.c_str());
+  return 0;
+}
+
+int RunLabels(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "labels requires an HTML file path\n");
+    return 2;
+  }
+  std::ifstream in(flags.positional()[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", flags.positional()[1].c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  html::Document doc = html::Parse(buffer.str());
+  Table table({"field name", "extracted label"});
+  for (const forms::LabeledField& field : forms::ExtractAllLabels(doc)) {
+    table.AddRow({field.field_name,
+                  field.label.empty() ? "(none)" : field.label});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.positional().empty()) return Usage();
+  const std::string& command = flags.positional()[0];
+  if (command == "stats") return RunStats(flags);
+  if (command == "cluster") return RunCluster(flags);
+  if (command == "classify") return RunClassify(flags);
+  if (command == "search") return RunSearch(flags);
+  if (command == "add") return RunAdd(flags);
+  if (command == "labels") return RunLabels(flags);
+  return Usage();
+}
