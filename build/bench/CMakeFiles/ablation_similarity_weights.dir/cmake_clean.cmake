@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_similarity_weights.dir/ablation_similarity_weights.cc.o"
+  "CMakeFiles/ablation_similarity_weights.dir/ablation_similarity_weights.cc.o.d"
+  "ablation_similarity_weights"
+  "ablation_similarity_weights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_similarity_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vector_pruning.dir/ablation_vector_pruning.cc.o"
+  "CMakeFiles/ablation_vector_pruning.dir/ablation_vector_pruning.cc.o.d"
+  "ablation_vector_pruning"
+  "ablation_vector_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vector_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

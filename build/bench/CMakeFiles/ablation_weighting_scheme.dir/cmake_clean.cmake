@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_weighting_scheme.dir/ablation_weighting_scheme.cc.o"
+  "CMakeFiles/ablation_weighting_scheme.dir/ablation_weighting_scheme.cc.o.d"
+  "ablation_weighting_scheme"
+  "ablation_weighting_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_weighting_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

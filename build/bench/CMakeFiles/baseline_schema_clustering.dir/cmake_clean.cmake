@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_schema_clustering.dir/baseline_schema_clustering.cc.o"
+  "CMakeFiles/baseline_schema_clustering.dir/baseline_schema_clustering.cc.o.d"
+  "baseline_schema_clustering"
+  "baseline_schema_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_schema_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc_bench_common.dir/common.cc.o"
+  "CMakeFiles/cafc_bench_common.dir/common.cc.o.d"
+  "libcafc_bench_common.a"
+  "libcafc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_anchor_text.dir/ext_anchor_text.cc.o"
+  "CMakeFiles/ext_anchor_text.dir/ext_anchor_text.cc.o.d"
+  "ext_anchor_text"
+  "ext_anchor_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_anchor_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_choose_k.dir/ext_choose_k.cc.o"
+  "CMakeFiles/ext_choose_k.dir/ext_choose_k.cc.o.d"
+  "ext_choose_k"
+  "ext_choose_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_choose_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_focused_crawler.dir/ext_focused_crawler.cc.o"
+  "CMakeFiles/ext_focused_crawler.dir/ext_focused_crawler.cc.o.d"
+  "ext_focused_crawler"
+  "ext_focused_crawler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_focused_crawler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

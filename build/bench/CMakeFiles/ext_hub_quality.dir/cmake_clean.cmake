@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_hub_quality.dir/ext_hub_quality.cc.o"
+  "CMakeFiles/ext_hub_quality.dir/ext_hub_quality.cc.o.d"
+  "ext_hub_quality"
+  "ext_hub_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_hub_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_content_spaces.dir/fig2_content_spaces.cc.o"
+  "CMakeFiles/fig2_content_spaces.dir/fig2_content_spaces.cc.o.d"
+  "fig2_content_spaces"
+  "fig2_content_spaces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_content_spaces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

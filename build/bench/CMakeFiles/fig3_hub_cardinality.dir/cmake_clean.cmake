@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_hub_cardinality.dir/fig3_hub_cardinality.cc.o"
+  "CMakeFiles/fig3_hub_cardinality.dir/fig3_hub_cardinality.cc.o.d"
+  "fig3_hub_cardinality"
+  "fig3_hub_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_hub_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

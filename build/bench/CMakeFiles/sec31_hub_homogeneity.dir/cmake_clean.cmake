@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec31_hub_homogeneity.dir/sec31_hub_homogeneity.cc.o"
+  "CMakeFiles/sec31_hub_homogeneity.dir/sec31_hub_homogeneity.cc.o.d"
+  "sec31_hub_homogeneity"
+  "sec31_hub_homogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec31_hub_homogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

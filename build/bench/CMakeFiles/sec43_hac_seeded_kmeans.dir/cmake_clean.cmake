@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_hac_seeded_kmeans.dir/sec43_hac_seeded_kmeans.cc.o"
+  "CMakeFiles/sec43_hac_seeded_kmeans.dir/sec43_hac_seeded_kmeans.cc.o.d"
+  "sec43_hac_seeded_kmeans"
+  "sec43_hac_seeded_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_hac_seeded_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec43_hac_seeded_kmeans.
+# This may be replaced when dependencies are built.

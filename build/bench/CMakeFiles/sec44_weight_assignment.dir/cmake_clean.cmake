@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_weight_assignment.dir/sec44_weight_assignment.cc.o"
+  "CMakeFiles/sec44_weight_assignment.dir/sec44_weight_assignment.cc.o.d"
+  "sec44_weight_assignment"
+  "sec44_weight_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_weight_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

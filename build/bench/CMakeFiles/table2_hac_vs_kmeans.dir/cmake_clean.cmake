@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hac_vs_kmeans.dir/table2_hac_vs_kmeans.cc.o"
+  "CMakeFiles/table2_hac_vs_kmeans.dir/table2_hac_vs_kmeans.cc.o.d"
+  "table2_hac_vs_kmeans"
+  "table2_hac_vs_kmeans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hac_vs_kmeans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table2_hac_vs_kmeans.
+# This may be replaced when dependencies are built.

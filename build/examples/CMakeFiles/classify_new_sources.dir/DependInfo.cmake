@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/classify_new_sources.cpp" "examples/CMakeFiles/classify_new_sources.dir/classify_new_sources.cpp.o" "gcc" "examples/CMakeFiles/classify_new_sources.dir/classify_new_sources.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cafc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/cafc_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/forms/CMakeFiles/cafc_forms.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/cafc_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsm/CMakeFiles/cafc_vsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cafc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cafc_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cafc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cafc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_new_sources.dir/classify_new_sources.cpp.o"
+  "CMakeFiles/classify_new_sources.dir/classify_new_sources.cpp.o.d"
+  "classify_new_sources"
+  "classify_new_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_new_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/form_inspector.dir/form_inspector.cpp.o"
+  "CMakeFiles/form_inspector.dir/form_inspector.cpp.o.d"
+  "form_inspector"
+  "form_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/form_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

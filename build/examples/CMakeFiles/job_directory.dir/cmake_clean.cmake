@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_directory.dir/job_directory.cpp.o"
+  "CMakeFiles/job_directory.dir/job_directory.cpp.o.d"
+  "job_directory"
+  "job_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

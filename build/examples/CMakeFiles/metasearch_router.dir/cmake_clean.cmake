@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metasearch_router.dir/metasearch_router.cpp.o"
+  "CMakeFiles/metasearch_router.dir/metasearch_router.cpp.o.d"
+  "metasearch_router"
+  "metasearch_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metasearch_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc_cluster.dir/hac.cc.o"
+  "CMakeFiles/cafc_cluster.dir/hac.cc.o.d"
+  "CMakeFiles/cafc_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/cafc_cluster.dir/kmeans.cc.o.d"
+  "libcafc_cluster.a"
+  "libcafc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

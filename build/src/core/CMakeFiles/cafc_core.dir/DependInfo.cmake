@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cafc.cc" "src/core/CMakeFiles/cafc_core.dir/cafc.cc.o" "gcc" "src/core/CMakeFiles/cafc_core.dir/cafc.cc.o.d"
+  "/root/repo/src/core/centroid_model.cc" "src/core/CMakeFiles/cafc_core.dir/centroid_model.cc.o" "gcc" "src/core/CMakeFiles/cafc_core.dir/centroid_model.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/cafc_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/cafc_core.dir/dataset.cc.o.d"
+  "/root/repo/src/core/directory.cc" "src/core/CMakeFiles/cafc_core.dir/directory.cc.o" "gcc" "src/core/CMakeFiles/cafc_core.dir/directory.cc.o.d"
+  "/root/repo/src/core/hub_clusters.cc" "src/core/CMakeFiles/cafc_core.dir/hub_clusters.cc.o" "gcc" "src/core/CMakeFiles/cafc_core.dir/hub_clusters.cc.o.d"
+  "/root/repo/src/core/hub_quality.cc" "src/core/CMakeFiles/cafc_core.dir/hub_quality.cc.o" "gcc" "src/core/CMakeFiles/cafc_core.dir/hub_quality.cc.o.d"
+  "/root/repo/src/core/schema_baseline.cc" "src/core/CMakeFiles/cafc_core.dir/schema_baseline.cc.o" "gcc" "src/core/CMakeFiles/cafc_core.dir/schema_baseline.cc.o.d"
+  "/root/repo/src/core/select_hub_clusters.cc" "src/core/CMakeFiles/cafc_core.dir/select_hub_clusters.cc.o" "gcc" "src/core/CMakeFiles/cafc_core.dir/select_hub_clusters.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/cafc_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/cafc_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/visualize.cc" "src/core/CMakeFiles/cafc_core.dir/visualize.cc.o" "gcc" "src/core/CMakeFiles/cafc_core.dir/visualize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cafc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/cafc_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cafc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsm/CMakeFiles/cafc_vsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/cafc_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/forms/CMakeFiles/cafc_forms.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cafc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cafc_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

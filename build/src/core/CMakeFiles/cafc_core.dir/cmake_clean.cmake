@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc_core.dir/cafc.cc.o"
+  "CMakeFiles/cafc_core.dir/cafc.cc.o.d"
+  "CMakeFiles/cafc_core.dir/centroid_model.cc.o"
+  "CMakeFiles/cafc_core.dir/centroid_model.cc.o.d"
+  "CMakeFiles/cafc_core.dir/dataset.cc.o"
+  "CMakeFiles/cafc_core.dir/dataset.cc.o.d"
+  "CMakeFiles/cafc_core.dir/directory.cc.o"
+  "CMakeFiles/cafc_core.dir/directory.cc.o.d"
+  "CMakeFiles/cafc_core.dir/hub_clusters.cc.o"
+  "CMakeFiles/cafc_core.dir/hub_clusters.cc.o.d"
+  "CMakeFiles/cafc_core.dir/hub_quality.cc.o"
+  "CMakeFiles/cafc_core.dir/hub_quality.cc.o.d"
+  "CMakeFiles/cafc_core.dir/schema_baseline.cc.o"
+  "CMakeFiles/cafc_core.dir/schema_baseline.cc.o.d"
+  "CMakeFiles/cafc_core.dir/select_hub_clusters.cc.o"
+  "CMakeFiles/cafc_core.dir/select_hub_clusters.cc.o.d"
+  "CMakeFiles/cafc_core.dir/similarity.cc.o"
+  "CMakeFiles/cafc_core.dir/similarity.cc.o.d"
+  "CMakeFiles/cafc_core.dir/visualize.cc.o"
+  "CMakeFiles/cafc_core.dir/visualize.cc.o.d"
+  "libcafc_core.a"
+  "libcafc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

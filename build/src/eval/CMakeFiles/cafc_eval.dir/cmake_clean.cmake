@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc_eval.dir/metrics.cc.o"
+  "CMakeFiles/cafc_eval.dir/metrics.cc.o.d"
+  "libcafc_eval.a"
+  "libcafc_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forms/form.cc" "src/forms/CMakeFiles/cafc_forms.dir/form.cc.o" "gcc" "src/forms/CMakeFiles/cafc_forms.dir/form.cc.o.d"
+  "/root/repo/src/forms/form_classifier.cc" "src/forms/CMakeFiles/cafc_forms.dir/form_classifier.cc.o" "gcc" "src/forms/CMakeFiles/cafc_forms.dir/form_classifier.cc.o.d"
+  "/root/repo/src/forms/form_extractor.cc" "src/forms/CMakeFiles/cafc_forms.dir/form_extractor.cc.o" "gcc" "src/forms/CMakeFiles/cafc_forms.dir/form_extractor.cc.o.d"
+  "/root/repo/src/forms/form_page_model.cc" "src/forms/CMakeFiles/cafc_forms.dir/form_page_model.cc.o" "gcc" "src/forms/CMakeFiles/cafc_forms.dir/form_page_model.cc.o.d"
+  "/root/repo/src/forms/label_extractor.cc" "src/forms/CMakeFiles/cafc_forms.dir/label_extractor.cc.o" "gcc" "src/forms/CMakeFiles/cafc_forms.dir/label_extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cafc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/cafc_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cafc_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/vsm/CMakeFiles/cafc_vsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc_forms.dir/form.cc.o"
+  "CMakeFiles/cafc_forms.dir/form.cc.o.d"
+  "CMakeFiles/cafc_forms.dir/form_classifier.cc.o"
+  "CMakeFiles/cafc_forms.dir/form_classifier.cc.o.d"
+  "CMakeFiles/cafc_forms.dir/form_extractor.cc.o"
+  "CMakeFiles/cafc_forms.dir/form_extractor.cc.o.d"
+  "CMakeFiles/cafc_forms.dir/form_page_model.cc.o"
+  "CMakeFiles/cafc_forms.dir/form_page_model.cc.o.d"
+  "CMakeFiles/cafc_forms.dir/label_extractor.cc.o"
+  "CMakeFiles/cafc_forms.dir/label_extractor.cc.o.d"
+  "libcafc_forms.a"
+  "libcafc_forms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc_forms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

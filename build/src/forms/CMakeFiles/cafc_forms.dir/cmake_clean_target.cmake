@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcafc_forms.a"
+)

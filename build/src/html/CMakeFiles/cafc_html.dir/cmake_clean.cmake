@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc_html.dir/dom.cc.o"
+  "CMakeFiles/cafc_html.dir/dom.cc.o.d"
+  "CMakeFiles/cafc_html.dir/entities.cc.o"
+  "CMakeFiles/cafc_html.dir/entities.cc.o.d"
+  "CMakeFiles/cafc_html.dir/tokenizer.cc.o"
+  "CMakeFiles/cafc_html.dir/tokenizer.cc.o.d"
+  "libcafc_html.a"
+  "libcafc_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc_text.dir/analyzer.cc.o"
+  "CMakeFiles/cafc_text.dir/analyzer.cc.o.d"
+  "CMakeFiles/cafc_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/cafc_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/cafc_text.dir/stopwords.cc.o"
+  "CMakeFiles/cafc_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/cafc_text.dir/word_tokenizer.cc.o"
+  "CMakeFiles/cafc_text.dir/word_tokenizer.cc.o.d"
+  "libcafc_text.a"
+  "libcafc_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

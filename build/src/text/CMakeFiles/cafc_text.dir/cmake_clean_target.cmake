@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcafc_text.a"
+)

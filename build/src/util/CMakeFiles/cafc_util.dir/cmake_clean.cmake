@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc_util.dir/flags.cc.o"
+  "CMakeFiles/cafc_util.dir/flags.cc.o.d"
+  "CMakeFiles/cafc_util.dir/rng.cc.o"
+  "CMakeFiles/cafc_util.dir/rng.cc.o.d"
+  "CMakeFiles/cafc_util.dir/status.cc.o"
+  "CMakeFiles/cafc_util.dir/status.cc.o.d"
+  "CMakeFiles/cafc_util.dir/string_util.cc.o"
+  "CMakeFiles/cafc_util.dir/string_util.cc.o.d"
+  "CMakeFiles/cafc_util.dir/table.cc.o"
+  "CMakeFiles/cafc_util.dir/table.cc.o.d"
+  "libcafc_util.a"
+  "libcafc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

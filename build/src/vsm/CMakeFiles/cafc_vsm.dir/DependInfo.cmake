@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vsm/sparse_vector.cc" "src/vsm/CMakeFiles/cafc_vsm.dir/sparse_vector.cc.o" "gcc" "src/vsm/CMakeFiles/cafc_vsm.dir/sparse_vector.cc.o.d"
+  "/root/repo/src/vsm/term_dictionary.cc" "src/vsm/CMakeFiles/cafc_vsm.dir/term_dictionary.cc.o" "gcc" "src/vsm/CMakeFiles/cafc_vsm.dir/term_dictionary.cc.o.d"
+  "/root/repo/src/vsm/weighting.cc" "src/vsm/CMakeFiles/cafc_vsm.dir/weighting.cc.o" "gcc" "src/vsm/CMakeFiles/cafc_vsm.dir/weighting.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cafc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cafc_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc_vsm.dir/sparse_vector.cc.o"
+  "CMakeFiles/cafc_vsm.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/cafc_vsm.dir/term_dictionary.cc.o"
+  "CMakeFiles/cafc_vsm.dir/term_dictionary.cc.o.d"
+  "CMakeFiles/cafc_vsm.dir/weighting.cc.o"
+  "CMakeFiles/cafc_vsm.dir/weighting.cc.o.d"
+  "libcafc_vsm.a"
+  "libcafc_vsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc_vsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

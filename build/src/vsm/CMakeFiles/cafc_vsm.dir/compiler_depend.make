@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cafc_vsm.
+# This may be replaced when dependencies are built.

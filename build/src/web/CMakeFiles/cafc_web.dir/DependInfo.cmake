@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/backlink_index.cc" "src/web/CMakeFiles/cafc_web.dir/backlink_index.cc.o" "gcc" "src/web/CMakeFiles/cafc_web.dir/backlink_index.cc.o.d"
+  "/root/repo/src/web/crawler.cc" "src/web/CMakeFiles/cafc_web.dir/crawler.cc.o" "gcc" "src/web/CMakeFiles/cafc_web.dir/crawler.cc.o.d"
+  "/root/repo/src/web/domain_vocab.cc" "src/web/CMakeFiles/cafc_web.dir/domain_vocab.cc.o" "gcc" "src/web/CMakeFiles/cafc_web.dir/domain_vocab.cc.o.d"
+  "/root/repo/src/web/focused_crawler.cc" "src/web/CMakeFiles/cafc_web.dir/focused_crawler.cc.o" "gcc" "src/web/CMakeFiles/cafc_web.dir/focused_crawler.cc.o.d"
+  "/root/repo/src/web/link_graph.cc" "src/web/CMakeFiles/cafc_web.dir/link_graph.cc.o" "gcc" "src/web/CMakeFiles/cafc_web.dir/link_graph.cc.o.d"
+  "/root/repo/src/web/synthesizer.cc" "src/web/CMakeFiles/cafc_web.dir/synthesizer.cc.o" "gcc" "src/web/CMakeFiles/cafc_web.dir/synthesizer.cc.o.d"
+  "/root/repo/src/web/url.cc" "src/web/CMakeFiles/cafc_web.dir/url.cc.o" "gcc" "src/web/CMakeFiles/cafc_web.dir/url.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cafc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/cafc_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cafc_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

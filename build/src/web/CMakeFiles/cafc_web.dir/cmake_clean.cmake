@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc_web.dir/backlink_index.cc.o"
+  "CMakeFiles/cafc_web.dir/backlink_index.cc.o.d"
+  "CMakeFiles/cafc_web.dir/crawler.cc.o"
+  "CMakeFiles/cafc_web.dir/crawler.cc.o.d"
+  "CMakeFiles/cafc_web.dir/domain_vocab.cc.o"
+  "CMakeFiles/cafc_web.dir/domain_vocab.cc.o.d"
+  "CMakeFiles/cafc_web.dir/focused_crawler.cc.o"
+  "CMakeFiles/cafc_web.dir/focused_crawler.cc.o.d"
+  "CMakeFiles/cafc_web.dir/link_graph.cc.o"
+  "CMakeFiles/cafc_web.dir/link_graph.cc.o.d"
+  "CMakeFiles/cafc_web.dir/synthesizer.cc.o"
+  "CMakeFiles/cafc_web.dir/synthesizer.cc.o.d"
+  "CMakeFiles/cafc_web.dir/url.cc.o"
+  "CMakeFiles/cafc_web.dir/url.cc.o.d"
+  "libcafc_web.a"
+  "libcafc_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_hac_test.dir/cluster_hac_test.cc.o"
+  "CMakeFiles/cluster_hac_test.dir/cluster_hac_test.cc.o.d"
+  "cluster_hac_test"
+  "cluster_hac_test.pdb"
+  "cluster_hac_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_hac_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

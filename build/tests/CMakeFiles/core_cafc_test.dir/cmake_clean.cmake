@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cafc_test.dir/core_cafc_test.cc.o"
+  "CMakeFiles/core_cafc_test.dir/core_cafc_test.cc.o.d"
+  "core_cafc_test"
+  "core_cafc_test.pdb"
+  "core_cafc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cafc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

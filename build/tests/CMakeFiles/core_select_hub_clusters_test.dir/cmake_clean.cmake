@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_select_hub_clusters_test.dir/core_select_hub_clusters_test.cc.o"
+  "CMakeFiles/core_select_hub_clusters_test.dir/core_select_hub_clusters_test.cc.o.d"
+  "core_select_hub_clusters_test"
+  "core_select_hub_clusters_test.pdb"
+  "core_select_hub_clusters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_select_hub_clusters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

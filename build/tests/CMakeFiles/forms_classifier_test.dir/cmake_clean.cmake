@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forms_classifier_test.dir/forms_classifier_test.cc.o"
+  "CMakeFiles/forms_classifier_test.dir/forms_classifier_test.cc.o.d"
+  "forms_classifier_test"
+  "forms_classifier_test.pdb"
+  "forms_classifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forms_classifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forms_extractor_test.dir/forms_extractor_test.cc.o"
+  "CMakeFiles/forms_extractor_test.dir/forms_extractor_test.cc.o.d"
+  "forms_extractor_test"
+  "forms_extractor_test.pdb"
+  "forms_extractor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forms_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forms_form_test.dir/forms_form_test.cc.o"
+  "CMakeFiles/forms_form_test.dir/forms_form_test.cc.o.d"
+  "forms_form_test"
+  "forms_form_test.pdb"
+  "forms_form_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forms_form_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forms_model_test.dir/forms_model_test.cc.o"
+  "CMakeFiles/forms_model_test.dir/forms_model_test.cc.o.d"
+  "forms_model_test"
+  "forms_model_test.pdb"
+  "forms_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forms_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_dom_test.dir/html_dom_test.cc.o"
+  "CMakeFiles/html_dom_test.dir/html_dom_test.cc.o.d"
+  "html_dom_test"
+  "html_dom_test.pdb"
+  "html_dom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_dom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_entities_test.dir/html_entities_test.cc.o"
+  "CMakeFiles/html_entities_test.dir/html_entities_test.cc.o.d"
+  "html_entities_test"
+  "html_entities_test.pdb"
+  "html_entities_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_entities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/html_soup_property_test.dir/html_soup_property_test.cc.o"
+  "CMakeFiles/html_soup_property_test.dir/html_soup_property_test.cc.o.d"
+  "html_soup_property_test"
+  "html_soup_property_test.pdb"
+  "html_soup_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/html_soup_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_porter_stemmer_test.dir/text_porter_stemmer_test.cc.o"
+  "CMakeFiles/text_porter_stemmer_test.dir/text_porter_stemmer_test.cc.o.d"
+  "text_porter_stemmer_test"
+  "text_porter_stemmer_test.pdb"
+  "text_porter_stemmer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_porter_stemmer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

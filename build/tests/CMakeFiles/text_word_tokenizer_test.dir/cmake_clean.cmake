@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_word_tokenizer_test.dir/text_word_tokenizer_test.cc.o"
+  "CMakeFiles/text_word_tokenizer_test.dir/text_word_tokenizer_test.cc.o.d"
+  "text_word_tokenizer_test"
+  "text_word_tokenizer_test.pdb"
+  "text_word_tokenizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_word_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsm_sparse_vector_test.dir/vsm_sparse_vector_test.cc.o"
+  "CMakeFiles/vsm_sparse_vector_test.dir/vsm_sparse_vector_test.cc.o.d"
+  "vsm_sparse_vector_test"
+  "vsm_sparse_vector_test.pdb"
+  "vsm_sparse_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsm_sparse_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

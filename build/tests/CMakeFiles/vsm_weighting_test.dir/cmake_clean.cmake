@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsm_weighting_test.dir/vsm_weighting_test.cc.o"
+  "CMakeFiles/vsm_weighting_test.dir/vsm_weighting_test.cc.o.d"
+  "vsm_weighting_test"
+  "vsm_weighting_test.pdb"
+  "vsm_weighting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsm_weighting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_backlink_index_test.dir/web_backlink_index_test.cc.o"
+  "CMakeFiles/web_backlink_index_test.dir/web_backlink_index_test.cc.o.d"
+  "web_backlink_index_test"
+  "web_backlink_index_test.pdb"
+  "web_backlink_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_backlink_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

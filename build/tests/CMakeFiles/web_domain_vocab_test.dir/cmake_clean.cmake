@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_domain_vocab_test.dir/web_domain_vocab_test.cc.o"
+  "CMakeFiles/web_domain_vocab_test.dir/web_domain_vocab_test.cc.o.d"
+  "web_domain_vocab_test"
+  "web_domain_vocab_test.pdb"
+  "web_domain_vocab_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_domain_vocab_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

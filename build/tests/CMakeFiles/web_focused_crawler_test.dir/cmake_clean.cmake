@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_focused_crawler_test.dir/web_focused_crawler_test.cc.o"
+  "CMakeFiles/web_focused_crawler_test.dir/web_focused_crawler_test.cc.o.d"
+  "web_focused_crawler_test"
+  "web_focused_crawler_test.pdb"
+  "web_focused_crawler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_focused_crawler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

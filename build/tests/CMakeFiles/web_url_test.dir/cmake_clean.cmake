@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_url_test.dir/web_url_test.cc.o"
+  "CMakeFiles/web_url_test.dir/web_url_test.cc.o.d"
+  "web_url_test"
+  "web_url_test.pdb"
+  "web_url_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_url_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

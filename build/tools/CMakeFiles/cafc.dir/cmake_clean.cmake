@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cafc.dir/cafc_cli.cc.o"
+  "CMakeFiles/cafc.dir/cafc_cli.cc.o.d"
+  "cafc"
+  "cafc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cafc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

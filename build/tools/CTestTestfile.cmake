@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_stats_smoke "/root/repo/build/tools/cafc" "stats" "--seed" "3" "--pages" "48")
+set_tests_properties(cli_stats_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_cluster_save_smoke "/root/repo/build/tools/cafc" "cluster" "--seed" "3" "--pages" "48" "--min-cardinality" "4" "--save" "/root/repo/build/cli_smoke_dir.cafc")
+set_tests_properties(cli_cluster_save_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_classify_smoke "/root/repo/build/tools/cafc" "classify" "--dir" "/root/repo/build/cli_smoke_dir.cafc" "--seed" "4" "--pages" "32")
+set_tests_properties(cli_classify_smoke PROPERTIES  DEPENDS "cli_cluster_save_smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_search_smoke "/root/repo/build/tools/cafc" "search" "--dir" "/root/repo/build/cli_smoke_dir.cafc" "job career resume")
+set_tests_properties(cli_search_smoke PROPERTIES  DEPENDS "cli_cluster_save_smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dot_smoke "/root/repo/build/tools/cafc" "cluster" "--seed" "3" "--pages" "48" "--min-cardinality" "4" "--dot" "/root/repo/build/cli_smoke_clusters.dot")
+set_tests_properties(cli_dot_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_add_smoke "/root/repo/build/tools/cafc" "add" "--dir" "/root/repo/build/cli_smoke_dir.cafc" "--seed" "5" "--pages" "24")
+set_tests_properties(cli_add_smoke PROPERTIES  DEPENDS "cli_cluster_save_smoke" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/cafc")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
