@@ -1,12 +1,26 @@
 // Scalability check for the paper's claim that CAFC "is scalable [and]
-// requires no manual pre-processing": sweep the corpus size and measure
-// end-to-end wall time of each pipeline stage plus CAFC-CH quality.
+// requires no manual pre-processing": sweep the corpus size and, at each
+// size, the thread count, measuring per-stage wall time (crawl+extract,
+// hub-cluster generation, seed selection, k-means) plus CAFC-CH quality.
+//
+// Besides the human-readable table, the sweep is emitted as
+// BENCH_scaling.json (see docs/performance.md for the schema) so the perf
+// trajectory is machine-trackable across commits. Clustering output is
+// bit-identical across thread counts, so the entropy / f-measure columns
+// must not vary with threads — the bench verifies that and fails loudly
+// if they do.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "bench/common.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -19,11 +33,128 @@ double MsSince(Clock::time_point start) {
       .count();
 }
 
+struct ThreadRun {
+  int threads = 1;
+  double hub_ms = 0.0;     // hub-cluster generation + cardinality filter
+  double select_ms = 0.0;  // Algorithm 3 seed selection
+  double kmeans_ms = 0.0;  // content k-means from the hub seeds
+  double total_ms = 0.0;
+  Quality quality;
+};
+
+struct CorpusPoint {
+  int form_pages_requested = 0;
+  size_t form_pages = 0;
+  size_t web_pages = 0;
+  double extract_ms = 0.0;  // crawl + classify + model build (serial stage)
+  std::vector<ThreadRun> runs;
+};
+
+/// The thread counts to sweep: {1, 2, 4, hardware}, deduplicated and
+/// capped at hardware concurrency (running 4 lanes on a 2-core box would
+/// only measure oversubscription noise).
+std::vector<int> ThreadSweep() {
+  int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> sweep;
+  for (int t : {1, 2, 4, hw}) {
+    if (t <= hw && std::find(sweep.begin(), sweep.end(), t) == sweep.end()) {
+      sweep.push_back(t);
+    }
+  }
+  std::sort(sweep.begin(), sweep.end());
+  return sweep;
+}
+
+/// CAFC-CH staged so each phase can be timed separately; mirrors CafcCh().
+/// The resulting clustering lands in `*clustering`.
+ThreadRun TimedCafcCh(const FormPageSet& pages, int k,
+                      const CafcChOptions& options, int threads,
+                      cluster::Clustering* clustering) {
+  ThreadRun run;
+  run.threads = threads;
+  CafcOptions cafc = options.cafc;
+  cafc.threads = threads;
+
+  Clock::time_point start = Clock::now();
+  std::vector<HubCluster> hubs = FilterByCardinality(
+      GenerateHubClusters(pages), options.min_hub_cardinality);
+  run.hub_ms = MsSince(start);
+
+  start = Clock::now();
+  SelectHubClustersOptions select_options;
+  select_options.content = cafc.content;
+  select_options.weights = cafc.weights;
+  select_options.threads = threads;
+  std::vector<HubCluster> seeds = SelectHubClusters(pages, hubs, k,
+                                                    select_options);
+  run.select_ms = MsSince(start);
+
+  std::vector<std::vector<size_t>> seed_members;
+  seed_members.reserve(seeds.size());
+  for (const HubCluster& s : seeds) seed_members.push_back(s.members);
+
+  start = Clock::now();
+  *clustering = CafcCWithSeeds(pages, seed_members, cafc);
+  run.kmeans_ms = MsSince(start);
+
+  run.total_ms = run.hub_ms + run.select_ms + run.kmeans_ms;
+  return run;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void WriteJson(const std::string& path, int hardware,
+               const std::vector<CorpusPoint>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"ext_scaling\",\n";
+  out << "  \"hardware_concurrency\": " << hardware << ",\n";
+  out << "  \"corpus\": [\n";
+  for (size_t p = 0; p < points.size(); ++p) {
+    const CorpusPoint& cp = points[p];
+    out << "    {\n";
+    out << "      \"form_pages\": " << cp.form_pages << ",\n";
+    out << "      \"web_pages\": " << cp.web_pages << ",\n";
+    out << "      \"extract_ms\": " << JsonNumber(cp.extract_ms)
+        << ",\n";
+    out << "      \"runs\": [\n";
+    for (size_t r = 0; r < cp.runs.size(); ++r) {
+      const ThreadRun& run = cp.runs[r];
+      out << "        {\"threads\": " << run.threads
+          << ", \"hub_ms\": " << JsonNumber(run.hub_ms)
+          << ", \"select_ms\": " << JsonNumber(run.select_ms)
+          << ", \"kmeans_ms\": " << JsonNumber(run.kmeans_ms)
+          << ", \"cluster_ms\": " << JsonNumber(run.total_ms)
+          << ", \"entropy\": " << JsonNumber(run.quality.entropy)
+          << ", \"f_measure\": " << JsonNumber(run.quality.f_measure)
+          << "}" << (r + 1 < cp.runs.size() ? "," : "") << "\n";
+    }
+    out << "      ]\n";
+    out << "    }" << (p + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
 }  // namespace
 
 int main() {
-  Table table({"form pages", "web pages", "crawl+extract (ms)",
-               "cluster (ms)", "entropy", "f-measure"});
+  const std::vector<int> sweep = ThreadSweep();
+  const int hardware = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<CorpusPoint> points;
+  bool quality_consistent = true;
+
+  Table table({"form pages", "web pages", "threads", "crawl+extract (ms)",
+               "hub (ms)", "select (ms)", "kmeans (ms)", "cluster (ms)",
+               "entropy", "f-measure"});
 
   for (int form_pages : {113, 227, 454, 908, 1816}) {
     web::SynthesizerConfig config;
@@ -48,27 +179,52 @@ int main() {
       return 1;
     }
     FormPageSet pages = BuildFormPageSet(*dataset);
-    double extract_ms = MsSince(start);
 
-    start = Clock::now();
-    CafcChOptions options;
-    cluster::Clustering clustering =
-        CafcCh(pages, web::kNumDomains, options);
-    double cluster_ms = MsSince(start);
+    CorpusPoint point;
+    point.form_pages_requested = form_pages;
+    point.form_pages = dataset->entries.size();
+    point.web_pages = web.pages().size();
+    point.extract_ms = MsSince(start);
 
-    eval::ContingencyTable t(dataset->GoldLabels(), dataset->num_classes,
-                             clustering);
-    table.AddRow({std::to_string(dataset->entries.size()),
-                  std::to_string(web.pages().size()),
-                  Fmt(extract_ms, 0), Fmt(cluster_ms, 0),
-                  Fmt(eval::TotalEntropy(t)),
-                  Fmt(eval::OverallFMeasure(t))});
+    for (int threads : sweep) {
+      CafcChOptions options;
+      cluster::Clustering clustering;
+      ThreadRun run = TimedCafcCh(pages, web::kNumDomains, options, threads,
+                                  &clustering);
+      eval::ContingencyTable t(dataset->GoldLabels(), dataset->num_classes,
+                               clustering);
+      run.quality = Quality{eval::TotalEntropy(t), eval::OverallFMeasure(t)};
+      if (!point.runs.empty() &&
+          (point.runs.front().quality.entropy != run.quality.entropy ||
+           point.runs.front().quality.f_measure != run.quality.f_measure)) {
+        quality_consistent = false;
+      }
+      table.AddRow({std::to_string(point.form_pages),
+                    std::to_string(point.web_pages),
+                    std::to_string(threads), Fmt(point.extract_ms, 0),
+                    Fmt(run.hub_ms, 0), Fmt(run.select_ms, 0),
+                    Fmt(run.kmeans_ms, 0), Fmt(run.total_ms, 0),
+                    Fmt(run.quality.entropy), Fmt(run.quality.f_measure)});
+      point.runs.push_back(run);
+    }
+    points.push_back(std::move(point));
   }
 
-  std::printf("=== Scaling: corpus size sweep ===\n%s",
+  std::printf("=== Scaling: corpus size x thread count sweep ===\n%s",
               table.ToString().c_str());
   std::printf(
-      "expected shape: near-linear crawl/extract cost, quality stable as "
-      "the corpus grows (the pipeline has no manual steps to amortize)\n");
+      "expected shape: near-linear crawl/extract cost, cluster (ms) "
+      "shrinking with threads at fixed quality (entropy / f-measure are "
+      "thread-count invariant by construction)\n");
+
+  WriteJson("BENCH_scaling.json", hardware, points);
+  std::printf("machine-readable sweep written to BENCH_scaling.json\n");
+
+  if (!quality_consistent) {
+    std::fprintf(stderr,
+                 "FAIL: quality varied across thread counts — the "
+                 "deterministic-partitioning contract is broken\n");
+    return 1;
+  }
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "util/thread_pool.h"
+
 namespace cafc::cluster {
 namespace {
 
@@ -94,12 +96,18 @@ HacResult Hac(size_t num_points, const SimilarityFn& similarity, int k,
   std::vector<std::vector<double>> sim(num_points,
                                        std::vector<double>(num_points, 0.0));
   std::vector<std::vector<size_t>> members(num_points);
-  for (size_t i = 0; i < num_points; ++i) {
-    members[i] = {i};
-    for (size_t j = i + 1; j < num_points; ++j) {
-      sim[i][j] = sim[j][i] = similarity(i, j);
+  for (size_t i = 0; i < num_points; ++i) members[i] = {i};
+  // Upper-triangular matrix build — the O(n^2) hot loop. Row i fills
+  // sim[i][j] and its mirror sim[j][i] for j > i only, so no two rows
+  // touch the same cell and the parallel build is race-free and
+  // bit-identical to the serial one.
+  util::ParallelFor(0, num_points, 1, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      for (size_t j = i + 1; j < num_points; ++j) {
+        sim[i][j] = sim[j][i] = similarity(i, j);
+      }
     }
-  }
+  });
   return RunAgglomeration(std::move(sim), std::move(members), num_points, k,
                           linkage);
 }
@@ -135,39 +143,42 @@ HacResult HacFromGroups(size_t num_points, const SimilarityFn& similarity,
 
   const size_t g = members.size();
   std::vector<std::vector<double>> sim(g, std::vector<double>(g, 0.0));
-  for (size_t a = 0; a < g; ++a) {
-    for (size_t b = a + 1; b < g; ++b) {
-      double combined;
-      bool first = true;
-      combined = 0.0;
-      double sum = 0.0;
-      double best_max = -std::numeric_limits<double>::infinity();
-      double best_min = std::numeric_limits<double>::infinity();
-      for (size_t pa : members[a]) {
-        for (size_t pb : members[b]) {
-          double s = similarity(pa, pb);
-          sum += s;
-          best_max = std::max(best_max, s);
-          best_min = std::min(best_min, s);
-          first = false;
+  // Same row-parallel upper-triangular build as Hac(): row a owns
+  // sim[a][b] / sim[b][a] for b > a, so rows never collide.
+  util::ParallelFor(0, g, 1, [&](size_t row_begin, size_t row_end) {
+    for (size_t a = row_begin; a < row_end; ++a) {
+      for (size_t b = a + 1; b < g; ++b) {
+        bool first = true;
+        double combined = 0.0;
+        double sum = 0.0;
+        double best_max = -std::numeric_limits<double>::infinity();
+        double best_min = std::numeric_limits<double>::infinity();
+        for (size_t pa : members[a]) {
+          for (size_t pb : members[b]) {
+            double s = similarity(pa, pb);
+            sum += s;
+            best_max = std::max(best_max, s);
+            best_min = std::min(best_min, s);
+            first = false;
+          }
         }
+        if (first) continue;
+        switch (linkage) {
+          case Linkage::kSingle:
+            combined = best_max;
+            break;
+          case Linkage::kComplete:
+            combined = best_min;
+            break;
+          case Linkage::kAverage:
+            combined = sum / static_cast<double>(members[a].size() *
+                                                 members[b].size());
+            break;
+        }
+        sim[a][b] = sim[b][a] = combined;
       }
-      if (first) continue;
-      switch (linkage) {
-        case Linkage::kSingle:
-          combined = best_max;
-          break;
-        case Linkage::kComplete:
-          combined = best_min;
-          break;
-        case Linkage::kAverage:
-          combined = sum / static_cast<double>(members[a].size() *
-                                               members[b].size());
-          break;
-      }
-      sim[a][b] = sim[b][a] = combined;
     }
-  }
+  });
   return RunAgglomeration(std::move(sim), std::move(members), num_points, k,
                           linkage);
 }

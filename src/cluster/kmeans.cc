@@ -1,9 +1,20 @@
 #include "cluster/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace cafc::cluster {
+namespace {
+
+/// Points per ParallelFor chunk in the assignment scan. Fixed (thread-count
+/// independent) so the chunk boundaries — and therefore the result — are
+/// identical at any parallelism level.
+constexpr size_t kAssignGrain = 32;
+
+}  // namespace
 
 Clustering KMeans(CentroidModel* model,
                   const std::vector<std::vector<size_t>>& seed_clusters,
@@ -24,29 +35,45 @@ Clustering KMeans(CentroidModel* model,
   KMeansStats local_stats;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++local_stats.iterations;
-    size_t moved = 0;
     // Assign every point to the most similar centroid; ties break toward
-    // the lowest cluster index (deterministic).
-    for (size_t i = 0; i < n; ++i) {
-      int best = 0;
-      double best_sim = model->Similarity(i, 0);
-      for (int c = 1; c < k; ++c) {
-        double sim = model->Similarity(i, c);
-        if (sim > best_sim) {
-          best_sim = sim;
-          best = c;
+    // the lowest cluster index (deterministic). The scan is the dominant
+    // O(n * k * vector size) cost, parallelized over disjoint point
+    // ranges: each chunk writes only its own assignment slots, so the
+    // result is bit-identical to the serial scan at any thread count
+    // (`moved` is an integer sum — order-independent).
+    std::atomic<size_t> moved{0};
+    util::ParallelFor(0, n, kAssignGrain, [&](size_t chunk_begin,
+                                              size_t chunk_end) {
+      size_t chunk_moved = 0;
+      for (size_t i = chunk_begin; i < chunk_end; ++i) {
+        int best = 0;
+        double best_sim = model->Similarity(i, 0);
+        for (int c = 1; c < k; ++c) {
+          double sim = model->Similarity(i, c);
+          if (sim > best_sim) {
+            best_sim = sim;
+            best = c;
+          }
+        }
+        if (result.assignment[i] != best) {
+          result.assignment[i] = best;
+          ++chunk_moved;
         }
       }
-      if (result.assignment[i] != best) {
-        result.assignment[i] = best;
-        ++moved;
-      }
+      moved.fetch_add(chunk_moved, std::memory_order_relaxed);
+    });
+    // Recompute centroids from the fresh assignment (one membership pass
+    // instead of k O(n) Members() scans). Serial: CentroidModel
+    // implementations are only required to tolerate concurrent
+    // *Similarity* calls, not concurrent centroid mutation.
+    std::vector<std::vector<size_t>> members(static_cast<size_t>(k));
+    for (size_t i = 0; i < n; ++i) {
+      members[static_cast<size_t>(result.assignment[i])].push_back(i);
     }
-    // Recompute centroids from the fresh assignment.
     for (int c = 0; c < k; ++c) {
-      model->RecomputeCentroid(c, result.Members(c));
+      model->RecomputeCentroid(c, members[static_cast<size_t>(c)]);
     }
-    if (static_cast<double>(moved) <
+    if (static_cast<double>(moved.load()) <
         options.movement_stop_fraction * static_cast<double>(n)) {
       local_stats.converged = true;
       break;

@@ -21,7 +21,9 @@ class CentroidModel {
   virtual int num_clusters() const = 0;
 
   /// Similarity of `point` to the current centroid of `cluster`
-  /// (higher = closer).
+  /// (higher = closer). The assignment scan calls this concurrently from
+  /// multiple threads, so implementations must be safe for parallel
+  /// const calls (pure reads of point/centroid state qualify).
   virtual double Similarity(size_t point, int cluster) const = 0;
 
   /// Rebuilds the centroid of `cluster` as the mean of `members` (Eq. 4).

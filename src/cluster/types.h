@@ -36,6 +36,11 @@ struct Clustering {
 /// Pairwise similarity oracle over points 0..n-1. Higher = more similar.
 /// Both k-means and HAC are written against this abstraction so the CAFC
 /// layer can plug in the Eq. 3 combined form-page similarity.
+///
+/// HAC evaluates the oracle concurrently while building its similarity
+/// matrix, so the callable must be safe to invoke from multiple threads
+/// (stateless lambdas over read-only data — every oracle in this repo —
+/// qualify; memoizing wrappers need their own synchronization).
 using SimilarityFn = std::function<double(size_t, size_t)>;
 
 }  // namespace cafc::cluster

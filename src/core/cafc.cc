@@ -1,6 +1,7 @@
 #include "core/cafc.h"
 
 #include "core/centroid_model.h"
+#include "util/thread_pool.h"
 
 namespace cafc {
 namespace {
@@ -19,6 +20,7 @@ cluster::Clustering CafcCWithSeeds(
     const FormPageSet& pages,
     const std::vector<std::vector<size_t>>& seed_clusters,
     const CafcOptions& options, cluster::KMeansStats* stats) {
+  util::ScopedThreads threads(options.threads);
   FormPageCentroidModel model(&pages, static_cast<int>(seed_clusters.size()),
                               options.content, options.weights);
   return cluster::KMeans(&model, seed_clusters, options.kmeans, stats);
@@ -43,6 +45,7 @@ cluster::Clustering CafcCh(const FormPageSet& pages, int k,
   SelectHubClustersOptions select_options;
   select_options.content = options.cafc.content;
   select_options.weights = options.cafc.weights;
+  select_options.threads = options.cafc.threads;
   std::vector<HubCluster> seeds =
       SelectHubClusters(pages, kept, k, select_options);
 
@@ -169,6 +172,7 @@ cluster::Clustering CafcBisecting(const FormPageSet& pages, int k,
 cluster::Clustering CafcHac(const FormPageSet& pages, int k,
                             const CafcOptions& options,
                             cluster::Linkage linkage) {
+  util::ScopedThreads threads(options.threads);
   return cluster::Hac(pages.size(), PairwiseSimilarity(pages, options), k,
                       linkage)
       .clustering;
@@ -178,6 +182,7 @@ cluster::Clustering CafcHacWithSeeds(
     const FormPageSet& pages,
     const std::vector<std::vector<size_t>>& seed_clusters, int k,
     const CafcOptions& options, cluster::Linkage linkage) {
+  util::ScopedThreads threads(options.threads);
   return cluster::HacFromGroups(pages.size(),
                                 PairwiseSimilarity(pages, options),
                                 seed_clusters, k, linkage)

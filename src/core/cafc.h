@@ -17,6 +17,11 @@ struct CafcOptions {
   ContentConfig content = ContentConfig::kFcPlusPc;
   SimilarityWeights weights;  ///< Eq. 3 C1/C2; the paper uses 1/1
   cluster::KMeansOptions kmeans;
+  /// Worker threads for the parallel clustering loops. 0 = the process
+  /// default (`CAFC_THREADS` env var, else hardware concurrency); 1 =
+  /// strictly serial. Results are bit-identical at any setting — this
+  /// only trades wall clock (see docs/performance.md).
+  int threads = 0;
 };
 
 /// \brief CAFC-C (Algorithm 1): k-means over the form-page model with

@@ -1,5 +1,6 @@
 #include "core/centroid_model.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace cafc {
@@ -26,8 +27,32 @@ double FormPageCentroidModel::Similarity(size_t point, int cluster) const {
 void FormPageCentroidModel::RecomputeCentroid(
     int cluster, const std::vector<size_t>& members) {
   if (members.empty()) return;  // keep previous centroid
-  centroids_[static_cast<size_t>(cluster)] =
-      ComputeCentroid(pages_->pages(), members);
+  // Dense-accumulator path: the shared dictionary bounds every TermId, so
+  // both spaces scatter straight into a dictionary-sized array instead of
+  // paying repeated sparse merges (the k-means recompute hot path).
+  std::vector<const vsm::SparseVector*> pcs;
+  std::vector<const vsm::SparseVector*> fcs;
+  pcs.reserve(members.size());
+  fcs.reserve(members.size());
+  for (size_t m : members) {
+    pcs.push_back(&pages_->page(m).pc);
+    fcs.push_back(&pages_->page(m).fc);
+  }
+  // The dictionary normally bounds every TermId; vectors with ids beyond
+  // it (hand-built test fixtures) widen the range via their last — i.e.
+  // largest — entry.
+  size_t num_terms = pages_->dictionary().size();
+  for (const auto& space : {pcs, fcs}) {
+    for (const vsm::SparseVector* v : space) {
+      if (!v->empty()) {
+        num_terms = std::max(
+            num_terms, static_cast<size_t>(v->entries().back().term) + 1);
+      }
+    }
+  }
+  CentroidPair& out = centroids_[static_cast<size_t>(cluster)];
+  out.pc = vsm::Centroid(pcs, num_terms);
+  out.fc = vsm::Centroid(fcs, num_terms);
 }
 
 }  // namespace cafc

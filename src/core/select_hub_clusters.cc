@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_set>
 
+#include "util/thread_pool.h"
+
 namespace cafc {
 namespace {
 
@@ -65,24 +67,34 @@ std::vector<HubCluster> SelectHubClusters(
     int k, const SelectHubClustersOptions& options) {
   assert(k > 0);
   const size_t want = static_cast<size_t>(k);
+  util::ScopedThreads threads(options.threads);
 
-  // Centroids of every candidate hub cluster.
-  std::vector<CentroidPair> centroids;
-  centroids.reserve(hub_clusters.size());
-  for (const HubCluster& hc : hub_clusters) {
-    centroids.push_back(ComputeCentroid(pages.pages(), hc.members));
-  }
+  // Centroids of every candidate hub cluster — independent, so computed in
+  // parallel into index-addressed slots.
+  std::vector<CentroidPair> centroids(hub_clusters.size());
+  util::ParallelFor(0, hub_clusters.size(), 8,
+                    [&](size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) {
+                        centroids[i] = ComputeCentroid(
+                            pages.pages(), hub_clusters[i].members);
+                      }
+                    });
 
-  // Pairwise distances (line 3 of Algorithm 3).
+  // Pairwise distances (line 3 of Algorithm 3) — the O(n^2) cost that
+  // dominates CAFC-CH at scale. Row i owns distance[i][j] and its mirror
+  // distance[j][i] for j > i only, so the row-parallel build is race-free
+  // and bit-identical to the serial one.
   const size_t n = centroids.size();
   std::vector<std::vector<double>> distance(n, std::vector<double>(n, 0.0));
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      double d = 1.0 - CentroidSimilarity(centroids[i], centroids[j],
-                                          options.content, options.weights);
-      distance[i][j] = distance[j][i] = d;
+  util::ParallelFor(0, n, 1, [&](size_t row_begin, size_t row_end) {
+    for (size_t i = row_begin; i < row_end; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        double d = 1.0 - CentroidSimilarity(centroids[i], centroids[j],
+                                            options.content, options.weights);
+        distance[i][j] = distance[j][i] = d;
+      }
     }
-  }
+  });
 
   std::vector<HubCluster> seeds;
   for (size_t idx : FarthestPointOrder(distance, want)) {

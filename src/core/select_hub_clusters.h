@@ -12,6 +12,10 @@ namespace cafc {
 struct SelectHubClustersOptions {
   ContentConfig content = ContentConfig::kFcPlusPc;
   SimilarityWeights weights;
+  /// Worker threads for the centroid + distance-matrix loops (the CAFC-CH
+  /// hot path at scale). 0 = process default; results are bit-identical
+  /// at any setting.
+  int threads = 0;
 };
 
 /// \brief Algorithm 3: selects the k most mutually distant hub clusters as

@@ -1,0 +1,228 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cafc::util {
+namespace {
+
+/// Set while a thread is executing chunks as a pool worker; nested
+/// ParallelFor calls from such a thread run inline (no deadlock, no
+/// oversubscription).
+thread_local bool t_in_pool_worker = false;
+
+/// Thread-local ScopedThreads override (0 = none).
+thread_local int t_thread_override = 0;
+
+int ResolveAutoThreads() {
+  if (const char* env = std::getenv("CAFC_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+/// One ParallelFor invocation. Heap-shared so a worker woken late can still
+/// inspect it safely after the submitting thread has moved on.
+struct Job {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t, size_t)>* fn = nullptr;
+
+  std::atomic<size_t> next_chunk{0};
+  /// Worker participation budget (lanes - 1); workers that decrement it
+  /// below zero sit this job out (ScopedThreads cap).
+  std::atomic<int> worker_slots{0};
+
+  std::mutex m;
+  std::condition_variable done;
+  size_t chunks_done = 0;            // guarded by m
+  std::exception_ptr error;          // guarded by m (first one wins)
+
+  void Process() {
+    for (;;) {
+      size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      size_t chunk_begin = begin + c * grain;
+      size_t chunk_end = std::min(end, chunk_begin + grain);
+      std::exception_ptr chunk_error;
+      try {
+        (*fn)(chunk_begin, chunk_end);
+      } catch (...) {
+        chunk_error = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> lock(m);
+        if (chunk_error && !error) error = chunk_error;
+        if (++chunks_done == num_chunks) done.notify_all();
+      }
+    }
+  }
+};
+
+struct ThreadPool::Impl {
+  std::mutex mutex;                  // guards job / job_seq / shutdown
+  std::condition_variable wake;
+  std::shared_ptr<Job> job;
+  uint64_t job_seq = 0;
+  bool shutdown = false;
+  /// Serializes concurrent external ParallelFor submissions (the pool runs
+  /// one job at a time; callers queue here).
+  std::mutex submit_mutex;
+  std::vector<std::thread> workers;
+
+  void WorkerLoop() {
+    t_in_pool_worker = true;
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      wake.wait(lock, [&] { return shutdown || (job && job_seq != seen); });
+      if (shutdown) return;
+      std::shared_ptr<Job> current = job;
+      seen = job_seq;
+      lock.unlock();
+      if (current->worker_slots.fetch_sub(1, std::memory_order_relaxed) > 0) {
+        current->Process();
+      }
+      current.reset();
+      lock.lock();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads)
+    : impl_(new Impl), num_threads_(threads < 1 ? 1 : threads) {
+  impl_->workers.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    impl_->workers.emplace_back([impl = impl_] { impl->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutdown = true;
+  }
+  impl_->wake.notify_all();
+  for (std::thread& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+namespace {
+
+/// Identical chunking to the parallel path, executed in ascending chunk
+/// order — keeps per-chunk callbacks (and any chunk-indexed outputs)
+/// bit-identical between serial and parallel execution.
+void SerialChunks(size_t begin, size_t end, size_t grain,
+                  const std::function<void(size_t, size_t)>& fn) {
+  for (size_t chunk_begin = begin; chunk_begin < end; chunk_begin += grain) {
+    fn(chunk_begin, std::min(end, chunk_begin + grain));
+  }
+}
+
+}  // namespace
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  size_t num_chunks = (end - begin + grain - 1) / grain;
+
+  int lanes = num_threads_;
+  if (t_thread_override > 0 && t_thread_override < lanes) {
+    lanes = t_thread_override;
+  }
+  if (lanes == 1 || num_chunks == 1 || t_in_pool_worker) {
+    SerialChunks(begin, end, grain, fn);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
+  job->worker_slots.store(lanes - 1, std::memory_order_relaxed);
+
+  std::lock_guard<std::mutex> submit(impl_->submit_mutex);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job = job;
+    ++impl_->job_seq;
+  }
+  impl_->wake.notify_all();
+  // The caller is a full participant. While it runs chunks it counts as a
+  // pool worker, so any ParallelFor its chunks trigger runs inline rather
+  // than re-entering the (non-recursive) submission path.
+  t_in_pool_worker = true;
+  job->Process();
+  t_in_pool_worker = false;
+  {
+    std::unique_lock<std::mutex> lock(job->m);
+    job->done.wait(lock, [&] { return job->chunks_done == job->num_chunks; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->job.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+
+std::mutex g_default_mutex;
+ThreadPool* g_default_pool = nullptr;  // leaked intentionally (process-wide)
+int g_requested_threads = 0;           // 0 = automatic
+
+}  // namespace
+
+ThreadPool* ThreadPool::Default() {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  if (g_default_pool == nullptr) {
+    int threads =
+        g_requested_threads > 0 ? g_requested_threads : ResolveAutoThreads();
+    g_default_pool = new ThreadPool(threads);
+  }
+  return g_default_pool;
+}
+
+void ThreadPool::SetDefaultThreads(int threads) {
+  std::lock_guard<std::mutex> lock(g_default_mutex);
+  g_requested_threads = threads > 0 ? threads : 0;
+  delete g_default_pool;  // joins workers; rebuilt lazily on next Default()
+  g_default_pool = nullptr;
+}
+
+int ThreadPool::EffectiveThreads() {
+  int pool = Default()->num_threads();
+  if (t_thread_override > 0 && t_thread_override < pool) {
+    return t_thread_override;
+  }
+  return pool;
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  ThreadPool::Default()->ParallelFor(begin, end, grain, fn);
+}
+
+ScopedThreads::ScopedThreads(int threads) : previous_(t_thread_override) {
+  if (threads > 0) t_thread_override = threads;
+}
+
+ScopedThreads::~ScopedThreads() { t_thread_override = previous_; }
+
+}  // namespace cafc::util

@@ -1,0 +1,103 @@
+#ifndef CAFC_UTIL_THREAD_POOL_H_
+#define CAFC_UTIL_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+
+namespace cafc::util {
+
+/// \brief A reusable fixed-size worker pool for data-parallel loops.
+///
+/// The pool exists to make the clustering hot loops (k-means assignment,
+/// HAC similarity matrices, repeated-run averaging) scale with cores while
+/// keeping results *bit-identical* to the serial code. The determinism
+/// contract is:
+///
+///   * `ParallelFor` splits `[begin, end)` into fixed chunks of `grain`
+///     indices. Chunk boundaries depend only on (begin, end, grain) —
+///     never on the thread count or scheduling order.
+///   * The callback receives disjoint `[chunk_begin, chunk_end)` ranges,
+///     so as long as it writes only to slots derived from those indices
+///     (the pattern used by every caller in this repo), the memory image
+///     after the loop is independent of how chunks were interleaved.
+///
+/// Cross-chunk reductions (e.g. floating-point sums) must therefore be
+/// performed by the caller *after* the loop, in chunk order, to stay
+/// deterministic.
+///
+/// `threads` counts total concurrency including the calling thread: a pool
+/// of size N owns N-1 workers and the caller executes chunks too. Size 1
+/// means strictly serial inline execution (no worker threads at all).
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` total lanes (minimum 1). Values < 1 are
+  /// clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(chunk_begin, chunk_end)` over `[begin, end)` split into
+  /// chunks of at most `grain` indices (grain < 1 is treated as 1).
+  /// Blocks until every chunk finished. The first exception thrown by any
+  /// chunk is rethrown on the calling thread (remaining chunks still run
+  /// to completion). Calls from inside a pool worker run inline serially,
+  /// so nested parallel sections cannot deadlock.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// The process-wide default pool used by the free `ParallelFor`. Sized
+  /// by the last `SetDefaultThreads` call, else the `CAFC_THREADS`
+  /// environment variable, else `std::thread::hardware_concurrency()`.
+  /// Lazily constructed; never destroyed (workers are detached-joined at
+  /// process exit via static destruction order being irrelevant to them).
+  static ThreadPool* Default();
+
+  /// Resizes the default pool. `threads` <= 0 restores the automatic
+  /// sizing (environment / hardware). Not safe to call concurrently with
+  /// running `ParallelFor` loops; intended for startup (CLI flag parsing)
+  /// and tests.
+  static void SetDefaultThreads(int threads);
+
+  /// The thread count the default pool has (or would have) right now,
+  /// honoring any active ScopedThreads override on this thread.
+  static int EffectiveThreads();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int num_threads_;
+};
+
+/// Free-function loop over the default pool, honoring any ScopedThreads
+/// override active on the calling thread (an override of 1 runs the loop
+/// serially inline without touching the pool).
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+/// \brief RAII thread-count override for the current thread's ParallelFor
+/// calls (plumbing for `CafcOptions::threads` / `--threads`).
+///
+/// `threads` <= 0 means "no override" (keep whatever is active). The
+/// override is thread-local, so concurrent clustering runs with different
+/// settings do not interfere. An override larger than the default pool
+/// size is capped at the pool size (the pool is not grown mid-run).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads);
+  ~ScopedThreads();
+
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace cafc::util
+
+#endif  // CAFC_UTIL_THREAD_POOL_H_

@@ -17,6 +17,7 @@ SparseVector SparseVector::FromUnsorted(std::vector<Entry> entries) {
       out.entries_.push_back(e);
     }
   }
+  out.RecomputeNorm();
   return out;
 }
 
@@ -29,6 +30,7 @@ void SparseVector::Add(TermId term, double weight) {
   } else {
     entries_.insert(it, Entry{term, weight});
   }
+  RecomputeNorm();
 }
 
 double SparseVector::Get(TermId term) const {
@@ -38,10 +40,10 @@ double SparseVector::Get(TermId term) const {
   return (it != entries_.end() && it->term == term) ? it->weight : 0.0;
 }
 
-double SparseVector::Norm() const {
+void SparseVector::RecomputeNorm() {
   double sum_sq = 0.0;
   for (const Entry& e : entries_) sum_sq += e.weight * e.weight;
-  return std::sqrt(sum_sq);
+  norm_ = std::sqrt(sum_sq);
 }
 
 double SparseVector::Sum() const {
@@ -52,6 +54,7 @@ double SparseVector::Sum() const {
 
 void SparseVector::Scale(double factor) {
   for (Entry& e : entries_) e.weight *= factor;
+  RecomputeNorm();
 }
 
 void SparseVector::Axpy(double factor, const SparseVector& other) {
@@ -77,6 +80,7 @@ void SparseVector::Axpy(double factor, const SparseVector& other) {
     }
   }
   entries_ = std::move(merged);
+  RecomputeNorm();
 }
 
 void SparseVector::Compact(double epsilon) {
@@ -85,6 +89,7 @@ void SparseVector::Compact(double epsilon) {
                                   return std::abs(e.weight) <= epsilon;
                                 }),
                  entries_.end());
+  RecomputeNorm();
 }
 
 void SparseVector::KeepTopK(size_t k) {
@@ -99,6 +104,7 @@ void SparseVector::KeepTopK(size_t k) {
   std::sort(sorted.begin(), sorted.end(),
             [](const Entry& a, const Entry& b) { return a.term < b.term; });
   entries_ = std::move(sorted);
+  RecomputeNorm();
 }
 
 double Dot(const SparseVector& a, const SparseVector& b) {

@@ -29,8 +29,13 @@ class SparseVector {
   /// Builds from unsorted entries; duplicate term ids are summed.
   static SparseVector FromUnsorted(std::vector<Entry> entries);
 
-  /// Adds `weight` to `term`'s entry (O(log n) lookup + O(n) insert for new
-  /// terms; prefer FromUnsorted for bulk construction).
+  /// Adds `weight` to `term`'s entry.
+  ///
+  /// WARNING — quadratic bulk-construction hazard: each call costs O(n)
+  /// (sorted insert + norm refresh), so building an m-entry vector with m
+  /// `Add` calls is O(m^2). Every bulk path in this repo (weighting,
+  /// centroids, directory load) uses `FromUnsorted` or a dense
+  /// accumulator instead; `Add` is for small incremental touch-ups only.
   void Add(TermId term, double weight);
 
   /// Weight of `term`, or 0.0 when absent.
@@ -40,8 +45,11 @@ class SparseVector {
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
-  /// Euclidean (L2) norm.
-  double Norm() const;
+  /// Euclidean (L2) norm. Cached: every mutator refreshes the cache, so
+  /// this is a plain load — safe for concurrent readers (no lazy
+  /// computation) and what makes `CosineSimilarity` a single sparse dot
+  /// product on the clustering hot paths.
+  double Norm() const { return norm_; }
 
   /// Sum of weights (L1 mass).
   double Sum() const;
@@ -60,10 +68,20 @@ class SparseVector {
   /// model. No-op when size() <= k.
   void KeepTopK(size_t k);
 
-  bool operator==(const SparseVector&) const = default;
+  /// Entry-wise equality (the cached norm is a pure function of the
+  /// entries, so it is excluded from the comparison).
+  bool operator==(const SparseVector& other) const {
+    return entries_ == other.entries_;
+  }
 
  private:
+  /// Refreshes the cached L2 norm from `entries_`. Called by every
+  /// mutator; always a full recomputation so the cache is a deterministic
+  /// function of the entries (no incremental drift).
+  void RecomputeNorm();
+
   std::vector<Entry> entries_;  // sorted by term, unique
+  double norm_ = 0.0;           // cached L2 norm of entries_
 };
 
 /// Dot product of two sparse vectors (linear merge).

@@ -127,11 +127,36 @@ SparseVector Bm25Weighter::Weigh(
 }
 
 SparseVector Centroid(const std::vector<const SparseVector*>& vectors) {
-  SparseVector sum;
-  for (const SparseVector* v : vectors) sum.Axpy(1.0, *v);
-  if (!vectors.empty()) sum.Scale(1.0 / static_cast<double>(vectors.size()));
-  sum.Compact();
-  return sum;
+  TermId max_term = 0;
+  bool any = false;
+  for (const SparseVector* v : vectors) {
+    if (!v->empty()) {
+      max_term = std::max(max_term, v->entries().back().term);
+      any = true;
+    }
+  }
+  if (!any) return SparseVector();
+  return Centroid(vectors, static_cast<size_t>(max_term) + 1);
+}
+
+SparseVector Centroid(const std::vector<const SparseVector*>& vectors,
+                      size_t num_terms) {
+  if (vectors.empty() || num_terms == 0) return SparseVector();
+  std::vector<double> dense(num_terms, 0.0);
+  for (const SparseVector* v : vectors) {
+    for (const Entry& e : v->entries()) {
+      if (static_cast<size_t>(e.term) < num_terms) dense[e.term] += e.weight;
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(vectors.size());
+  std::vector<Entry> entries;
+  for (size_t t = 0; t < num_terms; ++t) {
+    double w = dense[t] * inv;
+    if (std::abs(w) > 0.0) {
+      entries.push_back(Entry{static_cast<TermId>(t), w});
+    }
+  }
+  return SparseVector::FromUnsorted(std::move(entries));
 }
 
 }  // namespace cafc::vsm

@@ -130,7 +130,19 @@ class Bm25Weighter {
 
 /// Mean of `vectors` (Eq. 4): the centroid used by k-means and by hub
 /// clusters. Empty input yields an empty vector.
+///
+/// Implemented with a dense accumulator indexed by TermId (scatter every
+/// member entry, then compact in term order) — O(total entries + range)
+/// instead of the O(members * centroid size) of repeated sparse merges.
+/// Accumulation order per term equals the member order, so the result is
+/// bit-identical to the old sparse-Axpy formulation.
 SparseVector Centroid(const std::vector<const SparseVector*>& vectors);
+
+/// Same, with the dense range supplied by the caller (`num_terms` =
+/// dictionary size) so the max-term scan is skipped. Entries with term id
+/// >= num_terms would be dropped — pass the true dictionary size.
+SparseVector Centroid(const std::vector<const SparseVector*>& vectors,
+                      size_t num_terms);
 
 }  // namespace cafc::vsm
 

@@ -1,0 +1,212 @@
+// Tests for the ThreadPool / ParallelFor determinism contract: fixed
+// grain-based chunking independent of thread count, exception propagation,
+// nested-loop safety, and the ScopedThreads per-thread override.
+//
+// The CI box may expose a single core, so these tests construct pools with
+// an explicit thread count (and restore the default pool afterwards) to
+// exercise real cross-thread execution regardless of the host.
+
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cafc::util {
+namespace {
+
+/// Collects the chunk boundaries a ParallelFor produced, in sorted order
+/// (arrival order is nondeterministic; the *set* of chunks must not be).
+std::vector<std::pair<size_t, size_t>> Chunks(ThreadPool* pool, size_t begin,
+                                              size_t end, size_t grain) {
+  std::mutex m;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  pool->ParallelFor(begin, end, grain, [&](size_t b, size_t e) {
+    std::lock_guard<std::mutex> lock(m);
+    chunks.emplace_back(b, e);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+TEST(ThreadPoolTest, EmptyRangeRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, 8, [&](size_t, size_t) { ++calls; });
+  pool.ParallelFor(5, 5, 8, [&](size_t, size_t) { ++calls; });
+  // begin > end is treated as empty, not as a huge wrapped range.
+  pool.ParallelFor(7, 3, 8, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, n, 7, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  ThreadPool serial(1);
+  ThreadPool two(2);
+  ThreadPool four(4);
+  for (size_t grain : {size_t{1}, size_t{3}, size_t{16}, size_t{1000}}) {
+    auto expected = Chunks(&serial, 10, 143, grain);
+    EXPECT_EQ(Chunks(&two, 10, 143, grain), expected) << "grain " << grain;
+    EXPECT_EQ(Chunks(&four, 10, 143, grain), expected) << "grain " << grain;
+  }
+}
+
+TEST(ThreadPoolTest, GrainZeroIsTreatedAsOne) {
+  ThreadPool pool(2);
+  auto chunks = Chunks(&pool, 0, 5, 0);
+  ASSERT_EQ(chunks.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(chunks[i], std::make_pair(i, i + 1));
+  }
+}
+
+TEST(ThreadPoolTest, GrainLargerThanRangeYieldsOneChunk) {
+  ThreadPool pool(4);
+  auto chunks = Chunks(&pool, 3, 20, 1000);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], std::make_pair(size_t{3}, size_t{20}));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](size_t b, size_t) {
+                         if (b == 42) throw std::runtime_error("chunk 42");
+                       }),
+      std::runtime_error);
+  // The pool must stay usable after a throwing loop.
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(0, 10, 1, [&](size_t b, size_t) { sum.fetch_add(b); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotAbortOtherChunks) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    pool.ParallelFor(0, 64, 1, [&](size_t b, size_t) {
+      ++executed;
+      if (b == 0) throw std::runtime_error("first chunk");
+    });
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error&) {
+  }
+  // Every chunk ran even though one threw.
+  EXPECT_EQ(executed.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  pool.ParallelFor(0, 8, 1, [&](size_t ob, size_t oe) {
+    for (size_t o = ob; o < oe; ++o) {
+      // Nested loops run inline on the worker; they must neither deadlock
+      // nor skip work.
+      pool.ParallelFor(0, 8, 1, [&](size_t ib, size_t ie) {
+        for (size_t i = ib; i < ie; ++i) hits[o * 8 + i].fetch_add(1);
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelSumMatchesSerialWithOrderedReduction) {
+  // The documented reduction pattern: disjoint slot writes, then a serial
+  // in-order combine. The result must be bit-identical across pool sizes.
+  const size_t n = 10000;
+  std::vector<double> values(n);
+  for (size_t i = 0; i < n; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  auto sum_with = [&](ThreadPool* pool) {
+    const size_t grain = 64;
+    const size_t num_chunks = (n + grain - 1) / grain;
+    std::vector<double> partial(num_chunks, 0.0);
+    pool->ParallelFor(0, n, grain, [&](size_t b, size_t e) {
+      double s = 0.0;
+      for (size_t i = b; i < e; ++i) s += values[i];
+      partial[b / grain] = s;
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  ThreadPool serial(1);
+  ThreadPool four(4);
+  EXPECT_EQ(sum_with(&serial), sum_with(&four));  // exact, not Near
+}
+
+TEST(ScopedThreadsTest, OverrideCapsEffectiveThreads) {
+  ThreadPool::SetDefaultThreads(4);
+  EXPECT_EQ(ThreadPool::EffectiveThreads(), 4);
+  {
+    ScopedThreads one(1);
+    EXPECT_EQ(ThreadPool::EffectiveThreads(), 1);
+    {
+      // Nested override narrows further; restores outward on scope exit.
+      ScopedThreads two(2);  // larger than the active override of 1...
+      EXPECT_EQ(ThreadPool::EffectiveThreads(), 2);
+    }
+    EXPECT_EQ(ThreadPool::EffectiveThreads(), 1);
+  }
+  EXPECT_EQ(ThreadPool::EffectiveThreads(), 4);
+  {
+    // Requests above the pool size are capped at the pool size.
+    ScopedThreads many(64);
+    EXPECT_EQ(ThreadPool::EffectiveThreads(), 4);
+  }
+  {
+    // <= 0 means "no override".
+    ScopedThreads none(0);
+    EXPECT_EQ(ThreadPool::EffectiveThreads(), 4);
+  }
+  ThreadPool::SetDefaultThreads(0);  // restore automatic sizing
+}
+
+TEST(ScopedThreadsTest, OverrideOfOneRunsSerially) {
+  ThreadPool::SetDefaultThreads(4);
+  {
+    ScopedThreads one(1);
+    // With the override the free ParallelFor must run inline: writes from
+    // the loop are visible without any synchronization.
+    std::vector<int> order;
+    util::ParallelFor(0, 6, 2, [&](size_t b, size_t) {
+      order.push_back(static_cast<int>(b));  // unsynchronized on purpose
+    });
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 4}));  // ascending chunk order
+  }
+  ThreadPool::SetDefaultThreads(0);
+}
+
+TEST(FreeParallelForTest, UsesDefaultPool) {
+  ThreadPool::SetDefaultThreads(3);
+  std::atomic<size_t> sum{0};
+  util::ParallelFor(0, 100, 10,
+                    [&](size_t b, size_t e) { sum.fetch_add(e - b); });
+  EXPECT_EQ(sum.load(), 100u);
+  ThreadPool::SetDefaultThreads(0);
+}
+
+}  // namespace
+}  // namespace cafc::util

@@ -6,6 +6,7 @@
 //   cafc cluster  [--seed N] [--k 8] [--algo ch|c|hac]
 //                 [--min-cardinality 8] [--content fc|pc|fcpc]
 //                 [--save FILE] [--dot FILE] [--show-members N]
+//                 [--threads N]
 //       Run the full pipeline (crawl → classify → model → cluster), print
 //       the resulting directory, optionally persist it.
 //
@@ -38,6 +39,7 @@
 #include "html/dom.h"
 #include "util/flags.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "web/domain_vocab.h"
 #include "web/synthesizer.h"
 
@@ -133,6 +135,13 @@ int RunCluster(const FlagParser& flags) {
   int k = static_cast<int>(flags.GetInt("k", web::kNumDomains));
   std::string algo = flags.GetString("algo", "ch");
   std::string content_name = flags.GetString("content", "fcpc");
+  // 0 = hardware concurrency (the pool's automatic sizing).
+  int threads = static_cast<int>(flags.GetInt("threads", 0));
+  if (threads < 0) {
+    std::fprintf(stderr, "--threads must be >= 0 (0 = all cores)\n");
+    return 2;
+  }
+  util::ThreadPool::SetDefaultThreads(threads);
 
   ContentConfig content = ContentConfig::kFcPlusPc;
   if (content_name == "fc") content = ContentConfig::kFcOnly;
@@ -151,6 +160,7 @@ int RunCluster(const FlagParser& flags) {
   if (algo == "ch") {
     CafcChOptions options;
     options.cafc.content = content;
+    options.cafc.threads = threads;
     options.min_hub_cardinality =
         static_cast<size_t>(flags.GetInt("min-cardinality", 8));
     CafcChReport report;
@@ -160,11 +170,13 @@ int RunCluster(const FlagParser& flags) {
   } else if (algo == "c") {
     CafcOptions options;
     options.content = content;
+    options.threads = threads;
     Rng rng(seed ^ 0x5eed);
     clustering = CafcC(pages, k, options, &rng);
   } else if (algo == "hac") {
     CafcOptions options;
     options.content = content;
+    options.threads = threads;
     clustering = CafcHac(pages, k, options);
   } else {
     std::fprintf(stderr, "unknown --algo %s (use ch|c|hac)\n", algo.c_str());
