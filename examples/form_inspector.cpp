@@ -129,12 +129,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf("FC terms (%zu):", doc.form_terms.size());
-  for (const vsm::LocatedTerm& t : doc.form_terms) {
-    std::printf(" %s/%s", t.term.c_str(), LocationName(t.location));
+  for (const vsm::InternedTerm& t : doc.form_terms) {
+    std::printf(" %s/%s", doc.Term(t).c_str(), LocationName(t.location));
   }
   std::printf("\n\nPC terms (%zu):", doc.page_terms.size());
-  for (const vsm::LocatedTerm& t : doc.page_terms) {
-    std::printf(" %s/%s", t.term.c_str(), LocationName(t.location));
+  for (const vsm::InternedTerm& t : doc.page_terms) {
+    std::printf(" %s/%s", doc.Term(t).c_str(), LocationName(t.location));
   }
   std::printf("\n");
   return 0;

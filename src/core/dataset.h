@@ -1,6 +1,7 @@
 #ifndef CAFC_CORE_DATASET_H_
 #define CAFC_CORE_DATASET_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,7 +31,9 @@ struct DatasetEntry {
   bool single_attribute = false;
 };
 
-/// Pipeline counters for reporting.
+/// Pipeline counters for reporting. All counters are deterministic given
+/// the corpus and options — independent of the ingestion thread count —
+/// so they participate in the parallel-equivalence comparison.
 struct DatasetStats {
   size_t crawled_pages = 0;
   size_t pages_with_forms = 0;
@@ -40,6 +43,32 @@ struct DatasetStats {
   size_t classifier_false_negatives = 0;  // gold form pages rejected
   size_t pages_without_backlinks = 0;     // before root fallback
   size_t pages_without_any_backlinks = 0; // even after root fallback
+
+  /// Ingestion work counters (allocation/IO proxies for BENCH_ingest).
+  /// The pipeline parses each fetched page exactly once, during the
+  /// crawl: candidates reuse the crawl's DOM and hubs are served from the
+  /// crawl's anchor records, so html_parses == crawled_pages and every
+  /// hub fetch is a cache hit.
+  size_t html_parses = 0;            ///< DOM parses over the whole pipeline
+  size_t hub_fetches = 0;            ///< backlink hub pages fetched
+  size_t hub_parse_cache_hits = 0;   ///< hub lookups served without a parse
+  size_t term_occurrences = 0;       ///< interned occurrences (PC + FC)
+
+  bool operator==(const DatasetStats&) const = default;
+};
+
+/// Wall-clock stage breakdown of the last BuildDataset run. Crawl, merge
+/// and total are serial wall times; parse/model/anchor are summed across
+/// workers (CPU-time-like: with N threads they can exceed the wall total).
+/// Excluded from dataset-equality comparisons — timings are the one
+/// nondeterministic output.
+struct IngestTimings {
+  double crawl_ms = 0.0;   ///< wall time of the crawl (includes parsing)
+  double parse_ms = 0.0;   ///< HTML parsing inside the crawl (worker sum)
+  double model_ms = 0.0;   ///< classify + term interning + label extraction
+  double anchor_ms = 0.0;  ///< anchor-text indexing + analysis
+  double merge_ms = 0.0;   ///< dictionary shard merge + id remapping
+  double total_ms = 0.0;
 };
 
 /// The assembled experimental data set (§4.1 equivalent).
@@ -47,6 +76,10 @@ struct Dataset {
   std::vector<DatasetEntry> entries;
   int num_classes = web::kNumDomains;
   DatasetStats stats;
+  IngestTimings timings;
+  /// The interned vocabulary every entry's document resolves through
+  /// (entries share it via FormPageDocument::dictionary).
+  std::shared_ptr<vsm::TermDictionary> dictionary;
 
   /// Gold labels aligned with `entries`.
   std::vector<int> GoldLabels() const;
@@ -64,6 +97,10 @@ struct DatasetOptions {
   bool collect_anchor_text = false;
   /// Cap on backlink pages fetched for anchor text, per form page.
   size_t max_anchor_sources = 25;
+  /// Thread-count override for the parallel per-page ingestion stage
+  /// (0 = use the default pool / any active ScopedThreads override). The
+  /// resulting Dataset is bit-identical at any thread count.
+  int threads = 0;
 };
 
 /// \brief Runs the full acquisition pipeline against a synthetic web:

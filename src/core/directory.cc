@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "core/dataset.h"
@@ -156,10 +157,14 @@ std::vector<DatabaseDirectory::SearchHit> DatabaseDirectory::Search(
   // it can match schema-ish terms (FC centroids) and topical terms (PC).
   text::Analyzer analyzer;
   forms::FormPageDocument pseudo;
-  for (std::string& term : analyzer.Analyze(query)) {
-    pseudo.page_terms.push_back({term, vsm::Location::kPageBody});
-    pseudo.form_terms.push_back({std::move(term), vsm::Location::kFormText});
+  auto dict = std::make_shared<vsm::TermDictionary>();
+  std::vector<vsm::TermId> ids;
+  analyzer.AnalyzeInto(query, dict.get(), &ids);
+  for (vsm::TermId id : ids) {
+    pseudo.page_terms.push_back({id, vsm::Location::kPageBody});
+    pseudo.form_terms.push_back({id, vsm::Location::kFormText});
   }
+  pseudo.dictionary = std::move(dict);
   FormPage page = WeighNewDocument(collection_, pseudo);
 
   std::vector<SearchHit> hits;

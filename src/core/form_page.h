@@ -50,8 +50,12 @@ struct CentroidPair {
 /// Produced by `BuildFormPageSet`; consumed by CAFC-C / CAFC-CH.
 class FormPageSet {
  public:
-  FormPageSet()
-      : dictionary_(std::make_unique<vsm::TermDictionary>()),
+  FormPageSet() : FormPageSet(std::make_shared<vsm::TermDictionary>()) {}
+  /// Shares an existing dictionary (the ingestion pipeline's interned
+  /// vocabulary) instead of building a private one, so documents' term ids
+  /// are valid in this set without re-interning.
+  explicit FormPageSet(std::shared_ptr<vsm::TermDictionary> dictionary)
+      : dictionary_(std::move(dictionary)),
         pc_stats_(std::make_unique<vsm::CorpusStats>(dictionary_.get())),
         fc_stats_(std::make_unique<vsm::CorpusStats>(dictionary_.get())) {}
   FormPageSet(FormPageSet&&) = default;
@@ -62,6 +66,11 @@ class FormPageSet {
   const FormPage& page(size_t i) const { return pages_[i]; }
 
   const vsm::TermDictionary& dictionary() const { return *dictionary_; }
+  /// The dictionary as a shareable handle (for weighing new documents that
+  /// want to intern into the same space).
+  const std::shared_ptr<vsm::TermDictionary>& shared_dictionary() const {
+    return dictionary_;
+  }
   /// Collection statistics of the PC / FC spaces (IDF source); retained so
   /// that *new* documents can be weighed consistently against this
   /// collection (directory-maintenance use case).
@@ -82,7 +91,7 @@ class FormPageSet {
   }
 
  private:
-  std::unique_ptr<vsm::TermDictionary> dictionary_;
+  std::shared_ptr<vsm::TermDictionary> dictionary_;
   std::unique_ptr<vsm::CorpusStats> pc_stats_;
   std::unique_ptr<vsm::CorpusStats> fc_stats_;
   vsm::LocationWeightConfig location_weights_;

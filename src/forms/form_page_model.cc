@@ -1,31 +1,40 @@
 #include "forms/form_page_model.h"
 
+#include <utility>
+
 #include "forms/form_extractor.h"
 #include "html/dom.h"
 
 namespace cafc::forms {
 namespace {
 
-using vsm::LocatedTerm;
+using vsm::InternedTerm;
 using vsm::Location;
 
-/// Analyzes `raw` and appends each surviving term with `location`.
+/// Analyzes `raw` straight into the dictionary and appends each surviving
+/// term id with `location`. `ids` is a reusable buffer so repeated calls on
+/// the same page allocate only on growth.
 void AppendTerms(const text::Analyzer& analyzer, std::string_view raw,
-                 Location location, std::vector<LocatedTerm>* out) {
-  for (std::string& term : analyzer.Analyze(raw)) {
-    out->push_back(LocatedTerm{std::move(term), location});
-  }
+                 Location location, vsm::TermDictionary* dictionary,
+                 std::vector<InternedTerm>* out, std::vector<vsm::TermId>* ids,
+                 text::AnalyzerScratch* scratch) {
+  ids->clear();
+  analyzer.AnalyzeInto(raw, dictionary, ids, scratch);
+  out->reserve(out->size() + ids->size());
+  for (vsm::TermId id : *ids) out->push_back(InternedTerm{id, location});
 }
 
 /// Walks the page outside form subtrees, routing text into PC with the
 /// right location tag.
-void WalkPage(const html::Node& node, Location current,
-              bool skip_forms, const text::Analyzer& analyzer,
-              std::vector<LocatedTerm>* out) {
+void WalkPage(const html::Node& node, Location current, bool skip_forms,
+              const text::Analyzer& analyzer, vsm::TermDictionary* dictionary,
+              std::vector<InternedTerm>* out, std::vector<vsm::TermId>* ids,
+              text::AnalyzerScratch* scratch) {
   for (const auto& child : node.children()) {
     switch (child->type()) {
       case html::NodeType::kText:
-        AppendTerms(analyzer, child->text(), current, out);
+        AppendTerms(analyzer, child->text(), current, dictionary, out, ids,
+                    scratch);
         break;
       case html::NodeType::kElement: {
         const html::Node& el = *child;
@@ -38,7 +47,8 @@ void WalkPage(const html::Node& node, Location current,
         } else if (el.tag() == "script" || el.tag() == "style") {
           break;  // never page text
         }
-        WalkPage(el, next, skip_forms, analyzer, out);
+        WalkPage(el, next, skip_forms, analyzer, dictionary, out, ids,
+                 scratch);
         break;
       }
       default:
@@ -49,25 +59,39 @@ void WalkPage(const html::Node& node, Location current,
 
 }  // namespace
 
-FormPageDocument FormPageModelBuilder::Build(std::string_view url,
-                                             std::string_view html) const {
+FormPageDocument FormPageModelBuilder::Build(
+    std::string_view url, std::string_view html,
+    std::shared_ptr<vsm::TermDictionary> dictionary) const {
+  html::Document dom = html::Parse(html);
+  std::vector<Form> forms = ExtractForms(dom);
+  return Build(url, dom, std::move(forms), std::move(dictionary));
+}
+
+FormPageDocument FormPageModelBuilder::Build(
+    std::string_view url, const html::Document& dom, std::vector<Form> forms,
+    std::shared_ptr<vsm::TermDictionary> dictionary,
+    text::AnalyzerScratch* scratch) const {
+  if (!dictionary) dictionary = std::make_shared<vsm::TermDictionary>();
   FormPageDocument doc;
   doc.url = std::string(url);
+  doc.forms = std::move(forms);
 
-  html::Document dom = html::Parse(html);
-  doc.forms = ExtractForms(dom);
+  std::vector<vsm::TermId> ids;
 
   // FC: the extractor already partitioned form text by location and has
   // dropped hidden-field content.
   for (const Form& form : doc.forms) {
-    AppendTerms(analyzer_, form.text, Location::kFormText, &doc.form_terms);
+    AppendTerms(analyzer_, form.text, Location::kFormText, dictionary.get(),
+                &doc.form_terms, &ids, scratch);
     AppendTerms(analyzer_, form.option_text, Location::kFormOption,
-                &doc.form_terms);
+                dictionary.get(), &doc.form_terms, &ids, scratch);
   }
 
   // PC: everything else on the page.
-  WalkPage(dom.root(), Location::kPageBody,
-           options_.partition_page_and_form, analyzer_, &doc.page_terms);
+  WalkPage(dom.root(), Location::kPageBody, options_.partition_page_and_form,
+           analyzer_, dictionary.get(), &doc.page_terms, &ids, scratch);
+
+  doc.dictionary = std::move(dictionary);
   return doc;
 }
 

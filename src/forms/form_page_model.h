@@ -1,12 +1,15 @@
 #ifndef CAFC_FORMS_FORM_PAGE_MODEL_H_
 #define CAFC_FORMS_FORM_PAGE_MODEL_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "forms/form.h"
+#include "html/dom.h"
 #include "text/analyzer.h"
+#include "vsm/term_dictionary.h"
 #include "vsm/weighting.h"
 
 namespace cafc::forms {
@@ -14,17 +17,30 @@ namespace cafc::forms {
 /// \brief The textual side of the paper's form-page model FP(PC, FC):
 /// a page's analyzed terms partitioned into the two feature spaces, each
 /// occurrence tagged with its location (§2.1).
+///
+/// Terms are stored interned: each occurrence is a (TermId, Location) pair
+/// resolving through `dictionary`. Documents built in the same ingestion
+/// pass share one dictionary, so the per-occurrence cost is 8 bytes instead
+/// of an owning std::string.
 struct FormPageDocument {
   std::string url;
   /// PC space: page text outside the form(s). Title terms carry
   /// Location::kPageTitle, anchor text kAnchorText, the rest kPageBody.
-  std::vector<vsm::LocatedTerm> page_terms;
+  std::vector<vsm::InternedTerm> page_terms;
   /// FC space: text inside FORM tags. Option contents carry
   /// Location::kFormOption, everything else kFormText. Hidden-field
   /// names/values are never included.
-  std::vector<vsm::LocatedTerm> form_terms;
+  std::vector<vsm::InternedTerm> form_terms;
   /// Structured forms found on the page (classifier input).
   std::vector<Form> forms;
+  /// The dictionary `page_terms`/`form_terms` ids resolve through. Shared
+  /// with every other document from the same build pass.
+  std::shared_ptr<const vsm::TermDictionary> dictionary;
+
+  /// Resolves an occurrence back to its term string.
+  const std::string& Term(vsm::InternedTerm occurrence) const {
+    return dictionary->term(occurrence.term);
+  }
 
   /// Table-1 statistics: raw counts of analyzed terms per space.
   size_t NumFormTerms() const { return form_terms.size(); }
@@ -45,9 +61,19 @@ class FormPageModelBuilder {
                                 FormPageModelOptions options = {})
       : analyzer_(analyzer_options), options_(options) {}
 
-  /// Builds the document for `html` at `url`. Pages without forms yield an
-  /// empty `forms` vector and empty FC (still usable as plain documents).
-  FormPageDocument Build(std::string_view url, std::string_view html) const;
+  /// Builds the document for `html` at `url`, interning terms into
+  /// `dictionary` (a fresh per-document dictionary when null).
+  FormPageDocument Build(
+      std::string_view url, std::string_view html,
+      std::shared_ptr<vsm::TermDictionary> dictionary = nullptr) const;
+
+  /// Single-parse variant: builds from an already-parsed DOM plus the forms
+  /// already extracted from it, so callers that need the DOM for other
+  /// stages (classification, label extraction) parse exactly once.
+  FormPageDocument Build(std::string_view url, const html::Document& dom,
+                         std::vector<Form> forms,
+                         std::shared_ptr<vsm::TermDictionary> dictionary,
+                         text::AnalyzerScratch* scratch = nullptr) const;
 
   const text::Analyzer& analyzer() const { return analyzer_; }
 

@@ -37,4 +37,55 @@ std::vector<std::string> Analyzer::Analyze(std::string_view input) const {
   return terms;
 }
 
+void Analyzer::AnalyzeInto(std::string_view input,
+                           vsm::TermDictionary* dictionary,
+                           std::vector<vsm::TermId>* out,
+                           AnalyzerScratch* scratch) const {
+  AnalyzerScratch local;
+  AnalyzerScratch& s = scratch ? *scratch : local;
+  const size_t first = out->size();
+  std::string& token = s.token;
+  token.clear();
+  // Fused tokenize + filter + stem: one pass over the input, with the
+  // current token built up (already lowercased) in the scratch buffer. The
+  // tokenizer logic mirrors TokenizeWords and the filters mirror
+  // AnalyzeWord, so the emitted term sequence matches Analyze exactly.
+  auto emit = [&]() {
+    if (token.size() >= options_.min_word_length &&
+        token.size() <= options_.max_word_length &&
+        !(options_.remove_stopwords && IsStopword(token))) {
+      // Stems shorter than min_word_length are kept, as in AnalyzeWord.
+      if (options_.stem) PorterStemInPlace(&token);
+      out->push_back(dictionary->Intern(token));
+    }
+    token.clear();
+  };
+  for (size_t i = 0; i < input.size(); ++i) {
+    char c = input[i];
+    if (IsAsciiAlpha(c)) {
+      token.push_back(AsciiToLower(c));
+    } else if (c == '\'' && !token.empty() && i + 1 < input.size() &&
+               IsAsciiAlpha(input[i + 1])) {
+      // Possessive / contraction: keep the stem, drop the suffix.
+      emit();
+      while (i + 1 < input.size() && IsAsciiAlpha(input[i + 1])) ++i;
+    } else {
+      emit();
+    }
+  }
+  emit();
+  if (options_.emit_bigrams && out->size() - first >= 2) {
+    const size_t unigrams = out->size();
+    std::string& bigram = s.bigram;
+    for (size_t i = first; i + 1 < unigrams; ++i) {
+      // Copy before Intern: interning may reallocate the dictionary's term
+      // table and invalidate the references term() hands back.
+      bigram.assign(dictionary->term((*out)[i]));
+      bigram.push_back('_');
+      bigram.append(dictionary->term((*out)[i + 1]));
+      out->push_back(dictionary->Intern(bigram));
+    }
+  }
+}
+
 }  // namespace cafc::text

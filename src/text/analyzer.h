@@ -5,6 +5,8 @@
 #include <string_view>
 #include <vector>
 
+#include "vsm/term_dictionary.h"
+
 namespace cafc::text {
 
 /// Options controlling the text analysis pipeline.
@@ -20,6 +22,14 @@ struct AnalyzerOptions {
   bool emit_bigrams = false;
 };
 
+/// Reusable scratch buffers for `Analyzer::AnalyzeInto`. One instance per
+/// worker thread: after the first few calls every tokenize → lowercase →
+/// stem step runs inside these buffers with no per-token allocation.
+struct AnalyzerScratch {
+  std::string token;   ///< current lowercased (then stemmed) token
+  std::string bigram;  ///< join buffer for emit_bigrams
+};
+
 /// \brief The tokenize → lowercase → stopword-filter → Porter-stem pipeline
 /// the paper applies to both feature spaces ("the terms are obtained by
 /// stemming all the distinct words", §2.1).
@@ -30,6 +40,17 @@ class Analyzer {
   /// Analyzes free text into a sequence of terms (duplicates preserved —
   /// term frequency is computed downstream).
   std::vector<std::string> Analyze(std::string_view input) const;
+
+  /// Intern-at-tokenize fast path: analyzes `input` and appends the id of
+  /// each surviving term (interned into `*dictionary`) to `*out`. Emits
+  /// exactly the term sequence `Analyze` would, but without materializing a
+  /// std::string per token — lowercasing and stemming happen in the
+  /// caller-reusable `*scratch` buffers (pass nullptr for a call-local
+  /// scratch). Not thread-safe on a shared dictionary; give each worker its
+  /// own shard and merge (TermDictionary::Merge).
+  void AnalyzeInto(std::string_view input, vsm::TermDictionary* dictionary,
+                   std::vector<vsm::TermId>* out,
+                   AnalyzerScratch* scratch = nullptr) const;
 
   /// Analyzes a single already-tokenized word; returns "" if it is filtered
   /// out (stopword / too short / too long).

@@ -13,18 +13,19 @@ namespace {
 // suffix spans the whole word.
 class Stemmer {
  public:
-  explicit Stemmer(std::string_view word)
-      : b_(word), k_(static_cast<int>(word.size()) - 1) {}
+  /// Operates directly on `*word` (not owned), truncating it to the stem.
+  explicit Stemmer(std::string* word)
+      : b_(*word), k_(static_cast<int>(word->size()) - 1) {}
 
-  std::string Run() {
-    if (k_ <= 1) return b_;
+  void Run() {
+    if (k_ <= 1) return;
     Step1ab();
     Step1c();
     Step2();
     Step3();
     Step4();
     Step5();
-    return b_.substr(0, static_cast<size_t>(k_) + 1);
+    b_.resize(static_cast<size_t>(k_) + 1);
   }
 
  private:
@@ -296,7 +297,7 @@ class Stemmer {
     if (At(k_) == 'l' && DoubleConsonant(k_) && Measure() > 1) --k_;
   }
 
-  std::string b_;
+  std::string& b_;
   int k_;      // index of last char of the current word
   int j_ = 0;  // index of last char of the stem during suffix tests
 };
@@ -304,11 +305,17 @@ class Stemmer {
 }  // namespace
 
 std::string PorterStem(std::string_view word) {
-  if (word.size() <= 2) return std::string(word);
-  for (char c : word) {
-    if (c < 'a' || c > 'z') return std::string(word);
+  std::string copy(word);
+  PorterStemInPlace(&copy);
+  return copy;
+}
+
+void PorterStemInPlace(std::string* word) {
+  if (word->size() <= 2) return;
+  for (char c : *word) {
+    if (c < 'a' || c > 'z') return;
   }
-  return Stemmer(word).Run();
+  Stemmer(word).Run();
 }
 
 }  // namespace cafc::text

@@ -19,6 +19,12 @@ namespace cafc::text {
 /// "probate"→"probat", "controll"→"control".
 std::string PorterStem(std::string_view word);
 
+/// In-place variant: stems `*word` reusing its buffer (no allocation unless
+/// a replacement suffix is longer than the matched one, which Porter's
+/// rules never produce beyond the original length). The allocation-lean
+/// path of the interning analyzer.
+void PorterStemInPlace(std::string* word);
+
 }  // namespace cafc::text
 
 #endif  // CAFC_TEXT_PORTER_STEMMER_H_

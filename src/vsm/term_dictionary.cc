@@ -3,7 +3,7 @@
 namespace cafc::vsm {
 
 TermId TermDictionary::Intern(std::string_view term) {
-  auto it = index_.find(std::string(term));
+  auto it = index_.find(term);
   if (it != index_.end()) return it->second;
   TermId id = static_cast<TermId>(terms_.size());
   terms_.emplace_back(term);
@@ -12,8 +12,23 @@ TermId TermDictionary::Intern(std::string_view term) {
 }
 
 TermId TermDictionary::Lookup(std::string_view term) const {
-  auto it = index_.find(std::string(term));
+  auto it = index_.find(term);
   return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+void TermDictionary::Reserve(size_t expected_terms) {
+  terms_.reserve(expected_terms);
+  index_.reserve(expected_terms);
+}
+
+std::vector<TermId> TermDictionary::Merge(const TermDictionary& other) {
+  std::vector<TermId> remap;
+  remap.reserve(other.size());
+  Reserve(size() + other.size());
+  for (size_t id = 0; id < other.size(); ++id) {
+    remap.push_back(Intern(other.terms_[id]));
+  }
+  return remap;
 }
 
 }  // namespace cafc::vsm

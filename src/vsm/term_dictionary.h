@@ -2,6 +2,7 @@
 #define CAFC_VSM_TERM_DICTIONARY_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -18,7 +19,9 @@ inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
 /// \brief Bidirectional term ↔ id mapping shared by all vectors of a corpus.
 ///
 /// Ids are dense and assigned in first-seen order, so they index directly
-/// into document-frequency arrays.
+/// into document-frequency arrays. Lookups are heterogeneous (no temporary
+/// std::string is built for a string_view probe), which keeps the
+/// intern-at-tokenize ingestion path allocation-free for already-seen terms.
 class TermDictionary {
  public:
   TermDictionary() = default;
@@ -29,13 +32,31 @@ class TermDictionary {
   /// Returns the id of `term`, or kInvalidTermId if it was never interned.
   TermId Lookup(std::string_view term) const;
 
+  /// Pre-sizes the index and term table for `expected_terms` entries.
+  void Reserve(size_t expected_terms);
+
+  /// Interns every term of `other` (in `other`'s id order) and returns the
+  /// id-remap table: `remap[other_id]` is the id of the same term in *this*.
+  /// Deterministic: the resulting dictionary depends only on the current
+  /// contents and `other`'s insertion order — the merge primitive behind
+  /// the sharded parallel ingestion build.
+  std::vector<TermId> Merge(const TermDictionary& other);
+
   /// Precondition: id < size().
   const std::string& term(TermId id) const { return terms_[id]; }
 
   size_t size() const { return terms_.size(); }
 
  private:
-  std::unordered_map<std::string, TermId> index_;
+  /// Transparent string hash so find(string_view) avoids an allocation.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  std::unordered_map<std::string, TermId, StringHash, std::equal_to<>> index_;
   std::vector<std::string> terms_;
 };
 

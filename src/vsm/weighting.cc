@@ -52,6 +52,19 @@ void CorpusStats::AddDocument(const std::vector<LocatedTerm>& terms) {
   for (TermId id : seen) ++document_frequency_[id];
 }
 
+void CorpusStats::AddDocument(const std::vector<InternedTerm>& terms) {
+  ++num_documents_;
+  std::vector<TermId> seen;
+  seen.reserve(terms.size());
+  for (const InternedTerm& it : terms) seen.push_back(it.term);
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  if (dictionary_->size() > document_frequency_.size()) {
+    document_frequency_.resize(dictionary_->size(), 0);
+  }
+  for (TermId id : seen) ++document_frequency_[id];
+}
+
 void CorpusStats::Restore(size_t num_documents,
                           std::vector<size_t> document_frequency) {
   num_documents_ = num_documents;
@@ -92,6 +105,47 @@ SparseVector TfIdfWeighter::Weigh(
   return SparseVector::FromUnsorted(std::move(entries));
 }
 
+namespace {
+
+/// Shared accumulator of the id-based Weigh paths: sorts the (id, LOC
+/// factor) occurrence list and folds each run into (tf, max LOC). The
+/// arithmetic matches the string-keyed hash-map path exactly (integer tf
+/// accumulated as doubles, integer LOC max), so weights are bit-identical.
+template <typename Fold>
+SparseVector WeighInterned(const std::vector<InternedTerm>& terms,
+                           const LocationWeightConfig& config, Fold&& fold) {
+  std::vector<std::pair<TermId, int>> occ;
+  occ.reserve(terms.size());
+  for (const InternedTerm& it : terms) {
+    occ.emplace_back(it.term, config.Factor(it.location));
+  }
+  std::sort(occ.begin(), occ.end());
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < occ.size();) {
+    size_t j = i;
+    int loc_factor = 1;
+    while (j < occ.size() && occ[j].first == occ[i].first) {
+      loc_factor = std::max(loc_factor, occ[j].second);
+      ++j;
+    }
+    double tf = static_cast<double>(j - i);
+    double w = fold(occ[i].first, tf, loc_factor);
+    if (w > 0.0) entries.push_back(Entry{occ[i].first, w});
+    i = j;
+  }
+  return SparseVector::FromUnsorted(std::move(entries));
+}
+
+}  // namespace
+
+SparseVector TfIdfWeighter::Weigh(
+    const std::vector<InternedTerm>& terms) const {
+  return WeighInterned(terms, config_,
+                       [this](TermId id, double tf, int loc_factor) {
+                         return loc_factor * tf * stats_->Idf(id);
+                       });
+}
+
 Bm25Weighter::Bm25Weighter(const CorpusStats* stats,
                            LocationWeightConfig config,
                            double average_document_length, Bm25Params params)
@@ -124,6 +178,17 @@ SparseVector Bm25Weighter::Weigh(
     if (w > 0.0) entries.push_back(Entry{id, w});
   }
   return SparseVector::FromUnsorted(std::move(entries));
+}
+
+SparseVector Bm25Weighter::Weigh(
+    const std::vector<InternedTerm>& terms) const {
+  const double dl = static_cast<double>(terms.size());
+  const double norm = params_.k1 * (1.0 - params_.b + params_.b * dl / avgdl_);
+  return WeighInterned(
+      terms, config_, [this, norm](TermId id, double tf, int loc_factor) {
+        double saturation = tf * (params_.k1 + 1.0) / (tf + norm);
+        return loc_factor * saturation * stats_->Idf(id);
+      });
 }
 
 SparseVector Centroid(const std::vector<const SparseVector*>& vectors) {

@@ -25,6 +25,16 @@ struct LocatedTerm {
   Location location;
 };
 
+/// One analyzed term occurrence, already interned into a TermDictionary.
+/// The id-based twin of LocatedTerm used by the zero-copy ingestion path:
+/// 8 bytes instead of an owning std::string per occurrence.
+struct InternedTerm {
+  TermId term;
+  Location location;
+
+  bool operator==(const InternedTerm&) const = default;
+};
+
 /// LOC factors per location ("a small integer", §2.1). Defaults follow
 /// §4.4: form text above option values; page title above body.
 struct LocationWeightConfig {
@@ -52,6 +62,11 @@ class CorpusStats {
   /// shared dictionary; duplicate terms in one document count once toward
   /// document frequency.
   void AddDocument(const std::vector<LocatedTerm>& terms);
+
+  /// Same, for a document whose terms are already interned into the shared
+  /// dictionary (ids must be < dictionary().size()). No hashing, no string
+  /// materialization — the fast path of the ingestion pipeline.
+  void AddDocument(const std::vector<InternedTerm>& terms);
 
   size_t num_documents() const { return num_documents_; }
 
@@ -93,6 +108,11 @@ class TfIdfWeighter {
   /// terms are skipped — they carry no usable IDF.
   SparseVector Weigh(const std::vector<LocatedTerm>& terms) const;
 
+  /// Id-based twin: terms are already interned into the stats' dictionary,
+  /// so no per-term hash lookup happens. Weights are bit-identical to the
+  /// string path for the same (term, location) stream.
+  SparseVector Weigh(const std::vector<InternedTerm>& terms) const;
+
   const LocationWeightConfig& config() const { return config_; }
 
  private:
@@ -120,6 +140,8 @@ class Bm25Weighter {
                double average_document_length, Bm25Params params = {});
 
   SparseVector Weigh(const std::vector<LocatedTerm>& terms) const;
+  /// Id-based twin (see TfIdfWeighter::Weigh).
+  SparseVector Weigh(const std::vector<InternedTerm>& terms) const;
 
  private:
   const CorpusStats* stats_;  // not owned

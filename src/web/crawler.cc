@@ -1,12 +1,71 @@
 #include "web/crawler.h"
 
+#include <chrono>
 #include <deque>
+#include <optional>
 #include <unordered_set>
+#include <utility>
 
 #include "html/dom.h"
+#include "util/thread_pool.h"
 #include "web/url.h"
 
 namespace cafc::web {
+
+namespace {
+
+/// Fixed chunk size of the per-level parallel scan. Like the ingestion
+/// grain, chunk boundaries depend only on the level size, never on the
+/// thread count.
+constexpr size_t kCrawlGrain = 16;
+
+/// Everything a single page contributes to the crawl, computed in
+/// parallel; absorbed into the CrawlResult serially, in frontier order.
+struct PageScan {
+  bool fetched = false;
+  bool has_form = false;
+  std::optional<html::Document> dom;  ///< kept only for form pages, on demand
+  std::vector<PageAnchor> links;      ///< resolved anchors, document order
+  double parse_ms = 0.0;
+};
+
+PageScan ScanPage(const WebFetcher& fetcher, const CrawlerOptions& options,
+                  const std::string& url) {
+  PageScan scan;
+  Result<const WebPage*> fetched = fetcher.Fetch(url);
+  if (!fetched.ok()) return scan;
+  scan.fetched = true;
+
+  const auto t_parse = std::chrono::steady_clock::now();
+  html::Document doc = html::Parse((*fetched)->html);
+  scan.parse_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t_parse)
+                      .count();
+  scan.has_form = doc.root().FindFirst("form") != nullptr;
+
+  Result<Url> page_url = ParseUrl(url);
+  if (page_url.ok()) {
+    Result<Url> base = DocumentBaseUrl(doc, *page_url);
+    if (base.ok()) {
+      for (const html::Node* anchor : doc.root().FindAll("a")) {
+        std::string_view href = anchor->GetAttr("href");
+        if (href.empty()) continue;
+        Result<Url> target = ResolveHref(*base, href);
+        if (!target.ok()) continue;
+        PageAnchor link;
+        link.target = target->ToString();
+        if (options.record_anchor_text) link.text = anchor->TextContent();
+        scan.links.push_back(std::move(link));
+      }
+    }
+  }
+  if (scan.has_form && options.keep_form_page_doms) {
+    scan.dom.emplace(std::move(doc));
+  }
+  return scan;
+}
+
+}  // namespace
 
 Result<Url> DocumentBaseUrl(const html::Document& document,
                             const Url& page_url) {
@@ -23,52 +82,82 @@ Result<Url> DocumentBaseUrl(const html::Document& document,
 
 CrawlResult Crawler::Crawl(const std::vector<std::string>& seeds) const {
   CrawlResult result;
-  std::deque<std::pair<std::string, size_t>> frontier;  // (url, depth)
   std::unordered_set<std::string> enqueued;
 
+  std::vector<std::string> level;  // current BFS depth, frontier order
   for (const std::string& seed : seeds) {
     Result<Url> parsed = ParseUrl(seed);
     if (!parsed.ok()) continue;
     std::string canonical = parsed->ToString();
     if (enqueued.insert(canonical).second) {
-      frontier.emplace_back(std::move(canonical), 0);
+      level.push_back(std::move(canonical));
     }
   }
 
-  while (!frontier.empty()) {
-    if (options_.max_pages != 0 && result.visited.size() >= options_.max_pages)
-      break;
-    auto [url, depth] = std::move(frontier.front());
-    frontier.pop_front();
-
-    Result<const WebPage*> fetched = fetcher_->Fetch(url);
-    if (!fetched.ok()) {
+  // Folds one scanned page into the result and appends its newly
+  // discovered links to `next`. Always called in frontier order.
+  auto absorb = [&](const std::string& url, size_t depth, PageScan&& scan,
+                    std::vector<std::string>* next) {
+    result.parse_ms += scan.parse_ms;
+    if (!scan.fetched) {
       ++result.fetch_failures;
-      continue;
+      return;
     }
     result.visited.push_back(url);
-
-    html::Document doc = html::Parse((*fetched)->html);
-    if (doc.root().FindFirst("form") != nullptr) {
+    if (scan.has_form) {
       result.form_page_urls.push_back(url);
-    }
-
-    Result<Url> page_url = ParseUrl(url);
-    if (!page_url.ok()) continue;
-    Result<Url> base = DocumentBaseUrl(doc, *page_url);
-    if (!base.ok()) continue;
-    for (const html::Node* anchor : doc.root().FindAll("a")) {
-      std::string_view href = anchor->GetAttr("href");
-      if (href.empty()) continue;
-      Result<Url> target = ResolveHref(*base, href);
-      if (!target.ok()) continue;
-      std::string target_url = target->ToString();
-      result.graph.AddLink(url, target_url);
-      if (depth + 1 <= options_.max_depth &&
-          enqueued.insert(target_url).second) {
-        frontier.emplace_back(std::move(target_url), depth + 1);
+      if (options_.keep_form_page_doms) {
+        result.form_page_doms.push_back(std::move(*scan.dom));
       }
     }
+    std::vector<PageAnchor>* recorded =
+        options_.record_anchor_text ? &result.anchors[url] : nullptr;
+    for (PageAnchor& link : scan.links) {
+      if (options_.build_graph) result.graph.AddLink(url, link.target);
+      if (depth + 1 <= options_.max_depth &&
+          enqueued.insert(link.target).second) {
+        next->push_back(link.target);
+      }
+      if (recorded != nullptr) recorded->push_back(std::move(link));
+    }
+  };
+
+  if (options_.max_pages != 0) {
+    // Serial variant: the page cap can cut a level mid-way, so pages must
+    // be scanned one at a time.
+    std::deque<std::pair<std::string, size_t>> frontier;
+    for (std::string& url : level) frontier.emplace_back(std::move(url), 0);
+    while (!frontier.empty()) {
+      if (result.visited.size() >= options_.max_pages) break;
+      auto [url, depth] = std::move(frontier.front());
+      frontier.pop_front();
+      std::vector<std::string> next;
+      absorb(url, depth, ScanPage(*fetcher_, options_, url), &next);
+      for (std::string& target : next) {
+        frontier.emplace_back(std::move(target), depth + 1);
+      }
+    }
+    return result;
+  }
+
+  // Level-synchronous parallel BFS: scan a whole depth in parallel (each
+  // chunk writes disjoint scan slots), then absorb serially in frontier
+  // order — identical output to the serial crawl at any thread count.
+  size_t depth = 0;
+  while (!level.empty()) {
+    std::vector<PageScan> scans(level.size());
+    util::ParallelFor(0, level.size(), kCrawlGrain,
+                      [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        scans[i] = ScanPage(*fetcher_, options_, level[i]);
+      }
+    });
+    std::vector<std::string> next;
+    for (size_t i = 0; i < level.size(); ++i) {
+      absorb(level[i], depth, std::move(scans[i]), &next);
+    }
+    level = std::move(next);
+    ++depth;
   }
   return result;
 }

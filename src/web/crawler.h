@@ -2,6 +2,7 @@
 #define CAFC_WEB_CRAWLER_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "html/dom.h"
@@ -11,12 +12,32 @@
 
 namespace cafc::web {
 
-/// Crawl limits.
+/// Crawl limits and capture options.
 struct CrawlerOptions {
   /// Stop after fetching this many pages (0 = unlimited).
   size_t max_pages = 0;
   /// Maximum link depth from a seed (seeds are depth 0).
   size_t max_depth = 8;
+  /// Retain the parsed DOM of every page containing a `<form>` element,
+  /// aligned with CrawlResult::form_page_urls, so downstream stages can
+  /// consume candidate pages without re-parsing them.
+  bool keep_form_page_doms = false;
+  /// Record every fetched page's resolved anchors (target URL + anchor
+  /// text) in CrawlResult::anchors, so anchor-text consumers (backlink hub
+  /// mining) never need to re-fetch or re-parse a page the crawl saw.
+  bool record_anchor_text = false;
+  /// Build CrawlResult::graph from the discovered links. Callers that get
+  /// link structure elsewhere (BuildDataset uses the synthesizer's full
+  /// graph for backlinks) can turn this off to skip the per-anchor
+  /// interning work.
+  bool build_graph = true;
+};
+
+/// One resolved `<a href>` on a fetched page: the absolute target URL and
+/// the anchor's text content (empty unless record_anchor_text is set).
+struct PageAnchor {
+  std::string target;
+  std::string text;
 };
 
 /// Output of a crawl.
@@ -26,11 +47,20 @@ struct CrawlResult {
   /// URLs of fetched pages that contain at least one `<form>` element —
   /// the raw candidate set fed to the searchable-form classifier.
   std::vector<std::string> form_page_urls;
+  /// Parsed DOMs aligned with `form_page_urls`; filled only when
+  /// CrawlerOptions::keep_form_page_doms is set.
+  std::vector<html::Document> form_page_doms;
   /// Hyperlink graph discovered by parsing fetched pages. Contains only
   /// edges whose source was fetched; targets may be unfetched frontier.
   LinkGraph graph;
+  /// Per fetched page, its resolved anchors in document order; filled only
+  /// when CrawlerOptions::record_anchor_text is set.
+  std::unordered_map<std::string, std::vector<PageAnchor>> anchors;
   /// Fetches that failed (dangling links).
   size_t fetch_failures = 0;
+  /// Worker-summed wall time spent in html::Parse across the crawl
+  /// (CPU-time-like: can exceed the crawl's wall time with many threads).
+  double parse_ms = 0.0;
 };
 
 /// Effective base URL for resolving a page's links: the first
@@ -44,6 +74,14 @@ Result<Url> DocumentBaseUrl(const html::Document& document,
 /// Parses each fetched page with the HTML DOM parser, resolves `<a href>`
 /// values against the page URL, and records the link structure. This is the
 /// "Web crawler [3]" substrate the paper uses to gather half its data set.
+///
+/// When no page cap is set, each BFS level's fetch + parse + link
+/// extraction runs in parallel over the default thread pool; pages are
+/// then absorbed serially in frontier order, so visited order, candidate
+/// order, graph contents and dedup decisions are bit-identical to the
+/// serial crawl at any thread count. With max_pages != 0 the crawl runs
+/// serially (the cap cuts a level mid-way, which is an inherently
+/// sequential condition).
 class Crawler {
  public:
   explicit Crawler(const WebFetcher* fetcher, CrawlerOptions options = {})

@@ -1,5 +1,6 @@
 #include "core/dataset.h"
 
+#include <memory>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -141,11 +142,14 @@ TEST_F(DatasetTest, WeighNewDocumentUsesCollectionSpace) {
   EXPECT_EQ(reweighed.pc, set.page(0).pc);
   EXPECT_EQ(reweighed.fc, set.page(0).fc);
 
-  // A document full of unseen terms yields an empty vector.
+  // A document full of unseen terms (interned in its own dictionary)
+  // yields an empty vector.
+  auto alien_dict = std::make_shared<vsm::TermDictionary>();
   forms::FormPageDocument alien;
   alien.url = "http://alien.com/";
   alien.page_terms.push_back(
-      {"zzzzunseenterm", vsm::Location::kPageBody});
+      {alien_dict->Intern("zzzzunseenterm"), vsm::Location::kPageBody});
+  alien.dictionary = alien_dict;
   EXPECT_TRUE(WeighNewDocument(set, alien).pc.empty());
 }
 
@@ -162,7 +166,7 @@ TEST(BuildDatasetTest, AnchorTextCollectionAddsAnchorTerms) {
   size_t pages_with_anchors = 0;
   for (size_t i = 0; i < with.entries.size(); ++i) {
     size_t here = 0;
-    for (const vsm::LocatedTerm& t : with.entries[i].doc.page_terms) {
+    for (const vsm::InternedTerm& t : with.entries[i].doc.page_terms) {
       if (t.location == vsm::Location::kAnchorText) ++here;
     }
     // Anchor terms only ever get added, never removed.
@@ -180,7 +184,7 @@ TEST(BuildDatasetTest, AnchorTextCollectionAddsAnchorTerms) {
   // <a> elements (nav links are "home | about us | help" — stopwords and
   // short words mostly vanish).
   for (const DatasetEntry& e : without.entries) {
-    for (const vsm::LocatedTerm& t : e.doc.page_terms) {
+    for (const vsm::InternedTerm& t : e.doc.page_terms) {
       if (t.location == vsm::Location::kAnchorText) {
         // allowed: the page's own anchors
         SUCCEED();

@@ -7,7 +7,7 @@
 namespace cafc::forms {
 namespace {
 
-using vsm::LocatedTerm;
+using vsm::InternedTerm;
 using vsm::Location;
 
 constexpr const char* kPage = R"html(
@@ -25,19 +25,26 @@ Departure city: <input type="text" name="from">
 </body></html>
 )html";
 
-bool HasTerm(const std::vector<LocatedTerm>& terms, std::string_view term,
+// Term occurrences are interned; resolve the probe string through the
+// document's dictionary first.
+bool HasTerm(const FormPageDocument& doc,
+             const std::vector<InternedTerm>& terms, std::string_view term,
              Location loc) {
+  vsm::TermId id = doc.dictionary->Lookup(term);
+  if (id == vsm::kInvalidTermId) return false;
   return std::any_of(terms.begin(), terms.end(),
-                     [term, loc](const LocatedTerm& t) {
-                       return t.term == term && t.location == loc;
+                     [id, loc](const InternedTerm& t) {
+                       return t.term == id && t.location == loc;
                      });
 }
 
-bool HasTermAnywhere(const std::vector<LocatedTerm>& terms,
+bool HasTermAnywhere(const FormPageDocument& doc,
+                     const std::vector<InternedTerm>& terms,
                      std::string_view term) {
-  return std::any_of(terms.begin(), terms.end(), [term](const LocatedTerm& t) {
-    return t.term == term;
-  });
+  vsm::TermId id = doc.dictionary->Lookup(term);
+  if (id == vsm::kInvalidTermId) return false;
+  return std::any_of(terms.begin(), terms.end(),
+                     [id](const InternedTerm& t) { return t.term == id; });
 }
 
 class FormPageModelTest : public ::testing::Test {
@@ -56,47 +63,47 @@ TEST_F(FormPageModelTest, FormsExtracted) {
 }
 
 TEST_F(FormPageModelTest, TitleTermsTagged) {
-  EXPECT_TRUE(HasTerm(doc_.page_terms, "cheap", Location::kPageTitle));
-  EXPECT_TRUE(HasTerm(doc_.page_terms, "flight", Location::kPageTitle));
+  EXPECT_TRUE(HasTerm(doc_, doc_.page_terms, "cheap", Location::kPageTitle));
+  EXPECT_TRUE(HasTerm(doc_, doc_.page_terms, "flight", Location::kPageTitle));
 }
 
 TEST_F(FormPageModelTest, AnchorTermsTagged) {
-  EXPECT_TRUE(HasTerm(doc_.page_terms, "deal", Location::kAnchorText));
+  EXPECT_TRUE(HasTerm(doc_, doc_.page_terms, "deal", Location::kAnchorText));
 }
 
 TEST_F(FormPageModelTest, BodyTermsTagged) {
-  EXPECT_TRUE(HasTerm(doc_.page_terms, "airlin", Location::kPageBody));
-  EXPECT_TRUE(HasTerm(doc_.page_terms, "vacat", Location::kPageBody));
+  EXPECT_TRUE(HasTerm(doc_, doc_.page_terms, "airlin", Location::kPageBody));
+  EXPECT_TRUE(HasTerm(doc_, doc_.page_terms, "vacat", Location::kPageBody));
 }
 
 TEST_F(FormPageModelTest, FormTextGoesToFc) {
-  EXPECT_TRUE(HasTerm(doc_.form_terms, "departur", Location::kFormText));
-  EXPECT_TRUE(HasTerm(doc_.form_terms, "citi", Location::kFormText));
+  EXPECT_TRUE(HasTerm(doc_, doc_.form_terms, "departur", Location::kFormText));
+  EXPECT_TRUE(HasTerm(doc_, doc_.form_terms, "citi", Location::kFormText));
   // Submit caption counts as form text.
-  EXPECT_TRUE(HasTerm(doc_.form_terms, "find", Location::kFormText));
+  EXPECT_TRUE(HasTerm(doc_, doc_.form_terms, "find", Location::kFormText));
 }
 
 TEST_F(FormPageModelTest, OptionTermsTagged) {
-  EXPECT_TRUE(HasTerm(doc_.form_terms, "economi", Location::kFormOption));
-  EXPECT_TRUE(HasTerm(doc_.form_terms, "busi", Location::kFormOption));
+  EXPECT_TRUE(HasTerm(doc_, doc_.form_terms, "economi", Location::kFormOption));
+  EXPECT_TRUE(HasTerm(doc_, doc_.form_terms, "busi", Location::kFormOption));
 }
 
 TEST_F(FormPageModelTest, PartitionIsDisjoint) {
   // Form-subtree terms must not appear in PC.
-  EXPECT_FALSE(HasTermAnywhere(doc_.page_terms, "economi"));
-  EXPECT_FALSE(HasTermAnywhere(doc_.page_terms, "departur"));
+  EXPECT_FALSE(HasTermAnywhere(doc_, doc_.page_terms, "economi"));
+  EXPECT_FALSE(HasTermAnywhere(doc_, doc_.page_terms, "departur"));
   // Page terms must not appear in FC.
-  EXPECT_FALSE(HasTermAnywhere(doc_.form_terms, "welcom"));
+  EXPECT_FALSE(HasTermAnywhere(doc_, doc_.form_terms, "welcom"));
 }
 
 TEST_F(FormPageModelTest, HiddenTokensExcludedEverywhere) {
-  EXPECT_FALSE(HasTermAnywhere(doc_.form_terms, "zzyxw"));
-  EXPECT_FALSE(HasTermAnywhere(doc_.page_terms, "zzyxw"));
+  EXPECT_FALSE(HasTermAnywhere(doc_, doc_.form_terms, "zzyxw"));
+  EXPECT_FALSE(HasTermAnywhere(doc_, doc_.page_terms, "zzyxw"));
 }
 
 TEST_F(FormPageModelTest, StopwordsFiltered) {
-  EXPECT_FALSE(HasTermAnywhere(doc_.page_terms, "and"));
-  EXPECT_FALSE(HasTermAnywhere(doc_.page_terms, "copyright"));
+  EXPECT_FALSE(HasTermAnywhere(doc_, doc_.page_terms, "and"));
+  EXPECT_FALSE(HasTermAnywhere(doc_, doc_.page_terms, "copyright"));
 }
 
 TEST(FormPageModelOptionsTest, UnpartitionedModeIncludesFormInPc) {
@@ -105,9 +112,9 @@ TEST(FormPageModelOptionsTest, UnpartitionedModeIncludesFormInPc) {
   FormPageModelBuilder builder({}, options);
   FormPageDocument doc = builder.Build("http://x.com/", kPage);
   // Form text now also appears in the page space (as body text).
-  EXPECT_TRUE(HasTermAnywhere(doc.page_terms, "departur"));
+  EXPECT_TRUE(HasTermAnywhere(doc, doc.page_terms, "departur"));
   // FC is unchanged.
-  EXPECT_TRUE(HasTermAnywhere(doc.form_terms, "departur"));
+  EXPECT_TRUE(HasTermAnywhere(doc, doc.form_terms, "departur"));
 }
 
 TEST(FormPageModelPlainTest, PageWithoutFormsHasEmptyFc) {
@@ -125,9 +132,9 @@ TEST(FormPageModelPlainTest, ScriptAndStyleNeverPageText) {
       "http://x.com/",
       "<html><head><style>body { margincolor: red }</style></head>"
       "<body><script>var secretword = 1;</script>visible</body></html>");
-  EXPECT_TRUE(HasTermAnywhere(doc.page_terms, "visibl"));
-  EXPECT_FALSE(HasTermAnywhere(doc.page_terms, "secretword"));
-  EXPECT_FALSE(HasTermAnywhere(doc.page_terms, "margincolor"));
+  EXPECT_TRUE(HasTermAnywhere(doc, doc.page_terms, "visibl"));
+  EXPECT_FALSE(HasTermAnywhere(doc, doc.page_terms, "secretword"));
+  EXPECT_FALSE(HasTermAnywhere(doc, doc.page_terms, "margincolor"));
 }
 
 TEST(FormPageModelPlainTest, CountsMatchTermVectors) {
@@ -143,9 +150,9 @@ TEST(FormPageModelPlainTest, MultipleFormsAllContributeToFc) {
   FormPageDocument doc = builder.Build(
       "http://x.com/",
       "<form>alpha words</form><p>interstitial</p><form>bravo words</form>");
-  EXPECT_TRUE(HasTermAnywhere(doc.form_terms, "alpha"));
-  EXPECT_TRUE(HasTermAnywhere(doc.form_terms, "bravo"));
-  EXPECT_TRUE(HasTermAnywhere(doc.page_terms, "interstiti"));
+  EXPECT_TRUE(HasTermAnywhere(doc, doc.form_terms, "alpha"));
+  EXPECT_TRUE(HasTermAnywhere(doc, doc.form_terms, "bravo"));
+  EXPECT_TRUE(HasTermAnywhere(doc, doc.page_terms, "interstiti"));
 }
 
 }  // namespace

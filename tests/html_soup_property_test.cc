@@ -112,10 +112,12 @@ TEST_P(SoupPropertyTest, FormPageModelSurvivesSoup) {
     std::string soup = GenerateSoup(&rng, 5 + rng.Uniform(150));
     forms::FormPageDocument doc = builder.Build("http://x.com/", soup);
     for (const auto& term : doc.page_terms) {
-      EXPECT_FALSE(term.term.empty());
+      ASSERT_LT(term.term, doc.dictionary->size());
+      EXPECT_FALSE(doc.Term(term).empty());
     }
     for (const auto& term : doc.form_terms) {
-      EXPECT_FALSE(term.term.empty());
+      ASSERT_LT(term.term, doc.dictionary->size());
+      EXPECT_FALSE(doc.Term(term).empty());
     }
   }
 }

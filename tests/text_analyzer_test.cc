@@ -101,5 +101,69 @@ TEST(AnalyzerTest, OptionsAccessor) {
   EXPECT_TRUE(analyzer.Analyze("go up").empty());
 }
 
+// Resolves AnalyzeInto's id stream back to strings through the dictionary.
+std::vector<std::string> InternedStream(const Analyzer& analyzer,
+                                        std::string_view input,
+                                        AnalyzerScratch* scratch = nullptr) {
+  vsm::TermDictionary dict;
+  std::vector<vsm::TermId> ids;
+  analyzer.AnalyzeInto(input, &dict, &ids, scratch);
+  std::vector<std::string> terms;
+  terms.reserve(ids.size());
+  for (vsm::TermId id : ids) terms.push_back(dict.term(id));
+  return terms;
+}
+
+TEST(AnalyzeIntoTest, MatchesAnalyzeOnRepresentativeInputs) {
+  const char* kInputs[] = {
+      "Find Cheap Flights and hotel deals!",
+      "job's don't it's  123 mixed-up CASE text",
+      "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa tiny ok",
+      "",
+      "a b c xy",
+      "running runner ran runs   ponies pony",
+  };
+  for (bool stem : {true, false}) {
+    for (bool stopwords : {true, false}) {
+      AnalyzerOptions options;
+      options.stem = stem;
+      options.remove_stopwords = stopwords;
+      Analyzer analyzer(options);
+      for (const char* input : kInputs) {
+        EXPECT_EQ(InternedStream(analyzer, input), analyzer.Analyze(input))
+            << "stem=" << stem << " stopwords=" << stopwords
+            << " input=" << input;
+      }
+    }
+  }
+}
+
+TEST(AnalyzeIntoTest, MatchesAnalyzeWithBigrams) {
+  AnalyzerOptions options;
+  options.emit_bigrams = true;
+  Analyzer analyzer(options);
+  for (const char* input :
+       {"job category state", "check in date", "flights", "",
+        "departure city arrival city"}) {
+    EXPECT_EQ(InternedStream(analyzer, input), analyzer.Analyze(input))
+        << input;
+  }
+}
+
+TEST(AnalyzeIntoTest, ReusedScratchAndDictionaryAccumulate) {
+  Analyzer analyzer;
+  AnalyzerScratch scratch;
+  vsm::TermDictionary dict;
+  std::vector<vsm::TermId> ids;
+  analyzer.AnalyzeInto("cheap flights", &dict, &ids, &scratch);
+  analyzer.AnalyzeInto("cheap hotels", &dict, &ids, &scratch);
+  // Appended, with repeated terms mapping to the same id.
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_EQ(ids[0], ids[2]);  // "cheap" both times
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.term(ids[1]), "flight");
+  EXPECT_EQ(dict.term(ids[3]), "hotel");
+}
+
 }  // namespace
 }  // namespace cafc::text

@@ -1,0 +1,125 @@
+#include "vsm/term_dictionary.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cafc::vsm {
+namespace {
+
+TEST(TermDictionaryTest, InternAssignsDenseIdsInFirstSeenOrder) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Intern("alpha"), 0u);
+  EXPECT_EQ(dict.Intern("beta"), 1u);
+  EXPECT_EQ(dict.Intern("alpha"), 0u);
+  EXPECT_EQ(dict.Intern("gamma"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.term(0), "alpha");
+  EXPECT_EQ(dict.term(1), "beta");
+  EXPECT_EQ(dict.term(2), "gamma");
+}
+
+TEST(TermDictionaryTest, LookupFindsInternedAndRejectsUnknown) {
+  TermDictionary dict;
+  dict.Intern("alpha");
+  EXPECT_EQ(dict.Lookup("alpha"), 0u);
+  EXPECT_EQ(dict.Lookup("beta"), kInvalidTermId);
+  // Heterogeneous probe: string_view into a larger buffer.
+  std::string buffer = "xxalphaxx";
+  EXPECT_EQ(dict.Lookup(std::string_view(buffer).substr(2, 5)), 0u);
+}
+
+TEST(TermDictionaryTest, ReservePreservesContents) {
+  TermDictionary dict;
+  dict.Intern("alpha");
+  dict.Intern("beta");
+  dict.Reserve(10'000);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Lookup("alpha"), 0u);
+  EXPECT_EQ(dict.Lookup("beta"), 1u);
+  for (int i = 0; i < 100; ++i) {
+    dict.Intern("term" + std::to_string(i));
+  }
+  EXPECT_EQ(dict.term(0), "alpha");
+  EXPECT_EQ(dict.Lookup("term99"), 101u);
+}
+
+TEST(TermDictionaryTest, MergeIntoEmptyIsIdentity) {
+  TermDictionary shard;
+  shard.Intern("alpha");
+  shard.Intern("beta");
+  TermDictionary merged;
+  std::vector<TermId> remap = merged.Merge(shard);
+  ASSERT_EQ(remap.size(), 2u);
+  EXPECT_EQ(remap[0], 0u);
+  EXPECT_EQ(remap[1], 1u);
+  EXPECT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged.term(0), "alpha");
+  EXPECT_EQ(merged.term(1), "beta");
+}
+
+TEST(TermDictionaryTest, MergeRemapsOverlappingShards) {
+  TermDictionary merged;
+  merged.Intern("alpha");  // 0
+  merged.Intern("beta");   // 1
+
+  TermDictionary shard;
+  shard.Intern("beta");   // shard id 0
+  shard.Intern("gamma");  // shard id 1
+  shard.Intern("alpha");  // shard id 2
+
+  std::vector<TermId> remap = merged.Merge(shard);
+  ASSERT_EQ(remap.size(), 3u);
+  EXPECT_EQ(remap[0], 1u);  // beta already had id 1
+  EXPECT_EQ(remap[1], 2u);  // gamma is new, appended
+  EXPECT_EQ(remap[2], 0u);  // alpha already had id 0
+  EXPECT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged.term(2), "gamma");
+}
+
+TEST(TermDictionaryTest, MergeOrderIsDeterministic) {
+  // Merging the same shards in the same order always produces the same
+  // id assignment — the property the parallel ingestion build relies on.
+  auto build = [] {
+    TermDictionary a;
+    a.Intern("x");
+    a.Intern("y");
+    TermDictionary b;
+    b.Intern("y");
+    b.Intern("z");
+    TermDictionary merged;
+    merged.Merge(a);
+    merged.Merge(b);
+    return merged;
+  };
+  TermDictionary first = build();
+  TermDictionary second = build();
+  ASSERT_EQ(first.size(), second.size());
+  for (TermId id = 0; id < first.size(); ++id) {
+    EXPECT_EQ(first.term(id), second.term(id));
+  }
+}
+
+TEST(TermDictionaryTest, MergeEmptyShardIsNoOp) {
+  TermDictionary merged;
+  merged.Intern("alpha");
+  TermDictionary empty;
+  EXPECT_TRUE(merged.Merge(empty).empty());
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(TermDictionaryTest, CopyPreservesIds) {
+  // The directory persistence layer copies dictionaries wholesale.
+  TermDictionary dict;
+  dict.Intern("alpha");
+  dict.Intern("beta");
+  TermDictionary copy = dict;
+  EXPECT_EQ(copy.Lookup("beta"), 1u);
+  copy.Intern("gamma");
+  EXPECT_EQ(copy.size(), 3u);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cafc::vsm
