@@ -1,0 +1,349 @@
+// Fault-tolerance / graceful-degradation benchmark: run the full
+// crawl → ingest → CAFC-CH pipeline against a FaultInjectingFetcher and
+// sweep one fault dimension at a time (transient, dead, truncated,
+// soft-404), recording recovery counters, retry overhead and clustering
+// quality (entropy / F-measure against the surviving gold labels) at each
+// fault level.
+//
+// Correctness gates (non-zero exit):
+//   1. At every fault point the Dataset must be bit-identical across all
+//      swept thread counts — the determinism contract must hold under
+//      faults, not just on the happy path.
+//   2. Transient faults must be *invisible*: with the default retry policy
+//      the dataset at every transient rate must equal the zero-fault
+//      dataset except for the retry accounting.
+//   3. Within each sweep the recovered-page count must be monotone
+//      non-increasing as the fault rate grows (the stacked-band fault
+//      assignment nests the fault sets, so a recovery "improving" under
+//      more faults means classification is broken).
+//   4. The pipeline must complete and CAFC-CH must produce k clusters at
+//      every swept fault level — degradation, never collapse.
+//
+// Results land in BENCH_faults.json. `--smoke` runs a small corpus with
+// threads {1,2} and two rates per sweep (CI gate).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "util/table.h"
+#include "web/fault_injection.h"
+
+namespace {
+
+using namespace cafc;         // NOLINT
+using namespace cafc::bench;  // NOLINT
+
+struct SweepSpec {
+  const char* kind;
+  std::vector<double> rates;  // ascending; 0 is the shared clean baseline
+};
+
+struct FaultPoint {
+  double rate = 0.0;
+  size_t entries = 0;          ///< gold pages that survived the pipeline
+  size_t padded_seeds = 0;     ///< CAFC-CH fallback seeds used
+  web::CrawlStats crawl;       ///< failure taxonomy + retry accounting
+  web::FaultStats injected;    ///< what the fetcher actually served
+  double entropy = 0.0;
+  double f_measure = 0.0;
+};
+
+web::FaultProfile ProfileFor(const std::string& kind, double rate,
+                             uint64_t seed) {
+  web::FaultProfile profile;
+  profile.seed = seed;
+  if (kind == "transient") {
+    profile.transient_rate = rate;
+    profile.transient_attempts = 2;  // recoverable by the default 3 attempts
+  } else if (kind == "dead") {
+    profile.dead_rate = rate;
+  } else if (kind == "truncated") {
+    profile.truncated_rate = rate;
+  } else {
+    profile.soft404_rate = rate;
+  }
+  return profile;
+}
+
+bool EntriesAndDictionaryIdentical(const Dataset& a, const Dataset& b) {
+  if (a.dictionary->size() != b.dictionary->size()) return false;
+  for (vsm::TermId id = 0; id < a.dictionary->size(); ++id) {
+    if (a.dictionary->term(id) != b.dictionary->term(id)) return false;
+  }
+  if (a.entries.size() != b.entries.size()) return false;
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    const DatasetEntry& ea = a.entries[i];
+    const DatasetEntry& eb = b.entries[i];
+    if (ea.doc.url != eb.doc.url || ea.backlinks != eb.backlinks ||
+        ea.gold != eb.gold || ea.doc.page_terms != eb.doc.page_terms ||
+        ea.doc.form_terms != eb.doc.form_terms) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool DatasetsIdentical(const Dataset& a, const Dataset& b) {
+  return a.stats == b.stats && EntriesAndDictionaryIdentical(a, b);
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void WriteJson(const std::string& path, int hardware, bool smoke,
+               const std::vector<int>& threads,
+               const std::vector<std::pair<std::string,
+                                           std::vector<FaultPoint>>>& sweeps) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"ext_fault_tolerance\",\n";
+  out << "  \"hardware_concurrency\": " << hardware << ",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"threads_verified_identical\": [";
+  for (size_t t = 0; t < threads.size(); ++t) {
+    out << threads[t] << (t + 1 < threads.size() ? ", " : "");
+  }
+  out << "],\n  \"sweeps\": [\n";
+  for (size_t s = 0; s < sweeps.size(); ++s) {
+    out << "    {\"fault\": \"" << sweeps[s].first << "\", \"points\": [\n";
+    const std::vector<FaultPoint>& points = sweeps[s].second;
+    for (size_t p = 0; p < points.size(); ++p) {
+      const FaultPoint& fp = points[p];
+      out << "      {\"rate\": " << JsonNumber(fp.rate)
+          << ", \"recovered_pages\": " << fp.entries
+          << ", \"fetched\": " << fp.crawl.fetched
+          << ", \"transient_recovered\": " << fp.crawl.transient_recovered
+          << ", \"retries_exhausted\": " << fp.crawl.retries_exhausted
+          << ", \"dead_urls\": " << fp.crawl.dead_urls
+          << ", \"malformed_pages\": " << fp.crawl.malformed_pages
+          << ", \"soft404_pages\": " << fp.crawl.soft404_pages
+          << ", \"retry_attempts\": " << fp.crawl.retry_attempts
+          << ", \"backoff_virtual_ms\": " << fp.crawl.backoff_virtual_ms
+          << ", \"injected_failures\": "
+          << (fp.injected.injected_dead + fp.injected.injected_transient +
+              fp.injected.injected_deadline)
+          << ", \"padded_seeds\": " << fp.padded_seeds
+          << ", \"entropy\": " << JsonNumber(fp.entropy)
+          << ", \"f_measure\": " << JsonNumber(fp.f_measure) << "}"
+          << (p + 1 < points.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (s + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int hardware = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<int> threads = smoke ? std::vector<int>{1, 2}
+                                   : std::vector<int>{1, 2, 8};
+
+  web::SynthesizerConfig config;  // defaults: the §4.1 454-page corpus
+  config.seed = 42;
+  if (smoke) {
+    config.form_pages_total = 96;
+    config.single_attribute_forms = 12;
+    config.homogeneous_hubs_per_domain = 60;
+    config.mixed_hubs = 120;
+    config.directory_hubs = 6;
+    config.large_air_hotel_hubs = 6;
+    config.non_searchable_form_pages = 10;
+    config.noise_pages = 10;
+    config.outlier_pages = 0;
+  }
+  web::SyntheticWeb web = web::Synthesizer(config).Generate();
+  const int k = 8;
+
+  std::vector<SweepSpec> specs = {
+      {"transient", {0.0, 0.1, 0.3, 0.5}},
+      {"dead", {0.0, 0.05, 0.1, 0.2}},
+      {"truncated", {0.0, 0.1, 0.2, 0.4}},
+      {"soft404", {0.0, 0.1, 0.2, 0.4}},
+  };
+  if (smoke) {
+    specs = {
+        {"transient", {0.0, 0.3}},
+        {"dead", {0.0, 0.1}},
+        {"truncated", {0.0, 0.2}},
+        {"soft404", {0.0, 0.2}},
+    };
+  }
+
+  // One degraded pipeline run: fresh fault decorator (attempt counters
+  // model a single run's view of the network), crawl + ingest through it.
+  auto build = [&](const web::FaultProfile& profile, int run_threads,
+                   web::FaultStats* injected) {
+    web::FaultInjectingFetcher faulty(&web, profile);
+    DatasetOptions options;
+    options.threads = run_threads;
+    options.fetcher = &faulty;
+    Result<Dataset> dataset = BuildDataset(web, options);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "FAIL: pipeline died under faults: %s\n",
+                   dataset.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (injected != nullptr) *injected = faulty.stats();
+    return std::move(dataset).value();
+  };
+
+  // The shared zero-fault baseline (also cross-thread-verified once).
+  bool deterministic = true;
+  web::FaultStats clean_injected;
+  Dataset clean = build(web::FaultProfile{}, threads[0], &clean_injected);
+  for (size_t t = 1; t < threads.size(); ++t) {
+    if (!DatasetsIdentical(clean, build(web::FaultProfile{}, threads[t],
+                                        nullptr))) {
+      std::fprintf(stderr, "FAIL: zero-fault dataset differs at threads=%d\n",
+                   threads[t]);
+      deterministic = false;
+    }
+  }
+
+  Table table({"fault", "rate", "recovered", "retried", "exhausted", "dead",
+               "malformed", "soft404", "backoff (ms)", "padded", "entropy",
+               "F"});
+  std::vector<std::pair<std::string, std::vector<FaultPoint>>> sweeps;
+  bool monotone = true;
+  bool transparent = true;
+
+  for (const SweepSpec& spec : specs) {
+    std::vector<FaultPoint> points;
+    for (double rate : spec.rates) {
+      web::FaultProfile profile = ProfileFor(spec.kind, rate, /*seed=*/13);
+
+      FaultPoint point;
+      point.rate = rate;
+      Dataset dataset;
+      if (rate == 0.0) {
+        // Shared baseline: already built and thread-verified above.
+        point.injected = clean_injected;
+        dataset = build(web::FaultProfile{}, threads[0], nullptr);
+      } else {
+        dataset = build(profile, threads[0], &point.injected);
+        for (size_t t = 1; t < threads.size(); ++t) {
+          if (!DatasetsIdentical(dataset,
+                                 build(profile, threads[t], nullptr))) {
+            std::fprintf(stderr,
+                         "FAIL: %s rate %.2f dataset differs at threads=%d\n",
+                         spec.kind, rate, threads[t]);
+            deterministic = false;
+          }
+        }
+      }
+      point.entries = dataset.entries.size();
+      point.crawl = dataset.stats.crawl;
+
+      // Gate 2: transient faults leave no trace beyond retry accounting.
+      if (spec.kind == std::string("transient") && rate > 0.0) {
+        if (!EntriesAndDictionaryIdentical(clean, dataset) ||
+            dataset.stats.crawl.fetch_failures() != 0 ||
+            dataset.stats.crawl.transient_recovered == 0) {
+          std::fprintf(stderr,
+                       "FAIL: transient rate %.2f was not fully recovered "
+                       "(%zu/%zu pages, %zu failures)\n",
+                       rate, dataset.entries.size(), clean.entries.size(),
+                       dataset.stats.crawl.fetch_failures());
+          transparent = false;
+        }
+      }
+
+      // Gate 4: the clustering stage completes on the degraded corpus.
+      FormPageSet pages = BuildFormPageSet(dataset);
+      CafcChReport report;
+      cluster::Clustering clustering =
+          CafcCh(pages, k, CafcChOptions{}, &report);
+      point.padded_seeds = report.padded_seeds;
+      if (clustering.num_clusters != k ||
+          clustering.assignment.size() != pages.size()) {
+        std::fprintf(stderr, "FAIL: CAFC-CH collapsed at %s rate %.2f\n",
+                     spec.kind, rate);
+        std::exit(1);
+      }
+      std::vector<int> gold = dataset.GoldLabels();
+      eval::ContingencyTable contingency(gold, dataset.num_classes,
+                                         clustering);
+      point.entropy = eval::TotalEntropy(contingency);
+      point.f_measure = eval::OverallFMeasure(contingency);
+
+      table.AddRow({spec.kind, Fmt(rate, 2), std::to_string(point.entries),
+                    std::to_string(point.crawl.transient_recovered),
+                    std::to_string(point.crawl.retries_exhausted),
+                    std::to_string(point.crawl.dead_urls),
+                    std::to_string(point.crawl.malformed_pages),
+                    std::to_string(point.crawl.soft404_pages),
+                    std::to_string(point.crawl.backoff_virtual_ms),
+                    std::to_string(point.padded_seeds),
+                    Fmt(point.entropy, 3), Fmt(point.f_measure, 3)});
+      points.push_back(std::move(point));
+    }
+
+    // Gate 3: nested fault sets ⇒ recovered pages monotone non-increasing.
+    for (size_t p = 1; p < points.size(); ++p) {
+      if (points[p].entries > points[p - 1].entries) {
+        std::fprintf(stderr,
+                     "FAIL: %s sweep not monotone: rate %.2f recovered %zu "
+                     "pages > rate %.2f's %zu\n",
+                     spec.kind, points[p].rate, points[p].entries,
+                     points[p - 1].rate, points[p - 1].entries);
+        monotone = false;
+      }
+    }
+    sweeps.emplace_back(spec.kind, std::move(points));
+  }
+
+  std::printf("=== Fault tolerance: degradation sweeps (k=%d, %zu gold "
+              "pages, threads verified {",
+              k, clean.entries.size());
+  for (size_t t = 0; t < threads.size(); ++t) {
+    std::printf("%d%s", threads[t], t + 1 < threads.size() ? "," : "");
+  }
+  std::printf("}) ===\n%s", table.ToString().c_str());
+  std::printf(
+      "expected shape: transient rows identical to rate 0 (retries absorb "
+      "everything); dead/truncated/soft404 rows shed pages monotonically "
+      "while CAFC-CH keeps producing %d clusters\n",
+      k);
+
+  WriteJson("BENCH_faults.json", hardware, smoke, threads, sweeps);
+  std::printf("machine-readable sweep written to BENCH_faults.json\n");
+
+  if (!deterministic) {
+    std::fprintf(stderr,
+                 "FAIL: pipeline output varied across thread counts under "
+                 "faults — the determinism contract is broken\n");
+    return 1;
+  }
+  if (!transparent) {
+    std::fprintf(stderr,
+                 "FAIL: recoverable transient faults leaked into the "
+                 "dataset\n");
+    return 1;
+  }
+  if (!monotone) {
+    std::fprintf(stderr,
+                 "FAIL: recovered-page counts not monotone in the fault "
+                 "rate\n");
+    return 1;
+  }
+  return 0;
+}

@@ -53,7 +53,7 @@ cluster::Clustering CafcCh(const FormPageSet& pages, int k,
   size_t padded = 0;
   seed_members.reserve(seeds.size());
   for (const HubCluster& s : seeds) {
-    if (s.hub_url.rfind("(padding:", 0) == 0) ++padded;
+    if (s.padded) ++padded;
     seed_members.push_back(s.members);
   }
 

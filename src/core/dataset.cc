@@ -87,10 +87,15 @@ Result<Dataset> BuildDataset(const web::SyntheticWeb& web,
   // Backlinks come from the synthesizer's full graph (crawl-local link
   // structure would miss edges from unfetched pages), so skip building it.
   crawler_options.build_graph = false;
-  web::Crawler crawler(&web, crawler_options);
+  const web::WebFetcher& fetcher =
+      options.fetcher != nullptr
+          ? *options.fetcher
+          : static_cast<const web::WebFetcher&>(web);
+  web::Crawler crawler(&fetcher, crawler_options);
   web::CrawlResult crawl = crawler.Crawl(web.seed_urls());
   dataset.timings.crawl_ms = MsSince(t_crawl);
   dataset.timings.parse_ms = crawl.parse_ms;
+  dataset.stats.crawl = crawl.stats;
   dataset.stats.crawled_pages = crawl.visited.size();
   dataset.stats.pages_with_forms = crawl.form_page_urls.size();
   // The crawl's parses are the pipeline's only parses: one per fetched
@@ -199,7 +204,7 @@ Result<Dataset> BuildDataset(const web::SyntheticWeb& web,
       size_t fetched = 0;
       for (const std::string& hub_url : out.entry.backlinks) {
         if (fetched >= options.max_anchor_sources) break;
-        if (!web.Fetch(hub_url).ok()) continue;
+        if (!fetcher.Fetch(hub_url).ok()) continue;
         ++fetched;
         ++dataset.stats.hub_fetches;
         auto [it, inserted] = hub_slot.emplace(hub_url, hub_urls.size());

@@ -44,6 +44,11 @@ struct DatasetStats {
   size_t pages_without_backlinks = 0;     // before root fallback
   size_t pages_without_any_backlinks = 0; // even after root fallback
 
+  /// The crawl's failure taxonomy and retry accounting — how much of the
+  /// corpus the pipeline had to fight for (all zeros against a clean
+  /// fetcher). Thread-count independent like every other counter here.
+  web::CrawlStats crawl;
+
   /// Ingestion work counters (allocation/IO proxies for BENCH_ingest).
   /// The pipeline parses each fetched page exactly once, during the
   /// crawl: candidates reuse the crawl's DOM and hubs are served from the
@@ -101,6 +106,13 @@ struct DatasetOptions {
   /// (0 = use the default pool / any active ScopedThreads override). The
   /// resulting Dataset is bit-identical at any thread count.
   int threads = 0;
+  /// Transport override: when set, every page fetch (the crawl and the
+  /// anchor-text hub gathering) goes through this fetcher instead of the
+  /// SyntheticWeb directly — the seam where FaultInjectingFetcher plugs
+  /// in. Gold labels, seeds and the backlink graph still come from `web`
+  /// (they are ground truth, not transport). Not owned; must outlive the
+  /// call.
+  const web::WebFetcher* fetcher = nullptr;
 };
 
 /// \brief Runs the full acquisition pipeline against a synthetic web:

@@ -16,6 +16,11 @@ struct HubCluster {
   std::string hub_url;
   /// Sorted, unique member indices.
   std::vector<size_t> members;
+  /// True for synthetic singleton seeds produced by SelectHubClusters'
+  /// degradation fallback (fewer than k real hub clusters survived — e.g.
+  /// the backlink engine returned nothing, or faults depleted the hubs).
+  /// Such a seed has no citing hub; `hub_url` is a descriptive placeholder.
+  bool padded = false;
 
   size_t cardinality() const { return members.size(); }
 };

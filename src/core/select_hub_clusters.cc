@@ -138,6 +138,7 @@ std::vector<HubCluster> SelectHubClusters(
     HubCluster singleton;
     singleton.hub_url = "(padding:" + pages.page(best_p).url + ")";
     singleton.members = {best_p};
+    singleton.padded = true;
     CentroidPair c = ComputeCentroid(pages.pages(), singleton.members);
     for (size_t p = 0; p < pages.size(); ++p) {
       sum_dist[p] += page_distance(p, c);

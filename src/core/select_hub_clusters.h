@@ -26,10 +26,14 @@ struct SelectHubClustersOptions {
 /// the sum of distances to the already-selected set (farthest-point
 /// heuristic).
 ///
-/// If fewer than k hub clusters are available, the selection is padded with
-/// singleton clusters of the individual form pages farthest from the
-/// selected seeds, so the caller always gets exactly k seeds (min(k, n)
-/// when the page set itself is tiny).
+/// Graceful degradation: if fewer than k hub clusters are available (the
+/// backlink engine returned little, or faults depleted the hubs — the
+/// paper's AltaVista substrate missed >15% of the collection), the
+/// selection is padded farthest-point-style with singleton clusters of the
+/// unseeded form pages farthest from the selected seeds (marked
+/// HubCluster::padded). This degrades CAFC-CH toward CAFC-C seeding — with
+/// zero hub clusters every seed is a singleton — while still guaranteeing
+/// exactly k seeds (min(k, n) when the page set itself is tiny).
 std::vector<HubCluster> SelectHubClusters(
     const FormPageSet& pages, const std::vector<HubCluster>& hub_clusters,
     int k, const SelectHubClustersOptions& options = {});

@@ -2,6 +2,7 @@
 #define CAFC_UTIL_STATUS_H_
 
 #include <cassert>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <variant>
@@ -17,7 +18,18 @@ enum class StatusCode {
   kParseError,
   kFailedPrecondition,
   kInternal,
+  /// The operation failed transiently (e.g. an overloaded or flaky host);
+  /// retrying the same call may succeed. Fetch layers use this for
+  /// HTTP-503-like conditions.
+  kUnavailable,
+  /// The operation exceeded its latency budget before completing (a slow
+  /// fetch aborted at the deadline). Retryable: a later attempt may be
+  /// served faster.
+  kDeadlineExceeded,
 };
+
+/// Code name without a message, e.g. "Unavailable".
+const char* StatusCodeName(StatusCode code);
 
 /// \brief Lightweight success/error carrier used across library boundaries.
 ///
@@ -48,6 +60,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -67,6 +85,11 @@ class Status {
   StatusCode code_;
   std::string message_;
 };
+
+/// Streams `ToString()` — wired so error paths and gtest failure messages
+/// can print a Status directly.
+std::ostream& operator<<(std::ostream& os, const Status& status);
+std::ostream& operator<<(std::ostream& os, StatusCode code);
 
 /// \brief A value-or-error sum type: holds either a `T` or a non-OK `Status`.
 template <typename T>

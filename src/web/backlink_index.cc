@@ -32,9 +32,10 @@ std::vector<std::string> BacklinkIndex::Backlinks(std::string_view url) const {
   PageId id = graph_->Lookup(url);
   if (id == kInvalidPageId) return out;
   for (PageId from : graph_->InLinks(id)) {
+    // Cap check first: max_results == 0 must return nothing, not one.
+    if (out.size() >= options_.max_results) break;
     if (!EdgeIndexed(from, id)) continue;
     out.push_back(graph_->url(from));
-    if (out.size() >= options_.max_results) break;
   }
   return out;
 }

@@ -16,7 +16,8 @@ struct BacklinkIndexOptions {
   /// deterministically by hash, so coverage is stable across queries.
   double coverage = 0.75;
   /// Maximum results returned per query ("we extracted a maximum of 100
-  /// backlinks" — the engine-side cap).
+  /// backlinks" — the engine-side cap). 0 means the engine returns nothing
+  /// at all, like coverage = 0 — consumers must survive both.
   size_t max_results = 100;
   /// Salt for the deterministic edge-sampling hash.
   uint64_t seed = 0;

@@ -1,5 +1,6 @@
 #include "web/crawler.h"
 
+#include <algorithm>
 #include <chrono>
 #include <deque>
 #include <optional>
@@ -7,6 +8,7 @@
 #include <utility>
 
 #include "html/dom.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "web/url.h"
 
@@ -19,10 +21,20 @@ namespace {
 /// thread count.
 constexpr size_t kCrawlGrain = 16;
 
+bool Retryable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
 /// Everything a single page contributes to the crawl, computed in
 /// parallel; absorbed into the CrawlResult serially, in frontier order.
+/// Every field is a deterministic function of the URL alone, which is
+/// what keeps CrawlStats thread-count independent.
 struct PageScan {
-  bool fetched = false;
+  Status fetch_status;                ///< OK, or the final error after retries
+  FetchAttemptLog fetch_log;
+  bool truncated = false;             ///< payload was cut short
+  bool soft404 = false;               ///< garbage error page detected
   bool has_form = false;
   std::optional<html::Document> dom;  ///< kept only for form pages, on demand
   std::vector<PageAnchor> links;      ///< resolved anchors, document order
@@ -32,15 +44,23 @@ struct PageScan {
 PageScan ScanPage(const WebFetcher& fetcher, const CrawlerOptions& options,
                   const std::string& url) {
   PageScan scan;
-  Result<const WebPage*> fetched = fetcher.Fetch(url);
+  Result<const WebPage*> fetched =
+      FetchWithRetry(fetcher, url, options.retry, &scan.fetch_log);
+  scan.fetch_status = fetched.status();
   if (!fetched.ok()) return scan;
-  scan.fetched = true;
+  scan.truncated = (*fetched)->truncated;
 
   const auto t_parse = std::chrono::steady_clock::now();
   html::Document doc = html::Parse((*fetched)->html);
   scan.parse_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - t_parse)
                       .count();
+  if (options.detect_soft404 && LooksLikeSoft404(doc)) {
+    // Degrade: the page was fetched but its content is garbage. No form
+    // candidacy, no link expansion — a soft-404's "links" lead nowhere.
+    scan.soft404 = true;
+    return scan;
+  }
   scan.has_form = doc.root().FindFirst("form") != nullptr;
 
   Result<Url> page_url = ParseUrl(url);
@@ -66,6 +86,45 @@ PageScan ScanPage(const WebFetcher& fetcher, const CrawlerOptions& options,
 }
 
 }  // namespace
+
+bool LooksLikeSoft404(const html::Document& document) {
+  const html::Node* title = document.root().FindFirst("title");
+  if (title == nullptr) return false;
+  // Production crawlers key off exactly these title markers.
+  std::string text = ToLower(title->TextContent());
+  return text.find("404") != std::string::npos ||
+         text.find("not found") != std::string::npos ||
+         text.find("page unavailable") != std::string::npos;
+}
+
+Result<const WebPage*> FetchWithRetry(const WebFetcher& fetcher,
+                                      const std::string& url,
+                                      const FetchRetryPolicy& policy,
+                                      FetchAttemptLog* log) {
+  FetchAttemptLog local;
+  FetchAttemptLog& out = log != nullptr ? *log : local;
+  out = FetchAttemptLog{};
+  const int max_attempts = std::max(1, policy.max_attempts);
+  uint64_t backoff = policy.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    out.attempts = attempt;
+    Result<const WebPage*> fetched = fetcher.Fetch(url);
+    if (fetched.ok()) return fetched;
+    if (!Retryable(fetched.status().code())) return fetched;
+    if (attempt >= max_attempts) return fetched;
+    if (policy.backoff_budget_ms != 0 &&
+        out.backoff_ms + backoff > policy.backoff_budget_ms) {
+      return fetched;  // the next wait would blow the budget: exhausted
+    }
+    // Virtual wait: accounted, never slept, so retry schedules are exact
+    // and benchmarks stay fast.
+    out.backoff_ms += backoff;
+    backoff = std::min(
+        static_cast<uint64_t>(static_cast<double>(backoff) *
+                              std::max(1.0, policy.multiplier)),
+        policy.max_backoff_ms);
+  }
+}
 
 Result<Url> DocumentBaseUrl(const html::Document& document,
                             const Url& page_url) {
@@ -99,11 +158,31 @@ CrawlResult Crawler::Crawl(const std::vector<std::string>& seeds) const {
   auto absorb = [&](const std::string& url, size_t depth, PageScan&& scan,
                     std::vector<std::string>* next) {
     result.parse_ms += scan.parse_ms;
-    if (!scan.fetched) {
-      ++result.fetch_failures;
+    CrawlStats& stats = result.stats;
+    stats.retry_attempts += static_cast<size_t>(scan.fetch_log.attempts - 1);
+    stats.backoff_virtual_ms += scan.fetch_log.backoff_ms;
+    if (!scan.fetch_status.ok()) {
+      switch (scan.fetch_status.code()) {
+        case StatusCode::kNotFound:
+          ++stats.dangling_links;  // outside the universe: expected in BFS
+          break;
+        case StatusCode::kUnavailable:
+        case StatusCode::kDeadlineExceeded:
+          ++stats.retries_exhausted;
+          break;
+        default:
+          ++stats.dead_urls;
+      }
       return;
     }
+    ++stats.fetched;
+    if (scan.fetch_log.attempts > 1) ++stats.transient_recovered;
+    if (scan.truncated) ++stats.malformed_pages;
     result.visited.push_back(url);
+    if (scan.soft404) {
+      ++stats.soft404_pages;
+      return;  // fetched, but neither a candidate nor a link source
+    }
     if (scan.has_form) {
       result.form_page_urls.push_back(url);
       if (options_.keep_form_page_doms) {

@@ -1,6 +1,7 @@
 #ifndef CAFC_WEB_CRAWLER_H_
 #define CAFC_WEB_CRAWLER_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,12 +13,38 @@
 
 namespace cafc::web {
 
+/// \brief Per-fetch retry policy with deterministic exponential backoff.
+///
+/// Backoff is *virtual*: no thread ever sleeps. The would-be wait is
+/// accumulated on a per-URL virtual clock (CrawlStats::backoff_virtual_ms)
+/// so degradation benchmarks can report retry overhead without the bench
+/// itself becoming slow or timing-dependent.
+struct FetchRetryPolicy {
+  /// Total attempts per URL (1 = never retry). Only kUnavailable and
+  /// kDeadlineExceeded are retried; kNotFound is a dangling link and any
+  /// other error is treated as a permanently dead URL.
+  int max_attempts = 3;
+  /// Virtual wait before the first retry; doubles (times `multiplier`)
+  /// each further retry, capped at `max_backoff_ms`.
+  uint64_t initial_backoff_ms = 100;
+  double multiplier = 2.0;
+  uint64_t max_backoff_ms = 2000;
+  /// Per-URL budget on the summed virtual backoff: once the next wait
+  /// would exceed it, the fetch is abandoned as exhausted (0 = unlimited).
+  uint64_t backoff_budget_ms = 10000;
+};
+
 /// Crawl limits and capture options.
 struct CrawlerOptions {
   /// Stop after fetching this many pages (0 = unlimited).
   size_t max_pages = 0;
   /// Maximum link depth from a seed (seeds are depth 0).
   size_t max_depth = 8;
+  /// Retry policy applied to every fetch (see FetchRetryPolicy).
+  FetchRetryPolicy retry;
+  /// Detect soft-404s ("200 OK" error pages) by their title and drop them
+  /// from candidacy and link expansion; they still count as fetched.
+  bool detect_soft404 = true;
   /// Retain the parsed DOM of every page containing a `<form>` element,
   /// aligned with CrawlResult::form_page_urls, so downstream stages can
   /// consume candidate pages without re-parsing them.
@@ -31,6 +58,46 @@ struct CrawlerOptions {
   /// graph for backlinks) can turn this off to skip the per-anchor
   /// interning work.
   bool build_graph = true;
+};
+
+/// \brief Failure taxonomy + retry accounting of a crawl.
+///
+/// Replaces the old single `fetch_failures` counter, which conflated
+/// dangling links (expected in any BFS over an open frontier) with real
+/// fetch errors — a conflation that would mask injected faults. Every
+/// counter is a sum of per-URL deterministic events folded serially in
+/// frontier order, so the whole struct is bit-identical at any thread
+/// count and participates in parallel-equivalence comparisons.
+struct CrawlStats {
+  /// Pages fetched successfully (including after retries).
+  size_t fetched = 0;
+  /// kNotFound targets outside the fetcher's universe — expected BFS
+  /// frontier noise, NOT a fetch error.
+  size_t dangling_links = 0;
+  /// Pages that failed transiently at least once but were recovered by a
+  /// retry (subset of `fetched`).
+  size_t transient_recovered = 0;
+  /// Retryable errors (kUnavailable / kDeadlineExceeded) that outlived
+  /// the attempt or backoff budget.
+  size_t retries_exhausted = 0;
+  /// Permanent fetch errors (anything else): dead hosts, refused
+  /// connections. Never retried.
+  size_t dead_urls = 0;
+  /// Fetched pages whose payload was cut short (WebPage::truncated);
+  /// parsed and used as far as they go — degraded, never fatal.
+  size_t malformed_pages = 0;
+  /// Soft-404 garbage pages detected by the title heuristic; fetched but
+  /// excluded from candidacy and link expansion.
+  size_t soft404_pages = 0;
+  /// Re-fetch attempts issued beyond each URL's first attempt.
+  size_t retry_attempts = 0;
+  /// Summed virtual backoff the retry loops would have slept.
+  uint64_t backoff_virtual_ms = 0;
+
+  /// Real failures: everything except dangling links and recoveries.
+  size_t fetch_failures() const { return retries_exhausted + dead_urls; }
+
+  bool operator==(const CrawlStats&) const = default;
 };
 
 /// One resolved `<a href>` on a fetched page: the absolute target URL and
@@ -56,12 +123,34 @@ struct CrawlResult {
   /// Per fetched page, its resolved anchors in document order; filled only
   /// when CrawlerOptions::record_anchor_text is set.
   std::unordered_map<std::string, std::vector<PageAnchor>> anchors;
-  /// Fetches that failed (dangling links).
-  size_t fetch_failures = 0;
+  /// Failure taxonomy and retry accounting (thread-count independent).
+  CrawlStats stats;
   /// Worker-summed wall time spent in html::Parse across the crawl
   /// (CPU-time-like: can exceed the crawl's wall time with many threads).
   double parse_ms = 0.0;
 };
+
+/// Per-URL record of what FetchWithRetry did, for folding into CrawlStats.
+struct FetchAttemptLog {
+  int attempts = 1;          ///< fetch attempts issued (>= 1)
+  uint64_t backoff_ms = 0;   ///< summed virtual backoff
+};
+
+/// \brief Fetches `url`, retrying retryable failures (kUnavailable /
+/// kDeadlineExceeded) with deterministic exponential backoff on a virtual
+/// clock — no real sleeps. Returns the first success or the final error;
+/// `log` (optional) receives the attempt count and virtual backoff.
+/// Deterministic per URL: independent of threads and wall time.
+Result<const WebPage*> FetchWithRetry(const WebFetcher& fetcher,
+                                      const std::string& url,
+                                      const FetchRetryPolicy& policy,
+                                      FetchAttemptLog* log = nullptr);
+
+/// \brief Title heuristic for soft-404s: "200 OK" responses whose content
+/// is really an error page ("404", "not found", "page unavailable" in the
+/// `<title>`). Such pages must not become form candidates and their links
+/// must not be expanded.
+bool LooksLikeSoft404(const html::Document& document);
 
 /// Effective base URL for resolving a page's links: the first
 /// `<base href>` of the document when present and parsable, otherwise the
@@ -75,13 +164,19 @@ Result<Url> DocumentBaseUrl(const html::Document& document,
 /// values against the page URL, and records the link structure. This is the
 /// "Web crawler [3]" substrate the paper uses to gather half its data set.
 ///
+/// Resilience: every fetch goes through FetchWithRetry, truncated payloads
+/// degrade to whatever parsed (a cut-off form page simply stops being a
+/// candidate), and soft-404 garbage is detected and skipped — under any
+/// FaultProfile the crawl completes and classifies every URL into the
+/// CrawlStats taxonomy instead of crashing.
+///
 /// When no page cap is set, each BFS level's fetch + parse + link
 /// extraction runs in parallel over the default thread pool; pages are
 /// then absorbed serially in frontier order, so visited order, candidate
-/// order, graph contents and dedup decisions are bit-identical to the
-/// serial crawl at any thread count. With max_pages != 0 the crawl runs
-/// serially (the cap cuts a level mid-way, which is an inherently
-/// sequential condition).
+/// order, graph contents, dedup decisions and all CrawlStats counters are
+/// bit-identical to the serial crawl at any thread count. With
+/// max_pages != 0 the crawl runs serially (the cap cuts a level mid-way,
+/// which is an inherently sequential condition).
 class Crawler {
  public:
   explicit Crawler(const WebFetcher* fetcher, CrawlerOptions options = {})

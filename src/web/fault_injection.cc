@@ -1,0 +1,174 @@
+#include "web/fault_injection.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace cafc::web {
+namespace {
+
+/// 64-bit FNV-1a over the URL bytes — the per-URL identity hash.
+uint64_t HashUrl(std::string_view url) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : url) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Finalizer (murmur3 style) applied after folding in salts.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Uniform double in [0,1) from (url, seed, salt).
+double UnitHash(std::string_view url, uint64_t seed, uint64_t salt) {
+  uint64_t h = Mix(HashUrl(url) ^ Mix(seed + salt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// The garbage body of a soft-404: a well-formed "200 OK" error page with
+/// no links and no form — exactly the pages that poison a naive crawler's
+/// candidate set. The crawler's title heuristic must catch it.
+std::string Soft404Html(std::string_view url) {
+  std::string html =
+      "<html><head><title>404 Not Found</title></head><body>"
+      "<h1>Not Found</h1><p>The requested document ";
+  html.append(url);
+  html +=
+      " is no longer available on this server. Please check the address "
+      "and try again later.</p></body></html>";
+  return html;
+}
+
+}  // namespace
+
+FaultKind FaultInjectingFetcher::KindFor(std::string_view url) const {
+  if (!profile_.active()) return FaultKind::kNone;
+  // Stacked bands in a fixed order; the same draw decides every band, so
+  // growing one rate (others fixed) strictly grows that fault set.
+  double u = UnitHash(url, profile_.seed, /*salt=*/0xfa17ULL);
+  double edge = profile_.dead_rate;
+  if (u < edge) return FaultKind::kDead;
+  edge += profile_.transient_rate;
+  if (u < edge) return FaultKind::kTransient;
+  edge += profile_.slow_rate;
+  if (u < edge) return FaultKind::kSlow;
+  edge += profile_.truncated_rate;
+  if (u < edge) return FaultKind::kTruncated;
+  edge += profile_.soft404_rate;
+  if (u < edge) return FaultKind::kSoft404;
+  return FaultKind::kNone;
+}
+
+Result<const WebPage*> FaultInjectingFetcher::Fetch(
+    std::string_view url) const {
+  const FaultKind kind = KindFor(url);
+  if (kind == FaultKind::kNone) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.fetch_calls;
+    }
+    return base_->Fetch(url);
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.fetch_calls;
+  switch (kind) {
+    case FaultKind::kDead:
+      ++stats_.injected_dead;
+      // Permanent transport error (NXDOMAIN / connection refused):
+      // deliberately NOT kUnavailable, so resilient callers classify it
+      // as dead instead of burning their retry budget.
+      return Status::Internal("injected fault: dead host");
+
+    case FaultKind::kTransient: {
+      int attempt = ++attempts_[std::string(url)];
+      if (attempt <= profile_.transient_attempts) {
+        ++stats_.injected_transient;
+        return Status::Unavailable("injected fault: transient (attempt " +
+                                   std::to_string(attempt) + ")");
+      }
+      return base_->Fetch(url);
+    }
+
+    case FaultKind::kSlow: {
+      int attempt = ++attempts_[std::string(url)];
+      const uint64_t lo = profile_.slow_latency_min_ms;
+      const uint64_t hi = std::max(profile_.slow_latency_max_ms, lo);
+      // Per-(url, attempt) draw: retries see fresh latency, so slow URLs
+      // recover once an attempt lands under the budget.
+      uint64_t latency =
+          lo + static_cast<uint64_t>(
+                   UnitHash(url, profile_.seed,
+                            0x510cULL + static_cast<uint64_t>(attempt)) *
+                   static_cast<double>(hi - lo + 1));
+      stats_.simulated_latency_ms += latency;
+      if (latency > profile_.latency_budget_ms) {
+        ++stats_.injected_deadline;
+        return Status::DeadlineExceeded(
+            "injected fault: fetch took " + std::to_string(latency) +
+            "ms (budget " + std::to_string(profile_.latency_budget_ms) +
+            "ms)");
+      }
+      return base_->Fetch(url);
+    }
+
+    case FaultKind::kTruncated: {
+      auto it = mutated_.find(std::string(url));
+      if (it == mutated_.end()) {
+        Result<const WebPage*> real = base_->Fetch(url);
+        if (!real.ok()) return real;  // outside the universe: pass through
+        // Keep a deterministic 25–75% prefix: enough to parse something,
+        // rarely enough to keep the whole form.
+        const std::string& html = (*real)->html;
+        double keep = 0.25 + 0.5 * UnitHash(url, profile_.seed, 0x7254);
+        WebPage cut;
+        cut.url = (*real)->url;
+        cut.html = html.substr(
+            0, static_cast<size_t>(keep * static_cast<double>(html.size())));
+        cut.truncated = true;
+        it = mutated_.emplace(std::string(url), std::move(cut)).first;
+      }
+      ++stats_.truncated_served;
+      return &it->second;
+    }
+
+    case FaultKind::kSoft404: {
+      auto it = mutated_.find(std::string(url));
+      if (it == mutated_.end()) {
+        Result<const WebPage*> real = base_->Fetch(url);
+        if (!real.ok()) return real;
+        WebPage garbage;
+        garbage.url = (*real)->url;
+        garbage.html = Soft404Html(url);
+        it = mutated_.emplace(std::string(url), std::move(garbage)).first;
+      }
+      ++stats_.soft404_served;
+      return &it->second;
+    }
+
+    case FaultKind::kNone:
+      break;  // unreachable
+  }
+  return base_->Fetch(url);
+}
+
+FaultStats FaultInjectingFetcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void FaultInjectingFetcher::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  attempts_.clear();
+  mutated_.clear();
+  stats_ = FaultStats{};
+}
+
+}  // namespace cafc::web

@@ -1,0 +1,120 @@
+#ifndef CAFC_WEB_FAULT_INJECTION_H_
+#define CAFC_WEB_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "web/page.h"
+
+namespace cafc::web {
+
+/// Which failure mode a URL is assigned to (at most one per URL).
+enum class FaultKind {
+  kNone = 0,   ///< served verbatim from the base fetcher
+  kDead,       ///< permanently unreachable (non-retryable error)
+  kTransient,  ///< kUnavailable for the first N attempts, then clean
+  kSlow,       ///< per-attempt simulated latency vs the latency budget
+  kTruncated,  ///< body cut mid-stream; WebPage::truncated set
+  kSoft404,    ///< "200 OK" garbage error page instead of the real body
+};
+
+/// \brief Deterministic fault mix of a FaultInjectingFetcher.
+///
+/// Each URL is hashed (with `seed`) to a point in [0,1); the rates are
+/// stacked bands in the fixed order dead → transient → slow → truncated →
+/// soft-404, so a URL's fault kind depends only on (url, seed) — never on
+/// fetch order, thread count, or which other URLs were fetched. Raising
+/// one rate while the earlier bands stay fixed strictly grows that fault
+/// set (the nesting that makes degradation sweeps monotone).
+struct FaultProfile {
+  double dead_rate = 0.0;
+  double transient_rate = 0.0;
+  double slow_rate = 0.0;
+  double truncated_rate = 0.0;
+  double soft404_rate = 0.0;
+
+  /// Failures a transient URL serves before recovering: attempts
+  /// 1..transient_attempts fail kUnavailable, attempt N+1 succeeds.
+  int transient_attempts = 2;
+  /// Fetch-side deadline: a slow attempt whose simulated latency exceeds
+  /// this budget fails with kDeadlineExceeded instead of completing.
+  uint64_t latency_budget_ms = 200;
+  /// Simulated per-attempt latency of slow URLs is drawn deterministically
+  /// from [min, max] by hash of (url, attempt) — some attempts land under
+  /// the budget, so retries can recover slow URLs.
+  uint64_t slow_latency_min_ms = 50;
+  uint64_t slow_latency_max_ms = 600;
+  uint64_t seed = 0;
+
+  /// True when any fault band has non-zero width.
+  bool active() const {
+    return dead_rate > 0.0 || transient_rate > 0.0 || slow_rate > 0.0 ||
+           truncated_rate > 0.0 || soft404_rate > 0.0;
+  }
+};
+
+/// Injection counters. Totals depend only on the multiset of Fetch calls,
+/// so a deterministic caller (the crawler's per-URL retry loop) sees the
+/// same snapshot at any thread count.
+struct FaultStats {
+  size_t fetch_calls = 0;          ///< every Fetch() on this decorator
+  size_t injected_dead = 0;        ///< permanent failures served
+  size_t injected_transient = 0;   ///< kUnavailable failures served
+  size_t injected_deadline = 0;    ///< kDeadlineExceeded failures served
+  size_t truncated_served = 0;     ///< truncated bodies served
+  size_t soft404_served = 0;       ///< garbage pages served
+  uint64_t simulated_latency_ms = 0;  ///< summed virtual latency of slow URLs
+
+  bool operator==(const FaultStats&) const = default;
+};
+
+/// \brief A seeded WebFetcher decorator that injects the failure modes a
+/// production crawler meets on the real Web (the paper's substrate: an
+/// AltaVista `link:` API missing >15% of the collection and the flaky
+/// 2006 Web itself), while staying fully deterministic per (profile,
+/// seed).
+///
+/// Thread-safe: Fetch may be called concurrently (the parallel BFS does).
+/// Mutated pages (truncated / soft-404) are materialized once and cached;
+/// returned pointers stay valid for the fetcher's lifetime.
+///
+/// The transient machinery counts *attempts per URL*, so a fetcher
+/// instance represents one crawl's view of the network. Reuse across runs
+/// would let a later run see already-warmed URLs — call Reset() (or build
+/// a fresh decorator, it is cheap) between runs that must be comparable.
+class FaultInjectingFetcher : public WebFetcher {
+ public:
+  /// `base` must outlive the decorator.
+  FaultInjectingFetcher(const WebFetcher* base, FaultProfile profile)
+      : base_(base), profile_(profile) {}
+
+  Result<const WebPage*> Fetch(std::string_view url) const override;
+
+  /// The fault band `url` hashes into — pure, no state.
+  FaultKind KindFor(std::string_view url) const;
+
+  const FaultProfile& profile() const { return profile_; }
+
+  /// Snapshot of the injection counters.
+  FaultStats stats() const;
+
+  /// Clears attempt counters, mutated-page caches and stats, restoring the
+  /// as-constructed state (previously returned page pointers die here).
+  void Reset();
+
+ private:
+  const WebFetcher* base_;  // not owned
+  FaultProfile profile_;
+
+  mutable std::mutex mu_;
+  mutable std::unordered_map<std::string, int> attempts_;
+  mutable std::unordered_map<std::string, WebPage> mutated_;
+  mutable FaultStats stats_;
+};
+
+}  // namespace cafc::web
+
+#endif  // CAFC_WEB_FAULT_INJECTION_H_

@@ -99,14 +99,35 @@ CrawlResult FocusedCrawler::Crawl(
     FrontierEntry top = frontier.top();
     frontier.pop();
 
-    Result<const WebPage*> fetched = fetcher_->Fetch(top.url);
+    FetchAttemptLog log;
+    Result<const WebPage*> fetched =
+        FetchWithRetry(*fetcher_, top.url, options_.retry, &log);
+    result.stats.retry_attempts += static_cast<size_t>(log.attempts - 1);
+    result.stats.backoff_virtual_ms += log.backoff_ms;
     if (!fetched.ok()) {
-      ++result.fetch_failures;
+      switch (fetched.status().code()) {
+        case StatusCode::kNotFound:
+          ++result.stats.dangling_links;
+          break;
+        case StatusCode::kUnavailable:
+        case StatusCode::kDeadlineExceeded:
+          ++result.stats.retries_exhausted;
+          break;
+        default:
+          ++result.stats.dead_urls;
+      }
       continue;
     }
+    ++result.stats.fetched;
+    if (log.attempts > 1) ++result.stats.transient_recovered;
+    if ((*fetched)->truncated) ++result.stats.malformed_pages;
     result.visited.push_back(top.url);
 
     html::Document doc = html::Parse((*fetched)->html);
+    if (options_.detect_soft404 && LooksLikeSoft404(doc)) {
+      ++result.stats.soft404_pages;
+      continue;  // fetched, but neither a candidate nor a link source
+    }
     bool has_form = doc.root().FindFirst("form") != nullptr;
     if (has_form) result.form_page_urls.push_back(top.url);
 

@@ -14,6 +14,11 @@ namespace cafc::web {
 struct FocusedCrawlerOptions {
   /// Stop after fetching this many pages (0 = unlimited).
   size_t max_pages = 0;
+  /// Retry policy applied to every fetch (see FetchRetryPolicy).
+  FetchRetryPolicy retry;
+  /// Detect soft-404s by their title and drop them from candidacy and link
+  /// expansion (same heuristic as the BFS crawler).
+  bool detect_soft404 = true;
   /// Terms (stemmed by the crawler's analyzer) that signal a promising
   /// link; defaults to form-chrome vocabulary ("search", "find", ...).
   /// Domain-focused crawls add the target domain's vocabulary.

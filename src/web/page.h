@@ -12,6 +12,10 @@ namespace cafc::web {
 struct WebPage {
   std::string url;
   std::string html;
+  /// The transport layer detected a short read (content-length mismatch /
+  /// connection cut mid-body): `html` is a prefix of the real document.
+  /// Consumers must degrade gracefully — parse what arrived, never crash.
+  bool truncated = false;
 };
 
 /// \brief Abstract page fetcher — the crawler's view of "the Web".

@@ -212,6 +212,49 @@ TEST_F(CafcTest, BisectingKLargerThanPoints) {
   EXPECT_EQ(c.num_clusters, 3);
 }
 
+TEST_F(CafcTest, FallbackSeedsExactlyKWhenBacklinksDepleted) {
+  // Strip every backlink: no hub can be generated, so Algorithm 3 must
+  // degrade to the farthest-point singleton fallback and still hand the
+  // k-means exactly k seeds.
+  FormPageSet bare(pages_->shared_dictionary());
+  for (const FormPage& page : pages_->pages()) {
+    FormPage stripped = page;
+    stripped.backlinks.clear();
+    bare.mutable_pages()->push_back(std::move(stripped));
+  }
+  CafcChReport report;
+  cluster::Clustering c = CafcCh(bare, 8, CafcChOptions{}, &report);
+  EXPECT_EQ(report.hub_clusters_total, 0u);
+  EXPECT_EQ(report.hub_clusters_kept, 0u);
+  EXPECT_EQ(report.padded_seeds, 8u);  // every seed is a fallback singleton
+  EXPECT_EQ(c.num_clusters, 8);
+  ASSERT_EQ(c.assignment.size(), bare.size());
+  for (int a : c.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 8);
+  }
+}
+
+TEST(CafcChFallbackTest, PipelineCompletesWithDeadBacklinkEngine) {
+  // End-to-end §3.1 worst case: the backlink engine indexes nothing
+  // (coverage 0), so every page reports "no backlinks" even after the
+  // root fallback — CAFC-CH must still run and produce k clusters.
+  web::SyntheticWeb web = web::Synthesizer(SmallConfig()).Generate();
+  DatasetOptions options;
+  options.backlinks.coverage = 0.0;
+  Result<Dataset> dataset = BuildDataset(web, options);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->stats.pages_without_any_backlinks,
+            dataset->entries.size());
+  FormPageSet pages = BuildFormPageSet(*dataset);
+  CafcChReport report;
+  cluster::Clustering c = CafcCh(pages, 8, CafcChOptions{}, &report);
+  EXPECT_EQ(report.hub_clusters_total, 0u);
+  EXPECT_EQ(report.padded_seeds, 8u);
+  EXPECT_EQ(c.num_clusters, 8);
+  ASSERT_EQ(c.assignment.size(), pages.size());
+}
+
 TEST_F(CafcTest, SingleAttributePagesClusteredWithTheirDomain) {
   // The paper's headline: single-attribute forms are handled correctly
   // because PC compensates for the empty FC. Check that CAFC-CH places a

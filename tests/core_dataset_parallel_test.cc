@@ -12,6 +12,7 @@
 
 #include "core/dataset.h"
 #include "util/thread_pool.h"
+#include "web/fault_injection.h"
 #include "web/synthesizer.h"
 
 namespace cafc {
@@ -128,6 +129,46 @@ TEST_F(DatasetParallelTest, WeightedVectorsIdenticalAcrossThreadCounts) {
           << "threads=" << threads << " url=" << serial_set.page(i).url;
     }
   }
+}
+
+TEST_F(DatasetParallelTest, TransientFaultsInvisibleInFinalDataset) {
+  // 30% of URLs fail transiently (twice each); the crawler's default retry
+  // budget recovers every one, so the assembled dataset must be
+  // bit-identical to the zero-fault dataset — the only trace of the faults
+  // is the retry accounting in stats.crawl.
+  web::FaultProfile profile;
+  profile.transient_rate = 0.3;
+  profile.transient_attempts = 2;
+  profile.seed = 21;
+
+  auto build_faulted = [&](int threads) {
+    // Fresh decorator per run: attempt counters model one run's view of
+    // the network, and sharing them would warm later runs.
+    web::FaultInjectingFetcher faulty(web_, profile);
+    DatasetOptions options;
+    options.collect_anchor_text = true;
+    options.threads = threads;
+    options.fetcher = &faulty;
+    Result<Dataset> dataset = BuildDataset(*web_, options);
+    EXPECT_TRUE(dataset.ok());
+    return std::move(dataset).value();
+  };
+
+  Dataset faulted = build_faulted(1);
+  EXPECT_GT(faulted.stats.crawl.transient_recovered, 0u);
+  EXPECT_GT(faulted.stats.crawl.retry_attempts, 0u);
+  EXPECT_EQ(faulted.stats.crawl.fetch_failures(), 0u);
+
+  // Identical across thread counts, including the full failure taxonomy.
+  for (int threads : {2, 8}) {
+    Dataset parallel = build_faulted(threads);
+    ExpectDatasetsIdentical(faulted, parallel, threads);
+  }
+
+  // Identical to the zero-fault dataset once the retry accounting (the
+  // one legitimate difference) is factored out.
+  faulted.stats.crawl = serial_->stats.crawl;
+  ExpectDatasetsIdentical(*serial_, faulted, 1);
 }
 
 TEST_F(DatasetParallelTest, SingleParsePipelineAccounting) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "web/fault_injection.h"
 #include "web/url.h"
 
 namespace cafc {
@@ -216,6 +217,35 @@ TEST(BuildDatasetTest, Bm25SetAlignedAndDifferent) {
     if (!(bm25.page(i).pc == tfidf.page(i).pc)) any_difference = true;
   }
   EXPECT_TRUE(any_difference);
+}
+
+TEST(BuildDatasetTest, SurvivesDeadAndMalformedFaults) {
+  // Dead hosts, truncated bodies and soft-404 garbage shrink the corpus
+  // but must never break the pipeline: BuildDataset completes, classifies
+  // the losses in stats.crawl, and keeps a usable (smaller) entry set.
+  web::SyntheticWeb web = web::Synthesizer(SmallConfig()).Generate();
+  Dataset clean = std::move(BuildDataset(web)).value();
+
+  web::FaultProfile profile;
+  profile.dead_rate = 0.1;
+  profile.truncated_rate = 0.1;
+  profile.soft404_rate = 0.1;
+  profile.seed = 17;
+  web::FaultInjectingFetcher faulty(&web, profile);
+  DatasetOptions options;
+  options.fetcher = &faulty;
+  Result<Dataset> degraded = BuildDataset(web, options);
+  ASSERT_TRUE(degraded.ok());
+
+  EXPECT_GT(degraded->stats.crawl.dead_urls, 0u);
+  EXPECT_GT(degraded->stats.crawl.malformed_pages, 0u);
+  EXPECT_GT(degraded->stats.crawl.soft404_pages, 0u);
+  EXPECT_LE(degraded->entries.size(), clean.entries.size());
+  EXPECT_GT(degraded->entries.size(), 0u);
+  // Every surviving entry is still a gold page with intact metadata.
+  for (const DatasetEntry& e : degraded->entries) {
+    EXPECT_NE(web.FindFormPage(e.doc.url), nullptr) << e.doc.url;
+  }
 }
 
 TEST(BuildDatasetTest, DeterministicAcrossRuns) {

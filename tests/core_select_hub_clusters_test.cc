@@ -102,6 +102,32 @@ TEST(SelectHubClustersTest, PaddingNeverExceedsPageCount) {
   EXPECT_EQ(seeds.size(), 2u);  // min(k, n)
 }
 
+TEST(SelectHubClustersTest, PaddedFlagMarksSyntheticSeedsOnly) {
+  FormPageSet pages = TopicSet({0, 1, 2, 3});
+  std::vector<HubCluster> hubs = {{"only", {0}}};
+  auto seeds = SelectHubClusters(pages, hubs, 4);
+  ASSERT_EQ(seeds.size(), 4u);  // exactly k despite a single real hub
+  EXPECT_FALSE(seeds[0].padded);
+  for (size_t i = 1; i < seeds.size(); ++i) {
+    EXPECT_TRUE(seeds[i].padded) << i;
+    EXPECT_EQ(seeds[i].members.size(), 1u);
+  }
+}
+
+TEST(SelectHubClustersTest, FallbackWithZeroHubsYieldsExactlyKPaddedSeeds) {
+  // The CAFC-CH degradation path: a fully depleted backlink substrate
+  // (coverage 0, dead engine, fault-killed hubs) leaves no hub clusters at
+  // all, and the selection must degrade to CAFC-C-style singleton seeding
+  // with exactly k seeds.
+  FormPageSet pages = TopicSet({0, 1, 2, 3, 4, 5});
+  auto seeds = SelectHubClusters(pages, {}, 4);
+  ASSERT_EQ(seeds.size(), 4u);
+  for (const HubCluster& s : seeds) {
+    EXPECT_TRUE(s.padded);
+    EXPECT_EQ(s.members.size(), 1u);
+  }
+}
+
 TEST(SelectHubClustersTest, DeterministicSelection) {
   FormPageSet pages = TopicSet({0, 0, 1, 1, 2, 2, 3, 3});
   std::vector<HubCluster> hubs = {

@@ -1,5 +1,6 @@
 #include "util/status.h"
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,9 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::FailedPrecondition("m"), StatusCode::kFailedPrecondition,
        "FailedPrecondition"},
       {Status::Internal("m"), StatusCode::kInternal, "Internal"},
+      {Status::Unavailable("m"), StatusCode::kUnavailable, "Unavailable"},
+      {Status::DeadlineExceeded("m"), StatusCode::kDeadlineExceeded,
+       "DeadlineExceeded"},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -47,6 +51,34 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
 
 TEST(StatusTest, ToStringWithoutMessage) {
   EXPECT_EQ(Status::NotFound("").ToString(), "NotFound");
+}
+
+TEST(StatusTest, StatusCodeName) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(StatusTest, StreamInsertionMatchesToString) {
+  Status s = Status::Unavailable("backend flaking");
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), s.ToString());
+  EXPECT_EQ(os.str(), "Unavailable: backend flaking");
+}
+
+TEST(StatusTest, StreamInsertionOfCode) {
+  std::ostringstream os;
+  os << StatusCode::kDeadlineExceeded;
+  EXPECT_EQ(os.str(), "DeadlineExceeded");
+}
+
+TEST(StatusTest, GtestFailureMessagesArePrintable) {
+  // EXPECT_EQ on Status values relies on operator<< for readable output;
+  // make sure the printed form is the human string, not raw bytes.
+  EXPECT_NE(::testing::PrintToString(Status::NotFound("u")).find("NotFound"),
+            std::string::npos);
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

@@ -48,6 +48,40 @@ TEST(BacklinkIndexTest, MaxResultsCapApplied) {
   EXPECT_EQ(index.Backlinks("http://center.com/").size(), 7u);
 }
 
+TEST(BacklinkIndexTest, MaxResultsZeroReturnsNothing) {
+  LinkGraph g = StarGraph(10);
+  BacklinkIndexOptions options;
+  options.coverage = 1.0;
+  options.max_results = 0;  // a dead engine: every query comes back empty
+  BacklinkIndex index(&g, options);
+  EXPECT_TRUE(index.Backlinks("http://center.com/").empty());
+}
+
+TEST(BacklinkIndexTest, MaxResultsOneReturnsExactlyOne) {
+  LinkGraph g = StarGraph(10);
+  BacklinkIndexOptions options;
+  options.coverage = 1.0;
+  options.max_results = 1;
+  BacklinkIndex index(&g, options);
+  EXPECT_EQ(index.Backlinks("http://center.com/").size(), 1u);
+}
+
+TEST(BacklinkIndexTest, SampleStableUnderMaxResultsChange) {
+  // The deterministic edge sample must not depend on the cap: raising
+  // max_results extends the result, it never reshuffles the prefix.
+  LinkGraph g = StarGraph(100);
+  BacklinkIndexOptions small;
+  small.coverage = 0.5;
+  small.max_results = 5;
+  BacklinkIndexOptions large = small;
+  large.max_results = 50;
+  auto few = BacklinkIndex(&g, small).Backlinks("http://center.com/");
+  auto many = BacklinkIndex(&g, large).Backlinks("http://center.com/");
+  ASSERT_EQ(few.size(), 5u);
+  ASSERT_GE(many.size(), few.size());
+  for (size_t i = 0; i < few.size(); ++i) EXPECT_EQ(few[i], many[i]);
+}
+
 TEST(BacklinkIndexTest, DeterministicAcrossQueries) {
   LinkGraph g = StarGraph(100);
   BacklinkIndexOptions options;

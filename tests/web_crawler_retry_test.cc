@@ -1,0 +1,310 @@
+// Crawler resilience: FetchWithRetry semantics (deterministic virtual-clock
+// backoff, retry classification) and end-to-end crawls over a
+// FaultInjectingFetcher — transient faults recovered, dead/truncated/
+// soft-404 URLs degraded into the CrawlStats taxonomy, and the whole
+// CrawlResult bit-identical at any thread count under any fault profile.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+#include "web/crawler.h"
+#include "web/fault_injection.h"
+#include "web/synthesizer.h"
+
+namespace cafc::web {
+namespace {
+
+/// Scripted fetcher: each URL fails `failures` times with `error`, then
+/// serves the page. Counts the attempts it saw.
+class FlakyWeb : public WebFetcher {
+ public:
+  void Add(std::string url, std::string html, int failures = 0,
+           Status error = Status::Unavailable("scripted failure")) {
+    Entry& e = entries_[url];
+    e.page = WebPage{url, std::move(html)};
+    e.failures_left = failures;
+    e.error = std::move(error);
+  }
+
+  Result<const WebPage*> Fetch(std::string_view url) const override {
+    auto it = entries_.find(std::string(url));
+    if (it == entries_.end()) return Status::NotFound("404");
+    Entry& e = it->second;
+    ++e.attempts_seen;
+    if (e.failures_left > 0) {
+      --e.failures_left;
+      return e.error;
+    }
+    return &e.page;
+  }
+
+  int attempts_seen(const std::string& url) const {
+    auto it = entries_.find(url);
+    return it == entries_.end() ? 0 : it->second.attempts_seen;
+  }
+
+ private:
+  struct Entry {
+    WebPage page;
+    mutable int failures_left = 0;
+    mutable int attempts_seen = 0;
+    Status error = Status::OK();
+  };
+  mutable std::map<std::string, Entry> entries_;
+};
+
+TEST(FetchWithRetryTest, FirstAttemptSuccessNeedsNoRetry) {
+  FlakyWeb web;
+  web.Add("http://a.com/", "ok");
+  FetchAttemptLog log;
+  Result<const WebPage*> page =
+      FetchWithRetry(web, "http://a.com/", FetchRetryPolicy{}, &log);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(log.attempts, 1);
+  EXPECT_EQ(log.backoff_ms, 0u);
+}
+
+TEST(FetchWithRetryTest, RecoversTransientWithExponentialBackoff) {
+  FlakyWeb web;
+  web.Add("http://a.com/", "ok", /*failures=*/2);
+  FetchRetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ms = 100;
+  policy.multiplier = 2.0;
+  FetchAttemptLog log;
+  Result<const WebPage*> page =
+      FetchWithRetry(web, "http://a.com/", policy, &log);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(log.attempts, 3);
+  EXPECT_EQ(log.backoff_ms, 100u + 200u);  // virtual clock, exact
+  EXPECT_EQ(web.attempts_seen("http://a.com/"), 3);
+}
+
+TEST(FetchWithRetryTest, GivesUpAfterMaxAttempts) {
+  FlakyWeb web;
+  web.Add("http://a.com/", "ok", /*failures=*/10);
+  FetchRetryPolicy policy;
+  policy.max_attempts = 3;
+  FetchAttemptLog log;
+  Result<const WebPage*> page =
+      FetchWithRetry(web, "http://a.com/", policy, &log);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(log.attempts, 3);
+  EXPECT_EQ(web.attempts_seen("http://a.com/"), 3);
+}
+
+TEST(FetchWithRetryTest, DeadlineExceededIsAlsoRetryable) {
+  FlakyWeb web;
+  web.Add("http://a.com/", "ok", /*failures=*/1,
+          Status::DeadlineExceeded("scripted timeout"));
+  FetchAttemptLog log;
+  Result<const WebPage*> page =
+      FetchWithRetry(web, "http://a.com/", FetchRetryPolicy{}, &log);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(log.attempts, 2);
+}
+
+TEST(FetchWithRetryTest, NotFoundNeverRetried) {
+  FlakyWeb web;  // empty universe
+  FetchAttemptLog log;
+  Result<const WebPage*> page =
+      FetchWithRetry(web, "http://nowhere.com/", FetchRetryPolicy{}, &log);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(log.attempts, 1);
+  EXPECT_EQ(log.backoff_ms, 0u);
+}
+
+TEST(FetchWithRetryTest, PermanentErrorsNeverRetried) {
+  FlakyWeb web;
+  web.Add("http://a.com/", "ok", /*failures=*/5,
+          Status::Internal("scripted dead host"));
+  FetchAttemptLog log;
+  Result<const WebPage*> page =
+      FetchWithRetry(web, "http://a.com/", FetchRetryPolicy{}, &log);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(log.attempts, 1);  // retrying a dead host is wasted budget
+}
+
+TEST(FetchWithRetryTest, BackoffBudgetStopsRetriesEarly) {
+  FlakyWeb web;
+  web.Add("http://a.com/", "ok", /*failures=*/10);
+  FetchRetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.initial_backoff_ms = 100;
+  policy.multiplier = 2.0;
+  policy.backoff_budget_ms = 250;  // allows 100, rejects 100 + 200
+  FetchAttemptLog log;
+  Result<const WebPage*> page =
+      FetchWithRetry(web, "http://a.com/", policy, &log);
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(log.attempts, 2);
+  EXPECT_EQ(log.backoff_ms, 100u);
+}
+
+TEST(FetchWithRetryTest, BackoffCappedAtMax) {
+  FlakyWeb web;
+  web.Add("http://a.com/", "ok", /*failures=*/4);
+  FetchRetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_ms = 100;
+  policy.multiplier = 10.0;
+  policy.max_backoff_ms = 400;
+  policy.backoff_budget_ms = 0;  // unlimited
+  FetchAttemptLog log;
+  Result<const WebPage*> page =
+      FetchWithRetry(web, "http://a.com/", policy, &log);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(log.attempts, 5);
+  EXPECT_EQ(log.backoff_ms, 100u + 400u + 400u + 400u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end crawls over an injected-fault web.
+
+SynthesizerConfig CrawlConfig() {
+  SynthesizerConfig config;
+  config.seed = 7;
+  config.form_pages_total = 64;
+  config.single_attribute_forms = 8;
+  config.homogeneous_hubs_per_domain = 16;
+  config.mixed_hubs = 32;
+  config.directory_hubs = 4;
+  config.large_air_hotel_hubs = 2;
+  config.non_searchable_form_pages = 8;
+  config.noise_pages = 8;
+  config.outlier_pages = 2;
+  return config;
+}
+
+CrawlResult CrawlWithFaults(const SyntheticWeb& web,
+                            const FaultProfile& profile) {
+  // Fresh decorator per crawl: attempt counters model one crawl's view of
+  // the network and must not leak between comparable runs.
+  FaultInjectingFetcher faulty(&web, profile);
+  Crawler crawler(&faulty);
+  return crawler.Crawl(web.seed_urls());
+}
+
+TEST(CrawlerFaultTest, CleanWebHasCleanTaxonomy) {
+  SyntheticWeb web = Synthesizer(CrawlConfig()).Generate();
+  CrawlResult result = CrawlWithFaults(web, FaultProfile{});
+  EXPECT_EQ(result.stats.fetched, result.visited.size());
+  EXPECT_EQ(result.stats.fetch_failures(), 0u);
+  EXPECT_EQ(result.stats.transient_recovered, 0u);
+  EXPECT_EQ(result.stats.retry_attempts, 0u);
+  EXPECT_EQ(result.stats.malformed_pages, 0u);
+  EXPECT_EQ(result.stats.soft404_pages, 0u);
+}
+
+TEST(CrawlerFaultTest, TransientFaultsFullyRecoveredByRetries) {
+  SyntheticWeb web = Synthesizer(CrawlConfig()).Generate();
+  CrawlResult clean = CrawlWithFaults(web, FaultProfile{});
+
+  FaultProfile profile;
+  profile.transient_rate = 0.3;
+  profile.transient_attempts = 2;  // recovered by the default 3 attempts
+  profile.seed = 5;
+  CrawlResult faulty = CrawlWithFaults(web, profile);
+
+  // Retries hide the faults completely: same pages, same candidates, same
+  // graph — only the retry accounting differs.
+  EXPECT_EQ(faulty.visited, clean.visited);
+  EXPECT_EQ(faulty.form_page_urls, clean.form_page_urls);
+  EXPECT_GT(faulty.stats.transient_recovered, 0u);
+  EXPECT_GT(faulty.stats.retry_attempts, 0u);
+  EXPECT_GT(faulty.stats.backoff_virtual_ms, 0u);
+  EXPECT_EQ(faulty.stats.retries_exhausted, 0u);
+  EXPECT_EQ(faulty.stats.fetch_failures(), 0u);
+}
+
+TEST(CrawlerFaultTest, ExhaustedRetriesWhenFaultOutlivesBudget) {
+  SyntheticWeb web = Synthesizer(CrawlConfig()).Generate();
+  FaultProfile profile;
+  profile.transient_rate = 0.3;
+  profile.transient_attempts = 5;  // outlives max_attempts = 3
+  profile.seed = 5;
+  CrawlResult result = CrawlWithFaults(web, profile);
+  EXPECT_GT(result.stats.retries_exhausted, 0u);
+  EXPECT_EQ(result.stats.dead_urls, 0u);
+  EXPECT_GT(result.visited.size(), 0u);  // the rest of the crawl went on
+}
+
+TEST(CrawlerFaultTest, DeadUrlsClassifiedWithoutRetryWaste) {
+  SyntheticWeb web = Synthesizer(CrawlConfig()).Generate();
+  FaultProfile profile;
+  profile.dead_rate = 0.2;
+  profile.seed = 5;
+  CrawlResult result = CrawlWithFaults(web, profile);
+  EXPECT_GT(result.stats.dead_urls, 0u);
+  EXPECT_EQ(result.stats.retries_exhausted, 0u);
+  EXPECT_EQ(result.stats.retry_attempts, 0u);  // dead hosts are not retried
+  EXPECT_GT(result.visited.size(), 0u);
+}
+
+TEST(CrawlerFaultTest, TruncatedPagesDegradeGracefully) {
+  SyntheticWeb web = Synthesizer(CrawlConfig()).Generate();
+  CrawlResult clean = CrawlWithFaults(web, FaultProfile{});
+
+  FaultProfile profile;
+  profile.truncated_rate = 0.4;
+  profile.seed = 5;
+  CrawlResult result = CrawlWithFaults(web, profile);
+
+  // Truncated bodies still parse (to a prefix), so every page is fetched;
+  // cut-off form pages may drop out of candidacy, never crash the crawl.
+  EXPECT_GT(result.stats.malformed_pages, 0u);
+  EXPECT_EQ(result.stats.fetch_failures(), 0u);
+  EXPECT_GT(result.visited.size(), 0u);
+  EXPECT_LE(result.form_page_urls.size(), clean.form_page_urls.size());
+}
+
+TEST(CrawlerFaultTest, Soft404PagesDetectedAndQuarantined) {
+  SyntheticWeb web = Synthesizer(CrawlConfig()).Generate();
+  FaultProfile profile;
+  profile.soft404_rate = 0.3;
+  profile.seed = 5;
+
+  FaultInjectingFetcher faulty(&web, profile);
+  Crawler crawler(&faulty);
+  CrawlResult result = crawler.Crawl(web.seed_urls());
+  EXPECT_GT(result.stats.soft404_pages, 0u);
+  // Quarantined: fetched (they look like 200s) but never candidates.
+  for (const std::string& url : result.form_page_urls) {
+    EXPECT_NE(faulty.KindFor(url), FaultKind::kSoft404) << url;
+  }
+}
+
+TEST(CrawlerFaultTest, MixedFaultCrawlIdenticalAcrossThreadCounts) {
+  SyntheticWeb web = Synthesizer(CrawlConfig()).Generate();
+  FaultProfile profile;
+  profile.dead_rate = 0.05;
+  profile.transient_rate = 0.15;
+  profile.slow_rate = 0.05;
+  profile.truncated_rate = 0.1;
+  profile.soft404_rate = 0.05;
+  profile.seed = 13;
+
+  auto crawl_with_threads = [&](int threads) {
+    util::ScopedThreads scoped(threads);
+    return CrawlWithFaults(web, profile);
+  };
+  CrawlResult serial = crawl_with_threads(1);
+  EXPECT_GT(serial.stats.fetch_failures(), 0u);  // the profile does bite
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    CrawlResult parallel = crawl_with_threads(threads);
+    EXPECT_EQ(parallel.visited, serial.visited);
+    EXPECT_EQ(parallel.form_page_urls, serial.form_page_urls);
+    EXPECT_TRUE(parallel.stats == serial.stats);
+  }
+}
+
+}  // namespace
+}  // namespace cafc::web

@@ -62,13 +62,14 @@ TEST(CrawlerTest, BuildsLinkGraph) {
   EXPECT_EQ(result.graph.OutLinks(a).size(), 2u);
 }
 
-TEST(CrawlerTest, DanglingLinksCountedAsFailures) {
+TEST(CrawlerTest, DanglingLinksAreNotFetchFailures) {
   MiniWeb web;
   web.Add("http://a.com/", R"(<a href="/missing.html">x</a>)");
   Crawler crawler(&web);
   CrawlResult result = crawler.Crawl({"http://a.com/"});
   EXPECT_EQ(result.visited.size(), 1u);
-  EXPECT_EQ(result.fetch_failures, 1u);
+  EXPECT_EQ(result.stats.dangling_links, 1u);
+  EXPECT_EQ(result.stats.fetch_failures(), 0u);  // expected BFS noise
 }
 
 TEST(CrawlerTest, MaxPagesLimit) {
@@ -125,7 +126,8 @@ TEST(CrawlerTest, JavascriptAndMailtoIgnored) {
   Crawler crawler(&web);
   CrawlResult result = crawler.Crawl({"http://a.com/"});
   EXPECT_EQ(result.visited.size(), 1u);
-  EXPECT_EQ(result.fetch_failures, 0u);
+  EXPECT_EQ(result.stats.dangling_links, 0u);
+  EXPECT_EQ(result.stats.fetch_failures(), 0u);
 }
 
 TEST(CrawlerTest, BaseHrefRespected) {

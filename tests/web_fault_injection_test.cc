@@ -1,0 +1,259 @@
+#include "web/fault_injection.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace cafc::web {
+namespace {
+
+/// Clean base fetcher with a numbered page universe.
+class MiniWeb : public WebFetcher {
+ public:
+  void Add(std::string url, std::string html) {
+    pages_[url] = WebPage{url, std::move(html)};
+  }
+
+  Result<const WebPage*> Fetch(std::string_view url) const override {
+    auto it = pages_.find(std::string(url));
+    if (it == pages_.end()) return Status::NotFound("404");
+    return &it->second;
+  }
+
+ private:
+  std::map<std::string, WebPage> pages_;
+};
+
+MiniWeb UniformWeb(int n) {
+  MiniWeb web;
+  for (int i = 0; i < n; ++i) {
+    web.Add("http://site" + std::to_string(i) + ".com/",
+            "<html><head><title>page</title></head><body>"
+            "<p>some body text</p><form action=\"/s\">"
+            "<input name=\"q\"></form></body></html>");
+  }
+  return web;
+}
+
+std::vector<std::string> Urls(int n) {
+  std::vector<std::string> urls;
+  for (int i = 0; i < n; ++i) {
+    urls.push_back("http://site" + std::to_string(i) + ".com/");
+  }
+  return urls;
+}
+
+TEST(FaultInjectionTest, InactiveProfilePassesThrough) {
+  MiniWeb web = UniformWeb(10);
+  FaultInjectingFetcher faulty(&web, FaultProfile{});
+  for (const std::string& url : Urls(10)) {
+    EXPECT_EQ(faulty.KindFor(url), FaultKind::kNone);
+    Result<const WebPage*> page = faulty.Fetch(url);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)->url, url);
+    EXPECT_FALSE((*page)->truncated);
+  }
+  EXPECT_EQ(faulty.stats().fetch_calls, 10u);
+}
+
+TEST(FaultInjectionTest, KindIsDeterministicPerUrlAndSeed) {
+  FaultProfile profile;
+  profile.dead_rate = 0.2;
+  profile.transient_rate = 0.3;
+  profile.truncated_rate = 0.2;
+  profile.seed = 7;
+  MiniWeb web = UniformWeb(200);
+  FaultInjectingFetcher a(&web, profile);
+  FaultInjectingFetcher b(&web, profile);
+  for (const std::string& url : Urls(200)) {
+    EXPECT_EQ(a.KindFor(url), b.KindFor(url)) << url;
+  }
+}
+
+TEST(FaultInjectionTest, SeedChangesAssignment) {
+  FaultProfile a;
+  a.dead_rate = 0.5;
+  a.seed = 1;
+  FaultProfile b = a;
+  b.seed = 2;
+  MiniWeb web = UniformWeb(200);
+  FaultInjectingFetcher fa(&web, a);
+  FaultInjectingFetcher fb(&web, b);
+  int differs = 0;
+  for (const std::string& url : Urls(200)) {
+    if (fa.KindFor(url) != fb.KindFor(url)) ++differs;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultInjectionTest, RatesApproximatelyRespected) {
+  FaultProfile profile;
+  profile.dead_rate = 0.25;
+  profile.seed = 3;
+  MiniWeb web = UniformWeb(2000);
+  FaultInjectingFetcher faulty(&web, profile);
+  int dead = 0;
+  for (const std::string& url : Urls(2000)) {
+    if (faulty.KindFor(url) == FaultKind::kDead) ++dead;
+  }
+  EXPECT_NEAR(dead / 2000.0, 0.25, 0.05);
+}
+
+TEST(FaultInjectionTest, GrowingOneRateNestsFaultSets) {
+  // Stacked-band contract: every URL dead at rate r stays dead at r' > r.
+  MiniWeb web = UniformWeb(500);
+  std::vector<std::string> urls = Urls(500);
+  FaultProfile lo;
+  lo.dead_rate = 0.1;
+  lo.seed = 11;
+  FaultProfile hi = lo;
+  hi.dead_rate = 0.4;
+  FaultInjectingFetcher flo(&web, lo);
+  FaultInjectingFetcher fhi(&web, hi);
+  for (const std::string& url : urls) {
+    if (flo.KindFor(url) == FaultKind::kDead) {
+      EXPECT_EQ(fhi.KindFor(url), FaultKind::kDead) << url;
+    }
+  }
+}
+
+TEST(FaultInjectionTest, DeadUrlFailsPermanentlyWithNonRetryableCode) {
+  FaultProfile profile;
+  profile.dead_rate = 1.0;
+  MiniWeb web = UniformWeb(1);
+  FaultInjectingFetcher faulty(&web, profile);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    Result<const WebPage*> page = faulty.Fetch("http://site0.com/");
+    ASSERT_FALSE(page.ok());
+    // Internal, not Unavailable: resilient callers must classify the URL
+    // as dead instead of burning retry budget on it.
+    EXPECT_EQ(page.status().code(), StatusCode::kInternal);
+  }
+  EXPECT_EQ(faulty.stats().injected_dead, 3u);
+}
+
+TEST(FaultInjectionTest, TransientUrlRecoversAfterNAttempts) {
+  FaultProfile profile;
+  profile.transient_rate = 1.0;
+  profile.transient_attempts = 2;
+  MiniWeb web = UniformWeb(1);
+  FaultInjectingFetcher faulty(&web, profile);
+  const std::string url = "http://site0.com/";
+  for (int attempt = 1; attempt <= 2; ++attempt) {
+    Result<const WebPage*> page = faulty.Fetch(url);
+    ASSERT_FALSE(page.ok());
+    EXPECT_EQ(page.status().code(), StatusCode::kUnavailable);
+  }
+  Result<const WebPage*> page = faulty.Fetch(url);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ((*page)->url, url);
+  EXPECT_EQ(faulty.stats().injected_transient, 2u);
+}
+
+TEST(FaultInjectionTest, SlowUrlEitherServesOrDeadlines) {
+  FaultProfile profile;
+  profile.slow_rate = 1.0;
+  profile.latency_budget_ms = 200;
+  profile.slow_latency_min_ms = 50;
+  profile.slow_latency_max_ms = 600;
+  MiniWeb web = UniformWeb(50);
+  FaultInjectingFetcher faulty(&web, profile);
+  size_t deadlines = 0;
+  size_t served = 0;
+  for (const std::string& url : Urls(50)) {
+    Result<const WebPage*> page = faulty.Fetch(url);
+    if (page.ok()) {
+      ++served;
+    } else {
+      EXPECT_EQ(page.status().code(), StatusCode::kDeadlineExceeded);
+      ++deadlines;
+    }
+  }
+  // The latency range straddles the budget, so both outcomes occur.
+  EXPECT_GT(deadlines, 0u);
+  EXPECT_GT(served, 0u);
+  EXPECT_EQ(faulty.stats().injected_deadline, deadlines);
+  EXPECT_GT(faulty.stats().simulated_latency_ms, 0u);
+}
+
+TEST(FaultInjectionTest, SlowUrlCanRecoverOnRetry) {
+  FaultProfile profile;
+  profile.slow_rate = 1.0;
+  profile.latency_budget_ms = 200;
+  MiniWeb web = UniformWeb(100);
+  FaultInjectingFetcher faulty(&web, profile);
+  // At least one URL whose first attempt deadlines must succeed within a
+  // few retries (latency is drawn per attempt).
+  bool recovered = false;
+  for (const std::string& url : Urls(100)) {
+    if (faulty.Fetch(url).ok()) continue;  // fast first attempt
+    for (int retry = 0; retry < 5 && !recovered; ++retry) {
+      if (faulty.Fetch(url).ok()) recovered = true;
+    }
+    if (recovered) break;
+  }
+  EXPECT_TRUE(recovered);
+}
+
+TEST(FaultInjectionTest, TruncatedPageIsPrefixAndFlagged) {
+  FaultProfile profile;
+  profile.truncated_rate = 1.0;
+  MiniWeb web = UniformWeb(1);
+  FaultInjectingFetcher faulty(&web, profile);
+  const std::string url = "http://site0.com/";
+  Result<const WebPage*> cut = faulty.Fetch(url);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_TRUE((*cut)->truncated);
+  Result<const WebPage*> real = web.Fetch(url);
+  ASSERT_TRUE(real.ok());
+  ASSERT_LT((*cut)->html.size(), (*real)->html.size());
+  EXPECT_EQ((*cut)->html, (*real)->html.substr(0, (*cut)->html.size()));
+  // Served from the cache on repeat fetches: same pointer, same bytes.
+  Result<const WebPage*> again = faulty.Fetch(url);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *cut);
+}
+
+TEST(FaultInjectionTest, Soft404LooksHealthyButIsGarbage) {
+  FaultProfile profile;
+  profile.soft404_rate = 1.0;
+  MiniWeb web = UniformWeb(1);
+  FaultInjectingFetcher faulty(&web, profile);
+  Result<const WebPage*> page = faulty.Fetch("http://site0.com/");
+  ASSERT_TRUE(page.ok());  // "200 OK" from the crawler's point of view
+  EXPECT_FALSE((*page)->truncated);
+  EXPECT_NE((*page)->html.find("404 Not Found"), std::string::npos);
+  EXPECT_EQ((*page)->html.find("<form"), std::string::npos);
+  EXPECT_EQ(faulty.stats().soft404_served, 1u);
+}
+
+TEST(FaultInjectionTest, UrlsOutsideUniversePassThroughAsNotFound) {
+  FaultProfile profile;
+  profile.truncated_rate = 1.0;  // mutation needs a real body to mutate
+  MiniWeb web = UniformWeb(1);
+  FaultInjectingFetcher faulty(&web, profile);
+  Result<const WebPage*> page = faulty.Fetch("http://nowhere.com/");
+  ASSERT_FALSE(page.ok());
+  EXPECT_EQ(page.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FaultInjectionTest, ResetRestoresAsConstructedState) {
+  FaultProfile profile;
+  profile.transient_rate = 1.0;
+  profile.transient_attempts = 1;
+  MiniWeb web = UniformWeb(1);
+  FaultInjectingFetcher faulty(&web, profile);
+  const std::string url = "http://site0.com/";
+  EXPECT_FALSE(faulty.Fetch(url).ok());
+  EXPECT_TRUE(faulty.Fetch(url).ok());  // warmed past the failure
+  faulty.Reset();
+  EXPECT_EQ(faulty.stats(), FaultStats{});
+  EXPECT_FALSE(faulty.Fetch(url).ok());  // cold again
+}
+
+}  // namespace
+}  // namespace cafc::web

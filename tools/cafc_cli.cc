@@ -6,9 +6,17 @@
 //   cafc cluster  [--seed N] [--k 8] [--algo ch|c|hac]
 //                 [--min-cardinality 8] [--content fc|pc|fcpc]
 //                 [--save FILE] [--dot FILE] [--show-members N]
-//                 [--threads N]
+//                 [--threads N] [fault flags]
 //       Run the full pipeline (crawl → classify → model → cluster), print
 //       the resulting directory, optionally persist it.
+//
+//   Fault flags (stats and cluster): crawl through a fault-injecting
+//   fetcher instead of the pristine synthetic web.
+//     --fault-transient R  --fault-dead R  --fault-slow R
+//     --fault-truncated R  --fault-soft404 R   fraction of URLs per band
+//     --fault-seed N       fault assignment seed (default 1)
+//     --retry-attempts N   total fetch attempts per URL (default 3)
+//     --retry-backoff-ms N initial virtual backoff (default 100)
 //
 //   cafc classify --dir FILE [--seed M] [--pages N]
 //       Load a saved directory and classify the form pages of a *fresh*
@@ -27,6 +35,7 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -41,6 +50,7 @@
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "web/domain_vocab.h"
+#include "web/fault_injection.h"
 #include "web/synthesizer.h"
 
 namespace {
@@ -70,15 +80,64 @@ Result<Dataset> MakeDataset(const web::SyntheticWeb& web) {
   return BuildDataset(web);
 }
 
+/// Fault-flag plumbing shared by `stats` and `cluster`: reads the
+/// --fault-* / --retry-* flags into a FaultProfile + FetchRetryPolicy and,
+/// when any band is non-zero, routes the crawl through a decorator. The
+/// decorator must outlive BuildDataset, hence the owning wrapper.
+struct FaultSetup {
+  std::unique_ptr<web::FaultInjectingFetcher> fetcher;
+  bool active() const { return fetcher != nullptr; }
+};
+
+FaultSetup ConfigureFaults(const FlagParser& flags,
+                           const web::SyntheticWeb& web,
+                           DatasetOptions* options) {
+  web::FaultProfile profile;
+  profile.transient_rate = flags.GetDouble("fault-transient", 0.0);
+  profile.dead_rate = flags.GetDouble("fault-dead", 0.0);
+  profile.slow_rate = flags.GetDouble("fault-slow", 0.0);
+  profile.truncated_rate = flags.GetDouble("fault-truncated", 0.0);
+  profile.soft404_rate = flags.GetDouble("fault-soft404", 0.0);
+  profile.seed = static_cast<uint64_t>(flags.GetInt("fault-seed", 1));
+
+  web::FetchRetryPolicy& retry = options->crawler.retry;
+  retry.max_attempts = static_cast<int>(
+      flags.GetInt("retry-attempts", retry.max_attempts));
+  retry.initial_backoff_ms = static_cast<uint64_t>(flags.GetInt(
+      "retry-backoff-ms", static_cast<int64_t>(retry.initial_backoff_ms)));
+
+  FaultSetup setup;
+  if (profile.active()) {
+    setup.fetcher =
+        std::make_unique<web::FaultInjectingFetcher>(&web, profile);
+    options->fetcher = setup.fetcher.get();
+  }
+  return setup;
+}
+
+void PrintCrawlStats(const Dataset& dataset) {
+  const web::CrawlStats& c = dataset.stats.crawl;
+  std::printf(
+      "crawl under faults: fetched=%zu recovered=%zu exhausted=%zu "
+      "dead=%zu dangling=%zu malformed=%zu soft404=%zu retries=%zu "
+      "backoff=%llums\n",
+      c.fetched, c.transient_recovered, c.retries_exhausted, c.dead_urls,
+      c.dangling_links, c.malformed_pages, c.soft404_pages, c.retry_attempts,
+      static_cast<unsigned long long>(c.backoff_virtual_ms));
+}
+
 int RunStats(const FlagParser& flags) {
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   web::SyntheticWeb web =
       MakeWeb(seed, static_cast<int>(flags.GetInt("pages", 0)), -1);
-  Result<Dataset> dataset = MakeDataset(web);
+  DatasetOptions options;
+  FaultSetup faults = ConfigureFaults(flags, web, &options);
+  Result<Dataset> dataset = BuildDataset(web, options);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
+  if (faults.active()) PrintCrawlStats(*dataset);
   FormPageSet pages = BuildFormPageSet(*dataset);
   std::vector<HubCluster> hubs = GenerateHubClusters(pages);
 
@@ -149,11 +208,15 @@ int RunCluster(const FlagParser& flags) {
 
   web::SyntheticWeb web =
       MakeWeb(seed, static_cast<int>(flags.GetInt("pages", 0)), -1);
-  Result<Dataset> dataset = MakeDataset(web);
+  DatasetOptions dataset_options;
+  dataset_options.threads = threads;
+  FaultSetup faults = ConfigureFaults(flags, web, &dataset_options);
+  Result<Dataset> dataset = BuildDataset(web, dataset_options);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
+  if (faults.active()) PrintCrawlStats(*dataset);
   FormPageSet pages = BuildFormPageSet(*dataset);
 
   cluster::Clustering clustering;
@@ -165,8 +228,9 @@ int RunCluster(const FlagParser& flags) {
         static_cast<size_t>(flags.GetInt("min-cardinality", 8));
     CafcChReport report;
     clustering = CafcCh(pages, k, options, &report);
-    std::printf("hub clusters: %zu total, %zu kept\n",
-                report.hub_clusters_total, report.hub_clusters_kept);
+    std::printf("hub clusters: %zu total, %zu kept, %zu padded seeds\n",
+                report.hub_clusters_total, report.hub_clusters_kept,
+                report.padded_seeds);
   } else if (algo == "c") {
     CafcOptions options;
     options.content = content;
