@@ -1,0 +1,445 @@
+// Incremental-corpus benchmark for the epoch-versioned engine: grow a
+// corpus over the standard substrate in add-batches of {1, 8, 64} pages,
+// deriving the weighted epoch after every batch, and measure what the
+// dirty-term propagation saves against from-scratch rebuilds.
+//
+// Correctness gates make this bench fail loudly (non-zero exit):
+//   1. Every checked epoch must be bit-identical — same doubles, same
+//      collection statistics — to BuildFormPageSet over SnapshotDataset()
+//      (the historical batch path).
+//   2. The fully grown corpus must be bit-identical across worker thread
+//      counts {1, 2, 8}.
+//   3. Removing a page and re-adding it before the next derive must reuse
+//      every other vector verbatim (exactly 2 vectors recomputed, zero
+//      dirty terms): the IDF-value dirty test, not a coarse touched-df
+//      test, is what the engine promises.
+//   4. A single-page add at the full corpus must re-derive measurably
+//      faster than the from-scratch rebuild (speedup > 1; full mode only —
+//      smoke timings on CI containers are too noisy to gate).
+//   5. Warm-started DatabaseDirectory::Refresh must converge in fewer
+//      k-means iterations than a cold CAFC-C run on the same grown corpus.
+//
+// Results land in BENCH_incremental.json (schema in docs/performance.md).
+// `--smoke` runs a 113-page substrate with batch {8} and threads {1,2}.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/corpus.h"
+#include "core/directory.h"
+#include "core/ingest.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace cafc;         // NOLINT
+using namespace cafc::bench;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+web::SyntheticWeb MakeSubstrate(int form_pages) {
+  web::SynthesizerConfig config;
+  config.seed = 42;
+  if (form_pages > 0) {
+    config.form_pages_total = form_pages;
+    config.single_attribute_forms = form_pages / 8;
+    double scale = static_cast<double>(form_pages) / 454.0;
+    config.homogeneous_hubs_per_domain = static_cast<int>(360 * scale);
+    config.mixed_hubs = static_cast<int>(1100 * scale);
+    config.directory_hubs = static_cast<int>(24 * scale) + 1;
+    config.large_air_hotel_hubs = static_cast<int>(30 * scale) + 1;
+    config.outlier_pages = static_cast<int>(10 * scale);
+  }
+  return web::Synthesizer(config).Generate();
+}
+
+/// Bit-exact comparison of a derived epoch against a rebuilt set: urls,
+/// both weight vectors, and the per-space collection statistics.
+bool SetsIdentical(const FormPageSet& a, const FormPageSet& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const FormPage& x = a.page(i);
+    const FormPage& y = b.page(i);
+    if (x.url != y.url || !(x.pc == y.pc) || !(x.fc == y.fc)) return false;
+  }
+  if (a.dictionary().size() != b.dictionary().size()) return false;
+  if (a.pc_stats().num_documents() != b.pc_stats().num_documents() ||
+      a.fc_stats().num_documents() != b.fc_stats().num_documents()) {
+    return false;
+  }
+  for (size_t id = 0; id < a.dictionary().size(); ++id) {
+    vsm::TermId t = static_cast<vsm::TermId>(id);
+    if (a.dictionary().term(t) != b.dictionary().term(t)) return false;
+    if (a.pc_stats().DocumentFrequency(t) !=
+            b.pc_stats().DocumentFrequency(t) ||
+        a.fc_stats().DocumentFrequency(t) !=
+            b.fc_stats().DocumentFrequency(t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<DatasetEntry> Slice(const std::vector<DatasetEntry>& master,
+                                size_t begin, size_t end) {
+  return {master.begin() + static_cast<ptrdiff_t>(begin),
+          master.begin() + static_cast<ptrdiff_t>(end)};
+}
+
+struct GrowthRun {
+  size_t batch = 0;
+  size_t epochs = 0;
+  size_t equality_checks = 0;
+  bool identical = true;
+  double grow_ms = 0.0;  ///< summed add + derive wall time (checks excluded)
+  size_t vectors_recomputed = 0;
+  size_t vectors_reused = 0;
+};
+
+/// Grows a fresh corpus from `master` in batches of `batch` pages, deriving
+/// after every batch. Epochs at `check_stride` intervals (and the last) are
+/// compared bit-exactly against a from-scratch rebuild.
+GrowthRun GrowAndCheck(const std::vector<DatasetEntry>& master, size_t batch,
+                       size_t check_stride, Corpus* out = nullptr) {
+  GrowthRun run;
+  run.batch = batch;
+  Corpus corpus;
+  const size_t n = master.size();
+  for (size_t at = 0; at < n; at += batch) {
+    const size_t end = std::min(at + batch, n);
+    std::vector<DatasetEntry> pages = Slice(master, at, end);
+    const auto t_epoch = Clock::now();
+    Result<size_t> added = corpus.AddPages(std::move(pages));
+    if (!added.ok()) {
+      std::fprintf(stderr, "AddPages failed: %s\n",
+                   added.status().ToString().c_str());
+      run.identical = false;
+      return run;
+    }
+    const FormPageSet& weighted = corpus.Weighted();
+    run.grow_ms += MsSince(t_epoch);
+    run.vectors_recomputed += corpus.last_derive().vectors_recomputed;
+    run.vectors_reused += corpus.last_derive().vectors_reused;
+    ++run.epochs;
+    const bool check = run.epochs % check_stride == 0 || end == n;
+    if (check) {
+      FormPageSet rebuilt = BuildFormPageSet(corpus.SnapshotDataset());
+      ++run.equality_checks;
+      if (!SetsIdentical(weighted, rebuilt)) {
+        std::fprintf(stderr,
+                     "FAIL: epoch %zu (batch %zu, %zu pages) diverged from "
+                     "the from-scratch rebuild\n",
+                     run.epochs, batch, corpus.size());
+        run.identical = false;
+      }
+    }
+  }
+  if (out != nullptr) *out = std::move(corpus);
+  return run;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+struct SingleAdd {
+  double incremental_ms = 0.0;
+  double rebuild_ms = 0.0;
+  double speedup = 0.0;
+};
+
+struct ReuseCheck {
+  size_t recomputed = 0;
+  size_t reused = 0;
+  size_t dirty_terms = 0;
+  bool ok = false;
+};
+
+struct RefreshCheck {
+  int warm_iterations = 0;
+  int cold_iterations = 0;
+  double drift = 0.0;
+  size_t moved = 0;
+  size_t entered = 0;
+  bool ok = false;
+};
+
+void WriteJson(const std::string& path, int hardware, bool smoke,
+               size_t pages, const std::vector<GrowthRun>& growth,
+               const std::vector<int>& sweep, bool threads_identical,
+               const SingleAdd& single, const ReuseCheck& reuse,
+               const RefreshCheck& refresh) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"ext_incremental\",\n";
+  out << "  \"hardware_concurrency\": " << hardware << ",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"pages\": " << pages << ",\n";
+  out << "  \"batches\": [\n";
+  for (size_t i = 0; i < growth.size(); ++i) {
+    const GrowthRun& g = growth[i];
+    out << "    {\"batch\": " << g.batch << ", \"epochs\": " << g.epochs
+        << ", \"equality_checks\": " << g.equality_checks
+        << ", \"identical\": " << (g.identical ? "true" : "false")
+        << ", \"grow_ms\": " << JsonNumber(g.grow_ms)
+        << ", \"vectors_recomputed\": " << g.vectors_recomputed
+        << ", \"vectors_reused\": " << g.vectors_reused << "}"
+        << (i + 1 < growth.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"threads\": {\"sweep\": [";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    out << sweep[i] << (i + 1 < sweep.size() ? ", " : "");
+  }
+  out << "], \"identical\": " << (threads_identical ? "true" : "false")
+      << "},\n";
+  out << "  \"single_add\": {\"incremental_ms\": "
+      << JsonNumber(single.incremental_ms)
+      << ", \"rebuild_ms\": " << JsonNumber(single.rebuild_ms)
+      << ", \"speedup\": " << JsonNumber(single.speedup) << "},\n";
+  out << "  \"remove_readd\": {\"vectors_recomputed\": " << reuse.recomputed
+      << ", \"vectors_reused\": " << reuse.reused
+      << ", \"dirty_terms\": " << reuse.dirty_terms
+      << ", \"ok\": " << (reuse.ok ? "true" : "false") << "},\n";
+  out << "  \"refresh\": {\"warm_iterations\": " << refresh.warm_iterations
+      << ", \"cold_iterations\": " << refresh.cold_iterations
+      << ", \"drift\": " << JsonNumber(refresh.drift)
+      << ", \"moved\": " << refresh.moved
+      << ", \"entered\": " << refresh.entered
+      << ", \"ok\": " << (refresh.ok ? "true" : "false") << "}\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int hardware = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  std::vector<size_t> batches = smoke ? std::vector<size_t>{8}
+                                      : std::vector<size_t>{1, 8, 64};
+  std::vector<int> sweep = smoke ? std::vector<int>{1, 2}
+                                 : std::vector<int>{1, 2, 8};
+
+  // Master raw material: the full substrate streamed through the pipeline
+  // once. The growth runs re-feed these entries batch by batch, so every
+  // run grows over identical observations.
+  web::SyntheticWeb web = MakeSubstrate(smoke ? 113 : 0);
+  Result<CorpusBuild> built = BuildCorpus(web);
+  if (!built.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<DatasetEntry> master = built->corpus.TakeEntries();
+  const size_t n = master.size();
+  std::printf("substrate: %zu form pages over %zu web pages\n", n,
+              web.pages().size());
+
+  // --- Gate 1: batch-size sweep with epoch/rebuild equality checks. ---
+  bool epochs_identical = true;
+  std::vector<GrowthRun> growth;
+  Table table({"batch", "epochs", "checks", "grow (ms)", "recomputed",
+               "reused", "identical"});
+  Corpus full_corpus;  // the B=max run's corpus, reused by the gates below
+  for (size_t i = 0; i < batches.size(); ++i) {
+    const size_t batch = batches[i];
+    const size_t stride = batch == 1 ? 32 : 1;
+    const bool keep = i + 1 == batches.size();
+    GrowthRun run =
+        GrowAndCheck(master, batch, stride, keep ? &full_corpus : nullptr);
+    epochs_identical = epochs_identical && run.identical;
+    table.AddRow({std::to_string(run.batch), std::to_string(run.epochs),
+                  std::to_string(run.equality_checks), Fmt(run.grow_ms, 1),
+                  std::to_string(run.vectors_recomputed),
+                  std::to_string(run.vectors_reused),
+                  run.identical ? "yes" : "NO"});
+    growth.push_back(run);
+  }
+  std::printf("=== Incremental growth: add-batch sweep ===\n%s",
+              table.ToString().c_str());
+
+  // --- Gate 2: thread-count determinism of the full growth. ---
+  bool threads_identical = true;
+  {
+    std::vector<Corpus> corpora;
+    for (int threads : sweep) {
+      util::ScopedThreads scoped(threads);
+      Corpus corpus;
+      GrowAndCheck(master, 8, 1u << 30, &corpus);  // no rebuild checks
+      corpora.push_back(std::move(corpus));
+    }
+    const FormPageSet& reference = corpora.front().Weighted();
+    for (size_t i = 1; i < corpora.size(); ++i) {
+      if (!SetsIdentical(reference, corpora[i].Weighted())) {
+        std::fprintf(stderr,
+                     "FAIL: grown corpus differs between threads=%d and "
+                     "threads=%d\n",
+                     sweep[0], sweep[i]);
+        threads_identical = false;
+      }
+    }
+    std::printf("thread determinism over {");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      std::printf("%d%s", sweep[i], i + 1 < sweep.size() ? "," : "");
+    }
+    std::printf("}: %s\n", threads_identical ? "bit-identical" : "DIVERGED");
+  }
+
+  // --- Gate 3: remove + re-add reuses everything but the moved page. ---
+  ReuseCheck reuse;
+  {
+    (void)full_corpus.Weighted();  // settle the epoch
+    const size_t victim = n / 2;
+    DatasetEntry copy = full_corpus.entries()[victim];
+    const std::string url = copy.doc.url;
+    full_corpus.RemovePages({url});
+    Result<size_t> readd = full_corpus.AddPages({std::move(copy)});
+    if (!readd.ok() || *readd != 1) {
+      std::fprintf(stderr, "re-add failed\n");
+      return 1;
+    }
+    const FormPageSet& weighted = full_corpus.Weighted();
+    const CorpusDeriveStats& d = full_corpus.last_derive();
+    reuse.recomputed = d.vectors_recomputed;
+    reuse.reused = d.vectors_reused;
+    reuse.dirty_terms = d.dirty_terms_pc + d.dirty_terms_fc;
+    FormPageSet rebuilt = BuildFormPageSet(full_corpus.SnapshotDataset());
+    reuse.ok = reuse.recomputed == 2 && reuse.dirty_terms == 0 &&
+               SetsIdentical(weighted, rebuilt);
+    std::printf(
+        "remove+re-add derive: %zu vectors recomputed, %zu reused, %zu "
+        "dirty terms -> %s\n",
+        reuse.recomputed, reuse.reused, reuse.dirty_terms,
+        reuse.ok ? "ok" : "FAIL (expected 2 recomputed, 0 dirty)");
+  }
+
+  // --- Gate 4: single-page add re-derives faster than a rebuild. ---
+  SingleAdd single;
+  {
+    DatasetEntry copy = full_corpus.entries().back();
+    const std::string url = copy.doc.url;
+    double best_incremental = -1.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      full_corpus.RemovePages({url});
+      (void)full_corpus.Weighted();  // settle at n - 1
+      DatasetEntry readd = copy;
+      const auto t0 = Clock::now();
+      (void)full_corpus.AddPages({std::move(readd)});
+      (void)full_corpus.Weighted();
+      const double ms = MsSince(t0);
+      if (best_incremental < 0.0 || ms < best_incremental) {
+        best_incremental = ms;
+      }
+    }
+    double best_rebuild = -1.0;
+    Dataset snapshot = full_corpus.SnapshotDataset();
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = Clock::now();
+      FormPageSet rebuilt = BuildFormPageSet(snapshot);
+      const double ms = MsSince(t0);
+      if (best_rebuild < 0.0 || ms < best_rebuild) best_rebuild = ms;
+    }
+    single.incremental_ms = best_incremental;
+    single.rebuild_ms = best_rebuild;
+    single.speedup = best_rebuild / best_incremental;
+    std::printf(
+        "single-page add at %zu pages: %.2f ms incremental vs %.2f ms "
+        "rebuild (%.2fx)\n",
+        n, single.incremental_ms, single.rebuild_ms, single.speedup);
+  }
+
+  // --- Gate 5: warm-started refresh beats cold CAFC-C on iterations. ---
+  RefreshCheck refresh;
+  {
+    const size_t base = n - std::min<size_t>(n / 7, n - 1);
+    Corpus corpus;
+    (void)GrowAndCheck(Slice(master, 0, base), base, 1u << 30, &corpus);
+    const FormPageSet& weighted = corpus.Weighted();
+    CafcOptions options;
+    Rng rng(1234);
+    const int k = 8;
+    cluster::Clustering clustering = CafcC(weighted, k, options, &rng);
+    DatabaseDirectory directory = DatabaseDirectory::Build(
+        weighted, clustering,
+        DatabaseDirectory::AutoLabels(weighted, clustering));
+    (void)corpus.AddPages(Slice(master, base, n));
+    Result<DirectoryRefreshReport> report = directory.Refresh(corpus);
+    if (!report.ok()) {
+      std::fprintf(stderr, "refresh failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    cluster::KMeansStats cold;
+    Rng cold_rng(1234);
+    (void)CafcC(corpus.Weighted(), k, options, &cold_rng, &cold);
+    refresh.warm_iterations = report->kmeans.iterations;
+    refresh.cold_iterations = cold.iterations;
+    refresh.drift = report->drift;
+    refresh.moved = report->moved;
+    refresh.entered = report->entered;
+    refresh.ok = refresh.warm_iterations < refresh.cold_iterations;
+    std::printf(
+        "directory refresh after +%zu pages: drift=%.3f moved=%zu "
+        "entered=%zu; warm k-means %d iterations vs cold %d -> %s\n",
+        n - base, refresh.drift, refresh.moved, refresh.entered,
+        refresh.warm_iterations, refresh.cold_iterations,
+        refresh.ok ? "ok" : "FAIL (warm must converge in fewer)");
+  }
+
+  WriteJson("BENCH_incremental.json", hardware, smoke, n, growth, sweep,
+            threads_identical, single, reuse, refresh);
+  std::printf("machine-readable results written to BENCH_incremental.json\n");
+
+  bool failed = false;
+  if (!epochs_identical) {
+    std::fprintf(stderr,
+                 "FAIL: an incremental epoch diverged from its from-scratch "
+                 "rebuild\n");
+    failed = true;
+  }
+  if (!threads_identical) {
+    std::fprintf(stderr,
+                 "FAIL: corpus growth varied across thread counts\n");
+    failed = true;
+  }
+  if (!reuse.ok) {
+    std::fprintf(stderr,
+                 "FAIL: remove+re-add did not reuse the untouched vectors\n");
+    failed = true;
+  }
+  if (!smoke && single.speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "FAIL: incremental derive was not faster than the "
+                 "from-scratch rebuild\n");
+    failed = true;
+  }
+  if (!refresh.ok) {
+    std::fprintf(stderr,
+                 "FAIL: warm-started refresh did not converge in fewer "
+                 "iterations than cold CAFC-C\n");
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

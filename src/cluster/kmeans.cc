@@ -14,66 +14,77 @@ namespace {
 /// identical at any parallelism level.
 constexpr size_t kAssignGrain = 32;
 
-}  // namespace
-
-Clustering KMeans(CentroidModel* model,
-                  const std::vector<std::vector<size_t>>& seed_clusters,
-                  const KMeansOptions& options, KMeansStats* stats) {
+/// One assignment scan: every point to its most similar centroid, ties
+/// breaking toward the lowest cluster index (deterministic). The scan is
+/// the dominant O(n * k * vector size) cost, parallelized over disjoint
+/// point ranges: each chunk writes only its own assignment slots, so the
+/// result is bit-identical to the serial scan at any thread count (the
+/// returned move count is an integer sum — order-independent).
+size_t AssignPoints(CentroidModel* model, std::vector<int>* assignment) {
   const size_t n = model->num_points();
-  const int k = static_cast<int>(seed_clusters.size());
+  const int k = model->num_clusters();
+  std::atomic<size_t> moved{0};
+  util::ParallelFor(0, n, kAssignGrain, [&](size_t chunk_begin,
+                                            size_t chunk_end) {
+    size_t chunk_moved = 0;
+    for (size_t i = chunk_begin; i < chunk_end; ++i) {
+      int best = 0;
+      double best_sim = model->Similarity(i, 0);
+      for (int c = 1; c < k; ++c) {
+        double sim = model->Similarity(i, c);
+        if (sim > best_sim) {
+          best_sim = sim;
+          best = c;
+        }
+      }
+      if ((*assignment)[i] != best) {
+        (*assignment)[i] = best;
+        ++chunk_moved;
+      }
+    }
+    moved.fetch_add(chunk_moved, std::memory_order_relaxed);
+  });
+  return moved.load();
+}
+
+/// Rebuilds every centroid from the current assignment (one membership
+/// pass instead of k O(n) Members() scans). Serial: CentroidModel
+/// implementations are only required to tolerate concurrent *Similarity*
+/// calls, not concurrent centroid mutation.
+void RecomputeAllCentroids(CentroidModel* model,
+                           const std::vector<int>& assignment) {
+  const int k = model->num_clusters();
+  std::vector<std::vector<size_t>> members(static_cast<size_t>(k));
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    members[static_cast<size_t>(assignment[i])].push_back(i);
+  }
+  for (int c = 0; c < k; ++c) {
+    model->RecomputeCentroid(c, members[static_cast<size_t>(c)]);
+  }
+}
+
+/// The Algorithm 1 loop shared by the cold and warm entry points: assumes
+/// the model's k centroids are already in place and iterates
+/// assign/recompute until the movement stop criterion. `initial` is the
+/// movement baseline of the first iteration (all -1 for a cold start, the
+/// primed membership for a warm one).
+Clustering RunKMeansLoop(CentroidModel* model, const KMeansOptions& options,
+                         KMeansStats* stats, std::vector<int> initial) {
+  const size_t n = model->num_points();
+  const int k = model->num_clusters();
   assert(k > 0);
-  assert(model->num_clusters() == k);
 
   Clustering result;
   result.num_clusters = k;
-  result.assignment.assign(n, -1);
-
-  for (int c = 0; c < k; ++c) {
-    model->RecomputeCentroid(c, seed_clusters[c]);
-  }
+  result.assignment = std::move(initial);
+  assert(result.assignment.size() == n);
 
   KMeansStats local_stats;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++local_stats.iterations;
-    // Assign every point to the most similar centroid; ties break toward
-    // the lowest cluster index (deterministic). The scan is the dominant
-    // O(n * k * vector size) cost, parallelized over disjoint point
-    // ranges: each chunk writes only its own assignment slots, so the
-    // result is bit-identical to the serial scan at any thread count
-    // (`moved` is an integer sum — order-independent).
-    std::atomic<size_t> moved{0};
-    util::ParallelFor(0, n, kAssignGrain, [&](size_t chunk_begin,
-                                              size_t chunk_end) {
-      size_t chunk_moved = 0;
-      for (size_t i = chunk_begin; i < chunk_end; ++i) {
-        int best = 0;
-        double best_sim = model->Similarity(i, 0);
-        for (int c = 1; c < k; ++c) {
-          double sim = model->Similarity(i, c);
-          if (sim > best_sim) {
-            best_sim = sim;
-            best = c;
-          }
-        }
-        if (result.assignment[i] != best) {
-          result.assignment[i] = best;
-          ++chunk_moved;
-        }
-      }
-      moved.fetch_add(chunk_moved, std::memory_order_relaxed);
-    });
-    // Recompute centroids from the fresh assignment (one membership pass
-    // instead of k O(n) Members() scans). Serial: CentroidModel
-    // implementations are only required to tolerate concurrent
-    // *Similarity* calls, not concurrent centroid mutation.
-    std::vector<std::vector<size_t>> members(static_cast<size_t>(k));
-    for (size_t i = 0; i < n; ++i) {
-      members[static_cast<size_t>(result.assignment[i])].push_back(i);
-    }
-    for (int c = 0; c < k; ++c) {
-      model->RecomputeCentroid(c, members[static_cast<size_t>(c)]);
-    }
-    if (static_cast<double>(moved.load()) <
+    const size_t moved = AssignPoints(model, &result.assignment);
+    RecomputeAllCentroids(model, result.assignment);
+    if (static_cast<double>(moved) <
         options.movement_stop_fraction * static_cast<double>(n)) {
       local_stats.converged = true;
       break;
@@ -81,6 +92,38 @@ Clustering KMeans(CentroidModel* model,
   }
   if (stats != nullptr) *stats = local_stats;
   return result;
+}
+
+}  // namespace
+
+Clustering KMeans(CentroidModel* model,
+                  const std::vector<std::vector<size_t>>& seed_clusters,
+                  const KMeansOptions& options, KMeansStats* stats) {
+  const int k = static_cast<int>(seed_clusters.size());
+  assert(k > 0);
+  assert(model->num_clusters() == k);
+  for (int c = 0; c < k; ++c) {
+    model->RecomputeCentroid(c, seed_clusters[c]);
+  }
+  // Cold start: no prior membership, so the first iteration counts every
+  // point as moved.
+  return RunKMeansLoop(model, options, stats,
+                       std::vector<int>(model->num_points(), -1));
+}
+
+Clustering KMeansFromCurrentCentroids(CentroidModel* model,
+                                      const KMeansOptions& options,
+                                      KMeansStats* stats) {
+  // Priming pass (uncounted, the warm analogue of cold seeding): file every
+  // point under its nearest inherited centroid and rebuild the centroids
+  // from that membership. The counted loop then measures movement against
+  // the primed assignment, so a low-drift refresh converges in one
+  // iteration — a cold start structurally cannot, because its first
+  // iteration always relocates every point.
+  std::vector<int> primed(model->num_points(), -1);
+  (void)AssignPoints(model, &primed);
+  RecomputeAllCentroids(model, primed);
+  return RunKMeansLoop(model, options, stats, std::move(primed));
 }
 
 std::vector<std::vector<size_t>> RandomSingletonSeeds(size_t num_points,

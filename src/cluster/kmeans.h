@@ -58,6 +58,21 @@ Clustering KMeans(CentroidModel* model,
                   const KMeansOptions& options = {},
                   KMeansStats* stats = nullptr);
 
+/// \brief K-means from the model's *current* centroids (warm start).
+///
+/// Skips the seed-centroid initialization of KMeans: the caller has already
+/// placed k centroids in the model — typically a previous epoch's converged
+/// centroids during an incremental directory refresh. A priming pass (not
+/// counted in `stats->iterations`, the warm analogue of cold seeding) files
+/// every point under its nearest inherited centroid and rebuilds the
+/// centroids from that membership; the counted loop then measures movement
+/// against the primed assignment. When the page set drifted little, almost
+/// nothing moves and the run converges in one iteration — the cold path
+/// structurally cannot, since its first iteration relocates every point.
+Clustering KMeansFromCurrentCentroids(CentroidModel* model,
+                                      const KMeansOptions& options = {},
+                                      KMeansStats* stats = nullptr);
+
 /// Uniformly samples `k` distinct points as singleton seed clusters.
 std::vector<std::vector<size_t>> RandomSingletonSeeds(size_t num_points,
                                                       int k, Rng* rng);

@@ -26,6 +26,18 @@ cluster::Clustering CafcCWithSeeds(
   return cluster::KMeans(&model, seed_clusters, options.kmeans, stats);
 }
 
+cluster::Clustering CafcCFromCentroids(
+    const FormPageSet& pages, const std::vector<CentroidPair>& centroids,
+    const CafcOptions& options, cluster::KMeansStats* stats) {
+  util::ScopedThreads threads(options.threads);
+  FormPageCentroidModel model(&pages, static_cast<int>(centroids.size()),
+                              options.content, options.weights);
+  for (size_t c = 0; c < centroids.size(); ++c) {
+    model.SetCentroid(static_cast<int>(c), centroids[c]);
+  }
+  return cluster::KMeansFromCurrentCentroids(&model, options.kmeans, stats);
+}
+
 cluster::Clustering CafcC(const FormPageSet& pages, int k,
                           const CafcOptions& options, Rng* rng,
                           cluster::KMeansStats* stats) {

@@ -37,6 +37,16 @@ cluster::Clustering CafcCWithSeeds(
     const std::vector<std::vector<size_t>>& seed_clusters,
     const CafcOptions& options, cluster::KMeansStats* stats = nullptr);
 
+/// \brief Warm-started CAFC-C: k-means resumed from explicit (PC, FC)
+/// centroids — typically a previous epoch's converged directory centroids —
+/// instead of seed member sets. `centroids.size()` defines k. Used by
+/// DatabaseDirectory::Refresh; on a lightly drifted corpus it converges in
+/// fewer iterations than the cold CafcC relocation.
+cluster::Clustering CafcCFromCentroids(const FormPageSet& pages,
+                                       const std::vector<CentroidPair>& centroids,
+                                       const CafcOptions& options,
+                                       cluster::KMeansStats* stats = nullptr);
+
 /// Options of CAFC-CH (Algorithm 2).
 struct CafcChOptions {
   CafcOptions cafc;

@@ -26,6 +26,13 @@ class FormPageCentroidModel : public cluster::CentroidModel {
     return centroids_[static_cast<size_t>(cluster)];
   }
 
+  /// Installs an explicit centroid — the warm-start seam: a directory
+  /// refresh places the previous epoch's converged centroids here and runs
+  /// cluster::KMeansFromCurrentCentroids instead of re-seeding.
+  void SetCentroid(int cluster, CentroidPair centroid) {
+    centroids_[static_cast<size_t>(cluster)] = std::move(centroid);
+  }
+
  private:
   const FormPageSet* pages_;  // not owned
   int k_;

@@ -1,0 +1,301 @@
+#include "core/corpus.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace cafc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Pages per ParallelFor chunk in the profile-fold and materialization
+/// loops. Both loops compute pure per-page functions into disjoint slots,
+/// so the grain only affects load balancing — but it is fixed anyway,
+/// matching the repo-wide determinism discipline.
+constexpr size_t kPageGrain = 32;
+
+std::vector<vsm::TermId> UniqueIds(
+    const std::vector<vsm::TermProfileEntry>& profile) {
+  std::vector<vsm::TermId> ids;
+  ids.reserve(profile.size());
+  for (const vsm::TermProfileEntry& e : profile) ids.push_back(e.term);
+  return ids;  // profiles are sorted unique by construction
+}
+
+bool AnyDirty(const std::vector<vsm::TermProfileEntry>& profile,
+              const std::vector<uint8_t>& dirty) {
+  for (const vsm::TermProfileEntry& e : profile) {
+    if (dirty[e.term]) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Corpus::Corpus(CorpusOptions options)
+    : options_(options),
+      dictionary_(std::make_shared<vsm::TermDictionary>()),
+      derived_(FormPageSet(dictionary_)) {
+  derived_.set_location_weights(options_.location_weights);
+}
+
+void Corpus::ReserveTerms(size_t expected_terms) {
+  dictionary_->Reserve(expected_terms);
+}
+
+Result<size_t> Corpus::AddPages(std::vector<DatasetEntry> pages,
+                                const vsm::TermDictionary* shard) {
+  // Phase 1 (serial, order-dependent): resolve every entry's term ids into
+  // the corpus dictionary. The shard path reuses the batch pipeline's merge
+  // primitive so a streamed corpus interns terms in exactly the order the
+  // one-shot build would.
+  if (shard != nullptr) {
+    std::vector<vsm::TermId> remap = dictionary_->Merge(*shard);
+    for (DatasetEntry& e : pages) {
+      for (auto* terms : {&e.doc.page_terms, &e.doc.form_terms}) {
+        for (vsm::InternedTerm& t : *terms) {
+          if (static_cast<size_t>(t.term) >= remap.size()) {
+            return Status::InvalidArgument(
+                "AddPages: term id not covered by the supplied shard (url " +
+                e.doc.url + ")");
+          }
+          t.term = remap[t.term];
+        }
+      }
+      e.doc.dictionary = dictionary_;
+    }
+  } else {
+    // Per-source-dictionary translation caches: each foreign id is resolved
+    // through its term string at most once per call.
+    std::unordered_map<const vsm::TermDictionary*, std::vector<vsm::TermId>>
+        remaps;
+    for (DatasetEntry& e : pages) {
+      const vsm::TermDictionary* src = e.doc.dictionary.get();
+      if (src == dictionary_.get()) continue;
+      if (src == nullptr) {
+        for (auto* terms : {&e.doc.page_terms, &e.doc.form_terms}) {
+          for (const vsm::InternedTerm& t : *terms) {
+            if (static_cast<size_t>(t.term) >= dictionary_->size()) {
+              return Status::InvalidArgument(
+                  "AddPages: entry has no dictionary and term id " +
+                  std::to_string(t.term) + " is not a corpus id (url " +
+                  e.doc.url + ")");
+            }
+          }
+        }
+        e.doc.dictionary = dictionary_;
+        continue;
+      }
+      std::vector<vsm::TermId>& remap = remaps[src];
+      if (remap.empty()) remap.assign(src->size(), vsm::kInvalidTermId);
+      for (auto* terms : {&e.doc.page_terms, &e.doc.form_terms}) {
+        for (vsm::InternedTerm& t : *terms) {
+          if (static_cast<size_t>(t.term) >= remap.size()) {
+            return Status::InvalidArgument(
+                "AddPages: term id out of range of the entry's own "
+                "dictionary (url " +
+                e.doc.url + ")");
+          }
+          vsm::TermId& mapped = remap[t.term];
+          if (mapped == vsm::kInvalidTermId) {
+            mapped = dictionary_->Intern(src->term(t.term));
+          }
+          t.term = mapped;
+        }
+      }
+      e.doc.dictionary = dictionary_;
+    }
+  }
+
+  // Phase 2 (serial, order-dependent): URL dedup + raw append in batch
+  // order.
+  const size_t first_new = entries_.size();
+  size_t added = 0;
+  for (DatasetEntry& e : pages) {
+    if (e.doc.url.empty()) {
+      return Status::InvalidArgument("AddPages: entry with empty URL");
+    }
+    if (!index_.emplace(e.doc.url, entries_.size()).second) continue;
+    entries_.push_back(std::move(e));
+    ++added;
+  }
+  if (added == 0) return added;
+
+  // Phase 3 (parallel): fold each new page's occurrence streams into its
+  // term profiles — pure per-page work into disjoint slots.
+  profiles_.resize(entries_.size());
+  pc_clean_.resize(entries_.size(), 0);
+  fc_clean_.resize(entries_.size(), 0);
+  util::ParallelFor(first_new, entries_.size(), kPageGrain,
+                    [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      profiles_[i].pc = vsm::FoldTermProfile(entries_[i].doc.page_terms,
+                                             options_.location_weights);
+      profiles_[i].fc = vsm::FoldTermProfile(entries_[i].doc.form_terms,
+                                             options_.location_weights);
+    }
+  });
+
+  // Phase 4 (serial, order-dependent): register DF contributions and open
+  // the derived slots in insertion order.
+  std::vector<FormPage>& derived_pages = *derived_.mutable_pages();
+  derived_pages.reserve(entries_.size());
+  for (size_t i = first_new; i < entries_.size(); ++i) {
+    pc_df_.AddDocument(UniqueIds(profiles_[i].pc));
+    fc_df_.AddDocument(UniqueIds(profiles_[i].fc));
+    FormPage page;
+    page.url = entries_[i].doc.url;
+    page.site = entries_[i].site;
+    page.backlinks = entries_[i].backlinks;
+    derived_pages.push_back(std::move(page));
+  }
+
+  ++version_;
+  return added;
+}
+
+size_t Corpus::RemovePages(const std::vector<std::string>& urls) {
+  size_t removed = 0;
+  std::vector<FormPage>& derived_pages = *derived_.mutable_pages();
+  for (const std::string& url : urls) {
+    auto it = index_.find(url);
+    if (it == index_.end()) continue;
+    const size_t i = it->second;
+    pc_df_.RemoveDocument(UniqueIds(profiles_[i].pc));
+    fc_df_.RemoveDocument(UniqueIds(profiles_[i].fc));
+    entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+    profiles_.erase(profiles_.begin() + static_cast<ptrdiff_t>(i));
+    pc_clean_.erase(pc_clean_.begin() + static_cast<ptrdiff_t>(i));
+    fc_clean_.erase(fc_clean_.begin() + static_cast<ptrdiff_t>(i));
+    derived_pages.erase(derived_pages.begin() + static_cast<ptrdiff_t>(i));
+    index_.erase(it);
+    for (auto& [u, slot] : index_) {
+      if (slot > i) --slot;
+    }
+    ++removed;
+  }
+  if (removed > 0) ++version_;
+  return removed;
+}
+
+const FormPageSet& Corpus::Weighted() {
+  if (derived_ready_ && epoch_ == version_) return derived_;
+  const auto t_derive = Clock::now();
+  const size_t vocabulary = dictionary_->size();
+  const size_t n = entries_.size();
+
+  // Fresh per-space IDF tables (serial, O(vocabulary)). Replaces the
+  // per-entry log() calls of the batch weighter — same formula, same
+  // values, computed once.
+  std::vector<double> pc_idf;
+  std::vector<double> fc_idf;
+  pc_df_.FillIdf(vocabulary, &pc_idf);
+  fc_df_.FillIdf(vocabulary, &fc_idf);
+
+  // Dirty terms: exactly those whose IDF *value* differs from the previous
+  // epoch's table (terms interned since are trivially dirty). Comparing
+  // values rather than tracking touched df cells makes net-zero changes —
+  // remove a page, re-add it — free: nothing is dirty, every vector is
+  // reused, and the result is still exact.
+  std::vector<uint8_t> pc_dirty(vocabulary, 1);
+  std::vector<uint8_t> fc_dirty(vocabulary, 1);
+  size_t pc_dirty_count = vocabulary;
+  size_t fc_dirty_count = vocabulary;
+  if (derived_ready_) {
+    for (size_t id = 0; id < prev_pc_idf_.size() && id < vocabulary; ++id) {
+      if (pc_idf[id] == prev_pc_idf_[id]) {
+        pc_dirty[id] = 0;
+        --pc_dirty_count;
+      }
+    }
+    for (size_t id = 0; id < prev_fc_idf_.size() && id < vocabulary; ++id) {
+      if (fc_idf[id] == prev_fc_idf_[id]) {
+        fc_dirty[id] = 0;
+        --fc_dirty_count;
+      }
+    }
+  }
+
+  // Re-materialize exactly the vectors that are new or touch a dirty term.
+  // Pure per-page function of (profile, idf) into disjoint slots, so the
+  // result is bit-identical at any thread count; the counters are
+  // order-independent integer sums.
+  std::vector<FormPage>& derived_pages = *derived_.mutable_pages();
+  std::atomic<size_t> recomputed{0};
+  std::atomic<size_t> reused{0};
+  util::ParallelFor(0, n, kPageGrain, [&](size_t begin, size_t end) {
+    size_t chunk_recomputed = 0;
+    size_t chunk_reused = 0;
+    for (size_t i = begin; i < end; ++i) {
+      FormPage& page = derived_pages[i];
+      if (!pc_clean_[i] || AnyDirty(profiles_[i].pc, pc_dirty)) {
+        page.pc = vsm::WeighProfileTfIdf(profiles_[i].pc, pc_idf);
+        pc_clean_[i] = 1;
+        ++chunk_recomputed;
+      } else {
+        ++chunk_reused;
+      }
+      if (!fc_clean_[i] || AnyDirty(profiles_[i].fc, fc_dirty)) {
+        page.fc = vsm::WeighProfileTfIdf(profiles_[i].fc, fc_idf);
+        fc_clean_[i] = 1;
+        ++chunk_recomputed;
+      } else {
+        ++chunk_reused;
+      }
+    }
+    recomputed.fetch_add(chunk_recomputed, std::memory_order_relaxed);
+    reused.fetch_add(chunk_reused, std::memory_order_relaxed);
+  });
+
+  // Collection statistics snapshot, so classification against the derived
+  // set (WeighNewDocument, DatabaseDirectory) sees this epoch's IDF.
+  derived_.mutable_pc_stats()->Restore(pc_df_.num_documents(),
+                                       pc_df_.Snapshot(vocabulary));
+  derived_.mutable_fc_stats()->Restore(fc_df_.num_documents(),
+                                       fc_df_.Snapshot(vocabulary));
+
+  prev_pc_idf_ = std::move(pc_idf);
+  prev_fc_idf_ = std::move(fc_idf);
+  epoch_ = version_;
+  derived_ready_ = true;
+
+  last_derive_.epoch = epoch_;
+  last_derive_.pages_total = n;
+  last_derive_.vectors_recomputed = recomputed.load();
+  last_derive_.vectors_reused = reused.load();
+  last_derive_.dirty_terms_pc = pc_dirty_count;
+  last_derive_.dirty_terms_fc = fc_dirty_count;
+  last_derive_.derive_ms = MsSince(t_derive);
+  return derived_;
+}
+
+std::vector<int> Corpus::GoldLabels() const {
+  std::vector<int> gold;
+  gold.reserve(entries_.size());
+  for (const DatasetEntry& e : entries_) gold.push_back(e.gold);
+  return gold;
+}
+
+Dataset Corpus::SnapshotDataset() const {
+  Dataset dataset;
+  dataset.entries = entries_;
+  dataset.dictionary = dictionary_;
+  return dataset;
+}
+
+std::vector<DatasetEntry> Corpus::TakeEntries() {
+  std::vector<DatasetEntry> out = std::move(entries_);
+  *this = Corpus(options_);
+  return out;
+}
+
+}  // namespace cafc

@@ -1,0 +1,161 @@
+#ifndef CAFC_CORE_CORPUS_H_
+#define CAFC_CORE_CORPUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/form_page.h"
+#include "util/status.h"
+#include "vsm/df_table.h"
+#include "vsm/term_dictionary.h"
+#include "vsm/weighting.h"
+
+namespace cafc {
+
+/// Knobs of the incremental corpus.
+struct CorpusOptions {
+  /// LOC factors of Eq. 1 the derived vectors are built with. Fixed per
+  /// corpus: term profiles fold the factors in at add time.
+  vsm::LocationWeightConfig location_weights;
+};
+
+/// Accounting of the most recent epoch derive — how much of the collection
+/// the dirty-term propagation actually had to re-weight.
+struct CorpusDeriveStats {
+  uint64_t epoch = 0;          ///< version captured by this derive
+  size_t pages_total = 0;
+  size_t vectors_recomputed = 0;  ///< PC/FC vectors rebuilt this epoch
+  size_t vectors_reused = 0;      ///< vectors carried over unchanged
+  size_t dirty_terms_pc = 0;      ///< PC terms whose IDF changed vs last epoch
+  size_t dirty_terms_fc = 0;
+  double derive_ms = 0.0;
+};
+
+/// \brief Epoch-versioned incremental corpus: the raw observations of the
+/// acquisition pipeline (interned term streams, backlinks, gold labels)
+/// separated from the derived Eq. 1 weights.
+///
+/// The batch pipeline bakes TF-IDF into FormPage vectors at build time, so
+/// absorbing one page means rebuilding everything. The corpus instead owns
+/// (a) the raw entries, (b) one incremental DfTable per feature space, and
+/// (c) per-page *term profiles* — the sorted unique (term, tf, max-LOC)
+/// folds that are the expensive, IDF-independent half of Eq. 1. Every
+/// mutation (AddPages / RemovePages) bumps `version()`; `Weighted()`
+/// derives (or returns) the epoch snapshot: it recomputes the per-space IDF
+/// tables in O(vocabulary) and re-materializes only the vectors touching a
+/// term whose IDF *value* actually changed since the previous epoch
+/// (dirty-term propagation). A page whose terms' IDFs are all unchanged —
+/// e.g. after a remove + re-add that nets out — keeps its vector verbatim.
+///
+/// Determinism contract: every epoch is bit-identical to
+/// `BuildFormPageSet` over the same page set in the same order, at any
+/// thread count. The parallel loops (profile folding, vector
+/// materialization) write disjoint per-page slots of pure per-page
+/// functions; everything order-dependent (dictionary merges, DF updates,
+/// dedup) runs serially in insertion order.
+class Corpus {
+ public:
+  explicit Corpus(CorpusOptions options = {});
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  /// Raw-state mutation counter; bumped by every AddPages/RemovePages that
+  /// changes the page set.
+  uint64_t version() const { return version_; }
+  /// Version captured by the most recent derive. `epoch() == version()`
+  /// means `Weighted()` is current.
+  uint64_t epoch() const { return epoch_; }
+
+  size_t size() const { return entries_.size(); }
+  bool Contains(const std::string& url) const {
+    return index_.contains(url);
+  }
+  const std::vector<DatasetEntry>& entries() const { return entries_; }
+  const std::shared_ptr<vsm::TermDictionary>& dictionary() const {
+    return dictionary_;
+  }
+  const vsm::DfTable& pc_df() const { return pc_df_; }
+  const vsm::DfTable& fc_df() const { return fc_df_; }
+
+  /// Pre-sizes the dictionary for an expected merge load (the streaming
+  /// ingest calls this with the summed shard sizes).
+  void ReserveTerms(size_t expected_terms);
+
+  /// \brief Absorbs a batch of entries; returns how many were added (pages
+  /// whose URL the corpus already holds are skipped).
+  ///
+  /// Term-id resolution, in order of precedence:
+  ///  - `shard` non-null: every entry's ids resolve through `shard`, which
+  ///    is merged into the corpus dictionary (the streaming-ingest path —
+  ///    same merge primitive, same order, as the batch pipeline).
+  ///  - entry's `doc.dictionary` set (and not already the corpus's):
+  ///    ids are translated by term string, interning unseen terms (the
+  ///    cross-corpus grow path).
+  ///  - neither: ids must already be valid corpus ids.
+  /// Fails with InvalidArgument on out-of-range ids; no pages are added on
+  /// failure (already-interned terms may remain — harmless: df 0).
+  Result<size_t> AddPages(std::vector<DatasetEntry> pages,
+                          const vsm::TermDictionary* shard = nullptr);
+
+  /// Removes pages by URL; unknown URLs are ignored. Returns the number
+  /// removed. DF tables are decremented from the stored profiles, so a
+  /// subsequent derive sees exactly the surviving collection.
+  size_t RemovePages(const std::vector<std::string>& urls);
+
+  /// \brief The derived epoch snapshot: Eq. 1 weighted vectors plus
+  /// restored per-space collection statistics, bit-identical to a
+  /// from-scratch `BuildFormPageSet(SnapshotDataset(), options.location_
+  /// weights)`. Recomputes lazily when `version() != epoch()`; otherwise
+  /// returns the cached set. The reference stays valid (and its vectors
+  /// stable) until the next mutation + derive.
+  const FormPageSet& Weighted();
+
+  /// Accounting of the most recent derive (valid after the first
+  /// Weighted() call).
+  const CorpusDeriveStats& last_derive() const { return last_derive_; }
+
+  /// Gold labels aligned with `entries()`.
+  std::vector<int> GoldLabels() const;
+
+  /// A batch Dataset view of the raw state: copied entries sharing the
+  /// corpus dictionary. This is the from-scratch rebuild input the epoch
+  /// equality gates compare against.
+  Dataset SnapshotDataset() const;
+
+  /// Releases the raw entries (the BuildDataset export path), leaving the
+  /// corpus empty.
+  std::vector<DatasetEntry> TakeEntries();
+
+ private:
+  struct PageProfiles {
+    std::vector<vsm::TermProfileEntry> pc;
+    std::vector<vsm::TermProfileEntry> fc;
+  };
+
+  CorpusOptions options_;
+  std::shared_ptr<vsm::TermDictionary> dictionary_;
+  std::vector<DatasetEntry> entries_;
+  std::vector<PageProfiles> profiles_;        // aligned with entries_
+  std::vector<uint8_t> pc_clean_;             // vector valid as of last epoch
+  std::vector<uint8_t> fc_clean_;
+  std::unordered_map<std::string, size_t> index_;  // url -> entry slot
+  vsm::DfTable pc_df_;
+  vsm::DfTable fc_df_;
+  FormPageSet derived_;                       // pages aligned with entries_
+  std::vector<double> prev_pc_idf_;           // IDF tables of the last epoch
+  std::vector<double> prev_fc_idf_;
+  uint64_t version_ = 0;
+  uint64_t epoch_ = 0;
+  bool derived_ready_ = false;
+  CorpusDeriveStats last_derive_;
+};
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_CORPUS_H_

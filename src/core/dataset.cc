@@ -1,66 +1,12 @@
 #include "core/dataset.h"
 
-#include <chrono>
-#include <cstdint>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
-#include "forms/form_classifier.h"
-#include "forms/form_extractor.h"
-#include "html/dom.h"
-#include "util/thread_pool.h"
+#include "core/ingest.h"
 #include "web/url.h"
 
 namespace cafc {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double MsSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
-
-/// Fixed ingestion chunk size. Part of the determinism contract: chunk
-/// boundaries (and therefore dictionary shard contents and merge order)
-/// depend only on the candidate count, never on the thread count. Larger
-/// chunks also raise the anchor-phase memo hit rate (a hub shared by two
-/// candidates in one chunk is analyzed once), at the cost of coarser load
-/// balancing.
-constexpr size_t kIngestGrain = 32;
-
-/// Per-chunk stage clocks, summed serially in chunk order after the
-/// parallel loops.
-struct ChunkCounters {
-  double model_ms = 0.0;
-  double anchor_ms = 0.0;
-};
-
-/// What the parallel stage learned about one candidate URL. Entries are
-/// written only to the slot of the candidate's own index, so chunks never
-/// contend; all policy (counters, dedup) is applied at the serial merge.
-struct PageOutcome {
-  bool fetched = false;
-  bool searchable = false;
-  bool gold = false;               ///< generator knows this URL
-  bool kept = false;               ///< searchable && gold
-  bool backlink_fallback = false;  ///< page itself had no offsite backlinks
-  bool no_backlinks = false;       ///< root fallback came up empty too
-  DatasetEntry entry;              ///< filled only when kept
-};
-
-/// Per-hub anchor index: raw anchor texts of links pointing at candidate
-/// form pages (or their roots), grouped by resolved target URL in document
-/// order. Built in one parse + scan per distinct hub; analysis into term
-/// ids happens later, per dictionary shard.
-struct HubAnchorIndex {
-  std::unordered_map<std::string, std::vector<std::string>> by_target;
-};
-
-}  // namespace
 
 std::vector<int> Dataset::GoldLabels() const {
   std::vector<int> gold;
@@ -71,284 +17,15 @@ std::vector<int> Dataset::GoldLabels() const {
 
 Result<Dataset> BuildDataset(const web::SyntheticWeb& web,
                              const DatasetOptions& options) {
-  const auto t_total = Clock::now();
+  // A thin "crawl into an empty corpus" wrapper: the streaming pipeline
+  // does all the work, the batch Dataset is just its raw state exported.
+  Result<CorpusBuild> built = BuildCorpus(web, options);
+  if (!built.ok()) return built.status();
   Dataset dataset;
-
-  util::ScopedThreads scoped_threads(options.threads);
-
-  // 1. Crawl, retaining the artefacts the rest of the pipeline needs so no
-  // page is ever parsed twice: candidate DOMs (every page with a form) and
-  // resolved anchor records (for backlink hub mining). The BFS frontier is
-  // expanded level-parallel inside the crawler.
-  const auto t_crawl = Clock::now();
-  web::CrawlerOptions crawler_options = options.crawler;
-  crawler_options.keep_form_page_doms = true;
-  crawler_options.record_anchor_text = options.collect_anchor_text;
-  // Backlinks come from the synthesizer's full graph (crawl-local link
-  // structure would miss edges from unfetched pages), so skip building it.
-  crawler_options.build_graph = false;
-  const web::WebFetcher& fetcher =
-      options.fetcher != nullptr
-          ? *options.fetcher
-          : static_cast<const web::WebFetcher&>(web);
-  web::Crawler crawler(&fetcher, crawler_options);
-  web::CrawlResult crawl = crawler.Crawl(web.seed_urls());
-  dataset.timings.crawl_ms = MsSince(t_crawl);
-  dataset.timings.parse_ms = crawl.parse_ms;
-  dataset.stats.crawl = crawl.stats;
-  dataset.stats.crawled_pages = crawl.visited.size();
-  dataset.stats.pages_with_forms = crawl.form_page_urls.size();
-  // The crawl's parses are the pipeline's only parses: one per fetched
-  // page, with candidates and hubs both served from the crawl artefacts.
-  dataset.stats.html_parses = crawl.visited.size();
-  if (crawl.form_page_urls.empty()) {
-    return Status::FailedPrecondition("crawl found no form pages");
-  }
-
-  // 2. Parallel per-candidate ingestion: the crawl's DOM of each candidate
-  // feeds form extraction, the searchable-form classifier, the term
-  // pipeline and label extraction — no candidate is ever re-parsed.
-  // Rejected candidates never reach the term pipeline, so they cannot
-  // bloat the dictionary. Each chunk interns into its own dictionary shard
-  // and writes only its own candidates' outcome slots.
-  forms::FormPageModelBuilder builder(options.analyzer, options.model);
-  forms::FormClassifier classifier;
-  web::BacklinkIndex backlinks(&web.graph(), options.backlinks);
-
-  const std::vector<std::string>& candidates = crawl.form_page_urls;
-  const size_t n = candidates.size();
-  const size_t num_chunks = (n + kIngestGrain - 1) / kIngestGrain;
-
-  std::vector<PageOutcome> outcomes(n);
-  std::vector<std::shared_ptr<vsm::TermDictionary>> shards(num_chunks);
-  std::vector<ChunkCounters> chunk_counters(num_chunks);
-
-  util::ParallelFor(0, n, kIngestGrain, [&](size_t begin, size_t end) {
-    const size_t chunk = begin / kIngestGrain;
-    auto shard = std::make_shared<vsm::TermDictionary>();
-    shards[chunk] = shard;
-    ChunkCounters& cc = chunk_counters[chunk];
-    text::AnalyzerScratch scratch;
-
-    for (size_t i = begin; i < end; ++i) {
-      const std::string& url = candidates[i];
-      PageOutcome& out = outcomes[i];
-      out.fetched = true;  // every candidate was fetched by the crawl
-
-      // The crawl's parse of this candidate, reused as-is (slots are
-      // disjoint, so moving out of the shared vector is race-free).
-      html::Document dom = std::move(crawl.form_page_doms[i]);
-
-      std::vector<forms::Form> page_forms = forms::ExtractForms(dom);
-      for (const forms::Form& form : page_forms) {
-        if (classifier.IsSearchable(form)) {
-          out.searchable = true;
-          break;
-        }
-      }
-      const web::FormPageInfo* info = web.FindFormPage(url);
-      out.gold = info != nullptr;
-      if (!out.searchable || !out.gold) continue;
-      out.kept = true;
-
-      const auto t_model = Clock::now();
-      DatasetEntry& entry = out.entry;
-      entry.doc =
-          builder.Build(url, dom, std::move(page_forms), shard, &scratch);
-      entry.labels = forms::ExtractAllLabels(dom);
-      entry.gold = static_cast<int>(info->domain);
-      entry.single_attribute = info->single_attribute;
-      entry.root_url = info->root_url;
-      entry.site = web::SiteOf(url);
-      cc.model_ms += MsSince(t_model);
-
-      // 3. Backlinks with the paper's root-page fallback (§3.1). Intra-site
-      // backlinks (the site's own navigation) are dropped up front — they
-      // say nothing about the page's topic, and keeping them would mask the
-      // "engine returned no backlinks" condition triggering the fallback.
-      auto offsite = [&entry](std::vector<std::string> links) {
-        std::erase_if(links, [&entry](const std::string& link) {
-          return web::SiteOf(link) == entry.site;
-        });
-        return links;
-      };
-      entry.backlinks = offsite(backlinks.Backlinks(url));
-      if (entry.backlinks.empty()) {
-        out.backlink_fallback = true;
-        entry.backlinks = offsite(backlinks.Backlinks(entry.root_url));
-        if (entry.backlinks.empty()) out.no_backlinks = true;
-      }
-
-    }
-  });
-
-  // 4. Optional §6 extension: anchor text of the citing hubs, in three
-  // sub-phases so every distinct hub page is fetched-capped once
-  // (serially, for deterministic counters), indexed exactly once from the
-  // crawl's anchor records (in parallel, no re-parse), and analyzed per
-  // chunk into the chunk's own dictionary shard (keeping the shard-merge
-  // determinism contract).
-  if (options.collect_anchor_text) {
-    const auto t_gather = Clock::now();
-    // 4a. Apply the per-entry fetch cap and collect the distinct hubs in
-    // first-appearance order, plus the targets whose anchors matter.
-    std::vector<std::vector<uint32_t>> entry_hubs(n);
-    std::vector<std::string> hub_urls;
-    std::unordered_map<std::string, uint32_t> hub_slot;
-    std::unordered_set<std::string> wanted_targets;
-    for (size_t i = 0; i < n; ++i) {
-      PageOutcome& out = outcomes[i];
-      if (!out.kept) continue;
-      wanted_targets.insert(out.entry.doc.url);
-      wanted_targets.insert(out.entry.root_url);
-      size_t fetched = 0;
-      for (const std::string& hub_url : out.entry.backlinks) {
-        if (fetched >= options.max_anchor_sources) break;
-        if (!fetcher.Fetch(hub_url).ok()) continue;
-        ++fetched;
-        ++dataset.stats.hub_fetches;
-        auto [it, inserted] = hub_slot.emplace(hub_url, hub_urls.size());
-        if (inserted) hub_urls.push_back(hub_url);
-        entry_hubs[i].push_back(it->second);
-      }
-    }
-    dataset.timings.anchor_ms += MsSince(t_gather);
-
-    // 4b. One index build per distinct hub, however many entries cite it,
-    // straight from the crawl's anchor records — hubs are never re-parsed.
-    // Slots are disjoint, so hub chunks never contend.
-    constexpr size_t kHubGrain = 32;
-    std::vector<HubAnchorIndex> hub_indexes(hub_urls.size());
-    const size_t num_hub_chunks =
-        (hub_urls.size() + kHubGrain - 1) / kHubGrain;
-    std::vector<ChunkCounters> hub_counters(num_hub_chunks);
-    util::ParallelFor(0, hub_urls.size(), kHubGrain,
-                      [&](size_t begin, size_t end) {
-      ChunkCounters& hc = hub_counters[begin / kHubGrain];
-      const auto t_anchor = Clock::now();
-      for (size_t h = begin; h < end; ++h) {
-        auto recorded = crawl.anchors.find(hub_urls[h]);
-        if (recorded == crawl.anchors.end()) continue;
-        for (web::PageAnchor& link : recorded->second) {
-          if (link.text.empty()) continue;
-          if (!wanted_targets.contains(link.target)) continue;
-          // Each hub's records are consumed exactly once, so the text can
-          // be moved out of the crawl result.
-          hub_indexes[h].by_target[link.target].push_back(
-              std::move(link.text));
-        }
-      }
-      hc.anchor_ms += MsSince(t_anchor);
-    });
-
-    // 4c. Analyze the matching anchors into each entry's PC terms, using
-    // the same chunking (and dictionary shards) as the ingestion loop.
-    // Analyzed id streams are memoized per (hub, target) within a chunk —
-    // ids are shard-local, so the memo must be too.
-    util::ParallelFor(0, n, kIngestGrain, [&](size_t begin, size_t end) {
-      const size_t chunk = begin / kIngestGrain;
-      vsm::TermDictionary* shard = shards[chunk].get();
-      ChunkCounters& cc = chunk_counters[chunk];
-      text::AnalyzerScratch scratch;
-      std::vector<vsm::TermId> ids;
-      std::unordered_map<const std::vector<std::string>*,
-                         std::vector<vsm::TermId>>
-          analyzed;
-      const auto t_anchor = Clock::now();
-      for (size_t i = begin; i < end; ++i) {
-        PageOutcome& out = outcomes[i];
-        if (!out.kept) continue;
-        DatasetEntry& entry = out.entry;
-        auto append_target = [&](const HubAnchorIndex& index,
-                                 const std::string& target) {
-          auto it = index.by_target.find(target);
-          if (it == index.by_target.end()) return;
-          auto [memo, inserted] = analyzed.try_emplace(&it->second);
-          if (inserted) {
-            for (const std::string& raw : it->second) {
-              ids.clear();
-              builder.analyzer().AnalyzeInto(raw, shard, &ids, &scratch);
-              memo->second.insert(memo->second.end(), ids.begin(),
-                                  ids.end());
-            }
-          }
-          for (vsm::TermId id : memo->second) {
-            entry.doc.page_terms.push_back(
-                vsm::InternedTerm{id, vsm::Location::kAnchorText});
-          }
-        };
-        for (uint32_t h : entry_hubs[i]) {
-          append_target(hub_indexes[h], entry.doc.url);
-          if (entry.root_url != entry.doc.url) {
-            append_target(hub_indexes[h], entry.root_url);
-          }
-        }
-      }
-      cc.anchor_ms += MsSince(t_anchor);
-    });
-
-    for (const ChunkCounters& hc : hub_counters) {
-      dataset.timings.anchor_ms += hc.anchor_ms;
-    }
-    // Every hub lookup was served from the crawl's single parse of the
-    // page — the anchor stage itself never parses.
-    dataset.stats.hub_parse_cache_hits = dataset.stats.hub_fetches;
-  }
-
-  // 5. Serial deterministic merge: fold the dictionary shards into one
-  // vocabulary in chunk order, remap every kept document's term ids, and
-  // apply counters/dedup in candidate order — all independent of how many
-  // threads ran the loop above.
-  const auto t_merge = Clock::now();
-  auto dictionary = std::make_shared<vsm::TermDictionary>();
-  size_t shard_terms = 0;
-  for (const auto& shard : shards) {
-    if (shard) shard_terms += shard->size();
-  }
-  dictionary->Reserve(shard_terms);
-  std::vector<std::vector<vsm::TermId>> remaps(num_chunks);
-  for (size_t c = 0; c < num_chunks; ++c) {
-    if (shards[c]) remaps[c] = dictionary->Merge(*shards[c]);
-  }
-
-  std::unordered_set<std::string> kept;
-  for (size_t i = 0; i < n; ++i) {
-    PageOutcome& out = outcomes[i];
-    if (!out.fetched) continue;
-    if (!out.searchable) {
-      if (out.gold) ++dataset.stats.classifier_false_negatives;
-      continue;
-    }
-    ++dataset.stats.classified_searchable;
-    if (!out.gold) {
-      ++dataset.stats.classifier_false_positives;
-      continue;  // searchable by the classifier but outside the gold set
-    }
-    if (!kept.insert(candidates[i]).second) continue;
-    if (out.backlink_fallback) ++dataset.stats.pages_without_backlinks;
-    if (out.no_backlinks) ++dataset.stats.pages_without_any_backlinks;
-
-    DatasetEntry entry = std::move(out.entry);
-    const std::vector<vsm::TermId>& remap = remaps[i / kIngestGrain];
-    for (vsm::InternedTerm& t : entry.doc.page_terms) t.term = remap[t.term];
-    for (vsm::InternedTerm& t : entry.doc.form_terms) t.term = remap[t.term];
-    entry.doc.dictionary = dictionary;
-    dataset.stats.term_occurrences +=
-        entry.doc.page_terms.size() + entry.doc.form_terms.size();
-    dataset.entries.push_back(std::move(entry));
-  }
-  for (const ChunkCounters& cc : chunk_counters) {
-    dataset.timings.model_ms += cc.model_ms;
-    dataset.timings.anchor_ms += cc.anchor_ms;
-  }
-  dataset.dictionary = std::move(dictionary);
-  dataset.timings.merge_ms = MsSince(t_merge);
-  dataset.timings.total_ms = MsSince(t_total);
-
-  if (dataset.entries.empty()) {
-    return Status::FailedPrecondition(
-        "classifier rejected every candidate form page");
-  }
+  dataset.stats = built->stats;
+  dataset.timings = built->timings;
+  dataset.dictionary = built->corpus.dictionary();
+  dataset.entries = built->corpus.TakeEntries();
   return dataset;
 }
 

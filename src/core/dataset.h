@@ -68,7 +68,10 @@ struct DatasetStats {
 /// Excluded from dataset-equality comparisons — timings are the one
 /// nondeterministic output.
 struct IngestTimings {
-  double crawl_ms = 0.0;   ///< wall time of the crawl (includes parsing)
+  /// Wall time of the crawl. The streaming pipeline ingests completed
+  /// candidate chunks *during* the crawl, so this includes parsing and the
+  /// interleaved model work of those chunks.
+  double crawl_ms = 0.0;
   double parse_ms = 0.0;   ///< HTML parsing inside the crawl (worker sum)
   double model_ms = 0.0;   ///< classify + term interning + label extraction
   double anchor_ms = 0.0;  ///< anchor-text indexing + analysis

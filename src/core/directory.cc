@@ -5,12 +5,53 @@
 #include <fstream>
 #include <memory>
 #include <sstream>
+#include <unordered_map>
 
+#include "core/cafc.h"
+#include "core/corpus.h"
 #include "core/dataset.h"
 #include "text/analyzer.h"
 
 namespace cafc {
 namespace {
+
+/// Label escaping of directory format version 2: labels are arbitrary
+/// strings (AutoLabels output, operator-supplied names), but the file is
+/// line-oriented, so the line breaks a label may contain must not become
+/// record separators.
+std::string EscapeLabel(const std::string& label) {
+  std::string out;
+  out.reserve(label.size());
+  for (char c : label) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeLabel(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] != '\\' || i + 1 == escaped.size()) {
+      out += escaped[i];
+      continue;
+    }
+    switch (escaped[++i]) {
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default:  // lenient: unknown escape kept verbatim
+        out += '\\';
+        out += escaped[i];
+    }
+  }
+  return out;
+}
 
 /// Copies dictionary, stats, and weights of `source` into `target` (term
 /// ids are preserved because the dictionary copy keeps insertion order).
@@ -151,6 +192,107 @@ DatabaseDirectory::Classification DatabaseDirectory::AddSource(
   return verdict;
 }
 
+Result<DirectoryRefreshReport> DatabaseDirectory::Refresh(
+    Corpus& corpus, const DirectoryRefreshOptions& options) {
+  if (entries_.empty()) {
+    return Status::FailedPrecondition(
+        "cannot refresh an empty directory (build one first)");
+  }
+  if (corpus.size() == 0) {
+    return Status::FailedPrecondition("cannot refresh against an empty corpus");
+  }
+  // The section centroids are expressed in the directory's term-id space;
+  // warm-starting against the corpus's weighted pages is only sound when
+  // those ids mean the same strings there. A corpus grown from the
+  // original collection extends the vocabulary append-only, so the check
+  // is a prefix comparison.
+  const vsm::TermDictionary& old_dict = collection_.dictionary();
+  const vsm::TermDictionary& new_dict = *corpus.dictionary();
+  if (old_dict.size() > new_dict.size()) {
+    return Status::FailedPrecondition(
+        "corpus vocabulary is smaller than the directory's — not a "
+        "descendant collection");
+  }
+  for (size_t id = 0; id < old_dict.size(); ++id) {
+    if (old_dict.term(static_cast<vsm::TermId>(id)) !=
+        new_dict.term(static_cast<vsm::TermId>(id))) {
+      return Status::FailedPrecondition(
+          "directory vocabulary is not an id-stable prefix of the corpus "
+          "dictionary (term id " + std::to_string(id) + " diverges)");
+    }
+  }
+
+  const FormPageSet& pages = corpus.Weighted();
+
+  // Where was every URL filed before the refresh?
+  std::unordered_map<std::string, size_t> previous_section;
+  for (size_t e = 0; e < entries_.size(); ++e) {
+    for (const std::string& url : entries_[e].member_urls) {
+      previous_section.emplace(url, e);
+    }
+  }
+
+  DirectoryRefreshReport report;
+  report.clusters_before = entries_.size();
+  report.epoch = corpus.epoch();
+
+  // Warm start: resume k-means from the converged centroids of the
+  // previous epoch instead of re-seeding.
+  std::vector<CentroidPair> centroids;
+  centroids.reserve(entries_.size());
+  for (const DirectoryEntry& entry : entries_) {
+    centroids.push_back(entry.centroid);
+  }
+  cluster::Clustering clustering =
+      CafcCFromCentroids(pages, centroids, options.cafc, &report.kmeans);
+
+  // Drift accounting over the URL intersection: section index c of the new
+  // clustering corresponds to section c of the old directory (the warm
+  // start seeds cluster c from entries_[c]'s centroid).
+  std::unordered_map<std::string, char> seen_urls;
+  for (size_t i = 0; i < pages.size(); ++i) {
+    const std::string& url = pages.page(i).url;
+    seen_urls.emplace(url, 1);
+    auto it = previous_section.find(url);
+    if (it == previous_section.end()) {
+      ++report.entered;
+    } else if (static_cast<size_t>(clustering.assignment[i]) == it->second) {
+      ++report.retained;
+    } else {
+      ++report.moved;
+    }
+  }
+  for (const auto& [url, section] : previous_section) {
+    if (!seen_urls.contains(url)) ++report.left;
+  }
+  const size_t survivors = report.retained + report.moved;
+  report.drift = survivors == 0
+                     ? 0.0
+                     : static_cast<double>(report.moved) /
+                           static_cast<double>(survivors);
+  report.reseed_recommended = report.drift > options.reseed_drift_threshold;
+
+  // Rebuild the sections: labels stay positional, sections the re-fit
+  // emptied are dropped (after the drift accounting above, which still
+  // counted their departures).
+  std::vector<DirectoryEntry> refreshed;
+  for (int c = 0; c < clustering.num_clusters; ++c) {
+    std::vector<size_t> members = clustering.Members(c);
+    if (members.empty()) continue;
+    DirectoryEntry entry;
+    entry.label = entries_[static_cast<size_t>(c)].label;
+    entry.centroid = ComputeCentroid(pages.pages(), members);
+    for (size_t m : members) entry.member_urls.push_back(pages.page(m).url);
+    refreshed.push_back(std::move(entry));
+  }
+  report.clusters_after = refreshed.size();
+
+  entries_ = std::move(refreshed);
+  CopyCollectionState(pages, &collection_);
+  epoch_ = report.epoch;
+  return report;
+}
+
 std::vector<DatabaseDirectory::SearchHit> DatabaseDirectory::Search(
     std::string_view query, size_t top_k) const {
   // The query is a tiny pseudo-document placed in both feature spaces, so
@@ -185,7 +327,10 @@ Status DatabaseDirectory::SaveToFile(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return Status::Internal("cannot open for writing: " + path);
 
-  out << "CAFC-DIRECTORY 1\n";
+  // Version 2: adds the corpus epoch line and label escaping (v1 wrote
+  // labels raw, so a label with an embedded newline corrupted the file).
+  out << "CAFC-DIRECTORY 2\n";
+  out << "epoch " << epoch_ << '\n';
   const vsm::LocationWeightConfig& w = collection_.location_weights();
   out << "weights " << w.page_body << ' ' << w.page_title << ' '
       << w.anchor_text << ' ' << w.form_text << ' ' << w.form_option << '\n';
@@ -203,7 +348,7 @@ Status DatabaseDirectory::SaveToFile(const std::string& path) const {
 
   out << "entries " << entries_.size() << '\n';
   for (const DirectoryEntry& entry : entries_) {
-    out << "label " << entry.label << '\n';
+    out << "label " << EscapeLabel(entry.label) << '\n';
     out << "members " << entry.member_urls.size() << '\n';
     for (const std::string& url : entry.member_urls) out << url << '\n';
     WriteVector(entry.centroid.pc, "pc", out);
@@ -224,7 +369,7 @@ Result<DatabaseDirectory> DatabaseDirectory::LoadFromFile(
   if (!(in >> magic >> version) || magic != "CAFC-DIRECTORY") {
     return Status::ParseError("not a CAFC directory file: " + path);
   }
-  if (version != 1) {
+  if (version != 1 && version != 2) {
     return Status::ParseError("unsupported directory version " +
                               std::to_string(version));
   }
@@ -232,6 +377,11 @@ Result<DatabaseDirectory> DatabaseDirectory::LoadFromFile(
   DatabaseDirectory dir;
 
   std::string tag;
+  if (version >= 2) {
+    if (!(in >> tag >> dir.epoch_) || tag != "epoch") {
+      return Status::ParseError("bad epoch line");
+    }
+  }
   vsm::LocationWeightConfig weights;
   if (!(in >> tag >> weights.page_body >> weights.page_title >>
         weights.anchor_text >> weights.form_text >> weights.form_option) ||
@@ -270,7 +420,16 @@ Result<DatabaseDirectory> DatabaseDirectory::LoadFromFile(
     if (!(in >> tag) || tag != "label") {
       return Status::ParseError("bad entry label");
     }
-    std::getline(in >> std::ws, entry.label);
+    if (version >= 2) {
+      // The escaped label occupies the rest of the line after one
+      // separating space; further leading whitespace belongs to the label.
+      std::string raw;
+      std::getline(in, raw);
+      if (!raw.empty() && raw.front() == ' ') raw.erase(0, 1);
+      entry.label = UnescapeLabel(raw);
+    } else {
+      std::getline(in >> std::ws, entry.label);
+    }
     size_t members = 0;
     if (!(in >> tag >> members) || tag != "members") {
       return Status::ParseError("bad member count");

@@ -1,22 +1,52 @@
 #ifndef CAFC_CORE_DIRECTORY_H_
 #define CAFC_CORE_DIRECTORY_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "cluster/types.h"
+#include "core/cafc.h"
 #include "core/form_page.h"
 #include "forms/form_page_model.h"
 #include "util/status.h"
 
 namespace cafc {
 
+class Corpus;
+
 /// One section of a hidden-web database directory.
 struct DirectoryEntry {
   std::string label;                     ///< human-readable section name
   CentroidPair centroid;                 ///< Eq. 4 centroid of the members
   std::vector<std::string> member_urls;  ///< databases filed here
+};
+
+/// Knobs of DatabaseDirectory::Refresh.
+struct DirectoryRefreshOptions {
+  /// Clustering options of the warm-started k-means pass (k is fixed to
+  /// the current section count; the seed phase is skipped).
+  CafcOptions cafc;
+  /// When the drift fraction exceeds this, the report recommends a cold
+  /// reseed (CafcC / CafcCh) instead of trusting the warm-started result.
+  double reseed_drift_threshold = 0.25;
+};
+
+/// Outcome of a directory refresh against a corpus epoch.
+struct DirectoryRefreshReport {
+  size_t retained = 0;  ///< previously filed pages that kept their section
+  size_t moved = 0;     ///< previously filed pages that changed section
+  size_t entered = 0;   ///< corpus pages the directory had never filed
+  size_t left = 0;      ///< previously filed pages gone from the corpus
+  /// moved / (retained + moved): the fraction of surviving members the
+  /// warm-started k-means re-filed. 0 when no members survived.
+  double drift = 0.0;
+  bool reseed_recommended = false;  ///< drift > reseed_drift_threshold
+  size_t clusters_before = 0;
+  size_t clusters_after = 0;  ///< after dropping emptied sections
+  cluster::KMeansStats kmeans;  ///< warm-start convergence accounting
+  uint64_t epoch = 0;  ///< corpus epoch the directory now reflects
 };
 
 /// \brief A persisted hidden-web database directory — the application the
@@ -32,6 +62,12 @@ class DatabaseDirectory {
   DatabaseDirectory() = default;
   DatabaseDirectory(DatabaseDirectory&&) = default;
   DatabaseDirectory& operator=(DatabaseDirectory&&) = default;
+  // A directory owns the collection vocabulary and statistics — copying
+  // one silently forks that state and the forks drift apart on the first
+  // AddSource/Refresh. Share via reference, or round-trip Save/Load for a
+  // deliberate deep copy.
+  DatabaseDirectory(const DatabaseDirectory&) = delete;
+  DatabaseDirectory& operator=(const DatabaseDirectory&) = delete;
 
   /// Builds a directory from a clustered collection. `labels[c]` names
   /// cluster c; pass AutoLabels(...) when no gold names exist. Empty
@@ -48,6 +84,33 @@ class DatabaseDirectory {
 
   const std::vector<DirectoryEntry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
+
+  /// Corpus epoch this directory was last built from or refreshed against
+  /// (0 for directories built from a plain FormPageSet or loaded from a
+  /// version-1 file).
+  uint64_t epoch() const { return epoch_; }
+
+  /// \brief Incremental maintenance against an epoch-versioned corpus:
+  /// re-files every member under the corpus's current weights without
+  /// re-seeding.
+  ///
+  /// Derives the corpus's epoch snapshot, warm-starts CAFC-C k-means from
+  /// the directory's current section centroids (CafcCFromCentroids — the
+  /// seed-selection phase is skipped entirely), rebuilds the sections from
+  /// the converged assignment keeping labels positionally, and refreshes
+  /// the collection statistics so Classify*/Search speak the new epoch's
+  /// vocabulary and IDF. Sections emptied by the re-fit are dropped (after
+  /// drift accounting, so the report still sees them). The report's drift
+  /// is the fraction of surviving members that changed section; above
+  /// `reseed_drift_threshold` it flags that a cold reseed is warranted.
+  ///
+  /// Preconditions: the directory and the corpus are non-empty, and the
+  /// directory's vocabulary is an id-stable prefix of the corpus
+  /// dictionary (always true when the corpus grew from the collection the
+  /// directory was built on). Fails with FailedPrecondition otherwise; the
+  /// directory is unchanged on failure.
+  Result<DirectoryRefreshReport> Refresh(
+      Corpus& corpus, const DirectoryRefreshOptions& options = {});
 
   /// Classification verdict for an incoming source.
   struct Classification {
@@ -100,6 +163,7 @@ class DatabaseDirectory {
  private:
   FormPageSet collection_;  // dictionary + stats + weights; pages empty
   std::vector<DirectoryEntry> entries_;
+  uint64_t epoch_ = 0;  // corpus epoch last reflected (0 = none)
 };
 
 }  // namespace cafc

@@ -1,0 +1,382 @@
+#include "core/ingest.h"
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "forms/form_classifier.h"
+#include "forms/form_extractor.h"
+#include "html/dom.h"
+#include "util/thread_pool.h"
+#include "web/url.h"
+
+namespace cafc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Fixed ingestion chunk size. Part of the determinism contract: chunk
+/// boundaries (and therefore dictionary shard contents and merge order)
+/// depend only on the cumulative candidate index, never on the thread
+/// count or on how the BFS levels happened to slice the stream. Larger
+/// chunks also raise the anchor-phase memo hit rate (a hub shared by two
+/// candidates in one chunk is analyzed once), at the cost of coarser load
+/// balancing.
+constexpr size_t kIngestGrain = 32;
+
+/// Per-chunk stage clocks, summed serially in chunk order after the
+/// parallel loops.
+struct ChunkCounters {
+  double model_ms = 0.0;
+  double anchor_ms = 0.0;
+};
+
+/// What the parallel stage learned about one candidate URL. Entries are
+/// written only to the slot of the candidate's own index, so chunks never
+/// contend; all policy (counters, dedup) is applied at the serial merge.
+struct PageOutcome {
+  bool fetched = false;
+  bool searchable = false;
+  bool gold = false;               ///< generator knows this URL
+  bool kept = false;               ///< searchable && gold
+  bool backlink_fallback = false;  ///< page itself had no offsite backlinks
+  bool no_backlinks = false;       ///< root fallback came up empty too
+  DatasetEntry entry;              ///< filled only when kept
+};
+
+/// Per-hub anchor index: raw anchor texts of links pointing at candidate
+/// form pages (or their roots), grouped by resolved target URL in document
+/// order. Built in one parse + scan per distinct hub; analysis into term
+/// ids happens later, per dictionary shard.
+struct HubAnchorIndex {
+  std::unordered_map<std::string, std::vector<std::string>> by_target;
+};
+
+}  // namespace
+
+Result<CorpusBuild> BuildCorpus(const web::SyntheticWeb& web,
+                                const DatasetOptions& options,
+                                const CorpusOptions& corpus_options) {
+  const auto t_total = Clock::now();
+  CorpusBuild build{Corpus(corpus_options), DatasetStats{}, IngestTimings{}};
+  DatasetStats& stats = build.stats;
+  IngestTimings& timings = build.timings;
+
+  util::ScopedThreads scoped_threads(options.threads);
+
+  // Crawl configuration: retain candidate DOMs (streamed out per level)
+  // and resolved anchor records so no page is ever parsed twice. Backlinks
+  // come from the synthesizer's full graph (crawl-local link structure
+  // would miss edges from unfetched pages), so skip building it.
+  web::CrawlerOptions crawler_options = options.crawler;
+  crawler_options.keep_form_page_doms = true;
+  crawler_options.record_anchor_text = options.collect_anchor_text;
+  crawler_options.build_graph = false;
+  const web::WebFetcher& fetcher =
+      options.fetcher != nullptr
+          ? *options.fetcher
+          : static_cast<const web::WebFetcher&>(web);
+  web::Crawler crawler(&fetcher, crawler_options);
+
+  forms::FormPageModelBuilder builder(options.analyzer, options.model);
+  forms::FormClassifier classifier;
+  web::BacklinkIndex backlinks(&web.graph(), options.backlinks);
+
+  // Streaming consumer state, grown batch by batch. `candidates`/`doms`
+  // accumulate the crawl's emit stream (the concatenation equals the batch
+  // crawl's form_page_urls/form_page_doms); outcome/shard/counter slots
+  // are extended ahead of each parallel pass.
+  std::vector<std::string> candidates;
+  std::vector<html::Document> doms;  // aligned; consumed by the model stage
+  std::vector<PageOutcome> outcomes;
+  std::vector<std::shared_ptr<vsm::TermDictionary>> shards;
+  std::vector<ChunkCounters> chunk_counters;
+  size_t processed = 0;  // candidates already through the model stage
+
+  // The model stage for candidates [begin, end) — one chunk. Each chunk
+  // interns into its own dictionary shard and writes only its own
+  // candidates' outcome slots, exactly like the historical batch loop.
+  auto process_chunk = [&](size_t begin, size_t end) {
+    const size_t chunk = begin / kIngestGrain;
+    auto shard = std::make_shared<vsm::TermDictionary>();
+    shards[chunk] = shard;
+    ChunkCounters& cc = chunk_counters[chunk];
+    text::AnalyzerScratch scratch;
+
+    for (size_t i = begin; i < end; ++i) {
+      const std::string& url = candidates[i];
+      PageOutcome& out = outcomes[i];
+      out.fetched = true;  // every candidate was fetched by the crawl
+
+      // The crawl's parse of this candidate, reused as-is (slots are
+      // disjoint, so moving out of the shared vector is race-free).
+      html::Document dom = std::move(doms[i]);
+
+      std::vector<forms::Form> page_forms = forms::ExtractForms(dom);
+      for (const forms::Form& form : page_forms) {
+        if (classifier.IsSearchable(form)) {
+          out.searchable = true;
+          break;
+        }
+      }
+      const web::FormPageInfo* info = web.FindFormPage(url);
+      out.gold = info != nullptr;
+      if (!out.searchable || !out.gold) continue;
+      out.kept = true;
+
+      const auto t_model = Clock::now();
+      DatasetEntry& entry = out.entry;
+      entry.doc =
+          builder.Build(url, dom, std::move(page_forms), shard, &scratch);
+      entry.labels = forms::ExtractAllLabels(dom);
+      entry.gold = static_cast<int>(info->domain);
+      entry.single_attribute = info->single_attribute;
+      entry.root_url = info->root_url;
+      entry.site = web::SiteOf(url);
+      cc.model_ms += MsSince(t_model);
+
+      // Backlinks with the paper's root-page fallback (§3.1). Intra-site
+      // backlinks (the site's own navigation) are dropped up front — they
+      // say nothing about the page's topic, and keeping them would mask the
+      // "engine returned no backlinks" condition triggering the fallback.
+      auto offsite = [&entry](std::vector<std::string> links) {
+        std::erase_if(links, [&entry](const std::string& link) {
+          return web::SiteOf(link) == entry.site;
+        });
+        return links;
+      };
+      entry.backlinks = offsite(backlinks.Backlinks(url));
+      if (entry.backlinks.empty()) {
+        out.backlink_fallback = true;
+        entry.backlinks = offsite(backlinks.Backlinks(entry.root_url));
+        if (entry.backlinks.empty()) out.no_backlinks = true;
+      }
+    }
+  };
+
+  // Pushes every *complete* chunk of the candidate stream through the
+  // model stage (all of it when `final`). `processed` stays a multiple of
+  // kIngestGrain between calls, so the absolute chunk boundaries — and
+  // therefore shards and merge order — are identical to a one-shot split.
+  auto ingest_ready = [&](bool final) {
+    const size_t ready =
+        final ? candidates.size()
+              : candidates.size() - candidates.size() % kIngestGrain;
+    if (ready <= processed) return;
+    const size_t chunks_needed = (ready + kIngestGrain - 1) / kIngestGrain;
+    outcomes.resize(ready);
+    shards.resize(chunks_needed);
+    chunk_counters.resize(chunks_needed);
+    util::ParallelFor(processed, ready, kIngestGrain, process_chunk);
+    processed = ready;
+  };
+
+  // 1. Crawl, streaming: each BFS level's candidates are appended to the
+  // stream and every completed chunk is ingested immediately — the
+  // callback runs serially between levels, so its ParallelFor composes
+  // with the crawler's scan loop without nesting.
+  const auto t_crawl = Clock::now();
+  web::CrawlResult crawl =
+      crawler.Crawl(web.seed_urls(), [&](web::CrawlPageBatch&& batch) {
+        for (std::string& url : batch.urls) {
+          candidates.push_back(std::move(url));
+        }
+        for (html::Document& dom : batch.doms) {
+          doms.push_back(std::move(dom));
+        }
+        ingest_ready(/*final=*/false);
+      });
+  timings.crawl_ms = MsSince(t_crawl);
+  timings.parse_ms = crawl.parse_ms;
+  stats.crawl = crawl.stats;
+  stats.crawled_pages = crawl.visited.size();
+  stats.pages_with_forms = crawl.form_page_urls.size();
+  // The crawl's parses are the pipeline's only parses: one per fetched
+  // page, with candidates and hubs both served from the crawl artefacts.
+  stats.html_parses = crawl.visited.size();
+  if (candidates.empty()) {
+    return Status::FailedPrecondition("crawl found no form pages");
+  }
+  // 2. Flush the final partial chunk.
+  ingest_ready(/*final=*/true);
+  const size_t n = candidates.size();
+
+  // 3. Optional §6 extension: anchor text of the citing hubs, in three
+  // sub-phases so every distinct hub page is fetched-capped once
+  // (serially, for deterministic counters), indexed exactly once from the
+  // crawl's anchor records (in parallel, no re-parse), and analyzed per
+  // chunk into the chunk's own dictionary shard (keeping the shard-merge
+  // determinism contract). Runs after the crawl: anchor records are only
+  // complete once the whole frontier has been absorbed.
+  if (options.collect_anchor_text) {
+    const auto t_gather = Clock::now();
+    // 3a. Apply the per-entry fetch cap and collect the distinct hubs in
+    // first-appearance order, plus the targets whose anchors matter.
+    std::vector<std::vector<uint32_t>> entry_hubs(n);
+    std::vector<std::string> hub_urls;
+    std::unordered_map<std::string, uint32_t> hub_slot;
+    std::unordered_set<std::string> wanted_targets;
+    for (size_t i = 0; i < n; ++i) {
+      PageOutcome& out = outcomes[i];
+      if (!out.kept) continue;
+      wanted_targets.insert(out.entry.doc.url);
+      wanted_targets.insert(out.entry.root_url);
+      size_t fetched_hubs = 0;
+      for (const std::string& hub_url : out.entry.backlinks) {
+        if (fetched_hubs >= options.max_anchor_sources) break;
+        if (!fetcher.Fetch(hub_url).ok()) continue;
+        ++fetched_hubs;
+        ++stats.hub_fetches;
+        auto [it, inserted] = hub_slot.emplace(hub_url, hub_urls.size());
+        if (inserted) hub_urls.push_back(hub_url);
+        entry_hubs[i].push_back(it->second);
+      }
+    }
+    timings.anchor_ms += MsSince(t_gather);
+
+    // 3b. One index build per distinct hub, however many entries cite it,
+    // straight from the crawl's anchor records — hubs are never re-parsed.
+    // Slots are disjoint, so hub chunks never contend.
+    constexpr size_t kHubGrain = 32;
+    std::vector<HubAnchorIndex> hub_indexes(hub_urls.size());
+    const size_t num_hub_chunks =
+        (hub_urls.size() + kHubGrain - 1) / kHubGrain;
+    std::vector<ChunkCounters> hub_counters(num_hub_chunks);
+    util::ParallelFor(0, hub_urls.size(), kHubGrain,
+                      [&](size_t begin, size_t end) {
+      ChunkCounters& hc = hub_counters[begin / kHubGrain];
+      const auto t_anchor = Clock::now();
+      for (size_t h = begin; h < end; ++h) {
+        auto recorded = crawl.anchors.find(hub_urls[h]);
+        if (recorded == crawl.anchors.end()) continue;
+        for (web::PageAnchor& link : recorded->second) {
+          if (link.text.empty()) continue;
+          if (!wanted_targets.contains(link.target)) continue;
+          // Each hub's records are consumed exactly once, so the text can
+          // be moved out of the crawl result.
+          hub_indexes[h].by_target[link.target].push_back(
+              std::move(link.text));
+        }
+      }
+      hc.anchor_ms += MsSince(t_anchor);
+    });
+
+    // 3c. Analyze the matching anchors into each entry's PC terms, using
+    // the same chunking (and dictionary shards) as the ingestion loop.
+    // Analyzed id streams are memoized per (hub, target) within a chunk —
+    // ids are shard-local, so the memo must be too.
+    util::ParallelFor(0, n, kIngestGrain, [&](size_t begin, size_t end) {
+      const size_t chunk = begin / kIngestGrain;
+      vsm::TermDictionary* shard = shards[chunk].get();
+      ChunkCounters& cc = chunk_counters[chunk];
+      text::AnalyzerScratch scratch;
+      std::vector<vsm::TermId> ids;
+      std::unordered_map<const std::vector<std::string>*,
+                         std::vector<vsm::TermId>>
+          analyzed;
+      const auto t_anchor = Clock::now();
+      for (size_t i = begin; i < end; ++i) {
+        PageOutcome& out = outcomes[i];
+        if (!out.kept) continue;
+        DatasetEntry& entry = out.entry;
+        auto append_target = [&](const HubAnchorIndex& index,
+                                 const std::string& target) {
+          auto it = index.by_target.find(target);
+          if (it == index.by_target.end()) return;
+          auto [memo, inserted] = analyzed.try_emplace(&it->second);
+          if (inserted) {
+            for (const std::string& raw : it->second) {
+              ids.clear();
+              builder.analyzer().AnalyzeInto(raw, shard, &ids, &scratch);
+              memo->second.insert(memo->second.end(), ids.begin(),
+                                  ids.end());
+            }
+          }
+          for (vsm::TermId id : memo->second) {
+            entry.doc.page_terms.push_back(
+                vsm::InternedTerm{id, vsm::Location::kAnchorText});
+          }
+        };
+        for (uint32_t h : entry_hubs[i]) {
+          append_target(hub_indexes[h], entry.doc.url);
+          if (entry.root_url != entry.doc.url) {
+            append_target(hub_indexes[h], entry.root_url);
+          }
+        }
+      }
+      cc.anchor_ms += MsSince(t_anchor);
+    });
+
+    for (const ChunkCounters& hc : hub_counters) {
+      timings.anchor_ms += hc.anchor_ms;
+    }
+    // Every hub lookup was served from the crawl's single parse of the
+    // page — the anchor stage itself never parses.
+    stats.hub_parse_cache_hits = stats.hub_fetches;
+  }
+
+  // 4. Serial deterministic absorption: fold each chunk's kept entries into
+  // the corpus with its own shard, in chunk order. Corpus::AddPages merges
+  // the shard through the same TermDictionary::Merge primitive and order
+  // the batch pipeline used, so the corpus dictionary and remapped entries
+  // are bit-identical to the historical one-shot merge — independent of
+  // how many threads ran the loops above.
+  const auto t_merge = Clock::now();
+  size_t shard_terms = 0;
+  for (const auto& shard : shards) {
+    if (shard) shard_terms += shard->size();
+  }
+  build.corpus.ReserveTerms(shard_terms);
+
+  std::unordered_set<std::string> kept;
+  for (size_t c = 0; c < shards.size(); ++c) {
+    const size_t begin = c * kIngestGrain;
+    const size_t end = std::min(begin + kIngestGrain, n);
+    std::vector<DatasetEntry> chunk_entries;
+    for (size_t i = begin; i < end; ++i) {
+      PageOutcome& out = outcomes[i];
+      if (!out.fetched) continue;
+      if (!out.searchable) {
+        if (out.gold) ++stats.classifier_false_negatives;
+        continue;
+      }
+      ++stats.classified_searchable;
+      if (!out.gold) {
+        ++stats.classifier_false_positives;
+        continue;  // searchable by the classifier but outside the gold set
+      }
+      if (!kept.insert(candidates[i]).second) continue;
+      if (out.backlink_fallback) ++stats.pages_without_backlinks;
+      if (out.no_backlinks) ++stats.pages_without_any_backlinks;
+      stats.term_occurrences +=
+          out.entry.doc.page_terms.size() + out.entry.doc.form_terms.size();
+      chunk_entries.push_back(std::move(out.entry));
+    }
+    Result<size_t> added =
+        build.corpus.AddPages(std::move(chunk_entries), shards[c].get());
+    if (!added.ok()) return added.status();
+  }
+  for (const ChunkCounters& cc : chunk_counters) {
+    timings.model_ms += cc.model_ms;
+    timings.anchor_ms += cc.anchor_ms;
+  }
+  timings.merge_ms = MsSince(t_merge);
+  timings.total_ms = MsSince(t_total);
+
+  if (build.corpus.size() == 0) {
+    return Status::FailedPrecondition(
+        "classifier rejected every candidate form page");
+  }
+  return build;
+}
+
+}  // namespace cafc

@@ -1,0 +1,41 @@
+#ifndef CAFC_CORE_INGEST_H_
+#define CAFC_CORE_INGEST_H_
+
+#include "core/corpus.h"
+#include "core/dataset.h"
+#include "util/status.h"
+#include "web/synthesizer.h"
+
+namespace cafc {
+
+/// Output of streaming a crawl into a fresh corpus.
+struct CorpusBuild {
+  Corpus corpus;
+  DatasetStats stats;
+  IngestTimings timings;
+};
+
+/// \brief The streaming acquisition pipeline: crawl from the web's seeds
+/// and ingest candidates *while the crawl runs*.
+///
+/// The crawler emits one candidate batch per BFS level; every completed
+/// fixed-size chunk of the cumulative candidate stream goes through the
+/// model stage (form extraction, searchable classification, term interning
+/// into a per-chunk dictionary shard, backlink retrieval) in parallel, so
+/// DOM memory is released level by level and ingestion overlaps the crawl.
+/// After the crawl (and the optional anchor-text phases, which need the
+/// complete anchor record), the kept entries are absorbed into the corpus
+/// chunk by chunk via Corpus::AddPages — the same shard-merge order as the
+/// batch pipeline, so the corpus dictionary, entries and stats are
+/// bit-identical to the historical one-shot BuildDataset at any thread
+/// count. `BuildDataset` is now a thin wrapper over this function.
+///
+/// Fails with FailedPrecondition when the crawl finds no form pages or the
+/// classifier rejects every candidate (matching BuildDataset).
+Result<CorpusBuild> BuildCorpus(const web::SyntheticWeb& web,
+                                const DatasetOptions& options = {},
+                                const CorpusOptions& corpus_options = {});
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_INGEST_H_

@@ -64,6 +64,45 @@ double FlagParser::GetDouble(std::string_view name,
   return (end != nullptr && *end == '\0') ? value : default_value;
 }
 
+Result<int64_t> FlagParser::GetIntInRange(std::string_view name,
+                                          int64_t default_value, int64_t min,
+                                          int64_t max) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  const std::string& raw = it->second;
+  char* end = nullptr;
+  long long value = raw.empty() ? 0 : std::strtoll(raw.c_str(), &end, 10);
+  if (raw.empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("--" + std::string(name) +
+                                   " expects an integer, got \"" + raw +
+                                   "\"");
+  }
+  if (value < min || value > max) {
+    return Status::InvalidArgument(
+        "--" + std::string(name) + "=" + raw + " out of range [" +
+        std::to_string(min) + ", " + std::to_string(max) + "]");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> FlagParser::GetRate(std::string_view name,
+                                   double default_value) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return default_value;
+  const std::string& raw = it->second;
+  char* end = nullptr;
+  double value = raw.empty() ? 0.0 : std::strtod(raw.c_str(), &end);
+  if (raw.empty() || end == nullptr || *end != '\0') {
+    return Status::InvalidArgument("--" + std::string(name) +
+                                   " expects a number, got \"" + raw + "\"");
+  }
+  if (!(value >= 0.0 && value <= 1.0)) {  // NaN fails too
+    return Status::InvalidArgument("--" + std::string(name) + "=" + raw +
+                                   " must be a rate in [0, 1]");
+  }
+  return value;
+}
+
 bool FlagParser::GetBool(std::string_view name, bool default_value) const {
   auto it = flags_.find(name);
   if (it == flags_.end()) return default_value;

@@ -32,6 +32,15 @@ class FlagParser {
   double GetDouble(std::string_view name, double default_value) const;
   bool GetBool(std::string_view name, bool default_value) const;
 
+  /// Strict getters: the default applies only when the flag is absent.
+  /// A present-but-malformed value, or one outside [min, max], is an
+  /// InvalidArgument naming the flag — the silent fallback of GetInt/
+  /// GetDouble turned `--threads=abc` into the default without a word.
+  Result<int64_t> GetIntInRange(std::string_view name, int64_t default_value,
+                                int64_t min, int64_t max) const;
+  /// GetIntInRange for probabilities/fractions: a double in [0, 1].
+  Result<double> GetRate(std::string_view name, double default_value) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
   /// Names present on the command line but not in `known` — for usage

@@ -1,0 +1,56 @@
+#include "vsm/df_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cafc::vsm {
+
+void DfTable::AddDocument(const std::vector<TermId>& unique_terms) {
+  ++num_documents_;
+  for (TermId id : unique_terms) {
+    if (static_cast<size_t>(id) >= document_frequency_.size()) {
+      document_frequency_.resize(static_cast<size_t>(id) + 1, 0);
+    }
+    ++document_frequency_[id];
+  }
+}
+
+void DfTable::RemoveDocument(const std::vector<TermId>& unique_terms) {
+  if (num_documents_ > 0) --num_documents_;
+  for (TermId id : unique_terms) {
+    if (static_cast<size_t>(id) < document_frequency_.size() &&
+        document_frequency_[id] > 0) {
+      --document_frequency_[id];
+    }
+  }
+}
+
+double DfTable::Idf(TermId id) const {
+  if (num_documents_ == 0) return 0.0;
+  size_t df = std::max<size_t>(DocumentFrequency(id), 1);
+  return std::log(static_cast<double>(num_documents_) /
+                  static_cast<double>(df));
+}
+
+void DfTable::FillIdf(size_t vocabulary_size, std::vector<double>* out) const {
+  out->resize(vocabulary_size);
+  if (num_documents_ == 0) {
+    std::fill(out->begin(), out->end(), 0.0);
+    return;
+  }
+  const double n = static_cast<double>(num_documents_);
+  for (size_t id = 0; id < vocabulary_size; ++id) {
+    size_t df = id < document_frequency_.size() ? document_frequency_[id] : 0;
+    (*out)[id] = std::log(n / static_cast<double>(std::max<size_t>(df, 1)));
+  }
+}
+
+std::vector<size_t> DfTable::Snapshot(size_t vocabulary_size) const {
+  std::vector<size_t> df(vocabulary_size, 0);
+  size_t n = std::min(vocabulary_size, document_frequency_.size());
+  std::copy(document_frequency_.begin(), document_frequency_.begin() + n,
+            df.begin());
+  return df;
+}
+
+}  // namespace cafc::vsm

@@ -1,0 +1,58 @@
+#ifndef CAFC_VSM_DF_TABLE_H_
+#define CAFC_VSM_DF_TABLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "vsm/term_dictionary.h"
+
+namespace cafc::vsm {
+
+/// \brief Incrementally maintained document-frequency table of one feature
+/// space (page content or form content).
+///
+/// CorpusStats is a build-once artifact: it can only grow via AddDocument
+/// and is re-created on every rebuild. DfTable is its incremental twin,
+/// owned by cafc::Corpus: documents can be registered *and* unregistered,
+/// so n_i and N of Eq. 1 track the live page set across epochs. The
+/// arithmetic (smoothed IDF = log(N / max(n_i, 1)), 0 when N == 0) matches
+/// CorpusStats::Idf bit-for-bit so derived vectors are indistinguishable
+/// from a from-scratch rebuild.
+class DfTable {
+ public:
+  /// Registers a document given its sorted unique term ids (the id set of a
+  /// folded term profile). Ids may exceed the current table size; the table
+  /// grows as the dictionary does.
+  void AddDocument(const std::vector<TermId>& unique_terms);
+
+  /// Unregisters a document previously added with the same unique id set.
+  /// Callers (Corpus) replay the stored profile, so a mismatch is a logic
+  /// error; underflow is clamped defensively.
+  void RemoveDocument(const std::vector<TermId>& unique_terms);
+
+  size_t num_documents() const { return num_documents_; }
+
+  size_t DocumentFrequency(TermId id) const {
+    return id < document_frequency_.size() ? document_frequency_[id] : 0;
+  }
+
+  /// Smoothed IDF, identical to CorpusStats::Idf.
+  double Idf(TermId id) const;
+
+  /// Fills `out[id]` with Idf(id) for every id < vocabulary_size. Computed
+  /// serially so an epoch's IDF table is deterministic; one table per derive
+  /// replaces per-entry log() calls.
+  void FillIdf(size_t vocabulary_size, std::vector<double>* out) const;
+
+  /// Copy of the df column padded/truncated to `vocabulary_size`, in the
+  /// shape CorpusStats::Restore expects.
+  std::vector<size_t> Snapshot(size_t vocabulary_size) const;
+
+ private:
+  std::vector<size_t> document_frequency_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace cafc::vsm
+
+#endif  // CAFC_VSM_DF_TABLE_H_

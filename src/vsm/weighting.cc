@@ -105,22 +105,16 @@ SparseVector TfIdfWeighter::Weigh(
   return SparseVector::FromUnsorted(std::move(entries));
 }
 
-namespace {
-
-/// Shared accumulator of the id-based Weigh paths: sorts the (id, LOC
-/// factor) occurrence list and folds each run into (tf, max LOC). The
-/// arithmetic matches the string-keyed hash-map path exactly (integer tf
-/// accumulated as doubles, integer LOC max), so weights are bit-identical.
-template <typename Fold>
-SparseVector WeighInterned(const std::vector<InternedTerm>& terms,
-                           const LocationWeightConfig& config, Fold&& fold) {
+std::vector<TermProfileEntry> FoldTermProfile(
+    const std::vector<InternedTerm>& terms,
+    const LocationWeightConfig& config) {
   std::vector<std::pair<TermId, int>> occ;
   occ.reserve(terms.size());
   for (const InternedTerm& it : terms) {
     occ.emplace_back(it.term, config.Factor(it.location));
   }
   std::sort(occ.begin(), occ.end());
-  std::vector<Entry> entries;
+  std::vector<TermProfileEntry> profile;
   for (size_t i = 0; i < occ.size();) {
     size_t j = i;
     int loc_factor = 1;
@@ -128,10 +122,42 @@ SparseVector WeighInterned(const std::vector<InternedTerm>& terms,
       loc_factor = std::max(loc_factor, occ[j].second);
       ++j;
     }
-    double tf = static_cast<double>(j - i);
-    double w = fold(occ[i].first, tf, loc_factor);
-    if (w > 0.0) entries.push_back(Entry{occ[i].first, w});
+    profile.push_back(TermProfileEntry{occ[i].first,
+                                       static_cast<uint32_t>(j - i),
+                                       static_cast<int32_t>(loc_factor)});
     i = j;
+  }
+  return profile;
+}
+
+SparseVector WeighProfileTfIdf(const std::vector<TermProfileEntry>& profile,
+                               const std::vector<double>& idf) {
+  std::vector<Entry> entries;
+  for (const TermProfileEntry& e : profile) {
+    if (static_cast<size_t>(e.term) >= idf.size()) continue;
+    double w = e.loc_factor * static_cast<double>(e.tf) * idf[e.term];
+    if (w > 0.0) entries.push_back(Entry{e.term, w});
+  }
+  return SparseVector::FromUnsorted(std::move(entries));
+}
+
+namespace {
+
+/// Shared accumulator of the id-based Weigh paths: folds the occurrence
+/// stream into its term profile (sorted unique ids with integer tf and max
+/// LOC), then applies the weighting fold per run. The arithmetic matches
+/// the string-keyed hash-map path exactly (integer tf accumulated as
+/// doubles, integer LOC max), so weights are bit-identical.
+template <typename Fold>
+SparseVector WeighInterned(const std::vector<InternedTerm>& terms,
+                           const LocationWeightConfig& config, Fold&& fold) {
+  std::vector<TermProfileEntry> profile = FoldTermProfile(terms, config);
+  std::vector<Entry> entries;
+  entries.reserve(profile.size());
+  for (const TermProfileEntry& e : profile) {
+    double tf = static_cast<double>(e.tf);
+    double w = fold(e.term, tf, static_cast<int>(e.loc_factor));
+    if (w > 0.0) entries.push_back(Entry{e.term, w});
   }
   return SparseVector::FromUnsorted(std::move(entries));
 }

@@ -1,6 +1,7 @@
 #ifndef CAFC_VSM_WEIGHTING_H_
 #define CAFC_VSM_WEIGHTING_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,35 @@ class CorpusStats {
   std::vector<size_t> document_frequency_;
   size_t num_documents_ = 0;
 };
+
+/// One folded run of a document's occurrence stream: term id, total term
+/// frequency, and the maximum LOC factor among the occurrences. This is the
+/// IDF-independent half of Eq. 1 — the expensive per-document sort+fold —
+/// which cafc::Corpus caches per page so that an epoch derive only has to
+/// multiply profiles against a fresh IDF table.
+struct TermProfileEntry {
+  TermId term;
+  uint32_t tf;
+  int32_t loc_factor;
+
+  bool operator==(const TermProfileEntry&) const = default;
+};
+
+/// Folds an interned occurrence stream into its sorted unique term profile.
+/// tf accumulates integer counts; loc_factor starts at 1 and takes the max
+/// of the occurrences' factors — exactly the fold inside the id-based Weigh
+/// paths, so materializing a profile against the same IDF reproduces
+/// TfIdfWeighter::Weigh bit-for-bit.
+std::vector<TermProfileEntry> FoldTermProfile(
+    const std::vector<InternedTerm>& terms, const LocationWeightConfig& config);
+
+/// Materializes the Eq. 1 vector of a folded profile against a precomputed
+/// IDF table (`idf[id]` must equal CorpusStats::Idf(id) for the intended
+/// collection; ids beyond the table are skipped). The arithmetic —
+/// loc_factor * tf * idf, entries with w > 0 only, SparseVector::FromUnsorted
+/// — is the TfIdfWeighter fold verbatim.
+SparseVector WeighProfileTfIdf(const std::vector<TermProfileEntry>& profile,
+                               const std::vector<double>& idf);
 
 /// \brief Computes the Eq. 1 vector of a document:
 /// w_i = LOC_i * TF_i * log(N / n_i).

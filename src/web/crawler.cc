@@ -140,8 +140,15 @@ Result<Url> DocumentBaseUrl(const html::Document& document,
 }
 
 CrawlResult Crawler::Crawl(const std::vector<std::string>& seeds) const {
+  return Crawl(seeds, nullptr);
+}
+
+CrawlResult Crawler::Crawl(const std::vector<std::string>& seeds,
+                           const CrawlBatchCallback& on_form_pages) const {
   CrawlResult result;
   std::unordered_set<std::string> enqueued;
+  const bool streaming = static_cast<bool>(on_form_pages);
+  CrawlPageBatch pending;  // candidates absorbed since the last emit
 
   std::vector<std::string> level;  // current BFS depth, frontier order
   for (const std::string& seed : seeds) {
@@ -185,7 +192,15 @@ CrawlResult Crawler::Crawl(const std::vector<std::string>& seeds) const {
     }
     if (scan.has_form) {
       result.form_page_urls.push_back(url);
-      if (options_.keep_form_page_doms) {
+      if (streaming) {
+        // Route the candidate (and its DOM) to the stream instead of the
+        // batch result, so ingestion can start before the crawl ends and
+        // DOM memory is released level by level.
+        pending.urls.push_back(url);
+        if (options_.keep_form_page_doms) {
+          pending.doms.push_back(std::move(*scan.dom));
+        }
+      } else if (options_.keep_form_page_doms) {
         result.form_page_doms.push_back(std::move(*scan.dom));
       }
     }
@@ -201,9 +216,18 @@ CrawlResult Crawler::Crawl(const std::vector<std::string>& seeds) const {
     }
   };
 
+  // Hands the accumulated candidates to the stream. Runs on the absorbing
+  // (serial) thread, so the callback may spin up its own parallel work.
+  auto emit = [&](size_t at_depth) {
+    if (!streaming || pending.urls.empty()) return;
+    pending.depth = at_depth;
+    on_form_pages(std::move(pending));
+    pending = CrawlPageBatch{};
+  };
+
   if (options_.max_pages != 0) {
     // Serial variant: the page cap can cut a level mid-way, so pages must
-    // be scanned one at a time.
+    // be scanned one at a time (and the stream sees one batch per page).
     std::deque<std::pair<std::string, size_t>> frontier;
     for (std::string& url : level) frontier.emplace_back(std::move(url), 0);
     while (!frontier.empty()) {
@@ -212,6 +236,7 @@ CrawlResult Crawler::Crawl(const std::vector<std::string>& seeds) const {
       frontier.pop_front();
       std::vector<std::string> next;
       absorb(url, depth, ScanPage(*fetcher_, options_, url), &next);
+      emit(depth);
       for (std::string& target : next) {
         frontier.emplace_back(std::move(target), depth + 1);
       }
@@ -235,6 +260,7 @@ CrawlResult Crawler::Crawl(const std::vector<std::string>& seeds) const {
     for (size_t i = 0; i < level.size(); ++i) {
       absorb(level[i], depth, std::move(scans[i]), &next);
     }
+    emit(depth);
     level = std::move(next);
     ++depth;
   }

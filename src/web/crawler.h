@@ -2,6 +2,7 @@
 #define CAFC_WEB_CRAWLER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -130,6 +131,29 @@ struct CrawlResult {
   double parse_ms = 0.0;
 };
 
+/// \brief One batch of newly absorbed candidate form pages, emitted while
+/// the crawl is still running (the streaming-ingest path).
+///
+/// The parallel crawl emits one batch per BFS depth (after the level's
+/// serial absorption), the capped serial crawl one per absorbed page —
+/// either way in frontier order, so the concatenation of all batches'
+/// `urls` equals CrawlResult::form_page_urls exactly.
+struct CrawlPageBatch {
+  size_t depth = 0;
+  /// Candidate URLs absorbed at this depth, in frontier order.
+  std::vector<std::string> urls;
+  /// Parsed DOMs aligned with `urls`; filled only when
+  /// CrawlerOptions::keep_form_page_doms is set. Ownership transfers to
+  /// the callback — these DOMs do NOT also appear in
+  /// CrawlResult::form_page_doms.
+  std::vector<html::Document> doms;
+};
+
+/// Receives candidate batches during the crawl. Called serially between
+/// level absorptions (never concurrently with itself or the scan loop), so
+/// it may freely run its own parallel work.
+using CrawlBatchCallback = std::function<void(CrawlPageBatch&&)>;
+
 /// Per-URL record of what FetchWithRetry did, for folding into CrawlStats.
 struct FetchAttemptLog {
   int attempts = 1;          ///< fetch attempts issued (>= 1)
@@ -184,6 +208,16 @@ class Crawler {
 
   /// Crawls from `seeds` until the frontier is exhausted or limits hit.
   CrawlResult Crawl(const std::vector<std::string>& seeds) const;
+
+  /// Streaming variant: emits candidate form pages to `on_form_pages` as
+  /// they are absorbed instead of holding every DOM until the crawl ends
+  /// (CrawlResult::form_page_doms stays empty; form_page_urls is still the
+  /// full candidate list). A null callback behaves like the batch variant.
+  /// Batch boundaries depend only on the BFS structure — never on the
+  /// thread count — so downstream chunking over the cumulative candidate
+  /// index is deterministic.
+  CrawlResult Crawl(const std::vector<std::string>& seeds,
+                    const CrawlBatchCallback& on_form_pages) const;
 
  private:
   const WebFetcher* fetcher_;  // not owned

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <string>
+#include <type_traits>
 
 #include <gtest/gtest.h>
 
@@ -11,6 +12,13 @@
 
 namespace cafc {
 namespace {
+
+// A directory owns the collection vocabulary and statistics; a copy would
+// silently fork that state. Only moves are allowed.
+static_assert(!std::is_copy_constructible_v<DatabaseDirectory>);
+static_assert(!std::is_copy_assignable_v<DatabaseDirectory>);
+static_assert(std::is_move_constructible_v<DatabaseDirectory>);
+static_assert(std::is_move_assignable_v<DatabaseDirectory>);
 
 web::SynthesizerConfig SmallConfig() {
   web::SynthesizerConfig config;
@@ -146,6 +154,60 @@ TEST_F(DirectoryTest, SaveLoadRoundTrip) {
     EXPECT_EQ(original.entry, reloaded.entry);
     EXPECT_NEAR(original.similarity, reloaded.similarity, 1e-9);
   }
+  std::remove(path.c_str());
+}
+
+TEST_F(DirectoryTest, AdversarialLabelsSurviveRoundTrip) {
+  // Labels are free text: embedded newlines, the member-list separator,
+  // leading/trailing whitespace and non-ASCII bytes must all round-trip
+  // through the escaped v2 format.
+  std::vector<std::string> labels;
+  const std::vector<std::string> adversarial = {
+      "jobs\nand careers",        // embedded newline (v1 format breaker)
+      "hotels, rooms, suites",    // commas like the member separator
+      "  padded  ",               // leading/trailing spaces
+      "caf\xc3\xa9 m\xc3\xbasica",  // UTF-8 bytes
+      "back\\slash\rreturn",      // escape char + carriage return
+  };
+  for (size_t c = 0; c < static_cast<size_t>(clustering_->num_clusters);
+       ++c) {
+    labels.push_back(adversarial[c % adversarial.size()]);
+  }
+  DatabaseDirectory hostile =
+      DatabaseDirectory::Build(*pages_, *clustering_, labels);
+
+  std::string path = TempPath("adversarial_labels.cafc");
+  ASSERT_TRUE(hostile.SaveToFile(path).ok());
+  Result<DatabaseDirectory> loaded = DatabaseDirectory::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->size(), hostile.size());
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    EXPECT_EQ(loaded->entries()[i].label, hostile.entries()[i].label) << i;
+    EXPECT_EQ(loaded->entries()[i].member_urls,
+              hostile.entries()[i].member_urls);
+  }
+  // Classification through the reloaded directory is unchanged — labels
+  // never leak into vectors or statistics.
+  for (size_t i = 0; i < 10 && i < dataset_->entries.size(); ++i) {
+    DatabaseDirectory::Classification original =
+        hostile.ClassifyDocument(dataset_->entries[i].doc);
+    DatabaseDirectory::Classification reloaded =
+        loaded->ClassifyDocument(dataset_->entries[i].doc);
+    EXPECT_EQ(original.entry, reloaded.entry);
+    EXPECT_NEAR(original.similarity, reloaded.similarity, 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(DirectoryTest, EpochSurvivesRoundTrip) {
+  // The fixture directory was built from a plain FormPageSet: epoch 0.
+  EXPECT_EQ(directory_->epoch(), 0u);
+  std::string path = TempPath("epoch_roundtrip.cafc");
+  ASSERT_TRUE(directory_->SaveToFile(path).ok());
+  Result<DatabaseDirectory> loaded = DatabaseDirectory::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->epoch(), directory_->epoch());
   std::remove(path.c_str());
 }
 

@@ -90,5 +90,63 @@ TEST(FlagParserTest, NegativeNumberAsSpaceValue) {
   EXPECT_EQ(flags.GetInt("offset", 0), -3);
 }
 
+TEST(FlagParserTest, GetIntInRangeAbsentUsesDefault) {
+  FlagParser flags = Parse({});
+  Result<int64_t> value = flags.GetIntInRange("threads", 7, 0, 100);
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 7);
+  // The default is NOT range-checked — it only applies when the user said
+  // nothing, so a caller-chosen sentinel outside the range is fine.
+  Result<int64_t> sentinel = flags.GetIntInRange("threads", -1, 0, 100);
+  ASSERT_TRUE(sentinel.ok());
+  EXPECT_EQ(*sentinel, -1);
+}
+
+TEST(FlagParserTest, GetIntInRangeAcceptsBoundaries) {
+  FlagParser flags = Parse({"--lo=0", "--hi=100"});
+  EXPECT_EQ(*flags.GetIntInRange("lo", 5, 0, 100), 0);
+  EXPECT_EQ(*flags.GetIntInRange("hi", 5, 0, 100), 100);
+}
+
+TEST(FlagParserTest, GetIntInRangeRejectsOutOfRange) {
+  FlagParser flags = Parse({"--threads=-2", "--k=5000"});
+  Result<int64_t> threads = flags.GetIntInRange("threads", 0, 0, 4096);
+  ASSERT_FALSE(threads.ok());
+  EXPECT_EQ(threads.status().code(), StatusCode::kInvalidArgument);
+  // The message names the flag and the accepted range.
+  EXPECT_NE(threads.status().message().find("--threads"), std::string::npos);
+  EXPECT_NE(threads.status().message().find("[0, 4096]"), std::string::npos);
+  EXPECT_FALSE(flags.GetIntInRange("k", 8, 1, 4096).ok());
+}
+
+TEST(FlagParserTest, GetIntInRangeRejectsMalformed) {
+  FlagParser flags = Parse({"--seed=abc", "--n=1x", "--empty="});
+  EXPECT_FALSE(flags.GetIntInRange("seed", 0, 0, 100).ok());
+  EXPECT_FALSE(flags.GetIntInRange("n", 0, 0, 100).ok());
+  // A present-but-valueless flag is malformed for a numeric option, not
+  // silently the default (that is GetInt's legacy behaviour).
+  EXPECT_FALSE(flags.GetIntInRange("empty", 0, 0, 100).ok());
+}
+
+TEST(FlagParserTest, GetRateAcceptsUnitInterval) {
+  FlagParser flags = Parse({"--a=0", "--b=1", "--c=0.25"});
+  EXPECT_DOUBLE_EQ(*flags.GetRate("a", 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(*flags.GetRate("b", 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(*flags.GetRate("c", 0.5), 0.25);
+  EXPECT_DOUBLE_EQ(*flags.GetRate("absent", 0.5), 0.5);
+}
+
+TEST(FlagParserTest, GetRateRejectsOutOfRangeAndMalformed) {
+  FlagParser flags =
+      Parse({"--over=1.5", "--under=-0.1", "--word=high", "--nan=nan"});
+  for (const char* name : {"over", "under", "word", "nan"}) {
+    Result<double> value = flags.GetRate(name, 0.0);
+    ASSERT_FALSE(value.ok()) << name;
+    EXPECT_EQ(value.status().code(), StatusCode::kInvalidArgument) << name;
+    EXPECT_NE(value.status().message().find(std::string("--") + name),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace cafc

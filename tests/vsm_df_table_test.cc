@@ -1,0 +1,180 @@
+#include "vsm/df_table.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vsm/weighting.h"
+
+namespace cafc::vsm {
+namespace {
+
+TEST(DfTableTest, StartsEmpty) {
+  DfTable table;
+  EXPECT_EQ(table.num_documents(), 0u);
+  EXPECT_EQ(table.DocumentFrequency(0), 0u);
+  EXPECT_DOUBLE_EQ(table.Idf(0), 0.0);  // N == 0 → 0, like CorpusStats
+}
+
+TEST(DfTableTest, AddCountsUniqueTermsOnce) {
+  DfTable table;
+  table.AddDocument({0, 2, 5});
+  table.AddDocument({2, 5});
+  EXPECT_EQ(table.num_documents(), 2u);
+  EXPECT_EQ(table.DocumentFrequency(0), 1u);
+  EXPECT_EQ(table.DocumentFrequency(2), 2u);
+  EXPECT_EQ(table.DocumentFrequency(5), 2u);
+  EXPECT_EQ(table.DocumentFrequency(1), 0u);   // never seen
+  EXPECT_EQ(table.DocumentFrequency(99), 0u);  // beyond the table
+}
+
+TEST(DfTableTest, RemoveUndoesAdd) {
+  DfTable table;
+  table.AddDocument({0, 1});
+  table.AddDocument({1, 2});
+  table.RemoveDocument({0, 1});
+  EXPECT_EQ(table.num_documents(), 1u);
+  EXPECT_EQ(table.DocumentFrequency(0), 0u);
+  EXPECT_EQ(table.DocumentFrequency(1), 1u);
+  EXPECT_EQ(table.DocumentFrequency(2), 1u);
+}
+
+TEST(DfTableTest, RemoveClampsUnderflow) {
+  DfTable table;
+  table.AddDocument({0});
+  // Removing a profile that was never added is a caller logic error; the
+  // table clamps instead of wrapping.
+  table.RemoveDocument({0, 7});
+  table.RemoveDocument({0});
+  EXPECT_EQ(table.num_documents(), 0u);
+  EXPECT_EQ(table.DocumentFrequency(0), 0u);
+  EXPECT_EQ(table.DocumentFrequency(7), 0u);
+}
+
+TEST(DfTableTest, IdfMatchesCorpusStats) {
+  // Register the same three documents in a DfTable and a CorpusStats; the
+  // smoothed IDF must agree bit-for-bit for every id.
+  TermDictionary dictionary;
+  CorpusStats stats(&dictionary);
+  DfTable table;
+  std::vector<std::vector<TermId>> docs = {{0, 1, 2}, {1, 2}, {2, 3}};
+  for (const auto& unique_ids : docs) {
+    std::vector<InternedTerm> terms;
+    for (TermId id : unique_ids) {
+      while (dictionary.size() <= id) {
+        dictionary.Intern("t" + std::to_string(dictionary.size()));
+      }
+      terms.push_back({id, Location::kPageBody});
+    }
+    stats.AddDocument(terms);
+    table.AddDocument(unique_ids);
+  }
+  ASSERT_EQ(table.num_documents(), stats.num_documents());
+  for (TermId id = 0; id < 6; ++id) {
+    EXPECT_EQ(table.DocumentFrequency(id), stats.DocumentFrequency(id)) << id;
+    EXPECT_DOUBLE_EQ(table.Idf(id), stats.Idf(id)) << id;
+  }
+  // Term in every document → IDF exactly 0 (the paper's noise elimination).
+  EXPECT_DOUBLE_EQ(table.Idf(2), 0.0);
+}
+
+TEST(DfTableTest, FillIdfMatchesPerTermIdf) {
+  DfTable table;
+  table.AddDocument({0, 3});
+  table.AddDocument({3, 4});
+  std::vector<double> idf;
+  table.FillIdf(8, &idf);
+  ASSERT_EQ(idf.size(), 8u);
+  for (TermId id = 0; id < 8; ++id) {
+    EXPECT_DOUBLE_EQ(idf[id], table.Idf(id)) << id;
+  }
+}
+
+TEST(DfTableTest, SnapshotPadsToVocabularySize) {
+  DfTable table;
+  table.AddDocument({1});
+  std::vector<size_t> snapshot = table.Snapshot(4);
+  ASSERT_EQ(snapshot.size(), 4u);
+  EXPECT_EQ(snapshot[0], 0u);
+  EXPECT_EQ(snapshot[1], 1u);
+  EXPECT_EQ(snapshot[2], 0u);
+  EXPECT_EQ(snapshot[3], 0u);
+}
+
+TEST(DfTableTest, SnapshotRestoresIntoCorpusStats) {
+  TermDictionary dictionary;
+  dictionary.Intern("alpha");
+  dictionary.Intern("beta");
+  DfTable table;
+  table.AddDocument({0});
+  table.AddDocument({0, 1});
+  CorpusStats stats(&dictionary);
+  stats.Restore(table.num_documents(), table.Snapshot(dictionary.size()));
+  EXPECT_EQ(stats.num_documents(), 2u);
+  EXPECT_DOUBLE_EQ(stats.Idf(0), table.Idf(0));
+  EXPECT_DOUBLE_EQ(stats.Idf(1), table.Idf(1));
+}
+
+TEST(FoldTermProfileTest, FoldsDuplicatesWithMaxLoc) {
+  LocationWeightConfig config;  // form_text = 2, page_body = 1
+  std::vector<InternedTerm> terms = {
+      {3, Location::kPageBody},
+      {1, Location::kFormText},
+      {3, Location::kPageTitle},
+      {3, Location::kPageBody},
+  };
+  std::vector<TermProfileEntry> profile = FoldTermProfile(terms, config);
+  ASSERT_EQ(profile.size(), 2u);
+  EXPECT_EQ(profile[0].term, 1u);
+  EXPECT_EQ(profile[0].tf, 1u);
+  EXPECT_EQ(profile[0].loc_factor, config.Factor(Location::kFormText));
+  EXPECT_EQ(profile[1].term, 3u);
+  EXPECT_EQ(profile[1].tf, 3u);
+  // The strongest location among the occurrences wins.
+  EXPECT_EQ(profile[1].loc_factor, config.Factor(Location::kPageTitle));
+}
+
+TEST(FoldTermProfileTest, ProfileWeighMatchesTfIdfWeighter) {
+  // WeighProfileTfIdf(FoldTermProfile(terms), idf) must reproduce
+  // TfIdfWeighter::Weigh(terms) bit-for-bit — this is the equivalence the
+  // incremental corpus's cached profiles rely on.
+  TermDictionary dictionary;
+  for (const char* t : {"job", "career", "resume", "salary", "hotel"}) {
+    dictionary.Intern(t);
+  }
+  CorpusStats stats(&dictionary);
+  std::vector<std::vector<InternedTerm>> docs = {
+      {{0, Location::kPageBody},
+       {1, Location::kFormText},
+       {0, Location::kPageTitle},
+       {2, Location::kFormOption}},
+      {{0, Location::kPageBody}, {3, Location::kPageBody}},
+      {{4, Location::kFormText}, {0, Location::kFormText}},
+  };
+  for (const auto& doc : docs) stats.AddDocument(doc);
+
+  std::vector<double> idf(dictionary.size());
+  for (TermId id = 0; id < dictionary.size(); ++id) idf[id] = stats.Idf(id);
+
+  LocationWeightConfig config;
+  TfIdfWeighter weighter(&stats, config);
+  for (const auto& doc : docs) {
+    SparseVector direct = weighter.Weigh(doc);
+    SparseVector via_profile =
+        WeighProfileTfIdf(FoldTermProfile(doc, config), idf);
+    EXPECT_EQ(via_profile, direct);
+  }
+}
+
+TEST(FoldTermProfileTest, IdsBeyondIdfTableAreSkipped) {
+  std::vector<TermProfileEntry> profile = {{0, 2, 1}, {9, 1, 2}};
+  std::vector<double> idf = {1.5};  // table only covers id 0
+  SparseVector v = WeighProfileTfIdf(profile, idf);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.entries()[0].term, 0u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].weight, 2 * 1.5);
+}
+
+}  // namespace
+}  // namespace cafc::vsm

@@ -179,5 +179,69 @@ TEST(CrawlerTest, CoversFullSyntheticWeb) {
   }
 }
 
+TEST(CrawlerTest, StreamingBatchesConcatenateToCandidateList) {
+  SynthesizerConfig config;
+  config.seed = 3;
+  config.form_pages_total = 40;
+  config.single_attribute_forms = 5;
+  config.homogeneous_hubs_per_domain = 20;
+  config.mixed_hubs = 40;
+  config.directory_hubs = 4;
+  config.large_air_hotel_hubs = 4;
+  config.non_searchable_form_pages = 5;
+  config.noise_pages = 5;
+  config.outlier_pages = 0;
+  SyntheticWeb web = Synthesizer(config).Generate();
+
+  Crawler crawler(&web);
+  CrawlResult batch = crawler.Crawl(web.seed_urls());
+
+  std::vector<std::string> streamed;
+  size_t streamed_doms = 0;
+  size_t last_depth = 0;
+  CrawlResult streaming =
+      crawler.Crawl(web.seed_urls(), [&](CrawlPageBatch&& emitted) {
+        EXPECT_GE(emitted.depth, last_depth);  // emitted in frontier order
+        last_depth = emitted.depth;
+        streamed_doms += emitted.doms.size();
+        for (std::string& url : emitted.urls) {
+          streamed.push_back(std::move(url));
+        }
+      });
+
+  // The concatenation of the emitted batches IS the candidate list, and
+  // the rest of the crawl output is unaffected by streaming.
+  EXPECT_EQ(streamed, batch.form_page_urls);
+  EXPECT_EQ(streaming.form_page_urls, batch.form_page_urls);
+  EXPECT_EQ(streaming.visited, batch.visited);
+  EXPECT_EQ(streaming.stats, batch.stats);
+  // Without keep_form_page_doms neither path retains DOMs.
+  EXPECT_EQ(streamed_doms, 0u);
+  EXPECT_TRUE(streaming.form_page_doms.empty());
+}
+
+TEST(CrawlerTest, StreamingTransfersDomOwnership) {
+  MiniWeb web = ThreePageWeb();
+  CrawlerOptions options;
+  options.keep_form_page_doms = true;
+  Crawler crawler(&web, options);
+
+  size_t streamed_doms = 0;
+  std::vector<std::string> streamed;
+  CrawlResult result =
+      crawler.Crawl({"http://a.com/"}, [&](CrawlPageBatch&& emitted) {
+        ASSERT_EQ(emitted.doms.size(), emitted.urls.size());
+        streamed_doms += emitted.doms.size();
+        for (std::string& url : emitted.urls) {
+          streamed.push_back(std::move(url));
+        }
+      });
+
+  // DOMs flow to the callback instead of accumulating in the result.
+  EXPECT_EQ(streamed, result.form_page_urls);
+  EXPECT_EQ(streamed_doms, result.form_page_urls.size());
+  EXPECT_TRUE(result.form_page_doms.empty());
+}
+
 }  // namespace
 }  // namespace cafc::web

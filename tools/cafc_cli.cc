@@ -29,19 +29,33 @@
 //       Incremental maintenance: file the form pages of a fresh corpus
 //       into a saved directory (updating centroids) and re-save it.
 //
+//   cafc grow     [--seed N] [--pages N] [--add-sites N] [--k K]
+//                 [--threads N] [--save FILE]
+//       Epoch-versioned growth demo: build a corpus + directory, absorb
+//       the form pages of a second synthetic web through Corpus::AddPages,
+//       compare the incremental re-derive against a from-scratch rebuild
+//       (must be bit-identical), and warm-start-refresh the directory.
+//
 //   cafc labels   FILE.html
 //       Run the heuristic label extractor on a page (baseline input).
+//
+//   All numeric flags are validated: a malformed or out-of-range value is
+//   a usage error (exit 2), never a silent fallback to the default.
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 
 #include "core/cafc.h"
+#include "core/corpus.h"
 #include "core/dataset.h"
 #include "core/directory.h"
+#include "core/ingest.h"
 #include "core/visualize.h"
 #include "eval/metrics.h"
 #include "forms/label_extractor.h"
@@ -59,10 +73,25 @@ using namespace cafc;  // NOLINT — tool code
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cafc <stats|cluster|classify|labels> [flags]\n"
+               "usage: cafc <stats|cluster|classify|search|add|grow|labels> "
+               "[flags]\n"
                "run with a command to see its flags (documented in the "
                "source header)\n");
   return 2;
+}
+
+constexpr int64_t kMaxSeed = std::numeric_limits<int64_t>::max();
+
+/// Unwraps a validated flag; on error prints the message so the caller
+/// can return the usage exit code.
+template <typename T>
+[[nodiscard]] bool FlagValue(Result<T> result, T* out) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return false;
+  }
+  *out = std::move(*result);
+  return true;
 }
 
 web::SyntheticWeb MakeWeb(uint64_t seed, int pages, int singles) {
@@ -89,22 +118,40 @@ struct FaultSetup {
   bool active() const { return fetcher != nullptr; }
 };
 
-FaultSetup ConfigureFaults(const FlagParser& flags,
-                           const web::SyntheticWeb& web,
-                           DatasetOptions* options) {
+Result<FaultSetup> ConfigureFaults(const FlagParser& flags,
+                                   const web::SyntheticWeb& web,
+                                   DatasetOptions* options) {
   web::FaultProfile profile;
-  profile.transient_rate = flags.GetDouble("fault-transient", 0.0);
-  profile.dead_rate = flags.GetDouble("fault-dead", 0.0);
-  profile.slow_rate = flags.GetDouble("fault-slow", 0.0);
-  profile.truncated_rate = flags.GetDouble("fault-truncated", 0.0);
-  profile.soft404_rate = flags.GetDouble("fault-soft404", 0.0);
-  profile.seed = static_cast<uint64_t>(flags.GetInt("fault-seed", 1));
+  const struct {
+    const char* name;
+    double* slot;
+  } rates[] = {
+      {"fault-transient", &profile.transient_rate},
+      {"fault-dead", &profile.dead_rate},
+      {"fault-slow", &profile.slow_rate},
+      {"fault-truncated", &profile.truncated_rate},
+      {"fault-soft404", &profile.soft404_rate},
+  };
+  for (const auto& rate : rates) {
+    Result<double> value = flags.GetRate(rate.name, 0.0);
+    if (!value.ok()) return value.status();
+    *rate.slot = *value;
+  }
+  Result<int64_t> fault_seed = flags.GetIntInRange("fault-seed", 1, 0,
+                                                   kMaxSeed);
+  if (!fault_seed.ok()) return fault_seed.status();
+  profile.seed = static_cast<uint64_t>(*fault_seed);
 
   web::FetchRetryPolicy& retry = options->crawler.retry;
-  retry.max_attempts = static_cast<int>(
-      flags.GetInt("retry-attempts", retry.max_attempts));
-  retry.initial_backoff_ms = static_cast<uint64_t>(flags.GetInt(
-      "retry-backoff-ms", static_cast<int64_t>(retry.initial_backoff_ms)));
+  Result<int64_t> attempts =
+      flags.GetIntInRange("retry-attempts", retry.max_attempts, 1, 1000);
+  if (!attempts.ok()) return attempts.status();
+  retry.max_attempts = static_cast<int>(*attempts);
+  Result<int64_t> backoff = flags.GetIntInRange(
+      "retry-backoff-ms", static_cast<int64_t>(retry.initial_backoff_ms), 0,
+      86'400'000);
+  if (!backoff.ok()) return backoff.status();
+  retry.initial_backoff_ms = static_cast<uint64_t>(*backoff);
 
   FaultSetup setup;
   if (profile.active()) {
@@ -127,17 +174,27 @@ void PrintCrawlStats(const Dataset& dataset) {
 }
 
 int RunStats(const FlagParser& flags) {
-  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  int64_t seed = 0;
+  int64_t pages_flag = 0;
+  if (!FlagValue(flags.GetIntInRange("seed", 42, 0, kMaxSeed), &seed) ||
+      !FlagValue(flags.GetIntInRange("pages", 0, 0, 1'000'000),
+                 &pages_flag)) {
+    return 2;
+  }
   web::SyntheticWeb web =
-      MakeWeb(seed, static_cast<int>(flags.GetInt("pages", 0)), -1);
+      MakeWeb(static_cast<uint64_t>(seed), static_cast<int>(pages_flag), -1);
   DatasetOptions options;
-  FaultSetup faults = ConfigureFaults(flags, web, &options);
+  Result<FaultSetup> faults = ConfigureFaults(flags, web, &options);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.status().ToString().c_str());
+    return 2;
+  }
   Result<Dataset> dataset = BuildDataset(web, options);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
-  if (faults.active()) PrintCrawlStats(*dataset);
+  if (faults->active()) PrintCrawlStats(*dataset);
   FormPageSet pages = BuildFormPageSet(*dataset);
   std::vector<HubCluster> hubs = GenerateHubClusters(pages);
 
@@ -190,33 +247,47 @@ std::vector<std::string> GoldAwareLabels(const FormPageSet& pages,
 }
 
 int RunCluster(const FlagParser& flags) {
-  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
-  int k = static_cast<int>(flags.GetInt("k", web::kNumDomains));
-  std::string algo = flags.GetString("algo", "ch");
-  std::string content_name = flags.GetString("content", "fcpc");
-  // 0 = hardware concurrency (the pool's automatic sizing).
-  int threads = static_cast<int>(flags.GetInt("threads", 0));
-  if (threads < 0) {
-    std::fprintf(stderr, "--threads must be >= 0 (0 = all cores)\n");
+  int64_t seed = 0;
+  int64_t k = 0;
+  int64_t pages_flag = 0;
+  int64_t threads64 = 0;  // 0 = hardware concurrency (automatic sizing)
+  int64_t min_cardinality = 0;
+  int64_t show = 0;
+  if (!FlagValue(flags.GetIntInRange("seed", 42, 0, kMaxSeed), &seed) ||
+      !FlagValue(flags.GetIntInRange("k", web::kNumDomains, 1, 4096), &k) ||
+      !FlagValue(flags.GetIntInRange("pages", 0, 0, 1'000'000),
+                 &pages_flag) ||
+      !FlagValue(flags.GetIntInRange("threads", 0, 0, 4096), &threads64) ||
+      !FlagValue(flags.GetIntInRange("min-cardinality", 8, 1, 1'000'000),
+                 &min_cardinality) ||
+      !FlagValue(flags.GetIntInRange("show-members", 0, 0, 1'000'000),
+                 &show)) {
     return 2;
   }
+  int threads = static_cast<int>(threads64);
+  std::string algo = flags.GetString("algo", "ch");
+  std::string content_name = flags.GetString("content", "fcpc");
   util::ThreadPool::SetDefaultThreads(threads);
 
   ContentConfig content = ContentConfig::kFcPlusPc;
   if (content_name == "fc") content = ContentConfig::kFcOnly;
   if (content_name == "pc") content = ContentConfig::kPcOnly;
 
-  web::SyntheticWeb web =
-      MakeWeb(seed, static_cast<int>(flags.GetInt("pages", 0)), -1);
+  web::SyntheticWeb web = MakeWeb(static_cast<uint64_t>(seed),
+                                  static_cast<int>(pages_flag), -1);
   DatasetOptions dataset_options;
   dataset_options.threads = threads;
-  FaultSetup faults = ConfigureFaults(flags, web, &dataset_options);
+  Result<FaultSetup> faults = ConfigureFaults(flags, web, &dataset_options);
+  if (!faults.ok()) {
+    std::fprintf(stderr, "%s\n", faults.status().ToString().c_str());
+    return 2;
+  }
   Result<Dataset> dataset = BuildDataset(web, dataset_options);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
-  if (faults.active()) PrintCrawlStats(*dataset);
+  if (faults->active()) PrintCrawlStats(*dataset);
   FormPageSet pages = BuildFormPageSet(*dataset);
 
   cluster::Clustering clustering;
@@ -224,10 +295,9 @@ int RunCluster(const FlagParser& flags) {
     CafcChOptions options;
     options.cafc.content = content;
     options.cafc.threads = threads;
-    options.min_hub_cardinality =
-        static_cast<size_t>(flags.GetInt("min-cardinality", 8));
+    options.min_hub_cardinality = static_cast<size_t>(min_cardinality);
     CafcChReport report;
-    clustering = CafcCh(pages, k, options, &report);
+    clustering = CafcCh(pages, static_cast<int>(k), options, &report);
     std::printf("hub clusters: %zu total, %zu kept, %zu padded seeds\n",
                 report.hub_clusters_total, report.hub_clusters_kept,
                 report.padded_seeds);
@@ -235,13 +305,13 @@ int RunCluster(const FlagParser& flags) {
     CafcOptions options;
     options.content = content;
     options.threads = threads;
-    Rng rng(seed ^ 0x5eed);
-    clustering = CafcC(pages, k, options, &rng);
+    Rng rng(static_cast<uint64_t>(seed) ^ 0x5eed);
+    clustering = CafcC(pages, static_cast<int>(k), options, &rng);
   } else if (algo == "hac") {
     CafcOptions options;
     options.content = content;
     options.threads = threads;
-    clustering = CafcHac(pages, k, options);
+    clustering = CafcHac(pages, static_cast<int>(k), options);
   } else {
     std::fprintf(stderr, "unknown --algo %s (use ch|c|hac)\n", algo.c_str());
     return 2;
@@ -263,11 +333,10 @@ int RunCluster(const FlagParser& flags) {
   }
   std::printf("%s", out.ToString().c_str());
 
-  int show = static_cast<int>(flags.GetInt("show-members", 0));
   if (show > 0) {
     for (int j = 0; j < clustering.num_clusters; ++j) {
       std::printf("cluster %d:\n", j);
-      int printed = 0;
+      int64_t printed = 0;
       for (size_t m : clustering.Members(j)) {
         std::printf("  %s\n", pages.page(m).url.c_str());
         if (++printed >= show) break;
@@ -315,9 +384,14 @@ int RunClassify(const FlagParser& flags) {
     return 1;
   }
 
-  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 777));
-  int pages = static_cast<int>(flags.GetInt("pages", 120));
-  web::SyntheticWeb web = MakeWeb(seed, pages, -1);
+  int64_t seed = 0;
+  int64_t pages = 0;
+  if (!FlagValue(flags.GetIntInRange("seed", 777, 0, kMaxSeed), &seed) ||
+      !FlagValue(flags.GetIntInRange("pages", 120, 1, 1'000'000), &pages)) {
+    return 2;
+  }
+  web::SyntheticWeb web =
+      MakeWeb(static_cast<uint64_t>(seed), static_cast<int>(pages), -1);
   Result<Dataset> dataset = MakeDataset(web);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
@@ -359,13 +433,14 @@ int RunSearch(const FlagParser& flags) {
     std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
     return 1;
   }
+  int64_t top = 0;
+  if (!FlagValue(flags.GetIntInRange("top", 5, 1, 10'000), &top)) return 2;
   std::string query;
   for (size_t i = 1; i < flags.positional().size(); ++i) {
     if (!query.empty()) query += ' ';
     query += flags.positional()[i];
   }
-  auto hits = directory->Search(
-      query, static_cast<size_t>(flags.GetInt("top", 5)));
+  auto hits = directory->Search(query, static_cast<size_t>(top));
   if (hits.empty()) {
     std::printf("no matching sections for \"%s\"\n", query.c_str());
     return 0;
@@ -395,9 +470,14 @@ int RunAdd(const FlagParser& flags) {
     std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
     return 1;
   }
-  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 888));
-  int pages = static_cast<int>(flags.GetInt("pages", 40));
-  web::SyntheticWeb web = MakeWeb(seed, pages, -1);
+  int64_t seed = 0;
+  int64_t pages = 0;
+  if (!FlagValue(flags.GetIntInRange("seed", 888, 0, kMaxSeed), &seed) ||
+      !FlagValue(flags.GetIntInRange("pages", 40, 1, 1'000'000), &pages)) {
+    return 2;
+  }
+  web::SyntheticWeb web =
+      MakeWeb(static_cast<uint64_t>(seed), static_cast<int>(pages), -1);
   Result<Dataset> dataset = MakeDataset(web);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
@@ -419,6 +499,133 @@ int RunAdd(const FlagParser& flags) {
     return 1;
   }
   std::printf("directory updated: %s\n", dir_path.c_str());
+  return 0;
+}
+
+/// Bit-exact comparison of two weighted sets (urls + both vectors): the
+/// grow demo's incremental-vs-rebuild equality gate.
+bool WeightedSetsIdentical(const FormPageSet& a, const FormPageSet& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const FormPage& x = a.page(i);
+    const FormPage& y = b.page(i);
+    if (x.url != y.url || !(x.pc == y.pc) || !(x.fc == y.fc)) return false;
+  }
+  return true;
+}
+
+int RunGrow(const FlagParser& flags) {
+  int64_t seed = 0;
+  int64_t pages = 0;
+  int64_t add_sites = 0;
+  int64_t k = 0;
+  int64_t threads64 = 0;
+  if (!FlagValue(flags.GetIntInRange("seed", 42, 0, kMaxSeed), &seed) ||
+      !FlagValue(flags.GetIntInRange("pages", 0, 0, 1'000'000), &pages) ||
+      !FlagValue(flags.GetIntInRange("add-sites", 24, 1, 1'000'000),
+                 &add_sites) ||
+      !FlagValue(flags.GetIntInRange("k", web::kNumDomains, 1, 4096), &k) ||
+      !FlagValue(flags.GetIntInRange("threads", 0, 0, 4096), &threads64)) {
+    return 2;
+  }
+  int threads = static_cast<int>(threads64);
+  util::ThreadPool::SetDefaultThreads(threads);
+  using Clock = std::chrono::steady_clock;
+  auto ms_since = [](Clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+  };
+
+  // Epoch 1: stream the base web into a fresh corpus, cluster, build the
+  // directory.
+  web::SyntheticWeb base_web = MakeWeb(static_cast<uint64_t>(seed),
+                                       static_cast<int>(pages), -1);
+  DatasetOptions options;
+  options.threads = threads;
+  Result<CorpusBuild> built = BuildCorpus(base_web, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  Corpus& corpus = built->corpus;
+  const FormPageSet& weighted = corpus.Weighted();
+  std::printf("base corpus: %zu pages, %zu terms, epoch %llu\n",
+              corpus.size(), corpus.dictionary()->size(),
+              static_cast<unsigned long long>(corpus.epoch()));
+
+  CafcOptions cluster_options;
+  cluster_options.threads = threads;
+  Rng rng(static_cast<uint64_t>(seed) ^ 0x5eed);
+  cluster::Clustering clustering =
+      CafcC(weighted, static_cast<int>(k), cluster_options, &rng);
+  DatabaseDirectory directory = DatabaseDirectory::Build(
+      weighted, clustering, DatabaseDirectory::AutoLabels(weighted,
+                                                          clustering));
+  std::printf("directory built: %zu sections\n", directory.size());
+
+  // New sources: the form pages of a second synthetic web, ingested into
+  // their own corpus and translated in by term string (the cross-corpus
+  // grow path). URLs the base corpus already holds are skipped.
+  web::SyntheticWeb growth_web = MakeWeb(static_cast<uint64_t>(seed) + 1,
+                                         static_cast<int>(add_sites), -1);
+  Result<CorpusBuild> growth = BuildCorpus(growth_web, options);
+  if (!growth.ok()) {
+    std::fprintf(stderr, "%s\n", growth.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<DatasetEntry> incoming = growth->corpus.TakeEntries();
+
+  const auto t_add = Clock::now();
+  Result<size_t> added = corpus.AddPages(std::move(incoming));
+  if (!added.ok()) {
+    std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+    return 1;
+  }
+  const FormPageSet& grown = corpus.Weighted();
+  const double incremental_ms = ms_since(t_add);
+  const CorpusDeriveStats& derive = corpus.last_derive();
+  std::printf(
+      "grew corpus: +%zu pages -> %zu, epoch %llu (%.1f ms: %zu vectors "
+      "recomputed, %zu reused)\n",
+      *added, corpus.size(),
+      static_cast<unsigned long long>(corpus.epoch()), incremental_ms,
+      derive.vectors_recomputed, derive.vectors_reused);
+
+  const auto t_rebuild = Clock::now();
+  FormPageSet rebuilt = BuildFormPageSet(corpus.SnapshotDataset());
+  const double rebuild_ms = ms_since(t_rebuild);
+  const bool identical = WeightedSetsIdentical(grown, rebuilt);
+  std::printf("from-scratch rebuild: %.1f ms, bit-identical: %s\n",
+              rebuild_ms, identical ? "yes" : "NO");
+  if (!identical) {
+    std::fprintf(stderr,
+                 "incremental epoch diverged from the rebuild — bug\n");
+    return 1;
+  }
+
+  Result<DirectoryRefreshReport> report = directory.Refresh(corpus);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "directory refreshed to epoch %llu: retained=%zu moved=%zu "
+      "entered=%zu left=%zu drift=%.3f (%d warm k-means iterations)%s\n",
+      static_cast<unsigned long long>(report->epoch), report->retained,
+      report->moved, report->entered, report->left, report->drift,
+      report->kmeans.iterations,
+      report->reseed_recommended ? " — reseed recommended" : "");
+
+  std::string save_path = flags.GetString("save");
+  if (!save_path.empty()) {
+    Status status = directory.SaveToFile(save_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("directory saved to %s (%zu entries)\n", save_path.c_str(),
+                directory.size());
+  }
   return 0;
 }
 
@@ -455,6 +662,7 @@ int main(int argc, char** argv) {
   if (command == "classify") return RunClassify(flags);
   if (command == "search") return RunSearch(flags);
   if (command == "add") return RunAdd(flags);
+  if (command == "grow") return RunGrow(flags);
   if (command == "labels") return RunLabels(flags);
   return Usage();
 }
