@@ -1,0 +1,569 @@
+// Serving-layer load benchmark: the concurrent DirectoryServer under a
+// worker-count sweep, an admission-control overload, and a refresh storm,
+// with every OK response validated bit-exactly against a serial replica of
+// the directory at the exact snapshot version that answered it.
+//
+// Correctness gates make this bench fail loudly (non-zero exit):
+//   1. Every OK response — across all worker counts, under load, during
+//      refresh swaps — must be bit-identical to the serial library call
+//      (ClassifyDocument / Search) on the replica directory at the
+//      response's snapshot version. One mismatch = a torn epoch = FAIL.
+//   2. Under offered load within capacity, the rejection count must be 0.
+//   3. Saturated (clients >> workers, tiny queue), the server must shed
+//      load with kUnavailable — at least one rejection, zero crashes, and
+//      every future resolves (no hang).
+//   4. The refresh storm must publish every scheduled epoch (final
+//      snapshot version = 1 + batches) with zero torn reads.
+//   5. Worker scaling: with the per-request service pad dominating, 8
+//      workers must push >= 4x the 1-worker throughput (full mode only —
+//      smoke runs on CI containers keep the gate informational).
+//
+// Results land in BENCH_serve.json. `--smoke` shrinks the substrate to 113
+// pages and relaxes the timing gate.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/corpus.h"
+#include "core/directory.h"
+#include "core/ingest.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace cafc;         // NOLINT
+using namespace cafc::bench;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+constexpr int kClusters = 8;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+web::SyntheticWeb MakeSubstrate(int form_pages) {
+  web::SynthesizerConfig config;
+  config.seed = 42;
+  if (form_pages > 0) {
+    config.form_pages_total = form_pages;
+    config.single_attribute_forms = form_pages / 8;
+    double scale = static_cast<double>(form_pages) / 454.0;
+    config.homogeneous_hubs_per_domain = static_cast<int>(360 * scale);
+    config.mixed_hubs = static_cast<int>(1100 * scale);
+    config.directory_hubs = static_cast<int>(24 * scale) + 1;
+    config.large_air_hotel_hubs = static_cast<int>(30 * scale) + 1;
+    config.outlier_pages = static_cast<int>(10 * scale);
+  }
+  return web::Synthesizer(config).Generate();
+}
+
+/// A small fresh web whose form pages feed one refresh batch.
+web::SyntheticWeb MakeGrowthWeb(uint32_t seed, int form_pages) {
+  web::SynthesizerConfig config;
+  config.seed = seed;
+  config.form_pages_total = form_pages;
+  config.single_attribute_forms = std::max(1, form_pages / 8);
+  config.homogeneous_hubs_per_domain = 20;
+  config.mixed_hubs = 30;
+  config.directory_hubs = 2;
+  config.large_air_hotel_hubs = 2;
+  return web::Synthesizer(config).Generate();
+}
+
+Corpus BuildSubstrateCorpus(int form_pages) {
+  web::SyntheticWeb web = MakeSubstrate(form_pages);
+  Result<CorpusBuild> built = BuildCorpus(web);
+  if (!built.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(built->corpus);
+}
+
+DatabaseDirectory BuildDirectory(Corpus& corpus) {
+  Rng rng(1234);
+  cluster::Clustering clustering =
+      CafcC(corpus.Weighted(), kClusters, CafcOptions{}, &rng);
+  return DatabaseDirectory::Build(
+      corpus.Weighted(), clustering,
+      DatabaseDirectory::AutoLabels(corpus.Weighted(), clustering));
+}
+
+const char* kQueries[] = {"job career employ", "hotel room reserv",
+                          "flight airline", "music cd artist",
+                          "book author novel"};
+constexpr size_t kNumQueries = std::size(kQueries);
+
+/// Serial oracle answers at one snapshot version.
+struct ExpectedAtVersion {
+  std::vector<DatabaseDirectory::Classification> classify;
+  std::vector<std::vector<DatabaseDirectory::SearchHit>> search;
+};
+
+ExpectedAtVersion SnapshotExpected(
+    const DatabaseDirectory& directory,
+    const std::vector<forms::FormPageDocument>& docs) {
+  ExpectedAtVersion expected;
+  expected.classify.reserve(docs.size());
+  for (const forms::FormPageDocument& doc : docs) {
+    expected.classify.push_back(directory.ClassifyDocument(doc));
+  }
+  for (const char* q : kQueries) {
+    expected.search.push_back(directory.Search(q, 5));
+  }
+  return expected;
+}
+
+/// Bit-exact response check against the oracle of the response's version.
+bool ResponseMatches(const serve::QueryResponse& response, size_t doc_index,
+                     size_t query_index,
+                     const std::map<uint64_t, ExpectedAtVersion>& oracle) {
+  auto it = oracle.find(response.snapshot_version);
+  if (it == oracle.end()) return false;
+  if (doc_index != static_cast<size_t>(-1)) {
+    const DatabaseDirectory::Classification& want =
+        it->second.classify[doc_index];
+    return response.classification.entry == want.entry &&
+           response.classification.similarity == want.similarity;
+  }
+  const std::vector<DatabaseDirectory::SearchHit>& want =
+      it->second.search[query_index];
+  if (response.hits.size() != want.size()) return false;
+  for (size_t i = 0; i < want.size(); ++i) {
+    if (response.hits[i].entry != want[i].entry ||
+        response.hits[i].similarity != want[i].similarity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Builds the c-th client's i-th request over the shared probe material.
+serve::QueryRequest MakeRequest(
+    const std::vector<forms::FormPageDocument>& docs, size_t c, size_t i,
+    size_t* doc_index, size_t* query_index) {
+  const size_t pick = (c * 7919 + i * 13) % (docs.size() + kNumQueries);
+  serve::QueryRequest request;
+  *doc_index = static_cast<size_t>(-1);
+  *query_index = 0;
+  if (pick < docs.size()) {
+    request.kind = serve::QueryKind::kClassify;
+    request.doc = docs[pick];
+    *doc_index = pick;
+  } else {
+    request.kind = serve::QueryKind::kSearch;
+    *query_index = pick - docs.size();
+    request.query = kQueries[*query_index];
+  }
+  return request;
+}
+
+struct SweepPoint {
+  size_t workers = 0;
+  size_t clients = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  double wall_ms = 0.0;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t mismatches = 0;
+};
+
+/// Closed-loop load at one worker count: `workers` clients each issue
+/// `per_client` requests back to back. Capacity is ample, so gate 2
+/// expects zero rejections; every OK response is validated bit-exactly.
+SweepPoint RunSweepPoint(size_t workers, size_t per_client, double pad_ms,
+                         int substrate_pages,
+                         const std::vector<forms::FormPageDocument>& docs,
+                         const std::map<uint64_t, ExpectedAtVersion>& oracle) {
+  Corpus corpus = BuildSubstrateCorpus(substrate_pages);
+  DatabaseDirectory directory = BuildDirectory(corpus);
+  serve::DirectoryServerOptions options;
+  options.workers = workers;
+  options.queue_capacity = 4096;
+  options.service_pad_ms = pad_ms;
+  serve::DirectoryServer server(std::move(directory), std::move(corpus),
+                                options);
+
+  SweepPoint point;
+  point.workers = workers;
+  point.clients = workers;  // one closed-loop client per worker
+  std::atomic<uint64_t> mismatches{0};
+  const auto start = Clock::now();
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < point.clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < per_client; ++i) {
+        size_t doc_index = 0;
+        size_t query_index = 0;
+        serve::QueryRequest request =
+            MakeRequest(docs, c, i, &doc_index, &query_index);
+        serve::QueryResponse response = server.Query(std::move(request));
+        if (!response.status.ok() ||
+            !ResponseMatches(response, doc_index, query_index, oracle)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  point.wall_ms = MsSince(start);
+  serve::ServerStats stats = server.Stats();
+  server.Shutdown();
+  point.completed = stats.completed;
+  point.rejected = stats.rejected_queue_full;
+  point.throughput_rps =
+      1000.0 * static_cast<double>(stats.completed) / point.wall_ms;
+  point.p50_ms = stats.total_us.Percentile(50) / 1000.0;
+  point.p95_ms = stats.total_us.Percentile(95) / 1000.0;
+  point.p99_ms = stats.total_us.Percentile(99) / 1000.0;
+  point.mismatches = mismatches.load();
+  return point;
+}
+
+struct OverloadResult {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+  uint64_t mismatches = 0;
+  bool ok = false;
+};
+
+/// Saturation: many clients, tiny queue, slow worker. The server must shed
+/// load with kUnavailable and never hang — every future resolves.
+OverloadResult RunOverload(int substrate_pages,
+                           const std::vector<forms::FormPageDocument>& docs,
+                           const std::map<uint64_t, ExpectedAtVersion>&
+                               oracle) {
+  Corpus corpus = BuildSubstrateCorpus(substrate_pages);
+  DatabaseDirectory directory = BuildDirectory(corpus);
+  serve::DirectoryServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 2;
+  options.service_pad_ms = 5.0;
+  serve::DirectoryServer server(std::move(directory), std::move(corpus),
+                                options);
+
+  OverloadResult result;
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> rejected{0};
+  constexpr size_t kClients = 8;
+  constexpr size_t kPerClient = 10;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < kPerClient; ++i) {
+        size_t doc_index = 0;
+        size_t query_index = 0;
+        serve::QueryRequest request =
+            MakeRequest(docs, c, i, &doc_index, &query_index);
+        serve::QueryResponse response = server.Query(std::move(request));
+        if (!response.status.ok()) {
+          if (response.status.code() == StatusCode::kUnavailable) {
+            rejected.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else if (!ResponseMatches(response, doc_index, query_index,
+                                    oracle)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  serve::ServerStats stats = server.Stats();
+  server.Shutdown();
+  result.submitted = stats.submitted;
+  result.completed = stats.completed;
+  result.rejected = rejected.load();
+  result.mismatches = mismatches.load();
+  // Accounting must close: every submission was completed or rejected.
+  result.ok = result.rejected > 0 && result.mismatches == 0 &&
+              stats.submitted == stats.accepted + stats.rejected_queue_full &&
+              stats.completed == stats.accepted;
+  return result;
+}
+
+struct StormResult {
+  uint64_t responses = 0;
+  uint64_t mismatches = 0;  ///< torn epochs: wrong answer for the version
+  uint64_t refreshes = 0;
+  uint64_t final_version = 0;
+  uint64_t versions_observed = 0;
+  bool ok = false;
+};
+
+/// Refresh storm under continuous query load: `batches` snapshot swaps
+/// while 4 clients hammer the server; every OK response must validate
+/// against the oracle of its version (gate 1/4).
+StormResult RunStorm(int substrate_pages, size_t batches, int batch_pages,
+                     const std::vector<forms::FormPageDocument>& docs,
+                     const std::map<uint64_t, ExpectedAtVersion>& oracle) {
+  Corpus corpus = BuildSubstrateCorpus(substrate_pages);
+  DatabaseDirectory directory = BuildDirectory(corpus);
+  serve::DirectoryServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 4096;
+  serve::DirectoryServer server(std::move(directory), std::move(corpus),
+                                options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> versions_mask{0};
+  constexpr size_t kClients = 4;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        size_t doc_index = 0;
+        size_t query_index = 0;
+        serve::QueryRequest request =
+            MakeRequest(docs, c, i++, &doc_index, &query_index);
+        serve::QueryResponse response = server.Query(std::move(request));
+        if (!response.status.ok()) continue;
+        responses.fetch_add(1, std::memory_order_relaxed);
+        versions_mask.fetch_or(uint64_t{1} << response.snapshot_version,
+                               std::memory_order_relaxed);
+        if (!ResponseMatches(response, doc_index, query_index, oracle)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (size_t r = 0; r < batches; ++r) {
+    web::SyntheticWeb growth =
+        MakeGrowthWeb(200 + static_cast<uint32_t>(r), batch_pages);
+    Result<CorpusBuild> incoming = BuildCorpus(growth);
+    if (!incoming.ok() ||
+        !server.ScheduleRefresh(incoming->corpus.TakeEntries()).ok()) {
+      std::fprintf(stderr, "storm batch %zu failed to schedule\n", r);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.WaitForRefreshes();
+  // A short settle so the final epoch is definitely observed under load.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+
+  StormResult result;
+  serve::ServerStats stats = server.Stats();
+  result.responses = responses.load();
+  result.mismatches = mismatches.load();
+  result.refreshes = stats.refreshes;
+  result.final_version = server.snapshot()->version();
+  uint64_t mask = versions_mask.load();
+  while (mask != 0) {
+    result.versions_observed += mask & 1;
+    mask >>= 1;
+  }
+  server.Shutdown();
+  result.ok = result.mismatches == 0 &&
+              result.final_version == 1 + batches &&
+              result.refreshes == batches && result.responses > 0;
+  return result;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void WriteJson(const std::string& path, int hardware, bool smoke,
+               size_t pages, double pad_ms,
+               const std::vector<SweepPoint>& sweep, double scaling,
+               const OverloadResult& overload, const StormResult& storm) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"ext_serve\",\n";
+  out << "  \"hardware_concurrency\": " << hardware << ",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"pages\": " << pages << ",\n";
+  out << "  \"service_pad_ms\": " << JsonNumber(pad_ms) << ",\n";
+  out << "  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const SweepPoint& p = sweep[i];
+    out << "    {\"workers\": " << p.workers << ", \"clients\": "
+        << p.clients << ", \"completed\": " << p.completed
+        << ", \"rejected\": " << p.rejected
+        << ", \"throughput_rps\": " << JsonNumber(p.throughput_rps)
+        << ", \"p50_ms\": " << JsonNumber(p.p50_ms)
+        << ", \"p95_ms\": " << JsonNumber(p.p95_ms)
+        << ", \"p99_ms\": " << JsonNumber(p.p99_ms)
+        << ", \"mismatches\": " << p.mismatches << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  out << "  \"scaling_8w_over_1w\": " << JsonNumber(scaling) << ",\n";
+  out << "  \"overload\": {\"submitted\": " << overload.submitted
+      << ", \"completed\": " << overload.completed
+      << ", \"rejected\": " << overload.rejected
+      << ", \"mismatches\": " << overload.mismatches
+      << ", \"ok\": " << (overload.ok ? "true" : "false") << "},\n";
+  out << "  \"refresh_storm\": {\"responses\": " << storm.responses
+      << ", \"torn\": " << storm.mismatches
+      << ", \"refreshes\": " << storm.refreshes
+      << ", \"final_version\": " << storm.final_version
+      << ", \"versions_observed\": " << storm.versions_observed
+      << ", \"ok\": " << (storm.ok ? "true" : "false") << "}\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int hardware = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const int substrate_pages = smoke ? 113 : 0;  // 0 = full 454
+  const double pad_ms = smoke ? 0.5 : 2.0;
+  const size_t per_client = smoke ? 24 : 60;
+  const size_t storm_batches = 5;
+  const int batch_pages = smoke ? 16 : 24;
+
+  // Serial replica: the oracle directory, advanced through the same batch
+  // sequence the storm will replay. Bit-identical to the server's state by
+  // the determinism contract (same seeds, same order).
+  Corpus oracle_corpus = BuildSubstrateCorpus(substrate_pages);
+  DatabaseDirectory oracle = BuildDirectory(oracle_corpus);
+  std::vector<forms::FormPageDocument> docs;
+  for (const DatasetEntry& e : oracle_corpus.entries()) {
+    docs.push_back(e.doc);
+  }
+  std::printf("substrate: %zu form pages, %zu sections, %d worker sweep\n",
+              docs.size(), oracle.size(), hardware);
+
+  std::map<uint64_t, ExpectedAtVersion> expected;
+  expected[1] = SnapshotExpected(oracle, docs);
+  for (size_t r = 0; r < storm_batches; ++r) {
+    web::SyntheticWeb growth =
+        MakeGrowthWeb(200 + static_cast<uint32_t>(r), batch_pages);
+    Result<CorpusBuild> incoming = BuildCorpus(growth);
+    if (!incoming.ok()) {
+      std::fprintf(stderr, "oracle batch %zu failed\n", r);
+      return 1;
+    }
+    if (!oracle_corpus.AddPages(incoming->corpus.TakeEntries()).ok() ||
+        !oracle.Refresh(oracle_corpus).ok()) {
+      std::fprintf(stderr, "oracle refresh %zu failed\n", r);
+      return 1;
+    }
+    expected[2 + r] = SnapshotExpected(oracle, docs);
+  }
+
+  // --- Worker-count sweep (gates 1, 2, 5). ---
+  std::vector<SweepPoint> sweep;
+  Table table({"workers", "clients", "completed", "rejected", "req/s",
+               "p50 (ms)", "p95 (ms)", "p99 (ms)", "bit-exact"});
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    SweepPoint point = RunSweepPoint(workers, per_client, pad_ms,
+                                     substrate_pages, docs, expected);
+    table.AddRow({std::to_string(point.workers),
+                  std::to_string(point.clients),
+                  std::to_string(point.completed),
+                  std::to_string(point.rejected),
+                  Fmt(point.throughput_rps, 0), Fmt(point.p50_ms, 2),
+                  Fmt(point.p95_ms, 2), Fmt(point.p99_ms, 2),
+                  point.mismatches == 0 ? "yes" : "NO"});
+    sweep.push_back(point);
+  }
+  std::printf("=== Serving throughput: worker sweep (pad %.1f ms) ===\n%s",
+              pad_ms, table.ToString().c_str());
+  const double scaling =
+      sweep.back().throughput_rps / sweep.front().throughput_rps;
+  std::printf("8-worker over 1-worker throughput: %.2fx\n", scaling);
+
+  // --- Overload shedding (gate 3). ---
+  OverloadResult overload = RunOverload(substrate_pages, docs, expected);
+  std::printf(
+      "overload (8 clients, 2 workers, queue 2): %llu submitted, %llu "
+      "served, %llu rejected -> %s\n",
+      static_cast<unsigned long long>(overload.submitted),
+      static_cast<unsigned long long>(overload.completed),
+      static_cast<unsigned long long>(overload.rejected),
+      overload.ok ? "ok" : "FAIL");
+
+  // --- Refresh storm (gates 1, 4). ---
+  StormResult storm = RunStorm(substrate_pages, storm_batches, batch_pages,
+                               docs, expected);
+  std::printf(
+      "refresh storm (%zu swaps under load): %llu responses, %llu torn, "
+      "final snapshot v%llu, %llu versions observed -> %s\n",
+      storm_batches, static_cast<unsigned long long>(storm.responses),
+      static_cast<unsigned long long>(storm.mismatches),
+      static_cast<unsigned long long>(storm.final_version),
+      static_cast<unsigned long long>(storm.versions_observed),
+      storm.ok ? "ok" : "FAIL");
+
+  WriteJson("BENCH_serve.json", hardware, smoke, docs.size(), pad_ms, sweep,
+            scaling, overload, storm);
+  std::printf("machine-readable results written to BENCH_serve.json\n");
+
+  bool failed = false;
+  for (const SweepPoint& point : sweep) {
+    if (point.mismatches != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu non-bit-exact responses at workers=%zu\n",
+                   static_cast<unsigned long long>(point.mismatches),
+                   point.workers);
+      failed = true;
+    }
+    if (point.rejected != 0) {
+      std::fprintf(stderr,
+                   "FAIL: %llu rejections under offered load within "
+                   "capacity (workers=%zu)\n",
+                   static_cast<unsigned long long>(point.rejected),
+                   point.workers);
+      failed = true;
+    }
+  }
+  if (!overload.ok) {
+    std::fprintf(stderr,
+                 "FAIL: overload did not shed cleanly (rejected=%llu, "
+                 "mismatches=%llu)\n",
+                 static_cast<unsigned long long>(overload.rejected),
+                 static_cast<unsigned long long>(overload.mismatches));
+    failed = true;
+  }
+  if (!storm.ok) {
+    std::fprintf(stderr, "FAIL: refresh storm gate (see above)\n");
+    failed = true;
+  }
+  if (!smoke && scaling < 4.0) {
+    std::fprintf(stderr,
+                 "FAIL: 8-worker throughput only %.2fx the 1-worker "
+                 "baseline (need >= 4x)\n",
+                 scaling);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <unordered_map>
@@ -73,13 +74,23 @@ void CopyCollectionState(const FormPageSet& source, FormPageSet* target) {
   target->set_location_weights(source.location_weights());
 }
 
+/// Shortest decimal form that round-trips a double bit-exactly
+/// (max_digits10 = 17 significant digits). Every floating-point field of
+/// the directory file goes through this — the default ostream precision of
+/// 6 digits silently perturbed centroid weights on reload, drifting
+/// Classify similarities after a Save/Load cycle.
+std::string RoundTripDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  return buf;
+}
+
 void WriteVector(const vsm::SparseVector& v, const char* tag,
                  std::ostream& out) {
   out << tag << ' ' << v.size() << '\n';
   for (const vsm::Entry& e : v.entries()) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", e.weight);
-    out << e.term << ' ' << buf << '\n';
+    out << e.term << ' ' << RoundTripDouble(e.weight) << '\n';
   }
 }
 
@@ -125,6 +136,14 @@ DatabaseDirectory DatabaseDirectory::Build(
     dir.entries_.push_back(std::move(entry));
   }
   return dir;
+}
+
+DatabaseDirectory DatabaseDirectory::Clone() const {
+  DatabaseDirectory copy;
+  CopyCollectionState(collection_, &copy.collection_);
+  copy.entries_ = entries_;
+  copy.epoch_ = epoch_;
+  return copy;
 }
 
 std::vector<std::string> DatabaseDirectory::AutoLabels(
@@ -333,7 +352,8 @@ Status DatabaseDirectory::SaveToFile(const std::string& path) const {
   out << "epoch " << epoch_ << '\n';
   const vsm::LocationWeightConfig& w = collection_.location_weights();
   out << "weights " << w.page_body << ' ' << w.page_title << ' '
-      << w.anchor_text << ' ' << w.form_text << ' ' << w.form_option << '\n';
+      << w.anchor_text << ' ' << w.form_text << ' ' << w.form_option
+      << '\n';
 
   const vsm::TermDictionary& dict = collection_.dictionary();
   out << "stats " << collection_.pc_stats().num_documents() << ' '

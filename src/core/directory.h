@@ -82,6 +82,16 @@ class DatabaseDirectory {
       const FormPageSet& pages, const cluster::Clustering& clustering,
       size_t top_terms = 3);
 
+  /// \brief Deliberate deep copy: clones the collection state (dictionary,
+  /// IDF statistics, weights), the entries, and the epoch stamp.
+  ///
+  /// The copy constructor stays deleted because an *accidental* copy forks
+  /// collection state silently; Clone is the explicit escape hatch for the
+  /// serving layer, which publishes an immutable snapshot of the refresh
+  /// master after every epoch. The clone is fully independent — mutating
+  /// either side never touches the other.
+  DatabaseDirectory Clone() const;
+
   const std::vector<DirectoryEntry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
 

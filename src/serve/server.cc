@@ -1,0 +1,264 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace cafc::serve {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+QueryResponse Rejected(Status status) {
+  QueryResponse response;
+  response.status = std::move(status);
+  return response;
+}
+
+}  // namespace
+
+DirectoryServer::DirectoryServer(DatabaseDirectory directory, Corpus corpus,
+                                 DirectoryServerOptions options)
+    : options_(options),
+      master_(std::move(directory)),
+      corpus_(std::move(corpus)) {
+  options_.workers = std::max<size_t>(1, options_.workers);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  // Version 1: the directory the server was handed, frozen. Published
+  // before any thread starts, so the first dequeue already sees it.
+  Publish(std::make_shared<const DirectorySnapshot>(
+      master_.Clone(), publish_seq_, master_.epoch()));
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  refresh_thread_ = std::thread([this] { RefreshLoop(); });
+}
+
+DirectoryServer::~DirectoryServer() { Shutdown(); }
+
+SnapshotPtr DirectoryServer::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return current_;
+}
+
+void DirectoryServer::Publish(SnapshotPtr next) {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  if (current_) retired_.push_back(std::move(current_));
+  current_ = std::move(next);
+  // The one store readers observe. Release pairs with the workers'
+  // acquire load, so the snapshot's contents are fully built first.
+  live_.store(current_.get(), std::memory_order_release);
+}
+
+std::future<QueryResponse> DirectoryServer::Submit(QueryRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.submitted = std::chrono::steady_clock::now();
+  std::future<QueryResponse> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    std::lock_guard<std::mutex> stats(stats_mutex_);
+    ++stats_.submitted;
+    if (stopping_) {
+      ++stats_.rejected_stopped;
+      pending.promise.set_value(
+          Rejected(Status::Unavailable("server is shut down")));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      // Admission control: fail fast instead of blocking the caller. The
+      // transient code tells retry policies this is back-pressure, not a
+      // bad request.
+      ++stats_.rejected_queue_full;
+      pending.promise.set_value(Rejected(Status::Unavailable(
+          "query queue at capacity (" +
+          std::to_string(options_.queue_capacity) + ")")));
+      return future;
+    }
+    ++stats_.accepted;
+    queue_.push_back(std::move(pending));
+    stats_.queue_peak = std::max<uint64_t>(stats_.queue_peak, queue_.size());
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+QueryResponse DirectoryServer::Query(QueryRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+QueryResponse DirectoryServer::Execute(const QueryRequest& request,
+                                       const DirectorySnapshot& snap) const {
+  QueryResponse response;
+  response.snapshot_version = snap.version();
+  response.corpus_epoch = snap.corpus_epoch();
+  switch (request.kind) {
+    case QueryKind::kClassify:
+      response.classification =
+          snap.directory().ClassifyDocument(request.doc, request.config);
+      break;
+    case QueryKind::kSearch:
+      response.hits = snap.directory().Search(request.query, request.top_k);
+      break;
+  }
+  if (options_.service_pad_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(options_.service_pad_ms));
+  }
+  return response;
+}
+
+void DirectoryServer::WorkerLoop() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, and fully drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    const auto dequeued = std::chrono::steady_clock::now();
+    const double queue_ms = MsSince(pending.submitted, dequeued);
+    QueryResponse response;
+    if (pending.request.deadline_ms > 0.0 &&
+        queue_ms > pending.request.deadline_ms) {
+      // The budget burned while queued; executing now would hand the
+      // caller an answer it already stopped waiting for.
+      response = Rejected(Status::DeadlineExceeded(
+          "request spent " + std::to_string(queue_ms) +
+          " ms queued, budget " +
+          std::to_string(pending.request.deadline_ms) + " ms"));
+    } else {
+      // Pin the snapshot once (a single wait-free acquire load); the
+      // entire request runs against it even if a refresh publishes
+      // mid-flight. Deferred reclamation keeps the pointee alive until
+      // this worker is joined.
+      response = Execute(pending.request,
+                         *live_.load(std::memory_order_acquire));
+    }
+    const auto finished = std::chrono::steady_clock::now();
+    response.queue_ms = queue_ms;
+    response.service_ms = MsSince(dequeued, finished);
+    {
+      std::lock_guard<std::mutex> stats(stats_mutex_);
+      if (response.status.ok()) {
+        ++stats_.completed;
+      } else {
+        ++stats_.deadline_exceeded;
+      }
+      stats_.queue_us.Add(response.queue_ms * 1000.0);
+      stats_.service_us.Add(response.service_ms * 1000.0);
+      stats_.total_us.Add((response.queue_ms + response.service_ms) *
+                          1000.0);
+    }
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+Status DirectoryServer::ScheduleRefresh(std::vector<DatasetEntry> pages) {
+  {
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
+    if (refresh_stopping_) {
+      return Status::Unavailable("server is shut down");
+    }
+    refresh_queue_.push_back(std::move(pages));
+  }
+  refresh_cv_.notify_one();
+  return Status::OK();
+}
+
+void DirectoryServer::WaitForRefreshes() {
+  std::unique_lock<std::mutex> lock(refresh_mutex_);
+  refresh_idle_cv_.wait(
+      lock, [this] { return refresh_queue_.empty() && !refresh_busy_; });
+}
+
+void DirectoryServer::RefreshLoop() {
+  for (;;) {
+    std::vector<DatasetEntry> batch;
+    {
+      std::unique_lock<std::mutex> lock(refresh_mutex_);
+      refresh_cv_.wait(lock, [this] {
+        return refresh_stopping_ || !refresh_queue_.empty();
+      });
+      if (refresh_queue_.empty()) return;  // stopping, and fully drained
+      batch = std::move(refresh_queue_.front());
+      refresh_queue_.pop_front();
+      refresh_busy_ = true;
+    }
+    // Heavy lifting happens outside refresh_mutex_, so ScheduleRefresh
+    // never blocks behind a running refresh.
+    bool ok = true;
+    Result<size_t> added = corpus_.AddPages(std::move(batch));
+    if (!added.ok()) {
+      ok = false;
+    } else {
+      Result<DirectoryRefreshReport> report =
+          master_.Refresh(corpus_, options_.refresh);
+      // On failure the master is untouched (Refresh's contract), so the
+      // published snapshot simply stays at the previous epoch.
+      ok = report.ok();
+    }
+    if (ok) {
+      // Clone outside any lock (it is the refresh thread's private state),
+      // then publish with one atomic store. Readers that pinned the old
+      // snapshot keep using it; new dequeues see the new epoch.
+      ++publish_seq_;
+      Publish(std::make_shared<const DirectorySnapshot>(
+          master_.Clone(), publish_seq_, master_.epoch()));
+    }
+    {
+      std::lock_guard<std::mutex> stats(stats_mutex_);
+      if (ok) {
+        ++stats_.refreshes;
+        ++stats_.epochs_published;
+      } else {
+        ++stats_.refresh_failures;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(refresh_mutex_);
+      refresh_busy_ = false;
+    }
+    refresh_idle_cv_.notify_all();
+  }
+}
+
+ServerStats DirectoryServer::Stats() const {
+  std::lock_guard<std::mutex> stats(stats_mutex_);
+  return stats_;
+}
+
+void DirectoryServer::Shutdown() {
+  std::lock_guard<std::mutex> shutdown(shutdown_mutex_);
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(refresh_mutex_);
+    refresh_stopping_ = true;
+  }
+  // Wake everything: workers drain the query queue, the refresh thread
+  // drains its batch queue, then both exit.
+  queue_cv_.notify_all();
+  refresh_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  if (refresh_thread_.joinable()) refresh_thread_.join();
+  // All readers have quiesced: superseded epochs can finally go. The
+  // current snapshot stays published for snapshot() callers.
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    retired_.clear();
+  }
+}
+
+}  // namespace cafc::serve

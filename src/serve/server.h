@@ -1,0 +1,220 @@
+#ifndef CAFC_SERVE_SERVER_H_
+#define CAFC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/dataset.h"
+#include "core/directory.h"
+#include "core/form_page.h"
+#include "serve/snapshot.h"
+#include "util/histogram.h"
+#include "util/status.h"
+
+namespace cafc::serve {
+
+/// What a request asks of the directory.
+enum class QueryKind {
+  kClassify,  ///< file a raw form-page document into its best section
+  kSearch,    ///< keyword search over the section centroids
+};
+
+/// One unit of work for the serving layer. Classify requests carry `doc`
+/// (+ `config`); Search requests carry `query` (+ `top_k`).
+struct QueryRequest {
+  QueryKind kind = QueryKind::kClassify;
+  forms::FormPageDocument doc;
+  ContentConfig config = ContentConfig::kFcPlusPc;
+  std::string query;
+  size_t top_k = 5;
+  /// Latency budget measured from Submit. A request still queued when the
+  /// budget expires is answered kDeadlineExceeded instead of executed
+  /// (checked at dequeue — admission is cheaper than cancellation). 0
+  /// disables the deadline.
+  double deadline_ms = 0.0;
+};
+
+/// The answer to one QueryRequest. Exactly one of
+/// `classification` / `hits` is meaningful, per `kind`.
+struct QueryResponse {
+  /// OK, or why the request was not served: kUnavailable (queue full or
+  /// server stopped — retryable elsewhere/later), kDeadlineExceeded
+  /// (budget burned in the queue).
+  Status status;
+  /// Snapshot publish sequence this response was computed against. All
+  /// fields of one response come from this single snapshot.
+  uint64_t snapshot_version = 0;
+  /// Corpus epoch of that snapshot.
+  uint64_t corpus_epoch = 0;
+  DatabaseDirectory::Classification classification;
+  std::vector<DatabaseDirectory::SearchHit> hits;
+  double queue_ms = 0.0;    ///< Submit -> dequeue
+  double service_ms = 0.0;  ///< dequeue -> response ready
+};
+
+/// Serving-layer knobs.
+struct DirectoryServerOptions {
+  size_t workers = 4;          ///< query worker threads (min 1)
+  size_t queue_capacity = 256; ///< admission bound; full queue => reject
+  /// Artificial per-request service time (sleep inside the worker),
+  /// emulating the downstream I/O a production deployment would do per
+  /// query (fetching the candidate page, RPC hops). Lets load benchmarks
+  /// exercise worker-scaling and admission control independently of how
+  /// fast the in-memory directory math happens to be. 0 in production use.
+  double service_pad_ms = 0.0;
+  /// Passed through to DatabaseDirectory::Refresh on every hot refresh.
+  DirectoryRefreshOptions refresh;
+};
+
+/// Monotonic counters + latency histograms of one server's lifetime.
+/// `queue_us`/`service_us`/`total_us` record microseconds and only cover
+/// requests that reached a worker (rejected submissions never queue).
+struct ServerStats {
+  uint64_t submitted = 0;          ///< every Submit call
+  uint64_t accepted = 0;           ///< admitted to the queue
+  uint64_t rejected_queue_full = 0;///< kUnavailable: queue at capacity
+  uint64_t rejected_stopped = 0;   ///< kUnavailable: after Shutdown
+  uint64_t deadline_exceeded = 0;  ///< kDeadlineExceeded at dequeue
+  uint64_t completed = 0;          ///< served OK
+  uint64_t refreshes = 0;          ///< hot refreshes applied
+  uint64_t refresh_failures = 0;   ///< refreshes rejected by the library
+  uint64_t epochs_published = 0;   ///< snapshot swaps (excludes the initial)
+  uint64_t queue_peak = 0;         ///< high-water mark of the queue depth
+  util::Histogram queue_us;
+  util::Histogram service_us;
+  util::Histogram total_us;
+};
+
+/// \brief Concurrent query engine over an epoch-snapshot directory: a
+/// bounded MPMC request queue drained by a worker pool, with hot refresh.
+///
+/// Ownership: the server owns the *refresh master* directory and the
+/// epoch-versioned corpus it grows from. Queries never touch the master —
+/// they run against the current immutable DirectorySnapshot, published by
+/// one atomic pointer store. The single background refresh thread absorbs
+/// scheduled page batches (Corpus::AddPages), re-fits the master
+/// (DatabaseDirectory::Refresh), clones it into a fresh snapshot, and
+/// swaps. Readers are wait-free: pinning the snapshot at dequeue is a
+/// single atomic load — no lock, no refcount traffic — and each response
+/// observes exactly one epoch. Superseded snapshots are not freed in
+/// place; they retire to a deferred-reclamation list (bounded by the
+/// number of refreshes) released once all workers have quiesced, so a
+/// swap can never pull a snapshot out from under an in-flight request.
+///
+/// Admission control: Submit on a full queue fails fast with kUnavailable
+/// (backpressure — the caller sheds load or retries elsewhere) instead of
+/// blocking; a request whose deadline expired while queued is answered
+/// kDeadlineExceeded at dequeue. Both reuse the crawl layer's transient
+/// status taxonomy, so retry policies compose.
+///
+/// Thread-safe: Submit/Query/ScheduleRefresh/snapshot/Stats may be called
+/// from any thread. Shutdown is idempotent; the destructor calls it.
+class DirectoryServer {
+ public:
+  /// Takes ownership of the serving directory and its corpus. The initial
+  /// snapshot (version 1) is a clone of `directory`, published before the
+  /// constructor returns, so queries can be submitted immediately.
+  DirectoryServer(DatabaseDirectory directory, Corpus corpus,
+                  DirectoryServerOptions options = {});
+
+  /// Shuts down (drains the queues, joins all threads).
+  ~DirectoryServer();
+
+  DirectoryServer(const DirectoryServer&) = delete;
+  DirectoryServer& operator=(const DirectoryServer&) = delete;
+
+  /// Non-blocking admission: enqueues the request and returns a future
+  /// that yields the response. On rejection (queue full / server stopped)
+  /// the future is already satisfied with a kUnavailable response — Submit
+  /// itself never blocks on capacity.
+  std::future<QueryResponse> Submit(QueryRequest request);
+
+  /// Blocking convenience wrapper: Submit + wait.
+  QueryResponse Query(QueryRequest request);
+
+  /// Queues a page batch for the refresh thread: AddPages + Refresh +
+  /// snapshot swap, asynchronously. Returns kUnavailable after Shutdown.
+  /// Refresh failures (e.g. a vocabulary precondition) are counted in
+  /// Stats and leave the published snapshot untouched.
+  Status ScheduleRefresh(std::vector<DatasetEntry> pages);
+
+  /// Blocks until every refresh scheduled so far has been applied (or
+  /// counted as failed) and its snapshot published.
+  void WaitForRefreshes();
+
+  /// The currently published snapshot. Callers may hold it as long as
+  /// they like; it stays valid (and immutable) after any number of swaps.
+  SnapshotPtr snapshot() const;
+
+  /// A consistent copy of the lifetime counters and latency histograms.
+  ServerStats Stats() const;
+
+  /// Stops admission, drains both queues (pending queries are answered,
+  /// pending refreshes applied), joins all threads. Safe to call twice;
+  /// Submit/ScheduleRefresh after Shutdown fail with kUnavailable.
+  void Shutdown();
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void WorkerLoop();
+  void RefreshLoop();
+  /// Executes one admitted request against a pinned snapshot.
+  QueryResponse Execute(const QueryRequest& request,
+                        const DirectorySnapshot& snap) const;
+  /// Retires the current snapshot and makes `next` live (one atomic
+  /// pointer store). Ctor + refresh thread only.
+  void Publish(SnapshotPtr next);
+
+  DirectoryServerOptions options_;
+
+  // Refresh master state: owned by the refresh thread after construction.
+  DatabaseDirectory master_;
+  Corpus corpus_;
+
+  /// The wait-free reader view: workers pin with a single acquire load.
+  /// The pointee is owned by current_/retired_ below, which outlive every
+  /// reader (workers are joined before either is released).
+  std::atomic<const DirectorySnapshot*> live_{nullptr};
+  mutable std::mutex snapshot_mutex_;
+  SnapshotPtr current_;               // guarded by snapshot_mutex_
+  std::vector<SnapshotPtr> retired_;  // guarded by snapshot_mutex_
+  uint64_t publish_seq_ = 1;  // refresh thread only (after construction)
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;  // guarded by queue_mutex_
+
+  std::mutex refresh_mutex_;
+  std::condition_variable refresh_cv_;
+  std::condition_variable refresh_idle_cv_;
+  std::deque<std::vector<DatasetEntry>> refresh_queue_;
+  bool refresh_busy_ = false;      // guarded by refresh_mutex_
+  bool refresh_stopping_ = false;  // guarded by refresh_mutex_
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+
+  std::vector<std::thread> workers_;
+  std::thread refresh_thread_;
+  std::mutex shutdown_mutex_;
+  bool shutdown_done_ = false;  // guarded by shutdown_mutex_
+};
+
+}  // namespace cafc::serve
+
+#endif  // CAFC_SERVE_SERVER_H_

@@ -1,0 +1,13 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+namespace cafc::serve {
+
+DirectorySnapshot::DirectorySnapshot(DatabaseDirectory directory,
+                                     uint64_t version, uint64_t corpus_epoch)
+    : directory_(std::move(directory)),
+      version_(version),
+      corpus_epoch_(corpus_epoch) {}
+
+}  // namespace cafc::serve

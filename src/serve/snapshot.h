@@ -1,0 +1,54 @@
+#ifndef CAFC_SERVE_SNAPSHOT_H_
+#define CAFC_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/directory.h"
+
+namespace cafc::serve {
+
+/// \brief An immutable, refcounted view of the directory at one publish
+/// point — the unit of consistency of the serving layer.
+///
+/// The server publishes a snapshot by atomically swapping a
+/// `shared_ptr<const DirectorySnapshot>`; workers pin the current snapshot
+/// at dequeue and execute the whole request against it, so every response
+/// observes exactly one epoch — never a directory mid-refresh. Old
+/// snapshots die when the last in-flight request holding them completes.
+class DirectorySnapshot {
+ public:
+  /// Takes ownership of a frozen directory. `version` is the server's
+  /// publish sequence number (1 = the directory the server was built
+  /// with); `corpus_epoch` is the corpus epoch the directory reflects.
+  DirectorySnapshot(DatabaseDirectory directory, uint64_t version,
+                    uint64_t corpus_epoch);
+
+  DirectorySnapshot(const DirectorySnapshot&) = delete;
+  DirectorySnapshot& operator=(const DirectorySnapshot&) = delete;
+
+  /// The frozen directory. Const access only — `DatabaseDirectory`'s const
+  /// interface (ClassifyPage/ClassifyDocument/Search) is thread-safe, and
+  /// immutability is what makes the refcounted share sound.
+  const DatabaseDirectory& directory() const { return directory_; }
+
+  /// Publish sequence number, starting at 1 and bumped by every refresh
+  /// hot-swap. Strictly increasing across the server's lifetime.
+  uint64_t version() const { return version_; }
+
+  /// Corpus epoch the directory reflects (0 when the directory was built
+  /// outside an epoch-versioned corpus).
+  uint64_t corpus_epoch() const { return corpus_epoch_; }
+
+ private:
+  DatabaseDirectory directory_;
+  uint64_t version_ = 0;
+  uint64_t corpus_epoch_ = 0;
+};
+
+/// How snapshots travel: pinned by workers, swapped by the refresh thread.
+using SnapshotPtr = std::shared_ptr<const DirectorySnapshot>;
+
+}  // namespace cafc::serve
+
+#endif  // CAFC_SERVE_SNAPSHOT_H_

@@ -1,0 +1,105 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cafc::util {
+namespace {
+
+/// 96 buckets at 25% growth from 1 cover [0, ~2e9] before the overflow
+/// bucket — in microseconds that is half an hour, far past any latency the
+/// serving layer should ever record.
+constexpr size_t kNumBuckets = 96;
+constexpr double kGrowth = 1.25;
+
+/// Upper bucket edges; edge(i) = kGrowth^i, edge(-1) = 0 conceptually.
+const std::vector<double>& Edges() {
+  static const std::vector<double> edges = [] {
+    std::vector<double> e(kNumBuckets);
+    double upper = 1.0;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      e[i] = upper;
+      upper *= kGrowth;
+    }
+    return e;
+  }();
+  return edges;
+}
+
+size_t BucketFor(double value) {
+  const std::vector<double>& edges = Edges();
+  // First bucket whose upper edge admits the value; everything past the
+  // last edge goes to the overflow (last) bucket.
+  auto it = std::lower_bound(edges.begin(), edges.end(), value);
+  if (it == edges.end()) return kNumBuckets - 1;
+  return static_cast<size_t>(it - edges.begin());
+}
+
+}  // namespace
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::num_buckets() { return kNumBuckets; }
+
+void Histogram::Add(double value) {
+  if (value < 0.0 || std::isnan(value)) value = 0.0;
+  ++buckets_[BucketFor(value)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  const std::vector<double>& edges = Edges();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const double lower = i == 0 ? 0.0 : edges[i - 1];
+      // The last bucket is also the overflow bucket: its true upper bound
+      // is the observed maximum, not the finite edge.
+      const double upper = i == kNumBuckets - 1 ? std::max(edges[i], max_)
+                                                : edges[i];
+      const double fraction =
+          (target - before) / static_cast<double>(buckets_[i]);
+      const double value = lower + (upper - lower) * std::max(fraction, 0.0);
+      return std::clamp(value, min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace cafc::util

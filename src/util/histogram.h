@@ -1,0 +1,63 @@
+#ifndef CAFC_UTIL_HISTOGRAM_H_
+#define CAFC_UTIL_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cafc::util {
+
+/// \brief Fixed-bucket histogram for latency accounting (values in
+/// microseconds by convention, but unit-agnostic).
+///
+/// The bucket layout is compiled in — geometric boundaries growing by 25%
+/// per bucket from 1 upward — so two histograms are always mergeable by
+/// element-wise addition, which is how the serving layer aggregates
+/// per-worker recordings without sharing a lock on the hot path: each
+/// worker owns one, `Stats()` merges.
+///
+/// Percentile extraction interpolates linearly inside the winning bucket
+/// and clamps to the exact observed [min, max], so p0/p100 are exact and
+/// interior percentiles carry at most one bucket width (25%) of error.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation. Negative values are clamped to 0 (they can
+  /// only come from clock skew) and land in the first bucket.
+  void Add(double value);
+
+  /// Element-wise addition of another histogram's counts (same compiled-in
+  /// layout by construction).
+  void Merge(const Histogram& other);
+
+  /// Forgets every observation.
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Exact observed extremes (0 when empty).
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+
+  /// Value at percentile `p` in [0, 100]. 0 when empty; out-of-range `p`
+  /// is clamped.
+  double Percentile(double p) const;
+
+  /// Number of buckets in the compiled-in layout (for tests).
+  static size_t num_buckets();
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cafc::util
+
+#endif  // CAFC_UTIL_HISTOGRAM_H_

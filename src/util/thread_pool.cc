@@ -74,6 +74,10 @@ struct Job {
 
 struct ThreadPool::Impl {
   std::mutex mutex;                  // guards job / job_seq / shutdown
+  /// Lock-free mirror of `shutdown` for the ParallelFor fast path: once
+  /// set, loops run serially inline instead of submitting to (joined)
+  /// workers.
+  std::atomic<bool> stopped{false};
   std::condition_variable wake;
   std::shared_ptr<Job> job;
   uint64_t job_seq = 0;
@@ -111,13 +115,23 @@ ThreadPool::ThreadPool(int threads)
 }
 
 ThreadPool::~ThreadPool() {
+  Shutdown();
+  delete impl_;
+}
+
+void ThreadPool::Shutdown() {
+  // Holding submit_mutex serializes against an in-flight ParallelFor: the
+  // submitting thread keeps it until every chunk of its job completed, so
+  // by the time we own it the pending work has drained.
+  std::lock_guard<std::mutex> submit(impl_->submit_mutex);
   {
     std::lock_guard<std::mutex> lock(impl_->mutex);
     impl_->shutdown = true;
   }
+  impl_->stopped.store(true, std::memory_order_release);
   impl_->wake.notify_all();
   for (std::thread& worker : impl_->workers) worker.join();
-  delete impl_;
+  impl_->workers.clear();  // second Shutdown finds nothing to join
 }
 
 namespace {
@@ -144,7 +158,8 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   if (t_thread_override > 0 && t_thread_override < lanes) {
     lanes = t_thread_override;
   }
-  if (lanes == 1 || num_chunks == 1 || t_in_pool_worker) {
+  if (lanes == 1 || num_chunks == 1 || t_in_pool_worker ||
+      impl_->stopped.load(std::memory_order_acquire)) {
     SerialChunks(begin, end, grain, fn);
     return;
   }

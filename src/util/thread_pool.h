@@ -41,6 +41,15 @@ class ThreadPool {
 
   int num_threads() const { return num_threads_; }
 
+  /// Explicit teardown: waits for any in-flight `ParallelFor` to finish its
+  /// remaining chunks, then joins every worker. Safe to call more than once
+  /// (later calls are no-ops) and called implicitly by the destructor.
+  /// After shutdown the pool stays usable — `ParallelFor` runs its chunks
+  /// serially inline on the calling thread — so owners with ordered
+  /// teardown (DirectoryServer stops its pool before releasing state the
+  /// loops may touch) do not need to null out references.
+  void Shutdown();
+
   /// Runs `fn(chunk_begin, chunk_end)` over `[begin, end)` split into
   /// chunks of at most `grain` indices (grain < 1 is treated as 1).
   /// Blocks until every chunk finished. The first exception thrown by any

@@ -635,6 +635,9 @@ class SyntheticWebBuilder {
         Domain domain =
             AllDomains()[domain_picks[t % domain_picks.size()]];
         std::vector<size_t> members = DomainMembers(domain);
+        // Degenerate tiny configs can leave a domain with no form pages;
+        // skip it instead of sampling from an empty pool.
+        if (members.empty()) continue;
         chosen.push_back(members[rng_.Uniform(members.size())]);
       }
       std::sort(chosen.begin(), chosen.end());

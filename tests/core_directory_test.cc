@@ -157,6 +157,92 @@ TEST_F(DirectoryTest, SaveLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST_F(DirectoryTest, SaveLoadRoundTripsBitExact) {
+  // Weighted directories must survive Save/Load *bit-exactly*: centroid
+  // weights are TF×IDF products (irrational logs with all 52 mantissa bits
+  // in play), so the previous 6-significant-digit serialization perturbed
+  // every weight on reload and Classify similarities drifted. Non-default
+  // LOC factors make the weights line part of the contract too.
+  vsm::LocationWeightConfig weights;
+  weights.page_title = 3;
+  weights.anchor_text = 2;
+  weights.form_text = 5;
+  FormPageSet weighted = BuildFormPageSet(*dataset_, weights);
+  DatabaseDirectory original = DatabaseDirectory::Build(
+      weighted, *clustering_,
+      DatabaseDirectory::AutoLabels(weighted, *clustering_));
+
+  std::string path = TempPath("bit_exact_roundtrip.cafc");
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+  Result<DatabaseDirectory> loaded = DatabaseDirectory::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    const DirectoryEntry& a = original.entries()[i];
+    const DirectoryEntry& b = loaded->entries()[i];
+    EXPECT_EQ(a.label, b.label) << "entry " << i;
+    EXPECT_EQ(a.member_urls, b.member_urls) << "entry " << i;
+    // Bit-exact centroids: same terms, same doubles (== on purpose).
+    EXPECT_TRUE(a.centroid.pc == b.centroid.pc) << "pc centroid " << i;
+    EXPECT_TRUE(a.centroid.fc == b.centroid.fc) << "fc centroid " << i;
+  }
+
+  // Classifying a raw document exercises the reloaded collection state
+  // (vocabulary, IDF, LOC weights); similarities must be identical bits.
+  for (size_t i = 0; i < dataset_->entries.size(); ++i) {
+    DatabaseDirectory::Classification before =
+        original.ClassifyDocument(dataset_->entries[i].doc);
+    DatabaseDirectory::Classification after =
+        loaded->ClassifyDocument(dataset_->entries[i].doc);
+    EXPECT_EQ(before.entry, after.entry) << "doc " << i;
+    EXPECT_EQ(before.similarity, after.similarity) << "doc " << i;  // exact
+  }
+
+  // Search goes through the same Eq. 1 weighting; exact as well.
+  auto before = original.Search("job career hotel flight", 8);
+  auto after = loaded->Search("job career hotel flight", 8);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].entry, after[i].entry);
+    EXPECT_EQ(before[i].similarity, after[i].similarity);
+  }
+}
+
+TEST_F(DirectoryTest, CloneIsBitExactAndIndependent) {
+  DatabaseDirectory clone = directory_->Clone();
+  ASSERT_EQ(clone.size(), directory_->size());
+  for (size_t i = 0; i < clone.size(); ++i) {
+    const DirectoryEntry& a = directory_->entries()[i];
+    const DirectoryEntry& b = clone.entries()[i];
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.member_urls, b.member_urls);
+    EXPECT_TRUE(a.centroid.pc == b.centroid.pc);
+    EXPECT_TRUE(a.centroid.fc == b.centroid.fc);
+  }
+  EXPECT_EQ(clone.epoch(), directory_->epoch());
+  for (size_t i = 0; i < 10 && i < dataset_->entries.size(); ++i) {
+    DatabaseDirectory::Classification a =
+        directory_->ClassifyDocument(dataset_->entries[i].doc);
+    DatabaseDirectory::Classification b =
+        clone.ClassifyDocument(dataset_->entries[i].doc);
+    EXPECT_EQ(a.entry, b.entry);
+    EXPECT_EQ(a.similarity, b.similarity);  // exact
+  }
+
+  // Mutating the clone (filing a source moves its centroid) must leave the
+  // original untouched — the clone owns its state.
+  const forms::FormPageDocument& doc = dataset_->entries[0].doc;
+  DatabaseDirectory::Classification filed = clone.AddSource(doc);
+  ASSERT_GE(filed.entry, 0);
+  const size_t e = static_cast<size_t>(filed.entry);
+  EXPECT_EQ(clone.entries()[e].member_urls.size(),
+            directory_->entries()[e].member_urls.size() + 1);
+  EXPECT_FALSE(clone.entries()[e].centroid.pc ==
+               directory_->entries()[e].centroid.pc);
+}
+
 TEST_F(DirectoryTest, AdversarialLabelsSurviveRoundTrip) {
   // Labels are free text: embedded newlines, the member-list separator,
   // leading/trailing whitespace and non-ASCII bytes must all round-trip

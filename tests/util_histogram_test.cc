@@ -1,0 +1,138 @@
+// Tests for the fixed-bucket latency histogram: exact bookkeeping (count,
+// sum, min, max), percentile extraction within the documented one-bucket
+// (25%) error bound, merge = element-wise sum, and edge cases.
+
+#include "util/histogram.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace cafc::util {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsAllZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, SingleValueIsEveryPercentile) {
+  Histogram h;
+  h.Add(123.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 123.0);
+  EXPECT_EQ(h.min(), 123.0);
+  EXPECT_EQ(h.max(), 123.0);
+  // Percentiles clamp to the exact observed extremes, so a singleton is
+  // reported exactly at any p.
+  EXPECT_EQ(h.Percentile(0), 123.0);
+  EXPECT_EQ(h.Percentile(50), 123.0);
+  EXPECT_EQ(h.Percentile(100), 123.0);
+}
+
+TEST(HistogramTest, ExactBookkeepingOverManyValues) {
+  Histogram h;
+  double sum = 0.0;
+  for (int i = 1; i <= 1000; ++i) {
+    h.Add(static_cast<double>(i));
+    sum += static_cast<double>(i);
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.min(), 1.0);
+  EXPECT_EQ(h.max(), 1000.0);
+  EXPECT_DOUBLE_EQ(h.mean(), sum / 1000.0);
+}
+
+TEST(HistogramTest, PercentilesWithinOneBucketOfTruth) {
+  // Uniform 1..10000: the true p-th percentile is p% of 10000. Bucket
+  // edges grow by 25%, so the interpolated estimate must sit within
+  // [truth / 1.25, truth * 1.25].
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(static_cast<double>(i));
+  for (double p : {10.0, 50.0, 95.0, 99.0}) {
+    const double truth = p / 100.0 * 10000.0;
+    const double got = h.Percentile(p);
+    EXPECT_GE(got, truth / 1.25) << "p" << p;
+    EXPECT_LE(got, truth * 1.25) << "p" << p;
+  }
+  // The extremes are exact (clamped to observed min/max).
+  EXPECT_EQ(h.Percentile(0), 1.0);
+  EXPECT_EQ(h.Percentile(100), 10000.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram h;
+  for (int i = 0; i < 5000; ++i) h.Add(static_cast<double>(i % 997));
+  double previous = -1.0;
+  for (double p = 0.0; p <= 100.0; p += 2.5) {
+    const double value = h.Percentile(p);
+    EXPECT_GE(value, previous) << "p" << p;
+    previous = value;
+  }
+}
+
+TEST(HistogramTest, MergeEqualsRecordingEverythingInOne) {
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  for (int i = 1; i <= 500; ++i) {
+    const double v = static_cast<double>(i * 3 % 769);
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.sum(), all.sum());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (double p : {1.0, 25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_EQ(a.Percentile(p), all.Percentile(p)) << "p" << p;
+  }
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.Add(7.0);
+  a.Add(9.0);
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 7.0);
+  EXPECT_EQ(a.max(), 9.0);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), 7.0);
+  EXPECT_EQ(empty.max(), 9.0);
+}
+
+TEST(HistogramTest, NegativeAndHugeValuesAreClamped) {
+  Histogram h;
+  h.Add(-5.0);  // clock skew: clamped to 0
+  h.Add(1e18);  // far past the last edge: overflow bucket
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 1e18);
+  EXPECT_EQ(h.Percentile(100), 1e18);
+  EXPECT_EQ(h.Percentile(0), 0.0);
+}
+
+TEST(HistogramTest, ResetForgetsEverything) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.Add(static_cast<double>(i));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  h.Add(4.0);  // usable after reset
+  EXPECT_EQ(h.Percentile(50), 4.0);
+}
+
+}  // namespace
+}  // namespace cafc::util

@@ -157,6 +157,43 @@ TEST(ThreadPoolTest, ParallelSumMatchesSerialWithOrderedReduction) {
   EXPECT_EQ(sum_with(&serial), sum_with(&four));  // exact, not Near
 }
 
+TEST(ThreadPoolTest, ShutdownDrainsInFlightWorkAndIsIdempotent) {
+  ThreadPool pool(4);
+  // A loop racing the shutdown from another thread: Shutdown must block
+  // until every chunk of the in-flight job ran, never strand one.
+  std::atomic<int> executed{0};
+  std::thread racer([&] {
+    pool.ParallelFor(0, 256, 1, [&](size_t, size_t) {
+      ++executed;
+    });
+  });
+  pool.Shutdown();
+  racer.join();
+  EXPECT_EQ(executed.load(), 256);
+  pool.Shutdown();  // second call is a no-op, not a double-join
+}
+
+TEST(ThreadPoolTest, ParallelForAfterShutdownRunsSeriallyInline) {
+  ThreadPool pool(4);
+  pool.Shutdown();
+  // Post-shutdown loops must still cover the range — inline on the caller,
+  // so unsynchronized writes are safe and chunk order is ascending.
+  std::vector<int> order;
+  pool.ParallelFor(0, 6, 2, [&](size_t b, size_t) {
+    order.push_back(static_cast<int>(b));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4}));
+}
+
+TEST(ThreadPoolTest, DoubleShutdownWithoutWorkIsSafe) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(0, 10, 1, [&](size_t b, size_t) { sum.fetch_add(b); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
 TEST(ScopedThreadsTest, OverrideCapsEffectiveThreads) {
   ThreadPool::SetDefaultThreads(4);
   EXPECT_EQ(ThreadPool::EffectiveThreads(), 4);

@@ -234,5 +234,19 @@ TEST_P(SynthesizerSeedTest, CorpusInvariants) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SynthesizerSeedTest,
                          ::testing::Values(1, 17, 333, 2026));
 
+TEST(SynthesizerTest, TinyPageCountsDoNotCrash) {
+  // Regression: with fewer form pages than domains-worth of slack, a mixed
+  // hub could sample from a domain that received zero pages (Uniform(0)
+  // aborts). The generator must skip empty domains instead.
+  for (int pages : {8, 10, 12, 14}) {
+    SynthesizerConfig config;
+    config.seed = 4;
+    config.form_pages_total = pages;
+    config.single_attribute_forms = 1;
+    SyntheticWeb web = Synthesizer(config).Generate();
+    EXPECT_GT(web.form_pages().size(), 0u) << pages;
+  }
+}
+
 }  // namespace
 }  // namespace cafc::web

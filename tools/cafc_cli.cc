@@ -39,8 +39,22 @@
 //   cafc labels   FILE.html
 //       Run the heuristic label extractor on a page (baseline input).
 //
+//   cafc serve    [--seed N] [--pages N] [--workers 4] [--clients 4]
+//                 [--requests 64] [--queue 256] [--pad-ms N]
+//                 [--refresh-pages 16]
+//       In-process serving demo: build a corpus + directory, start the
+//       concurrent DirectoryServer, hammer it from client threads while a
+//       refresh hot-swaps the snapshot mid-run, then print throughput,
+//       latency percentiles, admission and epoch statistics.
+//
+//   cafc query    --dir FILE "query terms" [--top 5]
+//       Serve a keyword search over a saved directory through the
+//       DirectoryServer (epoch-pinned snapshot), printing the hits and the
+//       snapshot version that answered.
+//
 //   All numeric flags are validated: a malformed or out-of-range value is
-//   a usage error (exit 2), never a silent fallback to the default.
+//   a usage error (exit 2), never a silent fallback to the default. An
+//   unknown command lists the available commands and exits 2.
 
 #include <chrono>
 #include <cstdio>
@@ -50,6 +64,8 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/cafc.h"
 #include "core/corpus.h"
@@ -60,7 +76,9 @@
 #include "eval/metrics.h"
 #include "forms/label_extractor.h"
 #include "html/dom.h"
+#include "serve/server.h"
 #include "util/flags.h"
+#include "util/histogram.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 #include "web/domain_vocab.h"
@@ -71,12 +89,28 @@ namespace {
 
 using namespace cafc;  // NOLINT — tool code
 
+constexpr const char* kCommands[] = {"stats",  "cluster", "classify",
+                                     "search", "add",     "grow",
+                                     "labels", "serve",   "query"};
+
 int Usage() {
+  std::string names;
+  for (const char* command : kCommands) {
+    if (!names.empty()) names += '|';
+    names += command;
+  }
   std::fprintf(stderr,
-               "usage: cafc <stats|cluster|classify|search|add|grow|labels> "
-               "[flags]\n"
+               "usage: cafc <%s> [flags]\n"
                "run with a command to see its flags (documented in the "
-               "source header)\n");
+               "source header)\n",
+               names.c_str());
+  return 2;
+}
+
+int UnknownCommand(const std::string& command) {
+  std::fprintf(stderr, "cafc: unknown command '%s'\n", command.c_str());
+  std::fprintf(stderr, "available commands:\n");
+  for (const char* name : kCommands) std::fprintf(stderr, "  %s\n", name);
   return 2;
 }
 
@@ -629,6 +663,188 @@ int RunGrow(const FlagParser& flags) {
   return 0;
 }
 
+/// Formats a histogram percentile in milliseconds (the histograms record
+/// microseconds).
+std::string PercentileMs(const util::Histogram& h, double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", h.Percentile(p) / 1000.0);
+  return buf;
+}
+
+int RunServe(const FlagParser& flags) {
+  int64_t seed = 0;
+  int64_t pages = 0;
+  int64_t workers = 0;
+  int64_t clients = 0;
+  int64_t requests = 0;
+  int64_t queue = 0;
+  int64_t pad_ms = 0;
+  int64_t refresh_pages = 0;
+  if (!FlagValue(flags.GetIntInRange("seed", 42, 0, kMaxSeed), &seed) ||
+      !FlagValue(flags.GetIntInRange("pages", 0, 0, 1'000'000), &pages) ||
+      !FlagValue(flags.GetIntInRange("workers", 4, 1, 256), &workers) ||
+      !FlagValue(flags.GetIntInRange("clients", 4, 1, 256), &clients) ||
+      !FlagValue(flags.GetIntInRange("requests", 64, 1, 1'000'000),
+                 &requests) ||
+      !FlagValue(flags.GetIntInRange("queue", 256, 1, 1'000'000), &queue) ||
+      !FlagValue(flags.GetIntInRange("pad-ms", 0, 0, 60'000), &pad_ms) ||
+      !FlagValue(flags.GetIntInRange("refresh-pages", 16, 0, 1'000'000),
+                 &refresh_pages)) {
+    return 2;
+  }
+
+  web::SyntheticWeb web = MakeWeb(static_cast<uint64_t>(seed),
+                                  static_cast<int>(pages), -1);
+  Result<CorpusBuild> built = BuildCorpus(web);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  Corpus& corpus = built->corpus;
+  const FormPageSet& weighted = corpus.Weighted();
+  Rng rng(static_cast<uint64_t>(seed) ^ 0x5eed);
+  cluster::Clustering clustering =
+      CafcC(weighted, web::kNumDomains, CafcOptions{}, &rng);
+  DatabaseDirectory directory = DatabaseDirectory::Build(
+      weighted, clustering,
+      DatabaseDirectory::AutoLabels(weighted, clustering));
+  std::printf("serving %zu sections over %zu pages\n", directory.size(),
+              corpus.size());
+
+  // Probe documents must be copied before the corpus moves into the
+  // server.
+  std::vector<forms::FormPageDocument> docs;
+  for (const DatasetEntry& e : corpus.entries()) docs.push_back(e.doc);
+  const char* queries[] = {"job career", "hotel flight", "music cd",
+                           "book author", "car rental"};
+
+  serve::DirectoryServerOptions options;
+  options.workers = static_cast<size_t>(workers);
+  options.queue_capacity = static_cast<size_t>(queue);
+  options.service_pad_ms = static_cast<double>(pad_ms);
+  serve::DirectoryServer server(std::move(directory), std::move(corpus),
+                                options);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  for (int64_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (int64_t i = 0; i < requests; ++i) {
+        const size_t pick = static_cast<size_t>(c + i * 7) %
+                            (docs.size() + 5);
+        serve::QueryRequest request;
+        if (pick < docs.size()) {
+          request.kind = serve::QueryKind::kClassify;
+          request.doc = docs[pick];
+        } else {
+          request.kind = serve::QueryKind::kSearch;
+          request.query = queries[pick - docs.size()];
+        }
+        server.Query(std::move(request));
+      }
+    });
+  }
+
+  // Mid-run refresh: a second synthetic web hot-swaps the snapshot while
+  // the clients are querying.
+  if (refresh_pages > 0) {
+    web::SyntheticWeb growth = MakeWeb(static_cast<uint64_t>(seed) + 1,
+                                       static_cast<int>(refresh_pages), -1);
+    Result<CorpusBuild> incoming = BuildCorpus(growth);
+    if (incoming.ok()) {
+      server.ScheduleRefresh(incoming->corpus.TakeEntries());
+    }
+  }
+
+  for (std::thread& t : client_threads) t.join();
+  server.WaitForRefreshes();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  serve::ServerStats stats = server.Stats();
+  serve::SnapshotPtr snapshot = server.snapshot();
+  server.Shutdown();
+
+  Table table({"metric", "value"});
+  table.AddRow({"workers", std::to_string(options.workers)});
+  table.AddRow({"clients", std::to_string(clients)});
+  table.AddRow({"submitted", std::to_string(stats.submitted)});
+  table.AddRow({"completed", std::to_string(stats.completed)});
+  table.AddRow({"rejected (queue full)",
+                std::to_string(stats.rejected_queue_full)});
+  table.AddRow({"deadline exceeded",
+                std::to_string(stats.deadline_exceeded)});
+  table.AddRow({"queue peak", std::to_string(stats.queue_peak)});
+  table.AddRow({"refreshes applied", std::to_string(stats.refreshes)});
+  table.AddRow({"snapshot version",
+                std::to_string(snapshot->version())});
+  table.AddRow({"corpus epoch", std::to_string(snapshot->corpus_epoch())});
+  char throughput[32];
+  std::snprintf(throughput, sizeof(throughput), "%.0f",
+                1000.0 * static_cast<double>(stats.completed) / wall_ms);
+  table.AddRow({"throughput (req/s)", throughput});
+  table.AddRow({"latency p50 (ms)", PercentileMs(stats.total_us, 50)});
+  table.AddRow({"latency p95 (ms)", PercentileMs(stats.total_us, 95)});
+  table.AddRow({"latency p99 (ms)", PercentileMs(stats.total_us, 99)});
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int RunQuery(const FlagParser& flags) {
+  std::string dir_path = flags.GetString("dir");
+  if (dir_path.empty() || flags.positional().size() < 2) {
+    std::fprintf(stderr, "query requires --dir FILE and a query string\n");
+    return 2;
+  }
+  Result<DatabaseDirectory> directory =
+      DatabaseDirectory::LoadFromFile(dir_path);
+  if (!directory.ok()) {
+    std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
+    return 1;
+  }
+  int64_t top = 0;
+  if (!FlagValue(flags.GetIntInRange("top", 5, 1, 10'000), &top)) return 2;
+  std::string query;
+  for (size_t i = 1; i < flags.positional().size(); ++i) {
+    if (!query.empty()) query += ' ';
+    query += flags.positional()[i];
+  }
+
+  // Serve the search through the concurrent engine: the response carries
+  // the snapshot version that answered it (1 — no refreshes here).
+  serve::DirectoryServerOptions options;
+  options.workers = 2;
+  serve::DirectoryServer server(std::move(*directory), Corpus(), options);
+  serve::QueryRequest request;
+  request.kind = serve::QueryKind::kSearch;
+  request.query = query;
+  request.top_k = static_cast<size_t>(top);
+  serve::QueryResponse response = server.Query(std::move(request));
+  if (!response.status.ok()) {
+    std::fprintf(stderr, "%s\n", response.status.ToString().c_str());
+    return 1;
+  }
+  if (response.hits.empty()) {
+    std::printf("no matching sections for \"%s\"\n", query.c_str());
+    return 0;
+  }
+  serve::SnapshotPtr snapshot = server.snapshot();
+  Table table({"score", "databases", "section"});
+  for (const auto& hit : response.hits) {
+    const DirectoryEntry& entry =
+        snapshot->directory().entries()[static_cast<size_t>(hit.entry)];
+    char score[32];
+    std::snprintf(score, sizeof(score), "%.3f", hit.similarity);
+    table.AddRow({score, std::to_string(entry.member_urls.size()),
+                  entry.label});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("answered by snapshot v%llu (service %.2f ms)\n",
+              static_cast<unsigned long long>(response.snapshot_version),
+              response.service_ms);
+  return 0;
+}
+
 int RunLabels(const FlagParser& flags) {
   if (flags.positional().size() < 2) {
     std::fprintf(stderr, "labels requires an HTML file path\n");
@@ -664,5 +880,7 @@ int main(int argc, char** argv) {
   if (command == "add") return RunAdd(flags);
   if (command == "grow") return RunGrow(flags);
   if (command == "labels") return RunLabels(flags);
-  return Usage();
+  if (command == "serve") return RunServe(flags);
+  if (command == "query") return RunQuery(flags);
+  return UnknownCommand(command);
 }
