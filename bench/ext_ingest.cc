@@ -38,8 +38,10 @@
 #include "forms/form_classifier.h"
 #include "forms/form_extractor.h"
 #include "html/dom.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "web/stream_synthesizer.h"
 #include "web/url.h"
 
 namespace {
@@ -437,10 +439,12 @@ void WriteJson(const std::string& path, int hardware, bool smoke,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  }
+  FlagParser flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  // `--pages=N` swaps the eager sweep for a single N-site corpus from the
+  // streaming generator (materialized, so the crawl-based pipeline and the
+  // legacy baseline both consume it unchanged).
+  const bool streamed = flags.Has("pages");
   const int hardware = static_cast<int>(
       std::max(1u, std::thread::hardware_concurrency()));
   std::vector<int> sweep = ThreadSweep();
@@ -448,6 +452,10 @@ int main(int argc, char** argv) {
   if (smoke) {
     corpora = {113};
     sweep = {1, 2};
+  }
+  if (streamed) {
+    corpora = {static_cast<int>(
+        std::max<int64_t>(16, flags.GetInt("pages", 1000)))};
   }
 
   DatasetOptions options;
@@ -461,17 +469,25 @@ int main(int argc, char** argv) {
   bool weights_ok = true;
 
   for (int form_pages : corpora) {
-    web::SynthesizerConfig config;
-    config.seed = 42;
-    config.form_pages_total = form_pages;
-    config.single_attribute_forms = form_pages / 8;
-    double scale = static_cast<double>(form_pages) / 454.0;
-    config.homogeneous_hubs_per_domain = static_cast<int>(360 * scale);
-    config.mixed_hubs = static_cast<int>(1100 * scale);
-    config.directory_hubs = static_cast<int>(24 * scale) + 1;
-    config.large_air_hotel_hubs = static_cast<int>(30 * scale) + 1;
-    config.outlier_pages = static_cast<int>(10 * scale);
-    web::SyntheticWeb web = web::Synthesizer(config).Generate();
+    web::SyntheticWeb web;
+    if (streamed) {
+      web::StreamingWebConfig stream_config;
+      stream_config.seed = 42;
+      stream_config.sites = static_cast<size_t>(form_pages);
+      web = web::StreamingWeb(stream_config).Materialize();
+    } else {
+      web::SynthesizerConfig config;
+      config.seed = 42;
+      config.form_pages_total = form_pages;
+      config.single_attribute_forms = form_pages / 8;
+      double scale = static_cast<double>(form_pages) / 454.0;
+      config.homogeneous_hubs_per_domain = static_cast<int>(360 * scale);
+      config.mixed_hubs = static_cast<int>(1100 * scale);
+      config.directory_hubs = static_cast<int>(24 * scale) + 1;
+      config.large_air_hotel_hubs = static_cast<int>(30 * scale) + 1;
+      config.outlier_pages = static_cast<int>(10 * scale);
+      web = web::Synthesizer(config).Generate();
+    }
 
     CorpusPoint point;
     point.web_pages = web.pages().size();

@@ -19,8 +19,10 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "util/flags.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
+#include "web/stream_synthesizer.h"
 
 namespace {
 
@@ -145,7 +147,18 @@ void WriteJson(const std::string& path, int hardware,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // `--pages=N` swaps the eager sweep for a single N-site corpus from the
+  // streaming generator, which parameterizes far beyond the eager
+  // synthesizer's hand-shaped configurations.
+  FlagParser flags(argc, argv);
+  const bool streamed = flags.Has("pages");
+  std::vector<int> corpora = {113, 227, 454, 908, 1816};
+  if (streamed) {
+    corpora = {static_cast<int>(
+        std::max<int64_t>(16, flags.GetInt("pages", 1000)))};
+  }
+
   const std::vector<int> sweep = ThreadSweep();
   const int hardware = static_cast<int>(
       std::max(1u, std::thread::hardware_concurrency()));
@@ -156,20 +169,28 @@ int main() {
                "hub (ms)", "select (ms)", "kmeans (ms)", "cluster (ms)",
                "entropy", "f-measure"});
 
-  for (int form_pages : {113, 227, 454, 908, 1816}) {
-    web::SynthesizerConfig config;
-    config.seed = 42;
-    config.form_pages_total = form_pages;
-    config.single_attribute_forms = form_pages / 8;
-    // Scale the hub structure with the corpus.
-    double scale = static_cast<double>(form_pages) / 454.0;
-    config.homogeneous_hubs_per_domain =
-        static_cast<int>(360 * scale);
-    config.mixed_hubs = static_cast<int>(1100 * scale);
-    config.directory_hubs = static_cast<int>(24 * scale) + 1;
-    config.large_air_hotel_hubs = static_cast<int>(30 * scale) + 1;
-    config.outlier_pages = static_cast<int>(10 * scale);
-    web::SyntheticWeb web = web::Synthesizer(config).Generate();
+  for (int form_pages : corpora) {
+    web::SyntheticWeb web;
+    if (streamed) {
+      web::StreamingWebConfig config;
+      config.seed = 42;
+      config.sites = static_cast<size_t>(form_pages);
+      web = web::StreamingWeb(config).Materialize();
+    } else {
+      web::SynthesizerConfig config;
+      config.seed = 42;
+      config.form_pages_total = form_pages;
+      config.single_attribute_forms = form_pages / 8;
+      // Scale the hub structure with the corpus.
+      double scale = static_cast<double>(form_pages) / 454.0;
+      config.homogeneous_hubs_per_domain =
+          static_cast<int>(360 * scale);
+      config.mixed_hubs = static_cast<int>(1100 * scale);
+      config.directory_hubs = static_cast<int>(24 * scale) + 1;
+      config.large_air_hotel_hubs = static_cast<int>(30 * scale) + 1;
+      config.outlier_pages = static_cast<int>(10 * scale);
+      web = web::Synthesizer(config).Generate();
+    }
 
     Clock::time_point start = Clock::now();
     Result<Dataset> dataset = BuildDataset(web);

@@ -1,0 +1,92 @@
+#include "cluster/centroid_index.h"
+
+#include <algorithm>
+
+namespace cafc::cluster {
+
+void CentroidIndex::AddSpace(PostingMap* postings, uint32_t centroid,
+                             const vsm::SparseVector& v) {
+  for (const vsm::Entry& e : v.entries()) {
+    (*postings)[e.term].push_back(Posting{centroid, e.weight});
+  }
+}
+
+void CentroidIndex::AddCentroid(const vsm::SparseVector& pc,
+                                const vsm::SparseVector& fc) {
+  const auto c = static_cast<uint32_t>(pc_norms_.size());
+  AddSpace(&pc_postings_, c, pc);
+  AddSpace(&fc_postings_, c, fc);
+  num_postings_ += pc.size() + fc.size();
+  pc_norms_.push_back(pc.Norm());
+  fc_norms_.push_back(fc.Norm());
+}
+
+void CentroidIndex::Score(const vsm::SparseVector& query_pc,
+                          const vsm::SparseVector& query_fc, bool use_pc,
+                          bool use_fc, Scratch* scratch,
+                          const std::function<void(int, double, double)>& emit,
+                          CentroidIndexStats* stats) const {
+  const size_t k = num_centroids();
+  if (scratch->pc_dot_.size() < k) {
+    scratch->pc_dot_.resize(k, 0.0);
+    scratch->fc_dot_.resize(k, 0.0);
+    scratch->touched_.resize(k, 0);
+  }
+  uint64_t postings_visited = 0;
+
+  // Accumulate per centroid in ascending query-term order (SparseVector
+  // entries are term-sorted): for a fixed centroid this is exactly the
+  // shared-term order vsm::Dot's linear merge adds in, so the final sums
+  // are bit-identical to Dot(query, centroid).
+  auto accumulate = [&](const vsm::SparseVector& query,
+                        const PostingMap& postings,
+                        std::vector<double>& dot) {
+    for (const vsm::Entry& q : query.entries()) {
+      auto it = postings.find(q.term);
+      if (it == postings.end()) continue;
+      for (const Posting& p : it->second) {
+        if (!scratch->touched_[p.centroid]) {
+          scratch->touched_[p.centroid] = 1;
+          scratch->candidates_.push_back(p.centroid);
+        }
+        dot[p.centroid] += q.weight * p.weight;
+        ++postings_visited;
+      }
+    }
+  };
+  if (use_pc) accumulate(query_pc, pc_postings_, scratch->pc_dot_);
+  if (use_fc) accumulate(query_fc, fc_postings_, scratch->fc_dot_);
+
+  // Emit in ascending centroid order — the full scan's iteration order,
+  // which downstream tie-breaking (lowest entry wins) depends on.
+  std::sort(scratch->candidates_.begin(), scratch->candidates_.end());
+  const double q_pc_norm = query_pc.Norm();
+  const double q_fc_norm = query_fc.Norm();
+  for (uint32_t c : scratch->candidates_) {
+    // vsm::CosineSimilarity's exact arithmetic: zero-norm guard, then
+    // dot / (query_norm * centroid_norm).
+    double pc_cos = 0.0;
+    if (use_pc && q_pc_norm != 0.0 && pc_norms_[c] != 0.0) {
+      pc_cos = scratch->pc_dot_[c] / (q_pc_norm * pc_norms_[c]);
+    }
+    double fc_cos = 0.0;
+    if (use_fc && q_fc_norm != 0.0 && fc_norms_[c] != 0.0) {
+      fc_cos = scratch->fc_dot_[c] / (q_fc_norm * fc_norms_[c]);
+    }
+    emit(static_cast<int>(c), pc_cos, fc_cos);
+  }
+  if (stats != nullptr) {
+    stats->candidates = scratch->candidates_.size();
+    stats->postings_visited = postings_visited;
+  }
+  // Reset only the touched slots so the scratch is reusable without an
+  // O(k) clear per query.
+  for (uint32_t c : scratch->candidates_) {
+    scratch->pc_dot_[c] = 0.0;
+    scratch->fc_dot_[c] = 0.0;
+    scratch->touched_[c] = 0;
+  }
+  scratch->candidates_.clear();
+}
+
+}  // namespace cafc::cluster

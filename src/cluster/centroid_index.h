@@ -1,0 +1,100 @@
+#ifndef CAFC_CLUSTER_CENTROID_INDEX_H_
+#define CAFC_CLUSTER_CENTROID_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "vsm/sparse_vector.h"
+
+namespace cafc::cluster {
+
+/// Work accounting of one Score call (sublinearity observability: the
+/// serving layer histograms `candidates` per query).
+struct CentroidIndexStats {
+  /// Centroids sharing at least one term with the query in an active
+  /// space — exactly the set the emit callback saw.
+  uint64_t candidates = 0;
+  /// (term, centroid) posting pairs walked.
+  uint64_t postings_visited = 0;
+};
+
+/// \brief Inverted index over centroid term ids: for each term, which
+/// centroids carry it and with what weight, per feature space.
+///
+/// Classify/Search against k centroids is a full scan of k sparse dot
+/// products, each O(|query| + |centroid|) — and centroids are dense
+/// (the union of their members' vocabularies), so the scan is what caps
+/// directory fan-out. The index inverts the centroids once: a query then
+/// touches only the postings of its own terms, scoring exactly the
+/// centroids it shares a term with. Per-centroid accumulation happens in
+/// ascending query-term order — the same addition sequence as
+/// vsm::Dot's linear merge — so every emitted cosine is bit-identical to
+/// the full scan's, and centroids sharing no term have an exact 0.0
+/// similarity in both paths. Sublinear *and* equivalent.
+///
+/// Immutable after Build: safe to share across threads (the serving layer
+/// builds one per snapshot epoch). Per-query mutable state lives in a
+/// caller-held Scratch.
+class CentroidIndex {
+ public:
+  /// Reusable per-query dense accumulators, sized to the number of
+  /// centroids. Reuse across queries (one per thread) to keep the scoring
+  /// loop allocation-free; any Scratch works with any index.
+  class Scratch {
+   public:
+    Scratch() = default;
+
+   private:
+    friend class CentroidIndex;
+    std::vector<double> pc_dot_;
+    std::vector<double> fc_dot_;
+    std::vector<uint8_t> touched_;
+    std::vector<uint32_t> candidates_;
+  };
+
+  CentroidIndex() = default;
+
+  /// Appends one centroid (its index is the current num_centroids()).
+  void AddCentroid(const vsm::SparseVector& pc, const vsm::SparseVector& fc);
+
+  size_t num_centroids() const { return pc_norms_.size(); }
+  /// Total posting entries across both spaces (memory accounting).
+  size_t num_postings() const { return num_postings_; }
+
+  /// \brief Scores `query` against every centroid sharing at least one
+  /// term with it in an active space, invoking
+  /// `emit(centroid, pc_cos, fc_cos)` in ascending centroid order.
+  ///
+  /// The cosines replicate vsm::CosineSimilarity bit-for-bit (including
+  /// the zero-norm convention); a space passed as inactive reports 0.0,
+  /// matching the full scan's excluded-space convention. Centroids not
+  /// emitted have an exact similarity of 0.0 in both active spaces.
+  /// Thread-safe for concurrent calls with distinct Scratch objects.
+  void Score(const vsm::SparseVector& query_pc,
+             const vsm::SparseVector& query_fc, bool use_pc, bool use_fc,
+             Scratch* scratch,
+             const std::function<void(int, double, double)>& emit,
+             CentroidIndexStats* stats = nullptr) const;
+
+ private:
+  struct Posting {
+    uint32_t centroid;
+    double weight;
+  };
+  using PostingMap = std::unordered_map<vsm::TermId, std::vector<Posting>>;
+
+  static void AddSpace(PostingMap* postings, uint32_t centroid,
+                       const vsm::SparseVector& v);
+
+  PostingMap pc_postings_;
+  PostingMap fc_postings_;
+  std::vector<double> pc_norms_;  // cached centroid norms, per space
+  std::vector<double> fc_norms_;
+  size_t num_postings_ = 0;
+};
+
+}  // namespace cafc::cluster
+
+#endif  // CAFC_CLUSTER_CENTROID_INDEX_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cmath>
+#include <limits>
 
 #include "util/thread_pool.h"
 
@@ -14,37 +16,194 @@ namespace {
 /// identical at any parallelism level.
 constexpr size_t kAssignGrain = 32;
 
-/// One assignment scan: every point to its most similar centroid, ties
-/// breaking toward the lowest cluster index (deterministic). The scan is
-/// the dominant O(n * k * vector size) cost, parallelized over disjoint
-/// point ranges: each chunk writes only its own assignment slots, so the
-/// result is bit-identical to the serial scan at any thread count (the
-/// returned move count is an integer sum — order-independent).
-size_t AssignPoints(CentroidModel* model, std::vector<int>* assignment) {
-  const size_t n = model->num_points();
+/// Safety margin added to the upper bound in every prune test. The bounds
+/// are exact at the full scan that (re)sets them and drift only through
+/// correctly-rounded +/- updates afterwards (relative error ~1e-16 per
+/// iteration on O(1) quantities), so 1e-9 dominates any accumulated
+/// rounding while staying far below real point-centroid gaps. A pruned
+/// centroid is therefore *strictly* farther than the cached assignment:
+/// ties can never involve a pruned candidate, which is what makes the
+/// kernel bit-identical to the exact scan, lowest-index tie-breaking
+/// included.
+constexpr double kBoundMargin = 1e-9;
+
+/// The embedded metric the bounds live in: d(x, y) = sqrt(2 - 2*sim(x, y)),
+/// the chordal distance of the similarity kernel's unit-norm embedding.
+/// Monotone decreasing in sim, so nearest-by-d == most-similar, and a true
+/// metric whenever sim is positive semidefinite with sim(x, x) <= 1.
+double EmbeddedDistance(double sim) {
+  const double gap = 2.0 - 2.0 * sim;
+  return gap > 0.0 ? std::sqrt(gap) : 0.0;
+}
+
+/// Memory cap for the Elkan per-point-per-centroid bound rows: n * k
+/// doubles. 2^26 entries = 512 MB; past that the kernel silently runs on
+/// Hamerly bounds alone (still exact, just less pruning) instead of
+/// risking the allocation.
+constexpr size_t kElkanMaxEntries = size_t{1} << 26;
+
+/// Work counters of one k-means run, summed across chunks with relaxed
+/// atomics (integer sums are order-independent, so the totals are
+/// deterministic at any thread count).
+struct PassCounters {
+  std::atomic<uint64_t> evals{0};
+  std::atomic<uint64_t> skips{0};
+  std::atomic<uint64_t> prunes{0};
+};
+
+/// Pruned-kernel bound state. Hamerly bounds: per point, an upper bound
+/// on the embedded distance to its assigned centroid and a lower bound on
+/// the distance to every *other* centroid. Elkan rows: per point, a lower
+/// bound on the distance to *each* centroid individually (row-major
+/// n x k), exact at the evaluation that last touched the entry and
+/// decayed by that centroid's drift since. `valid` means all arrays hold
+/// for the model's current centroids; every centroid recompute must be
+/// followed by ApplyCentroidDrift to keep them that way.
+struct Bounds {
+  bool active = false;  ///< pruned kernel selected for this run
+  bool valid = false;
+  bool elkan_active = false;  ///< per-centroid rows fit under the cap
+  std::vector<double> upper;
+  std::vector<double> lower;
+  std::vector<double> elkan;
+};
+
+bool UsePrunedKernel(const CentroidModel& model, const KMeansOptions& o) {
+  switch (o.kernel) {
+    case AssignmentKernel::kExact:
+      return false;
+    case AssignmentKernel::kPruned:
+      return true;
+    case AssignmentKernel::kAuto:
+      return model.TracksCentroidDrift();
+  }
+  return false;
+}
+
+/// Assigns the points of [chunk_begin, chunk_end): every point to its most
+/// similar centroid, ties breaking toward the lowest cluster index. With
+/// valid bounds a point first tries Hamerly's two-stage test (cached
+/// bounds, then once more after tightening the upper bound with a single
+/// exact evaluation); only on failure does it fall through to the scan,
+/// where each remaining centroid is tested against its Elkan row bound
+/// and evaluated exactly only when the bound fails to rule it out. Every
+/// exact evaluation resets that row entry, and pruned centroids feed
+/// their row bounds into the runner-up (Hamerly lower) bound. Without
+/// valid bounds the scan is the exact kernel's loop verbatim (same
+/// evaluation order, same strict-improvement update). Each chunk writes
+/// only its own assignment/bound slots, so the result is bit-identical to
+/// the serial scan at any thread count.
+size_t AssignChunk(CentroidModel* model, std::vector<int>* assignment,
+                   Bounds* bounds, PassCounters* counters, size_t chunk_begin,
+                   size_t chunk_end) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
   const int k = model->num_clusters();
-  std::atomic<size_t> moved{0};
-  util::ParallelFor(0, n, kAssignGrain, [&](size_t chunk_begin,
-                                            size_t chunk_end) {
-    size_t chunk_moved = 0;
-    for (size_t i = chunk_begin; i < chunk_end; ++i) {
-      int best = 0;
-      double best_sim = model->Similarity(i, 0);
-      for (int c = 1; c < k; ++c) {
-        double sim = model->Similarity(i, c);
-        if (sim > best_sim) {
-          best_sim = sim;
-          best = c;
-        }
+  const bool use_bounds = bounds->active && bounds->valid;
+  size_t chunk_moved = 0;
+  uint64_t chunk_evals = 0;
+  uint64_t chunk_skips = 0;
+  uint64_t chunk_prunes = 0;
+  for (size_t i = chunk_begin; i < chunk_end; ++i) {
+    const int prev = (*assignment)[i];
+    double* row = bounds->elkan_active
+                      ? bounds->elkan.data() + i * static_cast<size_t>(k)
+                      : nullptr;
+    double sim_prev = 0.0;
+    bool have_sim_prev = false;
+    double upper_tight = kInf;
+    if (use_bounds && prev >= 0) {
+      if (bounds->upper[i] + kBoundMargin < bounds->lower[i]) {
+        ++chunk_skips;
+        continue;
       }
-      if ((*assignment)[i] != best) {
-        (*assignment)[i] = best;
-        ++chunk_moved;
+      ++chunk_evals;
+      sim_prev = model->Similarity(i, prev);
+      have_sim_prev = true;
+      upper_tight = EmbeddedDistance(sim_prev);
+      bounds->upper[i] = upper_tight;
+      if (row != nullptr) row[prev] = upper_tight;
+      if (upper_tight + kBoundMargin < bounds->lower[i]) {
+        ++chunk_skips;
+        continue;
       }
     }
-    moved.fetch_add(chunk_moved, std::memory_order_relaxed);
-  });
+    // Scan. Reusing the tightening evaluation for c == prev is safe for
+    // bit-identity: Similarity is a pure function, so the comparison
+    // sequence sees the same values either way. A centroid whose Elkan
+    // row bound strictly exceeds the tightened exact distance to the
+    // cached assignment cannot win (the final best is <= that distance),
+    // so pruning it can change neither the argmax nor the lowest-index
+    // tie-break; such centroids do contribute their row bound to the
+    // Hamerly lower bound, which must cover *every* non-best centroid.
+    const bool filtered = have_sim_prev && row != nullptr;
+    int best = -1;
+    double best_sim = -kInf;
+    double second_sim = -kInf;
+    double min_pruned_lb = kInf;
+    for (int c = 0; c < k; ++c) {
+      if (filtered && c != prev && row[c] > upper_tight + kBoundMargin) {
+        ++chunk_prunes;
+        if (row[c] < min_pruned_lb) min_pruned_lb = row[c];
+        continue;
+      }
+      double sim;
+      if (have_sim_prev && c == prev) {
+        sim = sim_prev;
+      } else {
+        ++chunk_evals;
+        sim = model->Similarity(i, c);
+        if (row != nullptr) row[c] = EmbeddedDistance(sim);
+      }
+      if (best < 0 || sim > best_sim) {
+        second_sim = best_sim;
+        best_sim = sim;
+        best = c;
+      } else if (sim > second_sim) {
+        second_sim = sim;
+      }
+    }
+    if (bounds->active) {
+      bounds->upper[i] = EmbeddedDistance(best_sim);
+      double lower = second_sim > -kInf ? EmbeddedDistance(second_sim) : kInf;
+      if (min_pruned_lb < lower) lower = min_pruned_lb;
+      bounds->lower[i] = k > 1 ? lower : kInf;
+    }
+    if (prev != best) {
+      (*assignment)[i] = best;
+      ++chunk_moved;
+    }
+  }
+  counters->evals.fetch_add(chunk_evals, std::memory_order_relaxed);
+  counters->skips.fetch_add(chunk_skips, std::memory_order_relaxed);
+  counters->prunes.fetch_add(chunk_prunes, std::memory_order_relaxed);
+  return chunk_moved;
+}
+
+/// One assignment pass over a contiguous index span, parallelized over
+/// disjoint fixed-grain chunks. Returns the number of points that changed
+/// cluster.
+size_t AssignSpan(CentroidModel* model, std::vector<int>* assignment,
+                  Bounds* bounds, PassCounters* counters, size_t begin,
+                  size_t end) {
+  std::atomic<size_t> moved{0};
+  util::ParallelFor(begin, end, kAssignGrain,
+                    [&](size_t chunk_begin, size_t chunk_end) {
+                      moved.fetch_add(AssignChunk(model, assignment, bounds,
+                                                  counters, chunk_begin,
+                                                  chunk_end),
+                                      std::memory_order_relaxed);
+                    });
   return moved.load();
+}
+
+/// Full assignment pass: every point. A full pass (re)establishes every
+/// point's bounds, so it is also the only pass allowed to turn `valid` on.
+size_t AssignPoints(CentroidModel* model, std::vector<int>* assignment,
+                    Bounds* bounds, PassCounters* counters) {
+  const size_t moved =
+      AssignSpan(model, assignment, bounds, counters, 0, assignment->size());
+  if (bounds->active) bounds->valid = true;
+  return moved;
 }
 
 /// Rebuilds every centroid from the current assignment (one membership
@@ -63,13 +222,61 @@ void RecomputeAllCentroids(CentroidModel* model,
   }
 }
 
+/// Folds the centroid movement of the last recompute into every point's
+/// bounds: the assigned centroid may have moved by delta(a(i)) (upper
+/// bound grows by that), every other centroid by at most the largest
+/// delta among clusters != a(i) (lower bound shrinks by that — tracked as
+/// the global max plus runner-up so the "other" max is O(1) per point).
+void ApplyCentroidDrift(const CentroidModel& model,
+                        const std::vector<int>& assignment, Bounds* bounds) {
+  if (!bounds->active || !bounds->valid) return;
+  const int k = model.num_clusters();
+  std::vector<double> delta(static_cast<size_t>(k), 0.0);
+  double max1 = 0.0;
+  double max2 = 0.0;
+  int arg1 = -1;
+  for (int c = 0; c < k; ++c) {
+    const double d = EmbeddedDistance(model.LastCentroidMoveSimilarity(c));
+    delta[static_cast<size_t>(c)] = d;
+    if (d > max1) {
+      max2 = max1;
+      max1 = d;
+      arg1 = c;
+    } else if (d > max2) {
+      max2 = d;
+    }
+  }
+  if (max1 == 0.0) return;  // nothing moved; the bounds hold as-is
+  util::ParallelFor(
+      0, assignment.size(), kAssignGrain,
+      [&](size_t chunk_begin, size_t chunk_end) {
+        for (size_t i = chunk_begin; i < chunk_end; ++i) {
+          const int a = assignment[i];
+          bounds->upper[i] += delta[static_cast<size_t>(a)];
+          const double other = a == arg1 ? max2 : max1;
+          const double l = bounds->lower[i] - other;
+          bounds->lower[i] = l > 0.0 ? l : 0.0;
+          if (!bounds->elkan_active) continue;
+          double* row = bounds->elkan.data() + i * static_cast<size_t>(k);
+          for (int c = 0; c < k; ++c) {
+            const double v = row[c] - delta[static_cast<size_t>(c)];
+            row[c] = v > 0.0 ? v : 0.0;
+          }
+        }
+      });
+}
+
 /// The Algorithm 1 loop shared by the cold and warm entry points: assumes
 /// the model's k centroids are already in place and iterates
 /// assign/recompute until the movement stop criterion. `initial` is the
 /// movement baseline of the first iteration (all -1 for a cold start, the
-/// primed membership for a warm one).
+/// primed membership for a warm one); `prime` runs an uncounted full
+/// assign+recompute first (the warm entry point's seeding analogue —
+/// also forced in mini-batch mode, whose full-membership centroid updates
+/// need every point filed).
 Clustering RunKMeansLoop(CentroidModel* model, const KMeansOptions& options,
-                         KMeansStats* stats, std::vector<int> initial) {
+                         KMeansStats* stats, std::vector<int> initial,
+                         bool prime) {
   const size_t n = model->num_points();
   const int k = model->num_clusters();
   assert(k > 0);
@@ -79,17 +286,66 @@ Clustering RunKMeansLoop(CentroidModel* model, const KMeansOptions& options,
   result.assignment = std::move(initial);
   assert(result.assignment.size() == n);
 
+  Bounds bounds;
+  bounds.active = UsePrunedKernel(*model, options);
+  if (bounds.active) {
+    bounds.upper.assign(n, 0.0);
+    bounds.lower.assign(n, 0.0);
+    bounds.elkan_active = n * static_cast<size_t>(k) <= kElkanMaxEntries;
+    if (bounds.elkan_active) {
+      bounds.elkan.assign(n * static_cast<size_t>(k), 0.0);
+    }
+  }
+  PassCounters counters;
   KMeansStats local_stats;
+  local_stats.pruned_kernel = bounds.active;
+
+  const bool minibatch =
+      options.minibatch_size > 0 && options.minibatch_size < n;
+  if (prime || minibatch) {
+    (void)AssignPoints(model, &result.assignment, &bounds, &counters);
+    RecomputeAllCentroids(model, result.assignment);
+    ApplyCentroidDrift(*model, result.assignment, &bounds);
+  }
+
+  const size_t batch = minibatch ? options.minibatch_size : n;
+  size_t cursor = 0;  // next batch start, minibatch mode only
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     ++local_stats.iterations;
-    const size_t moved = AssignPoints(model, &result.assignment);
+    size_t moved;
+    if (minibatch) {
+      // The next contiguous wrap-around slice of the point stream — a
+      // pure function of the iteration number, never of thread timing.
+      const size_t first = std::min(batch, n - cursor);
+      moved = AssignSpan(model, &result.assignment, &bounds, &counters,
+                         cursor, cursor + first);
+      if (first < batch) {
+        moved += AssignSpan(model, &result.assignment, &bounds, &counters, 0,
+                            batch - first);
+      }
+      cursor = (cursor + batch) % n;
+    } else {
+      moved = AssignPoints(model, &result.assignment, &bounds, &counters);
+    }
     RecomputeAllCentroids(model, result.assignment);
+    ApplyCentroidDrift(*model, result.assignment, &bounds);
     if (static_cast<double>(moved) <
-        options.movement_stop_fraction * static_cast<double>(n)) {
+        options.movement_stop_fraction * static_cast<double>(batch)) {
       local_stats.converged = true;
       break;
     }
   }
+  if (minibatch) {
+    // Uncounted final full pass: label the whole corpus under the
+    // converged centroids and rebuild them from that labeling, so the
+    // returned assignment and the model's centroids are exactly as
+    // consistent as after a full-batch iteration.
+    (void)AssignPoints(model, &result.assignment, &bounds, &counters);
+    RecomputeAllCentroids(model, result.assignment);
+  }
+  local_stats.similarity_evals = counters.evals.load();
+  local_stats.bound_skips = counters.skips.load();
+  local_stats.centroid_prunes = counters.prunes.load();
   if (stats != nullptr) *stats = local_stats;
   return result;
 }
@@ -108,7 +364,8 @@ Clustering KMeans(CentroidModel* model,
   // Cold start: no prior membership, so the first iteration counts every
   // point as moved.
   return RunKMeansLoop(model, options, stats,
-                       std::vector<int>(model->num_points(), -1));
+                       std::vector<int>(model->num_points(), -1),
+                       /*prime=*/false);
 }
 
 Clustering KMeansFromCurrentCentroids(CentroidModel* model,
@@ -120,10 +377,9 @@ Clustering KMeansFromCurrentCentroids(CentroidModel* model,
   // the primed assignment, so a low-drift refresh converges in one
   // iteration — a cold start structurally cannot, because its first
   // iteration always relocates every point.
-  std::vector<int> primed(model->num_points(), -1);
-  (void)AssignPoints(model, &primed);
-  RecomputeAllCentroids(model, primed);
-  return RunKMeansLoop(model, options, stats, std::move(primed));
+  return RunKMeansLoop(model, options, stats,
+                       std::vector<int>(model->num_points(), -1),
+                       /*prime=*/true);
 }
 
 std::vector<std::vector<size_t>> RandomSingletonSeeds(size_t num_points,

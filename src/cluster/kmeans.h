@@ -1,6 +1,7 @@
 #ifndef CAFC_CLUSTER_KMEANS_H_
 #define CAFC_CLUSTER_KMEANS_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/types.h"
@@ -31,6 +32,47 @@ class CentroidModel {
   /// empty-cluster handling: the cluster keeps attracting points).
   virtual void RecomputeCentroid(int cluster,
                                  const std::vector<size_t>& members) = 0;
+
+  /// \name Optional pruned-kernel support
+  ///
+  /// The pruned assignment kernel (AssignmentKernel::kPruned) keeps
+  /// Hamerly-style per-point distance bounds in the embedded metric
+  /// d(x, y) = sqrt(2 - 2 * sim(x, y)) — a true metric whenever the
+  /// similarity is a positive-semidefinite kernel with sim(x, x) <= 1
+  /// (any nonnegative-weighted combination of cosines qualifies). Keeping
+  /// the bounds valid across iterations requires knowing how far each
+  /// centroid moved in the last recompute; models that can report that
+  /// return true here and answer LastCentroidMoveSimilarity.
+  ///@{
+  virtual bool TracksCentroidDrift() const { return false; }
+  /// Similarity between `cluster`'s centroid before and after the most
+  /// recent RecomputeCentroid call (1.0 when it did not move). The base
+  /// implementation reports 0.0 — "moved arbitrarily far" — which keeps
+  /// the pruned kernel correct (every recompute loosens the bounds
+  /// maximally) but defeats its purpose.
+  virtual double LastCentroidMoveSimilarity(int /*cluster*/) const {
+    return 0.0;
+  }
+  ///@}
+};
+
+/// Which assignment scan the k-means loop runs. Both kernels produce
+/// bit-identical clusterings (see docs/performance.md); they differ only
+/// in how many Similarity evaluations they spend.
+enum class AssignmentKernel {
+  /// kPruned when the model tracks centroid drift, kExact otherwise.
+  kAuto,
+  /// The plain O(n * k) scan of every point against every centroid.
+  kExact,
+  /// Triangle-inequality pruning with per-point upper/lower bounds
+  /// (Hamerly) plus per-point-per-centroid lower-bound rows (Elkan): a
+  /// point whose cached assignment provably strictly dominates every
+  /// other centroid skips its scan, and within a partial scan each
+  /// centroid whose row bound already exceeds the tightened upper bound
+  /// is skipped individually. Requires the similarity to be a PSD
+  /// kernel with sim(x, x) <= 1 (the form-page model is; arbitrary
+  /// models — e.g. negative similarities — must use kExact).
+  kPruned,
 };
 
 struct KMeansOptions {
@@ -39,12 +81,36 @@ struct KMeansOptions {
   double movement_stop_fraction = 0.10;
   /// Hard cap for pathological non-convergence.
   int max_iterations = 100;
+  AssignmentKernel kernel = AssignmentKernel::kAuto;
+  /// When in (0, n): deterministic mini-batch mode. Each counted iteration
+  /// reassigns only the next contiguous wrap-around slice of this many
+  /// points (the batch schedule is a pure function of the iteration
+  /// number, so results are thread-count independent), then rebuilds the
+  /// centroids from the full current assignment. An uncounted priming
+  /// full pass files every point first, and an uncounted final full pass
+  /// re-labels the whole corpus under the converged centroids. 0 (or
+  /// >= n) runs the classic full-batch loop unchanged — the default, and
+  /// the bit-identical-to-history configuration.
+  size_t minibatch_size = 0;
 };
 
 /// Per-run diagnostics.
 struct KMeansStats {
   int iterations = 0;
   bool converged = false;
+  /// Point-centroid Similarity() evaluations spent in assignment scans —
+  /// the O(n * k) cost the pruned kernel attacks. Deterministic at any
+  /// thread count (per-point work is a pure function of the point).
+  uint64_t similarity_evals = 0;
+  /// Points settled purely from their cached bounds, without a full
+  /// centroid scan (at most one tightening evaluation).
+  uint64_t bound_skips = 0;
+  /// Individual point-centroid evaluations avoided inside partial scans
+  /// because the per-centroid lower bound (Elkan row) already exceeded
+  /// the tightened upper bound.
+  uint64_t centroid_prunes = 0;
+  /// True when the run used the pruned kernel.
+  bool pruned_kernel = false;
 };
 
 /// \brief K-means over a CentroidModel (Algorithm 1 core loop).

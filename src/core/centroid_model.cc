@@ -12,7 +12,8 @@ FormPageCentroidModel::FormPageCentroidModel(const FormPageSet* pages, int k,
       k_(k),
       config_(config),
       weights_(weights),
-      centroids_(static_cast<size_t>(k)) {
+      centroids_(static_cast<size_t>(k)),
+      move_sim_(static_cast<size_t>(k), 0.0) {
   assert(k > 0);
 }
 
@@ -26,7 +27,11 @@ double FormPageCentroidModel::Similarity(size_t point, int cluster) const {
 
 void FormPageCentroidModel::RecomputeCentroid(
     int cluster, const std::vector<size_t>& members) {
-  if (members.empty()) return;  // keep previous centroid
+  if (members.empty()) {
+    // Keep previous centroid — which by definition did not move.
+    move_sim_[static_cast<size_t>(cluster)] = 1.0;
+    return;
+  }
   // Dense-accumulator path: the shared dictionary bounds every TermId, so
   // both spaces scatter straight into a dictionary-sized array instead of
   // paying repeated sparse merges (the k-means recompute hot path).
@@ -51,8 +56,16 @@ void FormPageCentroidModel::RecomputeCentroid(
     }
   }
   CentroidPair& out = centroids_[static_cast<size_t>(cluster)];
-  out.pc = vsm::Centroid(pcs, num_terms);
-  out.fc = vsm::Centroid(fcs, num_terms);
+  CentroidPair next;
+  next.pc = vsm::Centroid(pcs, num_terms);
+  next.fc = vsm::Centroid(fcs, num_terms);
+  // Drift record for the pruned kernel: how similar is the new centroid to
+  // the one it replaces. One sparse dot per space, k per iteration —
+  // negligible next to the O(n * k) assignment scan it lets the kernel
+  // avoid.
+  move_sim_[static_cast<size_t>(cluster)] =
+      CentroidSimilarity(out, next, config_, weights_);
+  out = std::move(next);
 }
 
 }  // namespace cafc

@@ -22,15 +22,26 @@ class FormPageCentroidModel : public cluster::CentroidModel {
   void RecomputeCentroid(int cluster,
                          const std::vector<size_t>& members) override;
 
+  /// Drift tracking for the pruned assignment kernel: Eq. 3 is a
+  /// nonnegative-weighted cosine combination — a PSD kernel with
+  /// sim(x, x) <= 1 — and every RecomputeCentroid records the similarity
+  /// between the outgoing and incoming centroid.
+  bool TracksCentroidDrift() const override { return true; }
+  double LastCentroidMoveSimilarity(int cluster) const override {
+    return move_sim_[static_cast<size_t>(cluster)];
+  }
+
   const CentroidPair& centroid(int cluster) const {
     return centroids_[static_cast<size_t>(cluster)];
   }
 
   /// Installs an explicit centroid — the warm-start seam: a directory
   /// refresh places the previous epoch's converged centroids here and runs
-  /// cluster::KMeansFromCurrentCentroids instead of re-seeding.
+  /// cluster::KMeansFromCurrentCentroids instead of re-seeding. Counts as
+  /// an unbounded move for drift tracking.
   void SetCentroid(int cluster, CentroidPair centroid) {
     centroids_[static_cast<size_t>(cluster)] = std::move(centroid);
+    move_sim_[static_cast<size_t>(cluster)] = 0.0;
   }
 
  private:
@@ -39,6 +50,10 @@ class FormPageCentroidModel : public cluster::CentroidModel {
   ContentConfig config_;
   SimilarityWeights weights_;
   std::vector<CentroidPair> centroids_;
+  /// Per cluster: similarity of the previous centroid to the current one,
+  /// recorded by the last RecomputeCentroid/SetCentroid (0.0 = unknown /
+  /// arbitrarily far, the conservative default).
+  std::vector<double> move_sim_;
 };
 
 }  // namespace cafc

@@ -188,9 +188,62 @@ DatabaseDirectory::Classification DatabaseDirectory::ClassifyPage(
   return best;
 }
 
+cluster::CentroidIndex DatabaseDirectory::BuildCentroidIndex() const {
+  cluster::CentroidIndex index;
+  for (const DirectoryEntry& entry : entries_) {
+    index.AddCentroid(entry.centroid.pc, entry.centroid.fc);
+  }
+  return index;
+}
+
+DatabaseDirectory::Classification DatabaseDirectory::ClassifyPage(
+    const FormPage& page, ContentConfig config,
+    const cluster::CentroidIndex& index, DirectoryQueryCost* cost) const {
+  Classification best;
+  if (entries_.empty()) return best;
+  // The full scan takes entry 0 unconditionally, then demands strict
+  // improvement. Entries the index never emits share no term with the
+  // page in any active space, so their Eq. 3 similarity is exactly 0.0 —
+  // never a strict improvement over this baseline (similarities are
+  // nonnegative), which is what makes the two paths bit-identical.
+  best.entry = 0;
+  best.similarity = 0.0;
+  // Thread-local: reused across queries on this thread (the scoring loop
+  // allocates nothing once warm), while concurrent workers each use their
+  // own.
+  static thread_local cluster::CentroidIndex::Scratch scratch;
+  cluster::CentroidIndexStats index_stats;
+  index.Score(
+      page.pc, page.fc, /*use_pc=*/config != ContentConfig::kFcOnly,
+      /*use_fc=*/config != ContentConfig::kPcOnly, &scratch,
+      [&](int c, double pc_cos, double fc_cos) {
+        const double sim = CombineSpaceSimilarities(pc_cos, fc_cos, config,
+                                                    SimilarityWeights{});
+        if (c == 0) {
+          best.similarity = sim;  // the scan's unconditional first take
+        } else if (sim > best.similarity) {
+          best.entry = c;
+          best.similarity = sim;
+        }
+      },
+      &index_stats);
+  if (cost != nullptr) {
+    cost->centroids_scored = index_stats.candidates;
+    cost->postings_visited = index_stats.postings_visited;
+  }
+  return best;
+}
+
 DatabaseDirectory::Classification DatabaseDirectory::ClassifyDocument(
     const forms::FormPageDocument& doc, ContentConfig config) const {
   return ClassifyPage(WeighNewDocument(collection_, doc), config);
+}
+
+DatabaseDirectory::Classification DatabaseDirectory::ClassifyDocument(
+    const forms::FormPageDocument& doc, ContentConfig config,
+    const cluster::CentroidIndex& index, DirectoryQueryCost* cost) const {
+  return ClassifyPage(WeighNewDocument(collection_, doc), config, index,
+                      cost);
 }
 
 DatabaseDirectory::Classification DatabaseDirectory::AddSource(
@@ -312,8 +365,25 @@ Result<DirectoryRefreshReport> DatabaseDirectory::Refresh(
   return report;
 }
 
-std::vector<DatabaseDirectory::SearchHit> DatabaseDirectory::Search(
-    std::string_view query, size_t top_k) const {
+namespace {
+
+/// Ranks accumulated positive-similarity hits best first and truncates.
+/// Shared by the scan and indexed Search paths: both feed hits in
+/// ascending entry order, so the (unstable) sort sees the same input
+/// sequence and produces the same output.
+void RankHits(std::vector<DatabaseDirectory::SearchHit>* hits,
+              size_t top_k) {
+  std::sort(hits->begin(), hits->end(),
+            [](const DatabaseDirectory::SearchHit& a,
+               const DatabaseDirectory::SearchHit& b) {
+              return a.similarity > b.similarity;
+            });
+  if (hits->size() > top_k) hits->resize(top_k);
+}
+
+}  // namespace
+
+FormPage DatabaseDirectory::BuildQueryPage(std::string_view query) const {
   // The query is a tiny pseudo-document placed in both feature spaces, so
   // it can match schema-ish terms (FC centroids) and topical terms (PC).
   text::Analyzer analyzer;
@@ -326,19 +396,46 @@ std::vector<DatabaseDirectory::SearchHit> DatabaseDirectory::Search(
     pseudo.form_terms.push_back({id, vsm::Location::kFormText});
   }
   pseudo.dictionary = std::move(dict);
-  FormPage page = WeighNewDocument(collection_, pseudo);
+  return WeighNewDocument(collection_, pseudo);
+}
 
+std::vector<DatabaseDirectory::SearchHit> DatabaseDirectory::Search(
+    std::string_view query, size_t top_k) const {
+  FormPage page = BuildQueryPage(query);
   std::vector<SearchHit> hits;
   for (size_t i = 0; i < entries_.size(); ++i) {
     double sim = PageCentroidSimilarity(page, entries_[i].centroid,
                                         ContentConfig::kFcPlusPc);
     if (sim > 0.0) hits.push_back({static_cast<int>(i), sim});
   }
-  std::sort(hits.begin(), hits.end(),
-            [](const SearchHit& a, const SearchHit& b) {
-              return a.similarity > b.similarity;
-            });
-  if (hits.size() > top_k) hits.resize(top_k);
+  RankHits(&hits, top_k);
+  return hits;
+}
+
+std::vector<DatabaseDirectory::SearchHit> DatabaseDirectory::Search(
+    std::string_view query, size_t top_k,
+    const cluster::CentroidIndex& index, DirectoryQueryCost* cost) const {
+  FormPage page = BuildQueryPage(query);
+  std::vector<SearchHit> hits;
+  static thread_local cluster::CentroidIndex::Scratch scratch;
+  cluster::CentroidIndexStats index_stats;
+  // Candidates arrive in ascending entry order with bit-identical
+  // similarities; entries the index skips score exactly 0.0 in the full
+  // scan and fail its positive-similarity filter, so the hit sequence —
+  // and therefore the ranking — matches the scan exactly.
+  index.Score(
+      page.pc, page.fc, /*use_pc=*/true, /*use_fc=*/true, &scratch,
+      [&](int c, double pc_cos, double fc_cos) {
+        const double sim = CombineSpaceSimilarities(
+            pc_cos, fc_cos, ContentConfig::kFcPlusPc, SimilarityWeights{});
+        if (sim > 0.0) hits.push_back({c, sim});
+      },
+      &index_stats);
+  if (cost != nullptr) {
+    cost->centroids_scored = index_stats.candidates;
+    cost->postings_visited = index_stats.postings_visited;
+  }
+  RankHits(&hits, top_k);
   return hits;
 }
 

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cluster/centroid_index.h"
 #include "cluster/types.h"
 #include "core/cafc.h"
 #include "core/form_page.h"
@@ -31,6 +32,16 @@ struct DirectoryRefreshOptions {
   /// When the drift fraction exceeds this, the report recommends a cold
   /// reseed (CafcC / CafcCh) instead of trusting the warm-started result.
   double reseed_drift_threshold = 0.25;
+};
+
+/// Per-query work accounting of the index-accelerated Classify/Search
+/// paths (how sublinear the directory actually was for this query).
+struct DirectoryQueryCost {
+  /// Entry centroids whose similarity was computed exactly — the full
+  /// scan always spends entries().size() of these.
+  uint64_t centroids_scored = 0;
+  /// (term, centroid) posting pairs the index walked.
+  uint64_t postings_visited = 0;
 };
 
 /// Outcome of a directory refresh against a corpus epoch.
@@ -133,11 +144,36 @@ class DatabaseDirectory {
                               ContentConfig config =
                                   ContentConfig::kFcPlusPc) const;
 
+  /// \brief Builds an inverted index over the current entries' centroid
+  /// terms for the index-accelerated Classify/Search overloads below.
+  ///
+  /// The index is a pure function of entries(): rebuild it after any
+  /// mutation (Refresh, AddSource) or the accelerated results go stale.
+  /// The serving layer builds one per published snapshot epoch and shares
+  /// it immutably across workers.
+  cluster::CentroidIndex BuildCentroidIndex() const;
+
+  /// Index-accelerated ClassifyPage: scores only the entries sharing at
+  /// least one term with the page, with bit-identical results to the full
+  /// scan (non-candidates have an exact 0.0 similarity, which can never
+  /// beat the scan's strict-improvement rule). `index` must be built from
+  /// this directory's current entries.
+  Classification ClassifyPage(const FormPage& page, ContentConfig config,
+                              const cluster::CentroidIndex& index,
+                              DirectoryQueryCost* cost = nullptr) const;
+
   /// Files a raw form-page document: weighs it against the directory's
   /// collection statistics, then classifies.
   Classification ClassifyDocument(const forms::FormPageDocument& doc,
                                   ContentConfig config =
                                       ContentConfig::kFcPlusPc) const;
+
+  /// Index-accelerated ClassifyDocument (same contract as the indexed
+  /// ClassifyPage).
+  Classification ClassifyDocument(const forms::FormPageDocument& doc,
+                                  ContentConfig config,
+                                  const cluster::CentroidIndex& index,
+                                  DirectoryQueryCost* cost = nullptr) const;
 
   /// Incremental maintenance: files `doc` into its best-matching section,
   /// updates that section's centroid to the running mean including the new
@@ -163,6 +199,13 @@ class DatabaseDirectory {
   std::vector<SearchHit> Search(std::string_view query,
                                 size_t top_k = 5) const;
 
+  /// Index-accelerated Search: bit-identical hits (entries sharing no
+  /// term score exactly 0.0 and are filtered by the positive-similarity
+  /// rule in both paths). `index` must be built from the current entries.
+  std::vector<SearchHit> Search(std::string_view query, size_t top_k,
+                                const cluster::CentroidIndex& index,
+                                DirectoryQueryCost* cost = nullptr) const;
+
   /// Serializes to a line-oriented text file. The format is versioned and
   /// self-contained (vocabulary, IDF statistics, weights, centroids).
   Status SaveToFile(const std::string& path) const;
@@ -171,6 +214,10 @@ class DatabaseDirectory {
   static Result<DatabaseDirectory> LoadFromFile(const std::string& path);
 
  private:
+  /// Analyzes and weighs a keyword query into the pseudo-page both Search
+  /// paths score (the query lives in both feature spaces).
+  FormPage BuildQueryPage(std::string_view query) const;
+
   FormPageSet collection_;  // dictionary + stats + weights; pages empty
   std::vector<DirectoryEntry> entries_;
   uint64_t epoch_ = 0;  // corpus epoch last reflected (0 = none)

@@ -98,6 +98,15 @@ class FormPageSet {
   std::vector<FormPage> pages_;
 };
 
+/// The Eq. 3 kernel over already-computed per-space cosines: the weighted
+/// average (or single-space selection) every *Similarity function below
+/// reduces to. Exposed so index-accelerated scorers (cluster::
+/// CentroidIndex consumers) combine their per-space cosines through the
+/// exact same arithmetic as the full scans.
+double CombineSpaceSimilarities(double pc_cos, double fc_cos,
+                                ContentConfig config,
+                                const SimilarityWeights& weights);
+
 /// Eq. 3: weighted average of per-space cosines. Under kFcOnly / kPcOnly
 /// the other space is ignored entirely.
 double FormPageSimilarity(const FormPage& a, const FormPage& b,

@@ -1,11 +1,11 @@
 #include "core/form_page.h"
 
 namespace cafc {
-namespace {
 
 /// Shared Eq. 3 kernel over the two per-space cosines.
-double Combine(double pc_cos, double fc_cos, ContentConfig config,
-               const SimilarityWeights& weights) {
+double CombineSpaceSimilarities(double pc_cos, double fc_cos,
+                                ContentConfig config,
+                                const SimilarityWeights& weights) {
   switch (config) {
     case ContentConfig::kFcOnly:
       return fc_cos;
@@ -19,8 +19,6 @@ double Combine(double pc_cos, double fc_cos, ContentConfig config,
   }
   return 0.0;
 }
-
-}  // namespace
 
 std::string_view ContentConfigName(ContentConfig config) {
   switch (config) {
@@ -43,7 +41,7 @@ double FormPageSimilarity(const FormPage& a, const FormPage& b,
   double fc_cos = config == ContentConfig::kPcOnly
                       ? 0.0
                       : vsm::CosineSimilarity(a.fc, b.fc);
-  return Combine(pc_cos, fc_cos, config, weights);
+  return CombineSpaceSimilarities(pc_cos, fc_cos, config, weights);
 }
 
 double PageCentroidSimilarity(const FormPage& page, const CentroidPair& c,
@@ -55,7 +53,7 @@ double PageCentroidSimilarity(const FormPage& page, const CentroidPair& c,
   double fc_cos = config == ContentConfig::kPcOnly
                       ? 0.0
                       : vsm::CosineSimilarity(page.fc, c.fc);
-  return Combine(pc_cos, fc_cos, config, weights);
+  return CombineSpaceSimilarities(pc_cos, fc_cos, config, weights);
 }
 
 double CentroidSimilarity(const CentroidPair& a, const CentroidPair& b,
@@ -67,7 +65,7 @@ double CentroidSimilarity(const CentroidPair& a, const CentroidPair& b,
   double fc_cos = config == ContentConfig::kPcOnly
                       ? 0.0
                       : vsm::CosineSimilarity(a.fc, b.fc);
-  return Combine(pc_cos, fc_cos, config, weights);
+  return CombineSpaceSimilarities(pc_cos, fc_cos, config, weights);
 }
 
 CentroidPair ComputeCentroid(const std::vector<FormPage>& pages,

@@ -1,0 +1,154 @@
+#include "core/stream_ingest.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "forms/form_classifier.h"
+#include "forms/form_extractor.h"
+#include "html/dom.h"
+#include "util/thread_pool.h"
+#include "web/url.h"
+
+namespace cafc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Same fixed chunk size as the crawl pipeline: chunk boundaries (and so
+/// dictionary shards and merge order) depend only on the absolute page
+/// index, never on thread count or batch size.
+constexpr size_t kStreamGrain = 32;
+
+/// Outcome slot of one form page within the current batch. Written only by
+/// the chunk owning the page's index; read serially at the merge.
+struct PageOutcome {
+  bool kept = false;
+  DatasetEntry entry;
+};
+
+struct ChunkCounters {
+  double generate_ms = 0.0;
+  double model_ms = 0.0;
+};
+
+}  // namespace
+
+Result<StreamedCorpusBuild> BuildStreamedCorpus(
+    const web::StreamingWeb& web, const StreamIngestOptions& options,
+    const CorpusOptions& corpus_options) {
+  const auto t_total = Clock::now();
+  StreamedCorpusBuild build{Corpus(corpus_options), StreamIngestStats{}};
+  StreamIngestStats& stats = build.stats;
+
+  util::ScopedThreads scoped_threads(options.threads);
+
+  const size_t n = options.max_pages == 0
+                       ? web.num_form_pages()
+                       : std::min(options.max_pages, web.num_form_pages());
+  // Whole chunks per batch, so a batch boundary is always a chunk boundary
+  // and the shard layout is independent of batch_pages.
+  const size_t batch =
+      std::max<size_t>(kStreamGrain,
+                       (options.batch_pages / kStreamGrain) * kStreamGrain);
+
+  forms::FormPageModelBuilder builder(options.analyzer, options.model);
+  forms::FormClassifier classifier;
+
+  for (size_t batch_begin = 0; batch_begin < n; batch_begin += batch) {
+    const size_t batch_end = std::min(batch_begin + batch, n);
+    const size_t batch_size = batch_end - batch_begin;
+    const size_t chunks = (batch_size + kStreamGrain - 1) / kStreamGrain;
+    std::vector<PageOutcome> outcomes(batch_size);
+    std::vector<std::shared_ptr<vsm::TermDictionary>> shards(chunks);
+    std::vector<ChunkCounters> counters(chunks);
+
+    util::ParallelFor(
+        batch_begin, batch_end, kStreamGrain,
+        [&](size_t begin, size_t end) {
+          const size_t chunk = (begin - batch_begin) / kStreamGrain;
+          auto shard = std::make_shared<vsm::TermDictionary>();
+          shards[chunk] = shard;
+          ChunkCounters& cc = counters[chunk];
+          text::AnalyzerScratch scratch;
+          for (size_t i = begin; i < end; ++i) {
+            PageOutcome& out = outcomes[i - batch_begin];
+
+            const auto t_generate = Clock::now();
+            web::WebPage page = web.FormPage(i);
+            cc.generate_ms += MsSince(t_generate);
+
+            const auto t_model = Clock::now();
+            html::Document dom = html::Parse(page.html);
+            std::vector<forms::Form> page_forms = forms::ExtractForms(dom);
+            bool searchable = false;
+            for (const forms::Form& form : page_forms) {
+              if (classifier.IsSearchable(form)) {
+                searchable = true;
+                break;
+              }
+            }
+            if (!searchable) {
+              cc.model_ms += MsSince(t_model);
+              continue;
+            }
+            out.kept = true;
+            DatasetEntry& entry = out.entry;
+            entry.doc = builder.Build(page.url, dom, std::move(page_forms),
+                                      shard, &scratch);
+            entry.labels = forms::ExtractAllLabels(dom);
+            entry.gold = static_cast<int>(web.GoldDomain(i));
+            entry.single_attribute = web.SingleAttribute(i);
+            entry.root_url = web.SiteRootUrl(i);
+            entry.site = web::SiteOf(page.url);
+            // The generator's hub layout makes the citing set an index
+            // computation — these are real offsite backlinks, no crawl or
+            // graph inversion needed.
+            entry.backlinks = web.CitingHubs(i);
+            cc.model_ms += MsSince(t_model);
+          }
+        });
+
+    // Serial deterministic absorption, chunk order == index order.
+    const auto t_merge = Clock::now();
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = c * kStreamGrain;
+      const size_t end = std::min(begin + kStreamGrain, batch_size);
+      std::vector<DatasetEntry> chunk_entries;
+      for (size_t i = begin; i < end; ++i) {
+        if (!outcomes[i].kept) {
+          ++stats.classifier_false_negatives;
+          continue;
+        }
+        chunk_entries.push_back(std::move(outcomes[i].entry));
+      }
+      stats.kept += chunk_entries.size();
+      Result<size_t> added =
+          build.corpus.AddPages(std::move(chunk_entries), shards[c].get());
+      if (!added.ok()) return added.status();
+    }
+    stats.merge_ms += MsSince(t_merge);
+    stats.pages_generated += batch_size;
+    for (const ChunkCounters& cc : counters) {
+      stats.generate_ms += cc.generate_ms;
+      stats.model_ms += cc.model_ms;
+    }
+  }
+
+  stats.total_ms = MsSince(t_total);
+  if (build.corpus.size() == 0) {
+    return Status::FailedPrecondition(
+        "classifier rejected every streamed form page");
+  }
+  return build;
+}
+
+}  // namespace cafc

@@ -1,0 +1,70 @@
+#ifndef CAFC_CORE_STREAM_INGEST_H_
+#define CAFC_CORE_STREAM_INGEST_H_
+
+#include <cstddef>
+
+#include "core/corpus.h"
+#include "core/dataset.h"
+#include "util/status.h"
+#include "web/stream_synthesizer.h"
+
+namespace cafc {
+
+/// Knobs of the streamed large-web ingestion pipeline.
+struct StreamIngestOptions {
+  text::AnalyzerOptions analyzer;
+  forms::FormPageModelOptions model;
+  /// Gold form pages to ingest (a prefix of the web's site range);
+  /// 0 = every site. Lets benches sweep corpus size over one config.
+  size_t max_pages = 0;
+  /// Pages resident at once (rounded up to whole ingest chunks). Bounds
+  /// peak memory: generated HTML, DOMs and pending entries all live only
+  /// within the current batch.
+  size_t batch_pages = 4096;
+  /// Thread-count override for the per-chunk model stage (0 = default
+  /// pool). The resulting corpus is bit-identical at any thread count.
+  int threads = 0;
+};
+
+/// Counters of one streamed build.
+struct StreamIngestStats {
+  size_t pages_generated = 0;  ///< form pages synthesized and parsed
+  size_t kept = 0;             ///< classified searchable and absorbed
+  size_t classifier_false_negatives = 0;  ///< gold pages rejected
+  double generate_ms = 0.0;  ///< HTML synthesis (worker sum)
+  double model_ms = 0.0;     ///< parse + extract + classify + intern (sum)
+  double merge_ms = 0.0;     ///< serial shard merges (wall)
+  double total_ms = 0.0;     ///< wall
+};
+
+/// Output of a streamed build: an epoch-versioned corpus plus counters.
+struct StreamedCorpusBuild {
+  Corpus corpus;
+  StreamIngestStats stats;
+};
+
+/// \brief Ingests a StreamingWeb's gold form pages directly into a Corpus
+/// without ever materializing the web.
+///
+/// The crawl-based pipeline (BuildCorpus) holds the whole SyntheticWeb —
+/// impossible at 10^5–10^6 pages. This builder instead walks the form-page
+/// index range in fixed-size batches: each batch's pages are generated on
+/// demand (pure functions of the config), parsed, classified, and interned
+/// into per-chunk dictionary shards in parallel, then absorbed serially in
+/// chunk order via Corpus::AddPages — the exact shard-merge discipline of
+/// the streaming crawl pipeline, so the corpus is bit-identical at any
+/// thread count and batch size. Peak memory is O(batch_pages), not O(web).
+///
+/// Backlinks are attached from StreamingWeb::CitingHubs (the generator's
+/// contiguous-window hub layout makes them an index computation), so
+/// hub-cluster seeding works on streamed corpora too. Pages the searchable-
+/// form classifier rejects are counted and dropped, like the crawl path.
+///
+/// Fails with FailedPrecondition when every page is rejected.
+Result<StreamedCorpusBuild> BuildStreamedCorpus(
+    const web::StreamingWeb& web, const StreamIngestOptions& options = {},
+    const CorpusOptions& corpus_options = {});
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_STREAM_INGEST_H_

@@ -96,13 +96,18 @@ QueryResponse DirectoryServer::Execute(const QueryRequest& request,
   QueryResponse response;
   response.snapshot_version = snap.version();
   response.corpus_epoch = snap.corpus_epoch();
+  // Index-accelerated paths: score only the sections sharing a term with
+  // the query (bit-identical to the full scan). The index was built once
+  // at publish time; `response.cost` records how little of the directory
+  // this query touched.
   switch (request.kind) {
     case QueryKind::kClassify:
-      response.classification =
-          snap.directory().ClassifyDocument(request.doc, request.config);
+      response.classification = snap.directory().ClassifyDocument(
+          request.doc, request.config, snap.index(), &response.cost);
       break;
     case QueryKind::kSearch:
-      response.hits = snap.directory().Search(request.query, request.top_k);
+      response.hits = snap.directory().Search(request.query, request.top_k,
+                                              snap.index(), &response.cost);
       break;
   }
   if (options_.service_pad_ms > 0.0) {
@@ -148,6 +153,8 @@ void DirectoryServer::WorkerLoop() {
       std::lock_guard<std::mutex> stats(stats_mutex_);
       if (response.status.ok()) {
         ++stats_.completed;
+        stats_.distance_comps.Add(
+            static_cast<double>(response.cost.centroids_scored));
       } else {
         ++stats_.deadline_exceeded;
       }

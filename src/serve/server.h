@@ -59,6 +59,9 @@ struct QueryResponse {
   std::vector<DatabaseDirectory::SearchHit> hits;
   double queue_ms = 0.0;    ///< Submit -> dequeue
   double service_ms = 0.0;  ///< dequeue -> response ready
+  /// How much of the snapshot's directory this query actually touched
+  /// (centroid-index pruning effectiveness; see ServerStats).
+  DirectoryQueryCost cost;
 };
 
 /// Serving-layer knobs.
@@ -92,6 +95,12 @@ struct ServerStats {
   util::Histogram queue_us;
   util::Histogram service_us;
   util::Histogram total_us;
+  /// Distance computations (exact centroid similarity evaluations) per
+  /// served query — the count the inverted centroid index keeps sublinear
+  /// in the number of sections. A full scan would put every query at
+  /// exactly the directory size, so this distribution *is* the pruning
+  /// effectiveness, surfaced in `cafc serve` stats output.
+  util::Histogram distance_comps;
 };
 
 /// \brief Concurrent query engine over an epoch-snapshot directory: a

@@ -7,6 +7,7 @@ namespace cafc::serve {
 DirectorySnapshot::DirectorySnapshot(DatabaseDirectory directory,
                                      uint64_t version, uint64_t corpus_epoch)
     : directory_(std::move(directory)),
+      index_(directory_.BuildCentroidIndex()),
       version_(version),
       corpus_epoch_(corpus_epoch) {}
 

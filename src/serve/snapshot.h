@@ -40,8 +40,15 @@ class DirectorySnapshot {
   /// outside an epoch-versioned corpus).
   uint64_t corpus_epoch() const { return corpus_epoch_; }
 
+  /// Inverted centroid index over the frozen entries, built once at
+  /// publish time and shared immutably by every worker pinning this
+  /// snapshot: queries score only the entries they share a term with
+  /// instead of scanning all of them, with bit-identical results.
+  const cluster::CentroidIndex& index() const { return index_; }
+
  private:
   DatabaseDirectory directory_;
+  cluster::CentroidIndex index_;
   uint64_t version_ = 0;
   uint64_t corpus_epoch_ = 0;
 };

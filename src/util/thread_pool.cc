@@ -215,10 +215,20 @@ ThreadPool* ThreadPool::Default() {
 }
 
 void ThreadPool::SetDefaultThreads(int threads) {
-  std::lock_guard<std::mutex> lock(g_default_mutex);
-  g_requested_threads = threads > 0 ? threads : 0;
-  delete g_default_pool;  // joins workers; rebuilt lazily on next Default()
-  g_default_pool = nullptr;
+  ThreadPool* old = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(g_default_mutex);
+    g_requested_threads = threads > 0 ? threads : 0;
+    old = g_default_pool;  // rebuilt lazily on next Default()
+    g_default_pool = nullptr;
+  }
+  // Destroying the pool joins its workers under the pool's submit mutex.
+  // That must happen *outside* the registry lock: a ParallelFor caller
+  // holds its pool's submit mutex while running chunks inline, and a
+  // nested ParallelFor inside a chunk takes the registry lock via
+  // Default() — so registry-then-submit here would complete a lock-order
+  // cycle with that submit-then-registry path.
+  delete old;
 }
 
 int ThreadPool::EffectiveThreads() {

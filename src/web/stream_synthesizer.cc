@@ -1,0 +1,481 @@
+#include "web/stream_synthesizer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace cafc::web {
+
+namespace {
+
+/// Independent per-entity RNG streams. A page's bytes depend only on
+/// (config.seed, stream, coordinates), never on generation order.
+enum Stream : uint64_t {
+  kSiteVocabStream = 1,  ///< per-site vocabulary slice
+  kSiteShapeStream,      ///< per-site sizes / single-attribute choice
+  kFormStream,           ///< form-page content
+  kRootStream,           ///< root-page content
+  kFillerStream,         ///< filler-page content
+  kHubStream,            ///< hub-page content
+};
+
+/// splitmix64 finalizer-based combiner: one well-mixed 64-bit seed from the
+/// config seed and up to two coordinates.
+uint64_t Mix(uint64_t a, uint64_t b, uint64_t c = 0) {
+  uint64_t z = a;
+  for (uint64_t w : {b, c}) {
+    z += 0x9e3779b97f4a7c15ULL + w;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+  }
+  return z;
+}
+
+constexpr std::string_view kScheme = "http://";
+constexpr std::string_view kSiteHostSuffix = ".stream";
+constexpr std::string_view kFormPath = "/search.html";
+constexpr std::string_view kHubPath = "/links.html";
+
+const char* kFormActions[] = {"/cgi-bin/search", "/find.asp", "/query.php",
+                              "/dbsearch.html", "/results.jsp"};
+
+const std::string& Pick(Rng& rng, const std::vector<std::string>& pool) {
+  assert(!pool.empty());
+  return pool[rng.Uniform(pool.size())];
+}
+
+template <typename T, size_t N>
+const T& Pick(Rng& rng, const T (&pool)[N]) {
+  return pool[rng.Uniform(N)];
+}
+
+std::string SampleTerms(Rng& rng, const std::vector<std::string>& pool,
+                        int n) {
+  std::vector<std::string> words;
+  words.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) words.push_back(Pick(rng, pool));
+  return Join(words, " ");
+}
+
+/// Parses a decimal index out of `text`; false on junk or trailing bytes.
+bool ParseIndex(std::string_view text, size_t* out) {
+  if (text.empty()) return false;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(),
+                                   *out);
+  return ec == std::errc() && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+/// URL coordinates: which entity of the web a URL names.
+struct StreamingWeb::ParsedUrl {
+  enum Kind { kRoot, kForm, kFiller, kHub } kind = kRoot;
+  size_t site = 0;  ///< site index, or hub index for kHub
+  size_t page = 0;  ///< filler index for kFiller
+};
+
+StreamingWeb::StreamingWeb(StreamingWebConfig config)
+    : config_(std::move(config)) {
+  config_.sites = std::max<size_t>(1, config_.sites);
+  num_domains_ = std::clamp(config_.domains, 1, kNumDomains);
+  config_.domains = num_domains_;
+  config_.hub_fanout = std::max<size_t>(1, config_.hub_fanout);
+  num_hubs_ = static_cast<size_t>(
+      config_.hubs_per_site * static_cast<double>(config_.sites));
+}
+
+// ---------------------------------------------------------------- geometry
+
+std::string StreamingWeb::SiteRootUrl(size_t site) const {
+  return std::string(kScheme) + "s" + std::to_string(site) +
+         std::string(kSiteHostSuffix) + "/";
+}
+
+std::string StreamingWeb::FormPageUrl(size_t site) const {
+  return std::string(kScheme) + "s" + std::to_string(site) +
+         std::string(kSiteHostSuffix) + std::string(kFormPath);
+}
+
+std::string StreamingWeb::FillerUrl(size_t site, size_t page) const {
+  return std::string(kScheme) + "s" + std::to_string(site) +
+         std::string(kSiteHostSuffix) + "/p" + std::to_string(page) +
+         ".html";
+}
+
+std::string StreamingWeb::HubUrl(size_t hub) const {
+  return std::string(kScheme) + "h" + std::to_string(hub) +
+         std::string(kSiteHostSuffix) + std::string(kHubPath);
+}
+
+Domain StreamingWeb::GoldDomain(size_t site) const {
+  size_t index = site * static_cast<size_t>(num_domains_) / config_.sites;
+  index = std::min(index, static_cast<size_t>(num_domains_) - 1);
+  return AllDomains()[index];
+}
+
+bool StreamingWeb::SingleAttribute(size_t site) const {
+  Rng rng(Mix(config_.seed, kSiteShapeStream, site));
+  return rng.Bernoulli(config_.single_attribute_fraction);
+}
+
+size_t StreamingWeb::FillerPages(size_t site) const {
+  // Truncated Zipf tail: X = floor(u^{-1/a}) - 1 gives
+  // P(X >= x) = (x + 1)^{-a}; most sites have no fillers, a few are deep.
+  Rng rng(Mix(config_.seed, kSiteShapeStream, site));
+  rng.Next64();  // decorrelate from the single-attribute draw
+  double u = 1.0 - rng.UniformDouble();  // (0, 1]
+  double x =
+      std::floor(std::pow(u, -1.0 / config_.zipf_exponent)) - 1.0;
+  if (x < 0.0) return 0;
+  return std::min(config_.max_site_pages,
+                  static_cast<size_t>(x));
+}
+
+size_t StreamingWeb::TotalPages() const {
+  size_t total = 2 * config_.sites + num_hubs_;
+  for (size_t s = 0; s < config_.sites; ++s) total += FillerPages(s);
+  return total;
+}
+
+size_t StreamingWeb::HubWindowStart(size_t hub) const {
+  return hub * config_.sites / num_hubs_;
+}
+
+bool StreamingWeb::HubCitesRoot(size_t hub, size_t j) const {
+  Rng rng(Mix(config_.seed, kHubStream, Mix(hub, j)));
+  return rng.Bernoulli(0.15);
+}
+
+std::vector<std::string> StreamingWeb::CitingHubs(size_t site) const {
+  std::vector<std::string> out;
+  if (num_hubs_ == 0) return out;
+  const size_t n_sites = config_.sites;
+  const size_t fanout = std::min(config_.hub_fanout, n_sites);
+  // A hub whose window starts at t covers sites t .. t+fanout-1 (mod
+  // sites); the hubs citing `site` are those with window start in the
+  // fanout-sized band ending at `site`. Window starts are monotone in the
+  // hub index (start = hub * sites / hubs), so each band position maps to
+  // a directly computable hub range.
+  for (size_t back = 0; back < fanout; ++back) {
+    const size_t t = (site + n_sites - back) % n_sites;
+    // Hubs with floor(h * sites / hubs) == t.
+    size_t lo = (t * num_hubs_ + n_sites - 1) / n_sites;       // ceil
+    size_t hi = ((t + 1) * num_hubs_ + n_sites - 1) / n_sites; // ceil
+    for (size_t h = lo; h < hi && h < num_hubs_; ++h) {
+      if (HubWindowStart(h) == t) out.push_back(HubUrl(h));
+    }
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- generation
+
+/// Per-site slice of the domain vocabulary — same role as the eager
+/// synthesizer's SampleSiteVocabulary: intra-domain heterogeneity.
+static std::vector<std::string> SiteVocabulary(
+    const StreamingWebConfig& config, size_t site, const DomainSpec& spec) {
+  Rng rng(Mix(config.seed, kSiteVocabStream, site));
+  size_t want = std::max<size_t>(
+      10, static_cast<size_t>(config.site_vocabulary_fraction *
+                              static_cast<double>(spec.content_terms.size())));
+  want = std::min(want, spec.content_terms.size());
+  std::vector<std::string> vocab;
+  for (size_t idx :
+       rng.SampleWithoutReplacement(spec.content_terms.size(), want)) {
+    vocab.push_back(spec.content_terms[idx]);
+  }
+  return vocab;
+}
+
+/// Body prose mixture — the streaming analog of DomainProse: domain terms
+/// (from the site slice), generic chrome, cross-domain noise, and the
+/// media/travel overlap pools that drive the paper's confusions.
+static std::string Prose(Rng& rng, const StreamingWebConfig& config,
+                         Domain domain, int n_terms,
+                         const std::vector<std::string>& site_vocab) {
+  const DomainSpec& spec = GetDomainSpec(domain);
+  bool media = domain == Domain::kMusic || domain == Domain::kMovie;
+  bool travel = domain == Domain::kAirfare || domain == Domain::kHotel ||
+                domain == Domain::kCarRental;
+  double overlap = media    ? config.media_overlap_strength
+                   : travel ? config.travel_overlap_strength
+                            : 0.0;
+  const std::vector<std::string>& overlap_pool =
+      media ? MediaOverlapTerms() : TravelOverlapTerms();
+  const std::vector<std::string>& domain_pool =
+      site_vocab.empty() ? spec.content_terms : site_vocab;
+  std::vector<std::string> words;
+  words.reserve(static_cast<size_t>(n_terms));
+  for (int i = 0; i < n_terms; ++i) {
+    double u = rng.UniformDouble();
+    if (u < overlap) {
+      words.push_back(Pick(rng, overlap_pool));
+    } else if (u < overlap + config.cross_domain_noise) {
+      const DomainSpec& other =
+          GetDomainSpec(AllDomains()[rng.Uniform(AllDomains().size())]);
+      words.push_back(Pick(rng, other.content_terms));
+    } else if (u < overlap + config.cross_domain_noise +
+                       config.domain_term_share) {
+      words.push_back(Pick(rng, domain_pool));
+    } else {
+      words.push_back(Pick(rng, GenericWebTerms()));
+    }
+  }
+  return Join(words, " ");
+}
+
+static std::string TitleText(Rng& rng, const DomainSpec& spec, int n_terms) {
+  std::vector<std::string> words;
+  words.reserve(static_cast<size_t>(n_terms));
+  for (int i = 0; i < n_terms; ++i) {
+    words.push_back(rng.Bernoulli(0.30) ? Pick(rng, GenericWebTerms())
+                                        : Pick(rng, spec.title_terms));
+  }
+  return Join(words, " ");
+}
+
+/// One attribute row: label cell + select/text control, mirroring the
+/// eager synthesizer's rendering so downstream extraction sees the same
+/// HTML idiom.
+static std::string RenderAttribute(Rng& rng, const AttributeSpec& attr) {
+  const std::string& label = attr.labels[rng.Uniform(attr.labels.size())];
+  std::string field_name = ToLower(label);
+  std::replace(field_name.begin(), field_name.end(), ' ', '_');
+  std::string control;
+  if (attr.prefer_select && !attr.values.empty() && rng.Bernoulli(0.85)) {
+    control = "<select name=\"" + field_name + "\">\n<option value=\"\">" +
+              std::string(rng.Bernoulli(0.5) ? "any" : "select one") +
+              "</option>\n";
+    size_t show = std::max<size_t>(
+        2, attr.values.size() - rng.Uniform(attr.values.size() / 2 + 1));
+    for (size_t v = 0; v < show && v < attr.values.size(); ++v) {
+      control += "<option value=\"" + std::to_string(v) + "\">" +
+                 attr.values[v] + "</option>\n";
+    }
+    control += "</select>";
+  } else {
+    control = "<input type=\"text\" name=\"" + field_name + "\" size=\"" +
+              std::to_string(10 + rng.Uniform(20)) + "\">";
+  }
+  std::string label_text = label;
+  label_text[0] = static_cast<char>(label_text[0] - 'a' + 'A');
+  return "<tr><td><b>" + label_text + ":</b></td><td>" + control +
+         "</td></tr>\n";
+}
+
+WebPage StreamingWeb::MakeFormPage(size_t site) const {
+  Rng rng(Mix(config_.seed, kFormStream, site));
+  Domain domain = GoldDomain(site);
+  const DomainSpec& spec = GetDomainSpec(domain);
+  std::vector<std::string> site_vocab =
+      SiteVocabulary(config_, site, spec);
+
+  std::string form;
+  if (SingleAttribute(site)) {
+    form = "<form action=\"" + std::string(Pick(rng, kFormActions)) +
+           "\" method=\"get\">\nsearch " + Pick(rng, spec.title_terms) +
+           " <input type=\"text\" name=\"" +
+           std::string(rng.Bernoulli(0.5) ? "q" : "keywords") +
+           "\" size=\"25\"> <input type=\"submit\" value=\"" +
+           Pick(rng, GenericFormTerms()) + "\">\n</form>\n";
+  } else {
+    size_t n_attrs =
+        std::min<size_t>(2 + rng.Uniform(4), spec.attributes.size());
+    std::string rows;
+    for (size_t idx :
+         rng.SampleWithoutReplacement(spec.attributes.size(), n_attrs)) {
+      rows += RenderAttribute(rng, spec.attributes[idx]);
+    }
+    form = "<form action=\"" + std::string(Pick(rng, kFormActions)) +
+           "\" method=\"get\" name=\"searchform\">\n<table>\n" + rows +
+           "</table>\n<input type=\"submit\" value=\"" +
+           Pick(rng, GenericFormTerms()) +
+           "\"> <input type=\"reset\" value=\"clear\">\n"
+           "<input type=\"hidden\" name=\"sid\" value=\"xkqzjw\">\n"
+           "</form>\n";
+  }
+
+  std::string title = TitleText(rng, spec, 3 + static_cast<int>(rng.Uniform(3)));
+  std::string html = "<html><head><title>" + title +
+                     "</title></head>\n<body>\n<h1>" +
+                     TitleText(rng, spec, 2) + "</h1>\n";
+  html += "<p><a href=\"/\">home</a></p>\n";
+  html += "<p>" +
+          Prose(rng, config_, domain, config_.form_body_terms, site_vocab) +
+          "</p>\n";
+  html += form;
+  html += "<p>" + SampleTerms(rng, GenericWebTerms(), 12) +
+          "</p>\n</body></html>\n";
+  return WebPage{FormPageUrl(site), std::move(html)};
+}
+
+WebPage StreamingWeb::MakeRoot(size_t site) const {
+  Rng rng(Mix(config_.seed, kRootStream, site));
+  Domain domain = GoldDomain(site);
+  const DomainSpec& spec = GetDomainSpec(domain);
+  std::vector<std::string> site_vocab =
+      SiteVocabulary(config_, site, spec);
+  std::string html = "<html><head><title>" + TitleText(rng, spec, 3) +
+                     "</title></head>\n<body>\n<h1>" +
+                     TitleText(rng, spec, 3) + "</h1>\n";
+  html += "<p>" +
+          Prose(rng, config_, domain, config_.form_body_terms, site_vocab) +
+          "</p>\n";
+  html += "<p><a href=\"" + std::string(kFormPath) + "\">" +
+          SampleTerms(rng, GenericFormTerms(), 2) + "</a></p>\n<ul>\n";
+  const size_t fillers = FillerPages(site);
+  for (size_t p = 0; p < fillers; ++p) {
+    html += "<li><a href=\"/p" + std::to_string(p) + ".html\">" +
+            SampleTerms(rng, spec.title_terms, 2) + "</a></li>\n";
+  }
+  html += "</ul>\n<p>" + SampleTerms(rng, GenericWebTerms(), 30) +
+          "</p>\n</body></html>\n";
+  return WebPage{SiteRootUrl(site), std::move(html)};
+}
+
+WebPage StreamingWeb::MakeFiller(size_t site, size_t page) const {
+  Rng rng(Mix(config_.seed, kFillerStream, Mix(site, page)));
+  Domain domain = GoldDomain(site);
+  const DomainSpec& spec = GetDomainSpec(domain);
+  std::vector<std::string> site_vocab =
+      SiteVocabulary(config_, site, spec);
+  std::string html = "<html><head><title>" + TitleText(rng, spec, 4) +
+                     "</title></head>\n<body>\n<p>" +
+                     Prose(rng, config_, domain,
+                           config_.form_body_terms * 2, site_vocab) +
+                     "</p>\n<p><a href=\"/\">home</a></p>\n</body></html>\n";
+  return WebPage{FillerUrl(site, page), std::move(html)};
+}
+
+WebPage StreamingWeb::MakeHub(size_t hub) const {
+  Rng rng(Mix(config_.seed, kHubStream, hub));
+  const size_t start = HubWindowStart(hub);
+  const size_t fanout = std::min(config_.hub_fanout, config_.sites);
+  const DomainSpec& flavor = GetDomainSpec(GoldDomain(start));
+  std::string html = "<html><head><title>" +
+                     SampleTerms(rng, flavor.title_terms, 2) +
+                     " directory</title></head>\n<body>\n<ul>\n";
+  for (size_t j = 0; j < fanout; ++j) {
+    const size_t member = (start + j) % config_.sites;
+    const std::string cite = HubCitesRoot(hub, j) ? SiteRootUrl(member)
+                                                  : FormPageUrl(member);
+    const DomainSpec& member_spec = GetDomainSpec(GoldDomain(member));
+    html += "<li><a href=\"" + cite + "\">" +
+            SampleTerms(rng, member_spec.title_terms, 2) + "</a></li>\n";
+  }
+  html += "</ul>\n<p>" + SampleTerms(rng, GenericWebTerms(), 25) +
+          "</p>\n</body></html>\n";
+  return WebPage{HubUrl(hub), std::move(html)};
+}
+
+Result<WebPage> StreamingWeb::GeneratePage(std::string_view url) const {
+  // Decode scheme://{s|h}<index>.stream/<path> back into coordinates.
+  auto reject = [&url]() {
+    return Status::NotFound("no such page: " + std::string(url));
+  };
+  if (url.substr(0, kScheme.size()) != kScheme) return reject();
+  std::string_view rest = url.substr(kScheme.size());
+  size_t slash = rest.find('/');
+  if (slash == std::string_view::npos) return reject();
+  std::string_view host = rest.substr(0, slash);
+  std::string_view path = rest.substr(slash);
+  if (host.size() <= 1 + kSiteHostSuffix.size() ||
+      host.substr(host.size() - kSiteHostSuffix.size()) != kSiteHostSuffix) {
+    return reject();
+  }
+  char kind = host[0];
+  size_t index = 0;
+  if (!ParseIndex(host.substr(1, host.size() - 1 - kSiteHostSuffix.size()),
+                  &index)) {
+    return reject();
+  }
+  if (kind == 'h') {
+    if (index >= num_hubs_ || path != kHubPath) return reject();
+    return MakeHub(index);
+  }
+  if (kind != 's' || index >= config_.sites) return reject();
+  if (path == "/") return MakeRoot(index);
+  if (path == kFormPath) return MakeFormPage(index);
+  if (path.size() > 7 && path.substr(0, 2) == "/p" &&
+      path.substr(path.size() - 5) == ".html") {
+    size_t page = 0;
+    if (!ParseIndex(path.substr(2, path.size() - 7), &page)) return reject();
+    if (page >= FillerPages(index)) return reject();
+    return MakeFiller(index, page);
+  }
+  return reject();
+}
+
+Result<const WebPage*> StreamingWeb::Fetch(std::string_view url) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = cache_.find(std::string(url));
+    if (it != cache_.end()) return it->second.get();
+  }
+  Result<WebPage> page = GeneratePage(url);
+  if (!page.ok()) return page.status();
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto [it, inserted] = cache_.emplace(
+      std::string(url), std::make_unique<WebPage>(std::move(*page)));
+  return it->second.get();
+}
+
+// ----------------------------------------------------------- materialize
+
+SyntheticWeb StreamingWeb::Materialize() const {
+  SyntheticWeb web;
+  auto add = [&web](WebPage page, const std::vector<std::string>& links) {
+    web.index_.emplace(page.url, web.pages_.size());
+    web.graph_.Intern(page.url);
+    for (const std::string& target : links) {
+      web.graph_.AddLink(page.url, target);
+    }
+    web.pages_.push_back(std::move(page));
+  };
+  for (size_t s = 0; s < config_.sites; ++s) {
+    const std::string root_url = SiteRootUrl(s);
+    const std::string form_url = FormPageUrl(s);
+    std::vector<std::string> root_links = {form_url};
+    const size_t fillers = FillerPages(s);
+    for (size_t p = 0; p < fillers; ++p) {
+      root_links.push_back(FillerUrl(s, p));
+    }
+    add(MakeRoot(s), root_links);
+    add(MakeFormPage(s), {root_url});
+    for (size_t p = 0; p < fillers; ++p) {
+      add(MakeFiller(s, p), {root_url});
+    }
+    web.seed_urls_.push_back(root_url);
+
+    FormPageInfo info;
+    info.url = form_url;
+    info.root_url = root_url;
+    info.domain = GoldDomain(s);
+    info.single_attribute = SingleAttribute(s);
+    web.form_pages_.push_back(std::move(info));
+  }
+  for (size_t h = 0; h < num_hubs_; ++h) {
+    const size_t start = HubWindowStart(h);
+    const size_t fanout = std::min(config_.hub_fanout, config_.sites);
+    std::vector<std::string> targets;
+    targets.reserve(fanout);
+    for (size_t j = 0; j < fanout; ++j) {
+      const size_t member = (start + j) % config_.sites;
+      targets.push_back(HubCitesRoot(h, j) ? SiteRootUrl(member)
+                                           : FormPageUrl(member));
+    }
+    WebPage page = MakeHub(h);
+    web.hub_urls_.push_back(page.url);
+    web.seed_urls_.push_back(page.url);
+    add(std::move(page), targets);
+  }
+  return web;
+}
+
+}  // namespace cafc::web

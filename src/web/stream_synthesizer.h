@@ -1,0 +1,159 @@
+#ifndef CAFC_WEB_STREAM_SYNTHESIZER_H_
+#define CAFC_WEB_STREAM_SYNTHESIZER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "web/domain_vocab.h"
+#include "web/page.h"
+#include "web/synthesizer.h"
+
+namespace cafc::web {
+
+/// Knobs of the streaming large-web generator. Where a knob mirrors
+/// SynthesizerConfig (vocabulary mixture shares) it keeps that default, so
+/// streamed pages speak the same language as the paper-shaped corpus.
+struct StreamingWebConfig {
+  uint64_t seed = 42;
+
+  /// Number of sites; every site hosts exactly one searchable form page,
+  /// so this is also the gold form-page count. Sites are assigned to
+  /// domains in contiguous blocks (site -> domain is a pure index
+  /// computation), which keeps hub windows mostly homogeneous like the
+  /// paper's observed hub structure.
+  size_t sites = 1000;
+  /// How many of the eight paper domains to use (clamped to [1, 8]).
+  int domains = kNumDomains;
+
+  /// Filler ("article") pages per site follow a truncated Zipf tail:
+  /// P(filler >= x) ~ x^-zipf_exponent, capped at max_site_pages. Most
+  /// sites are tiny, a few are deep — the realistic site-size skew.
+  double zipf_exponent = 1.1;
+  size_t max_site_pages = 8;
+
+  /// Hub pages: `sites * hubs_per_site` hubs, each citing a contiguous
+  /// window of `hub_fanout` sites (form page or, ~15% of the time, the
+  /// site root — the paper's orphan-page pattern). Contiguous windows make
+  /// the citing-hub set of any site computable in O(1), so the streamed
+  /// ingest can attach real backlinks without inverting a random graph.
+  double hubs_per_site = 0.4;
+  size_t hub_fanout = 12;
+
+  /// Body prose length of a form page (roots and fillers scale off this).
+  int form_body_terms = 90;
+  /// Fraction of sites whose form is a single keyword box.
+  double single_attribute_fraction = 0.12;
+
+  /// Vocabulary mixture shares — same semantics as SynthesizerConfig.
+  double domain_term_share = 0.17;
+  double cross_domain_noise = 0.22;
+  double media_overlap_strength = 0.46;
+  double travel_overlap_strength = 0.30;
+  double site_vocabulary_fraction = 0.16;
+};
+
+/// \brief A synthetic web of unbounded size that is never materialized:
+/// every page is a pure function of (config, url).
+///
+/// The eager Synthesizer builds the whole corpus up front — fine at the
+/// paper's 454 form pages, hopeless at 10^5–10^6. StreamingWeb instead
+/// derives each page on demand from a per-page RNG seeded by hashing the
+/// config seed with the page's coordinates, so `GeneratePage(url)` returns
+/// the same bytes no matter when, where, or how often it is called, and
+/// generating a million-page web costs exactly the pages you touch.
+///
+/// Two consumption modes:
+///  - Streaming (bounded RAM): `GeneratePage` returns pages by value;
+///    `FormPageUrl`/`GoldDomain`/`CitingHubs` expose the gold standard and
+///    link structure as index computations. This is what
+///    `BuildStreamedCorpus` and the sublinear benches use.
+///  - Fetcher (compatibility): `Fetch` satisfies the WebFetcher pointer-
+///    stability contract by caching generated pages under a mutex — a
+///    crawl that visits everything therefore materializes everything. Use
+///    it for moderate sizes (the `--pages` overrides of the existing
+///    benches); use the streaming mode for the large-n regime.
+class StreamingWeb : public WebFetcher {
+ public:
+  explicit StreamingWeb(StreamingWebConfig config);
+
+  const StreamingWebConfig& config() const { return config_; }
+
+  // ------------------------------------------------------------- geometry
+
+  /// One gold searchable form page per site.
+  size_t num_form_pages() const { return config_.sites; }
+  size_t num_hubs() const { return num_hubs_; }
+  /// Total pages in the web (roots + form pages + fillers + hubs).
+  /// O(sites): sums the per-site Zipf sizes.
+  size_t TotalPages() const;
+
+  std::string SiteRootUrl(size_t site) const;
+  std::string FormPageUrl(size_t site) const;
+  std::string FillerUrl(size_t site, size_t page) const;
+  std::string HubUrl(size_t hub) const;
+
+  /// Gold domain of site `site` (contiguous blocks over the site range).
+  Domain GoldDomain(size_t site) const;
+  /// True for the sites whose form is a single keyword box.
+  bool SingleAttribute(size_t site) const;
+  /// Filler pages of `site` (Zipf-distributed, deterministic per seed).
+  size_t FillerPages(size_t site) const;
+
+  /// URLs of the hub pages citing `site`, derived in O(hub_fanout) from
+  /// the contiguous-window layout — no graph inversion, no materialized
+  /// web. Every returned hub's page really does link to the site (form
+  /// page or root).
+  std::vector<std::string> CitingHubs(size_t site) const;
+
+  // ----------------------------------------------------------- generation
+
+  /// Generates `url` from scratch: same bytes for the same (config, url)
+  /// on every call. NotFound for URLs outside the web's universe. This is
+  /// the bounded-RAM path — nothing is retained.
+  Result<WebPage> GeneratePage(std::string_view url) const;
+
+  /// Direct by-index generation of site `site`'s gold form page —
+  /// identical bytes to GeneratePage(FormPageUrl(site)), minus the URL
+  /// round-trip. The streamed ingest's inner loop.
+  WebPage FormPage(size_t site) const { return MakeFormPage(site); }
+
+  /// WebFetcher compatibility: GeneratePage + cache (pointer stability).
+  /// Thread-safe. Memory grows with the set of distinct URLs fetched.
+  Result<const WebPage*> Fetch(std::string_view url) const override;
+
+  /// Eagerly generates every page into a classic SyntheticWeb (pages,
+  /// truth graph, gold labels, crawl seeds) so the crawl-based pipeline
+  /// (BuildDataset / BuildCorpus) can consume a parameterized large web
+  /// without code changes. O(TotalPages()) time and memory — the escape
+  /// hatch for moderate sizes, not the million-page path.
+  SyntheticWeb Materialize() const;
+
+ private:
+  struct ParsedUrl;
+
+  WebPage MakeRoot(size_t site) const;
+  WebPage MakeFormPage(size_t site) const;
+  WebPage MakeFiller(size_t site, size_t page) const;
+  WebPage MakeHub(size_t hub) const;
+  /// First site of hub `hub`'s citation window.
+  size_t HubWindowStart(size_t hub) const;
+  /// Whether hub `hub` cites member slot `j` via the site root (the
+  /// orphan-page pattern) instead of the form page directly.
+  bool HubCitesRoot(size_t hub, size_t j) const;
+
+  StreamingWebConfig config_;
+  size_t num_hubs_ = 0;
+  int num_domains_ = kNumDomains;
+
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<std::string, std::unique_ptr<WebPage>> cache_;
+};
+
+}  // namespace cafc::web
+
+#endif  // CAFC_WEB_STREAM_SYNTHESIZER_H_

@@ -58,6 +58,7 @@ class SyntheticWeb : public WebFetcher {
 
  private:
   friend class SyntheticWebBuilder;
+  friend class StreamingWeb;  // Materialize() fills the same fields
 
   std::vector<WebPage> pages_;
   std::unordered_map<std::string, size_t> index_;

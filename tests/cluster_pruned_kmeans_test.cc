@@ -1,0 +1,227 @@
+// Bit-identity contract of the pruned (Hamerly-bound) assignment kernel
+// and the deterministic mini-batch mode against the exact O(n*k) scan —
+// including the edge cases where tie-breaking and bound invalidation are
+// easiest to get wrong: duplicate points, orthogonal single-term vectors,
+// clusters that empty out mid-run, and more clusters than points. Every
+// comparison is repeated at thread counts {1, 2, 8}.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cafc.h"
+#include "core/centroid_model.h"
+#include "core/stream_ingest.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "web/stream_synthesizer.h"
+
+namespace cafc {
+namespace {
+
+using cluster::AssignmentKernel;
+using cluster::Clustering;
+using cluster::KMeansOptions;
+using cluster::KMeansStats;
+
+/// A hand-built page set: each row is (term, weight) pairs for PC; FC
+/// mirrors PC so both spaces participate.
+FormPageSet MakePages(
+    const std::vector<std::vector<std::pair<vsm::TermId, double>>>& rows) {
+  FormPageSet pages;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    FormPage page;
+    page.url = "http://p" + std::to_string(i) + ".test/";
+    std::vector<vsm::Entry> entries;
+    for (auto [term, weight] : rows[i]) entries.push_back({term, weight});
+    page.pc = vsm::SparseVector::FromUnsorted(entries);
+    page.fc = page.pc;
+    pages.mutable_pages()->push_back(std::move(page));
+  }
+  return pages;
+}
+
+/// Runs KMeans over a fresh FormPageCentroidModel with the given kernel.
+Clustering RunKernel(const FormPageSet& pages,
+               const std::vector<std::vector<size_t>>& seeds,
+               AssignmentKernel kernel, KMeansStats* stats = nullptr,
+               size_t minibatch = 0) {
+  FormPageCentroidModel model(&pages, static_cast<int>(seeds.size()),
+                              ContentConfig::kFcPlusPc);
+  KMeansOptions options;
+  options.kernel = kernel;
+  options.minibatch_size = minibatch;
+  return cluster::KMeans(&model, seeds, options, stats);
+}
+
+/// Exact and pruned kernels must agree bit-for-bit at every thread count.
+void ExpectKernelsAgree(const FormPageSet& pages,
+                        const std::vector<std::vector<size_t>>& seeds) {
+  for (int threads : {1, 2, 8}) {
+    util::ScopedThreads scoped(threads);
+    KMeansStats exact_stats, pruned_stats;
+    Clustering exact = RunKernel(pages, seeds, AssignmentKernel::kExact,
+                           &exact_stats);
+    Clustering pruned = RunKernel(pages, seeds, AssignmentKernel::kPruned,
+                            &pruned_stats);
+    EXPECT_EQ(exact.assignment, pruned.assignment) << threads << " threads";
+    EXPECT_EQ(exact.num_clusters, pruned.num_clusters);
+    EXPECT_EQ(exact_stats.iterations, pruned_stats.iterations);
+    EXPECT_FALSE(exact_stats.pruned_kernel);
+    EXPECT_TRUE(pruned_stats.pruned_kernel);
+    EXPECT_LE(pruned_stats.similarity_evals, exact_stats.similarity_evals);
+  }
+}
+
+TEST(PrunedKMeansTest, DuplicatePoints) {
+  // Three copies of each of three distinct points: ties everywhere, and
+  // the winner must be the same first-centroid-wins choice in both
+  // kernels.
+  FormPageSet pages = MakePages({{{0, 1.0}},
+                                 {{0, 1.0}},
+                                 {{0, 1.0}},
+                                 {{1, 1.0}, {2, 0.5}},
+                                 {{1, 1.0}, {2, 0.5}},
+                                 {{1, 1.0}, {2, 0.5}},
+                                 {{3, 2.0}},
+                                 {{3, 2.0}},
+                                 {{3, 2.0}}});
+  ExpectKernelsAgree(pages, {{0}, {3}, {6}});
+}
+
+TEST(PrunedKMeansTest, SingleTermOrthogonalVectors) {
+  // Every page is one term, every cross-cluster similarity is exactly 0 —
+  // the all-ties regime where any pruning sloppiness changes the result.
+  std::vector<std::vector<std::pair<vsm::TermId, double>>> rows;
+  for (vsm::TermId t = 0; t < 10; ++t) {
+    rows.push_back({{t, 1.0 + 0.1 * static_cast<double>(t)}});
+  }
+  ExpectKernelsAgree(MakePages(rows), {{0}, {4}, {9}});
+}
+
+TEST(PrunedKMeansTest, MoreClustersThanPoints) {
+  // k = 6 seed clusters over n = 4 points (duplicated seed members), so
+  // some clusters are born empty and stay empty.
+  FormPageSet pages = MakePages(
+      {{{0, 1.0}}, {{1, 1.0}}, {{0, 1.0}, {1, 1.0}}, {{2, 1.0}}});
+  ExpectKernelsAgree(pages, {{0}, {1}, {2}, {3}, {0}, {1}});
+}
+
+TEST(PrunedKMeansTest, ClustersEmptyOutMidRun) {
+  // Two tight groups plus a seed between them that loses every point
+  // after the first recompute: its later RecomputeCentroid calls see an
+  // empty member list and must keep the old centroid without breaking the
+  // drift bounds.
+  FormPageSet pages = MakePages({{{0, 1.0}},
+                                 {{0, 1.0}, {1, 0.05}},
+                                 {{0, 1.0}, {2, 0.05}},
+                                 {{5, 1.0}},
+                                 {{5, 1.0}, {6, 0.05}},
+                                 {{5, 1.0}, {7, 0.05}},
+                                 {{0, 0.5}, {5, 0.5}}});
+  ExpectKernelsAgree(pages, {{0}, {3}, {6}});
+}
+
+TEST(PrunedKMeansTest, StreamedCorpusEquivalenceAcrossThreadCounts) {
+  // Realistic vectors: a streamed 150-site corpus, full CAFC-C runs with
+  // both kernels from the same RNG seed.
+  web::StreamingWebConfig config;
+  config.seed = 3;
+  config.sites = 150;
+  web::StreamingWeb web(config);
+  Result<StreamedCorpusBuild> build = BuildStreamedCorpus(web);
+  ASSERT_TRUE(build.ok());
+  const FormPageSet& pages = build->corpus.Weighted();
+
+  Clustering reference;
+  for (int threads : {1, 2, 8}) {
+    CafcOptions exact_options;
+    exact_options.threads = threads;
+    exact_options.kmeans.kernel = AssignmentKernel::kExact;
+    // Run to exact convergence: the paper's 10% movement stop quits after
+    // two iterations here, before the bounds have anything to prune.
+    exact_options.kmeans.movement_stop_fraction = 0.001;
+    CafcOptions pruned_options = exact_options;
+    pruned_options.kmeans.kernel = AssignmentKernel::kPruned;
+
+    Rng exact_rng(99), pruned_rng(99);
+    KMeansStats exact_stats, pruned_stats;
+    Clustering exact = CafcC(pages, 8, exact_options, &exact_rng,
+                             &exact_stats);
+    Clustering pruned = CafcC(pages, 8, pruned_options, &pruned_rng,
+                              &pruned_stats);
+    EXPECT_EQ(exact.assignment, pruned.assignment) << threads << " threads";
+    EXPECT_EQ(exact_stats.iterations, pruned_stats.iterations);
+    EXPECT_GT(pruned_stats.bound_skips, 0u);
+    EXPECT_GT(pruned_stats.centroid_prunes, 0u);
+    EXPECT_LT(pruned_stats.similarity_evals, exact_stats.similarity_evals);
+    if (threads == 1) {
+      reference = exact;
+    } else {
+      EXPECT_EQ(exact.assignment, reference.assignment);
+    }
+  }
+}
+
+TEST(PrunedKMeansTest, AutoKernelPrunesWhenTheModelTracksDrift) {
+  FormPageSet pages = MakePages(
+      {{{0, 1.0}}, {{0, 1.0}, {1, 0.2}}, {{2, 1.0}}, {{2, 1.0}, {3, 0.2}}});
+  KMeansStats stats;
+  Clustering c = RunKernel(pages, {{0}, {2}}, AssignmentKernel::kAuto, &stats);
+  EXPECT_TRUE(stats.pruned_kernel);
+  EXPECT_EQ(c.assignment, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(PrunedKMeansTest, FullSizedMinibatchMatchesTheClassicLoop) {
+  // minibatch_size >= n must reduce to the classic full-batch loop —
+  // identical assignment AND identical iteration count.
+  web::StreamingWebConfig config;
+  config.seed = 5;
+  config.sites = 100;
+  web::StreamingWeb web(config);
+  Result<StreamedCorpusBuild> build = BuildStreamedCorpus(web);
+  ASSERT_TRUE(build.ok());
+  const FormPageSet& pages = build->corpus.Weighted();
+
+  for (int threads : {1, 2, 8}) {
+    CafcOptions classic;
+    classic.threads = threads;
+    CafcOptions full_batch = classic;
+    full_batch.kmeans.minibatch_size = pages.size();
+
+    Rng a(7), b(7);
+    KMeansStats classic_stats, batch_stats;
+    Clustering one = CafcC(pages, 8, classic, &a, &classic_stats);
+    Clustering two = CafcC(pages, 8, full_batch, &b, &batch_stats);
+    EXPECT_EQ(one.assignment, two.assignment) << threads << " threads";
+    EXPECT_EQ(classic_stats.iterations, batch_stats.iterations);
+  }
+}
+
+TEST(PrunedKMeansTest, MinibatchIsDeterministicAcrossThreadCounts) {
+  web::StreamingWebConfig config;
+  config.seed = 5;
+  config.sites = 100;
+  web::StreamingWeb web(config);
+  Result<StreamedCorpusBuild> build = BuildStreamedCorpus(web);
+  ASSERT_TRUE(build.ok());
+  const FormPageSet& pages = build->corpus.Weighted();
+
+  Clustering reference;
+  for (int threads : {1, 2, 8}) {
+    CafcOptions options;
+    options.threads = threads;
+    options.kmeans.minibatch_size = 25;  // several wrap-around slices
+    Rng rng(13);
+    Clustering c = CafcC(pages, 8, options, &rng);
+    ASSERT_EQ(c.assignment.size(), pages.size());
+    if (threads == 1) {
+      reference = c;
+    } else {
+      EXPECT_EQ(c.assignment, reference.assignment) << threads << " threads";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cafc

@@ -1,0 +1,179 @@
+// Bit-identity of the index-accelerated directory paths: for every
+// classify and search below, the indexed overload must return the exact
+// same entry, similarity, and hit order as the full centroid scan — while
+// the query-cost accounting shows it scored no more centroids than the
+// scan would have.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/centroid_index.h"
+#include "core/cafc.h"
+#include "core/dataset.h"
+#include "core/directory.h"
+#include "web/synthesizer.h"
+
+namespace cafc {
+namespace {
+
+web::SynthesizerConfig SmallConfig() {
+  web::SynthesizerConfig config;
+  config.seed = 55;
+  config.form_pages_total = 64;
+  config.single_attribute_forms = 8;
+  config.homogeneous_hubs_per_domain = 25;
+  config.mixed_hubs = 40;
+  config.directory_hubs = 3;
+  config.large_air_hotel_hubs = 3;
+  config.non_searchable_form_pages = 0;
+  config.noise_pages = 0;
+  config.outlier_pages = 0;
+  return config;
+}
+
+class CentroidIndexTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    web::SyntheticWeb web = web::Synthesizer(SmallConfig()).Generate();
+    dataset_ = new Dataset(std::move(BuildDataset(web)).value());
+    pages_ = new FormPageSet(BuildFormPageSet(*dataset_));
+    Rng rng(55);
+    cluster::Clustering clustering =
+        CafcC(*pages_, web::kNumDomains, CafcOptions{}, &rng);
+    directory_ = new DatabaseDirectory(DatabaseDirectory::Build(
+        *pages_, clustering,
+        DatabaseDirectory::AutoLabels(*pages_, clustering)));
+    index_ = new cluster::CentroidIndex(directory_->BuildCentroidIndex());
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete directory_;
+    delete pages_;
+    delete dataset_;
+    index_ = nullptr;
+    directory_ = nullptr;
+    pages_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Dataset* dataset_;
+  static FormPageSet* pages_;
+  static DatabaseDirectory* directory_;
+  static cluster::CentroidIndex* index_;
+};
+
+Dataset* CentroidIndexTest::dataset_ = nullptr;
+FormPageSet* CentroidIndexTest::pages_ = nullptr;
+DatabaseDirectory* CentroidIndexTest::directory_ = nullptr;
+cluster::CentroidIndex* CentroidIndexTest::index_ = nullptr;
+
+TEST_F(CentroidIndexTest, IndexCoversEveryEntry) {
+  EXPECT_EQ(index_->num_centroids(), directory_->size());
+  EXPECT_GT(index_->num_postings(), 0u);
+}
+
+TEST_F(CentroidIndexTest, IndexedClassifyPageIsBitIdenticalToTheFullScan) {
+  for (ContentConfig config :
+       {ContentConfig::kFcPlusPc, ContentConfig::kFcOnly,
+        ContentConfig::kPcOnly}) {
+    for (size_t i = 0; i < pages_->size(); ++i) {
+      DatabaseDirectory::Classification scan =
+          directory_->ClassifyPage(pages_->page(i), config);
+      DirectoryQueryCost cost;
+      DatabaseDirectory::Classification indexed =
+          directory_->ClassifyPage(pages_->page(i), config, *index_, &cost);
+      EXPECT_EQ(indexed.entry, scan.entry) << "page " << i;
+      EXPECT_EQ(indexed.similarity, scan.similarity) << "page " << i;  // bits
+      EXPECT_LE(cost.centroids_scored, directory_->size());
+      EXPECT_GT(cost.postings_visited, 0u);
+    }
+  }
+}
+
+TEST_F(CentroidIndexTest, IndexedClassifyDocumentIsBitIdentical) {
+  for (size_t i = 0; i < dataset_->entries.size(); ++i) {
+    const forms::FormPageDocument& doc = dataset_->entries[i].doc;
+    DatabaseDirectory::Classification scan =
+        directory_->ClassifyDocument(doc);
+    DirectoryQueryCost cost;
+    DatabaseDirectory::Classification indexed = directory_->ClassifyDocument(
+        doc, ContentConfig::kFcPlusPc, *index_, &cost);
+    EXPECT_EQ(indexed.entry, scan.entry) << "doc " << i;
+    EXPECT_EQ(indexed.similarity, scan.similarity) << "doc " << i;
+  }
+}
+
+TEST_F(CentroidIndexTest, IndexedSearchReturnsTheExactSameHits) {
+  for (const char* query :
+       {"job career resume employment", "hotel rooms reservation",
+        "cheap flights airline tickets", "music movie book", "car rental",
+        "search databases online", "job"}) {
+    std::vector<DatabaseDirectory::SearchHit> scan =
+        directory_->Search(query, 5);
+    DirectoryQueryCost cost;
+    std::vector<DatabaseDirectory::SearchHit> indexed =
+        directory_->Search(query, 5, *index_, &cost);
+    ASSERT_EQ(indexed.size(), scan.size()) << query;
+    for (size_t i = 0; i < scan.size(); ++i) {
+      EXPECT_EQ(indexed[i].entry, scan[i].entry) << query;
+      EXPECT_EQ(indexed[i].similarity, scan[i].similarity) << query;
+    }
+    EXPECT_LE(cost.centroids_scored, directory_->size());
+  }
+}
+
+TEST_F(CentroidIndexTest, UnknownTermsScoreNoCentroidsAtAll) {
+  // A query outside the vocabulary never touches a posting list — the
+  // sublinear best case, with an identical (empty) result.
+  DirectoryQueryCost cost;
+  std::vector<DatabaseDirectory::SearchHit> indexed =
+      directory_->Search("zzzzqqqq xxxyyy", 5, *index_, &cost);
+  EXPECT_TRUE(indexed.empty());
+  EXPECT_TRUE(directory_->Search("zzzzqqqq xxxyyy", 5).empty());
+  EXPECT_EQ(cost.centroids_scored, 0u);
+  EXPECT_EQ(cost.postings_visited, 0u);
+}
+
+TEST_F(CentroidIndexTest, NarrowQueriesScoreFewerCentroidsThanTheScan) {
+  // A one-word query touches only the entries carrying that term. Across
+  // the whole domain vocabulary at least some queries must come in under
+  // the full-scan cost, or the index isn't pruning anything.
+  uint64_t scored = 0, scanned = 0;
+  for (const char* query : {"job", "hotel", "flight", "music", "movie",
+                            "book", "car", "rental"}) {
+    DirectoryQueryCost cost;
+    directory_->Search(query, 5, *index_, &cost);
+    scored += cost.centroids_scored;
+    scanned += directory_->size();
+  }
+  EXPECT_LT(scored, scanned);
+}
+
+TEST_F(CentroidIndexTest, ScratchIsReusableAcrossQueriesAndIndexes) {
+  // One Scratch serving interleaved queries must not leak state between
+  // calls: repeat a query after scoring different ones and expect the
+  // identical verdict.
+  cluster::CentroidIndex::Scratch scratch;
+  const FormPage& probe = pages_->page(0);
+  auto score = [&](const FormPage& page) {
+    double best = -1.0;
+    int arg = -1;
+    index_->Score(page.pc, page.fc, /*use_pc=*/true, /*use_fc=*/true,
+                  &scratch, [&](int c, double pc_cos, double fc_cos) {
+                    double sim = pc_cos + fc_cos;
+                    if (sim > best) {
+                      best = sim;
+                      arg = c;
+                    }
+                  });
+    return arg;
+  };
+  int first = score(probe);
+  for (size_t i = 1; i < 10 && i < pages_->size(); ++i) score(pages_->page(i));
+  EXPECT_EQ(score(probe), first);
+}
+
+}  // namespace
+}  // namespace cafc

@@ -1,0 +1,102 @@
+#include "core/stream_ingest.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "web/stream_synthesizer.h"
+
+namespace cafc {
+namespace {
+
+web::StreamingWebConfig SmallConfig() {
+  web::StreamingWebConfig config;
+  config.seed = 11;
+  config.sites = 150;
+  config.hubs_per_site = 0.4;
+  config.hub_fanout = 6;
+  return config;
+}
+
+/// Bit-identity of two streamed builds: same entries in the same order,
+/// same vocabulary, same derived Eq. 1 vectors.
+void ExpectIdentical(Corpus& a, Corpus& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.dictionary()->size(), b.dictionary()->size());
+  EXPECT_EQ(a.GoldLabels(), b.GoldLabels());
+  for (size_t i = 0; i < a.size(); ++i) {
+    const DatasetEntry& ea = a.entries()[i];
+    const DatasetEntry& eb = b.entries()[i];
+    EXPECT_EQ(ea.doc.url, eb.doc.url);
+    EXPECT_EQ(ea.backlinks, eb.backlinks);
+  }
+  const FormPageSet& wa = a.Weighted();
+  const FormPageSet& wb = b.Weighted();
+  ASSERT_EQ(wa.size(), wb.size());
+  for (size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa.page(i).pc, wb.page(i).pc) << "pc " << i;
+    EXPECT_EQ(wa.page(i).fc, wb.page(i).fc) << "fc " << i;
+  }
+}
+
+TEST(StreamIngestTest, CorpusIsBitIdenticalAtEveryThreadCount) {
+  web::StreamingWeb web(SmallConfig());
+  StreamIngestOptions options;
+  options.threads = 1;
+  Result<StreamedCorpusBuild> serial = BuildStreamedCorpus(web, options);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 8}) {
+    options.threads = threads;
+    Result<StreamedCorpusBuild> parallel = BuildStreamedCorpus(web, options);
+    ASSERT_TRUE(parallel.ok()) << threads << " threads";
+    ExpectIdentical(serial->corpus, parallel->corpus);
+    EXPECT_EQ(serial->stats.kept, parallel->stats.kept);
+    EXPECT_EQ(serial->stats.classifier_false_negatives,
+              parallel->stats.classifier_false_negatives);
+  }
+}
+
+TEST(StreamIngestTest, CorpusIsIndependentOfBatchSize) {
+  web::StreamingWeb web(SmallConfig());
+  StreamIngestOptions coarse;
+  Result<StreamedCorpusBuild> one = BuildStreamedCorpus(web, coarse);
+  ASSERT_TRUE(one.ok());
+  StreamIngestOptions fine;
+  fine.batch_pages = 64;  // forces multiple macro-batches
+  Result<StreamedCorpusBuild> many = BuildStreamedCorpus(web, fine);
+  ASSERT_TRUE(many.ok());
+  ExpectIdentical(one->corpus, many->corpus);
+}
+
+TEST(StreamIngestTest, KeepsNearlyEveryGoldPageAndLabelsIt) {
+  web::StreamingWeb web(SmallConfig());
+  Result<StreamedCorpusBuild> build = BuildStreamedCorpus(web);
+  ASSERT_TRUE(build.ok());
+  EXPECT_EQ(build->stats.pages_generated, web.num_form_pages());
+  EXPECT_EQ(build->stats.kept + build->stats.classifier_false_negatives,
+            web.num_form_pages());
+  EXPECT_GE(build->stats.kept, web.num_form_pages() * 9 / 10);
+  // Gold labels line up with the generator's domain assignment.
+  for (const DatasetEntry& entry : build->corpus.entries()) {
+    EXPECT_GE(entry.gold, 0);
+    EXPECT_LT(entry.gold, web::kNumDomains);
+    EXPECT_FALSE(entry.backlinks.empty()) << entry.doc.url;
+    for (const std::string& hub : entry.backlinks) {
+      EXPECT_EQ(hub.substr(0, 8), "http://h") << hub;
+    }
+  }
+}
+
+TEST(StreamIngestTest, MaxPagesBoundsTheBuild) {
+  web::StreamingWeb web(SmallConfig());
+  StreamIngestOptions options;
+  options.max_pages = 40;
+  Result<StreamedCorpusBuild> build = BuildStreamedCorpus(web, options);
+  ASSERT_TRUE(build.ok());
+  EXPECT_EQ(build->stats.pages_generated, 40u);
+  EXPECT_LE(build->corpus.size(), 40u);
+}
+
+}  // namespace
+}  // namespace cafc

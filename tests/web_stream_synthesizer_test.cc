@@ -1,0 +1,176 @@
+#include "web/stream_synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "forms/form_classifier.h"
+#include "forms/form_extractor.h"
+#include "html/dom.h"
+
+namespace cafc::web {
+namespace {
+
+StreamingWebConfig SmallConfig() {
+  StreamingWebConfig config;
+  config.seed = 7;
+  config.sites = 48;
+  config.hubs_per_site = 0.5;
+  config.hub_fanout = 7;
+  config.max_site_pages = 5;
+  return config;
+}
+
+TEST(StreamSynthesizerTest, GenerationIsAPureFunctionOfConfigAndUrl) {
+  StreamingWeb a(SmallConfig());
+  StreamingWeb b(SmallConfig());  // independent instance, same config
+  std::vector<std::string> urls = {a.SiteRootUrl(3), a.FormPageUrl(3),
+                                   a.FormPageUrl(47), a.HubUrl(0),
+                                   a.HubUrl(a.num_hubs() - 1)};
+  for (size_t s = 0; s < a.num_form_pages(); ++s) {
+    if (a.FillerPages(s) > 0) {
+      urls.push_back(a.FillerUrl(s, a.FillerPages(s) - 1));
+      break;
+    }
+  }
+  for (const std::string& url : urls) {
+    Result<WebPage> first = a.GeneratePage(url);
+    Result<WebPage> again = a.GeneratePage(url);
+    Result<WebPage> other = b.GeneratePage(url);
+    ASSERT_TRUE(first.ok()) << url;
+    EXPECT_EQ(first->html, again->html) << url;
+    EXPECT_EQ(first->html, other->html) << url;
+    EXPECT_EQ(first->url, url);
+  }
+}
+
+TEST(StreamSynthesizerTest, FetchServesTheGeneratedBytesWithStablePointers) {
+  StreamingWeb web(SmallConfig());
+  const std::string url = web.FormPageUrl(5);
+  Result<const WebPage*> fetched = web.Fetch(url);
+  ASSERT_TRUE(fetched.ok());
+  Result<WebPage> generated = web.GeneratePage(url);
+  EXPECT_EQ((*fetched)->html, generated->html);
+  // Same pointer on a re-fetch (the WebFetcher stability contract).
+  EXPECT_EQ(*web.Fetch(url), *fetched);
+}
+
+TEST(StreamSynthesizerTest, ByIndexFormPageMatchesUrlRoundTrip) {
+  StreamingWeb web(SmallConfig());
+  for (size_t s : {size_t{0}, size_t{17}, size_t{47}}) {
+    Result<WebPage> via_url = web.GeneratePage(web.FormPageUrl(s));
+    ASSERT_TRUE(via_url.ok());
+    EXPECT_EQ(web.FormPage(s).html, via_url->html);
+  }
+}
+
+TEST(StreamSynthesizerTest, UrlsOutsideTheUniverseAreNotFound) {
+  StreamingWeb web(SmallConfig());
+  for (const char* url :
+       {"http://elsewhere.com/", "http://s48.stream/search.html",
+        "http://s5.stream/nosuch.html", "http://s5.stream/p99.html",
+        "http://h9999.stream/links.html", "not a url",
+        "http://sX.stream/search.html"}) {
+    EXPECT_FALSE(web.GeneratePage(url).ok()) << url;
+    EXPECT_FALSE(web.Fetch(url).ok()) << url;
+  }
+}
+
+TEST(StreamSynthesizerTest, CitingHubsMatchesTheHubPagesExactly) {
+  StreamingWeb web(SmallConfig());
+  // Ground truth by exhaustive scan: hub h cites site s iff its HTML
+  // carries a quoted link to s's form page or root.
+  std::vector<std::string> hub_html;
+  for (size_t h = 0; h < web.num_hubs(); ++h) {
+    hub_html.push_back(web.GeneratePage(web.HubUrl(h))->html);
+  }
+  for (size_t s = 0; s < web.num_form_pages(); ++s) {
+    const std::string form_link = "\"" + web.FormPageUrl(s) + "\"";
+    const std::string root_link = "\"" + web.SiteRootUrl(s) + "\"";
+    std::vector<std::string> expected;
+    for (size_t h = 0; h < web.num_hubs(); ++h) {
+      if (hub_html[h].find(form_link) != std::string::npos ||
+          hub_html[h].find(root_link) != std::string::npos) {
+        expected.push_back(web.HubUrl(h));
+      }
+    }
+    std::vector<std::string> derived = web.CitingHubs(s);
+    std::sort(derived.begin(), derived.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(derived, expected) << "site " << s;
+    EXPECT_FALSE(derived.empty()) << "site " << s;
+  }
+}
+
+TEST(StreamSynthesizerTest, MaterializeReproducesTheStreamedUniverse) {
+  StreamingWeb stream(SmallConfig());
+  SyntheticWeb web = stream.Materialize();
+  EXPECT_EQ(web.pages().size(), stream.TotalPages());
+  ASSERT_EQ(web.form_pages().size(), stream.num_form_pages());
+  for (size_t s = 0; s < stream.num_form_pages(); ++s) {
+    const FormPageInfo* info = web.FindFormPage(stream.FormPageUrl(s));
+    ASSERT_NE(info, nullptr);
+    EXPECT_EQ(info->domain, stream.GoldDomain(s));
+    EXPECT_EQ(info->root_url, stream.SiteRootUrl(s));
+    // The materialized bytes are the streamed bytes.
+    Result<const WebPage*> page = web.Fetch(info->url);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((*page)->html, stream.FormPage(s).html);
+  }
+  EXPECT_EQ(web.hub_urls().size(), stream.num_hubs());
+  EXPECT_FALSE(web.seed_urls().empty());
+}
+
+TEST(StreamSynthesizerTest, DomainsFormContiguousBlocksOverTheSiteRange) {
+  StreamingWebConfig config = SmallConfig();
+  config.domains = 4;
+  StreamingWeb web(config);
+  int last = -1;
+  std::vector<bool> seen(kNumDomains, false);
+  for (size_t s = 0; s < web.num_form_pages(); ++s) {
+    int d = static_cast<int>(web.GoldDomain(s));
+    EXPECT_GE(d, last);  // non-decreasing == contiguous blocks
+    last = d;
+    seen[static_cast<size_t>(d)] = true;
+  }
+  EXPECT_EQ(std::count(seen.begin(), seen.end(), true), 4);
+}
+
+TEST(StreamSynthesizerTest, StreamedFormPagesClassifySearchable) {
+  StreamingWeb web(SmallConfig());
+  forms::FormClassifier classifier;
+  size_t searchable = 0;
+  for (size_t s = 0; s < web.num_form_pages(); ++s) {
+    html::Document dom = html::Parse(web.FormPage(s).html);
+    for (const forms::Form& form : forms::ExtractForms(dom)) {
+      if (classifier.IsSearchable(form)) {
+        ++searchable;
+        break;
+      }
+    }
+  }
+  // The generator aims every page at the searchable filter; allow the
+  // classifier a small false-negative rate like the crawl pipeline does.
+  EXPECT_GE(searchable, web.num_form_pages() * 9 / 10);
+}
+
+TEST(StreamSynthesizerTest, ZipfSiteSizesAreSkewedAndCapped) {
+  StreamingWebConfig config = SmallConfig();
+  config.sites = 2000;
+  config.max_site_pages = 6;
+  StreamingWeb web(config);
+  size_t empty = 0, capped = 0;
+  for (size_t s = 0; s < config.sites; ++s) {
+    size_t fillers = web.FillerPages(s);
+    EXPECT_LE(fillers, config.max_site_pages);
+    if (fillers == 0) ++empty;
+    if (fillers == config.max_site_pages) ++capped;
+  }
+  EXPECT_GT(empty, config.sites / 3);  // most sites are tiny
+  EXPECT_GT(capped, 0u);               // a heavy tail exists
+}
+
+}  // namespace
+}  // namespace cafc::web

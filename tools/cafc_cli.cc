@@ -786,6 +786,18 @@ int RunServe(const FlagParser& flags) {
   table.AddRow({"latency p50 (ms)", PercentileMs(stats.total_us, 50)});
   table.AddRow({"latency p95 (ms)", PercentileMs(stats.total_us, 95)});
   table.AddRow({"latency p99 (ms)", PercentileMs(stats.total_us, 99)});
+  // Centroid-index pruning effectiveness: exact similarity evaluations
+  // per query vs the full-scan cost (= directory size for every query).
+  char dist_mean[32];
+  std::snprintf(dist_mean, sizeof(dist_mean), "%.1f",
+                stats.distance_comps.mean());
+  table.AddRow({"distance comps/query mean", dist_mean});
+  char dist_p[32];
+  std::snprintf(dist_p, sizeof(dist_p), "%.0f",
+                stats.distance_comps.Percentile(95));
+  table.AddRow({"distance comps/query p95", dist_p});
+  table.AddRow({"directory sections (full scan cost)",
+                std::to_string(snapshot->directory().size())});
   std::printf("%s", table.ToString().c_str());
   return 0;
 }
