@@ -1,0 +1,597 @@
+// Storage benchmark: the binary v3 snapshot format against the text
+// format it compresses, on a streamed corpus far beyond the paper's 454
+// form pages.
+//
+// Four gates make this bench fail loudly (non-zero exit):
+//   1. Bytes on disk: the directory-only v3 snapshot must be <= 1/3 of
+//      the text file carrying the same directory.
+//   2. Load time: MappedSnapshot::Open (one mmap + dictionary/stats/index
+//      decode) must be >= 5x faster than the text parse + index build it
+//      replaces, measured in CPU time.
+//   3. Bit-identity: a snapshot-backed DirectoryServer must answer
+//      ClassifyStored and Search requests bit-identically to the in-RAM
+//      directory it was written from, at workers {1, 2, 8}.
+//   4. Memory budget: with a budget only slightly above the fixed
+//      footprint, the server must stay under budget for the whole run,
+//      still answer every query bit-identically from spilled profiles,
+//      and report both hits and misses on the page LRU.
+// `--smoke` shrinks the corpus and skips the two sizing/timing floors
+// (they are calibrated at the 10^5-page configuration); the identity and
+// budget gates always run. `--pages=N` overrides the large page count.
+//
+// Results land in BENCH_storage.json (schema in docs/performance.md).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/directory.h"
+#include "core/stream_ingest.h"
+#include "serve/server.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
+#include "util/flags.h"
+#include "util/table.h"
+#include "web/stream_synthesizer.h"
+
+namespace {
+
+using namespace cafc;         // NOLINT
+using namespace cafc::bench;  // NOLINT
+
+/// Process CPU time in milliseconds (all threads). The gated load-time
+/// ratio is taken on CPU time, not wall time, so steal-time throttling on
+/// shared machines cannot skew the comparison between the two loaders.
+double CpuMs() {
+  return 1000.0 * static_cast<double>(std::clock()) /
+         static_cast<double>(CLOCKS_PER_SEC);
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return 0;
+  const std::streamoff size = in.tellg();
+  return size < 0 ? 0 : static_cast<uint64_t>(size);
+}
+
+// ------------------------------------------------------------- gates 1+2
+
+struct FormatReport {
+  size_t pages = 0;
+  size_t entries = 0;
+  size_t terms = 0;
+  uint64_t text_bytes = 0;
+  uint64_t v3_dir_bytes = 0;   // directory-only snapshot (text's twin)
+  uint64_t v3_full_bytes = 0;  // with per-page profiles + page index
+  double compression = 0.0;    // text_bytes / v3_dir_bytes
+  uint64_t quantized_weights = 0;
+  uint64_t delta_weights = 0;
+  uint64_t raw_weights = 0;
+  double text_load_ms = 0.0;  // LoadFromFile + BuildCentroidIndex
+  double mmap_open_ms = 0.0;  // MappedSnapshot::Open (includes the index)
+  double load_speedup = 0.0;
+  bool materialize_identical = false;  // v3 round-trip == text round-trip
+  std::vector<storage::SectionReportRow> sections;  // directory-only file
+};
+
+/// Entry-by-entry bit comparison of two directories (labels, members,
+/// centroid vectors, epoch) — the v3 materialization must reproduce the
+/// text loader's result exactly.
+bool DirectoriesIdentical(const DatabaseDirectory& a,
+                          const DatabaseDirectory& b) {
+  if (a.size() != b.size() || a.epoch() != b.epoch()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const DirectoryEntry& x = a.entries()[i];
+    const DirectoryEntry& y = b.entries()[i];
+    if (x.label != y.label || x.member_urls != y.member_urls ||
+        !(x.centroid.pc == y.centroid.pc) ||
+        !(x.centroid.fc == y.centroid.fc)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FormatReport MeasureFormats(const DatabaseDirectory& directory,
+                            const FormPageSet& pages,
+                            const std::string& text_path,
+                            const std::string& v3_dir_path,
+                            const std::string& v3_full_path,
+                            int load_iterations) {
+  FormatReport report;
+  report.pages = pages.size();
+  report.entries = directory.size();
+  report.terms = directory.collection().dictionary().size();
+
+  Status status = directory.SaveToFile(text_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "text save failed: %s\n",
+                 status.ToString().c_str());
+    return report;
+  }
+  storage::SnapshotWriteReport write_report;
+  status = storage::WriteSnapshotV3(directory, nullptr, v3_dir_path,
+                                    &write_report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "v3 save failed: %s\n", status.ToString().c_str());
+    return report;
+  }
+  report.quantized_weights = write_report.weights.quantized_weights;
+  report.delta_weights = write_report.weights.delta_weights;
+  report.raw_weights = write_report.weights.raw_weights;
+  report.sections = write_report.sections;
+  status = storage::WriteSnapshotV3(directory, &pages, v3_full_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "v3 with-pages save failed: %s\n",
+                 status.ToString().c_str());
+    return report;
+  }
+  report.text_bytes = FileBytes(text_path);
+  report.v3_dir_bytes = FileBytes(v3_dir_path);
+  report.v3_full_bytes = FileBytes(v3_full_path);
+  report.compression = static_cast<double>(report.text_bytes) /
+                       static_cast<double>(std::max<uint64_t>(
+                           1, report.v3_dir_bytes));
+
+  // Gate 2 timing: what a server pays before it can answer its first
+  // query — parse + centroid-index build on the text side, one Open on
+  // the mapped side (the index is built from the mapped postings inside).
+  double start = CpuMs();
+  for (int i = 0; i < load_iterations; ++i) {
+    Result<DatabaseDirectory> loaded =
+        DatabaseDirectory::LoadFromFile(text_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "text load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return report;
+    }
+    (void)loaded->BuildCentroidIndex();
+  }
+  report.text_load_ms = (CpuMs() - start) / load_iterations;
+
+  start = CpuMs();
+  for (int i = 0; i < load_iterations; ++i) {
+    Result<std::unique_ptr<storage::MappedSnapshot>> opened =
+        storage::MappedSnapshot::Open(v3_dir_path);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "mmap open failed: %s\n",
+                   opened.status().ToString().c_str());
+      return report;
+    }
+  }
+  report.mmap_open_ms = (CpuMs() - start) / load_iterations;
+  report.load_speedup =
+      report.text_load_ms / std::max(report.mmap_open_ms, 1e-6);
+
+  // Cross-check the two loaders agree bit-for-bit before trusting either
+  // in the serving gates below.
+  Result<DatabaseDirectory> from_text =
+      DatabaseDirectory::LoadFromFile(text_path);
+  Result<DatabaseDirectory> from_v3 =
+      storage::LoadDirectoryAuto(v3_dir_path);
+  report.materialize_identical = from_text.ok() && from_v3.ok() &&
+                                 DirectoriesIdentical(*from_text, *from_v3);
+  return report;
+}
+
+// --------------------------------------------------------------- gate 3
+
+struct IdentityRun {
+  size_t workers = 0;
+  bool classify_identical = false;
+  bool search_identical = false;
+};
+
+struct IdentityReport {
+  size_t classify_queries = 0;
+  size_t search_queries = 0;
+  std::vector<IdentityRun> runs;
+  bool ok = false;
+};
+
+const char* kQueries[] = {"job career resume", "hotel flight ticket",
+                          "music cd album",    "book author title",
+                          "car rental price",  "movie actor"};
+
+/// Races a snapshot-backed server against the in-RAM reference: every
+/// stored-page classification and every search must return bit-identical
+/// entry ids and similarities at every worker count.
+IdentityReport CheckServingIdentity(
+    const std::shared_ptr<const storage::MappedSnapshot>& mapped,
+    const DatabaseDirectory& reference, const FormPageSet& pages,
+    size_t sample) {
+  IdentityReport report;
+  const cluster::CentroidIndex ref_index = reference.BuildCentroidIndex();
+
+  const size_t num_pages = mapped->num_pages();
+  const size_t step = std::max<size_t>(1, num_pages / sample);
+  std::vector<size_t> ordinals;
+  for (size_t o = 0; o < num_pages && ordinals.size() < sample; o += step) {
+    ordinals.push_back(o);
+  }
+  report.classify_queries = ordinals.size();
+  report.search_queries = std::size(kQueries);
+
+  std::vector<DatabaseDirectory::Classification> ref_verdicts;
+  ref_verdicts.reserve(ordinals.size());
+  for (size_t o : ordinals) {
+    ref_verdicts.push_back(reference.ClassifyPage(
+        pages.page(o), ContentConfig::kFcPlusPc, ref_index));
+  }
+  std::vector<std::vector<DatabaseDirectory::SearchHit>> ref_hits;
+  for (const char* query : kQueries) {
+    ref_hits.push_back(reference.Search(query, 5, ref_index));
+  }
+
+  report.ok = true;
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
+    serve::DirectoryServerOptions options;
+    options.workers = workers;
+    // Every sampled classify is submitted concurrently; the queue must
+    // admit the whole batch or rejections would masquerade as divergence.
+    options.queue_capacity = ordinals.size() + std::size(kQueries) + 8;
+    serve::DirectoryServer server(mapped, options);
+
+    IdentityRun run;
+    run.workers = workers;
+    run.classify_identical = true;
+    run.search_identical = true;
+
+    std::vector<std::future<serve::QueryResponse>> futures;
+    futures.reserve(ordinals.size());
+    for (size_t o : ordinals) {
+      serve::QueryRequest request;
+      request.kind = serve::QueryKind::kClassifyStored;
+      request.page_ordinal = o;
+      futures.push_back(server.Submit(std::move(request)));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+      serve::QueryResponse response = futures[i].get();
+      if (!response.status.ok() ||
+          response.classification.entry != ref_verdicts[i].entry ||
+          response.classification.similarity != ref_verdicts[i].similarity) {
+        run.classify_identical = false;
+      }
+    }
+    for (size_t q = 0; q < std::size(kQueries); ++q) {
+      serve::QueryRequest request;
+      request.kind = serve::QueryKind::kSearch;
+      request.query = kQueries[q];
+      serve::QueryResponse response = server.Query(std::move(request));
+      if (!response.status.ok() ||
+          response.hits.size() != ref_hits[q].size()) {
+        run.search_identical = false;
+        continue;
+      }
+      for (size_t h = 0; h < response.hits.size(); ++h) {
+        if (response.hits[h].entry != ref_hits[q][h].entry ||
+            response.hits[h].similarity != ref_hits[q][h].similarity) {
+          run.search_identical = false;
+        }
+      }
+    }
+    report.ok =
+        report.ok && run.classify_identical && run.search_identical;
+    report.runs.push_back(run);
+  }
+  return report;
+}
+
+// --------------------------------------------------------------- gate 4
+
+struct BudgetReport {
+  uint64_t fixed_bytes = 0;
+  uint64_t budget_bytes = 0;
+  uint64_t max_resident_bytes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  bool under_budget = true;
+  bool identical = true;
+  bool exercised = false;  // both hits and misses observed
+  bool ok = false;
+};
+
+/// Re-opens the with-pages snapshot under a budget barely above the fixed
+/// footprint, then drives a hot-set + sweep pattern through a server: the
+/// hot ordinal stays cached (hits), the sweep spills (misses, evictions),
+/// the accounted resident bytes must never cross the budget, and every
+/// answer must still match the in-RAM reference.
+BudgetReport CheckMemoryBudget(const std::string& v3_full_path,
+                               const DatabaseDirectory& reference,
+                               const FormPageSet& pages, size_t sweep) {
+  BudgetReport report;
+  Result<std::unique_ptr<storage::MappedSnapshot>> probe =
+      storage::MappedSnapshot::Open(v3_full_path);
+  if (!probe.ok()) {
+    std::fprintf(stderr, "budget probe open failed: %s\n",
+                 probe.status().ToString().c_str());
+    return report;
+  }
+  report.fixed_bytes = (*probe)->fixed_resident_bytes();
+  // Room for a handful of hot pages, far below the whole page section —
+  // the sweep below must overflow it or the gate is vacuous.
+  report.budget_bytes = report.fixed_bytes + 64 * 1024;
+
+  storage::SnapshotOpenOptions options;
+  options.memory_budget_bytes = report.budget_bytes;
+  Result<std::unique_ptr<storage::MappedSnapshot>> opened =
+      storage::MappedSnapshot::Open(v3_full_path, options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "budgeted open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return report;
+  }
+  std::shared_ptr<const storage::MappedSnapshot> mapped = std::move(*opened);
+
+  const cluster::CentroidIndex ref_index = reference.BuildCentroidIndex();
+  const size_t num_pages = mapped->num_pages();
+  const size_t step = std::max<size_t>(1, num_pages / sweep);
+
+  serve::DirectoryServerOptions server_options;
+  server_options.workers = 2;
+  serve::DirectoryServer server(mapped, server_options);
+
+  auto classify_and_check = [&](size_t ordinal) {
+    serve::QueryRequest request;
+    request.kind = serve::QueryKind::kClassifyStored;
+    request.page_ordinal = ordinal;
+    serve::QueryResponse response = server.Query(std::move(request));
+    DatabaseDirectory::Classification expected = reference.ClassifyPage(
+        pages.page(ordinal), ContentConfig::kFcPlusPc, ref_index);
+    if (!response.status.ok() ||
+        response.classification.entry != expected.entry ||
+        response.classification.similarity != expected.similarity) {
+      report.identical = false;
+    }
+  };
+
+  for (size_t o = 0; o < num_pages; o += step) {
+    classify_and_check(0);  // hot page: LRU front, must produce hits
+    classify_and_check(o);  // sweep page: spills once the budget fills
+    report.max_resident_bytes =
+        std::max(report.max_resident_bytes, mapped->resident_bytes());
+    if (mapped->resident_bytes() > report.budget_bytes) {
+      report.under_budget = false;
+    }
+  }
+  server.Shutdown();
+
+  const storage::PageStoreStats stats = mapped->page_store_stats();
+  report.hits = stats.hits;
+  report.misses = stats.misses;
+  report.evictions = stats.evictions;
+  report.exercised = stats.hits > 0 && stats.misses > 0;
+  report.ok = report.under_budget && report.identical && report.exercised;
+  return report;
+}
+
+// ------------------------------------------------------------------ JSON
+
+void WriteJson(const std::string& path, int hardware, bool smoke,
+               const FormatReport& fmt, const IdentityReport& identity,
+               const BudgetReport& budget) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"ext_storage\",\n";
+  out << "  \"hardware_concurrency\": " << hardware << ",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"format\": {\n";
+  out << "    \"pages\": " << fmt.pages << ",\n";
+  out << "    \"entries\": " << fmt.entries << ",\n";
+  out << "    \"terms\": " << fmt.terms << ",\n";
+  out << "    \"text_bytes\": " << fmt.text_bytes << ",\n";
+  out << "    \"v3_dir_bytes\": " << fmt.v3_dir_bytes << ",\n";
+  out << "    \"v3_full_bytes\": " << fmt.v3_full_bytes << ",\n";
+  out << "    \"compression\": " << JsonNumber(fmt.compression) << ",\n";
+  out << "    \"quantized_weights\": " << fmt.quantized_weights << ",\n";
+  out << "    \"delta_weights\": " << fmt.delta_weights << ",\n";
+  out << "    \"raw_weights\": " << fmt.raw_weights << ",\n";
+  out << "    \"text_load_ms\": " << JsonNumber(fmt.text_load_ms) << ",\n";
+  out << "    \"mmap_open_ms\": " << JsonNumber(fmt.mmap_open_ms) << ",\n";
+  out << "    \"load_speedup\": " << JsonNumber(fmt.load_speedup) << ",\n";
+  out << "    \"materialize_identical\": "
+      << (fmt.materialize_identical ? "true" : "false") << "\n  },\n";
+  out << "  \"identity\": {\n";
+  out << "    \"classify_queries\": " << identity.classify_queries << ",\n";
+  out << "    \"search_queries\": " << identity.search_queries << ",\n";
+  out << "    \"runs\": [\n";
+  for (size_t r = 0; r < identity.runs.size(); ++r) {
+    const IdentityRun& run = identity.runs[r];
+    out << "      {\"workers\": " << run.workers
+        << ", \"classify_identical\": "
+        << (run.classify_identical ? "true" : "false")
+        << ", \"search_identical\": "
+        << (run.search_identical ? "true" : "false") << "}"
+        << (r + 1 < identity.runs.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  },\n";
+  out << "  \"budget\": {\n";
+  out << "    \"fixed_bytes\": " << budget.fixed_bytes << ",\n";
+  out << "    \"budget_bytes\": " << budget.budget_bytes << ",\n";
+  out << "    \"max_resident_bytes\": " << budget.max_resident_bytes
+      << ",\n";
+  out << "    \"hits\": " << budget.hits << ",\n";
+  out << "    \"misses\": " << budget.misses << ",\n";
+  out << "    \"evictions\": " << budget.evictions << ",\n";
+  out << "    \"under_budget\": "
+      << (budget.under_budget ? "true" : "false") << ",\n";
+  out << "    \"identical\": " << (budget.identical ? "true" : "false")
+      << "\n  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const int hardware = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+
+  size_t sites = smoke ? 2000 : 100000;
+  sites = static_cast<size_t>(std::max<int64_t>(
+      256, flags.GetInt("pages", static_cast<int64_t>(sites))));
+  const int k = smoke ? 16 : 64;
+  const int load_iterations = smoke ? 1 : 3;
+  const size_t identity_sample = smoke ? 100 : 400;
+  const size_t budget_sweep = smoke ? 60 : 200;
+
+  web::StreamingWebConfig config;
+  config.seed = 42;
+  config.sites = sites;
+  web::StreamingWeb web(config);
+  Result<StreamedCorpusBuild> build = BuildStreamedCorpus(web);
+  if (!build.ok()) {
+    std::fprintf(stderr, "streamed ingest failed: %s\n",
+                 build.status().ToString().c_str());
+    return 1;
+  }
+  const FormPageSet& pages = build->corpus.Weighted();
+
+  Rng rng(4000);
+  cluster::Clustering clustering = CafcC(pages, k, CafcOptions{}, &rng);
+  DatabaseDirectory directory = DatabaseDirectory::Build(
+      pages, clustering, DatabaseDirectory::AutoLabels(pages, clustering));
+  std::printf("corpus: %zu streamed pages, %zu terms, %zu sections\n\n",
+              pages.size(), pages.dictionary().size(), directory.size());
+
+  const std::string text_path = "bench_storage_dir.cafc";
+  const std::string v3_dir_path = "bench_storage_dir.cafc3";
+  const std::string v3_full_path = "bench_storage_pages.cafc3";
+  FormatReport fmt = MeasureFormats(directory, pages, text_path,
+                                    v3_dir_path, v3_full_path,
+                                    load_iterations);
+  {
+    Table table({"format", "bytes", "load/open ms"});
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), "%.1f", fmt.text_load_ms);
+    table.AddRow({"text v2", std::to_string(fmt.text_bytes), ms});
+    std::snprintf(ms, sizeof(ms), "%.1f", fmt.mmap_open_ms);
+    table.AddRow({"binary v3 (directory)",
+                  std::to_string(fmt.v3_dir_bytes), ms});
+    table.AddRow({"binary v3 (with pages)",
+                  std::to_string(fmt.v3_full_bytes), "-"});
+    std::printf("=== Formats ===\n%s", table.ToString().c_str());
+    std::printf("v3 directory sections:");
+    for (const storage::SectionReportRow& row : fmt.sections) {
+      std::printf(" %s=%llu", storage::SectionKindName(row.kind),
+                  static_cast<unsigned long long>(row.bytes));
+    }
+    std::printf("\n");
+    std::printf(
+        "compression %.2fx | load speedup %.2fx | weights %llu quantized, "
+        "%llu ulp-delta, %llu raw | v3 materialization identical: %s\n\n",
+        fmt.compression, fmt.load_speedup,
+        static_cast<unsigned long long>(fmt.quantized_weights),
+        static_cast<unsigned long long>(fmt.delta_weights),
+        static_cast<unsigned long long>(fmt.raw_weights),
+        fmt.materialize_identical ? "yes" : "NO");
+  }
+
+  Result<std::unique_ptr<storage::MappedSnapshot>> opened =
+      storage::MappedSnapshot::Open(v3_full_path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "with-pages open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const storage::MappedSnapshot> mapped = std::move(*opened);
+
+  IdentityReport identity =
+      CheckServingIdentity(mapped, directory, pages, identity_sample);
+  {
+    Table table({"workers", "classify identical", "search identical"});
+    for (const IdentityRun& run : identity.runs) {
+      table.AddRow({std::to_string(run.workers),
+                    run.classify_identical ? "yes" : "NO",
+                    run.search_identical ? "yes" : "NO"});
+    }
+    std::printf(
+        "=== Snapshot-backed serving identity (%zu stored-page + %zu "
+        "search queries) ===\n%s\n",
+        identity.classify_queries, identity.search_queries,
+        table.ToString().c_str());
+  }
+
+  BudgetReport budget =
+      CheckMemoryBudget(v3_full_path, directory, pages, budget_sweep);
+  std::printf(
+      "=== Memory budget ===\nfixed %llu B | budget %llu B | peak resident "
+      "%llu B | %llu hits, %llu misses, %llu evictions | under budget: %s "
+      "| identical: %s\n\n",
+      static_cast<unsigned long long>(budget.fixed_bytes),
+      static_cast<unsigned long long>(budget.budget_bytes),
+      static_cast<unsigned long long>(budget.max_resident_bytes),
+      static_cast<unsigned long long>(budget.hits),
+      static_cast<unsigned long long>(budget.misses),
+      static_cast<unsigned long long>(budget.evictions),
+      budget.under_budget ? "yes" : "NO",
+      budget.identical ? "yes" : "NO");
+
+  WriteJson("BENCH_storage.json", hardware, smoke, fmt, identity, budget);
+  std::printf("machine-readable results written to BENCH_storage.json\n");
+
+  mapped.reset();  // unmap before deleting the scratch snapshots
+  for (const std::string& path : {text_path, v3_dir_path, v3_full_path}) {
+    std::remove(path.c_str());
+  }
+
+  bool failed = false;
+  if (!fmt.materialize_identical) {
+    std::fprintf(stderr,
+                 "FAIL: v3 materialization differs from the text loader\n");
+    failed = true;
+  }
+  if (!identity.ok) {
+    std::fprintf(stderr,
+                 "FAIL: snapshot-backed serving diverged from the in-RAM "
+                 "directory\n");
+    failed = true;
+  }
+  if (!budget.under_budget) {
+    std::fprintf(stderr,
+                 "FAIL: resident bytes crossed the memory budget\n");
+    failed = true;
+  }
+  if (!budget.identical) {
+    std::fprintf(stderr,
+                 "FAIL: budgeted serving diverged from the in-RAM "
+                 "directory\n");
+    failed = true;
+  }
+  if (!budget.exercised) {
+    std::fprintf(stderr,
+                 "FAIL: the budget run did not see both hits and misses — "
+                 "the gate did not exercise the LRU\n");
+    failed = true;
+  }
+  if (!smoke && fmt.compression < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: v3 compression %.2fx is below the 3x floor\n",
+                 fmt.compression);
+    failed = true;
+  }
+  if (!smoke && fmt.load_speedup < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: mmap open speedup %.2fx is below the 5x floor\n",
+                 fmt.load_speedup);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

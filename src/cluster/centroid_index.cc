@@ -11,6 +11,11 @@ void CentroidIndex::AddSpace(PostingMap* postings, uint32_t centroid,
   }
 }
 
+void CentroidIndex::Reserve(size_t centroids) {
+  pc_norms_.reserve(centroids);
+  fc_norms_.reserve(centroids);
+}
+
 void CentroidIndex::AddCentroid(const vsm::SparseVector& pc,
                                 const vsm::SparseVector& fc) {
   const auto c = static_cast<uint32_t>(pc_norms_.size());

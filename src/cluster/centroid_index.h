@@ -56,6 +56,11 @@ class CentroidIndex {
 
   CentroidIndex() = default;
 
+  /// Pre-sizes the per-centroid norm arrays for `centroids` AddCentroid
+  /// calls (the snapshot reader knows the entry count up front when it
+  /// builds the index from mapped postings).
+  void Reserve(size_t centroids);
+
   /// Appends one centroid (its index is the current num_centroids()).
   void AddCentroid(const vsm::SparseVector& pc, const vsm::SparseVector& fc);
 

@@ -1,6 +1,7 @@
 #ifndef CAFC_CORE_CAFC_H_
 #define CAFC_CORE_CAFC_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/hac.h"
@@ -22,6 +23,16 @@ struct CafcOptions {
   /// strictly serial. Results are bit-identical at any setting — this
   /// only trades wall clock (see docs/performance.md).
   int threads = 0;
+  /// Resident-memory budget in bytes for serving a binary v3 snapshot
+  /// (`--memory-budget`): the storage layer keeps the dictionary, IDF
+  /// statistics, centroid index, and a hot-page LRU in RAM and serves
+  /// cold per-page term profiles on demand from the mapped file,
+  /// evicting so accounted resident bytes never exceed the budget.
+  /// 0 = unlimited (everything touched stays cached). Threaded through
+  /// `cafc serve --snapshot` to storage::SnapshotOpenOptions; results
+  /// are bit-identical at any setting — this only trades RAM for
+  /// decode work.
+  uint64_t memory_budget_bytes = 0;
 };
 
 /// \brief CAFC-C (Algorithm 1): k-means over the form-page model with

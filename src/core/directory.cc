@@ -1,7 +1,10 @@
 #include "core/directory.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <memory>
@@ -94,23 +97,145 @@ void WriteVector(const vsm::SparseVector& v, const char* tag,
   }
 }
 
-Result<vsm::SparseVector> ReadVector(std::istream& in, const char* tag,
+/// \brief Tokenizer over a fully buffered text directory file that tracks
+/// the current line and byte offset, so every parse failure can name the
+/// exact spot in the file.
+///
+/// Token semantics mirror `istream >> token` (whitespace-separated runs),
+/// which is what the v1/v2 writers produced; `RestOfLine` mirrors
+/// `std::getline` for the label lines.
+class TextCursor {
+ public:
+  explicit TextCursor(const std::string& data) : data_(data) {}
+
+  size_t line() const { return line_; }
+  size_t byte() const { return pos_; }
+
+  /// Next whitespace-separated token; false at end of file.
+  bool NextToken(std::string_view* token) {
+    SkipWhitespace();
+    if (pos_ >= data_.size()) return false;
+    const size_t start = pos_;
+    while (pos_ < data_.size() && !IsSpace(data_[pos_])) ++pos_;
+    *token = std::string_view(data_).substr(start, pos_ - start);
+    return true;
+  }
+
+  /// Rest of the current line, consuming the trailing newline (getline
+  /// semantics; leading whitespace on the line is kept).
+  std::string RestOfLine() {
+    const size_t start = pos_;
+    while (pos_ < data_.size() && data_[pos_] != '\n') ++pos_;
+    std::string out = data_.substr(start, pos_ - start);
+    if (!out.empty() && out.back() == '\r') out.pop_back();
+    if (pos_ < data_.size()) {  // consume '\n'
+      ++pos_;
+      ++line_;
+    }
+    return out;
+  }
+
+  /// Skips whitespace including newlines (istream >> std::ws semantics).
+  void SkipWhitespace() {
+    while (pos_ < data_.size() && IsSpace(data_[pos_])) {
+      if (data_[pos_] == '\n') ++line_;
+      ++pos_;
+    }
+  }
+
+ private:
+  static bool IsSpace(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' ||
+           c == '\f';
+  }
+
+  const std::string& data_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+/// ParseError carrying file, line, and byte offset — the satellite
+/// contract: a corrupted or truncated file always says where it broke.
+Status ParseErrorAt(const std::string& path, const TextCursor& cursor,
+                    const std::string& message) {
+  return Status::ParseError(path + ":line " + std::to_string(cursor.line()) +
+                            " (byte " + std::to_string(cursor.byte()) +
+                            "): " + message);
+}
+
+bool ParseU64(std::string_view token, uint64_t* value) {
+  if (token.empty()) return false;
+  uint64_t result = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (result > (UINT64_MAX - digit) / 10) return false;
+    result = result * 10 + digit;
+  }
+  *value = result;
+  return true;
+}
+
+bool ParseI32(std::string_view token, int* value) {
+  bool negative = false;
+  if (!token.empty() && (token.front() == '-' || token.front() == '+')) {
+    negative = token.front() == '-';
+    token.remove_prefix(1);
+  }
+  uint64_t magnitude = 0;
+  if (!ParseU64(token, &magnitude) || magnitude > 0x7fffffffull) {
+    return false;
+  }
+  *value = negative ? -static_cast<int>(magnitude)
+                    : static_cast<int>(magnitude);
+  return true;
+}
+
+bool ParseDouble(std::string_view token, double* value) {
+  if (token.empty()) return false;
+  // strtod needs NUL termination; tokens are short (%.17g output).
+  char buf[64];
+  if (token.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, token.data(), token.size());
+  buf[token.size()] = '\0';
+  char* end = nullptr;
+  *value = std::strtod(buf, &end);
+  return end == buf + token.size();
+}
+
+Result<vsm::SparseVector> ReadVector(TextCursor& cursor,
+                                     const std::string& path,
+                                     const char* expected_tag,
                                      size_t vocabulary_size) {
-  std::string seen_tag;
-  size_t count = 0;
-  if (!(in >> seen_tag >> count) || seen_tag != tag) {
-    return Status::ParseError(std::string("expected vector tag ") + tag);
+  std::string_view tag;
+  std::string_view count_token;
+  uint64_t count = 0;
+  if (!cursor.NextToken(&tag) || tag != expected_tag) {
+    return ParseErrorAt(path, cursor,
+                        std::string("expected vector tag ") + expected_tag);
+  }
+  if (!cursor.NextToken(&count_token) || !ParseU64(count_token, &count)) {
+    return ParseErrorAt(path, cursor,
+                        std::string("bad entry count for vector ") +
+                            expected_tag);
   }
   std::vector<vsm::Entry> entries;
   entries.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view term_token;
+    std::string_view weight_token;
     uint64_t term = 0;
     double weight = 0.0;
-    if (!(in >> term >> weight)) {
-      return Status::ParseError("truncated vector data");
+    if (!cursor.NextToken(&term_token) || !ParseU64(term_token, &term) ||
+        !cursor.NextToken(&weight_token) ||
+        !ParseDouble(weight_token, &weight)) {
+      return ParseErrorAt(path, cursor, "truncated vector data");
     }
     if (term >= vocabulary_size) {
-      return Status::ParseError("term id out of range");
+      return ParseErrorAt(path, cursor,
+                          "term id " + std::to_string(term) +
+                              " out of range (vocabulary has " +
+                              std::to_string(vocabulary_size) + " terms)");
     }
     entries.push_back({static_cast<vsm::TermId>(term), weight});
   }
@@ -144,6 +269,16 @@ DatabaseDirectory DatabaseDirectory::Clone() const {
   copy.entries_ = entries_;
   copy.epoch_ = epoch_;
   return copy;
+}
+
+DatabaseDirectory DatabaseDirectory::FromParts(
+    FormPageSet collection, std::vector<DirectoryEntry> entries,
+    uint64_t epoch) {
+  DatabaseDirectory dir;
+  dir.collection_ = std::move(collection);
+  dir.entries_ = std::move(entries);
+  dir.epoch_ = epoch;
+  return dir;
 }
 
 std::vector<std::string> DatabaseDirectory::AutoLabels(
@@ -440,8 +575,13 @@ std::vector<DatabaseDirectory::SearchHit> DatabaseDirectory::Search(
 }
 
 Status DatabaseDirectory::SaveToFile(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::Internal("cannot open for writing: " + path);
+  // Crash safety: write the whole file to a sibling temp path, then
+  // atomically rename over the destination. A crash or write failure at
+  // any point leaves the previous file (if any) untouched — the directory
+  // on disk is always either the old complete version or the new one.
+  const std::string tmp_path = path + ".tmp";
+  std::ofstream out(tmp_path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open for writing: " + tmp_path);
 
   // Version 2: adds the corpus epoch line and label escaping (v1 wrote
   // labels raw, so a label with an embedded newline corrupted the file).
@@ -472,93 +612,155 @@ Status DatabaseDirectory::SaveToFile(const std::string& path) const {
     WriteVector(entry.centroid.fc, "fc", out);
   }
   out.flush();
-  if (!out) return Status::Internal("write failed: " + path);
+  out.close();
+  if (!out) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("write failed: " + tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename " + tmp_path + " to " + path);
+  }
   return Status::OK();
 }
 
 Result<DatabaseDirectory> DatabaseDirectory::LoadFromFile(
     const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::Internal("read failed: " + path);
+  const std::string data = std::move(buffer).str();
 
-  std::string magic;
-  int version = 0;
-  if (!(in >> magic >> version) || magic != "CAFC-DIRECTORY") {
-    return Status::ParseError("not a CAFC directory file: " + path);
+  if (data.rfind("CAFCBIN3", 0) == 0) {
+    return Status::ParseError(
+        path + " is a binary v3 snapshot, not a text directory — load it "
+        "with storage::LoadDirectoryAuto (cafc negotiates this "
+        "automatically) or dump it with `cafc inspect`");
+  }
+
+  TextCursor cursor(data);
+  std::string_view token;
+  if (!cursor.NextToken(&token) || token != "CAFC-DIRECTORY") {
+    return ParseErrorAt(path, cursor, "not a CAFC directory file");
+  }
+  uint64_t version = 0;
+  if (!cursor.NextToken(&token) || !ParseU64(token, &version)) {
+    return ParseErrorAt(path, cursor, "missing format version");
   }
   if (version != 1 && version != 2) {
-    return Status::ParseError("unsupported directory version " +
-                              std::to_string(version));
+    return ParseErrorAt(path, cursor,
+                        "unsupported directory version " +
+                            std::to_string(version) +
+                            " (this reader knows versions 1 and 2)");
   }
 
   DatabaseDirectory dir;
 
-  std::string tag;
   if (version >= 2) {
-    if (!(in >> tag >> dir.epoch_) || tag != "epoch") {
-      return Status::ParseError("bad epoch line");
+    if (!cursor.NextToken(&token) || token != "epoch" ||
+        !cursor.NextToken(&token) || !ParseU64(token, &dir.epoch_)) {
+      return ParseErrorAt(path, cursor, "bad epoch line");
     }
   }
   vsm::LocationWeightConfig weights;
-  if (!(in >> tag >> weights.page_body >> weights.page_title >>
-        weights.anchor_text >> weights.form_text >> weights.form_option) ||
-      tag != "weights") {
-    return Status::ParseError("bad weights section");
+  int* weight_fields[] = {&weights.page_body, &weights.page_title,
+                          &weights.anchor_text, &weights.form_text,
+                          &weights.form_option};
+  if (!cursor.NextToken(&token) || token != "weights") {
+    return ParseErrorAt(path, cursor, "bad weights section");
+  }
+  for (int* field : weight_fields) {
+    if (!cursor.NextToken(&token) || !ParseI32(token, field)) {
+      return ParseErrorAt(path, cursor, "bad weights section");
+    }
   }
   dir.collection_.set_location_weights(weights);
 
-  size_t pc_docs = 0;
-  size_t fc_docs = 0;
-  size_t num_terms = 0;
-  if (!(in >> tag >> pc_docs >> fc_docs >> num_terms) || tag != "stats") {
-    return Status::ParseError("bad stats section");
+  uint64_t pc_docs = 0;
+  uint64_t fc_docs = 0;
+  uint64_t num_terms = 0;
+  if (!cursor.NextToken(&token) || token != "stats" ||
+      !cursor.NextToken(&token) || !ParseU64(token, &pc_docs) ||
+      !cursor.NextToken(&token) || !ParseU64(token, &fc_docs) ||
+      !cursor.NextToken(&token) || !ParseU64(token, &num_terms)) {
+    return ParseErrorAt(path, cursor, "bad stats section");
+  }
+  if (num_terms > data.size()) {
+    // Every vocabulary line costs several bytes; a larger count can only
+    // be corruption and would otherwise reserve gigabytes below.
+    return ParseErrorAt(path, cursor,
+                        "vocabulary count " + std::to_string(num_terms) +
+                            " exceeds file size");
   }
   std::vector<size_t> pc_df(num_terms);
   std::vector<size_t> fc_df(num_terms);
   vsm::TermDictionary* dict = dir.collection_.mutable_dictionary();
-  for (size_t i = 0; i < num_terms; ++i) {
-    std::string term;
-    if (!(in >> term >> pc_df[i] >> fc_df[i])) {
-      return Status::ParseError("truncated vocabulary");
+  dict->Reserve(num_terms);
+  for (uint64_t i = 0; i < num_terms; ++i) {
+    std::string_view term;
+    uint64_t pc_count = 0;
+    uint64_t fc_count = 0;
+    if (!cursor.NextToken(&term) || !cursor.NextToken(&token) ||
+        !ParseU64(token, &pc_count) || !cursor.NextToken(&token) ||
+        !ParseU64(token, &fc_count)) {
+      return ParseErrorAt(path, cursor,
+                          "truncated vocabulary (expected " +
+                              std::to_string(num_terms) + " terms, got " +
+                              std::to_string(i) + ")");
     }
-    if (dict->Intern(term) != static_cast<vsm::TermId>(i)) {
-      return Status::ParseError("duplicate term in vocabulary: " + term);
+    pc_df[i] = pc_count;
+    fc_df[i] = fc_count;
+    if (dict->Intern(std::string(term)) != static_cast<vsm::TermId>(i)) {
+      return ParseErrorAt(path, cursor,
+                          "duplicate term in vocabulary: " +
+                              std::string(term));
     }
   }
   dir.collection_.mutable_pc_stats()->Restore(pc_docs, std::move(pc_df));
   dir.collection_.mutable_fc_stats()->Restore(fc_docs, std::move(fc_df));
 
-  size_t num_entries = 0;
-  if (!(in >> tag >> num_entries) || tag != "entries") {
-    return Status::ParseError("bad entries section");
+  uint64_t num_entries = 0;
+  if (!cursor.NextToken(&token) || token != "entries" ||
+      !cursor.NextToken(&token) || !ParseU64(token, &num_entries)) {
+    return ParseErrorAt(path, cursor, "bad entries section");
   }
-  for (size_t e = 0; e < num_entries; ++e) {
+  for (uint64_t e = 0; e < num_entries; ++e) {
     DirectoryEntry entry;
-    if (!(in >> tag) || tag != "label") {
-      return Status::ParseError("bad entry label");
+    if (!cursor.NextToken(&token) || token != "label") {
+      return ParseErrorAt(path, cursor,
+                          "bad entry label (entry " + std::to_string(e) +
+                              " of " + std::to_string(num_entries) + ")");
     }
     if (version >= 2) {
       // The escaped label occupies the rest of the line after one
       // separating space; further leading whitespace belongs to the label.
-      std::string raw;
-      std::getline(in, raw);
+      std::string raw = cursor.RestOfLine();
       if (!raw.empty() && raw.front() == ' ') raw.erase(0, 1);
       entry.label = UnescapeLabel(raw);
     } else {
-      std::getline(in >> std::ws, entry.label);
+      cursor.SkipWhitespace();
+      entry.label = cursor.RestOfLine();
     }
-    size_t members = 0;
-    if (!(in >> tag >> members) || tag != "members") {
-      return Status::ParseError("bad member count");
+    uint64_t members = 0;
+    if (!cursor.NextToken(&token) || token != "members" ||
+        !cursor.NextToken(&token) || !ParseU64(token, &members)) {
+      return ParseErrorAt(path, cursor, "bad member count");
     }
-    for (size_t m = 0; m < members; ++m) {
-      std::string url;
-      if (!(in >> url)) return Status::ParseError("truncated member list");
-      entry.member_urls.push_back(std::move(url));
+    for (uint64_t m = 0; m < members; ++m) {
+      std::string_view url;
+      if (!cursor.NextToken(&url)) {
+        return ParseErrorAt(path, cursor,
+                            "truncated member list (expected " +
+                                std::to_string(members) + " URLs, got " +
+                                std::to_string(m) + ")");
+      }
+      entry.member_urls.emplace_back(url);
     }
-    Result<vsm::SparseVector> pc = ReadVector(in, "pc", num_terms);
+    Result<vsm::SparseVector> pc = ReadVector(cursor, path, "pc", num_terms);
     if (!pc.ok()) return pc.status();
-    Result<vsm::SparseVector> fc = ReadVector(in, "fc", num_terms);
+    Result<vsm::SparseVector> fc = ReadVector(cursor, path, "fc", num_terms);
     if (!fc.ok()) return fc.status();
     entry.centroid.pc = std::move(pc).value();
     entry.centroid.fc = std::move(fc).value();

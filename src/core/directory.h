@@ -106,6 +106,21 @@ class DatabaseDirectory {
   const std::vector<DirectoryEntry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }
 
+  /// Collection state the directory classifies against (dictionary, IDF
+  /// statistics, location weights; the page list is empty). Read-only:
+  /// serializers walk this to persist the vocabulary and stats.
+  const FormPageSet& collection() const { return collection_; }
+
+  /// \brief Reassembles a directory from deserialized parts — the
+  /// deserialization hook the snapshot readers (text and binary v3) use.
+  ///
+  /// `collection` carries dictionary + stats + weights; `entries` the
+  /// sections. No validation beyond what the caller already did: this is
+  /// a constructor for trusted, already-checked decoder output.
+  static DatabaseDirectory FromParts(FormPageSet collection,
+                                     std::vector<DirectoryEntry> entries,
+                                     uint64_t epoch);
+
   /// Corpus epoch this directory was last built from or refreshed against
   /// (0 for directories built from a plain FormPageSet or loaded from a
   /// version-1 file).
@@ -208,9 +223,17 @@ class DatabaseDirectory {
 
   /// Serializes to a line-oriented text file. The format is versioned and
   /// self-contained (vocabulary, IDF statistics, weights, centroids).
+  /// Crash-safe: writes to a sibling temp file and renames it over `path`
+  /// only after a successful flush, so an interrupted save can never leave
+  /// a torn directory file (the previous file, if any, survives intact).
   Status SaveToFile(const std::string& path) const;
 
-  /// Loads a directory previously written by SaveToFile.
+  /// Loads a text directory previously written by SaveToFile (format
+  /// versions 1 and 2, negotiated from the file header). Truncated or
+  /// corrupted files fail with a ParseError naming the line and byte
+  /// offset — a partial directory is never returned. Binary v3 snapshots
+  /// are detected and rejected with a pointer to the storage loader
+  /// (`storage::LoadDirectoryAuto` handles both transparently).
   static Result<DatabaseDirectory> LoadFromFile(const std::string& path);
 
  private:

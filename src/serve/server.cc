@@ -38,6 +38,25 @@ DirectoryServer::DirectoryServer(DatabaseDirectory directory, Corpus corpus,
   refresh_thread_ = std::thread([this] { RefreshLoop(); });
 }
 
+DirectoryServer::DirectoryServer(
+    std::shared_ptr<const storage::MappedSnapshot> snapshot,
+    DirectoryServerOptions options)
+    : options_(options), read_only_(true) {
+  options_.workers = std::max<size_t>(1, options_.workers);
+  options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  // The mapped snapshot is the directory: no clone, no re-index — the
+  // centroid index was streamed out of the file at Open, and the page
+  // profiles stay behind the mmap. There is no refresh master and no
+  // refresh thread; the single published snapshot lives for the server's
+  // whole lifetime.
+  Publish(std::make_shared<const DirectorySnapshot>(std::move(snapshot),
+                                                    publish_seq_));
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
 DirectoryServer::~DirectoryServer() { Shutdown(); }
 
 SnapshotPtr DirectoryServer::snapshot() const {
@@ -109,6 +128,25 @@ QueryResponse DirectoryServer::Execute(const QueryRequest& request,
       response.hits = snap.directory().Search(request.query, request.top_k,
                                               snap.index(), &response.cost);
       break;
+    case QueryKind::kClassifyStored: {
+      const storage::MappedSnapshot* mapped = snap.mapped();
+      if (mapped == nullptr) {
+        response.status = Status::FailedPrecondition(
+            "stored-page classification needs a snapshot-backed server");
+        break;
+      }
+      // The profile comes off the mapped file through the budget-bounded
+      // LRU; the shared_ptr keeps it alive past an eviction mid-request.
+      Result<std::shared_ptr<const FormPage>> page =
+          mapped->GetPage(request.page_ordinal);
+      if (!page.ok()) {
+        response.status = page.status();
+        break;
+      }
+      response.classification = snap.directory().ClassifyPage(
+          **page, request.config, snap.index(), &response.cost);
+      break;
+    }
   }
   if (options_.service_pad_ms > 0.0) {
     std::this_thread::sleep_for(
@@ -155,8 +193,10 @@ void DirectoryServer::WorkerLoop() {
         ++stats_.completed;
         stats_.distance_comps.Add(
             static_cast<double>(response.cost.centroids_scored));
-      } else {
+      } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
         ++stats_.deadline_exceeded;
+      } else {
+        ++stats_.failed;  // e.g. a bad stored-page ordinal
       }
       stats_.queue_us.Add(response.queue_ms * 1000.0);
       stats_.service_us.Add(response.service_ms * 1000.0);
@@ -168,6 +208,11 @@ void DirectoryServer::WorkerLoop() {
 }
 
 Status DirectoryServer::ScheduleRefresh(std::vector<DatasetEntry> pages) {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "server is read-only: it serves an immutable mapped snapshot "
+        "(rebuild the snapshot with `cafc compact` to update it)");
+  }
   {
     std::lock_guard<std::mutex> lock(refresh_mutex_);
     if (refresh_stopping_) {
@@ -237,8 +282,28 @@ void DirectoryServer::RefreshLoop() {
 }
 
 ServerStats DirectoryServer::Stats() const {
-  std::lock_guard<std::mutex> stats(stats_mutex_);
-  return stats_;
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> stats(stats_mutex_);
+    out = stats_;
+  }
+  // Storage counters are sampled from the published snapshot's page store
+  // after stats_mutex_ is released — snapshot() takes snapshot_mutex_, and
+  // holding both here would order them against every other pairing.
+  SnapshotPtr snap = snapshot();
+  if (snap != nullptr && snap->mapped() != nullptr) {
+    const storage::MappedSnapshot& mapped = *snap->mapped();
+    const storage::PageStoreStats page_stats = mapped.page_store_stats();
+    out.mapped_storage = true;
+    out.page_hits = page_stats.hits;
+    out.page_misses = page_stats.misses;
+    out.page_evictions = page_stats.evictions;
+    out.page_cached = page_stats.cached_pages;
+    out.storage_fixed_bytes = mapped.fixed_resident_bytes();
+    out.storage_resident_bytes = mapped.resident_bytes();
+    out.memory_budget_bytes = mapped.memory_budget_bytes();
+  }
+  return out;
 }
 
 void DirectoryServer::Shutdown() {

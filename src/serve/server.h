@@ -26,16 +26,25 @@ namespace cafc::serve {
 enum class QueryKind {
   kClassify,  ///< file a raw form-page document into its best section
   kSearch,    ///< keyword search over the section centroids
+  /// Classify a page already stored in the backing v3 snapshot, addressed
+  /// by ordinal. Snapshot-backed servers only: the page profile is decoded
+  /// on demand from the mapped file through the budget-bounded LRU, so the
+  /// request costs no resident memory beyond the hot set.
+  kClassifyStored,
 };
 
 /// One unit of work for the serving layer. Classify requests carry `doc`
-/// (+ `config`); Search requests carry `query` (+ `top_k`).
+/// (+ `config`); Search requests carry `query` (+ `top_k`); ClassifyStored
+/// requests carry `page_ordinal` (+ `config`).
 struct QueryRequest {
   QueryKind kind = QueryKind::kClassify;
   forms::FormPageDocument doc;
   ContentConfig config = ContentConfig::kFcPlusPc;
   std::string query;
   size_t top_k = 5;
+  /// Ordinal of the stored page (kClassifyStored only), in the snapshot's
+  /// page-section order.
+  size_t page_ordinal = 0;
   /// Latency budget measured from Submit. A request still queued when the
   /// budget expires is answered kDeadlineExceeded instead of executed
   /// (checked at dequeue — admission is cheaper than cancellation). 0
@@ -87,6 +96,7 @@ struct ServerStats {
   uint64_t rejected_queue_full = 0;///< kUnavailable: queue at capacity
   uint64_t rejected_stopped = 0;   ///< kUnavailable: after Shutdown
   uint64_t deadline_exceeded = 0;  ///< kDeadlineExceeded at dequeue
+  uint64_t failed = 0;             ///< executed but answered non-OK
   uint64_t completed = 0;          ///< served OK
   uint64_t refreshes = 0;          ///< hot refreshes applied
   uint64_t refresh_failures = 0;   ///< refreshes rejected by the library
@@ -101,6 +111,18 @@ struct ServerStats {
   /// exactly the directory size, so this distribution *is* the pruning
   /// effectiveness, surfaced in `cafc serve` stats output.
   util::Histogram distance_comps;
+  /// Storage-layer counters of snapshot-backed servers (all zero for
+  /// in-RAM servers). Sampled from the published snapshot's page store at
+  /// Stats() time, so they reflect the moment of the call rather than an
+  /// accumulation window.
+  bool mapped_storage = false;       ///< true when serving a v3 snapshot
+  uint64_t page_hits = 0;            ///< stored-page LRU hits
+  uint64_t page_misses = 0;          ///< stored-page decodes from the map
+  uint64_t page_evictions = 0;       ///< pages evicted to hold the budget
+  uint64_t page_cached = 0;          ///< pages resident in the LRU now
+  uint64_t storage_fixed_bytes = 0;  ///< dictionary+stats+index+labels
+  uint64_t storage_resident_bytes = 0;  ///< fixed + cached pages, now
+  uint64_t memory_budget_bytes = 0;  ///< configured cap (0 = unlimited)
 };
 
 /// \brief Concurrent query engine over an epoch-snapshot directory: a
@@ -135,6 +157,20 @@ class DirectoryServer {
   DirectoryServer(DatabaseDirectory directory, Corpus corpus,
                   DirectoryServerOptions options = {});
 
+  /// \brief Read-only server over an mmapped binary v3 snapshot.
+  ///
+  /// The initial (and only) snapshot wraps `snapshot` directly — nothing
+  /// is cloned or re-indexed; the centroid index was streamed out of the
+  /// mapped file at Open, and per-page profiles stay on disk behind the
+  /// budget-bounded LRU. ScheduleRefresh fails with kFailedPrecondition
+  /// (the backing file is immutable); everything else behaves as in the
+  /// in-RAM mode, including kClassifyStored requests addressed by page
+  /// ordinal. Memory budgeting is configured at MappedSnapshot::Open via
+  /// SnapshotOpenOptions::memory_budget_bytes.
+  explicit DirectoryServer(
+      std::shared_ptr<const storage::MappedSnapshot> snapshot,
+      DirectoryServerOptions options = {});
+
   /// Shuts down (drains the queues, joins all threads).
   ~DirectoryServer();
 
@@ -151,7 +187,8 @@ class DirectoryServer {
   QueryResponse Query(QueryRequest request);
 
   /// Queues a page batch for the refresh thread: AddPages + Refresh +
-  /// snapshot swap, asynchronously. Returns kUnavailable after Shutdown.
+  /// snapshot swap, asynchronously. Returns kUnavailable after Shutdown,
+  /// kFailedPrecondition on a read-only snapshot-backed server.
   /// Refresh failures (e.g. a vocabulary precondition) are counted in
   /// Stats and leave the published snapshot untouched.
   Status ScheduleRefresh(std::vector<DatasetEntry> pages);
@@ -191,8 +228,10 @@ class DirectoryServer {
   DirectoryServerOptions options_;
 
   // Refresh master state: owned by the refresh thread after construction.
+  // Empty (and the refresh thread never started) in read-only mapped mode.
   DatabaseDirectory master_;
   Corpus corpus_;
+  bool read_only_ = false;  // set in the mapped ctor, immutable after
 
   /// The wait-free reader view: workers pin with a single acquire load.
   /// The pointee is owned by current_/retired_ below, which outlive every

@@ -11,4 +11,10 @@ DirectorySnapshot::DirectorySnapshot(DatabaseDirectory directory,
       version_(version),
       corpus_epoch_(corpus_epoch) {}
 
+DirectorySnapshot::DirectorySnapshot(
+    std::shared_ptr<const storage::MappedSnapshot> mapped, uint64_t version)
+    : mapped_(std::move(mapped)),
+      version_(version),
+      corpus_epoch_(mapped_->meta().epoch) {}
+
 }  // namespace cafc::serve

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "core/directory.h"
+#include "storage/reader.h"
 
 namespace cafc::serve {
 
@@ -24,13 +25,30 @@ class DirectorySnapshot {
   DirectorySnapshot(DatabaseDirectory directory, uint64_t version,
                     uint64_t corpus_epoch);
 
+  /// Mapped mode: the snapshot is a view over an mmapped binary v3 file.
+  /// The thin directory and the centroid index live inside the
+  /// MappedSnapshot (built once at Open); this wrapper only pins the
+  /// refcount and carries the publish metadata. Queries run exactly as in
+  /// the in-RAM mode — the indexed Classify/Search paths never read the
+  /// centroid vectors the thin directory omits — and stored-page requests
+  /// (QueryKind::kClassifyStored) reach the page LRU through `mapped()`.
+  DirectorySnapshot(std::shared_ptr<const storage::MappedSnapshot> mapped,
+                    uint64_t version);
+
   DirectorySnapshot(const DirectorySnapshot&) = delete;
   DirectorySnapshot& operator=(const DirectorySnapshot&) = delete;
 
   /// The frozen directory. Const access only — `DatabaseDirectory`'s const
   /// interface (ClassifyPage/ClassifyDocument/Search) is thread-safe, and
-  /// immutability is what makes the refcounted share sound.
-  const DatabaseDirectory& directory() const { return directory_; }
+  /// immutability is what makes the refcounted share sound. In mapped mode
+  /// this is the thin directory (empty centroid vectors) — sound because
+  /// every query path the server executes goes through `index()`.
+  const DatabaseDirectory& directory() const {
+    return mapped_ ? mapped_->directory() : directory_;
+  }
+
+  /// The backing mapped snapshot, or nullptr for in-RAM snapshots.
+  const storage::MappedSnapshot* mapped() const { return mapped_.get(); }
 
   /// Publish sequence number, starting at 1 and bumped by every refresh
   /// hot-swap. Strictly increasing across the server's lifetime.
@@ -43,12 +61,16 @@ class DirectorySnapshot {
   /// Inverted centroid index over the frozen entries, built once at
   /// publish time and shared immutably by every worker pinning this
   /// snapshot: queries score only the entries they share a term with
-  /// instead of scanning all of them, with bit-identical results.
-  const cluster::CentroidIndex& index() const { return index_; }
+  /// instead of scanning all of them, with bit-identical results. In
+  /// mapped mode the index was streamed out of the file at Open.
+  const cluster::CentroidIndex& index() const {
+    return mapped_ ? mapped_->index() : index_;
+  }
 
  private:
   DatabaseDirectory directory_;
   cluster::CentroidIndex index_;
+  std::shared_ptr<const storage::MappedSnapshot> mapped_;
   uint64_t version_ = 0;
   uint64_t corpus_epoch_ = 0;
 };

@@ -1,0 +1,24 @@
+#include "storage/format.h"
+
+#include <cstring>
+
+namespace cafc::storage {
+
+const char* SectionKindName(SectionKind kind) {
+  switch (kind) {
+    case SectionKind::kMeta: return "meta";
+    case SectionKind::kDictionary: return "dictionary";
+    case SectionKind::kDfTable: return "df-table";
+    case SectionKind::kEntries: return "entries";
+    case SectionKind::kPages: return "pages";
+    case SectionKind::kPageIndex: return "page-index";
+  }
+  return "unknown";
+}
+
+bool HasV3Magic(const char* data, size_t size) {
+  return size >= sizeof(kMagicV3) &&
+         std::memcmp(data, kMagicV3, sizeof(kMagicV3)) == 0;
+}
+
+}  // namespace cafc::storage

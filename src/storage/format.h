@@ -1,0 +1,95 @@
+#ifndef CAFC_STORAGE_FORMAT_H_
+#define CAFC_STORAGE_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cafc::storage {
+
+/// \brief On-disk layout constants of snapshot format v3.
+///
+/// The file is designed to be consumed through a single mmap:
+///
+///   offset 0                  +-----------------------------------+
+///                             | header (64 bytes)                 |
+///                             |   magic "CAFCBIN3" | version u32  |
+///                             |   section_count u32 | file_bytes  |
+///                             |   u64 | reserved (zero)           |
+///   offset 64                 +-----------------------------------+
+///                             | section table                     |
+///                             |   section_count x 40-byte rows:   |
+///                             |   kind u32 | reserved u32 |       |
+///                             |   offset u64 | bytes u64 |        |
+///                             |   item_count u64 | checksum u64   |
+///   64-byte aligned offsets   +-----------------------------------+
+///                             | sections, each zero-padded to a   |
+///                             | 64-byte boundary, referenced only |
+///                             | by table offsets (no pointers)    |
+///                             +-----------------------------------+
+///
+/// All multi-byte integers are little-endian; variable-length data uses
+/// LEB128 varints. Checksums are `util::Checksum64` (a word-wide 64-bit
+/// mixing hash) over the exact section bytes (padding excluded). Section
+/// payloads reference each other by item
+/// ordinal, never by file offset, except kPageIndex, whose fixed64 values
+/// are byte offsets *relative to the kPages payload start* — that is what
+/// makes cold pages addressable without decoding their predecessors.
+
+inline constexpr char kMagicV3[8] = {'C', 'A', 'F', 'C',
+                                     'B', 'I', 'N', '3'};
+inline constexpr uint32_t kFormatVersion3 = 3;
+inline constexpr size_t kHeaderBytes = 64;
+inline constexpr size_t kSectionRowBytes = 40;
+inline constexpr size_t kSectionAlignment = 64;
+
+/// Section kinds of format v3. Values are part of the on-disk format —
+/// append new kinds, never renumber.
+enum class SectionKind : uint32_t {
+  kMeta = 1,        ///< epoch, location weights, stats, counts (varints)
+  kDictionary = 2,  ///< front-coded sorted terms + id permutation
+  kDfTable = 3,     ///< per-term PC/FC document frequencies (varints)
+  kEntries = 4,     ///< directory sections: label, members, centroids
+  kPages = 5,       ///< per-page profiles (optional; with-pages snapshots)
+  kPageIndex = 6,   ///< fixed64 offset of each page within kPages
+};
+
+/// Human-readable section name for `cafc inspect` / compact reports.
+const char* SectionKindName(SectionKind kind);
+
+/// One decoded row of the section table.
+struct SectionInfo {
+  SectionKind kind = SectionKind::kMeta;
+  uint64_t offset = 0;      ///< absolute byte offset of the payload
+  uint64_t bytes = 0;       ///< payload size (padding excluded)
+  uint64_t item_count = 0;  ///< kind-specific item tally
+  uint64_t checksum = 0;    ///< util::Checksum64 of the payload bytes
+};
+
+/// Decoded header + section table (what `cafc inspect` prints).
+struct SnapshotFileInfo {
+  uint32_t version = 0;
+  uint64_t file_bytes = 0;
+  std::vector<SectionInfo> sections;
+};
+
+/// Decoded kMeta payload.
+struct SnapshotMeta {
+  uint64_t epoch = 0;
+  int location_weights[5] = {0, 0, 0, 0, 0};  // body,title,anchor,form,opt
+  uint64_t pc_documents = 0;
+  uint64_t fc_documents = 0;
+  uint64_t num_terms = 0;
+  uint64_t num_entries = 0;
+  uint64_t num_pages = 0;
+};
+
+/// True when `data` begins with the v3 magic (format negotiation sniff).
+bool HasV3Magic(const char* data, size_t size);
+inline bool HasV3Magic(const std::string& data) {
+  return HasV3Magic(data.data(), data.size());
+}
+
+}  // namespace cafc::storage
+
+#endif  // CAFC_STORAGE_FORMAT_H_

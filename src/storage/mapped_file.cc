@@ -1,0 +1,99 @@
+#include "storage/mapped_file.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CAFC_STORAGE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace cafc::storage {
+
+
+
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { Release(); }
+
+void MappedFile::Release() {
+  if (data_ == nullptr) return;
+#if CAFC_STORAGE_HAVE_MMAP
+  if (mapped_) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+    mapped_ = false;
+    return;
+  }
+#endif
+  std::free(const_cast<uint8_t*>(data_));
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+#if CAFC_STORAGE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("cannot open: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::Internal("cannot stat: " + path);
+  }
+  MappedFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ == 0) {
+    // mmap of length 0 is undefined; an empty file maps to an empty view.
+    ::close(fd);
+    return file;
+  }
+  void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file referenced
+  if (addr == MAP_FAILED) {
+    return Status::Internal("mmap failed: " + path);
+  }
+  file.data_ = static_cast<const uint8_t*>(addr);
+  file.mapped_ = true;
+  return file;
+#else
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  MappedFile file;
+  file.size_ = static_cast<size_t>(size);
+  if (file.size_ == 0) return file;
+  uint8_t* buffer = static_cast<uint8_t*>(std::malloc(file.size_));
+  if (buffer == nullptr) return Status::Internal("out of memory: " + path);
+  if (!in.read(reinterpret_cast<char*>(buffer),
+               static_cast<std::streamsize>(file.size_))) {
+    std::free(buffer);
+    return Status::Internal("read failed: " + path);
+  }
+  file.data_ = buffer;
+  return file;
+#endif
+}
+
+}  // namespace cafc::storage

@@ -1,0 +1,45 @@
+#ifndef CAFC_STORAGE_MAPPED_FILE_H_
+#define CAFC_STORAGE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace cafc::storage {
+
+/// \brief Read-only view of a whole file, mmapped where the platform
+/// allows (one `mmap`, zero copies — pages fault in lazily, so opening a
+/// multi-gigabyte snapshot costs no read I/O up front) with a buffered
+/// read fallback elsewhere.
+///
+/// Movable, not copyable; the mapping lives until destruction.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  static Result<MappedFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  /// True when the bytes come straight from the page cache via mmap
+  /// (false on the read-into-heap fallback path).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  void Release();
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
+
+}  // namespace cafc::storage
+
+#endif  // CAFC_STORAGE_MAPPED_FILE_H_

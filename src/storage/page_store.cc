@@ -1,0 +1,87 @@
+#include "storage/page_store.h"
+
+#include <utility>
+
+namespace cafc::storage {
+
+
+
+
+PageStore::PageStore(Decoder decoder, size_t num_pages,
+                     uint64_t budget_bytes, uint64_t fixed_resident_bytes)
+    : decoder_(std::move(decoder)),
+      num_pages_(num_pages),
+      budget_(budget_bytes),
+      fixed_(fixed_resident_bytes) {}
+
+uint64_t PageStore::ApproxPageBytes(const FormPage& page) {
+  uint64_t bytes = sizeof(FormPage);
+  bytes += page.url.size() + page.site.size();
+  for (const std::string& backlink : page.backlinks) {
+    bytes += backlink.size() + sizeof(std::string);
+  }
+  bytes += (page.pc.size() + page.fc.size()) * sizeof(vsm::Entry);
+  return bytes;
+}
+
+Result<std::shared_ptr<const FormPage>> PageStore::Get(size_t ordinal) {
+  if (ordinal >= num_pages_) {
+    return Status::OutOfRange("page ordinal " + std::to_string(ordinal) +
+                              " >= stored page count " +
+                              std::to_string(num_pages_));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = cache_.find(ordinal);
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(ordinal);
+    it->second.lru_it = lru_.begin();
+    return it->second.page;
+  }
+
+  ++stats_.misses;
+  Result<FormPage> decoded = decoder_(ordinal);
+  if (!decoded.ok()) return decoded.status();
+  auto page = std::make_shared<const FormPage>(std::move(decoded).value());
+  const uint64_t bytes = ApproxPageBytes(*page);
+
+  // Cache only if this page can ever fit: the budget invariant
+  // (fixed_ + cached_bytes_ <= budget_) must hold after insertion.
+  if (budget_ != 0 && fixed_ + bytes > budget_) {
+    return page;  // serve uncached; resident bytes stay under budget
+  }
+  lru_.push_front(ordinal);
+  cache_.emplace(ordinal,
+                 CacheEntry{page, bytes, lru_.begin()});
+  cached_bytes_ += bytes;
+  EvictToBudgetLocked();
+  return page;
+}
+
+void PageStore::EvictToBudgetLocked() {
+  if (budget_ == 0) return;
+  while (fixed_ + cached_bytes_ > budget_ && lru_.size() > 1) {
+    const size_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = cache_.find(victim);
+    cached_bytes_ -= it->second.bytes;
+    cache_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+PageStoreStats PageStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PageStoreStats out = stats_;
+  out.cached_pages = cache_.size();
+  out.cached_bytes = cached_bytes_;
+  return out;
+}
+
+uint64_t PageStore::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fixed_ + cached_bytes_;
+}
+
+}  // namespace cafc::storage

@@ -1,0 +1,87 @@
+#ifndef CAFC_STORAGE_PAGE_STORE_H_
+#define CAFC_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/form_page.h"
+#include "util/status.h"
+
+namespace cafc::storage {
+
+/// Hit/miss/eviction counters plus the current accounted footprint —
+/// surfaced through `ServerStats` and `cafc serve` stats.
+struct PageStoreStats {
+  uint64_t hits = 0;       ///< served from the resident LRU
+  uint64_t misses = 0;     ///< decoded on demand from the mapped file
+  uint64_t evictions = 0;  ///< pages dropped to stay under budget
+  uint64_t cached_pages = 0;
+  uint64_t cached_bytes = 0;  ///< accounted bytes of the resident pages
+};
+
+/// \brief Budget-bounded LRU of decoded per-page term profiles over a
+/// mapped snapshot.
+///
+/// The memory-budget contract: `fixed_resident_bytes` (dictionary, IDF
+/// stats, centroid index, labels — what serving always needs hot) plus
+/// the accounted bytes of cached pages never exceeds the budget. A page
+/// that would overflow the budget is decoded, handed to the caller via
+/// shared_ptr, and simply not cached — so queries always succeed, they
+/// just pay the decode again next time. Budget 0 means unlimited.
+///
+/// Thread-safe: one mutex guards the cache; decoding happens under it,
+/// which keeps the store simple and race-free (the decode is a bounded
+/// varint walk, not I/O — the file is already mapped).
+class PageStore {
+ public:
+  /// Decodes the page with the given ordinal from the mapped bytes.
+  using Decoder = std::function<Result<FormPage>(size_t)>;
+
+  PageStore(Decoder decoder, size_t num_pages, uint64_t budget_bytes,
+            uint64_t fixed_resident_bytes);
+
+  size_t num_pages() const { return num_pages_; }
+  uint64_t budget_bytes() const { return budget_; }
+  uint64_t fixed_resident_bytes() const { return fixed_; }
+
+  /// The page with ordinal `i` (0-based, snapshot storage order), from
+  /// cache or decoded on demand. OutOfRange for i >= num_pages().
+  Result<std::shared_ptr<const FormPage>> Get(size_t ordinal);
+
+  PageStoreStats stats() const;
+  /// fixed_resident_bytes() + currently cached page bytes.
+  uint64_t resident_bytes() const;
+
+  /// Accounting model for one decoded page: struct size + string payloads
+  /// + entry arrays. Deterministic (no allocator introspection) so budget
+  /// behavior is reproducible across platforms.
+  static uint64_t ApproxPageBytes(const FormPage& page);
+
+ private:
+  void EvictToBudgetLocked();
+
+  struct CacheEntry {
+    std::shared_ptr<const FormPage> page;
+    uint64_t bytes = 0;
+    std::list<size_t>::iterator lru_it;
+  };
+
+  const Decoder decoder_;
+  const size_t num_pages_;
+  const uint64_t budget_;
+  const uint64_t fixed_;
+
+  mutable std::mutex mutex_;
+  std::list<size_t> lru_;  // front = most recently used
+  std::unordered_map<size_t, CacheEntry> cache_;
+  uint64_t cached_bytes_ = 0;
+  PageStoreStats stats_;
+};
+
+}  // namespace cafc::storage
+
+#endif  // CAFC_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,433 @@
+#include "storage/reader.h"
+
+#include <utility>
+
+#include "util/varint.h"
+#include "vsm/codec.h"
+
+namespace cafc::storage {
+namespace {
+
+using util::ByteReader;
+
+
+
+int64_t ZigzagDecode(uint64_t value) {
+  return static_cast<int64_t>(value >> 1) ^
+         -static_cast<int64_t>(value & 1);
+}
+
+Status ReadLengthPrefixed(ByteReader* reader, std::string* out) {
+  uint64_t length = 0;
+  Status status = reader->ReadVarint64(&length);
+  if (!status.ok()) return status;
+  std::string_view bytes;
+  status = reader->ReadBytes(length, &bytes);
+  if (!status.ok()) return status;
+  out->assign(bytes);
+  return Status::OK();
+}
+
+/// Parses and validates the header + section table of `data`.
+Status ParseFileInfo(const std::string& path, const uint8_t* data,
+                     size_t size, SnapshotFileInfo* info) {
+  if (!HasV3Magic(reinterpret_cast<const char*>(data), size)) {
+    return Status::ParseError(path + ": not a CAFC v3 binary snapshot "
+                              "(missing CAFCBIN3 magic)");
+  }
+  ByteReader header(data, size);
+  Status status = header.Skip(sizeof(kMagicV3));
+  if (!status.ok()) return status;
+  uint32_t section_count = 0;
+  if (!(status = header.ReadFixed32(&info->version)).ok()) return status;
+  if (!(status = header.ReadFixed32(&section_count)).ok()) return status;
+  if (!(status = header.ReadFixed64(&info->file_bytes)).ok()) return status;
+  if (info->version != kFormatVersion3) {
+    return Status::ParseError(
+        path + ": unsupported snapshot version " +
+        std::to_string(info->version) + " (this reader knows version 3)");
+  }
+  if (info->file_bytes != size) {
+    return Status::ParseError(
+        path + ": header says " + std::to_string(info->file_bytes) +
+        " bytes but the file has " + std::to_string(size) +
+        " (truncated or padded file)");
+  }
+  if (kHeaderBytes + section_count * kSectionRowBytes > size) {
+    return Status::ParseError(path + ": section table extends past end of "
+                              "file (corrupt section count)");
+  }
+  ByteReader table(data + kHeaderBytes, section_count * kSectionRowBytes);
+  info->sections.clear();
+  info->sections.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    SectionInfo section;
+    uint32_t kind = 0;
+    uint32_t reserved = 0;
+    if (!(status = table.ReadFixed32(&kind)).ok()) return status;
+    if (!(status = table.ReadFixed32(&reserved)).ok()) return status;
+    if (!(status = table.ReadFixed64(&section.offset)).ok()) return status;
+    if (!(status = table.ReadFixed64(&section.bytes)).ok()) return status;
+    if (!(status = table.ReadFixed64(&section.item_count)).ok()) {
+      return status;
+    }
+    if (!(status = table.ReadFixed64(&section.checksum)).ok()) return status;
+    section.kind = static_cast<SectionKind>(kind);
+    if (section.offset > size || section.bytes > size - section.offset) {
+      return Status::ParseError(
+          path + ": section " + std::to_string(i) + " (" +
+          SectionKindName(section.kind) + ") spans [" +
+          std::to_string(section.offset) + ", " +
+          std::to_string(section.offset + section.bytes) +
+          ") past end of file");
+    }
+    info->sections.push_back(section);
+  }
+  return Status::OK();
+}
+
+Status VerifyChecksums(const std::string& path, const uint8_t* data,
+                       const SnapshotFileInfo& info,
+                       std::vector<bool>* verdicts) {
+  if (verdicts != nullptr) verdicts->clear();
+  Status first_failure = Status::OK();
+  for (const SectionInfo& section : info.sections) {
+    const uint64_t actual = util::Checksum64(std::string_view(
+        reinterpret_cast<const char*>(data + section.offset),
+        section.bytes));
+    const bool ok = actual == section.checksum;
+    if (verdicts != nullptr) verdicts->push_back(ok);
+    if (!ok && first_failure.ok()) {
+      first_failure = Status::ParseError(
+          path + ": checksum mismatch in section " +
+          SectionKindName(section.kind) + " at byte offset " +
+          std::to_string(section.offset) + " (file is corrupted)");
+    }
+  }
+  return first_failure;
+}
+
+Status DecodeMeta(const uint8_t* data, const SectionInfo& section,
+                  SnapshotMeta* meta) {
+  ByteReader reader(data + section.offset, section.bytes);
+  Status status = reader.ReadVarint64(&meta->epoch);
+  if (!status.ok()) return status;
+  for (int& field : meta->location_weights) {
+    uint64_t raw = 0;
+    if (!(status = reader.ReadVarint64(&raw)).ok()) return status;
+    const int64_t value = ZigzagDecode(raw);
+    if (value < INT32_MIN || value > INT32_MAX) {
+      return Status::ParseError("location weight out of int range");
+    }
+    field = static_cast<int>(value);
+  }
+  if (!(status = reader.ReadVarint64(&meta->pc_documents)).ok()) {
+    return status;
+  }
+  if (!(status = reader.ReadVarint64(&meta->fc_documents)).ok()) {
+    return status;
+  }
+  if (!(status = reader.ReadVarint64(&meta->num_terms)).ok()) return status;
+  if (!(status = reader.ReadVarint64(&meta->num_entries)).ok()) {
+    return status;
+  }
+  if (!(status = reader.ReadVarint64(&meta->num_pages)).ok()) return status;
+  return Status::OK();
+}
+
+/// Deterministic accounting of the always-resident footprint: decoded
+/// dictionary strings + hash-slot overhead, IDF/DF tables, centroid index
+/// postings, and entry labels. An accounting model, not malloc truth —
+/// but a stable one, so budget behavior reproduces across platforms.
+uint64_t AccountFixedResident(const vsm::TermDictionary& dict,
+                              size_t num_terms,
+                              const cluster::CentroidIndex& index,
+                              const std::vector<DirectoryEntry>& entries) {
+  uint64_t bytes = 0;
+  for (size_t t = 0; t < num_terms; ++t) {
+    bytes += dict.term(static_cast<vsm::TermId>(t)).size();
+  }
+  bytes += num_terms * (sizeof(std::string) + 48);  // id slot + hash slot
+  bytes += num_terms * 8 * 2;                       // pc/fc DF tables
+  bytes += num_terms * 8 * 2;                       // pc/fc IDF tables
+  bytes += index.num_postings() * 16;               // {centroid, weight}
+  bytes += index.num_centroids() * 16;              // cached norms
+  for (const DirectoryEntry& entry : entries) {
+    bytes += sizeof(DirectoryEntry) + entry.label.size();
+  }
+  return bytes;
+}
+
+}  // namespace
+
+const SectionInfo* MappedSnapshot::FindSection(SectionKind kind) const {
+  for (const SectionInfo& section : info_.sections) {
+    if (section.kind == kind) return &section;
+  }
+  return nullptr;
+}
+
+Result<FormPageSet> MappedSnapshot::BuildCollection() const {
+  const SectionInfo* dict_section = FindSection(SectionKind::kDictionary);
+  const SectionInfo* df_section = FindSection(SectionKind::kDfTable);
+  if (dict_section == nullptr || df_section == nullptr) {
+    return Status::ParseError(
+        "snapshot is missing the dictionary or df-table section");
+  }
+  FormPageSet collection;
+  ByteReader dict_reader(file_.data() + dict_section->offset,
+                         dict_section->bytes);
+  Status status = vsm::codec::DecodeDictionary(
+      &dict_reader, collection.mutable_dictionary());
+  if (!status.ok()) return status;
+  if (collection.dictionary().size() != meta_.num_terms) {
+    return Status::ParseError(
+        "dictionary section holds " +
+        std::to_string(collection.dictionary().size()) +
+        " terms but meta says " + std::to_string(meta_.num_terms));
+  }
+
+  ByteReader df_reader(file_.data() + df_section->offset,
+                       df_section->bytes);
+  std::vector<size_t> pc_df(meta_.num_terms);
+  std::vector<size_t> fc_df(meta_.num_terms);
+  for (uint64_t t = 0; t < meta_.num_terms; ++t) {
+    uint64_t pc_count = 0;
+    uint64_t fc_count = 0;
+    if (!(status = df_reader.ReadVarint64(&pc_count)).ok()) return status;
+    if (!(status = df_reader.ReadVarint64(&fc_count)).ok()) return status;
+    pc_df[t] = pc_count;
+    fc_df[t] = fc_count;
+  }
+  collection.mutable_pc_stats()->Restore(meta_.pc_documents,
+                                         std::move(pc_df));
+  collection.mutable_fc_stats()->Restore(meta_.fc_documents,
+                                         std::move(fc_df));
+
+  vsm::LocationWeightConfig weights;
+  weights.page_body = meta_.location_weights[0];
+  weights.page_title = meta_.location_weights[1];
+  weights.anchor_text = meta_.location_weights[2];
+  weights.form_text = meta_.location_weights[3];
+  weights.form_option = meta_.location_weights[4];
+  collection.set_location_weights(weights);
+  return collection;
+}
+
+Status MappedSnapshot::Parse(const std::string& path,
+                             const SnapshotOpenOptions& options) {
+  Status status =
+      ParseFileInfo(path, file_.data(), file_.size(), &info_);
+  if (!status.ok()) return status;
+  if (options.verify_checksums) {
+    status = VerifyChecksums(path, file_.data(), info_, nullptr);
+    if (!status.ok()) return status;
+  }
+
+  const SectionInfo* meta_section = FindSection(SectionKind::kMeta);
+  if (meta_section == nullptr) {
+    return Status::ParseError(path + ": snapshot has no meta section");
+  }
+  status = DecodeMeta(file_.data(), *meta_section, &meta_);
+  if (!status.ok()) return status;
+
+  Result<FormPageSet> collection = BuildCollection();
+  if (!collection.ok()) return collection.status();
+
+  // IDF tables for quantized-weight reconstruction — computed through
+  // CorpusStats::Idf so the values carry the exact bits the text path's
+  // reload would produce.
+  pc_idf_.resize(meta_.num_terms);
+  fc_idf_.resize(meta_.num_terms);
+  for (uint64_t t = 0; t < meta_.num_terms; ++t) {
+    pc_idf_[t] = collection.value().pc_stats().Idf(
+        static_cast<vsm::TermId>(t));
+    fc_idf_[t] = collection.value().fc_stats().Idf(
+        static_cast<vsm::TermId>(t));
+  }
+
+  // Thin entries + centroid index, streamed straight from the mapped
+  // entries section: labels stay resident; member URLs are skipped (only
+  // their count feeds the quantization context); each centroid's postings
+  // are decoded into a transient sorted vector, pushed into the index,
+  // and dropped — no per-page profile is ever touched.
+  const SectionInfo* entries_section = FindSection(SectionKind::kEntries);
+  if (entries_section == nullptr) {
+    return Status::ParseError(path + ": snapshot has no entries section");
+  }
+  ByteReader entry_reader(file_.data() + entries_section->offset,
+                          entries_section->bytes);
+  std::vector<DirectoryEntry> thin_entries;
+  thin_entries.reserve(meta_.num_entries);
+  index_.Reserve(meta_.num_entries);
+  std::vector<vsm::Entry> postings;
+  for (uint64_t e = 0; e < meta_.num_entries; ++e) {
+    DirectoryEntry entry;
+    status = ReadLengthPrefixed(&entry_reader, &entry.label);
+    if (!status.ok()) return status;
+    uint64_t members = 0;
+    status = vsm::codec::SkipFrontCodedList(&entry_reader, &members);
+    if (!status.ok()) return status;
+    const double inv =
+        members == 0 ? 1.0 : 1.0 / static_cast<double>(members);
+    status = vsm::codec::DecodePostings(&entry_reader, pc_idf_, inv,
+                                        /*scaled=*/true, &postings);
+    if (!status.ok()) return status;
+    vsm::SparseVector pc = vsm::SparseVector::FromSorted(postings);
+    status = vsm::codec::DecodePostings(&entry_reader, fc_idf_, inv,
+                                        /*scaled=*/true, &postings);
+    if (!status.ok()) return status;
+    vsm::SparseVector fc = vsm::SparseVector::FromSorted(postings);
+    index_.AddCentroid(pc, fc);
+    thin_entries.push_back(std::move(entry));
+  }
+
+  const uint64_t fixed = AccountFixedResident(
+      collection.value().dictionary(), meta_.num_terms, index_,
+      thin_entries);
+  if (options.memory_budget_bytes != 0 &&
+      options.memory_budget_bytes < fixed) {
+    return Status::InvalidArgument(
+        "memory budget " + std::to_string(options.memory_budget_bytes) +
+        " bytes is below the fixed resident footprint (" +
+        std::to_string(fixed) +
+        " bytes: dictionary + stats + centroid index + labels) — nothing "
+        "can be served under it");
+  }
+
+  thin_directory_ = DatabaseDirectory::FromParts(
+      std::move(collection).value(), std::move(thin_entries), meta_.epoch);
+
+  page_store_ = std::make_unique<PageStore>(
+      [this](size_t ordinal) { return DecodePage(ordinal); },
+      meta_.num_pages, options.memory_budget_bytes, fixed);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<MappedSnapshot>> MappedSnapshot::Open(
+    const std::string& path, const SnapshotOpenOptions& options) {
+  Result<MappedFile> file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  std::unique_ptr<MappedSnapshot> snapshot(new MappedSnapshot());
+  snapshot->file_ = std::move(file).value();
+  Status status = snapshot->Parse(path, options);
+  if (!status.ok()) return status;
+  return snapshot;
+}
+
+Result<FormPage> MappedSnapshot::DecodePage(size_t ordinal) const {
+  const SectionInfo* pages_section = FindSection(SectionKind::kPages);
+  const SectionInfo* index_section = FindSection(SectionKind::kPageIndex);
+  if (pages_section == nullptr || index_section == nullptr) {
+    return Status::NotFound(
+        "snapshot stores no per-page profiles (directory-only file)");
+  }
+  if (ordinal >= meta_.num_pages ||
+      (ordinal + 1) * 8 > index_section->bytes) {
+    return Status::OutOfRange("page ordinal out of range");
+  }
+  ByteReader offset_reader(
+      file_.data() + index_section->offset + ordinal * 8, 8);
+  uint64_t relative = 0;
+  Status status = offset_reader.ReadFixed64(&relative);
+  if (!status.ok()) return status;
+  if (relative > pages_section->bytes) {
+    return Status::ParseError("page offset past end of pages section");
+  }
+  ByteReader reader(file_.data() + pages_section->offset + relative,
+                    pages_section->bytes - relative);
+  FormPage page;
+  status = ReadLengthPrefixed(&reader, &page.url);
+  if (!status.ok()) return status;
+  status = ReadLengthPrefixed(&reader, &page.site);
+  if (!status.ok()) return status;
+  status = vsm::codec::DecodeFrontCodedList(&reader, &page.backlinks);
+  if (!status.ok()) return status;
+  std::vector<vsm::Entry> postings;
+  status = vsm::codec::DecodePostings(&reader, pc_idf_, /*inv=*/1.0,
+                                      /*scaled=*/false, &postings);
+  if (!status.ok()) return status;
+  page.pc = vsm::SparseVector::FromSorted(std::move(postings));
+  status = vsm::codec::DecodePostings(&reader, fc_idf_, /*inv=*/1.0,
+                                      /*scaled=*/false, &postings);
+  if (!status.ok()) return status;
+  page.fc = vsm::SparseVector::FromSorted(std::move(postings));
+  return page;
+}
+
+Result<std::shared_ptr<const FormPage>> MappedSnapshot::GetPage(
+    size_t ordinal) const {
+  return page_store_->Get(ordinal);
+}
+
+Result<DatabaseDirectory> MappedSnapshot::MaterializeDirectory() const {
+  Result<FormPageSet> collection = BuildCollection();
+  if (!collection.ok()) return collection.status();
+
+  const SectionInfo* entries_section = FindSection(SectionKind::kEntries);
+  if (entries_section == nullptr) {
+    return Status::ParseError("snapshot has no entries section");
+  }
+  ByteReader reader(file_.data() + entries_section->offset,
+                    entries_section->bytes);
+  std::vector<DirectoryEntry> entries;
+  entries.reserve(meta_.num_entries);
+  std::vector<vsm::Entry> postings;
+  for (uint64_t e = 0; e < meta_.num_entries; ++e) {
+    DirectoryEntry entry;
+    Status status = ReadLengthPrefixed(&reader, &entry.label);
+    if (!status.ok()) return status;
+    status = vsm::codec::DecodeFrontCodedList(&reader, &entry.member_urls);
+    if (!status.ok()) return status;
+    const size_t members = entry.member_urls.size();
+    const double inv =
+        members == 0 ? 1.0 : 1.0 / static_cast<double>(members);
+    status = vsm::codec::DecodePostings(&reader, pc_idf_, inv,
+                                        /*scaled=*/true, &postings);
+    if (!status.ok()) return status;
+    entry.centroid.pc = vsm::SparseVector::FromSorted(postings);
+    status = vsm::codec::DecodePostings(&reader, fc_idf_, inv,
+                                        /*scaled=*/true, &postings);
+    if (!status.ok()) return status;
+    entry.centroid.fc = vsm::SparseVector::FromSorted(postings);
+    entries.push_back(std::move(entry));
+  }
+  return DatabaseDirectory::FromParts(std::move(collection).value(),
+                                      std::move(entries), meta_.epoch);
+}
+
+Result<SnapshotFileInfo> ReadSnapshotInfo(const std::string& path,
+                                          std::vector<bool>* checksum_ok) {
+  Result<MappedFile> file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+  SnapshotFileInfo info;
+  Status status = ParseFileInfo(path, file.value().data(),
+                                file.value().size(), &info);
+  if (!status.ok()) return status;
+  if (checksum_ok != nullptr) {
+    // Verdicts only — a mismatch is reported per section, not fatal
+    // (inspect wants to show *where* the corruption sits).
+    VerifyChecksums(path, file.value().data(), info, checksum_ok);
+  }
+  return info;
+}
+
+Result<DatabaseDirectory> LoadDirectoryAuto(const std::string& path) {
+  {
+    MappedFile probe;
+    Result<MappedFile> opened = MappedFile::Open(path);
+    if (!opened.ok()) return opened.status();
+    probe = std::move(opened).value();
+    if (!HasV3Magic(reinterpret_cast<const char*>(probe.data()),
+                    probe.size())) {
+      return DatabaseDirectory::LoadFromFile(path);
+    }
+  }
+  SnapshotOpenOptions options;
+  Result<std::unique_ptr<MappedSnapshot>> snapshot =
+      MappedSnapshot::Open(path, options);
+  if (!snapshot.ok()) return snapshot.status();
+  return snapshot.value()->MaterializeDirectory();
+}
+
+}  // namespace cafc::storage

@@ -1,0 +1,116 @@
+#ifndef CAFC_STORAGE_READER_H_
+#define CAFC_STORAGE_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/centroid_index.h"
+#include "core/directory.h"
+#include "core/form_page.h"
+#include "storage/format.h"
+#include "storage/mapped_file.h"
+#include "storage/page_store.h"
+#include "util/status.h"
+
+namespace cafc::storage {
+
+struct SnapshotOpenOptions {
+  /// Verify every section's Checksum64 before decoding. Costs one linear
+  /// pass over the file; turn off only for trusted local files.
+  bool verify_checksums = true;
+  /// Resident budget for serving (0 = unlimited): the fixed footprint
+  /// (dictionary, stats, centroid index, labels) plus the hot-page LRU
+  /// must fit. Open fails with InvalidArgument when the budget is nonzero
+  /// but smaller than the fixed footprint — there is no way to serve
+  /// under it.
+  uint64_t memory_budget_bytes = 0;
+};
+
+/// \brief A binary v3 snapshot opened through one mmap.
+///
+/// Opening decodes only what serving keeps hot: the dictionary, IDF
+/// statistics, entry labels, and the `CentroidIndex` (built by streaming
+/// each centroid's postings out of the mapped section — per-page profiles
+/// are never materialized). Cold page profiles are decoded on demand
+/// through a budget-bounded LRU (`GetPage`), reading straight from the
+/// mapped bytes.
+///
+/// The thin `directory()` carries empty centroid vectors — the indexed
+/// Classify/Search paths never read them — so use it only together with
+/// `index()`. `MaterializeDirectory()` produces a full, self-contained
+/// directory equal to what the text loader would return.
+///
+/// Thread-safety: everything const is safe to share across threads;
+/// `GetPage` is internally synchronized.
+class MappedSnapshot {
+ public:
+  static Result<std::unique_ptr<MappedSnapshot>> Open(
+      const std::string& path, const SnapshotOpenOptions& options = {});
+
+  const SnapshotFileInfo& info() const { return info_; }
+  const SnapshotMeta& meta() const { return meta_; }
+  /// True when the bytes are mmapped (vs the read-into-heap fallback).
+  bool is_mapped() const { return file_.is_mapped(); }
+
+  /// Thin directory: collection state + entry labels, empty centroids.
+  const DatabaseDirectory& directory() const { return thin_directory_; }
+  /// Centroid index built from the mapped entry postings at Open.
+  const cluster::CentroidIndex& index() const { return index_; }
+
+  size_t num_pages() const { return page_store_->num_pages(); }
+  /// Decodes (or serves from the LRU) the stored page with this ordinal.
+  Result<std::shared_ptr<const FormPage>> GetPage(
+      size_t ordinal) const;
+
+  PageStoreStats page_store_stats() const { return page_store_->stats(); }
+  uint64_t fixed_resident_bytes() const {
+    return page_store_->fixed_resident_bytes();
+  }
+  /// Accounted resident bytes right now: fixed footprint + cached pages.
+  uint64_t resident_bytes() const { return page_store_->resident_bytes(); }
+  uint64_t memory_budget_bytes() const {
+    return page_store_->budget_bytes();
+  }
+
+  /// Full decode into a self-contained directory, bit-identical to what
+  /// `DatabaseDirectory::LoadFromFile` yields for the text twin of this
+  /// snapshot (labels, member URLs, centroid entries, stats, epoch).
+  Result<DatabaseDirectory> MaterializeDirectory() const;
+
+ private:
+  MappedSnapshot() = default;
+
+  Status Parse(const std::string& path,
+                     const SnapshotOpenOptions& options);
+  Result<FormPageSet> BuildCollection() const;
+  const SectionInfo* FindSection(SectionKind kind) const;
+  Result<FormPage> DecodePage(size_t ordinal) const;
+
+  MappedFile file_;
+  SnapshotFileInfo info_;
+  SnapshotMeta meta_;
+  std::vector<double> pc_idf_;  // quantized-weight reconstruction tables
+  std::vector<double> fc_idf_;
+  DatabaseDirectory thin_directory_;
+  cluster::CentroidIndex index_;
+  std::unique_ptr<PageStore> page_store_;
+};
+
+/// Parses header + section table only (no payload decode) — the backend
+/// of `cafc inspect`. When `checksum_ok` is non-null it is filled with a
+/// per-section verification verdict (payloads are hashed).
+Result<SnapshotFileInfo> ReadSnapshotInfo(
+    const std::string& path, std::vector<bool>* checksum_ok = nullptr);
+
+/// \brief Format negotiation: loads a directory from `path` whatever its
+/// format version. The version comes from the file itself — v3 is sniffed
+/// by magic and materialized from the binary sections; anything else goes
+/// through the text loader (v1/v2, which negotiate from their header
+/// line). This is what the CLI uses for every `--dir` load.
+Result<DatabaseDirectory> LoadDirectoryAuto(const std::string& path);
+
+}  // namespace cafc::storage
+
+#endif  // CAFC_STORAGE_READER_H_

@@ -1,0 +1,217 @@
+#include "storage/writer.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/varint.h"
+
+namespace cafc::storage {
+namespace {
+
+
+
+/// IDF table of one feature space, evaluated through the exact
+/// `CorpusStats::Idf` expression so quantized weights verify against the
+/// same values the text path recomputes on load.
+std::vector<double> BuildIdfTable(const vsm::CorpusStats& stats,
+                                  size_t num_terms) {
+  std::vector<double> idf(num_terms);
+  for (size_t t = 0; t < num_terms; ++t) {
+    idf[t] = stats.Idf(static_cast<vsm::TermId>(t));
+  }
+  return idf;
+}
+
+void PutZigzag(std::string* out, int64_t value) {
+  util::PutVarint64(out, (static_cast<uint64_t>(value) << 1) ^
+                             static_cast<uint64_t>(value >> 63));
+}
+
+void PutLengthPrefixed(std::string* out, const std::string& s) {
+  util::PutVarint64(out, s.size());
+  out->append(s);
+}
+
+struct PendingSection {
+  SectionKind kind;
+  uint64_t item_count;
+  std::string payload;
+};
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Internal("cannot open for writing: " + tmp_path);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("write failed: " + tmp_path);
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("cannot rename " + tmp_path + " to " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteSnapshotV3(const DatabaseDirectory& directory,
+                       const FormPageSet* pages, const std::string& path,
+                       SnapshotWriteReport* report) {
+  const FormPageSet& collection = directory.collection();
+  const size_t num_terms = collection.dictionary().size();
+  if (pages != nullptr && pages->dictionary().size() != num_terms) {
+    return Status::InvalidArgument(
+        "snapshot pages must share the directory's vocabulary (" +
+        std::to_string(pages->dictionary().size()) + " page terms vs " +
+        std::to_string(num_terms) + " directory terms)");
+  }
+
+  const std::vector<double> pc_idf =
+      BuildIdfTable(collection.pc_stats(), num_terms);
+  const std::vector<double> fc_idf =
+      BuildIdfTable(collection.fc_stats(), num_terms);
+  vsm::codec::PostingCodecStats weight_stats;
+
+  std::vector<PendingSection> sections;
+
+  // kMeta — small varint-encoded scalars.
+  {
+    PendingSection meta{SectionKind::kMeta, 1, {}};
+    util::PutVarint64(&meta.payload, directory.epoch());
+    const vsm::LocationWeightConfig& w = collection.location_weights();
+    for (int field : {w.page_body, w.page_title, w.anchor_text, w.form_text,
+                      w.form_option}) {
+      PutZigzag(&meta.payload, field);
+    }
+    util::PutVarint64(&meta.payload, collection.pc_stats().num_documents());
+    util::PutVarint64(&meta.payload, collection.fc_stats().num_documents());
+    util::PutVarint64(&meta.payload, num_terms);
+    util::PutVarint64(&meta.payload, directory.entries().size());
+    util::PutVarint64(&meta.payload, pages == nullptr ? 0 : pages->size());
+    sections.push_back(std::move(meta));
+  }
+
+  // kDictionary — front-coded sorted terms with the id permutation.
+  {
+    PendingSection dict{SectionKind::kDictionary, num_terms, {}};
+    vsm::codec::EncodeDictionary(collection.dictionary(), &dict.payload);
+    sections.push_back(std::move(dict));
+  }
+
+  // kDfTable — per-term document frequencies, both spaces interleaved.
+  {
+    PendingSection df{SectionKind::kDfTable, num_terms, {}};
+    for (size_t t = 0; t < num_terms; ++t) {
+      const vsm::TermId id = static_cast<vsm::TermId>(t);
+      util::PutVarint64(&df.payload,
+                        collection.pc_stats().DocumentFrequency(id));
+      util::PutVarint64(&df.payload,
+                        collection.fc_stats().DocumentFrequency(id));
+    }
+    sections.push_back(std::move(df));
+  }
+
+  // kEntries — label, front-coded member URLs, then both centroid posting
+  // blocks with the centroid-mean quantization context (inv = 1/members).
+  {
+    PendingSection entries{SectionKind::kEntries,
+                           directory.entries().size(), {}};
+    for (const DirectoryEntry& entry : directory.entries()) {
+      PutLengthPrefixed(&entries.payload, entry.label);
+      vsm::codec::EncodeFrontCodedList(entry.member_urls, &entries.payload);
+      const size_t members = entry.member_urls.size();
+      const double inv =
+          members == 0 ? 1.0 : 1.0 / static_cast<double>(members);
+      vsm::codec::EncodePostings(entry.centroid.pc.entries(), pc_idf, inv,
+                                 /*scaled=*/true, &entries.payload,
+                                 &weight_stats);
+      vsm::codec::EncodePostings(entry.centroid.fc.entries(), fc_idf, inv,
+                                 /*scaled=*/true, &entries.payload,
+                                 &weight_stats);
+    }
+    sections.push_back(std::move(entries));
+  }
+
+  // kPages + kPageIndex — independently decodable page records plus a
+  // fixed-width offset array for random access by ordinal.
+  if (pages != nullptr) {
+    PendingSection page_section{SectionKind::kPages, pages->size(), {}};
+    PendingSection page_index{SectionKind::kPageIndex, pages->size(), {}};
+    for (size_t i = 0; i < pages->size(); ++i) {
+      util::PutFixed64(&page_index.payload, page_section.payload.size());
+      const FormPage& page = pages->page(i);
+      PutLengthPrefixed(&page_section.payload, page.url);
+      PutLengthPrefixed(&page_section.payload, page.site);
+      vsm::codec::EncodeFrontCodedList(page.backlinks,
+                                       &page_section.payload);
+      vsm::codec::EncodePostings(page.pc.entries(), pc_idf, /*inv=*/1.0,
+                                 /*scaled=*/false, &page_section.payload,
+                                 &weight_stats);
+      vsm::codec::EncodePostings(page.fc.entries(), fc_idf, /*inv=*/1.0,
+                                 /*scaled=*/false, &page_section.payload,
+                                 &weight_stats);
+    }
+    sections.push_back(std::move(page_section));
+    sections.push_back(std::move(page_index));
+  }
+
+  // Assemble: header, section table, then 64-byte-aligned payloads.
+  const size_t table_bytes = sections.size() * kSectionRowBytes;
+  uint64_t cursor = kHeaderBytes + table_bytes;
+  auto align = [](uint64_t offset) {
+    const uint64_t rem = offset % kSectionAlignment;
+    return rem == 0 ? offset : offset + (kSectionAlignment - rem);
+  };
+
+  std::string table;
+  table.reserve(table_bytes);
+  std::vector<uint64_t> offsets;
+  offsets.reserve(sections.size());
+  for (const PendingSection& section : sections) {
+    cursor = align(cursor);
+    offsets.push_back(cursor);
+    util::PutFixed32(&table, static_cast<uint32_t>(section.kind));
+    util::PutFixed32(&table, 0);  // reserved
+    util::PutFixed64(&table, cursor);
+    util::PutFixed64(&table, section.payload.size());
+    util::PutFixed64(&table, section.item_count);
+    util::PutFixed64(&table, util::Checksum64(section.payload));
+    cursor += section.payload.size();
+  }
+  const uint64_t file_bytes = cursor;
+
+  std::string file;
+  file.reserve(file_bytes);
+  file.append(kMagicV3, sizeof(kMagicV3));
+  util::PutFixed32(&file, kFormatVersion3);
+  util::PutFixed32(&file, static_cast<uint32_t>(sections.size()));
+  util::PutFixed64(&file, file_bytes);
+  file.resize(kHeaderBytes, '\0');
+  file.append(table);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    file.resize(offsets[i], '\0');  // alignment padding
+    file.append(sections[i].payload);
+  }
+
+  Status status = AtomicWriteFile(path, file);
+  if (!status.ok()) return status;
+
+  if (report != nullptr) {
+    report->sections.clear();
+    for (const PendingSection& section : sections) {
+      report->sections.push_back(SectionReportRow{
+          section.kind, section.payload.size(), section.item_count});
+    }
+    report->total_bytes = file.size();
+    report->weights = weight_stats;
+  }
+  return Status::OK();
+}
+
+}  // namespace cafc::storage

@@ -1,0 +1,56 @@
+#ifndef CAFC_STORAGE_WRITER_H_
+#define CAFC_STORAGE_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/directory.h"
+#include "core/form_page.h"
+#include "storage/format.h"
+#include "util/status.h"
+#include "vsm/codec.h"
+
+namespace cafc::storage {
+
+/// Per-section byte breakdown of one WriteSnapshotV3 call (what
+/// `cafc compact` prints alongside the compression ratio).
+struct SectionReportRow {
+  SectionKind kind = SectionKind::kMeta;
+  uint64_t bytes = 0;       ///< payload bytes (padding excluded)
+  uint64_t item_count = 0;
+};
+
+struct SnapshotWriteReport {
+  std::vector<SectionReportRow> sections;
+  uint64_t total_bytes = 0;  ///< final file size including header/padding
+  /// Weight-codec outcome tally: quantized (integer multiplier) vs raw
+  /// IEEE-754 fallback, across centroids and pages.
+  vsm::codec::PostingCodecStats weights;
+};
+
+/// \brief Serializes `directory` (and optionally the per-page profiles of
+/// `pages`) into a binary v3 snapshot at `path`.
+///
+/// Crash-safe like the text writer: assembles the file, writes a sibling
+/// temp file, and renames it over `path` only after a successful flush.
+/// Weights are written with the quantize-but-verify codec, so a v3 round
+/// trip is bit-identical to the in-memory directory regardless of
+/// quantization hit rate.
+///
+/// `pages` may be null (directory-only snapshot, what `cafc compact`
+/// emits). When present, it must share the directory's vocabulary
+/// (`pages->dictionary().size() == directory.collection().dictionary()
+/// .size()`), which holds for the set the directory was built from.
+Status WriteSnapshotV3(const DatabaseDirectory& directory,
+                             const FormPageSet* pages,
+                             const std::string& path,
+                             SnapshotWriteReport* report = nullptr);
+
+/// Shared crash-safe file write: temp sibling + flush + atomic rename.
+Status AtomicWriteFile(const std::string& path,
+                             const std::string& data);
+
+}  // namespace cafc::storage
+
+#endif  // CAFC_STORAGE_WRITER_H_

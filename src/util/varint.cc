@@ -1,0 +1,167 @@
+#include "util/varint.h"
+
+#include <bit>
+#include <cstdio>
+
+namespace cafc::util {
+
+void PutVarint64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+size_t VarintLength(uint64_t value) {
+  size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+void PutFixed32(std::string* out, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void PutFixed64(std::string* out, uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+namespace {
+
+/// Explicit little-endian load so the checksum of a byte stream is the
+/// same on any host (a raw memcpy would flip on big-endian machines).
+/// Compilers collapse this to a single load where the target allows it.
+inline uint64_t LoadLe64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+constexpr uint64_t kMix1 = 0x9e3779b185ebca87ull;
+constexpr uint64_t kMix2 = 0xc2b2ae3d27d4eb4full;
+constexpr uint64_t kMix3 = 0x165667b19e3779f9ull;
+
+}  // namespace
+
+uint64_t Checksum64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull ^ (data.size() * kMix1);
+  const char* p = data.data();
+  size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    h = std::rotl(h ^ (LoadLe64(p + i) * kMix2), 27) * kMix1 + kMix3;
+  }
+  if (i < data.size()) {
+    uint64_t tail = 0;
+    for (size_t j = i; j < data.size(); ++j) {
+      tail |= static_cast<uint64_t>(static_cast<uint8_t>(p[j]))
+              << (8 * (j - i));
+    }
+    h = std::rotl(h ^ (tail * kMix2), 27) * kMix1 + kMix3;
+  }
+  h ^= h >> 33;
+  h *= kMix2;
+  h ^= h >> 29;
+  h *= kMix3;
+  h ^= h >> 32;
+  return h;
+}
+
+Status ByteReader::Truncated(const char* what) const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "truncated %s at byte offset %zu", what,
+                pos_);
+  return Status::ParseError(buf);
+}
+
+Status ByteReader::ReadVarint64(uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= size_) return Truncated("varint");
+    uint8_t byte = data_[pos_++];
+    if (shift == 63 && (byte & 0x7f) > 1) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "varint overflows 64 bits at byte offset %zu", pos_ - 1);
+      return Status::ParseError(buf);
+    }
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return Status::OK();
+    }
+  }
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "varint longer than 10 bytes at offset %zu",
+                pos_);
+  return Status::ParseError(buf);
+}
+
+Status ByteReader::ReadVarint32(uint32_t* value) {
+  uint64_t wide = 0;
+  Status status = ReadVarint64(&wide);
+  if (!status.ok()) return status;
+  if (wide > 0xffffffffull) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "varint exceeds 32 bits near byte offset %zu", pos_);
+    return Status::ParseError(buf);
+  }
+  *value = static_cast<uint32_t>(wide);
+  return Status::OK();
+}
+
+Status ByteReader::ReadFixed32(uint32_t* value) {
+  if (size_ - pos_ < 4) return Truncated("fixed32");
+  uint32_t result = 0;
+  for (int i = 0; i < 4; ++i) {
+    result |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  *value = result;
+  return Status::OK();
+}
+
+Status ByteReader::ReadFixed64(uint64_t* value) {
+  if (size_ - pos_ < 8) return Truncated("fixed64");
+  uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  *value = result;
+  return Status::OK();
+}
+
+Status ByteReader::ReadBytes(size_t n, std::string_view* out) {
+  if (size_ - pos_ < n) return Truncated("byte block");
+  *out = std::string_view(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (size_ - pos_ < n) return Truncated("byte block");
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace cafc::util

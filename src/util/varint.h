@@ -1,0 +1,84 @@
+#ifndef CAFC_UTIL_VARINT_H_
+#define CAFC_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cafc::util {
+
+/// \brief Byte-level codec primitives of the binary snapshot format v3:
+/// LEB128 varints, fixed-width little-endian integers, a bounds-checked
+/// reader, and the 64-bit checksum the section table carries.
+///
+/// Everything is hand-rolled and endian-explicit: buffers are portable
+/// byte streams, never reinterpret-cast structs, so a file written on any
+/// host loads on any other.
+
+/// Appends `value` as an unsigned LEB128 varint (1..10 bytes).
+void PutVarint64(std::string* out, uint64_t value);
+inline void PutVarint32(std::string* out, uint32_t value) {
+  PutVarint64(out, value);
+}
+
+/// Encoded size of `value` as a varint.
+size_t VarintLength(uint64_t value);
+
+/// Appends `value` as 4 / 8 little-endian bytes.
+void PutFixed32(std::string* out, uint32_t value);
+void PutFixed64(std::string* out, uint64_t value);
+
+/// FNV-1a 64-bit hash of `data` (byte-at-a-time; handy for short keys).
+uint64_t Fnv1a64(std::string_view data);
+
+/// The per-section checksum of snapshot format v3: a 64-bit mixing hash
+/// that consumes 8 little-endian bytes per step, so checksumming a
+/// multi-megabyte section costs a fraction of byte-wise FNV at open time.
+/// Deterministic across hosts and good enough to catch torn writes and
+/// bit flips (this is corruption detection, not cryptography).
+uint64_t Checksum64(std::string_view data);
+
+/// \brief Bounds-checked sequential reader over an immutable byte span
+/// (typically a section of an mmapped snapshot).
+///
+/// Every read validates against the end of the span and reports a
+/// descriptive kParseError carrying the byte offset, so a truncated or
+/// bit-flipped file can never walk the decoder out of bounds.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(std::string_view data)
+      : ByteReader(reinterpret_cast<const uint8_t*>(data.data()),
+                   data.size()) {}
+
+  size_t offset() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  /// Reads one unsigned LEB128 varint.
+  Status ReadVarint64(uint64_t* value);
+  /// ReadVarint64 + range check against uint32_t.
+  Status ReadVarint32(uint32_t* value);
+
+  Status ReadFixed32(uint32_t* value);
+  Status ReadFixed64(uint64_t* value);
+
+  /// Yields a view of the next `n` raw bytes (no copy) and advances.
+  Status ReadBytes(size_t n, std::string_view* out);
+  /// Advances past `n` bytes without materializing them.
+  Status Skip(size_t n);
+
+ private:
+  Status Truncated(const char* what) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cafc::util
+
+#endif  // CAFC_UTIL_VARINT_H_

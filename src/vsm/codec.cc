@@ -1,0 +1,367 @@
+#include "vsm/codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace cafc::vsm::codec {
+namespace {
+
+using util::ByteReader;
+
+
+Status Malformed(const char* what, size_t offset) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s near byte offset %zu", what, offset);
+  return Status::ParseError(buf);
+}
+
+/// Largest ulp correction the delta encoding accepts: |d| below this is a
+/// 1-4 byte zigzag varint, beating the 8-byte raw fallback; anything
+/// farther means the reconstruction landed in the wrong neighbourhood and
+/// raw bits are both safer and barely larger.
+constexpr int64_t kMaxUlpDelta = int64_t{1} << 24;
+
+struct QuantizedWeight {
+  bool ok = false;       // false => store raw bits
+  uint64_t m = 0;        // integer multiplier (>= 1 when ok)
+  int64_t ulp_delta = 0; // signed bit-pattern correction (0 = exact)
+};
+
+/// Finds an integer multiplier m >= 1 whose exact reconstruction equals
+/// `weight` bit-for-bit (m-1/m/m+1 are verified to absorb the rounding of
+/// the derivation division), or — when no multiplier is exact, the common
+/// case for centroid means whose accumulated sum rounds — the nearest
+/// multiplier plus the signed distance in representable doubles between
+/// its reconstruction and the original. Both forms decode bit-exactly.
+QuantizedWeight QuantizeWeight(double weight, double idf, double inv,
+                               bool scaled) {
+  QuantizedWeight result;
+  if (!(weight > 0.0) || !(idf > 0.0) || !std::isfinite(weight)) {
+    return result;
+  }
+  const double target = scaled ? weight / inv : weight;
+  const double estimate = target / idf;
+  // Stay well inside the exactly-representable integer range of double.
+  if (!(estimate > 0.5) || !(estimate < 9.0e15)) return result;
+  const uint64_t center = static_cast<uint64_t>(std::llround(estimate));
+  for (uint64_t m : {center, center - 1, center + 1}) {
+    if (m >= 1 && ReconstructQuantized(m, idf, inv, scaled) == weight) {
+      result.ok = true;
+      result.m = m;
+      return result;
+    }
+  }
+  const double approx = ReconstructQuantized(center, idf, inv, scaled);
+  if (!(approx > 0.0) || !std::isfinite(approx)) return result;
+  // Same-sign finite doubles order monotonically by bit pattern, so the
+  // bit-pattern difference is the exact ulp distance.
+  const int64_t delta =
+      static_cast<int64_t>(std::bit_cast<uint64_t>(weight)) -
+      static_cast<int64_t>(std::bit_cast<uint64_t>(approx));
+  if (delta == 0 || delta > kMaxUlpDelta || delta < -kMaxUlpDelta) {
+    return result;  // delta 0 was handled above; this is paranoia
+  }
+  result.ok = true;
+  result.m = center;
+  result.ulp_delta = delta;
+  return result;
+}
+
+void PutZigzag(std::string* out, int64_t value) {
+  util::PutVarint64(out, (static_cast<uint64_t>(value) << 1) ^
+                             static_cast<uint64_t>(value >> 63));
+}
+
+int64_t DecodeZigzag(uint64_t u) {
+  return static_cast<int64_t>((u >> 1) ^ (~(u & 1) + 1));
+}
+
+}  // namespace
+
+void EncodePostings(const std::vector<Entry>& entries,
+                    const std::vector<double>& idf, double inv, bool scaled,
+                    std::string* out, PostingCodecStats* stats) {
+  util::PutVarint64(out, entries.size());
+  TermId prev = 0;
+  bool first = true;
+  for (const Entry& e : entries) {
+    const uint64_t delta = first ? e.term : e.term - prev;
+    util::PutVarint64(out, delta);
+    prev = e.term;
+    first = false;
+    const double idf_t = e.term < idf.size() ? idf[e.term] : 0.0;
+    const QuantizedWeight q = QuantizeWeight(e.weight, idf_t, inv, scaled);
+    if (!q.ok) {
+      util::PutVarint64(out, 0);
+      util::PutFixed64(out, std::bit_cast<uint64_t>(e.weight));
+      if (stats != nullptr) ++stats->raw_weights;
+    } else if (q.ulp_delta == 0) {
+      util::PutVarint64(out, q.m << 1);
+      if (stats != nullptr) ++stats->quantized_weights;
+    } else {
+      util::PutVarint64(out, (q.m << 1) | 1);
+      PutZigzag(out, q.ulp_delta);
+      if (stats != nullptr) ++stats->delta_weights;
+    }
+  }
+}
+
+Status DecodePostings(ByteReader* in, const std::vector<double>& idf,
+                      double inv, bool scaled, std::vector<Entry>* out) {
+  uint64_t count = 0;
+  Status status = in->ReadVarint64(&count);
+  if (!status.ok()) return status;
+  if (count > idf.size()) {
+    return Malformed("posting count exceeds vocabulary size", in->offset());
+  }
+  out->clear();
+  out->reserve(count);
+  uint64_t term = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    status = in->ReadVarint64(&delta);
+    if (!status.ok()) return status;
+    if (i > 0 && delta == 0) {
+      return Malformed("non-increasing term id in posting block",
+                       in->offset());
+    }
+    term = i == 0 ? delta : term + delta;
+    if (term >= idf.size()) {
+      return Malformed("posting term id out of vocabulary range",
+                       in->offset());
+    }
+    uint64_t token = 0;
+    status = in->ReadVarint64(&token);
+    if (!status.ok()) return status;
+    double weight = 0.0;
+    if (token == 0) {
+      uint64_t bits = 0;
+      status = in->ReadFixed64(&bits);
+      if (!status.ok()) return status;
+      weight = std::bit_cast<double>(bits);
+    } else {
+      const uint64_t m = token >> 1;
+      if (m == 0) {
+        return Malformed("quantized weight multiplier is zero",
+                         in->offset());
+      }
+      weight = ReconstructQuantized(m, idf[term], inv, scaled);
+      if ((token & 1) != 0) {
+        uint64_t zigzag = 0;
+        status = in->ReadVarint64(&zigzag);
+        if (!status.ok()) return status;
+        // Shift the reconstruction by the stored ulp distance: exact by
+        // construction (the encoder derived it from the original bits).
+        weight = std::bit_cast<double>(static_cast<uint64_t>(
+            static_cast<int64_t>(std::bit_cast<uint64_t>(weight)) +
+            DecodeZigzag(zigzag)));
+      }
+    }
+    out->push_back(Entry{static_cast<TermId>(term), weight});
+  }
+  return Status::OK();
+}
+
+Status SkipPostings(ByteReader* in) {
+  uint64_t count = 0;
+  Status status = in->ReadVarint64(&count);
+  if (!status.ok()) return status;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    status = in->ReadVarint64(&delta);
+    if (!status.ok()) return status;
+    uint64_t token = 0;
+    status = in->ReadVarint64(&token);
+    if (!status.ok()) return status;
+    if (token == 0) {
+      status = in->Skip(8);
+      if (!status.ok()) return status;
+    } else if ((token & 1) != 0) {
+      uint64_t zigzag = 0;
+      status = in->ReadVarint64(&zigzag);
+      if (!status.ok()) return status;
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+size_t SharedPrefix(const std::string& a, const std::string& b) {
+  const size_t limit = std::min(a.size(), b.size());
+  size_t n = 0;
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+}  // namespace
+
+namespace {
+
+/// Longest suffix the tails `a[from_a:]` and `b[from_b:]` share — the
+/// second half of the prefix+suffix coding below. Bounded so prefix and
+/// suffix never overlap inside either string.
+size_t SharedSuffix(const std::string& a, size_t from_a,
+                    const std::string& b, size_t from_b) {
+  const size_t limit = std::min(a.size() - from_a, b.size() - from_b);
+  size_t n = 0;
+  while (n < limit && a[a.size() - 1 - n] == b[b.size() - 1 - n]) ++n;
+  return n;
+}
+
+}  // namespace
+
+void EncodeFrontCodedList(const std::vector<std::string>& items,
+                          std::string* out) {
+  // Items share both ends with their predecessor: synthetic-web URLs
+  // differ from their neighbour only in the site-number digits, so
+  // prefix-only coding would re-emit the constant ".../form.html" tail
+  // for every member. The encoded items are length-prefixed as a block
+  // so a thin open can skip a whole list with one bounds check.
+  std::string body;
+  const std::string* prev = nullptr;
+  for (const std::string& item : items) {
+    const size_t prefix = prev == nullptr ? 0 : SharedPrefix(*prev, item);
+    const size_t suffix =
+        prev == nullptr ? 0 : SharedSuffix(*prev, prefix, item, prefix);
+    util::PutVarint64(&body, prefix);
+    util::PutVarint64(&body, suffix);
+    util::PutVarint64(&body, item.size() - prefix - suffix);
+    body.append(item, prefix, item.size() - prefix - suffix);
+    prev = &item;
+  }
+  util::PutVarint64(out, items.size());
+  util::PutVarint64(out, body.size());
+  out->append(body);
+}
+
+Status DecodeFrontCodedList(ByteReader* in, std::vector<std::string>* out) {
+  uint64_t count = 0;
+  Status status = in->ReadVarint64(&count);
+  if (!status.ok()) return status;
+  uint64_t body_bytes = 0;
+  status = in->ReadVarint64(&body_bytes);
+  if (!status.ok()) return status;
+  if (count > in->remaining() || body_bytes > in->remaining()) {
+    // Each item costs at least one byte on the wire; a larger count can
+    // only come from corruption and would otherwise reserve huge buffers.
+    return Malformed("front-coded list count exceeds section size",
+                     in->offset());
+  }
+  const size_t body_end = in->offset() + body_bytes;
+  out->clear();
+  out->reserve(count);
+  std::string prev;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t prefix = 0;
+    uint64_t suffix = 0;
+    uint64_t middle = 0;
+    status = in->ReadVarint64(&prefix);
+    if (!status.ok()) return status;
+    status = in->ReadVarint64(&suffix);
+    if (!status.ok()) return status;
+    status = in->ReadVarint64(&middle);
+    if (!status.ok()) return status;
+    if (prefix + suffix < prefix || prefix + suffix > prev.size()) {
+      return Malformed("front-coded prefix/suffix exceeds previous item",
+                       in->offset());
+    }
+    std::string_view bytes;
+    status = in->ReadBytes(middle, &bytes);
+    if (!status.ok()) return status;
+    std::string current;
+    current.reserve(prefix + middle + suffix);
+    current.append(prev, 0, prefix);
+    current.append(bytes);
+    current.append(prev, prev.size() - suffix, suffix);
+    out->push_back(current);
+    prev = std::move(current);
+  }
+  if (in->offset() != body_end) {
+    return Malformed("front-coded list body length mismatch",
+                     in->offset());
+  }
+  return Status::OK();
+}
+
+Status SkipFrontCodedList(ByteReader* in, uint64_t* count_out) {
+  uint64_t count = 0;
+  Status status = in->ReadVarint64(&count);
+  if (!status.ok()) return status;
+  uint64_t body_bytes = 0;
+  status = in->ReadVarint64(&body_bytes);
+  if (!status.ok()) return status;
+  if (count_out != nullptr) *count_out = count;
+  return in->Skip(body_bytes);
+}
+
+void EncodeDictionary(const TermDictionary& dict, std::string* out) {
+  const size_t n = dict.size();
+  std::vector<TermId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<TermId>(i);
+  std::sort(order.begin(), order.end(), [&dict](TermId a, TermId b) {
+    return dict.term(a) < dict.term(b);
+  });
+  util::PutVarint64(out, n);
+  const std::string* prev = nullptr;
+  for (TermId id : order) {
+    const std::string& term = dict.term(id);
+    const size_t prefix = prev == nullptr ? 0 : SharedPrefix(*prev, term);
+    util::PutVarint64(out, prefix);
+    util::PutVarint64(out, term.size() - prefix);
+    out->append(term, prefix, term.size() - prefix);
+    util::PutVarint64(out, id);
+    prev = &term;
+  }
+}
+
+Status DecodeDictionary(ByteReader* in, TermDictionary* dict) {
+  uint64_t count = 0;
+  Status status = in->ReadVarint64(&count);
+  if (!status.ok()) return status;
+  if (count > in->remaining()) {
+    return Malformed("dictionary term count exceeds section size",
+                     in->offset());
+  }
+  std::vector<std::string> by_id(count);
+  std::vector<bool> seen(count, false);
+  std::string current;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t prefix = 0;
+    uint64_t suffix = 0;
+    status = in->ReadVarint64(&prefix);
+    if (!status.ok()) return status;
+    status = in->ReadVarint64(&suffix);
+    if (!status.ok()) return status;
+    if (prefix > current.size()) {
+      return Malformed("dictionary prefix exceeds previous term",
+                       in->offset());
+    }
+    std::string_view bytes;
+    status = in->ReadBytes(suffix, &bytes);
+    if (!status.ok()) return status;
+    current.resize(prefix);
+    current.append(bytes);
+    uint64_t id = 0;
+    status = in->ReadVarint64(&id);
+    if (!status.ok()) return status;
+    if (id >= count || seen[id]) {
+      return Malformed("invalid or duplicate dictionary term id",
+                       in->offset());
+    }
+    seen[id] = true;
+    by_id[id] = current;
+  }
+  dict->Reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (dict->Intern(by_id[i]) != static_cast<TermId>(i)) {
+      return Malformed("duplicate term string in dictionary",
+                       in->offset());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace cafc::vsm::codec

@@ -1,0 +1,107 @@
+#ifndef CAFC_VSM_CODEC_H_
+#define CAFC_VSM_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/varint.h"
+#include "vsm/sparse_vector.h"
+#include "vsm/term_dictionary.h"
+
+namespace cafc::vsm::codec {
+
+/// \brief Posting, dictionary, and string-list codecs of snapshot format v3.
+///
+/// Design constraint carried by every function here: decoded data must be
+/// **bit-identical** to what the text path produces. Term ids round-trip
+/// exactly (delta varints of a strictly increasing sequence); weights use a
+/// quantize-but-verify scheme — the encoder stores an integer multiplier
+/// when reconstructing through the *exact* floating-point expression of
+/// `WeighProfileTfIdf` / `vsm::Centroid` reproduces the original bits, a
+/// multiplier plus a small signed ulp correction when reconstruction lands
+/// within a few representable values (typical for centroid means, whose
+/// accumulated sum rounds), and raw IEEE-754 bits per value otherwise.
+/// All three paths are exact; they differ only in bytes spent.
+
+/// Tally of quantization outcomes across one or more EncodePostings calls.
+struct PostingCodecStats {
+  uint64_t quantized_weights = 0;  // stored as a small integer multiplier
+  uint64_t delta_weights = 0;      // multiplier + signed ulp correction
+  uint64_t raw_weights = 0;        // stored as 8 raw IEEE-754 bytes
+};
+
+/// Exact reconstruction expression for a quantized weight.
+///
+/// Mirrors the two weight-producing expressions in the repo:
+///  - page vectors (`WeighProfileTfIdf`): w = double(loc*tf) * idf[t]
+///    → `scaled == false`, m = loc*tf;
+///  - centroids (`vsm::Centroid`): w = dense[t] * inv with
+///    inv = 1.0 / double(n) → `scaled == true`; m quantizes dense[t]/idf
+///    when that product happens to be exact (guaranteed for terms that
+///    appear in a single member).
+/// Any change to the arithmetic order here silently breaks bit-identity
+/// with the text path — keep it in sync with src/vsm/weighting.cc.
+inline double ReconstructQuantized(uint64_t m, double idf, double inv,
+                                   bool scaled) {
+  const double base = static_cast<double>(m) * idf;
+  return scaled ? base * inv : base;
+}
+
+/// Encodes the sorted entries of one sparse vector: a varint entry count,
+/// then per entry a delta varint term id followed by a weight token `t`
+/// (varint):
+///  - t == 0: 8 raw IEEE-754 bytes follow;
+///  - t even: m = t/2, weight = ReconstructQuantized(m, idf[t], inv,
+///    scaled), bit-exact by encoder verification;
+///  - t odd:  m = t/2 (>= 1), followed by a zigzag varint ulp delta d;
+///    weight = the reconstruction's bit pattern shifted by d — exact by
+///    construction, since d was computed from the original bits.
+/// `idf` must have one value per vocabulary term.
+void EncodePostings(const std::vector<Entry>& entries,
+                    const std::vector<double>& idf, double inv, bool scaled,
+                    std::string* out, PostingCodecStats* stats = nullptr);
+
+/// Decodes a posting block written by EncodePostings into sorted entries.
+/// Validates term ids against `idf.size()` and strict monotonicity.
+Status DecodePostings(util::ByteReader* in,
+                            const std::vector<double>& idf, double inv,
+                            bool scaled, std::vector<Entry>* out);
+
+/// Skips a posting block without materializing entries (thin-open path).
+Status SkipPostings(util::ByteReader* in);
+
+/// Encodes a list of strings in the given order with two-ended front
+/// coding: varint count, varint body byte length, then per item varint
+/// shared-prefix length and shared-suffix length (both vs the previous
+/// item, non-overlapping) followed by the varint-length middle bytes.
+/// Synthetic-web URLs differ from their stream neighbour only in a few
+/// site-number digits, so sharing both ends collapses most of each URL;
+/// the body length lets a thin open skip a whole list in O(1).
+void EncodeFrontCodedList(const std::vector<std::string>& items,
+                          std::string* out);
+
+/// Decodes a list written by EncodeFrontCodedList.
+Status DecodeFrontCodedList(util::ByteReader* in,
+                                  std::vector<std::string>* out);
+
+/// Skips a front-coded list without touching its items (one bounds-checked
+/// jump over the length-prefixed body); reports the item count (the thin
+/// snapshot open needs the member count for the centroid quantization
+/// context without decoding the URLs).
+Status SkipFrontCodedList(util::ByteReader* in,
+                                uint64_t* count = nullptr);
+
+/// Encodes a term dictionary: varint term count, then the terms in sorted
+/// string order, each front-coded against its predecessor and tagged with
+/// its varint term id (the sort permutation), so ids are restored exactly.
+void EncodeDictionary(const TermDictionary& dict, std::string* out);
+
+/// Decodes into `dict` (must be empty); interns terms in original id order
+/// so `Lookup`/`term(id)` behave identically to the source dictionary.
+Status DecodeDictionary(util::ByteReader* in, TermDictionary* dict);
+
+}  // namespace cafc::vsm::codec
+
+#endif  // CAFC_VSM_CODEC_H_

@@ -1,6 +1,7 @@
 #include "vsm/sparse_vector.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace cafc::vsm {
@@ -17,6 +18,18 @@ SparseVector SparseVector::FromUnsorted(std::vector<Entry> entries) {
       out.entries_.push_back(e);
     }
   }
+  out.RecomputeNorm();
+  return out;
+}
+
+SparseVector SparseVector::FromSorted(std::vector<Entry> entries) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < entries.size(); ++i) {
+    assert(entries[i - 1].term < entries[i].term);
+  }
+#endif
+  SparseVector out;
+  out.entries_ = std::move(entries);
   out.RecomputeNorm();
   return out;
 }

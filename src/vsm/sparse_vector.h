@@ -29,6 +29,14 @@ class SparseVector {
   /// Builds from unsorted entries; duplicate term ids are summed.
   static SparseVector FromUnsorted(std::vector<Entry> entries);
 
+  /// Builds from entries that are already sorted by term id and unique —
+  /// the fast path for decoded snapshot postings, which are stored in
+  /// sorted order. Skips the sort/fold of `FromUnsorted` but computes the
+  /// norm over the identical entry sequence, so the result is bit-for-bit
+  /// equal to `FromUnsorted` on the same (sorted) input.
+  /// Precondition (checked only by assert): strictly increasing term ids.
+  static SparseVector FromSorted(std::vector<Entry> entries);
+
   /// Adds `weight` to `term`'s entry.
   ///
   /// WARNING — quadratic bulk-construction hazard: each call costs O(n)

@@ -1,0 +1,169 @@
+#include "util/varint.h"
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cafc::util {
+namespace {
+
+// Every varint length boundary: the largest value of each encoded length
+// and the smallest value of the next. A codec bug at a 7-bit boundary
+// corrupts every snapshot whose counts cross it.
+const uint64_t kBoundaries[] = {
+    0,
+    1,
+    0x7f,                // 1-byte max
+    0x80,                // 2-byte min
+    0x3fff,              // 2-byte max
+    0x4000,              // 3-byte min
+    0x1fffff,            // 3-byte max
+    0x200000,            // 4-byte min
+    0xfffffff,           // 4-byte max (2^28 - 1)
+    0x10000000,          // 5-byte min (2^28)
+    0xffffffffull,       // max TermId / fixed32 max
+    0x100000000ull,      // first value past 32 bits
+    0x7fffffffffffffffull,
+    std::numeric_limits<uint64_t>::max(),
+};
+
+TEST(Varint, RoundTripsEveryLengthBoundary) {
+  for (uint64_t value : kBoundaries) {
+    std::string buf;
+    PutVarint64(&buf, value);
+    EXPECT_EQ(buf.size(), VarintLength(value)) << value;
+    ByteReader reader(buf);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(reader.ReadVarint64(&decoded).ok()) << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_TRUE(reader.empty());
+  }
+}
+
+TEST(Varint, BackToBackValuesShareOneBuffer) {
+  std::string buf;
+  for (uint64_t value : kBoundaries) PutVarint64(&buf, value);
+  ByteReader reader(buf);
+  for (uint64_t value : kBoundaries) {
+    uint64_t decoded = 0;
+    ASSERT_TRUE(reader.ReadVarint64(&decoded).ok());
+    EXPECT_EQ(decoded, value);
+  }
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(Varint, TruncatedVarintIsParseErrorNotOverread) {
+  std::string buf;
+  PutVarint64(&buf, std::numeric_limits<uint64_t>::max());
+  for (size_t keep = 0; keep < buf.size(); ++keep) {
+    ByteReader reader(reinterpret_cast<const uint8_t*>(buf.data()), keep);
+    uint64_t decoded = 0;
+    Status status = reader.ReadVarint64(&decoded);
+    EXPECT_FALSE(status.ok()) << "kept " << keep << " of " << buf.size();
+    EXPECT_EQ(status.code(), StatusCode::kParseError);
+  }
+}
+
+TEST(Varint, RejectsOverlongEncodingThatOverflows64Bits) {
+  // Ten continuation bytes whose final byte carries bits beyond 2^64.
+  std::string buf(9, '\xff');
+  buf.push_back('\x7f');
+  ByteReader reader(buf);
+  uint64_t decoded = 0;
+  EXPECT_EQ(reader.ReadVarint64(&decoded).code(), StatusCode::kParseError);
+}
+
+TEST(Varint, Varint32RejectsWiderValues) {
+  std::string buf;
+  PutVarint64(&buf, 0x100000000ull);
+  ByteReader reader(buf);
+  uint32_t decoded = 0;
+  EXPECT_EQ(reader.ReadVarint32(&decoded).code(), StatusCode::kParseError);
+
+  std::string ok_buf;
+  PutVarint32(&ok_buf, 0xffffffffu);
+  ByteReader ok_reader(ok_buf);
+  ASSERT_TRUE(ok_reader.ReadVarint32(&decoded).ok());
+  EXPECT_EQ(decoded, 0xffffffffu);
+}
+
+TEST(Fixed, RoundTripLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x01020304u);
+  PutFixed64(&buf, 0x0102030405060708ull);
+  // Little-endian on the wire: least significant byte first.
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buf[4]), 0x08);
+  ByteReader reader(buf);
+  uint32_t narrow = 0;
+  uint64_t wide = 0;
+  ASSERT_TRUE(reader.ReadFixed32(&narrow).ok());
+  ASSERT_TRUE(reader.ReadFixed64(&wide).ok());
+  EXPECT_EQ(narrow, 0x01020304u);
+  EXPECT_EQ(wide, 0x0102030405060708ull);
+}
+
+TEST(Fixed, TruncatedFixedReadsFail) {
+  std::string buf;
+  PutFixed64(&buf, 42);
+  ByteReader reader(reinterpret_cast<const uint8_t*>(buf.data()), 7);
+  uint64_t wide = 0;
+  EXPECT_EQ(reader.ReadFixed64(&wide).code(), StatusCode::kParseError);
+  uint32_t narrow = 0;
+  ByteReader short_reader(reinterpret_cast<const uint8_t*>(buf.data()), 3);
+  EXPECT_EQ(short_reader.ReadFixed32(&narrow).code(),
+            StatusCode::kParseError);
+}
+
+TEST(ByteReader, BytesAndSkipStayInBounds) {
+  std::string buf = "abcdefgh";
+  ByteReader reader(buf);
+  std::string_view bytes;
+  ASSERT_TRUE(reader.ReadBytes(3, &bytes).ok());
+  EXPECT_EQ(bytes, "abc");
+  EXPECT_EQ(reader.offset(), 3u);
+  ASSERT_TRUE(reader.Skip(4).ok());
+  EXPECT_EQ(reader.remaining(), 1u);
+  EXPECT_FALSE(reader.ReadBytes(2, &bytes).ok());
+  EXPECT_FALSE(reader.Skip(2).ok());
+  ASSERT_TRUE(reader.Skip(1).ok());
+  EXPECT_TRUE(reader.empty());
+}
+
+TEST(Checksum, DeterministicAndLengthSensitive) {
+  const std::string data(100000, 'x');
+  EXPECT_EQ(Checksum64(data), Checksum64(data));
+  // Same bytes, different length: appending one byte changes the sum.
+  EXPECT_NE(Checksum64(data), Checksum64(data + "x"));
+  EXPECT_NE(Checksum64(""), Checksum64(std::string(1, '\0')));
+}
+
+TEST(Checksum, EveryBitFlipChangesTheSum) {
+  // The section checksum exists to catch bit flips; try each bit of a
+  // word-aligned block and of a ragged tail.
+  for (size_t size : {8u, 64u, 67u}) {
+    std::string data(size, '\x5a');
+    const uint64_t clean = Checksum64(data);
+    for (size_t byte = 0; byte < data.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+        EXPECT_NE(Checksum64(data), clean)
+            << "size " << size << " byte " << byte << " bit " << bit;
+        data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+      }
+    }
+  }
+}
+
+TEST(Checksum, Fnv1a64MatchesKnownVectors) {
+  // Reference vectors of the classic FNV-1a 64 (used for short keys).
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+}  // namespace
+}  // namespace cafc::util

@@ -5,8 +5,8 @@
 //
 //   cafc cluster  [--seed N] [--k 8] [--algo ch|c|hac]
 //                 [--min-cardinality 8] [--content fc|pc|fcpc]
-//                 [--save FILE] [--dot FILE] [--show-members N]
-//                 [--threads N] [fault flags]
+//                 [--save FILE] [--save-v3 FILE.cafc3] [--dot FILE]
+//                 [--show-members N] [--threads N] [fault flags]
 //       Run the full pipeline (crawl → classify → model → cluster), print
 //       the resulting directory, optionally persist it.
 //
@@ -42,10 +42,25 @@
 //   cafc serve    [--seed N] [--pages N] [--workers 4] [--clients 4]
 //                 [--requests 64] [--queue 256] [--pad-ms N]
 //                 [--refresh-pages 16]
+//                 [--snapshot FILE.cafc3] [--memory-budget BYTES]
 //       In-process serving demo: build a corpus + directory, start the
 //       concurrent DirectoryServer, hammer it from client threads while a
 //       refresh hot-swaps the snapshot mid-run, then print throughput,
 //       latency percentiles, admission and epoch statistics.
+//       With --snapshot the server instead mmaps a binary v3 snapshot
+//       (written by `compact` or `cluster --save-v3`) read-only: stored
+//       pages are classified by ordinal through the budget-bounded page
+//       LRU (--memory-budget, bytes, 0 = unlimited) and the stats table
+//       gains the storage hit/miss/resident counters.
+//
+//   cafc compact  --dir FILE --out FILE.cafc3
+//       Convert a directory file (text v1/v2 or binary v3) to a binary v3
+//       snapshot, printing the per-section byte breakdown and the
+//       compression ratio against the input.
+//
+//   cafc inspect  FILE.cafc3
+//       Dump a v3 snapshot's header and section table (kind, offset,
+//       bytes, items, checksum verdict) without decoding the payloads.
 //
 //   cafc query    --dir FILE "query terms" [--top 5]
 //       Serve a keyword search over a saved directory through the
@@ -77,6 +92,9 @@
 #include "forms/label_extractor.h"
 #include "html/dom.h"
 #include "serve/server.h"
+#include "storage/format.h"
+#include "storage/reader.h"
+#include "storage/writer.h"
 #include "util/flags.h"
 #include "util/histogram.h"
 #include "util/table.h"
@@ -89,9 +107,10 @@ namespace {
 
 using namespace cafc;  // NOLINT — tool code
 
-constexpr const char* kCommands[] = {"stats",  "cluster", "classify",
-                                     "search", "add",     "grow",
-                                     "labels", "serve",   "query"};
+constexpr const char* kCommands[] = {"stats",   "cluster", "classify",
+                                     "search",  "add",     "grow",
+                                     "labels",  "serve",   "query",
+                                     "compact", "inspect"};
 
 int Usage() {
   std::string names;
@@ -141,6 +160,40 @@ web::SyntheticWeb MakeWeb(uint64_t seed, int pages, int singles) {
 
 Result<Dataset> MakeDataset(const web::SyntheticWeb& web) {
   return BuildDataset(web);
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return 0;
+  const std::streamoff size = in.tellg();
+  return size < 0 ? 0 : static_cast<uint64_t>(size);
+}
+
+/// True when `path` starts with the binary v3 magic — `add` uses this to
+/// re-save a directory in the format it arrived in.
+bool IsV3File(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[sizeof(storage::kMagicV3)] = {};
+  if (!in.read(magic, sizeof(magic))) return false;
+  return storage::HasV3Magic(magic, sizeof(magic));
+}
+
+/// "12345 (12.1 KiB)"-style byte rendering for the storage tables.
+std::string HumanBytes(uint64_t bytes) {
+  char buf[64];
+  if (bytes >= 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%llu (%.1f MiB)",
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<double>(bytes) / (1024.0 * 1024.0));
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof(buf), "%llu (%.1f KiB)",
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<double>(bytes) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
 }
 
 /// Fault-flag plumbing shared by `stats` and `cluster`: reads the
@@ -391,16 +444,34 @@ int RunCluster(const FlagParser& flags) {
   }
 
   std::string save_path = flags.GetString("save");
-  if (!save_path.empty()) {
+  std::string save_v3_path = flags.GetString("save-v3");
+  if (!save_path.empty() || !save_v3_path.empty()) {
     DatabaseDirectory directory =
         DatabaseDirectory::Build(pages, clustering, labels);
-    Status status = directory.SaveToFile(save_path);
-    if (!status.ok()) {
-      std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
-      return 1;
+    if (!save_path.empty()) {
+      Status status = directory.SaveToFile(save_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("directory saved to %s (%zu entries)\n", save_path.c_str(),
+                  directory.size());
     }
-    std::printf("directory saved to %s (%zu entries)\n", save_path.c_str(),
-                directory.size());
+    if (!save_v3_path.empty()) {
+      // With-pages snapshot: the clustered collection rides along so a
+      // snapshot-backed server can classify stored pages by ordinal.
+      storage::SnapshotWriteReport report;
+      Status status = storage::WriteSnapshotV3(directory, &pages,
+                                               save_v3_path, &report);
+      if (!status.ok()) {
+        std::fprintf(stderr, "save-v3 failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("v3 snapshot saved to %s (%zu entries, %zu pages, %s)\n",
+                  save_v3_path.c_str(), directory.size(), pages.size(),
+                  HumanBytes(report.total_bytes).c_str());
+    }
   }
   return 0;
 }
@@ -412,7 +483,7 @@ int RunClassify(const FlagParser& flags) {
     return 2;
   }
   Result<DatabaseDirectory> directory =
-      DatabaseDirectory::LoadFromFile(dir_path);
+      storage::LoadDirectoryAuto(dir_path);
   if (!directory.ok()) {
     std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
     return 1;
@@ -462,7 +533,7 @@ int RunSearch(const FlagParser& flags) {
     return 2;
   }
   Result<DatabaseDirectory> directory =
-      DatabaseDirectory::LoadFromFile(dir_path);
+      storage::LoadDirectoryAuto(dir_path);
   if (!directory.ok()) {
     std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
     return 1;
@@ -499,7 +570,7 @@ int RunAdd(const FlagParser& flags) {
     return 2;
   }
   Result<DatabaseDirectory> directory =
-      DatabaseDirectory::LoadFromFile(dir_path);
+      storage::LoadDirectoryAuto(dir_path);
   if (!directory.ok()) {
     std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
     return 1;
@@ -527,7 +598,13 @@ int RunAdd(const FlagParser& flags) {
                 directory->entries()[static_cast<size_t>(entry)]
                     .label.c_str());
   }
-  Status status = directory->SaveToFile(dir_path);
+  // Re-save in the format the directory arrived in: a binary v3 input
+  // stays binary (directory-only — `add` never carries page profiles), a
+  // text input stays text.
+  Status status = IsV3File(dir_path)
+                      ? storage::WriteSnapshotV3(*directory, nullptr,
+                                                 dir_path)
+                      : directory->SaveToFile(dir_path);
   if (!status.ok()) {
     std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
     return 1;
@@ -671,6 +748,114 @@ std::string PercentileMs(const util::Histogram& h, double p) {
   return buf;
 }
 
+/// Snapshot-backed serving: mmap a binary v3 file, start a read-only
+/// DirectoryServer over it, classify stored pages by ordinal through the
+/// budget-bounded page LRU, and print the storage counters alongside the
+/// usual latency table.
+int RunServeSnapshot(const FlagParser& flags, const std::string& path,
+                     int64_t workers, int64_t clients, int64_t requests,
+                     int64_t queue, int64_t pad_ms) {
+  int64_t budget = 0;
+  if (!FlagValue(flags.GetIntInRange("memory-budget", 0, 0,
+                                     std::numeric_limits<int64_t>::max()),
+                 &budget)) {
+    return 2;
+  }
+  // The library-facing knob and the storage layer speak the same unit;
+  // CafcOptions carries it so embedding applications configure serving
+  // the same way this CLI does.
+  CafcOptions cafc_options;
+  cafc_options.memory_budget_bytes = static_cast<uint64_t>(budget);
+  storage::SnapshotOpenOptions open_options;
+  open_options.memory_budget_bytes = cafc_options.memory_budget_bytes;
+  Result<std::unique_ptr<storage::MappedSnapshot>> opened =
+      storage::MappedSnapshot::Open(path, open_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const storage::MappedSnapshot> mapped =
+      std::move(*opened);
+  const size_t num_pages = mapped->num_pages();
+  std::printf("serving %zu sections over %zu stored pages (%s, budget %s)\n",
+              mapped->directory().size(), num_pages,
+              mapped->is_mapped() ? "mmapped" : "heap-loaded",
+              budget == 0
+                  ? "unlimited"
+                  : HumanBytes(static_cast<uint64_t>(budget)).c_str());
+
+  serve::DirectoryServerOptions options;
+  options.workers = static_cast<size_t>(workers);
+  options.queue_capacity = static_cast<size_t>(queue);
+  options.service_pad_ms = static_cast<double>(pad_ms);
+  serve::DirectoryServer server(mapped, options);
+
+  const char* queries[] = {"job career", "hotel flight", "music cd",
+                           "book author", "car rental"};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> client_threads;
+  for (int64_t c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      for (int64_t i = 0; i < requests; ++i) {
+        const size_t pick =
+            static_cast<size_t>(c + i * 7) % (num_pages + 5);
+        serve::QueryRequest request;
+        if (pick < num_pages) {
+          request.kind = serve::QueryKind::kClassifyStored;
+          request.page_ordinal = pick;
+        } else {
+          request.kind = serve::QueryKind::kSearch;
+          request.query = queries[pick - num_pages];
+        }
+        server.Query(std::move(request));
+      }
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+  serve::ServerStats stats = server.Stats();
+  serve::SnapshotPtr snapshot = server.snapshot();
+  server.Shutdown();
+
+  Table table({"metric", "value"});
+  table.AddRow({"workers", std::to_string(options.workers)});
+  table.AddRow({"clients", std::to_string(clients)});
+  table.AddRow({"submitted", std::to_string(stats.submitted)});
+  table.AddRow({"completed", std::to_string(stats.completed)});
+  table.AddRow({"failed", std::to_string(stats.failed)});
+  table.AddRow({"snapshot version", std::to_string(snapshot->version())});
+  table.AddRow({"corpus epoch", std::to_string(snapshot->corpus_epoch())});
+  char throughput[32];
+  std::snprintf(throughput, sizeof(throughput), "%.0f",
+                1000.0 * static_cast<double>(stats.completed) / wall_ms);
+  table.AddRow({"throughput (req/s)", throughput});
+  table.AddRow({"latency p50 (ms)", PercentileMs(stats.total_us, 50)});
+  table.AddRow({"latency p95 (ms)", PercentileMs(stats.total_us, 95)});
+  // Storage layer: how the memory budget held up under the query load.
+  table.AddRow({"page cache hits", std::to_string(stats.page_hits)});
+  table.AddRow({"page cache misses", std::to_string(stats.page_misses)});
+  table.AddRow({"page evictions", std::to_string(stats.page_evictions)});
+  table.AddRow({"pages cached now", std::to_string(stats.page_cached)});
+  table.AddRow({"fixed resident bytes",
+                HumanBytes(stats.storage_fixed_bytes)});
+  table.AddRow({"resident bytes now",
+                HumanBytes(stats.storage_resident_bytes)});
+  table.AddRow({"memory budget",
+                stats.memory_budget_bytes == 0
+                    ? "unlimited"
+                    : HumanBytes(stats.memory_budget_bytes)});
+  std::printf("%s", table.ToString().c_str());
+
+  if (stats.memory_budget_bytes != 0 &&
+      stats.storage_resident_bytes > stats.memory_budget_bytes) {
+    std::fprintf(stderr, "resident bytes exceed the memory budget — bug\n");
+    return 1;
+  }
+  return 0;
+}
+
 int RunServe(const FlagParser& flags) {
   int64_t seed = 0;
   int64_t pages = 0;
@@ -691,6 +876,11 @@ int RunServe(const FlagParser& flags) {
       !FlagValue(flags.GetIntInRange("refresh-pages", 16, 0, 1'000'000),
                  &refresh_pages)) {
     return 2;
+  }
+  std::string snapshot_path = flags.GetString("snapshot");
+  if (!snapshot_path.empty()) {
+    return RunServeSnapshot(flags, snapshot_path, workers, clients, requests,
+                            queue, pad_ms);
   }
 
   web::SyntheticWeb web = MakeWeb(static_cast<uint64_t>(seed),
@@ -809,7 +999,7 @@ int RunQuery(const FlagParser& flags) {
     return 2;
   }
   Result<DatabaseDirectory> directory =
-      DatabaseDirectory::LoadFromFile(dir_path);
+      storage::LoadDirectoryAuto(dir_path);
   if (!directory.ok()) {
     std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
     return 1;
@@ -857,6 +1047,88 @@ int RunQuery(const FlagParser& flags) {
   return 0;
 }
 
+int RunCompact(const FlagParser& flags) {
+  std::string dir_path = flags.GetString("dir");
+  std::string out_path = flags.GetString("out");
+  if (dir_path.empty() || out_path.empty()) {
+    std::fprintf(stderr, "compact requires --dir FILE and --out FILE\n");
+    return 2;
+  }
+  const uint64_t input_bytes = FileBytes(dir_path);
+  Result<DatabaseDirectory> directory = storage::LoadDirectoryAuto(dir_path);
+  if (!directory.ok()) {
+    std::fprintf(stderr, "%s\n", directory.status().ToString().c_str());
+    return 1;
+  }
+  storage::SnapshotWriteReport report;
+  Status status =
+      storage::WriteSnapshotV3(*directory, nullptr, out_path, &report);
+  if (!status.ok()) {
+    std::fprintf(stderr, "compact failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  Table table({"section", "bytes", "items"});
+  for (const storage::SectionReportRow& row : report.sections) {
+    table.AddRow({storage::SectionKindName(row.kind),
+                  std::to_string(row.bytes),
+                  std::to_string(row.item_count)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("weights: %llu quantized, %llu ulp-delta, %llu raw\n",
+              static_cast<unsigned long long>(report.weights
+                                                  .quantized_weights),
+              static_cast<unsigned long long>(report.weights.delta_weights),
+              static_cast<unsigned long long>(report.weights.raw_weights));
+  std::printf("%s -> %s: %s -> %s",
+              dir_path.c_str(), out_path.c_str(),
+              HumanBytes(input_bytes).c_str(),
+              HumanBytes(report.total_bytes).c_str());
+  if (input_bytes > 0 && report.total_bytes > 0) {
+    std::printf(" (%.2fx smaller)",
+                static_cast<double>(input_bytes) /
+                    static_cast<double>(report.total_bytes));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunInspect(const FlagParser& flags) {
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "inspect requires a snapshot file path\n");
+    return 2;
+  }
+  const std::string& path = flags.positional()[1];
+  std::vector<bool> checksum_ok;
+  Result<storage::SnapshotFileInfo> info =
+      storage::ReadSnapshotInfo(path, &checksum_ok);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: format v%u, %s, %zu sections\n", path.c_str(),
+              info->version, HumanBytes(info->file_bytes).c_str(),
+              info->sections.size());
+  Table table({"section", "offset", "bytes", "items", "checksum"});
+  bool all_ok = true;
+  for (size_t i = 0; i < info->sections.size(); ++i) {
+    const storage::SectionInfo& section = info->sections[i];
+    const bool ok = i < checksum_ok.size() && checksum_ok[i];
+    all_ok = all_ok && ok;
+    table.AddRow({storage::SectionKindName(section.kind),
+                  std::to_string(section.offset),
+                  std::to_string(section.bytes),
+                  std::to_string(section.item_count),
+                  ok ? "ok" : "MISMATCH"});
+  }
+  std::printf("%s", table.ToString().c_str());
+  if (!all_ok) {
+    std::fprintf(stderr, "checksum mismatch: the file is corrupted\n");
+    return 1;
+  }
+  return 0;
+}
+
 int RunLabels(const FlagParser& flags) {
   if (flags.positional().size() < 2) {
     std::fprintf(stderr, "labels requires an HTML file path\n");
@@ -894,5 +1166,7 @@ int main(int argc, char** argv) {
   if (command == "labels") return RunLabels(flags);
   if (command == "serve") return RunServe(flags);
   if (command == "query") return RunQuery(flags);
+  if (command == "compact") return RunCompact(flags);
+  if (command == "inspect") return RunInspect(flags);
   return UnknownCommand(command);
 }
