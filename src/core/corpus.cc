@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <utility>
 
@@ -290,6 +291,38 @@ Dataset Corpus::SnapshotDataset() const {
   dataset.entries = entries_;
   dataset.dictionary = dictionary_;
   return dataset;
+}
+
+Corpus Corpus::ExtractShardView(const std::vector<size_t>& slots) const {
+  Corpus shard(options_);
+  // Value copy into the pointee keeps the ctor-established link between
+  // shard.dictionary_ and shard.derived_ intact, and preserves term ids.
+  *shard.dictionary_ = *dictionary_;
+  // The DF broadcast: global document frequencies (and document counts)
+  // travel wholesale, so every IDF the shard derives is the global one.
+  shard.pc_df_ = pc_df_;
+  shard.fc_df_ = fc_df_;
+  shard.entries_.reserve(slots.size());
+  shard.profiles_.reserve(slots.size());
+  std::vector<FormPage>& derived_pages = *shard.derived_.mutable_pages();
+  derived_pages.reserve(slots.size());
+  for (size_t slot : slots) {
+    assert(slot < entries_.size());
+    DatasetEntry entry = entries_[slot];
+    entry.doc.dictionary = shard.dictionary_;
+    shard.index_.emplace(entry.doc.url, shard.entries_.size());
+    shard.entries_.push_back(std::move(entry));
+    shard.profiles_.push_back(profiles_[slot]);
+    FormPage page;
+    page.url = shard.entries_.back().doc.url;
+    page.site = shard.entries_.back().site;
+    page.backlinks = shard.entries_.back().backlinks;
+    derived_pages.push_back(std::move(page));
+  }
+  shard.pc_clean_.assign(slots.size(), 0);
+  shard.fc_clean_.assign(slots.size(), 0);
+  shard.version_ = 1;  // first Weighted() derives every vector
+  return shard;
 }
 
 std::vector<DatasetEntry> Corpus::TakeEntries() {

@@ -132,6 +132,24 @@ class Corpus {
   /// corpus empty.
   std::vector<DatasetEntry> TakeEntries();
 
+  /// \brief Splits off the pages at `slots` (ascending corpus slots) into
+  /// an independent corpus that carries this corpus's full dictionary and
+  /// *global* DF tables — the DF broadcast of the sharding layer.
+  ///
+  /// Because the per-page term profiles are copied verbatim and the DF
+  /// tables (hence the IDF tables every derive builds) are the global
+  /// ones, the shard's `Weighted()` vectors are bit-identical to the
+  /// corresponding pages of this corpus's `Weighted()`, and documents
+  /// weighed against the shard's collection statistics weigh exactly as
+  /// they would against the global collection. Eq. 1 recombines exactly;
+  /// nothing is renormalized per shard.
+  ///
+  /// The shard is fully independent (own dictionary copy with identical
+  /// ids, own DF tables): later AddPages/RemovePages drift it from the
+  /// global baseline, which is the intended shard-refresh semantics.
+  /// Passing every slot yields a deep copy of the whole corpus.
+  Corpus ExtractShardView(const std::vector<size_t>& slots) const;
+
  private:
   struct PageProfiles {
     std::vector<vsm::TermProfileEntry> pc;

@@ -503,15 +503,20 @@ Result<DirectoryRefreshReport> DatabaseDirectory::Refresh(
 namespace {
 
 /// Ranks accumulated positive-similarity hits best first and truncates.
-/// Shared by the scan and indexed Search paths: both feed hits in
-/// ascending entry order, so the (unstable) sort sees the same input
-/// sequence and produces the same output.
+/// The order is a total one — similarity descending, entry index
+/// ascending on ties — so any subset of entries ranks the same way
+/// regardless of arrival order. That is what lets a scatter-gather
+/// router merge per-shard rankings into exactly the list a single
+/// directory would have produced.
 void RankHits(std::vector<DatabaseDirectory::SearchHit>* hits,
               size_t top_k) {
   std::sort(hits->begin(), hits->end(),
             [](const DatabaseDirectory::SearchHit& a,
                const DatabaseDirectory::SearchHit& b) {
-              return a.similarity > b.similarity;
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.entry < b.entry;
             });
   if (hits->size() > top_k) hits->resize(top_k);
 }

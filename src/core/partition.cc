@@ -1,0 +1,127 @@
+#include "core/partition.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+
+#include "util/varint.h"
+#include "vsm/term_dictionary.h"
+
+namespace cafc {
+namespace {
+
+/// Public-API twin of directory.cc's collection-state copy: dictionary by
+/// value (insertion order, hence ids, preserved), stats restored from the
+/// source's document frequencies, weights copied. The projection must not
+/// share mutable collection state with the global directory — shards
+/// drift independently after the split.
+FormPageSet CloneCollectionState(const FormPageSet& source) {
+  FormPageSet target;
+  *target.mutable_dictionary() = source.dictionary();
+  const size_t n_terms = source.dictionary().size();
+  std::vector<size_t> pc_df(n_terms);
+  std::vector<size_t> fc_df(n_terms);
+  for (size_t id = 0; id < n_terms; ++id) {
+    pc_df[id] =
+        source.pc_stats().DocumentFrequency(static_cast<vsm::TermId>(id));
+    fc_df[id] =
+        source.fc_stats().DocumentFrequency(static_cast<vsm::TermId>(id));
+  }
+  target.mutable_pc_stats()->Restore(source.pc_stats().num_documents(),
+                                     std::move(pc_df));
+  target.mutable_fc_stats()->Restore(source.fc_stats().num_documents(),
+                                     std::move(fc_df));
+  target.set_location_weights(source.location_weights());
+  return target;
+}
+
+}  // namespace
+
+size_t ShardForSite(std::string_view site, size_t num_shards) {
+  assert(num_shards >= 1);
+  if (num_shards <= 1) return 0;
+  return static_cast<size_t>(util::Fnv1a64(site) % num_shards);
+}
+
+PartitionPlan PlanPartition(const Corpus& corpus, size_t num_shards) {
+  PartitionPlan plan;
+  plan.num_shards = num_shards < 1 ? 1 : num_shards;
+  plan.slots.resize(plan.num_shards);
+  const std::vector<DatasetEntry>& entries = corpus.entries();
+  for (size_t slot = 0; slot < entries.size(); ++slot) {
+    plan.slots[ShardForSite(entries[slot].site, plan.num_shards)]
+        .push_back(slot);
+  }
+  return plan;
+}
+
+Result<std::vector<ShardBundle>> PartitionDirectory(
+    const DatabaseDirectory& global, const Corpus& corpus,
+    size_t num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("PartitionDirectory: num_shards must "
+                                   "be >= 1");
+  }
+  PartitionPlan plan = PlanPartition(corpus, num_shards);
+
+  // URL -> shard of the owning page (site-hash through the corpus entry).
+  std::unordered_map<std::string_view, size_t> url_shard;
+  url_shard.reserve(corpus.size());
+  for (size_t shard = 0; shard < plan.num_shards; ++shard) {
+    for (size_t slot : plan.slots[shard]) {
+      url_shard.emplace(corpus.entries()[slot].doc.url, shard);
+    }
+  }
+
+  // hosts[g][s]: shard s holds at least one member of global section g.
+  const std::vector<DirectoryEntry>& sections = global.entries();
+  std::vector<std::vector<uint8_t>> hosts(
+      sections.size(), std::vector<uint8_t>(plan.num_shards, 0));
+  for (size_t g = 0; g < sections.size(); ++g) {
+    bool any = false;
+    for (const std::string& url : sections[g].member_urls) {
+      auto it = url_shard.find(url);
+      if (it == url_shard.end()) {
+        return Status::InvalidArgument(
+            "PartitionDirectory: section \"" + sections[g].label +
+            "\" lists member " + url +
+            " which the corpus does not contain");
+      }
+      hosts[g][it->second] = 1;
+      any = true;
+    }
+    // A memberless section still needs exactly one deterministic host so
+    // the router sees every global section (classification's entry-0
+    // baseline included).
+    if (!any) hosts[g][g % plan.num_shards] = 1;
+  }
+
+  std::vector<ShardBundle> bundles;
+  bundles.reserve(plan.num_shards);
+  for (size_t shard = 0; shard < plan.num_shards; ++shard) {
+    ShardBundle bundle;
+    bundle.shard_id = shard;
+    bundle.num_shards = plan.num_shards;
+    bundle.corpus = corpus.ExtractShardView(plan.slots[shard]);
+
+    std::vector<DirectoryEntry> local_entries;
+    for (size_t g = 0; g < sections.size(); ++g) {
+      if (!hosts[g][shard]) continue;
+      DirectoryEntry entry;
+      entry.label = sections[g].label;
+      entry.centroid = sections[g].centroid;  // verbatim — never recomputed
+      for (const std::string& url : sections[g].member_urls) {
+        if (url_shard.at(url) == shard) entry.member_urls.push_back(url);
+      }
+      local_entries.push_back(std::move(entry));
+      bundle.global_sections.push_back(static_cast<uint32_t>(g));
+    }
+    bundle.directory = DatabaseDirectory::FromParts(
+        CloneCollectionState(global.collection()), std::move(local_entries),
+        global.epoch());
+    bundles.push_back(std::move(bundle));
+  }
+  return bundles;
+}
+
+}  // namespace cafc

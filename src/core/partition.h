@@ -1,0 +1,83 @@
+#ifndef CAFC_CORE_PARTITION_H_
+#define CAFC_CORE_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/corpus.h"
+#include "core/directory.h"
+#include "util/status.h"
+
+namespace cafc {
+
+/// \brief The partitioning layer of the sharded directory service: a
+/// deterministic site-hash partitioner that splits a corpus and its
+/// directory into N independent shard bundles.
+///
+/// Pages partition by *site* (one hidden-web database = one site, so a
+/// database's form pages never straddle shards) through a pure hash of
+/// the site string — assignment is stable across epochs, process
+/// restarts, and AddPages/RemovePages churn, because it depends on
+/// nothing but the site and the shard count.
+///
+/// Each shard's directory is a *projection* of one global directory: the
+/// global sections that have at least one member on the shard, in global
+/// order, centroids copied verbatim, member lists restricted to local
+/// pages, and the full global collection state (dictionary, IDF, weights)
+/// broadcast alongside the global DF tables in the shard corpus. Scoring
+/// a document against a shard therefore produces bit-identical
+/// similarities to scoring it against the global directory, restricted to
+/// the hosted sections — which is what lets a scatter-gather router
+/// recombine per-shard answers into exactly the single-directory result.
+
+/// Deterministic shard of one site: Fnv1a64(site) % num_shards.
+/// `num_shards` must be >= 1.
+size_t ShardForSite(std::string_view site, size_t num_shards);
+
+/// Site-hash partition of a corpus's pages: `slots[s]` lists the corpus
+/// entry slots assigned to shard s, ascending (corpus insertion order).
+struct PartitionPlan {
+  size_t num_shards = 1;
+  std::vector<std::vector<size_t>> slots;
+};
+
+/// Plans the partition (pure function of the corpus's sites).
+PartitionPlan PlanPartition(const Corpus& corpus, size_t num_shards);
+
+/// One shard of a partitioned directory service.
+struct ShardBundle {
+  size_t shard_id = 0;
+  size_t num_shards = 1;
+  /// The shard's pages with the global dictionary and DF broadcast
+  /// (Corpus::ExtractShardView) — its own snapshot chain grows from here.
+  Corpus corpus;
+  /// Projection of the global directory onto this shard (see above).
+  DatabaseDirectory directory;
+  /// Local section index -> global section index (ascending). The RPC
+  /// layer speaks global indices; shard services translate through this.
+  std::vector<uint32_t> global_sections;
+};
+
+/// \brief Splits `corpus` + `global` into `num_shards` shard bundles.
+///
+/// Every global section is hosted by at least one shard: sections with
+/// members land on each shard holding a member; a section whose member
+/// list is empty (or whose members all left the corpus) falls back to
+/// shard (global index % num_shards), so classification's entry-0
+/// baseline and search's full section coverage survive partitioning.
+/// Member URLs that the corpus has never seen fail with InvalidArgument —
+/// a directory that drifted from its corpus cannot be partitioned
+/// consistently.
+///
+/// Edge cases are first-class: an empty corpus yields empty shard corpora
+/// (plus the directory fallback hosting); num_shards larger than the
+/// number of distinct sites leaves the surplus shards empty but valid.
+Result<std::vector<ShardBundle>> PartitionDirectory(
+    const DatabaseDirectory& global, const Corpus& corpus,
+    size_t num_shards);
+
+}  // namespace cafc
+
+#endif  // CAFC_CORE_PARTITION_H_

@@ -1,0 +1,80 @@
+#include "ipc/frame.h"
+
+#include <cstdio>
+#include <string>
+
+#include "util/varint.h"
+
+namespace cafc::ipc {
+namespace {
+
+std::string Hex32(uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", value);
+  return std::string(buf);
+}
+
+}  // namespace
+
+void EncodeFrame(std::string_view payload, std::string* out) {
+  util::PutFixed32(out, kFrameMagic);
+  util::PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  util::PutFixed64(out, util::Checksum64(payload));
+  out->append(payload);
+}
+
+void FrameDecoder::Append(std::string_view bytes) {
+  // Drop the consumed prefix before it grows without bound; amortized O(1)
+  // because we only compact when the dead prefix dominates the buffer.
+  if (pos_ > 4096 && pos_ > buffer_.size() / 2) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+Status FrameDecoder::Next(std::string* payload, bool* have_frame) {
+  *have_frame = false;
+  if (!error_.ok()) return error_;
+  const size_t available = buffer_.size() - pos_;
+  if (available < kFrameHeaderBytes) return Status::OK();
+
+  util::ByteReader reader(
+      reinterpret_cast<const uint8_t*>(buffer_.data()) + pos_, available);
+  uint32_t magic = 0;
+  uint32_t length = 0;
+  uint64_t checksum = 0;
+  // The header reads cannot fail: available >= kFrameHeaderBytes.
+  (void)reader.ReadFixed32(&magic);
+  (void)reader.ReadFixed32(&length);
+  (void)reader.ReadFixed64(&checksum);
+
+  // Validate before allocating anything: a hostile or bit-flipped header
+  // must not be able to drive memory use.
+  if (magic != kFrameMagic) {
+    error_ = Status::ParseError("frame: bad magic 0x" + Hex32(magic));
+    return error_;
+  }
+  if (length > kMaxFramePayload) {
+    error_ = Status::ParseError(
+        "frame: declared payload of " + std::to_string(length) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte cap");
+    return error_;
+  }
+  if (available < kFrameHeaderBytes + length) return Status::OK();
+
+  std::string_view body(buffer_.data() + pos_ + kFrameHeaderBytes, length);
+  if (util::Checksum64(body) != checksum) {
+    error_ = Status::ParseError(
+        "frame: payload checksum mismatch (corrupt or desynchronized "
+        "stream)");
+    return error_;
+  }
+  payload->assign(body);
+  pos_ += kFrameHeaderBytes + length;
+  *have_frame = true;
+  return Status::OK();
+}
+
+}  // namespace cafc::ipc

@@ -1,0 +1,69 @@
+#ifndef CAFC_IPC_FRAME_H_
+#define CAFC_IPC_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cafc::ipc {
+
+/// \brief Length-prefixed message framing of the shard RPC byte streams.
+///
+/// A frame is:
+///
+///   fixed32  magic     "CAFR" (0x52464143 little-endian on the wire)
+///   fixed32  length    payload bytes, <= kMaxFramePayload
+///   fixed64  checksum  util::Checksum64 of the payload
+///   bytes    payload   `length` opaque bytes
+///
+/// The decoder is written for hostile bytes: the magic and the declared
+/// length are validated *before* any allocation, the length is capped, and
+/// the checksum covers the payload so a bit-flipped length (one that still
+/// passes the cap) desynchronizes into a checksum mismatch instead of a
+/// silently wrong message. Every failure is a clean Status — a corrupt
+/// stream can never crash the decoder or make it allocate unboundedly.
+
+inline constexpr uint32_t kFrameMagic = 0x52464143u;  // "CAFR"
+inline constexpr size_t kFrameHeaderBytes = 16;
+/// Upper bound on one frame's payload. Far above any real message (the
+/// largest is a classify document) while keeping a hostile length prefix
+/// from driving allocation: 64 MiB.
+inline constexpr size_t kMaxFramePayload = 64u << 20;
+
+/// Appends one complete frame around `payload` to `out`.
+void EncodeFrame(std::string_view payload, std::string* out);
+
+/// \brief Incremental frame decoder over an untrusted byte stream.
+///
+/// Feed arbitrary chunks with Append (chunk boundaries need not align with
+/// frames), then pop complete frames with Next. Once a stream error is
+/// detected (bad magic, oversized length, checksum mismatch) the decoder
+/// is poisoned: every further Next returns the same error, because a
+/// framing error leaves no way to resynchronize.
+class FrameDecoder {
+ public:
+  /// Buffers `bytes` for decoding.
+  void Append(std::string_view bytes);
+
+  /// Extracts the next complete frame. On success sets `*have_frame` and
+  /// fills `*payload`; when the buffered bytes end mid-frame, clears
+  /// `*have_frame` and returns OK (feed more bytes). Corruption returns
+  /// kParseError and poisons the decoder.
+  Status Next(std::string* payload, bool* have_frame);
+
+  /// Bytes buffered but not yet consumed (tests; bounded by one frame plus
+  /// one read chunk in steady state).
+  size_t buffered_bytes() const { return buffer_.size() - pos_; }
+
+ private:
+  std::string buffer_;
+  size_t pos_ = 0;
+  Status error_ = Status::OK();
+};
+
+}  // namespace cafc::ipc
+
+#endif  // CAFC_IPC_FRAME_H_

@@ -1,0 +1,64 @@
+#ifndef CAFC_IPC_PIPE_H_
+#define CAFC_IPC_PIPE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cafc::ipc {
+
+/// \brief One endpoint of a bidirectional, frame-preserving byte channel.
+///
+/// Send writes one message; Recv blocks for the next whole message. Both
+/// are internally synchronized, so any number of threads may send and any
+/// number may receive concurrently on one endpoint — messages are never
+/// torn or interleaved mid-frame (which thread gets which message is
+/// scheduling-dependent; the RPC layer matches by request id). Close is
+/// idempotent, wakes every blocked Recv, and makes both directions fail
+/// with kUnavailable, on this endpoint and (eventually) the peer.
+///
+/// Implementations frame with `EncodeFrame`/`FrameDecoder` even when no
+/// file descriptor is involved, so every test of the in-process transport
+/// also exercises the wire codec.
+class MessagePipe {
+ public:
+  virtual ~MessagePipe() = default;
+
+  /// Writes one message. kUnavailable after Close (either side).
+  virtual Status Send(std::string_view message) = 0;
+
+  /// Blocks for the next message. kUnavailable when the channel closed
+  /// with nothing left to deliver; kParseError on a corrupt byte stream.
+  virtual Status Recv(std::string* message) = 0;
+
+  /// Closes both directions of this endpoint. Idempotent.
+  virtual void Close() = 0;
+};
+
+/// A connected pair of in-process endpoints (the test/bench transport:
+/// byte-stream semantics, frame codec included, no file descriptors, no
+/// child processes). Messages sent on one endpoint are received on the
+/// other. Either endpoint may outlive the other.
+std::pair<std::unique_ptr<MessagePipe>, std::unique_ptr<MessagePipe>>
+CreateInProcessPipePair();
+
+/// \brief Endpoint over POSIX file descriptors (socketpair, pipe, or a
+/// child's stdin/stdout). Takes ownership of both descriptors; pass the
+/// same descriptor twice for a bidirectional socket.
+///
+/// Short reads/writes and EINTR are handled; a peer that disappears
+/// surfaces as kUnavailable, a corrupt stream as kParseError.
+std::unique_ptr<MessagePipe> CreateFdPipe(int read_fd, int write_fd);
+
+/// A connected socketpair as two FdPipe endpoints (for same-process tests
+/// of the descriptor transport and as the building block of child-process
+/// wiring).
+Result<std::pair<std::unique_ptr<MessagePipe>, std::unique_ptr<MessagePipe>>>
+CreateSocketPipePair();
+
+}  // namespace cafc::ipc
+
+#endif  // CAFC_IPC_PIPE_H_

@@ -1,0 +1,179 @@
+#include "ipc/shard_rpc.h"
+
+#include <string>
+#include <utility>
+
+namespace cafc::ipc {
+
+ShardClient::ShardClient(std::unique_ptr<MessagePipe> pipe)
+    : pipe_(std::move(pipe)) {}
+
+ShardClient::~ShardClient() { Close(); }
+
+void ShardClient::Close() {
+  pipe_->Close();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (broken_.ok()) broken_ = Status::Unavailable("shard client closed");
+  cv_.notify_all();
+}
+
+Result<uint64_t> ShardClient::SendEnvelope(MethodId method,
+                                           std::string payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!broken_.ok()) return broken_;
+  }
+  RequestEnvelope envelope;
+  envelope.request_id = next_request_id_.fetch_add(1);
+  envelope.method = method;
+  envelope.payload = std::move(payload);
+  std::string bytes;
+  envelope.EncodeTo(&bytes);
+  Status status = pipe_->Send(bytes);
+  if (!status.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (broken_.ok()) broken_ = status;
+    cv_.notify_all();
+    return broken_;
+  }
+  return envelope.request_id;
+}
+
+Result<ResponseEnvelope> ShardClient::AwaitEnvelope(uint64_t request_id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    auto it = ready_.find(request_id);
+    if (it != ready_.end()) {
+      ResponseEnvelope envelope = std::move(it->second);
+      ready_.erase(it);
+      return envelope;
+    }
+    if (!broken_.ok()) return broken_;
+    if (receiving_) {
+      // Another caller is draining the pipe; it will stash our response
+      // (or record the failure) and wake us.
+      cv_.wait(lock);
+      continue;
+    }
+    receiving_ = true;
+    lock.unlock();
+    std::string message;
+    Status status = pipe_->Recv(&message);
+    ResponseEnvelope envelope;
+    if (status.ok()) {
+      util::ByteReader reader(message);
+      status = envelope.DecodeFrom(&reader);
+    }
+    lock.lock();
+    receiving_ = false;
+    if (!status.ok()) {
+      // A transport or envelope failure is unrecoverable: responses can
+      // no longer be matched. Poison every caller.
+      if (broken_.ok()) broken_ = status;
+      cv_.notify_all();
+      return broken_;
+    }
+    ready_[envelope.request_id] = std::move(envelope);
+    cv_.notify_all();
+  }
+}
+
+#define CAFC_IPC_CLIENT_IMPL(Name, id, Req, Resp)                         \
+  Result<uint64_t> ShardClient::Send##Name(const Req& request) {          \
+    std::string payload;                                                  \
+    request.EncodeTo(&payload);                                           \
+    return SendEnvelope(MethodId::k##Name, std::move(payload));           \
+  }                                                                       \
+  Result<Resp> ShardClient::Await##Name(uint64_t request_id) {            \
+    Result<ResponseEnvelope> envelope = AwaitEnvelope(request_id);        \
+    if (!envelope.ok()) return envelope.status();                         \
+    if (envelope->method != MethodId::k##Name) {                          \
+      return Status::Internal(                                            \
+          std::string("response method mismatch: expected " #Name        \
+                      ", got ") +                                         \
+          MethodName(envelope->method));                                  \
+    }                                                                     \
+    Status remote = envelope->status();                                   \
+    if (!remote.ok()) return remote;                                      \
+    Resp response;                                                        \
+    util::ByteReader reader(envelope->payload);                           \
+    Status status = response.DecodeFrom(&reader);                         \
+    if (!status.ok()) return status;                                      \
+    return response;                                                      \
+  }                                                                       \
+  Result<Resp> ShardClient::Name(const Req& request) {                    \
+    Result<uint64_t> request_id = Send##Name(request);                    \
+    if (!request_id.ok()) return request_id.status();                     \
+    return Await##Name(*request_id);                                      \
+  }
+CAFC_IPC_METHOD_LIST(CAFC_IPC_CLIENT_IMPL)
+#undef CAFC_IPC_CLIENT_IMPL
+
+namespace {
+
+/// Decodes, dispatches, and encodes one request. Failures become error
+/// envelopes — the caller still gets an answer for its request id.
+ResponseEnvelope DispatchOne(const RequestEnvelope& request,
+                             ShardHandler* handler) {
+  ResponseEnvelope response;
+  response.request_id = request.request_id;
+  response.method = request.method;
+  auto fail = [&response](const Status& status) {
+    response.status_code = static_cast<uint32_t>(status.code());
+    response.status_message = status.message();
+  };
+  switch (request.method) {
+#define CAFC_IPC_DISPATCH_CASE(Name, id, Req, Resp)          \
+  case MethodId::k##Name: {                                  \
+    Req typed;                                               \
+    util::ByteReader reader(request.payload);                \
+    Status status = typed.DecodeFrom(&reader);               \
+    if (!status.ok()) {                                      \
+      fail(status);                                          \
+      break;                                                 \
+    }                                                        \
+    Result<Resp> result = handler->Handle##Name(typed);      \
+    if (!result.ok()) {                                      \
+      fail(result.status());                                 \
+      break;                                                 \
+    }                                                        \
+    result->EncodeTo(&response.payload);                     \
+    break;                                                   \
+  }
+    CAFC_IPC_METHOD_LIST(CAFC_IPC_DISPATCH_CASE)
+#undef CAFC_IPC_DISPATCH_CASE
+  }
+  return response;
+}
+
+}  // namespace
+
+Status ServeLoop(MessagePipe* pipe, ShardHandler* handler) {
+  while (true) {
+    std::string message;
+    Status status = pipe->Recv(&message);
+    if (!status.ok()) {
+      return status.code() == StatusCode::kUnavailable ? Status::OK()
+                                                       : status;
+    }
+    RequestEnvelope request;
+    util::ByteReader reader(message);
+    status = request.DecodeFrom(&reader);
+    if (!status.ok()) {
+      // The envelope itself was malformed — there is no request id to
+      // answer to. Drop the message; the frame layer already guarantees
+      // we are still aligned on frame boundaries.
+      continue;
+    }
+    ResponseEnvelope response = DispatchOne(request, handler);
+    std::string bytes;
+    response.EncodeTo(&bytes);
+    status = pipe->Send(bytes);
+    if (!status.ok()) {
+      return status.code() == StatusCode::kUnavailable ? Status::OK()
+                                                       : status;
+    }
+  }
+}
+
+}  // namespace cafc::ipc

@@ -1,0 +1,97 @@
+#ifndef CAFC_IPC_SHARD_RPC_H_
+#define CAFC_IPC_SHARD_RPC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "ipc/message.h"
+#include "ipc/pipe.h"
+#include "util/status.h"
+
+namespace cafc::ipc {
+
+/// \brief Typed client stub over one MessagePipe, generated from the
+/// descriptor table.
+///
+/// Two calling conventions per method:
+///  - synchronous: `Classify(request)` sends and blocks for the response;
+///  - pipelined: `SendClassify(request)` returns a request id immediately,
+///    `AwaitClassify(id)` collects the response later — several calls can
+///    be in flight on one pipe, and responses may return out of order.
+///
+/// Thread-safe: any number of threads may call concurrently; a shared-
+/// receiver protocol matches responses to callers by request id (one
+/// blocked caller drains the pipe and hands strays to their waiters).
+/// Once the pipe fails (closed peer, corrupt stream) the client is
+/// poisoned: every outstanding and future call fails with that status —
+/// a dead shard answers fast, it does not hang the router.
+class ShardClient {
+ public:
+  explicit ShardClient(std::unique_ptr<MessagePipe> pipe);
+  ~ShardClient();
+
+  ShardClient(const ShardClient&) = delete;
+  ShardClient& operator=(const ShardClient&) = delete;
+
+  // Typed bindings, expanded from the descriptor table: for each method
+  //   Result<Resp> Name(const Req&);            — synchronous call
+  //   Result<uint64_t> SendName(const Req&);    — pipelined send
+  //   Result<Resp> AwaitName(uint64_t id);      — pipelined collect
+#define CAFC_IPC_CLIENT_BINDING(Name, id, Req, Resp) \
+  Result<Resp> Name(const Req& request);             \
+  Result<uint64_t> Send##Name(const Req& request);   \
+  Result<Resp> Await##Name(uint64_t request_id);
+  CAFC_IPC_METHOD_LIST(CAFC_IPC_CLIENT_BINDING)
+#undef CAFC_IPC_CLIENT_BINDING
+
+  /// Closes the underlying pipe; everything in flight fails Unavailable.
+  void Close();
+
+ private:
+  Result<uint64_t> SendEnvelope(MethodId method, std::string payload);
+  /// Blocks until the response for `request_id` arrives (possibly
+  /// receiving and stashing other callers' responses on the way).
+  Result<ResponseEnvelope> AwaitEnvelope(uint64_t request_id);
+
+  std::unique_ptr<MessagePipe> pipe_;
+  std::atomic<uint64_t> next_request_id_{1};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool receiving_ = false;  // one caller at a time drains the pipe
+  std::unordered_map<uint64_t, ResponseEnvelope> ready_;  // stashed strays
+  Status broken_ = Status::OK();  // first pipe failure; poisons the client
+};
+
+/// \brief The service side: what a shard backend implements, one handler
+/// per descriptor row. Handlers run on whatever thread drives ServeLoop
+/// and must be thread-safe when several loops share one handler.
+class ShardHandler {
+ public:
+  virtual ~ShardHandler() = default;
+#define CAFC_IPC_HANDLER_BINDING(Name, id, Req, Resp) \
+  virtual Result<Resp> Handle##Name(const Req& request) = 0;
+  CAFC_IPC_METHOD_LIST(CAFC_IPC_HANDLER_BINDING)
+#undef CAFC_IPC_HANDLER_BINDING
+};
+
+/// \brief Dispatch loop of one service thread: Recv request envelopes,
+/// decode, dispatch to `handler`, Send response envelopes (with the
+/// handler's status on failure) — until the pipe closes.
+///
+/// Run it on N threads over one pipe for N-way request concurrency (the
+/// pipe's Recv/Send are synchronized; responses carry request ids, so
+/// out-of-order completion is fine). Malformed requests are answered with
+/// an error envelope when the request id could be parsed and dropped
+/// otherwise; only transport failure ends the loop.
+///
+/// Returns OK when the pipe closed normally, else the transport error.
+Status ServeLoop(MessagePipe* pipe, ShardHandler* handler);
+
+}  // namespace cafc::ipc
+
+#endif  // CAFC_IPC_SHARD_RPC_H_

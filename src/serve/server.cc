@@ -1,5 +1,7 @@
 #include "serve/server.h"
 
+#include <time.h>
+
 #include <algorithm>
 #include <memory>
 #include <utility>
@@ -10,6 +12,17 @@ namespace {
 double MsSince(std::chrono::steady_clock::time_point start,
                std::chrono::steady_clock::time_point now) {
   return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+/// CPU time this thread has burned, in microseconds. Unlike the wall
+/// clocks around it, this is unaffected by preemption or co-scheduled
+/// workers — two requests doing the same scoring work cost the same here
+/// whether the box is idle or saturated.
+double ThreadCpuUs() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) * 1e6 +
+         static_cast<double>(ts.tv_nsec) / 1e3;
 }
 
 QueryResponse Rejected(Status status) {
@@ -168,6 +181,8 @@ void DirectoryServer::WorkerLoop() {
     const auto dequeued = std::chrono::steady_clock::now();
     const double queue_ms = MsSince(pending.submitted, dequeued);
     QueryResponse response;
+    double service_cpu_us = 0.0;
+    bool executed = false;
     if (pending.request.deadline_ms > 0.0 &&
         queue_ms > pending.request.deadline_ms) {
       // The budget burned while queued; executing now would hand the
@@ -181,8 +196,11 @@ void DirectoryServer::WorkerLoop() {
       // entire request runs against it even if a refresh publishes
       // mid-flight. Deferred reclamation keeps the pointee alive until
       // this worker is joined.
+      const double cpu_before = ThreadCpuUs();
       response = Execute(pending.request,
                          *live_.load(std::memory_order_acquire));
+      service_cpu_us = ThreadCpuUs() - cpu_before;
+      executed = true;
     }
     const auto finished = std::chrono::steady_clock::now();
     response.queue_ms = queue_ms;
@@ -200,6 +218,7 @@ void DirectoryServer::WorkerLoop() {
       }
       stats_.queue_us.Add(response.queue_ms * 1000.0);
       stats_.service_us.Add(response.service_ms * 1000.0);
+      if (executed) stats_.service_cpu_us.Add(service_cpu_us);
       stats_.total_us.Add((response.queue_ms + response.service_ms) *
                           1000.0);
     }
@@ -279,6 +298,33 @@ void DirectoryServer::RefreshLoop() {
     }
     refresh_idle_cv_.notify_all();
   }
+}
+
+void ServerStats::Merge(const ServerStats& other) {
+  submitted += other.submitted;
+  accepted += other.accepted;
+  rejected_queue_full += other.rejected_queue_full;
+  rejected_stopped += other.rejected_stopped;
+  deadline_exceeded += other.deadline_exceeded;
+  failed += other.failed;
+  completed += other.completed;
+  refreshes += other.refreshes;
+  refresh_failures += other.refresh_failures;
+  epochs_published += other.epochs_published;
+  queue_peak = std::max(queue_peak, other.queue_peak);
+  queue_us.Merge(other.queue_us);
+  service_us.Merge(other.service_us);
+  service_cpu_us.Merge(other.service_cpu_us);
+  total_us.Merge(other.total_us);
+  distance_comps.Merge(other.distance_comps);
+  mapped_storage = mapped_storage || other.mapped_storage;
+  page_hits += other.page_hits;
+  page_misses += other.page_misses;
+  page_evictions += other.page_evictions;
+  page_cached += other.page_cached;
+  storage_fixed_bytes += other.storage_fixed_bytes;
+  storage_resident_bytes += other.storage_resident_bytes;
+  memory_budget_bytes += other.memory_budget_bytes;
 }
 
 ServerStats DirectoryServer::Stats() const {

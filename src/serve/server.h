@@ -104,6 +104,12 @@ struct ServerStats {
   uint64_t queue_peak = 0;         ///< high-water mark of the queue depth
   util::Histogram queue_us;
   util::Histogram service_us;
+  /// Thread CPU microseconds actually burned executing each served
+  /// request (CLOCK_THREAD_CPUTIME_ID around Execute — excludes queueing
+  /// and the artificial service pad). `sum()` over one shard is the
+  /// shard's total scoring work: the capacity measure the sharding bench
+  /// gates on, immune to wall-clock noise from co-scheduled workers.
+  util::Histogram service_cpu_us;
   util::Histogram total_us;
   /// Distance computations (exact centroid similarity evaluations) per
   /// served query — the count the inverted centroid index keeps sublinear
@@ -123,6 +129,16 @@ struct ServerStats {
   uint64_t storage_fixed_bytes = 0;  ///< dictionary+stats+index+labels
   uint64_t storage_resident_bytes = 0;  ///< fixed + cached pages, now
   uint64_t memory_budget_bytes = 0;  ///< configured cap (0 = unlimited)
+
+  /// \brief Folds another server's stats into this one — the aggregation
+  /// the scatter-gather router reports across its shards.
+  ///
+  /// Counters add; histograms merge element-wise (same compiled-in bucket
+  /// layout); queue_peak takes the max (peaks do not add across
+  /// independent queues). Storage gauges add and `mapped_storage` ORs:
+  /// the merged view answers "what is the fleet holding now", not "what
+  /// is one process holding".
+  void Merge(const ServerStats& other);
 };
 
 /// \brief Concurrent query engine over an epoch-snapshot directory: a

@@ -1,0 +1,103 @@
+#ifndef CAFC_SERVE_SHARD_ROUTER_H_
+#define CAFC_SERVE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/directory.h"
+#include "forms/form_page_model.h"
+#include "ipc/message.h"
+#include "ipc/shard_rpc.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace cafc::serve {
+
+/// What one shard contributed to (or withheld from) a routed response.
+struct ShardEcho {
+  uint32_t shard_id = 0;
+  /// Snapshot publish sequence and corpus epoch the shard answered from.
+  /// Both come from the single snapshot its response was computed
+  /// against — a response can never mix epochs.
+  uint64_t snapshot_version = 0;
+  uint64_t corpus_epoch = 0;
+  /// OK, or why this shard's answer is missing from the merge.
+  Status status;
+};
+
+/// A scatter-gathered answer. `shards` always has one echo per configured
+/// shard, in shard order — degradation is explicit: a dead shard is a
+/// non-OK echo plus `partial = true`, never a silently shorter result.
+struct RouterResponse {
+  /// OK when at least one shard answered; the first shard error when
+  /// none did.
+  Status status;
+  /// True when one or more shards did not contribute (the merged result
+  /// covers only the live shards' sections).
+  bool partial = false;
+  std::vector<ShardEcho> shards;
+  /// Classify: the winning *global* section.
+  DatabaseDirectory::Classification classification;
+  /// Search: merged ranking over global sections.
+  std::vector<DatabaseDirectory::SearchHit> hits;
+};
+
+/// \brief The router layer: scatter-gathers Classify/Search across shard
+/// backends and merges deterministically.
+///
+/// Each call pipelines one request to every shard (the per-shard clients
+/// share nothing, so shards work concurrently), gathers, and merges:
+///
+///  - Classify: the best (similarity, lowest global index on ties) of the
+///    per-shard winners. Because every shard scores exactly its hosted
+///    global sections with bit-identical similarities, this reproduces the
+///    single-directory scan's strict-improvement rule exactly.
+///  - Search: per-shard rankings concatenated, deduplicated by global
+///    section (shards sharing a section compute identical similarities),
+///    ranked by (similarity desc, global index asc) — the same total
+///    order RankHits applies — and truncated to top_k.
+///
+/// Thread-safe: any number of threads may route concurrently; responses
+/// are matched by request id inside each ShardClient.
+class ShardRouter {
+ public:
+  /// One client per shard, in shard-id order.
+  explicit ShardRouter(
+      std::vector<std::unique_ptr<ipc::ShardClient>> shards);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  RouterResponse Classify(const forms::FormPageDocument& doc,
+                          ContentConfig config = ContentConfig::kFcPlusPc,
+                          double deadline_ms = 0.0);
+
+  RouterResponse Search(std::string_view query, size_t top_k = 5,
+                        double deadline_ms = 0.0);
+
+  /// Per-shard lifetime stats, in shard order (a dead shard is an error
+  /// slot, not a hole).
+  std::vector<Result<ServerStats>> PerShardStats();
+
+  /// Fleet-wide aggregation of every reachable shard's stats
+  /// (ServerStats::Merge); fails only when no shard is reachable.
+  Result<ServerStats> Stats();
+
+  /// Per-shard epoch/version probes, in shard order.
+  std::vector<Result<ipc::EpochResponse>> Epochs();
+
+  /// Closes every shard client (in-flight calls fail Unavailable).
+  void Close();
+
+ private:
+  std::vector<std::unique_ptr<ipc::ShardClient>> shards_;
+};
+
+}  // namespace cafc::serve
+
+#endif  // CAFC_SERVE_SHARD_ROUTER_H_

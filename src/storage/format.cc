@@ -12,6 +12,7 @@ const char* SectionKindName(SectionKind kind) {
     case SectionKind::kEntries: return "entries";
     case SectionKind::kPages: return "pages";
     case SectionKind::kPageIndex: return "page-index";
+    case SectionKind::kShardMap: return "shard-map";
   }
   return "unknown";
 }

@@ -52,6 +52,7 @@ enum class SectionKind : uint32_t {
   kEntries = 4,     ///< directory sections: label, members, centroids
   kPages = 5,       ///< per-page profiles (optional; with-pages snapshots)
   kPageIndex = 6,   ///< fixed64 offset of each page within kPages
+  kShardMap = 7,    ///< shard identity + local->global section mapping
 };
 
 /// Human-readable section name for `cafc inspect` / compact reports.
@@ -71,6 +72,16 @@ struct SnapshotFileInfo {
   uint32_t version = 0;
   uint64_t file_bytes = 0;
   std::vector<SectionInfo> sections;
+};
+
+/// Decoded kShardMap payload: shard identity plus the local->global
+/// section mapping. `global_sections[i]` is the global directory index of
+/// the shard's local section i — the translation the RPC layer applies so
+/// every shard speaks global section ids (see docs/sharding.md).
+struct ShardMapInfo {
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  std::vector<uint32_t> global_sections;
 };
 
 /// Decoded kMeta payload.

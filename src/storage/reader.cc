@@ -231,6 +231,51 @@ Status MappedSnapshot::Parse(const std::string& path,
   status = DecodeMeta(file_.data(), *meta_section, &meta_);
   if (!status.ok()) return status;
 
+  // kShardMap is optional — present only on per-shard slices of a
+  // partitioned deployment. The mapping is stored delta-coded (strictly
+  // increasing global ids), so a zero delta past the first id means a
+  // corrupt or hand-edited section.
+  if (const SectionInfo* map_section = FindSection(SectionKind::kShardMap);
+      map_section != nullptr) {
+    ByteReader map_reader(file_.data() + map_section->offset,
+                          map_section->bytes);
+    uint64_t shard_id = 0, num_shards = 0, count = 0;
+    if (!(status = map_reader.ReadVarint64(&shard_id)).ok()) return status;
+    if (!(status = map_reader.ReadVarint64(&num_shards)).ok()) {
+      return status;
+    }
+    if (!(status = map_reader.ReadVarint64(&count)).ok()) return status;
+    if (num_shards == 0 || shard_id >= num_shards ||
+        num_shards > UINT32_MAX) {
+      return Status::ParseError(path + ": shard map claims shard " +
+                                std::to_string(shard_id) + " of " +
+                                std::to_string(num_shards));
+    }
+    if (count != meta_.num_entries) {
+      return Status::ParseError(
+          path + ": shard map covers " + std::to_string(count) +
+          " sections but the snapshot has " +
+          std::to_string(meta_.num_entries));
+    }
+    shard_map_.shard_id = static_cast<uint32_t>(shard_id);
+    shard_map_.num_shards = static_cast<uint32_t>(num_shards);
+    shard_map_.global_sections.clear();
+    shard_map_.global_sections.reserve(count);
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t delta = 0;
+      if (!(status = map_reader.ReadVarint64(&delta)).ok()) return status;
+      const uint64_t g = prev + delta;
+      if ((i > 0 && delta == 0) || g > UINT32_MAX) {
+        return Status::ParseError(
+            path + ": shard map global ids are not strictly increasing");
+      }
+      shard_map_.global_sections.push_back(static_cast<uint32_t>(g));
+      prev = g;
+    }
+    has_shard_map_ = true;
+  }
+
   Result<FormPageSet> collection = BuildCollection();
   if (!collection.ok()) return collection.status();
 

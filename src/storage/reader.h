@@ -51,6 +51,13 @@ class MappedSnapshot {
 
   const SnapshotFileInfo& info() const { return info_; }
   const SnapshotMeta& meta() const { return meta_; }
+  /// True when the snapshot carries a kShardMap section (it is one
+  /// shard's slice of a partitioned deployment, not a full directory).
+  bool has_shard_map() const { return has_shard_map_; }
+  /// Shard identity + local->global section mapping. Meaningful only when
+  /// `has_shard_map()`; defaults describe an unsharded snapshot
+  /// (shard 0 of 1, empty mapping).
+  const ShardMapInfo& shard_map() const { return shard_map_; }
   /// True when the bytes are mmapped (vs the read-into-heap fallback).
   bool is_mapped() const { return file_.is_mapped(); }
 
@@ -91,6 +98,8 @@ class MappedSnapshot {
   MappedFile file_;
   SnapshotFileInfo info_;
   SnapshotMeta meta_;
+  bool has_shard_map_ = false;
+  ShardMapInfo shard_map_;
   std::vector<double> pc_idf_;  // quantized-weight reconstruction tables
   std::vector<double> fc_idf_;
   DatabaseDirectory thin_directory_;

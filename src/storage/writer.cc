@@ -60,9 +60,25 @@ Status AtomicWriteFile(const std::string& path, const std::string& data) {
   return Status::OK();
 }
 
+std::string ShardSnapshotPath(const std::string& base, uint32_t shard_id,
+                              uint32_t num_shards) {
+  std::string stem = base;
+  constexpr char kSuffix[] = ".cafc3";
+  constexpr size_t kSuffixLen = sizeof(kSuffix) - 1;
+  if (stem.size() >= kSuffixLen &&
+      stem.compare(stem.size() - kSuffixLen, kSuffixLen, kSuffix) == 0) {
+    stem.resize(stem.size() - kSuffixLen);
+  }
+  char tag[32];
+  std::snprintf(tag, sizeof(tag), ".shard-%02u-of-%02u.cafc3", shard_id,
+                num_shards);
+  return stem + tag;
+}
+
 Status WriteSnapshotV3(const DatabaseDirectory& directory,
                        const FormPageSet* pages, const std::string& path,
-                       SnapshotWriteReport* report) {
+                       SnapshotWriteReport* report,
+                       const ShardMapInfo* shard_map) {
   const FormPageSet& collection = directory.collection();
   const size_t num_terms = collection.dictionary().size();
   if (pages != nullptr && pages->dictionary().size() != num_terms) {
@@ -159,6 +175,30 @@ Status WriteSnapshotV3(const DatabaseDirectory& directory,
     }
     sections.push_back(std::move(page_section));
     sections.push_back(std::move(page_index));
+  }
+
+  // kShardMap — shard identity + delta-coded local->global section ids
+  // (the mapping is strictly increasing: a shard's sections keep the
+  // global order).
+  if (shard_map != nullptr) {
+    if (shard_map->global_sections.size() != directory.entries().size()) {
+      return Status::InvalidArgument(
+          "shard map covers " +
+          std::to_string(shard_map->global_sections.size()) +
+          " sections but the directory has " +
+          std::to_string(directory.entries().size()));
+    }
+    PendingSection map{SectionKind::kShardMap,
+                       shard_map->global_sections.size(), {}};
+    util::PutVarint64(&map.payload, shard_map->shard_id);
+    util::PutVarint64(&map.payload, shard_map->num_shards);
+    util::PutVarint64(&map.payload, shard_map->global_sections.size());
+    uint64_t prev = 0;
+    for (uint32_t g : shard_map->global_sections) {
+      util::PutVarint64(&map.payload, g - prev);
+      prev = g;
+    }
+    sections.push_back(std::move(map));
   }
 
   // Assemble: header, section table, then 64-byte-aligned payloads.

@@ -42,10 +42,23 @@ struct SnapshotWriteReport {
 /// emits). When present, it must share the directory's vocabulary
 /// (`pages->dictionary().size() == directory.collection().dictionary()
 /// .size()`), which holds for the set the directory was built from.
+///
+/// `shard_map`, when non-null, appends a kShardMap section recording
+/// which slice of a partitioned deployment this snapshot is. Readers that
+/// predate the section skip it (unknown kinds are tolerated by design),
+/// so per-shard snapshots stay loadable as ordinary directories.
 Status WriteSnapshotV3(const DatabaseDirectory& directory,
                              const FormPageSet* pages,
                              const std::string& path,
-                             SnapshotWriteReport* report = nullptr);
+                             SnapshotWriteReport* report = nullptr,
+                             const ShardMapInfo* shard_map = nullptr);
+
+/// Canonical file name of one shard's snapshot:
+/// `<base>.shard-NN-of-MM.cafc3` (two-digit, zero-padded — stable sort
+/// order up to 99 shards). `base` may carry a `.cafc3` suffix, which is
+/// stripped first.
+std::string ShardSnapshotPath(const std::string& base, uint32_t shard_id,
+                              uint32_t num_shards);
 
 /// Shared crash-safe file write: temp sibling + flush + atomic rename.
 Status AtomicWriteFile(const std::string& path,

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "util/varint.h"
 
 namespace cafc::util {
 namespace {
@@ -75,6 +78,56 @@ void Histogram::Reset() {
   sum_ = 0.0;
   min_ = 0.0;
   max_ = 0.0;
+}
+
+namespace {
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+void Histogram::EncodeTo(std::string* out) const {
+  PutVarint64(out, buckets_.size());
+  for (uint64_t bucket : buckets_) PutVarint64(out, bucket);
+  PutFixed64(out, DoubleBits(sum_));
+  PutFixed64(out, DoubleBits(min_));
+  PutFixed64(out, DoubleBits(max_));
+  PutVarint64(out, count_);
+}
+
+bool Histogram::DecodeFrom(ByteReader* reader) {
+  uint64_t num = 0;
+  if (!reader->ReadVarint64(&num).ok() || num != kNumBuckets) return false;
+  std::vector<uint64_t> buckets(kNumBuckets, 0);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (!reader->ReadVarint64(&buckets[i]).ok()) return false;
+  }
+  uint64_t sum_bits = 0;
+  uint64_t min_bits = 0;
+  uint64_t max_bits = 0;
+  uint64_t count = 0;
+  if (!reader->ReadFixed64(&sum_bits).ok() ||
+      !reader->ReadFixed64(&min_bits).ok() ||
+      !reader->ReadFixed64(&max_bits).ok() ||
+      !reader->ReadVarint64(&count).ok()) {
+    return false;
+  }
+  buckets_ = std::move(buckets);
+  sum_ = BitsDouble(sum_bits);
+  min_ = BitsDouble(min_bits);
+  max_ = BitsDouble(max_bits);
+  count_ = count;
+  return true;
 }
 
 double Histogram::Percentile(double p) const {

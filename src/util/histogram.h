@@ -3,9 +3,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cafc::util {
+
+class ByteReader;
 
 /// \brief Fixed-bucket histogram for latency accounting (values in
 /// microseconds by convention, but unit-agnostic).
@@ -49,6 +52,21 @@ class Histogram {
 
   /// Number of buckets in the compiled-in layout (for tests).
   static size_t num_buckets();
+
+  /// \brief Appends a self-delimiting binary encoding to `out`.
+  ///
+  /// Layout: varint bucket count, then one varint per bucket (sparse runs
+  /// of zeros still cost one byte each — histograms are small), then
+  /// fixed64 bit patterns of sum/min/max and a varint total count. Decode
+  /// reproduces the histogram exactly: the doubles travel as IEEE-754 bit
+  /// patterns, not decimal round-trips, so merged-then-encoded equals
+  /// encoded-then-merged.
+  void EncodeTo(std::string* out) const;
+
+  /// Decodes an encoding produced by EncodeTo, replacing this histogram's
+  /// contents. Returns false on truncation or a bucket-count mismatch with
+  /// the compiled-in layout (the reader position is then unspecified).
+  bool DecodeFrom(ByteReader* reader);
 
  private:
   std::vector<uint64_t> buckets_;

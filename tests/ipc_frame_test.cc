@@ -1,0 +1,166 @@
+// Hostile-input tests of the wire frame codec: the decoder must turn
+// every corruption — truncation, bad magic, oversized or bit-flipped
+// length, bit-flipped payload — into a clean kParseError without crashing
+// or allocating unboundedly, and stay poisoned afterwards.
+
+#include "ipc/frame.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+namespace cafc::ipc {
+namespace {
+
+std::string Frame(std::string_view payload) {
+  std::string out;
+  EncodeFrame(payload, &out);
+  return out;
+}
+
+TEST(FrameCodecTest, RoundTripsSingleFrame) {
+  std::string wire = Frame("hello shard");
+  FrameDecoder decoder;
+  decoder.Append(wire);
+  std::string payload;
+  bool have = false;
+  ASSERT_TRUE(decoder.Next(&payload, &have).ok());
+  ASSERT_TRUE(have);
+  EXPECT_EQ(payload, "hello shard");
+  ASSERT_TRUE(decoder.Next(&payload, &have).ok());
+  EXPECT_FALSE(have);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FrameCodecTest, RoundTripsEmptyAndBinaryPayloads) {
+  std::string binary("\x00\xff\x7f\x80\n\r", 6);
+  std::string wire = Frame("") + Frame(binary);
+  FrameDecoder decoder;
+  decoder.Append(wire);
+  std::string payload;
+  bool have = false;
+  ASSERT_TRUE(decoder.Next(&payload, &have).ok());
+  ASSERT_TRUE(have);
+  EXPECT_EQ(payload, "");
+  ASSERT_TRUE(decoder.Next(&payload, &have).ok());
+  ASSERT_TRUE(have);
+  EXPECT_EQ(payload, binary);
+}
+
+TEST(FrameCodecTest, ReassemblesAcrossArbitraryChunkBoundaries) {
+  std::string wire = Frame("first") + Frame("second") + Frame("third");
+  // Feed one byte at a time — the cruelest chunking.
+  FrameDecoder decoder;
+  std::vector<std::string> got;
+  for (char c : wire) {
+    decoder.Append(std::string_view(&c, 1));
+    std::string payload;
+    bool have = true;
+    while (true) {
+      ASSERT_TRUE(decoder.Next(&payload, &have).ok());
+      if (!have) break;
+      got.push_back(payload);
+    }
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "first");
+  EXPECT_EQ(got[1], "second");
+  EXPECT_EQ(got[2], "third");
+}
+
+TEST(FrameCodecTest, TruncatedFrameWaitsForMoreBytes) {
+  std::string wire = Frame("truncate me");
+  FrameDecoder decoder;
+  decoder.Append(std::string_view(wire).substr(0, wire.size() - 3));
+  std::string payload;
+  bool have = true;
+  // Mid-frame is not an error — the stream may simply be slow.
+  ASSERT_TRUE(decoder.Next(&payload, &have).ok());
+  EXPECT_FALSE(have);
+  decoder.Append(std::string_view(wire).substr(wire.size() - 3));
+  ASSERT_TRUE(decoder.Next(&payload, &have).ok());
+  ASSERT_TRUE(have);
+  EXPECT_EQ(payload, "truncate me");
+}
+
+TEST(FrameCodecTest, BadMagicIsParseErrorAndPoisons) {
+  std::string wire = Frame("payload");
+  wire[0] ^= 0x01;
+  FrameDecoder decoder;
+  decoder.Append(wire);
+  std::string payload;
+  bool have = false;
+  Status status = decoder.Next(&payload, &have);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  // Poisoned: appending a pristine frame cannot resurrect the stream.
+  decoder.Append(Frame("pristine"));
+  EXPECT_EQ(decoder.Next(&payload, &have).code(), StatusCode::kParseError);
+}
+
+TEST(FrameCodecTest, OversizedDeclaredLengthRejectedBeforeAllocation) {
+  std::string wire = Frame("x");
+  // Rewrite the length field (bytes 4..7) to declare ~4 GiB.
+  wire[4] = static_cast<char>(0xff);
+  wire[5] = static_cast<char>(0xff);
+  wire[6] = static_cast<char>(0xff);
+  wire[7] = static_cast<char>(0xff);
+  FrameDecoder decoder;
+  decoder.Append(wire);
+  std::string payload;
+  bool have = false;
+  // The header alone is enough to reject: no waiting for 4 GiB of body.
+  EXPECT_EQ(decoder.Next(&payload, &have).code(), StatusCode::kParseError);
+}
+
+TEST(FrameCodecTest, BitFlippedLengthWithinCapFailsChecksum) {
+  // Two frames back to back; growing the first frame's length by one makes
+  // it swallow a byte of the second — the checksum must catch it.
+  std::string wire = Frame("aaaa") + Frame("bbbb");
+  wire[4] = static_cast<char>(wire[4] + 1);
+  FrameDecoder decoder;
+  decoder.Append(wire);
+  std::string payload;
+  bool have = false;
+  EXPECT_EQ(decoder.Next(&payload, &have).code(), StatusCode::kParseError);
+}
+
+TEST(FrameCodecTest, BitFlippedPayloadFailsChecksum) {
+  std::string wire = Frame("sensitive bits");
+  wire[kFrameHeaderBytes + 3] ^= 0x10;
+  FrameDecoder decoder;
+  decoder.Append(wire);
+  std::string payload;
+  bool have = false;
+  EXPECT_EQ(decoder.Next(&payload, &have).code(), StatusCode::kParseError);
+}
+
+TEST(FrameCodecTest, BitFlippedChecksumFieldFailsChecksum) {
+  std::string wire = Frame("check me");
+  wire[8] ^= 0x40;  // checksum field: bytes 8..15
+  FrameDecoder decoder;
+  decoder.Append(wire);
+  std::string payload;
+  bool have = false;
+  EXPECT_EQ(decoder.Next(&payload, &have).code(), StatusCode::kParseError);
+}
+
+TEST(FrameCodecTest, EveryPrefixOfAValidStreamIsCrashFree) {
+  // Exhaustive truncation sweep: any prefix either yields complete frames
+  // plus "need more bytes", never an error, never a crash.
+  std::string wire = Frame("alpha") + Frame("beta");
+  for (size_t cut = 0; cut <= wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Append(std::string_view(wire).substr(0, cut));
+    std::string payload;
+    bool have = true;
+    while (have) {
+      ASSERT_TRUE(decoder.Next(&payload, &have).ok()) << "cut=" << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cafc::ipc

@@ -1,0 +1,155 @@
+// Tests of ServerStats::Merge (the router's fleet aggregation) and the
+// serve<->ipc stats boundary translation, including the histogram wire
+// round trip the Stats RPC rides on.
+
+#include "serve/server.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ipc/message.h"
+#include "serve/shard_service.h"
+#include "util/histogram.h"
+#include "util/varint.h"
+
+namespace cafc::serve {
+namespace {
+
+ServerStats SampleStats(uint64_t base) {
+  ServerStats stats;
+  stats.submitted = base + 10;
+  stats.accepted = base + 9;
+  stats.rejected_queue_full = base + 1;
+  stats.rejected_stopped = base;
+  stats.deadline_exceeded = base / 2;
+  stats.failed = base % 3;
+  stats.completed = base + 8;
+  stats.refreshes = base % 5;
+  stats.refresh_failures = base % 2;
+  stats.epochs_published = base % 5;
+  stats.queue_peak = base + 3;
+  for (uint64_t i = 0; i < base + 4; ++i) {
+    stats.queue_us.Add(static_cast<double>(i * 10));
+    stats.service_us.Add(static_cast<double>(i * 100 + 1));
+    stats.service_cpu_us.Add(static_cast<double>(i * 90 + 1));
+    stats.total_us.Add(static_cast<double>(i * 110 + 2));
+    stats.distance_comps.Add(static_cast<double>(i % 7));
+  }
+  stats.mapped_storage = (base % 2) == 1;
+  stats.page_hits = base * 2;
+  stats.page_misses = base;
+  stats.page_evictions = base / 3;
+  stats.page_cached = base % 11;
+  stats.storage_fixed_bytes = base * 1000;
+  stats.storage_resident_bytes = base * 1500;
+  stats.memory_budget_bytes = base * 2000;
+  return stats;
+}
+
+TEST(ServerStatsMergeTest, CountersAddPeaksMaxStorageGaugesAdd) {
+  ServerStats a = SampleStats(4);
+  ServerStats b = SampleStats(9);
+  const uint64_t a_completed = a.completed;
+  const uint64_t a_count = a.total_us.count();
+  const double a_sum = a.total_us.sum();
+
+  a.Merge(b);
+  EXPECT_EQ(a.submitted, 14u + 19u);
+  EXPECT_EQ(a.accepted, 13u + 18u);
+  EXPECT_EQ(a.rejected_queue_full, 5u + 10u);
+  EXPECT_EQ(a.completed, a_completed + b.completed);
+  EXPECT_EQ(a.refreshes, 4u % 5 + 9u % 5);
+  // Peaks of independent queues do not add.
+  EXPECT_EQ(a.queue_peak, 12u);
+  // Histograms merge element-wise: counts and sums add exactly.
+  EXPECT_EQ(a.total_us.count(), a_count + b.total_us.count());
+  EXPECT_EQ(a.total_us.sum(), a_sum + b.total_us.sum());
+  // Storage gauges add; mapped_storage ORs.
+  EXPECT_TRUE(a.mapped_storage);  // b (base 9) is mapped
+  EXPECT_EQ(a.page_hits, 8u + 18u);
+  EXPECT_EQ(a.storage_resident_bytes, 4u * 1500 + 9u * 1500);
+}
+
+TEST(ServerStatsMergeTest, MergeWithEmptyIsIdentity) {
+  ServerStats a = SampleStats(6);
+  ServerStats before = SampleStats(6);
+  a.Merge(ServerStats{});
+  EXPECT_EQ(a.submitted, before.submitted);
+  EXPECT_EQ(a.completed, before.completed);
+  EXPECT_EQ(a.queue_peak, before.queue_peak);
+  EXPECT_EQ(a.total_us.count(), before.total_us.count());
+  EXPECT_EQ(a.total_us.sum(), before.total_us.sum());
+  EXPECT_EQ(a.mapped_storage, before.mapped_storage);
+}
+
+TEST(ServerStatsMergeTest, MergeIsCommutativeOnCountersAndHistograms) {
+  ServerStats ab = SampleStats(3);
+  ab.Merge(SampleStats(11));
+  ServerStats ba = SampleStats(11);
+  ba.Merge(SampleStats(3));
+  EXPECT_EQ(ab.submitted, ba.submitted);
+  EXPECT_EQ(ab.completed, ba.completed);
+  EXPECT_EQ(ab.queue_peak, ba.queue_peak);
+  EXPECT_EQ(ab.total_us.count(), ba.total_us.count());
+  EXPECT_EQ(ab.total_us.sum(), ba.total_us.sum());
+  EXPECT_EQ(ab.service_cpu_us.sum(), ba.service_cpu_us.sum());
+  EXPECT_EQ(ab.total_us.min(), ba.total_us.min());
+  EXPECT_EQ(ab.total_us.max(), ba.total_us.max());
+}
+
+TEST(ServerStatsWireTest, ToWireAndBackPreservesServingFields) {
+  ServerStats stats = SampleStats(7);
+  ServerStats decoded = FromWireStats(ToWireStats(stats));
+  EXPECT_EQ(decoded.submitted, stats.submitted);
+  EXPECT_EQ(decoded.accepted, stats.accepted);
+  EXPECT_EQ(decoded.rejected_queue_full, stats.rejected_queue_full);
+  EXPECT_EQ(decoded.rejected_stopped, stats.rejected_stopped);
+  EXPECT_EQ(decoded.deadline_exceeded, stats.deadline_exceeded);
+  EXPECT_EQ(decoded.failed, stats.failed);
+  EXPECT_EQ(decoded.completed, stats.completed);
+  EXPECT_EQ(decoded.refreshes, stats.refreshes);
+  EXPECT_EQ(decoded.refresh_failures, stats.refresh_failures);
+  EXPECT_EQ(decoded.epochs_published, stats.epochs_published);
+  EXPECT_EQ(decoded.queue_peak, stats.queue_peak);
+  EXPECT_EQ(decoded.total_us.count(), stats.total_us.count());
+  EXPECT_EQ(decoded.total_us.sum(), stats.total_us.sum());  // bit-exact
+  EXPECT_EQ(decoded.service_cpu_us.sum(), stats.service_cpu_us.sum());
+  EXPECT_EQ(decoded.distance_comps.count(), stats.distance_comps.count());
+  // Storage gauges do not travel (the RPC reports serving work only).
+  EXPECT_FALSE(decoded.mapped_storage);
+  EXPECT_EQ(decoded.page_hits, 0u);
+}
+
+TEST(ServerStatsWireTest, StatsResponseWireRoundTripIsExact) {
+  ipc::StatsResponse wire = ToWireStats(SampleStats(13));
+  std::string bytes;
+  wire.EncodeTo(&bytes);
+  util::ByteReader reader(bytes);
+  ipc::StatsResponse decoded;
+  ASSERT_TRUE(decoded.DecodeFrom(&reader).ok());
+  EXPECT_EQ(decoded.submitted, wire.submitted);
+  EXPECT_EQ(decoded.completed, wire.completed);
+  EXPECT_EQ(decoded.queue_peak, wire.queue_peak);
+  EXPECT_EQ(decoded.total_us.count(), wire.total_us.count());
+  EXPECT_EQ(decoded.total_us.sum(), wire.total_us.sum());
+  EXPECT_EQ(decoded.total_us.min(), wire.total_us.min());
+  EXPECT_EQ(decoded.total_us.max(), wire.total_us.max());
+  EXPECT_EQ(decoded.service_us.Percentile(95),
+            wire.service_us.Percentile(95));
+}
+
+TEST(ServerStatsWireTest, TruncatedStatsBytesFailCleanly) {
+  ipc::StatsResponse wire = ToWireStats(SampleStats(5));
+  std::string bytes;
+  wire.EncodeTo(&bytes);
+  for (size_t cut : {size_t{0}, size_t{1}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    util::ByteReader reader(std::string_view(bytes).substr(0, cut));
+    ipc::StatsResponse decoded;
+    EXPECT_FALSE(decoded.DecodeFrom(&reader).ok()) << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace cafc::serve

@@ -58,9 +58,29 @@
 //       snapshot, printing the per-section byte breakdown and the
 //       compression ratio against the input.
 //
-//   cafc inspect  FILE.cafc3
+//   cafc inspect  FILE.cafc3 [--json]
 //       Dump a v3 snapshot's header and section table (kind, offset,
 //       bytes, items, checksum verdict) without decoding the payloads.
+//       --json emits the same facts (plus the shard map, when present) as
+//       a single machine-readable JSON object on stdout.
+//
+//   cafc shard    --snapshot FILE.cafc3 [--threads 2]
+//       Serve one shard's snapshot over stdin/stdout as a framed RPC
+//       backend (the child-process end of `route --spawn`). The snapshot's
+//       shard-map section supplies the local->global section translation;
+//       a snapshot without one serves as shard 0 of 1. Diagnostics go to
+//       stderr — stdout is the wire.
+//
+//   cafc route    [--seed N] [--pages N] [--shards 4] [--workers 2]
+//                 [--requests 32] [--spawn] [--save BASE]
+//       Scatter-gather demo: build a corpus + directory, partition them by
+//       site hash into --shards shard bundles, serve each behind the
+//       message-pipe RPC (in-process by default; --spawn forks one `cafc
+//       shard` child per shard over per-shard v3 snapshots), route every
+//       probe document and a query mix through the ShardRouter, and verify
+//       the merged answers are bit-identical to the unsharded directory.
+//       --save BASE writes the per-shard snapshots (BASE.shard-NN-of-MM
+//       .cafc3); --spawn implies it (default /tmp/cafc-route.cafc3).
 //
 //   cafc query    --dir FILE "query terms" [--top 5]
 //       Serve a keyword search over a saved directory through the
@@ -70,6 +90,9 @@
 //   All numeric flags are validated: a malformed or out-of-range value is
 //   a usage error (exit 2), never a silent fallback to the default. An
 //   unknown command lists the available commands and exits 2.
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
@@ -87,11 +110,16 @@
 #include "core/dataset.h"
 #include "core/directory.h"
 #include "core/ingest.h"
+#include "core/partition.h"
 #include "core/visualize.h"
 #include "eval/metrics.h"
 #include "forms/label_extractor.h"
 #include "html/dom.h"
+#include "ipc/pipe.h"
+#include "ipc/shard_rpc.h"
 #include "serve/server.h"
+#include "serve/shard_router.h"
+#include "serve/shard_service.h"
 #include "storage/format.h"
 #include "storage/reader.h"
 #include "storage/writer.h"
@@ -110,7 +138,8 @@ using namespace cafc;  // NOLINT — tool code
 constexpr const char* kCommands[] = {"stats",   "cluster", "classify",
                                      "search",  "add",     "grow",
                                      "labels",  "serve",   "query",
-                                     "compact", "inspect"};
+                                     "compact", "inspect", "shard",
+                                     "route"};
 
 int Usage() {
   std::string names;
@@ -1093,6 +1122,79 @@ int RunCompact(const FlagParser& flags) {
   return 0;
 }
 
+/// Minimal JSON string escaping for paths/labels (quote, backslash,
+/// control characters).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// The machine-readable half of `inspect`: one JSON object with the
+/// header, the section table, and (per-shard snapshots) the shard map —
+/// what scripts and the bench harness consume instead of scraping the
+/// table rendering.
+int InspectJson(const std::string& path,
+                const storage::SnapshotFileInfo& info,
+                const std::vector<bool>& checksum_ok, bool all_ok) {
+  std::printf("{\n  \"path\": \"%s\",\n  \"format_version\": %u,\n"
+              "  \"file_bytes\": %llu,\n  \"checksums_ok\": %s,\n"
+              "  \"sections\": [\n",
+              JsonEscape(path).c_str(), info.version,
+              static_cast<unsigned long long>(info.file_bytes),
+              all_ok ? "true" : "false");
+  for (size_t i = 0; i < info.sections.size(); ++i) {
+    const storage::SectionInfo& section = info.sections[i];
+    std::printf(
+        "    {\"kind\": \"%s\", \"kind_id\": %u, \"offset\": %llu, "
+        "\"bytes\": %llu, \"items\": %llu, \"checksum_ok\": %s}%s\n",
+        storage::SectionKindName(section.kind),
+        static_cast<uint32_t>(section.kind),
+        static_cast<unsigned long long>(section.offset),
+        static_cast<unsigned long long>(section.bytes),
+        static_cast<unsigned long long>(section.item_count),
+        (i < checksum_ok.size() && checksum_ok[i]) ? "true" : "false",
+        i + 1 < info.sections.size() ? "," : "");
+  }
+  std::printf("  ]");
+  // The shard map needs a payload decode; reuse the full open (which also
+  // exposes the meta epoch) only when the section is present and intact.
+  bool has_shard_section = false;
+  for (const storage::SectionInfo& section : info.sections) {
+    has_shard_section |= section.kind == storage::SectionKind::kShardMap;
+  }
+  if (has_shard_section && all_ok) {
+    Result<std::unique_ptr<storage::MappedSnapshot>> opened =
+        storage::MappedSnapshot::Open(path);
+    if (opened.ok() && (*opened)->has_shard_map()) {
+      const storage::ShardMapInfo& map = (*opened)->shard_map();
+      std::printf(",\n  \"shard\": {\"shard_id\": %u, \"num_shards\": %u, "
+                  "\"sections\": %zu, \"epoch\": %llu}",
+                  map.shard_id, map.num_shards, map.global_sections.size(),
+                  static_cast<unsigned long long>((*opened)->meta().epoch));
+    }
+  }
+  std::printf("\n}\n");
+  return all_ok ? 0 : 1;
+}
+
 int RunInspect(const FlagParser& flags) {
   if (flags.positional().size() < 2) {
     std::fprintf(stderr, "inspect requires a snapshot file path\n");
@@ -1105,6 +1207,13 @@ int RunInspect(const FlagParser& flags) {
   if (!info.ok()) {
     std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
     return 1;
+  }
+  if (flags.GetBool("json", false)) {
+    bool all_ok = true;
+    for (size_t i = 0; i < info->sections.size(); ++i) {
+      all_ok = all_ok && i < checksum_ok.size() && checksum_ok[i];
+    }
+    return InspectJson(path, *info, checksum_ok, all_ok);
   }
   std::printf("%s: format v%u, %s, %zu sections\n", path.c_str(),
               info->version, HumanBytes(info->file_bytes).c_str(),
@@ -1124,6 +1233,335 @@ int RunInspect(const FlagParser& flags) {
   std::printf("%s", table.ToString().c_str());
   if (!all_ok) {
     std::fprintf(stderr, "checksum mismatch: the file is corrupted\n");
+    return 1;
+  }
+  return 0;
+}
+
+/// `cafc shard`: the child-process end of the sharded service. Serves one
+/// shard snapshot over stdin/stdout framed RPC until the parent closes
+/// the pipe. stdout is the wire — all diagnostics go to stderr.
+int RunShard(const FlagParser& flags) {
+  std::string snapshot_path = flags.GetString("snapshot");
+  int64_t threads = 0;
+  int64_t workers = 0;
+  if (snapshot_path.empty()) {
+    std::fprintf(stderr, "shard requires --snapshot FILE.cafc3\n");
+    return 2;
+  }
+  if (!FlagValue(flags.GetIntInRange("threads", 2, 1, 64), &threads) ||
+      !FlagValue(flags.GetIntInRange("workers", 2, 1, 64), &workers)) {
+    return 2;
+  }
+  Result<std::unique_ptr<storage::MappedSnapshot>> opened =
+      storage::MappedSnapshot::Open(snapshot_path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const storage::MappedSnapshot> mapped = std::move(*opened);
+
+  // A per-shard snapshot carries its identity + local->global mapping in
+  // the kShardMap section; a plain snapshot serves as shard 0 of 1 with
+  // the identity mapping (global == local).
+  uint32_t shard_id = 0;
+  uint32_t num_shards = 1;
+  std::vector<uint32_t> global_sections;
+  if (mapped->has_shard_map()) {
+    shard_id = mapped->shard_map().shard_id;
+    num_shards = mapped->shard_map().num_shards;
+    global_sections = mapped->shard_map().global_sections;
+  } else {
+    global_sections.resize(mapped->directory().size());
+    for (size_t g = 0; g < global_sections.size(); ++g) {
+      global_sections[g] = static_cast<uint32_t>(g);
+    }
+  }
+  std::fprintf(stderr,
+               "cafc shard %u/%u: %zu sections from %s (%zu threads)\n",
+               shard_id, num_shards, mapped->directory().size(),
+               snapshot_path.c_str(), static_cast<size_t>(threads));
+
+  serve::DirectoryServerOptions options;
+  options.workers = static_cast<size_t>(workers);
+  serve::DirectoryServer server(mapped, options);
+  serve::DirectoryShardService service(&server, std::move(global_sections),
+                                       shard_id, num_shards);
+  std::unique_ptr<ipc::MessagePipe> pipe = ipc::CreateFdPipe(
+      STDIN_FILENO, STDOUT_FILENO);
+  std::vector<std::thread> loops;
+  for (int64_t t = 1; t < threads; ++t) {
+    loops.emplace_back([&pipe, &service] {
+      (void)ipc::ServeLoop(pipe.get(), &service);
+    });
+  }
+  Status status = ipc::ServeLoop(pipe.get(), &service);
+  pipe->Close();
+  for (std::thread& t : loops) t.join();
+  server.Shutdown();
+  if (!status.ok()) {
+    std::fprintf(stderr, "shard %u: %s\n", shard_id,
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// One spawned `cafc shard` child and the parent's fds toward it.
+struct SpawnedShard {
+  pid_t pid = -1;
+  int read_fd = -1;   ///< child's stdout
+  int write_fd = -1;  ///< child's stdin
+};
+
+/// Forks one `cafc shard` child serving `snapshot_path` over its
+/// stdin/stdout. The parent keeps one fd pair; CreateFdPipe takes them.
+Result<SpawnedShard> SpawnShardChild(const std::string& snapshot_path,
+                                     int64_t workers) {
+  int to_child[2];   // parent writes -> child stdin
+  int from_child[2]; // child stdout -> parent reads
+  if (pipe(to_child) != 0) return Status::Internal("pipe() failed");
+  if (pipe(from_child) != 0) {
+    close(to_child[0]);
+    close(to_child[1]);
+    return Status::Internal("pipe() failed");
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+      close(fd);
+    }
+    return Status::Internal("fork() failed");
+  }
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+      close(fd);
+    }
+    const std::string workers_arg = std::to_string(workers);
+    const char* argv[] = {"cafc",       "shard",
+                          "--snapshot", snapshot_path.c_str(),
+                          "--workers",  workers_arg.c_str(),
+                          nullptr};
+    execv("/proc/self/exe", const_cast<char* const*>(argv));
+    std::fprintf(stderr, "execv failed\n");
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  SpawnedShard child;
+  child.pid = pid;
+  child.read_fd = from_child[0];
+  child.write_fd = to_child[1];
+  return child;
+}
+
+/// `cafc route`: end-to-end scatter-gather demo with a built-in oracle —
+/// every routed answer is compared against the unsharded directory and
+/// any divergence is a non-zero exit.
+int RunRoute(const FlagParser& flags) {
+  int64_t seed = 0;
+  int64_t pages = 0;
+  int64_t shards = 0;
+  int64_t workers = 0;
+  int64_t requests = 0;
+  if (!FlagValue(flags.GetIntInRange("seed", 42, 0, kMaxSeed), &seed) ||
+      !FlagValue(flags.GetIntInRange("pages", 0, 0, 1'000'000), &pages) ||
+      !FlagValue(flags.GetIntInRange("shards", 4, 1, 64), &shards) ||
+      !FlagValue(flags.GetIntInRange("workers", 2, 1, 64), &workers) ||
+      !FlagValue(flags.GetIntInRange("requests", 32, 0, 1'000'000),
+                 &requests)) {
+    return 2;
+  }
+  const bool spawn = flags.GetBool("spawn", false);
+  std::string save_base = flags.GetString("save");
+  if (spawn && save_base.empty()) save_base = "/tmp/cafc-route.cafc3";
+
+  web::SyntheticWeb web = MakeWeb(static_cast<uint64_t>(seed),
+                                  static_cast<int>(pages), -1);
+  Result<CorpusBuild> built = BuildCorpus(web);
+  if (!built.ok()) {
+    std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  Corpus& corpus = built->corpus;
+  const FormPageSet& weighted = corpus.Weighted();
+  Rng rng(static_cast<uint64_t>(seed) ^ 0x5eed);
+  cluster::Clustering clustering =
+      CafcC(weighted, web::kNumDomains, CafcOptions{}, &rng);
+  DatabaseDirectory global = DatabaseDirectory::Build(
+      weighted, clustering,
+      DatabaseDirectory::AutoLabels(weighted, clustering));
+  const cluster::CentroidIndex global_index = global.BuildCentroidIndex();
+  std::vector<forms::FormPageDocument> docs;
+  for (const DatasetEntry& e : corpus.entries()) docs.push_back(e.doc);
+
+  Result<std::vector<ShardBundle>> bundles =
+      PartitionDirectory(global, corpus, static_cast<size_t>(shards));
+  if (!bundles.ok()) {
+    std::fprintf(stderr, "%s\n", bundles.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("routing over %lld shards (%s): %zu global sections, %zu "
+              "pages\n",
+              static_cast<long long>(shards),
+              spawn ? "spawned children" : "in-process",
+              global.size(), corpus.size());
+
+  if (!save_base.empty()) {
+    for (const ShardBundle& bundle : *bundles) {
+      storage::ShardMapInfo map;
+      map.shard_id = static_cast<uint32_t>(bundle.shard_id);
+      map.num_shards = static_cast<uint32_t>(bundle.num_shards);
+      map.global_sections = bundle.global_sections;
+      const std::string path = storage::ShardSnapshotPath(
+          save_base, map.shard_id, map.num_shards);
+      Status status = storage::WriteSnapshotV3(bundle.directory, nullptr,
+                                               path, nullptr, &map);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("  shard %zu: %zu sections, %zu pages -> %s\n",
+                  bundle.shard_id, bundle.directory.size(),
+                  bundle.corpus.size(), path.c_str());
+    }
+  }
+
+  // Backends: either in-process hosts over pipe pairs, or forked `cafc
+  // shard` children over their stdin/stdout (both speak the same frames).
+  std::vector<std::unique_ptr<serve::DirectoryServer>> servers;
+  std::vector<std::unique_ptr<serve::DirectoryShardService>> services;
+  std::vector<std::unique_ptr<serve::ShardServiceHost>> hosts;
+  std::vector<SpawnedShard> children;
+  std::vector<std::unique_ptr<ipc::ShardClient>> clients;
+  if (spawn) {
+    for (const ShardBundle& bundle : *bundles) {
+      const std::string path = storage::ShardSnapshotPath(
+          save_base, static_cast<uint32_t>(bundle.shard_id),
+          static_cast<uint32_t>(bundle.num_shards));
+      Result<SpawnedShard> child = SpawnShardChild(path, workers);
+      if (!child.ok()) {
+        std::fprintf(stderr, "%s\n", child.status().ToString().c_str());
+        return 1;
+      }
+      children.push_back(*child);
+      clients.push_back(std::make_unique<ipc::ShardClient>(
+          ipc::CreateFdPipe(child->read_fd, child->write_fd)));
+    }
+  } else {
+    for (ShardBundle& bundle : *bundles) {
+      serve::DirectoryServerOptions options;
+      options.workers = static_cast<size_t>(workers);
+      servers.push_back(std::make_unique<serve::DirectoryServer>(
+          std::move(bundle.directory), std::move(bundle.corpus), options));
+      services.push_back(std::make_unique<serve::DirectoryShardService>(
+          servers.back().get(), bundle.global_sections,
+          static_cast<uint32_t>(bundle.shard_id),
+          static_cast<uint32_t>(bundle.num_shards)));
+      auto [service_end, client_end] = ipc::CreateInProcessPipePair();
+      hosts.push_back(std::make_unique<serve::ShardServiceHost>(
+          std::move(service_end), services.back().get(),
+          static_cast<size_t>(workers)));
+      clients.push_back(
+          std::make_unique<ipc::ShardClient>(std::move(client_end)));
+    }
+  }
+  serve::ShardRouter router(std::move(clients));
+
+  // Classify every probe through the router and through the unsharded
+  // directory; the merge contract says the answers are bit-identical.
+  size_t routed = 0;
+  size_t classify_mismatches = 0;
+  const size_t probe_count =
+      std::min(docs.size(), static_cast<size_t>(requests));
+  for (size_t i = 0; i < probe_count; ++i) {
+    serve::RouterResponse response = router.Classify(docs[i]);
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "route classify failed: %s\n",
+                   response.status.ToString().c_str());
+      return 1;
+    }
+    const DatabaseDirectory::Classification want =
+        global.ClassifyDocument(docs[i], ContentConfig::kFcPlusPc,
+                                global_index);
+    if (response.classification.entry != want.entry ||
+        response.classification.similarity != want.similarity) {
+      ++classify_mismatches;
+    }
+    ++routed;
+  }
+  const char* queries[] = {"job career", "hotel flight", "music cd",
+                           "book author", "car rental"};
+  size_t search_mismatches = 0;
+  for (const char* query : queries) {
+    serve::RouterResponse response = router.Search(query, 5);
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "route search failed: %s\n",
+                   response.status.ToString().c_str());
+      return 1;
+    }
+    const std::vector<DatabaseDirectory::SearchHit> want =
+        global.Search(query, 5, global_index);
+    bool same = response.hits.size() == want.size();
+    for (size_t h = 0; same && h < want.size(); ++h) {
+      same = response.hits[h].entry == want[h].entry &&
+             response.hits[h].similarity == want[h].similarity;
+    }
+    if (!same) ++search_mismatches;
+    ++routed;
+  }
+
+  Table table({"metric", "value"});
+  table.AddRow({"shards", std::to_string(shards)});
+  table.AddRow({"mode", spawn ? "spawned children" : "in-process"});
+  table.AddRow({"requests routed", std::to_string(routed)});
+  table.AddRow({"classify mismatches",
+                std::to_string(classify_mismatches)});
+  table.AddRow({"search mismatches", std::to_string(search_mismatches)});
+  std::vector<Result<ipc::EpochResponse>> epochs = router.Epochs();
+  for (size_t s = 0; s < epochs.size(); ++s) {
+    table.AddRow({"shard " + std::to_string(s) + " snapshot/epoch",
+                  epochs[s].ok()
+                      ? "v" + std::to_string((*epochs[s]).snapshot_version) +
+                            " / e" +
+                            std::to_string((*epochs[s]).corpus_epoch)
+                      : epochs[s].status().ToString()});
+  }
+  Result<serve::ServerStats> merged = router.Stats();
+  if (merged.ok()) {
+    table.AddRow({"fleet completed", std::to_string(merged->completed)});
+    char cpu[32];
+    std::snprintf(cpu, sizeof(cpu), "%.1f",
+                  merged->service_cpu_us.sum() / 1000.0);
+    table.AddRow({"fleet service CPU (ms)", cpu});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  router.Close();
+  for (std::unique_ptr<serve::ShardServiceHost>& host : hosts) {
+    host->Shutdown();
+  }
+  for (std::unique_ptr<serve::DirectoryServer>& server : servers) {
+    server->Shutdown();
+  }
+  int child_failures = 0;
+  for (const SpawnedShard& child : children) {
+    int wstatus = 0;
+    if (waitpid(child.pid, &wstatus, 0) != child.pid ||
+        !WIFEXITED(wstatus) || WEXITSTATUS(wstatus) != 0) {
+      ++child_failures;
+    }
+  }
+  if (child_failures > 0) {
+    std::fprintf(stderr, "%d shard child(ren) exited abnormally\n",
+                 child_failures);
+    return 1;
+  }
+  if (classify_mismatches > 0 || search_mismatches > 0) {
+    std::fprintf(stderr,
+                 "scatter-gather diverged from the unsharded directory\n");
     return 1;
   }
   return 0;
@@ -1168,5 +1606,7 @@ int main(int argc, char** argv) {
   if (command == "query") return RunQuery(flags);
   if (command == "compact") return RunCompact(flags);
   if (command == "inspect") return RunInspect(flags);
+  if (command == "shard") return RunShard(flags);
+  if (command == "route") return RunRoute(flags);
   return UnknownCommand(command);
 }
