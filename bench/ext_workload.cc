@@ -1,0 +1,731 @@
+// Workload-engine benchmark: the DirectoryServer under a deterministic
+// Zipfian query workload (src/workload), comparing scheduling policies,
+// measuring the epoch-keyed result cache, and hammering refresh storms
+// with graceful degradation enabled.
+//
+// Correctness gates make this bench fail loudly (non-zero exit):
+//   1. Burst replay (open loop, identical event sequence for both
+//      policies): every full-fidelity OK response bit-identical to the
+//      serial oracle; accounting identity closes. Full mode only:
+//      interactive-class p99 under kPriorityDeadline must be <= 0.7x its
+//      p99 under kFifo — priority scheduling has to protect the
+//      interactive band through the burst backlog.
+//   2. Zipfian cache mix (closed loop): cache-on answers bit-identical to
+//      the cache-off run, response by response, and the fresh hit rate
+//      must reach the floor (>= 0.50) the Zipf skew predicts.
+//   3. Refresh storm with degradation: zero OK responses computed against
+//      a superseded snapshot without the `stale` flag (the
+//      stale-unflagged invariant), every non-degraded answer bit-exact
+//      against the oracle of its version, degraded answers an exact
+//      prefix, and every scheduled swap published.
+//
+// Results land in BENCH_workload.json. `--smoke` shrinks the substrate and
+// keeps the timing gate informational (CI containers).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/corpus.h"
+#include "core/directory.h"
+#include "core/ingest.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "workload/workload.h"
+
+namespace {
+
+using namespace cafc;         // NOLINT
+using namespace cafc::bench;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+constexpr int kClusters = 8;
+
+web::SyntheticWeb MakeSubstrate(int form_pages) {
+  web::SynthesizerConfig config;
+  config.seed = 42;
+  if (form_pages > 0) {
+    config.form_pages_total = form_pages;
+    config.single_attribute_forms = form_pages / 8;
+    double scale = static_cast<double>(form_pages) / 454.0;
+    config.homogeneous_hubs_per_domain = static_cast<int>(360 * scale);
+    config.mixed_hubs = static_cast<int>(1100 * scale);
+    config.directory_hubs = static_cast<int>(24 * scale) + 1;
+    config.large_air_hotel_hubs = static_cast<int>(30 * scale) + 1;
+    config.outlier_pages = static_cast<int>(10 * scale);
+  }
+  return web::Synthesizer(config).Generate();
+}
+
+web::SyntheticWeb MakeGrowthWeb(uint32_t seed, int form_pages) {
+  web::SynthesizerConfig config;
+  config.seed = seed;
+  config.form_pages_total = form_pages;
+  config.single_attribute_forms = std::max(1, form_pages / 8);
+  config.homogeneous_hubs_per_domain = 20;
+  config.mixed_hubs = 30;
+  config.directory_hubs = 2;
+  config.large_air_hotel_hubs = 2;
+  return web::Synthesizer(config).Generate();
+}
+
+Corpus BuildSubstrateCorpus(int form_pages) {
+  web::SyntheticWeb web = MakeSubstrate(form_pages);
+  Result<CorpusBuild> built = BuildCorpus(web);
+  if (!built.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 built.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(built->corpus);
+}
+
+DatabaseDirectory BuildDirectory(Corpus& corpus) {
+  Rng rng(1234);
+  cluster::Clustering clustering =
+      CafcC(corpus.Weighted(), kClusters, CafcOptions{}, &rng);
+  return DatabaseDirectory::Build(
+      corpus.Weighted(), clustering,
+      DatabaseDirectory::AutoLabels(corpus.Weighted(), clustering));
+}
+
+/// Serial oracle answers at one snapshot version: one classification per
+/// corpus page, one top-5 ranking per search-pool term.
+struct ExpectedAtVersion {
+  std::vector<DatabaseDirectory::Classification> classify;
+  std::vector<std::vector<DatabaseDirectory::SearchHit>> search;
+};
+
+ExpectedAtVersion SnapshotExpected(
+    const DatabaseDirectory& directory,
+    const std::vector<forms::FormPageDocument>& docs,
+    const std::vector<std::string>& search_pool, size_t top_k) {
+  ExpectedAtVersion expected;
+  expected.classify.reserve(docs.size());
+  for (const forms::FormPageDocument& doc : docs) {
+    expected.classify.push_back(directory.ClassifyDocument(doc));
+  }
+  for (const std::string& q : search_pool) {
+    expected.search.push_back(directory.Search(q, top_k));
+  }
+  return expected;
+}
+
+serve::QueryRequest RequestFor(const workload::WorkloadEvent& event,
+                               const std::vector<forms::FormPageDocument>&
+                                   docs) {
+  serve::QueryRequest request;
+  request.priority = event.priority;
+  request.deadline_ms = event.deadline_ms;
+  if (event.is_classify) {
+    request.kind = serve::QueryKind::kClassify;
+    request.doc = docs[event.page_index % docs.size()];
+  } else {
+    request.kind = serve::QueryKind::kSearch;
+    request.query = event.query;
+    request.top_k = event.top_k;
+  }
+  return request;
+}
+
+/// Bit-exact validation of one full-fidelity OK response against the
+/// oracle of the snapshot version it claims. Degraded responses instead
+/// must be an exact prefix of that oracle ranking.
+bool ResponseMatches(const serve::QueryResponse& response,
+                     const workload::WorkloadEvent& event,
+                     const std::unordered_map<std::string, size_t>&
+                         search_index,
+                     const std::map<uint64_t, ExpectedAtVersion>& oracle,
+                     size_t num_docs) {
+  auto it = oracle.find(response.snapshot_version);
+  if (it == oracle.end()) return false;
+  if (event.is_classify) {
+    const DatabaseDirectory::Classification& want =
+        it->second.classify[event.page_index % num_docs];
+    return response.classification.entry == want.entry &&
+           response.classification.similarity == want.similarity;
+  }
+  auto qi = search_index.find(event.query);
+  if (qi == search_index.end()) return false;
+  const std::vector<DatabaseDirectory::SearchHit>& want =
+      it->second.search[qi->second];
+  if (response.degraded) {
+    // Truncated top-k: an exact prefix of the full ranking.
+    if (response.hits.size() > want.size()) return false;
+  } else if (response.hits.size() != want.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < response.hits.size(); ++i) {
+    if (response.hits[i].entry != want[i].entry ||
+        response.hits[i].similarity != want[i].similarity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// submitted must equal the sum of every admission outcome — the ledger
+/// that catches a response path forgetting to account itself.
+bool AccountingCloses(const serve::ServerStats& stats) {
+  return stats.submitted == stats.accepted + stats.rejected_queue_full +
+                                stats.rejected_stopped + stats.cache_hits +
+                                stats.stale_served;
+}
+
+// --------------------------------------------------------------------
+// Experiment 1: burst replay, kFifo vs kPriorityDeadline.
+
+struct BurstRun {
+  std::string policy;
+  uint64_t completed = 0;
+  uint64_t mismatches = 0;
+  bool accounting_ok = false;
+  double p99_ms[serve::kNumQueryPriorities] = {0.0, 0.0, 0.0};
+  double p50_ms[serve::kNumQueryPriorities] = {0.0, 0.0, 0.0};
+};
+
+BurstRun RunBurst(serve::SchedulingPolicy policy, const char* policy_name,
+                  const workload::Workload& workload, int substrate_pages,
+                  double pad_ms,
+                  const std::vector<forms::FormPageDocument>& docs,
+                  const std::unordered_map<std::string, size_t>& search_index,
+                  const std::map<uint64_t, ExpectedAtVersion>& oracle) {
+  Corpus corpus = BuildSubstrateCorpus(substrate_pages);
+  DatabaseDirectory directory = BuildDirectory(corpus);
+  serve::DirectoryServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 1 << 15;  // hold the whole backlog
+  options.service_pad_ms = pad_ms;
+  options.scheduling = policy;
+  serve::DirectoryServer server(std::move(directory), std::move(corpus),
+                                options);
+
+  // Open-loop replay, virtual time compressed to zero: the whole schedule
+  // is offered in arrival order as fast as Submit admits it, so the
+  // backlog *is* the burst and the policies differ only in drain order.
+  std::vector<std::future<serve::QueryResponse>> inflight;
+  inflight.reserve(workload.events.size());
+  for (const workload::WorkloadEvent& event : workload.events) {
+    inflight.push_back(server.Submit(RequestFor(event, docs)));
+  }
+  BurstRun run;
+  run.policy = policy_name;
+  for (size_t i = 0; i < inflight.size(); ++i) {
+    serve::QueryResponse response = inflight[i].get();
+    if (!response.status.ok() ||
+        !ResponseMatches(response, workload.events[i], search_index, oracle,
+                         docs.size())) {
+      ++run.mismatches;
+    }
+  }
+  serve::ServerStats stats = server.Stats();
+  server.Shutdown();
+  run.completed = stats.completed;
+  run.accounting_ok = AccountingCloses(stats);
+  for (size_t p = 0; p < serve::kNumQueryPriorities; ++p) {
+    run.p50_ms[p] = stats.priority_total_us[p].Percentile(50) / 1000.0;
+    run.p99_ms[p] = stats.priority_total_us[p].Percentile(99) / 1000.0;
+  }
+  return run;
+}
+
+// --------------------------------------------------------------------
+// Experiment 2: Zipfian closed-loop mix, cache on vs off.
+
+struct CacheRun {
+  uint64_t completed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_entries = 0;
+  double hit_rate = 0.0;
+  bool accounting_ok = false;
+  /// Response payloads by event index, for the cross-run comparison.
+  std::vector<serve::QueryResponse> responses;
+};
+
+CacheRun RunCacheMix(size_t cache_bytes, const workload::Workload& workload,
+                     size_t num_clients, int substrate_pages,
+                     const std::vector<forms::FormPageDocument>& docs) {
+  Corpus corpus = BuildSubstrateCorpus(substrate_pages);
+  DatabaseDirectory directory = BuildDirectory(corpus);
+  serve::DirectoryServerOptions options;
+  options.workers = 4;
+  options.queue_capacity = 4096;
+  options.cache_bytes = cache_bytes;
+  serve::DirectoryServer server(std::move(directory), std::move(corpus),
+                                options);
+
+  CacheRun run;
+  run.responses.resize(workload.events.size());
+  // Closed loop: each virtual client walks its own events sequentially —
+  // the next submit waits for the previous response (self-limiting load;
+  // each event index is written by exactly one thread).
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = 0; i < workload.events.size(); ++i) {
+        if (workload.events[i].client != c) continue;
+        run.responses[i] =
+            server.Query(RequestFor(workload.events[i], docs));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  serve::ServerStats stats = server.Stats();
+  server.Shutdown();
+  run.completed = stats.completed;
+  run.cache_hits = stats.cache_hits;
+  run.cache_misses = stats.cache_misses;
+  run.cache_evictions = stats.cache_evictions;
+  run.cache_entries = stats.cache_entries;
+  const uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  run.hit_rate = lookups == 0 ? 0.0
+                              : static_cast<double>(stats.cache_hits) /
+                                    static_cast<double>(lookups);
+  run.accounting_ok = AccountingCloses(stats);
+  return run;
+}
+
+/// Payload equality for the cache-on / cache-off comparison: same status
+/// class, same snapshot, bit-identical answer.
+bool SameAnswer(const serve::QueryResponse& a,
+                const serve::QueryResponse& b) {
+  if (a.status.ok() != b.status.ok()) return false;
+  if (!a.status.ok()) return true;
+  if (a.snapshot_version != b.snapshot_version) return false;
+  if (a.classification.entry != b.classification.entry ||
+      a.classification.similarity != b.classification.similarity) {
+    return false;
+  }
+  if (a.hits.size() != b.hits.size()) return false;
+  for (size_t i = 0; i < a.hits.size(); ++i) {
+    if (a.hits[i].entry != b.hits[i].entry ||
+        a.hits[i].similarity != b.hits[i].similarity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------
+// Experiment 3: refresh storm with degradation enabled.
+
+struct StormResult {
+  uint64_t responses = 0;
+  uint64_t torn = 0;             ///< wrong answer for the claimed version
+  uint64_t stale_unflagged = 0;  ///< THE invariant: must be zero
+  uint64_t stale_served = 0;
+  uint64_t degraded = 0;
+  uint64_t deadline_missed = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t rejected = 0;
+  uint64_t refreshes = 0;
+  uint64_t final_version = 0;
+  bool accounting_ok = false;
+  bool ok = false;
+};
+
+StormResult RunStorm(const workload::Workload& workload, size_t batches,
+                     int batch_pages, int substrate_pages,
+                     const std::vector<forms::FormPageDocument>& docs,
+                     const std::unordered_map<std::string, size_t>&
+                         search_index,
+                     const std::map<uint64_t, ExpectedAtVersion>& oracle) {
+  Corpus corpus = BuildSubstrateCorpus(substrate_pages);
+  DatabaseDirectory directory = BuildDirectory(corpus);
+  serve::DirectoryServerOptions options;
+  options.workers = 2;
+  options.queue_capacity = 48;  // small: overload windows are the point
+  options.service_pad_ms = 0.2;
+  options.scheduling = serve::SchedulingPolicy::kPriorityDeadline;
+  options.cache_bytes = 4u << 20;
+  options.degrade.enabled = true;
+  options.degrade.queue_high_water = 0.5;
+  options.degrade.truncated_top_k = 1;
+  options.degrade.serve_stale = true;
+  serve::DirectoryServer server(std::move(directory), std::move(corpus),
+                                options);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> responses{0};
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> stale_unflagged{0};
+  std::atomic<uint64_t> rejected{0};
+  constexpr size_t kClients = 4;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      size_t i = c;  // interleave the shared schedule across clients
+      // Open-loop bursts: each round fires a batch of Submits before
+      // draining any of them, so the four clients together overrun the
+      // queue and the degradation paths (stale serve, truncation)
+      // actually trigger during the storm.
+      constexpr size_t kBatch = 24;
+      std::vector<std::pair<size_t, uint64_t>> issued;  // event, version
+      std::vector<std::future<serve::QueryResponse>> inflight;
+      while (!stop.load(std::memory_order_relaxed)) {
+        issued.clear();
+        inflight.clear();
+        for (size_t b = 0; b < kBatch; ++b) {
+          const size_t event_index = i % workload.events.size();
+          i += kClients;
+          // Read the published version *before* submitting: versions
+          // only grow, so any OK answer computed against something older
+          // than this snapshot is genuinely stale and must say so.
+          const uint64_t pre_version = server.snapshot()->version();
+          issued.emplace_back(event_index, pre_version);
+          inflight.push_back(server.Submit(
+              RequestFor(workload.events[event_index], docs)));
+        }
+        for (size_t b = 0; b < inflight.size(); ++b) {
+          const workload::WorkloadEvent& event =
+              workload.events[issued[b].first];
+          serve::QueryResponse response = inflight[b].get();
+          if (!response.status.ok()) {
+            if (response.status.code() == StatusCode::kUnavailable) {
+              rejected.fetch_add(1, std::memory_order_relaxed);
+            }
+            continue;
+          }
+          responses.fetch_add(1, std::memory_order_relaxed);
+          if (response.snapshot_version < issued[b].second &&
+              !response.stale) {
+            stale_unflagged.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (!ResponseMatches(response, event, search_index, oracle,
+                               docs.size())) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  for (size_t r = 0; r < batches; ++r) {
+    web::SyntheticWeb growth =
+        MakeGrowthWeb(200 + static_cast<uint32_t>(r), batch_pages);
+    Result<CorpusBuild> incoming = BuildCorpus(growth);
+    if (!incoming.ok() ||
+        !server.ScheduleRefresh(incoming->corpus.TakeEntries()).ok()) {
+      std::fprintf(stderr, "storm batch %zu failed to schedule\n", r);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.WaitForRefreshes();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+
+  StormResult result;
+  serve::ServerStats stats = server.Stats();
+  result.final_version = server.snapshot()->version();
+  server.Shutdown();
+  result.responses = responses.load();
+  result.torn = torn.load();
+  result.stale_unflagged = stale_unflagged.load();
+  result.stale_served = stats.stale_served;
+  result.degraded = stats.degraded_truncated;
+  result.deadline_missed = stats.deadline_missed;
+  result.deadline_exceeded = stats.deadline_exceeded;
+  result.rejected = rejected.load();
+  result.refreshes = stats.refreshes;
+  result.accounting_ok = AccountingCloses(stats);
+  result.ok = result.stale_unflagged == 0 && result.torn == 0 &&
+              result.refreshes == batches &&
+              result.final_version == 1 + batches && result.responses > 0 &&
+              result.accounting_ok;
+  return result;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void WriteJson(const std::string& path, int hardware, bool smoke,
+               size_t pages, const workload::Workload& burst_workload,
+               const std::vector<workload::WorkloadClass>& classes,
+               const BurstRun& fifo, const BurstRun& priority,
+               double p99_ratio, const CacheRun& cached,
+               uint64_t cache_mismatches, const StormResult& storm) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  out << "{\n  \"bench\": \"ext_workload\",\n";
+  out << "  \"hardware_concurrency\": " << hardware << ",\n";
+  out << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  out << "  \"pages\": " << pages << ",\n";
+  out << "  \"workload\": {\"events\": " << burst_workload.events.size()
+      << ", \"bucket_ms\": " << JsonNumber(burst_workload.bucket_ms)
+      << ",\n    \"offered_per_class\": {\n";
+  for (size_t c = 0; c < classes.size(); ++c) {
+    out << "      \"" << classes[c].name << "\": [";
+    for (size_t b = 0; b < burst_workload.offered.size(); ++b) {
+      out << burst_workload.offered[b][c]
+          << (b + 1 < burst_workload.offered.size() ? ", " : "");
+    }
+    out << "]" << (c + 1 < classes.size() ? "," : "") << "\n";
+  }
+  out << "    }\n  },\n";
+  const auto burst_json = [&out](const BurstRun& run) {
+    out << "{\"completed\": " << run.completed
+        << ", \"mismatches\": " << run.mismatches << ", \"accounting_ok\": "
+        << (run.accounting_ok ? "true" : "false");
+    static const char* kBand[] = {"interactive", "standard", "batch"};
+    for (size_t p = 0; p < serve::kNumQueryPriorities; ++p) {
+      out << ", \"" << kBand[p]
+          << "_p50_ms\": " << JsonNumber(run.p50_ms[p]) << ", \""
+          << kBand[p] << "_p99_ms\": " << JsonNumber(run.p99_ms[p]);
+    }
+    out << "}";
+  };
+  out << "  \"burst_fifo\": ";
+  burst_json(fifo);
+  out << ",\n  \"burst_priority\": ";
+  burst_json(priority);
+  out << ",\n  \"interactive_p99_priority_over_fifo\": "
+      << JsonNumber(p99_ratio) << ",\n";
+  out << "  \"cache\": {\"hit_rate\": " << JsonNumber(cached.hit_rate)
+      << ", \"hits\": " << cached.cache_hits
+      << ", \"misses\": " << cached.cache_misses
+      << ", \"evictions\": " << cached.cache_evictions
+      << ", \"entries\": " << cached.cache_entries
+      << ", \"vs_uncached_mismatches\": " << cache_mismatches
+      << ", \"accounting_ok\": "
+      << (cached.accounting_ok ? "true" : "false") << "},\n";
+  out << "  \"refresh_storm\": {\"responses\": " << storm.responses
+      << ", \"torn\": " << storm.torn
+      << ", \"stale_unflagged\": " << storm.stale_unflagged
+      << ", \"stale_served\": " << storm.stale_served
+      << ", \"degraded_truncated\": " << storm.degraded
+      << ", \"deadline_missed\": " << storm.deadline_missed
+      << ", \"deadline_exceeded\": " << storm.deadline_exceeded
+      << ", \"rejected\": " << storm.rejected
+      << ", \"refreshes\": " << storm.refreshes
+      << ", \"final_version\": " << storm.final_version
+      << ", \"ok\": " << (storm.ok ? "true" : "false") << "}\n";
+  out << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const int hardware = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  const int substrate_pages = smoke ? 113 : 0;  // 0 = full 454
+  const size_t burst_events = smoke ? 600 : 2400;
+  const size_t cache_events = smoke ? 800 : 3000;
+  const double burst_pad_ms = smoke ? 0.3 : 0.6;
+  const size_t storm_batches = 5;
+  const int batch_pages = smoke ? 16 : 24;
+  constexpr double kHitRateFloor = 0.50;
+  constexpr double kP99Improvement = 0.70;
+
+  // Serial replica: oracle directory advanced through the same batch
+  // sequence the storm replays (same seeds, same order => bit-identical).
+  Corpus oracle_corpus = BuildSubstrateCorpus(substrate_pages);
+  DatabaseDirectory oracle = BuildDirectory(oracle_corpus);
+  std::vector<forms::FormPageDocument> docs;
+  for (const DatasetEntry& e : oracle_corpus.entries()) {
+    docs.push_back(e.doc);
+  }
+  // Search pool in popularity-rank order: the directory's own labels, so
+  // hot queries hit real sections. Labels are positionally stable across
+  // refreshes.
+  std::vector<std::string> search_pool;
+  for (const auto& entry : oracle.entries()) {
+    search_pool.push_back(entry.label);
+  }
+  std::unordered_map<std::string, size_t> search_index;
+  for (size_t i = 0; i < search_pool.size(); ++i) {
+    search_index.emplace(search_pool[i], i);
+  }
+  std::printf("substrate: %zu form pages, %zu sections, %zu search terms\n",
+              docs.size(), oracle.size(), search_pool.size());
+
+  std::map<uint64_t, ExpectedAtVersion> expected;
+  expected[1] = SnapshotExpected(oracle, docs, search_pool, 5);
+  for (size_t r = 0; r < storm_batches; ++r) {
+    web::SyntheticWeb growth =
+        MakeGrowthWeb(200 + static_cast<uint32_t>(r), batch_pages);
+    Result<CorpusBuild> incoming = BuildCorpus(growth);
+    if (!incoming.ok()) {
+      std::fprintf(stderr, "oracle batch %zu failed\n", r);
+      return 1;
+    }
+    if (!oracle_corpus.AddPages(incoming->corpus.TakeEntries()).ok() ||
+        !oracle.Refresh(oracle_corpus).ok()) {
+      std::fprintf(stderr, "oracle refresh %zu failed\n", r);
+      return 1;
+    }
+    expected[2 + r] = SnapshotExpected(oracle, docs, search_pool, 5);
+  }
+
+  // --- Experiment 1: burst replay, kFifo vs kPriorityDeadline. ---
+  workload::WorkloadOptions burst_options;
+  burst_options.seed = 7;
+  burst_options.num_events = burst_events;
+  burst_options.duration_ms = 1000.0;
+  burst_options.zipf_s = 1.0;
+  burst_options.arrival.shape = workload::ArrivalShape::kBurst;
+  burst_options.arrival.base_rate_qps = 1000.0;
+  burst_options.arrival.burst_rate_qps = 6000.0;
+  burst_options.arrival.burst_period_ms = 250.0;
+  burst_options.arrival.burst_duty = 0.3;
+  burst_options.classes = {
+      {"interactive", serve::QueryPriority::kInteractive, 0.2, 0.5, 0.0},
+      {"standard", serve::QueryPriority::kStandard, 0.5, 0.5, 0.0},
+      {"batch", serve::QueryPriority::kBatch, 0.3, 0.5, 0.0},
+  };
+  const workload::Workload burst_workload =
+      workload::GenerateWorkload(burst_options, docs.size(), search_pool);
+
+  BurstRun fifo =
+      RunBurst(serve::SchedulingPolicy::kFifo, "fifo", burst_workload,
+               substrate_pages, burst_pad_ms, docs, search_index, expected);
+  BurstRun priority = RunBurst(serve::SchedulingPolicy::kPriorityDeadline,
+                               "priority", burst_workload, substrate_pages,
+                               burst_pad_ms, docs, search_index, expected);
+  Table table({"policy", "completed", "inter p50", "inter p99", "std p99",
+               "batch p99", "bit-exact"});
+  for (const BurstRun* run : {&fifo, &priority}) {
+    table.AddRow({run->policy, std::to_string(run->completed),
+                  Fmt(run->p50_ms[0], 2), Fmt(run->p99_ms[0], 2),
+                  Fmt(run->p99_ms[1], 2), Fmt(run->p99_ms[2], 2),
+                  run->mismatches == 0 ? "yes" : "NO"});
+  }
+  std::printf("=== Burst replay: %zu events, pad %.1f ms (ms) ===\n%s",
+              burst_workload.events.size(), burst_pad_ms,
+              table.ToString().c_str());
+  const double p99_ratio =
+      fifo.p99_ms[0] > 0.0 ? priority.p99_ms[0] / fifo.p99_ms[0] : 1.0;
+  std::printf("interactive p99, priority/fifo: %.3f (want <= %.2f)\n",
+              p99_ratio, kP99Improvement);
+
+  // --- Experiment 2: Zipfian cache mix, closed loop. ---
+  workload::WorkloadOptions cache_options;
+  cache_options.seed = 11;
+  cache_options.num_events = cache_events;
+  cache_options.duration_ms = 1000.0;
+  cache_options.zipf_s = 1.1;
+  cache_options.closed_loop_clients = 4;
+  const workload::Workload cache_workload =
+      workload::GenerateWorkload(cache_options, docs.size(), search_pool);
+  CacheRun uncached = RunCacheMix(0, cache_workload,
+                                  cache_options.closed_loop_clients,
+                                  substrate_pages, docs);
+  CacheRun cached = RunCacheMix(16u << 20, cache_workload,
+                                cache_options.closed_loop_clients,
+                                substrate_pages, docs);
+  uint64_t cache_mismatches = 0;
+  for (size_t i = 0; i < cache_workload.events.size(); ++i) {
+    if (!SameAnswer(cached.responses[i], uncached.responses[i])) {
+      ++cache_mismatches;
+    }
+  }
+  std::printf(
+      "cache mix (%zu events, zipf %.1f): hit rate %.3f (floor %.2f), "
+      "%llu hits / %llu misses / %llu evictions, vs-uncached mismatches "
+      "%llu\n",
+      cache_workload.events.size(), cache_options.zipf_s, cached.hit_rate,
+      kHitRateFloor, static_cast<unsigned long long>(cached.cache_hits),
+      static_cast<unsigned long long>(cached.cache_misses),
+      static_cast<unsigned long long>(cached.cache_evictions),
+      static_cast<unsigned long long>(cache_mismatches));
+
+  // --- Experiment 3: refresh storm with degradation. ---
+  workload::WorkloadOptions storm_options;
+  storm_options.seed = 23;
+  storm_options.num_events = 512;
+  storm_options.duration_ms = 1000.0;
+  storm_options.zipf_s = 1.0;
+  storm_options.arrival.shape = workload::ArrivalShape::kDiurnal;
+  storm_options.classes = {
+      {"interactive", serve::QueryPriority::kInteractive, 0.3, 0.5, 40.0},
+      {"standard", serve::QueryPriority::kStandard, 0.7, 0.5, 0.0},
+  };
+  const workload::Workload storm_workload =
+      workload::GenerateWorkload(storm_options, docs.size(), search_pool);
+  StormResult storm =
+      RunStorm(storm_workload, storm_batches, batch_pages, substrate_pages,
+               docs, search_index, expected);
+  std::printf(
+      "refresh storm (%zu swaps, degrade on): %llu responses, %llu torn, "
+      "%llu stale-unflagged, %llu stale served, %llu truncated, %llu "
+      "deadline-missed -> %s\n",
+      storm_batches, static_cast<unsigned long long>(storm.responses),
+      static_cast<unsigned long long>(storm.torn),
+      static_cast<unsigned long long>(storm.stale_unflagged),
+      static_cast<unsigned long long>(storm.stale_served),
+      static_cast<unsigned long long>(storm.degraded),
+      static_cast<unsigned long long>(storm.deadline_missed),
+      storm.ok ? "ok" : "FAIL");
+
+  WriteJson("BENCH_workload.json", hardware, smoke, docs.size(),
+            burst_workload, burst_options.classes, fifo, priority,
+            p99_ratio, cached, cache_mismatches, storm);
+  std::printf("machine-readable results written to BENCH_workload.json\n");
+
+  bool failed = false;
+  for (const BurstRun* run : {&fifo, &priority}) {
+    if (run->mismatches != 0) {
+      std::fprintf(stderr, "FAIL: %llu non-bit-exact responses (%s)\n",
+                   static_cast<unsigned long long>(run->mismatches),
+                   run->policy.c_str());
+      failed = true;
+    }
+    if (!run->accounting_ok) {
+      std::fprintf(stderr, "FAIL: accounting identity broken (%s)\n",
+                   run->policy.c_str());
+      failed = true;
+    }
+  }
+  if (cache_mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu cache-on answers differ from cache-off\n",
+                 static_cast<unsigned long long>(cache_mismatches));
+    failed = true;
+  }
+  if (cached.hit_rate < kHitRateFloor) {
+    std::fprintf(stderr, "FAIL: cache hit rate %.3f below floor %.2f\n",
+                 cached.hit_rate, kHitRateFloor);
+    failed = true;
+  }
+  if (!cached.accounting_ok || !uncached.accounting_ok) {
+    std::fprintf(stderr, "FAIL: accounting identity broken (cache mix)\n");
+    failed = true;
+  }
+  if (!storm.ok) {
+    std::fprintf(stderr, "FAIL: refresh storm gate (see above)\n");
+    failed = true;
+  }
+  if (!smoke && p99_ratio > kP99Improvement) {
+    std::fprintf(stderr,
+                 "FAIL: priority scheduling did not protect interactive "
+                 "p99 under burst (%.3f > %.2f)\n",
+                 p99_ratio, kP99Improvement);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

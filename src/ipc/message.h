@@ -122,6 +122,14 @@ struct StatsResponse {
   uint64_t deadline_exceeded = 0;
   uint64_t failed = 0;
   uint64_t completed = 0;
+  uint64_t deadline_missed = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes_used = 0;
+  uint64_t stale_served = 0;
+  uint64_t degraded_truncated = 0;
   uint64_t refreshes = 0;
   uint64_t refresh_failures = 0;
   uint64_t epochs_published = 0;
@@ -130,6 +138,9 @@ struct StatsResponse {
   util::Histogram service_us;
   util::Histogram service_cpu_us;
   util::Histogram total_us;
+  /// Per-scheduling-class total latency (serve::kNumQueryPriorities wide;
+  /// a plain array here because ipc does not include serve headers).
+  util::Histogram priority_total_us[3];
   util::Histogram distance_comps;
 
   void EncodeTo(std::string* out) const;

@@ -1,0 +1,89 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+namespace cafc::serve {
+
+ResultCache::ResultCache(size_t byte_budget) : byte_budget_(byte_budget) {}
+
+size_t ResultCache::EntryBytes(const std::string& key,
+                               const CachedAnswer& answer) {
+  // Estimate: key bytes + hit payload + fixed bookkeeping (list node, map
+  // slot, answer struct). Precision does not matter — only that the total
+  // tracks real usage closely enough for the budget to bound it.
+  constexpr size_t kFixedOverhead = 128;
+  return key.size() +
+         answer.hits.size() * sizeof(DatabaseDirectory::SearchHit) +
+         kFixedOverhead;
+}
+
+bool ResultCache::Lookup(const std::string& key, uint64_t snapshot_version,
+                         CachedAnswer* out) {
+  if (byte_budget_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end() ||
+      it->second->answer.snapshot_version != snapshot_version) {
+    // A resident entry from another snapshot is a miss on the fresh path:
+    // the publish that bumped the version invalidated it wholesale. It
+    // stays resident for LookupAny until LRU pressure or a recompute of
+    // its key replaces it.
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++stats_.hits;
+  *out = it->second->answer;
+  return true;
+}
+
+bool ResultCache::LookupAny(const std::string& key, CachedAnswer* out) {
+  if (byte_budget_ == 0) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  ++stats_.stale_hits;
+  *out = it->second->answer;
+  return true;
+}
+
+void ResultCache::Insert(const std::string& key, CachedAnswer answer) {
+  if (byte_budget_ == 0) return;
+  const size_t bytes = EntryBytes(key, answer);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.inserts;
+  auto it = index_.find(key);
+  if (it != index_.end()) EraseLocked(it->second);
+  if (bytes > byte_budget_) return;  // would evict everything else
+  lru_.push_front(Entry{key, std::move(answer), bytes});
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+  while (bytes_ > byte_budget_ && lru_.size() > 1) {
+    auto last = std::prev(lru_.end());
+    EraseLocked(last);
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+void ResultCache::EraseLocked(LruList::iterator it) {
+  bytes_ -= it->bytes;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ResultCacheStats out = stats_;
+  out.bytes = bytes_;
+  out.entries = lru_.size();
+  return out;
+}
+
+}  // namespace cafc::serve

@@ -1,0 +1,114 @@
+#ifndef CAFC_SERVE_RESULT_CACHE_H_
+#define CAFC_SERVE_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/directory.h"
+
+namespace cafc::serve {
+
+/// One cached answer, tagged with the snapshot it was computed against.
+/// Exactly one of `classification` / `hits` is meaningful (mirrors
+/// QueryResponse).
+struct CachedAnswer {
+  DatabaseDirectory::Classification classification;
+  std::vector<DatabaseDirectory::SearchHit> hits;
+  bool is_search = false;
+  /// Publish sequence + corpus epoch of the snapshot that computed this
+  /// answer. The freshness tag: a fresh lookup must match the currently
+  /// published version exactly.
+  uint64_t snapshot_version = 0;
+  uint64_t corpus_epoch = 0;
+};
+
+/// Lifetime counters + size gauges of one cache.
+struct ResultCacheStats {
+  uint64_t hits = 0;        ///< fresh lookups that matched
+  uint64_t misses = 0;      ///< fresh lookups that did not
+  uint64_t stale_hits = 0;  ///< any-version lookups that matched
+  uint64_t evictions = 0;   ///< entries dropped to hold the byte budget
+  uint64_t inserts = 0;     ///< Insert calls (replacements included)
+  uint64_t bytes = 0;       ///< estimated resident bytes now (gauge)
+  uint64_t entries = 0;     ///< entries resident now (gauge)
+};
+
+/// \brief Byte-budgeted LRU cache of Classify/Search answers, keyed by the
+/// request's exact content and tagged by snapshot version.
+///
+/// Keys are *exact* — the full canonical encoding of the request (terms,
+/// locations, config, top_k), never a lossy hash — so a cache hit is
+/// bit-identical to recomputing by construction; there is no collision
+/// mode in which the cache can serve a wrong answer.
+///
+/// Epoch keying: every entry records the snapshot version that computed
+/// it. `Lookup` (the fresh path) requires an exact version match, so a
+/// snapshot swap invalidates the whole cache wholesale in O(1) — nothing
+/// is swept; superseded entries age out through LRU pressure or are
+/// overwritten when their key is next recomputed. `LookupAny` is the
+/// degradation path: it returns whatever version is resident so the
+/// server can answer from a stale snapshot under overload — the caller
+/// must flag such responses stale (DegradePolicy, QueryResponse::stale).
+///
+/// Thread-safe; one mutex (the payload copy is small — an entry index or
+/// a top-k hit list).
+class ResultCache {
+ public:
+  /// `byte_budget` bounds the estimated resident size (keys + payloads +
+  /// bookkeeping). 0 disables the cache: lookups miss, inserts drop.
+  explicit ResultCache(size_t byte_budget);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Fresh lookup: hit only when the resident entry was computed at
+  /// exactly `snapshot_version`. Refreshes LRU position on hit.
+  bool Lookup(const std::string& key, uint64_t snapshot_version,
+              CachedAnswer* out);
+
+  /// Stale-tolerant lookup for the overload path: any resident version.
+  /// Does not refresh LRU position (a stale answer should not outcompete
+  /// fresh entries for residency).
+  bool LookupAny(const std::string& key, CachedAnswer* out);
+
+  /// Inserts (or replaces) the entry for `key`, then evicts LRU entries
+  /// until the estimate fits the budget. An answer too large for the
+  /// whole budget is dropped.
+  void Insert(const std::string& key, CachedAnswer answer);
+
+  /// Drops every entry (counters survive).
+  void Clear();
+
+  ResultCacheStats Stats() const;
+
+  size_t byte_budget() const { return byte_budget_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    CachedAnswer answer;
+    size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  static size_t EntryBytes(const std::string& key,
+                           const CachedAnswer& answer);
+  /// Unlinks + erases one entry; caller holds the mutex.
+  void EraseLocked(LruList::iterator it);
+
+  const size_t byte_budget_;
+  mutable std::mutex mutex_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> index_;
+  uint64_t bytes_ = 0;
+  ResultCacheStats stats_;
+};
+
+}  // namespace cafc::serve
+
+#endif  // CAFC_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,165 @@
+#ifndef CAFC_SERVE_SCHEDULER_H_
+#define CAFC_SERVE_SCHEDULER_H_
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cafc::serve {
+
+/// Scheduling class of a request. Lower value = more urgent; the
+/// priority-deadline policy always drains a higher band before touching a
+/// lower one. The three bands mirror the classic serving split:
+/// interactive user traffic, standard API traffic, background/batch work.
+enum class QueryPriority : uint8_t {
+  kInteractive = 0,  ///< user-facing, latency-sensitive
+  kStandard = 1,     ///< default API traffic
+  kBatch = 2,        ///< background refill, crawler probes, analytics
+};
+
+inline constexpr size_t kNumQueryPriorities = 3;
+
+/// Short lowercase name ("high" / "normal" / "low") for CLI and JSON
+/// surfaces.
+inline const char* QueryPriorityName(QueryPriority priority) {
+  switch (priority) {
+    case QueryPriority::kInteractive:
+      return "high";
+    case QueryPriority::kStandard:
+      return "normal";
+    case QueryPriority::kBatch:
+      return "low";
+  }
+  return "normal";
+}
+
+/// Parses a priority name as printed by QueryPriorityName. Returns false
+/// on an unknown name (`*out` untouched) — the CLI turns that into a
+/// usage error instead of a silent default.
+inline bool ParseQueryPriority(std::string_view name, QueryPriority* out) {
+  if (name == "high") {
+    *out = QueryPriority::kInteractive;
+    return true;
+  }
+  if (name == "normal") {
+    *out = QueryPriority::kStandard;
+    return true;
+  }
+  if (name == "low") {
+    *out = QueryPriority::kBatch;
+    return true;
+  }
+  return false;
+}
+
+/// How the worker pool orders the admitted backlog.
+enum class SchedulingPolicy {
+  /// One FIFO for everything — arrival order, priorities ignored. The
+  /// pre-workload-engine behavior, and still the default.
+  kFifo,
+  /// Strict priority bands; earliest absolute deadline first within a
+  /// band (requests without a deadline sort after every deadlined one,
+  /// FIFO among themselves). Expired requests are still answered
+  /// kDeadlineExceeded at dequeue, before any service work.
+  kPriorityDeadline,
+};
+
+/// Graceful-degradation knobs: what the server does under overload
+/// instead of answering kUnavailable. Both modes mark the response
+/// (`degraded` / `stale`) so a caller can always tell a full fresh answer
+/// from a shed-avoiding one.
+struct DegradePolicy {
+  bool enabled = false;
+  /// Queue-depth fraction of capacity above which Search requests are
+  /// admitted in truncated form (top_k clamped to `truncated_top_k`).
+  double queue_high_water = 0.75;
+  /// Effective top_k of a degraded Search admission.
+  size_t truncated_top_k = 1;
+  /// When the queue is at capacity, serve a result-cache entry from an
+  /// older snapshot (flagged `stale`) instead of rejecting, when one
+  /// exists. Requires a configured result cache to ever fire.
+  bool serve_stale = true;
+};
+
+/// \brief Policy-ordered backlog of admitted requests — the data structure
+/// behind the DirectoryServer's bounded MPMC queue.
+///
+/// Not thread-safe by itself: the server mutates it under its queue mutex.
+/// kFifo keeps one deque (arrival order); kPriorityDeadline keeps one
+/// binary heap per priority band ordered by (absolute deadline, admission
+/// sequence), so Pop is O(log n) and always yields the most urgent
+/// admitted request. Separated from the server so the ordering rules are
+/// unit-testable without threads.
+template <typename Item>
+class RequestScheduler {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit RequestScheduler(SchedulingPolicy policy) : policy_(policy) {}
+
+  /// Admits one item. `deadline` is absolute (TimePoint::max() = none).
+  void Push(QueryPriority priority, TimePoint deadline, Item item) {
+    Entry entry{deadline, next_seq_++, std::move(item)};
+    if (policy_ == SchedulingPolicy::kFifo) {
+      fifo_.push_back(std::move(entry));
+    } else {
+      std::vector<Entry>& band = bands_[static_cast<size_t>(priority)];
+      band.push_back(std::move(entry));
+      std::push_heap(band.begin(), band.end(), WorseThan);
+    }
+    ++size_;
+  }
+
+  /// Removes the most urgent item per the policy. False when empty.
+  bool Pop(Item* out) {
+    if (size_ == 0) return false;
+    --size_;
+    if (policy_ == SchedulingPolicy::kFifo) {
+      *out = std::move(fifo_.front().item);
+      fifo_.pop_front();
+      return true;
+    }
+    for (std::vector<Entry>& band : bands_) {
+      if (band.empty()) continue;
+      std::pop_heap(band.begin(), band.end(), WorseThan);
+      *out = std::move(band.back().item);
+      band.pop_back();
+      return true;
+    }
+    return false;  // unreachable: size_ was > 0
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Entry {
+    TimePoint deadline;
+    uint64_t seq = 0;
+    Item item;
+  };
+
+  /// Heap order: the top is the entry with the earliest deadline, ties
+  /// broken by admission order — so `a` sorts below `b` when it is
+  /// strictly less urgent.
+  static bool WorseThan(const Entry& a, const Entry& b) {
+    if (a.deadline != b.deadline) return a.deadline > b.deadline;
+    return a.seq > b.seq;
+  }
+
+  SchedulingPolicy policy_;
+  uint64_t next_seq_ = 0;
+  size_t size_ = 0;
+  std::deque<Entry> fifo_;
+  std::array<std::vector<Entry>, kNumQueryPriorities> bands_;
+};
+
+}  // namespace cafc::serve
+
+#endif  // CAFC_SERVE_SCHEDULER_H_

@@ -6,6 +6,8 @@
 #include <memory>
 #include <utility>
 
+#include "util/varint.h"
+
 namespace cafc::serve {
 namespace {
 
@@ -31,15 +33,31 @@ QueryResponse Rejected(Status status) {
   return response;
 }
 
+/// Absolute deadline of a request admitted `now` (max() when none).
+std::chrono::steady_clock::time_point DeadlineFor(
+    const QueryRequest& request,
+    std::chrono::steady_clock::time_point now) {
+  if (request.deadline_ms <= 0.0) {
+    return std::chrono::steady_clock::time_point::max();
+  }
+  return now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       request.deadline_ms));
+}
+
 }  // namespace
 
 DirectoryServer::DirectoryServer(DatabaseDirectory directory, Corpus corpus,
                                  DirectoryServerOptions options)
     : options_(options),
       master_(std::move(directory)),
-      corpus_(std::move(corpus)) {
+      corpus_(std::move(corpus)),
+      queue_(options.scheduling) {
   options_.workers = std::max<size_t>(1, options_.workers);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_bytes);
+  }
   // Version 1: the directory the server was handed, frozen. Published
   // before any thread starts, so the first dequeue already sees it.
   Publish(std::make_shared<const DirectorySnapshot>(
@@ -54,9 +72,12 @@ DirectoryServer::DirectoryServer(DatabaseDirectory directory, Corpus corpus,
 DirectoryServer::DirectoryServer(
     std::shared_ptr<const storage::MappedSnapshot> snapshot,
     DirectoryServerOptions options)
-    : options_(options), read_only_(true) {
+    : options_(options), read_only_(true), queue_(options.scheduling) {
   options_.workers = std::max<size_t>(1, options_.workers);
   options_.queue_capacity = std::max<size_t>(1, options_.queue_capacity);
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_bytes);
+  }
   // The mapped snapshot is the directory: no clone, no re-index — the
   // centroid index was streamed out of the file at Open, and the page
   // profiles stay behind the mmap. There is no refresh master and no
@@ -86,10 +107,70 @@ void DirectoryServer::Publish(SnapshotPtr next) {
   live_.store(current_.get(), std::memory_order_release);
 }
 
+std::string DirectoryServer::CacheKey(const QueryRequest& request) {
+  std::string key;
+  switch (request.kind) {
+    case QueryKind::kSearch:
+      key.push_back('S');
+      util::PutVarint64(&key, request.top_k);
+      key.append(request.query);
+      return key;
+    case QueryKind::kClassify: {
+      // Canonical content: everything ClassifyDocument can read, as
+      // (location, term-string) occurrences resolved through the
+      // document's dictionary — two documents with different interning
+      // but identical text hash to the same key, and two different
+      // documents never collide (the key is the content, not a digest).
+      if (request.doc.dictionary == nullptr) return std::string();
+      key.push_back('C');
+      key.push_back(static_cast<char>(request.config));
+      const auto append_terms =
+          [&key, &request](const std::vector<vsm::InternedTerm>& terms) {
+            util::PutVarint64(&key, terms.size());
+            for (const vsm::InternedTerm& occurrence : terms) {
+              const std::string& term = request.doc.Term(occurrence);
+              key.push_back(static_cast<char>(occurrence.location));
+              util::PutVarint64(&key, term.size());
+              key.append(term);
+            }
+          };
+      append_terms(request.doc.form_terms);
+      append_terms(request.doc.page_terms);
+      return key;
+    }
+    case QueryKind::kClassifyStored:
+      // Ordinal-addressed: within one snapshot version the ordinal names
+      // one page, and the version tag scopes the entry, so this is as
+      // exact as the content keys above.
+      key.push_back('P');
+      key.push_back(static_cast<char>(request.config));
+      util::PutVarint64(&key, request.page_ordinal);
+      return key;
+  }
+  return std::string();
+}
+
+QueryResponse DirectoryServer::FromCache(const CachedAnswer& answer,
+                                         bool stale) const {
+  QueryResponse response;
+  response.snapshot_version = answer.snapshot_version;
+  response.corpus_epoch = answer.corpus_epoch;
+  if (answer.is_search) {
+    response.hits = answer.hits;
+  } else {
+    response.classification = answer.classification;
+  }
+  response.cache_hit = true;
+  response.stale = stale;
+  return response;
+}
+
 std::future<QueryResponse> DirectoryServer::Submit(QueryRequest request) {
   Pending pending;
   pending.request = std::move(request);
   pending.submitted = std::chrono::steady_clock::now();
+  pending.deadline = DeadlineFor(pending.request, pending.submitted);
+  if (cache_ != nullptr) pending.cache_key = CacheKey(pending.request);
   std::future<QueryResponse> future = pending.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -101,7 +182,35 @@ std::future<QueryResponse> DirectoryServer::Submit(QueryRequest request) {
           Rejected(Status::Unavailable("server is shut down")));
       return future;
     }
+    if (!pending.cache_key.empty()) {
+      // Fresh-hit fast path: the entry must have been computed against
+      // exactly the currently published snapshot, so the answer is
+      // bit-identical to what a worker would produce — served inline,
+      // never queued. A publish invalidates all older entries wholesale
+      // because their version tags stop matching.
+      const DirectorySnapshot* live = live_.load(std::memory_order_acquire);
+      CachedAnswer answer;
+      if (live != nullptr &&
+          cache_->Lookup(pending.cache_key, live->version(), &answer)) {
+        ++stats_.cache_hits;
+        pending.promise.set_value(FromCache(answer, /*stale=*/false));
+        return future;
+      }
+      ++stats_.cache_misses;
+    }
     if (queue_.size() >= options_.queue_capacity) {
+      // Overload. Degraded-but-useful beats kUnavailable when permitted:
+      // a resident answer from a superseded snapshot, explicitly flagged
+      // stale so the caller always knows it is not current.
+      if (options_.degrade.enabled && options_.degrade.serve_stale &&
+          !pending.cache_key.empty()) {
+        CachedAnswer answer;
+        if (cache_->LookupAny(pending.cache_key, &answer)) {
+          ++stats_.stale_served;
+          pending.promise.set_value(FromCache(answer, /*stale=*/true));
+          return future;
+        }
+      }
       // Admission control: fail fast instead of blocking the caller. The
       // transient code tells retry policies this is back-pressure, not a
       // bad request.
@@ -111,8 +220,21 @@ std::future<QueryResponse> DirectoryServer::Submit(QueryRequest request) {
           std::to_string(options_.queue_capacity) + ")")));
       return future;
     }
+    if (options_.degrade.enabled &&
+        pending.request.kind == QueryKind::kSearch &&
+        pending.request.top_k > options_.degrade.truncated_top_k &&
+        static_cast<double>(queue_.size()) >=
+            options_.degrade.queue_high_water *
+                static_cast<double>(options_.queue_capacity)) {
+      // Above the high-water mark: admit, but serve a truncated ranking
+      // (an exact prefix of the full one) and flag it degraded.
+      pending.degrade_truncate = true;
+      ++stats_.degraded_truncated;
+    }
     ++stats_.accepted;
-    queue_.push_back(std::move(pending));
+    const QueryPriority priority = pending.request.priority;
+    const auto deadline = pending.deadline;
+    queue_.Push(priority, deadline, std::move(pending));
     stats_.queue_peak = std::max<uint64_t>(stats_.queue_peak, queue_.size());
   }
   queue_cv_.notify_one();
@@ -175,16 +297,14 @@ void DirectoryServer::WorkerLoop() {
       std::unique_lock<std::mutex> lock(queue_mutex_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping, and fully drained
-      pending = std::move(queue_.front());
-      queue_.pop_front();
+      queue_.Pop(&pending);
     }
     const auto dequeued = std::chrono::steady_clock::now();
     const double queue_ms = MsSince(pending.submitted, dequeued);
     QueryResponse response;
     double service_cpu_us = 0.0;
     bool executed = false;
-    if (pending.request.deadline_ms > 0.0 &&
-        queue_ms > pending.request.deadline_ms) {
+    if (dequeued > pending.deadline) {
       // The budget burned while queued; executing now would hand the
       // caller an answer it already stopped waiting for.
       response = Rejected(Status::DeadlineExceeded(
@@ -192,6 +312,14 @@ void DirectoryServer::WorkerLoop() {
           " ms queued, budget " +
           std::to_string(pending.request.deadline_ms) + " ms"));
     } else {
+      if (pending.degrade_truncate) {
+        // Degraded admission: an exact prefix of the full ranking. The
+        // truncated request must not populate the cache (its key still
+        // names the caller's original top_k).
+        pending.request.top_k =
+            std::min(pending.request.top_k, options_.degrade.truncated_top_k);
+        pending.cache_key.clear();
+      }
       // Pin the snapshot once (a single wait-free acquire load); the
       // entire request runs against it even if a refresh publishes
       // mid-flight. Deferred reclamation keeps the pointee alive until
@@ -201,14 +329,31 @@ void DirectoryServer::WorkerLoop() {
                          *live_.load(std::memory_order_acquire));
       service_cpu_us = ThreadCpuUs() - cpu_before;
       executed = true;
+      response.degraded = pending.degrade_truncate;
     }
     const auto finished = std::chrono::steady_clock::now();
     response.queue_ms = queue_ms;
     response.service_ms = MsSince(dequeued, finished);
+    if (executed && response.status.ok() && finished > pending.deadline) {
+      // The deadline expired *during* service: the answer is complete,
+      // but late — stamped so it is never mistaken for on-time.
+      response.deadline_missed = true;
+    }
+    if (executed && response.status.ok() && !response.degraded &&
+        cache_ != nullptr && !pending.cache_key.empty()) {
+      CachedAnswer answer;
+      answer.is_search = pending.request.kind == QueryKind::kSearch;
+      answer.classification = response.classification;
+      answer.hits = response.hits;
+      answer.snapshot_version = response.snapshot_version;
+      answer.corpus_epoch = response.corpus_epoch;
+      cache_->Insert(pending.cache_key, std::move(answer));
+    }
     {
       std::lock_guard<std::mutex> stats(stats_mutex_);
       if (response.status.ok()) {
         ++stats_.completed;
+        if (response.deadline_missed) ++stats_.deadline_missed;
         stats_.distance_comps.Add(
             static_cast<double>(response.cost.centroids_scored));
       } else if (response.status.code() == StatusCode::kDeadlineExceeded) {
@@ -219,8 +364,11 @@ void DirectoryServer::WorkerLoop() {
       stats_.queue_us.Add(response.queue_ms * 1000.0);
       stats_.service_us.Add(response.service_ms * 1000.0);
       if (executed) stats_.service_cpu_us.Add(service_cpu_us);
-      stats_.total_us.Add((response.queue_ms + response.service_ms) *
-                          1000.0);
+      const double total_us =
+          (response.queue_ms + response.service_ms) * 1000.0;
+      stats_.total_us.Add(total_us);
+      stats_.priority_total_us[static_cast<size_t>(pending.request.priority)]
+          .Add(total_us);
     }
     pending.promise.set_value(std::move(response));
   }
@@ -308,6 +456,14 @@ void ServerStats::Merge(const ServerStats& other) {
   deadline_exceeded += other.deadline_exceeded;
   failed += other.failed;
   completed += other.completed;
+  deadline_missed += other.deadline_missed;
+  cache_hits += other.cache_hits;
+  cache_misses += other.cache_misses;
+  cache_evictions += other.cache_evictions;
+  cache_entries += other.cache_entries;
+  cache_bytes_used += other.cache_bytes_used;
+  stale_served += other.stale_served;
+  degraded_truncated += other.degraded_truncated;
   refreshes += other.refreshes;
   refresh_failures += other.refresh_failures;
   epochs_published += other.epochs_published;
@@ -316,6 +472,9 @@ void ServerStats::Merge(const ServerStats& other) {
   service_us.Merge(other.service_us);
   service_cpu_us.Merge(other.service_cpu_us);
   total_us.Merge(other.total_us);
+  for (size_t i = 0; i < kNumQueryPriorities; ++i) {
+    priority_total_us[i].Merge(other.priority_total_us[i]);
+  }
   distance_comps.Merge(other.distance_comps);
   mapped_storage = mapped_storage || other.mapped_storage;
   page_hits += other.page_hits;
@@ -332,6 +491,15 @@ ServerStats DirectoryServer::Stats() const {
   {
     std::lock_guard<std::mutex> stats(stats_mutex_);
     out = stats_;
+  }
+  // Cache size gauges and evictions live inside the cache (they change on
+  // worker inserts that never touch stats_mutex_); sampled here so one
+  // Stats() call is a consistent point-in-time view.
+  if (cache_ != nullptr) {
+    const ResultCacheStats cache_stats = cache_->Stats();
+    out.cache_evictions = cache_stats.evictions;
+    out.cache_entries = cache_stats.entries;
+    out.cache_bytes_used = cache_stats.bytes;
   }
   // Storage counters are sampled from the published snapshot's page store
   // after stats_mutex_ is released — snapshot() takes snapshot_mutex_, and

@@ -1,12 +1,14 @@
 #ifndef CAFC_SERVE_SERVER_H_
 #define CAFC_SERVE_SERVER_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -16,6 +18,8 @@
 #include "core/dataset.h"
 #include "core/directory.h"
 #include "core/form_page.h"
+#include "serve/result_cache.h"
+#include "serve/scheduler.h"
 #include "serve/snapshot.h"
 #include "util/histogram.h"
 #include "util/status.h"
@@ -50,6 +54,10 @@ struct QueryRequest {
   /// (checked at dequeue — admission is cheaper than cancellation). 0
   /// disables the deadline.
   double deadline_ms = 0.0;
+  /// Scheduling class. Ignored under SchedulingPolicy::kFifo; under
+  /// kPriorityDeadline a higher band is always drained first, and within
+  /// a band the earliest deadline wins.
+  QueryPriority priority = QueryPriority::kStandard;
 };
 
 /// The answer to one QueryRequest. Exactly one of
@@ -71,6 +79,22 @@ struct QueryResponse {
   /// How much of the snapshot's directory this query actually touched
   /// (centroid-index pruning effectiveness; see ServerStats).
   DirectoryQueryCost cost;
+  /// Answered out of the result cache (fresh or stale) — no directory
+  /// work happened and the request never queued.
+  bool cache_hit = false;
+  /// Degradation marker: this answer was computed against a snapshot
+  /// older than the one published when it was served (an overload-path
+  /// cache answer). Never set on the normal path — the "zero
+  /// stale-unflagged responses" invariant the workload bench gates.
+  bool stale = false;
+  /// Degradation marker: a Search admitted above the overload high-water
+  /// mark and served with top_k truncated to DegradePolicy::
+  /// truncated_top_k. The hits are an exact prefix of the full ranking.
+  bool degraded = false;
+  /// The deadline expired *during* service: the answer is complete and
+  /// correct, but late. Stamped so a late answer is never silently
+  /// on-time (callers that already gave up can discard it).
+  bool deadline_missed = false;
 };
 
 /// Serving-layer knobs.
@@ -85,6 +109,16 @@ struct DirectoryServerOptions {
   double service_pad_ms = 0.0;
   /// Passed through to DatabaseDirectory::Refresh on every hot refresh.
   DirectoryRefreshOptions refresh;
+  /// Backlog ordering (kFifo reproduces the pre-workload-engine server).
+  SchedulingPolicy scheduling = SchedulingPolicy::kFifo;
+  /// Result-cache byte budget; 0 disables the cache entirely. Cached
+  /// answers are keyed by the request's exact content and the snapshot
+  /// version, so a hit is bit-identical to recomputing and a snapshot
+  /// swap invalidates wholesale.
+  size_t cache_bytes = 0;
+  /// Overload behavior: truncated top-k admissions and flagged stale
+  /// cache answers instead of pure kUnavailable shedding.
+  DegradePolicy degrade;
 };
 
 /// Monotonic counters + latency histograms of one server's lifetime.
@@ -97,7 +131,23 @@ struct ServerStats {
   uint64_t rejected_stopped = 0;   ///< kUnavailable: after Shutdown
   uint64_t deadline_exceeded = 0;  ///< kDeadlineExceeded at dequeue
   uint64_t failed = 0;             ///< executed but answered non-OK
-  uint64_t completed = 0;          ///< served OK
+  uint64_t completed = 0;          ///< served OK by a worker
+  /// Deadlines that expired *during* service: the response was still
+  /// delivered, stamped deadline_missed (completed counts it too).
+  uint64_t deadline_missed = 0;
+  /// Result-cache accounting. Hits are answered at Submit without
+  /// queueing, so they are counted here and not in accepted/completed:
+  /// submitted == accepted + rejections + cache_hits + stale_served.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;     ///< lookups that fell through to a worker
+  uint64_t cache_evictions = 0;  ///< entries dropped to hold cache_bytes
+  uint64_t cache_entries = 0;    ///< entries resident now (gauge)
+  uint64_t cache_bytes_used = 0; ///< estimated resident bytes now (gauge)
+  /// Degradation accounting: overload answers served from an older
+  /// snapshot's cache entry (response.stale) and Search admissions
+  /// truncated above the high-water mark (response.degraded).
+  uint64_t stale_served = 0;
+  uint64_t degraded_truncated = 0;
   uint64_t refreshes = 0;          ///< hot refreshes applied
   uint64_t refresh_failures = 0;   ///< refreshes rejected by the library
   uint64_t epochs_published = 0;   ///< snapshot swaps (excludes the initial)
@@ -111,6 +161,11 @@ struct ServerStats {
   /// gates on, immune to wall-clock noise from co-scheduled workers.
   util::Histogram service_cpu_us;
   util::Histogram total_us;
+  /// Submit -> response-ready microseconds, split by scheduling class —
+  /// the distributions the workload bench compares across policies
+  /// (priority scheduling must protect the interactive band's p99 under
+  /// burst). Indexed by QueryPriority; covers worker-served requests.
+  std::array<util::Histogram, kNumQueryPriorities> priority_total_us;
   /// Distance computations (exact centroid similarity evaluations) per
   /// served query — the count the inverted centroid index keeps sublinear
   /// in the number of sections. A full scan would put every query at
@@ -230,10 +285,25 @@ class DirectoryServer {
     QueryRequest request;
     std::promise<QueryResponse> promise;
     std::chrono::steady_clock::time_point submitted;
+    /// Absolute deadline (max() = none); precomputed at Submit so the
+    /// scheduler and the dequeue/service checks agree on one instant.
+    std::chrono::steady_clock::time_point deadline;
+    /// Canonical cache key (empty when the cache is off or the request
+    /// kind is uncacheable), computed once at Submit.
+    std::string cache_key;
+    /// Admitted above the overload high-water mark: serve with top_k
+    /// truncated to DegradePolicy::truncated_top_k and flag degraded.
+    bool degrade_truncate = false;
   };
 
   void WorkerLoop();
   void RefreshLoop();
+  /// Canonical content key for the result cache: a byte-exact encoding of
+  /// everything Execute reads from the request (never a lossy hash, so
+  /// equal keys imply identical answers). Empty for uncacheable kinds.
+  static std::string CacheKey(const QueryRequest& request);
+  /// Builds the response for a cache answer found at Submit time.
+  QueryResponse FromCache(const CachedAnswer& answer, bool stale) const;
   /// Executes one admitted request against a pinned snapshot.
   QueryResponse Execute(const QueryRequest& request,
                         const DirectorySnapshot& snap) const;
@@ -260,8 +330,13 @@ class DirectoryServer {
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  bool stopping_ = false;  // guarded by queue_mutex_
+  RequestScheduler<Pending> queue_;  // guarded by queue_mutex_
+  bool stopping_ = false;            // guarded by queue_mutex_
+
+  /// Epoch-keyed result cache (null when options_.cache_bytes == 0).
+  /// Thread-safe on its own mutex; Submit consults it under queue_mutex_
+  /// (queue -> cache lock order), workers insert without queue_mutex_.
+  std::unique_ptr<ResultCache> cache_;
 
   std::mutex refresh_mutex_;
   std::condition_variable refresh_cv_;

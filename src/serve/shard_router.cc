@@ -4,7 +4,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/partition.h"
 #include "serve/shard_service.h"
+#include "web/url.h"
 
 namespace cafc::serve {
 namespace {
@@ -38,8 +40,9 @@ void FinishStatus(RouterResponse* response, size_t answered) {
 }  // namespace
 
 ShardRouter::ShardRouter(
-    std::vector<std::unique_ptr<ipc::ShardClient>> shards)
-    : shards_(std::move(shards)) {}
+    std::vector<std::unique_ptr<ipc::ShardClient>> shards,
+    RouterOptions options)
+    : shards_(std::move(shards)), options_(options) {}
 
 ShardRouter::~ShardRouter() { Close(); }
 
@@ -49,6 +52,28 @@ void ShardRouter::Close() {
   }
 }
 
+RouterResponse ShardRouter::ClassifyOnShard(
+    size_t shard, const ipc::ClassifyRequest& request) {
+  RouterResponse response;
+  response.fast_path = true;
+  response.shards.resize(1);
+  response.shards[0].shard_id = static_cast<uint32_t>(shard);
+  Result<uint64_t> inflight = shards_[shard]->SendClassify(request);
+  Result<ipc::ClassifyResponse> result =
+      inflight.ok() ? shards_[shard]->AwaitClassify(*inflight)
+                    : Result<ipc::ClassifyResponse>(inflight.status());
+  size_t answered = 0;
+  if (Gather(result, &response.shards[0], &response.partial)) {
+    ++answered;
+    if (result->best.entry >= 0) {
+      response.classification.entry = static_cast<int>(result->best.entry);
+      response.classification.similarity = result->best.similarity;
+    }
+  }
+  FinishStatus(&response, answered);
+  return response;
+}
+
 RouterResponse ShardRouter::Classify(const forms::FormPageDocument& doc,
                                      ContentConfig config,
                                      double deadline_ms) {
@@ -56,6 +81,16 @@ RouterResponse ShardRouter::Classify(const forms::FormPageDocument& doc,
   request.doc = ipc::WireDocument::FromDocument(doc);
   request.config = config;
   request.deadline_ms = deadline_ms;
+
+  if (options_.classify_fast_path && !doc.url.empty() &&
+      !shards_.empty()) {
+    // One RPC to the shard that owns the page's site. Exact for corpus
+    // pages (see RouterOptions::classify_fast_path); URL-less documents
+    // fall through to the scatter below.
+    const size_t owner =
+        ShardForSite(web::SiteOf(doc.url), shards_.size());
+    return ClassifyOnShard(owner, request);
+  }
 
   RouterResponse response;
   response.shards.resize(shards_.size());

@@ -27,21 +27,43 @@ struct ShardEcho {
   Status status;
 };
 
-/// A scatter-gathered answer. `shards` always has one echo per configured
-/// shard, in shard order — degradation is explicit: a dead shard is a
-/// non-OK echo plus `partial = true`, never a silently shorter result.
+/// A scatter-gathered answer. `shards` always has one echo per *queried*
+/// shard, in shard order — every configured shard on the scatter path,
+/// exactly the owning shard on the classify fast path (`fast_path` true).
+/// Degradation is explicit: a dead shard is a non-OK echo plus
+/// `partial = true`, never a silently shorter result.
 struct RouterResponse {
   /// OK when at least one shard answered; the first shard error when
   /// none did.
   Status status;
-  /// True when one or more shards did not contribute (the merged result
-  /// covers only the live shards' sections).
+  /// True when one or more queried shards did not contribute (the merged
+  /// result covers only the live shards' sections).
   bool partial = false;
+  /// True when this Classify was routed to the single owning shard via
+  /// the site partitioner instead of scatter-gathered.
+  bool fast_path = false;
   std::vector<ShardEcho> shards;
   /// Classify: the winning *global* section.
   DatabaseDirectory::Classification classification;
   /// Search: merged ranking over global sections.
   std::vector<DatabaseDirectory::SearchHit> hits;
+};
+
+/// Router behavior knobs.
+struct RouterOptions {
+  /// Route URL-carrying Classify requests to the single owning shard
+  /// (`Fnv1a64(site) % num_shards`) instead of scatter-gathering — one
+  /// RPC instead of N, the first step off the classify scaling plateau.
+  ///
+  /// Exact for pages of the served corpus: the partitioner hosts every
+  /// section with at least one member from the owner's sites on the
+  /// owner, and a corpus page's best-scoring section contains the page
+  /// as a member, so the owner's local maximum *is* the global maximum
+  /// (bit-identical, verified against the scatter oracle in tests). For
+  /// URLs outside the corpus the owner may not host the globally best
+  /// section, so the answer can differ — hence default off; URL-less
+  /// requests always scatter.
+  bool classify_fast_path = false;
 };
 
 /// \brief The router layer: scatter-gathers Classify/Search across shard
@@ -65,7 +87,8 @@ class ShardRouter {
  public:
   /// One client per shard, in shard-id order.
   explicit ShardRouter(
-      std::vector<std::unique_ptr<ipc::ShardClient>> shards);
+      std::vector<std::unique_ptr<ipc::ShardClient>> shards,
+      RouterOptions options = {});
   ~ShardRouter();
 
   ShardRouter(const ShardRouter&) = delete;
@@ -95,7 +118,12 @@ class ShardRouter {
   void Close();
 
  private:
+  /// Single-shard classify of the fast path.
+  RouterResponse ClassifyOnShard(size_t shard,
+                                 const ipc::ClassifyRequest& request);
+
   std::vector<std::unique_ptr<ipc::ShardClient>> shards_;
+  RouterOptions options_;
 };
 
 }  // namespace cafc::serve

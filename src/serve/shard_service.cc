@@ -13,6 +13,14 @@ ipc::StatsResponse ToWireStats(const ServerStats& stats) {
   wire.deadline_exceeded = stats.deadline_exceeded;
   wire.failed = stats.failed;
   wire.completed = stats.completed;
+  wire.deadline_missed = stats.deadline_missed;
+  wire.cache_hits = stats.cache_hits;
+  wire.cache_misses = stats.cache_misses;
+  wire.cache_evictions = stats.cache_evictions;
+  wire.cache_entries = stats.cache_entries;
+  wire.cache_bytes_used = stats.cache_bytes_used;
+  wire.stale_served = stats.stale_served;
+  wire.degraded_truncated = stats.degraded_truncated;
   wire.refreshes = stats.refreshes;
   wire.refresh_failures = stats.refresh_failures;
   wire.epochs_published = stats.epochs_published;
@@ -21,6 +29,9 @@ ipc::StatsResponse ToWireStats(const ServerStats& stats) {
   wire.service_us = stats.service_us;
   wire.service_cpu_us = stats.service_cpu_us;
   wire.total_us = stats.total_us;
+  for (size_t i = 0; i < kNumQueryPriorities; ++i) {
+    wire.priority_total_us[i] = stats.priority_total_us[i];
+  }
   wire.distance_comps = stats.distance_comps;
   return wire;
 }
@@ -34,6 +45,14 @@ ServerStats FromWireStats(const ipc::StatsResponse& wire) {
   stats.deadline_exceeded = wire.deadline_exceeded;
   stats.failed = wire.failed;
   stats.completed = wire.completed;
+  stats.deadline_missed = wire.deadline_missed;
+  stats.cache_hits = wire.cache_hits;
+  stats.cache_misses = wire.cache_misses;
+  stats.cache_evictions = wire.cache_evictions;
+  stats.cache_entries = wire.cache_entries;
+  stats.cache_bytes_used = wire.cache_bytes_used;
+  stats.stale_served = wire.stale_served;
+  stats.degraded_truncated = wire.degraded_truncated;
   stats.refreshes = wire.refreshes;
   stats.refresh_failures = wire.refresh_failures;
   stats.epochs_published = wire.epochs_published;
@@ -42,6 +61,9 @@ ServerStats FromWireStats(const ipc::StatsResponse& wire) {
   stats.service_us = wire.service_us;
   stats.service_cpu_us = wire.service_cpu_us;
   stats.total_us = wire.total_us;
+  for (size_t i = 0; i < kNumQueryPriorities; ++i) {
+    stats.priority_total_us[i] = wire.priority_total_us[i];
+  }
   stats.distance_comps = wire.distance_comps;
   return stats;
 }

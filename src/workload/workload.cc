@@ -1,0 +1,169 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace cafc::workload {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Expected arrivals in [0, t_ms) under the envelope — the cumulative
+/// rate function R(t). Only its *shape* matters: arrival offsets are
+/// placed at the evenly spaced quantiles of R, so any positive scaling
+/// cancels out. Units: events, with rates in queries per virtual second.
+double CumulativeArrivals(const ArrivalProcess& arrival, double duration_ms,
+                          double t_ms) {
+  const double base = arrival.base_rate_qps / 1000.0;  // events per ms
+  switch (arrival.shape) {
+    case ArrivalShape::kSteady:
+      return base * t_ms;
+    case ArrivalShape::kBurst: {
+      const double period = std::max(1e-9, arrival.burst_period_ms);
+      const double duty = std::clamp(arrival.burst_duty, 0.0, 1.0);
+      const double burst = arrival.burst_rate_qps / 1000.0;
+      const double burst_len = duty * period;
+      const double per_period =
+          burst * burst_len + base * (period - burst_len);
+      const double full = std::floor(t_ms / period);
+      const double rem = t_ms - full * period;
+      // Each period starts with its burst window.
+      const double partial =
+          rem <= burst_len
+              ? burst * rem
+              : burst * burst_len + base * (rem - burst_len);
+      return full * per_period + partial;
+    }
+    case ArrivalShape::kDiurnal: {
+      // rate(t) = base * (1 + a * sin(2*pi*t/D)): one compressed "day"
+      // across the trace. a <= 1 keeps the rate (and thus R) monotone.
+      const double a = std::clamp(arrival.diurnal_amplitude, 0.0, 1.0);
+      const double d = std::max(1e-9, duration_ms);
+      const double w = 2.0 * kPi / d;
+      return base * (t_ms + a / w * (1.0 - std::cos(w * t_ms)));
+    }
+  }
+  return base * t_ms;
+}
+
+/// Inverts R by bisection: the t in [0, duration] with R(t) ~= target.
+/// R is monotone nondecreasing for every supported shape, and 60 halvings
+/// pin t far below a microsecond of virtual time.
+double InvertArrivals(const ArrivalProcess& arrival, double duration_ms,
+                      double target) {
+  double lo = 0.0;
+  double hi = duration_ms;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (CumulativeArrivals(arrival, duration_ms, mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+bool ParseArrivalShape(const std::string& name, ArrivalShape* out) {
+  if (name == "steady") {
+    *out = ArrivalShape::kSteady;
+    return true;
+  }
+  if (name == "burst") {
+    *out = ArrivalShape::kBurst;
+    return true;
+  }
+  if (name == "diurnal") {
+    *out = ArrivalShape::kDiurnal;
+    return true;
+  }
+  return false;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  cdf_.reserve(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_.push_back(total);
+  }
+  for (double& c : cdf_) c /= total;
+  if (!cdf_.empty()) cdf_.back() = 1.0;  // guard against rounding
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<size_t>(it - cdf_.begin());
+}
+
+Workload GenerateWorkload(const WorkloadOptions& options, size_t num_pages,
+                          const std::vector<std::string>& search_terms) {
+  Workload workload;
+  workload.bucket_ms = std::max(1e-3, options.trace_bucket_ms);
+  const double duration = std::max(1e-3, options.duration_ms);
+
+  std::vector<WorkloadClass> classes = options.classes;
+  if (classes.empty()) classes.push_back(WorkloadClass{});
+  std::vector<double> weights;
+  weights.reserve(classes.size());
+  for (const WorkloadClass& c : classes) {
+    weights.push_back(std::max(0.0, c.weight));
+  }
+
+  const size_t num_buckets = static_cast<size_t>(
+      std::ceil(duration / workload.bucket_ms));
+  workload.offered.assign(std::max<size_t>(1, num_buckets),
+                          std::vector<uint64_t>(classes.size(), 0));
+
+  if (options.num_events == 0) return workload;
+
+  Rng rng(options.seed);
+  const ZipfSampler page_zipf(num_pages, options.zipf_s);
+  const ZipfSampler term_zipf(search_terms.size(), options.zipf_s);
+  // Total expected arrivals over the trace; each event sits at an evenly
+  // spaced quantile of the cumulative rate, so the *density* of events
+  // follows the envelope exactly and the schedule is deterministic
+  // (inverse-CDF placement, not Poisson thinning).
+  const double total =
+      CumulativeArrivals(options.arrival, duration, duration);
+
+  workload.events.reserve(options.num_events);
+  for (size_t i = 0; i < options.num_events; ++i) {
+    WorkloadEvent event;
+    const double target = (static_cast<double>(i) + 0.5) /
+                          static_cast<double>(options.num_events) * total;
+    event.at_ms = InvertArrivals(options.arrival, duration, target);
+    event.class_index = static_cast<uint32_t>(rng.WeightedIndex(weights));
+    const WorkloadClass& cls = classes[event.class_index];
+    event.priority = cls.priority;
+    event.deadline_ms = cls.deadline_ms;
+    // A class mixing Classify and Search degrades gracefully when one
+    // side has no rank space to draw from.
+    event.is_classify = rng.Bernoulli(cls.classify_fraction);
+    if (event.is_classify && num_pages == 0) event.is_classify = false;
+    if (!event.is_classify && search_terms.empty()) event.is_classify = true;
+    if (event.is_classify) {
+      if (num_pages == 0) continue;  // nothing to draw from at all
+      event.page_index = page_zipf.Sample(&rng);
+    } else {
+      event.query = search_terms[term_zipf.Sample(&rng)];
+      event.top_k = options.search_top_k;
+    }
+    if (options.closed_loop_clients > 0) {
+      event.client = i % options.closed_loop_clients;
+    }
+    const size_t bucket = std::min(
+        workload.offered.size() - 1,
+        static_cast<size_t>(event.at_ms / workload.bucket_ms));
+    ++workload.offered[bucket][event.class_index];
+    workload.events.push_back(std::move(event));
+  }
+  return workload;
+}
+
+}  // namespace cafc::workload

@@ -1,0 +1,140 @@
+#ifndef CAFC_WORKLOAD_WORKLOAD_H_
+#define CAFC_WORKLOAD_WORKLOAD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.h"
+#include "util/rng.h"
+
+namespace cafc::workload {
+
+/// \brief Deterministic query-workload generator for the serve path.
+///
+/// The generator turns a seed plus a traffic description into a fully
+/// materialized event list on a *virtual clock*: every event carries its
+/// arrival offset in milliseconds, so a driver can replay the schedule
+/// as fast as it likes (benchmarks never sleep through the trace).
+/// Everything is sampled from one explicitly seeded Rng — the same seed
+/// always yields byte-identical workloads, which is what lets the bench
+/// compare scheduling policies on *identical* request sequences.
+///
+/// Popularity is Zipfian over a rank space (pages for Classify, query
+/// terms for Search): P(rank i) ∝ 1/(i+1)^s, the standard model for
+/// query popularity over web collections, and the regime where a small
+/// result cache earns its keep — a handful of hot keys absorb most of
+/// the traffic.
+
+/// Shape of the arrival-rate envelope rate(t) over the trace duration.
+enum class ArrivalShape {
+  kSteady,   ///< constant base_rate_qps
+  kBurst,    ///< square wave: base rate with periodic bursts
+  kDiurnal,  ///< sinusoidal ramp around the base rate (a compressed "day")
+};
+
+/// Parses "steady" / "burst" / "diurnal"; false on anything else.
+bool ParseArrivalShape(const std::string& name, ArrivalShape* out);
+
+/// Arrival-process parameters. Rates are virtual queries per second.
+struct ArrivalProcess {
+  ArrivalShape shape = ArrivalShape::kSteady;
+  double base_rate_qps = 1000.0;
+  /// kBurst: rate inside a burst window (>= base to be a burst).
+  double burst_rate_qps = 4000.0;
+  /// kBurst: square-wave period and the fraction of each period spent at
+  /// the burst rate (burst first, then base).
+  double burst_period_ms = 200.0;
+  double burst_duty = 0.25;
+  /// kDiurnal: relative amplitude in [0, 1] of the sinusoid around the
+  /// base rate — rate(t) = base * (1 + a * sin(2*pi*t/duration)).
+  double diurnal_amplitude = 0.5;
+};
+
+/// One traffic class: a scheduling priority plus its mix parameters.
+struct WorkloadClass {
+  std::string name = "standard";
+  serve::QueryPriority priority = serve::QueryPriority::kStandard;
+  double weight = 1.0;             ///< share of events (normalized)
+  double classify_fraction = 0.5;  ///< Classify share; rest is Search
+  double deadline_ms = 0.0;        ///< per-request budget (0 = none)
+};
+
+/// Generator knobs.
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  size_t num_events = 1000;
+  /// Virtual-clock length of the trace; arrival offsets land in
+  /// [0, duration_ms).
+  double duration_ms = 1000.0;
+  /// Zipf exponent of both popularity distributions (0 = uniform).
+  double zipf_s = 1.0;
+  ArrivalProcess arrival;
+  /// Traffic classes; empty means one default standard class.
+  std::vector<WorkloadClass> classes;
+  /// 0 = open loop (the driver honors arrival offsets regardless of
+  /// completions). N > 0 = closed loop: events are dealt round-robin to N
+  /// virtual clients, and the driver issues each client's events
+  /// sequentially — the next submit waits for the previous response, so
+  /// offered load self-limits to N outstanding requests.
+  size_t closed_loop_clients = 0;
+  size_t search_top_k = 5;
+  /// Bucket width of the offered-load trace.
+  double trace_bucket_ms = 50.0;
+};
+
+/// One generated request-to-be.
+struct WorkloadEvent {
+  double at_ms = 0.0;  ///< virtual arrival offset from trace start
+  uint32_t class_index = 0;
+  serve::QueryPriority priority = serve::QueryPriority::kStandard;
+  double deadline_ms = 0.0;
+  bool is_classify = true;
+  /// Classify: Zipf-ranked index into the driver's page pool.
+  size_t page_index = 0;
+  /// Search: the sampled query string (empty for Classify events).
+  std::string query;
+  size_t top_k = 5;
+  /// Closed loop: owning virtual client (0 when open loop).
+  size_t client = 0;
+};
+
+/// The materialized workload: the schedule plus its per-class offered-load
+/// trace (how many arrivals each class contributed per time bucket — the
+/// shape a driver should see *before* any server pushback).
+struct Workload {
+  std::vector<WorkloadEvent> events;  ///< sorted by at_ms
+  double bucket_ms = 50.0;
+  /// offered[bucket][class] = arrivals of `class` in that bucket.
+  std::vector<std::vector<uint64_t>> offered;
+};
+
+/// \brief Zipf(s) sampler over ranks [0, n): P(i) ∝ 1/(i+1)^s.
+///
+/// CDF built once; each sample is one uniform draw plus a binary search,
+/// so sampling a trace is O(num_events * log n) and fully deterministic
+/// given the caller's Rng.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  size_t n() const { return cdf_.size(); }
+  /// Rank in [0, n). Precondition: n > 0.
+  size_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cdf_;  // inclusive prefix sums, back() == 1.0
+};
+
+/// Generates the workload. `num_pages` sizes the Classify rank space
+/// (page_index < num_pages); `search_terms` is the Search vocabulary in
+/// popularity-rank order — derive it from the directory's entry labels so
+/// hot queries hit real sections. Classes with zero classify traffic
+/// tolerate num_pages == 0, and vice versa for search_terms.
+Workload GenerateWorkload(const WorkloadOptions& options, size_t num_pages,
+                          const std::vector<std::string>& search_terms);
+
+}  // namespace cafc::workload
+
+#endif  // CAFC_WORKLOAD_WORKLOAD_H_

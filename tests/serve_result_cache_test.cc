@@ -1,0 +1,286 @@
+// Tests of the epoch-keyed result cache: exact-version freshness, LRU
+// byte budgeting, the stale LookupAny degradation path, and — through a
+// live DirectoryServer — the refresh-storm invariant the workload bench
+// gates: after snapshot N+1 publishes, no answer computed at snapshot N
+// is ever served without the stale flag.
+
+#include "serve/result_cache.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/cafc.h"
+#include "core/corpus.h"
+#include "core/ingest.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "web/synthesizer.h"
+
+namespace cafc {
+namespace {
+
+using serve::CachedAnswer;
+using serve::ResultCache;
+using serve::ResultCacheStats;
+
+CachedAnswer SearchAnswer(uint64_t version, size_t num_hits) {
+  CachedAnswer answer;
+  answer.is_search = true;
+  answer.snapshot_version = version;
+  answer.corpus_epoch = version;
+  for (size_t i = 0; i < num_hits; ++i) {
+    DatabaseDirectory::SearchHit hit;
+    hit.entry = static_cast<int>(i);
+    hit.similarity = 1.0 / static_cast<double>(i + 1);
+    answer.hits.push_back(hit);
+  }
+  return answer;
+}
+
+TEST(ResultCacheTest, FreshHitRequiresExactSnapshotVersion) {
+  ResultCache cache(1 << 20);
+  cache.Insert("key", SearchAnswer(3, 2));
+
+  CachedAnswer out;
+  ASSERT_TRUE(cache.Lookup("key", 3, &out));
+  EXPECT_EQ(out.snapshot_version, 3u);
+  ASSERT_EQ(out.hits.size(), 2u);
+  EXPECT_EQ(out.hits[0].entry, 0);
+  EXPECT_EQ(out.hits[1].similarity, 0.5);  // exact doubles
+
+  // A version bump invalidates wholesale: the same key misses fresh...
+  EXPECT_FALSE(cache.Lookup("key", 4, &out));
+  EXPECT_FALSE(cache.Lookup("key", 2, &out));
+  // ...but stays reachable through the degradation path.
+  ASSERT_TRUE(cache.LookupAny("key", &out));
+  EXPECT_EQ(out.snapshot_version, 3u);
+
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.stale_hits, 1u);
+}
+
+TEST(ResultCacheTest, MissOnAbsentKey) {
+  ResultCache cache(1 << 20);
+  CachedAnswer out;
+  EXPECT_FALSE(cache.Lookup("absent", 1, &out));
+  EXPECT_FALSE(cache.LookupAny("absent", &out));
+  EXPECT_EQ(cache.Stats().misses, 1u);
+}
+
+TEST(ResultCacheTest, InsertReplacesSameKey) {
+  ResultCache cache(1 << 20);
+  cache.Insert("key", SearchAnswer(1, 1));
+  cache.Insert("key", SearchAnswer(2, 3));
+  EXPECT_EQ(cache.Stats().entries, 1u);
+  CachedAnswer out;
+  EXPECT_FALSE(cache.Lookup("key", 1, &out));  // superseded
+  ASSERT_TRUE(cache.Lookup("key", 2, &out));
+  EXPECT_EQ(out.hits.size(), 3u);
+}
+
+TEST(ResultCacheTest, LruEvictionHoldsByteBudget) {
+  // Budget sized for only a few entries; a steady stream must evict.
+  ResultCache cache(600);
+  for (int i = 0; i < 64; ++i) {
+    cache.Insert("key-" + std::to_string(i), SearchAnswer(1, 2));
+  }
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 600u);
+  EXPECT_LT(stats.entries, 64u);
+  // The newest entry always survives its own insert.
+  CachedAnswer out;
+  EXPECT_TRUE(cache.Lookup("key-63", 1, &out));
+  EXPECT_FALSE(cache.Lookup("key-0", 1, &out));
+}
+
+TEST(ResultCacheTest, FreshLookupRefreshesLruStaleLookupDoesNot) {
+  // Budget fits exactly two of these entries (each ~ key + 2 hits + 128).
+  const size_t entry_bytes = 5 + 2 * sizeof(DatabaseDirectory::SearchHit) +
+                             128;
+  ResultCache cache(2 * entry_bytes);
+  CachedAnswer out;
+
+  cache.Insert("old-a", SearchAnswer(1, 2));
+  cache.Insert("old-b", SearchAnswer(1, 2));
+  ASSERT_TRUE(cache.Lookup("old-a", 1, &out));  // refreshes a to MRU
+  cache.Insert("new-c", SearchAnswer(1, 2));    // evicts b, not a
+  EXPECT_TRUE(cache.Lookup("old-a", 1, &out));
+  EXPECT_FALSE(cache.Lookup("old-b", 1, &out));
+
+  cache.Clear();
+  cache.Insert("old-a", SearchAnswer(1, 2));
+  cache.Insert("old-b", SearchAnswer(1, 2));
+  ASSERT_TRUE(cache.LookupAny("old-a", &out));  // no LRU refresh
+  cache.Insert("new-c", SearchAnswer(1, 2));    // evicts a (still LRU tail)
+  EXPECT_FALSE(cache.Lookup("old-a", 1, &out));
+  EXPECT_TRUE(cache.Lookup("old-b", 1, &out));
+}
+
+TEST(ResultCacheTest, ZeroBudgetDisablesAndOversizeIsDropped) {
+  ResultCache off(0);
+  off.Insert("key", SearchAnswer(1, 1));
+  CachedAnswer out;
+  EXPECT_FALSE(off.Lookup("key", 1, &out));
+  EXPECT_EQ(off.Stats().entries, 0u);
+
+  ResultCache tiny(64);  // smaller than any single entry's estimate
+  tiny.Insert("key", SearchAnswer(1, 8));
+  EXPECT_FALSE(tiny.LookupAny("key", &out));
+  EXPECT_EQ(tiny.Stats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesKeepsCounters) {
+  ResultCache cache(1 << 20);
+  cache.Insert("key", SearchAnswer(1, 1));
+  CachedAnswer out;
+  ASSERT_TRUE(cache.Lookup("key", 1, &out));
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup("key", 1, &out));
+  ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.hits, 1u);  // lifetime counters survive Clear
+  EXPECT_EQ(stats.inserts, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Refresh-storm invariant through the full server.
+
+web::SynthesizerConfig GrowConfig(uint32_t seed, size_t form_pages) {
+  web::SynthesizerConfig config;
+  config.seed = seed;
+  config.form_pages_total = form_pages;
+  config.single_attribute_forms = form_pages / 8;
+  config.homogeneous_hubs_per_domain = 20;
+  config.mixed_hubs = 30;
+  config.directory_hubs = 3;
+  config.large_air_hotel_hubs = 3;
+  config.non_searchable_form_pages = 2;
+  config.noise_pages = 2;
+  config.outlier_pages = 0;
+  return config;
+}
+
+Corpus GrowCorpus(uint32_t seed, size_t form_pages) {
+  web::SyntheticWeb web =
+      web::Synthesizer(GrowConfig(seed, form_pages)).Generate();
+  Result<CorpusBuild> build = BuildCorpus(web);
+  EXPECT_TRUE(build.ok()) << build.status().ToString();
+  return std::move(build->corpus);
+}
+
+DatabaseDirectory BuildDirectory(Corpus& corpus, int k = 6) {
+  Rng rng(1234);
+  cluster::Clustering clustering =
+      CafcC(corpus.Weighted(), k, CafcOptions{}, &rng);
+  return DatabaseDirectory::Build(
+      corpus.Weighted(), clustering,
+      DatabaseDirectory::AutoLabels(corpus.Weighted(), clustering));
+}
+
+serve::QueryRequest SearchRequest(std::string query) {
+  serve::QueryRequest request;
+  request.kind = serve::QueryKind::kSearch;
+  request.query = std::move(query);
+  request.top_k = 5;
+  return request;
+}
+
+TEST(ResultCacheStormTest, NoSupersededAnswerServedUnflaggedAcrossSwaps) {
+  Corpus corpus = GrowCorpus(21, 48);
+  DatabaseDirectory directory = BuildDirectory(corpus);
+
+  serve::DirectoryServerOptions options;
+  options.workers = 2;
+  options.cache_bytes = 1 << 20;
+  serve::DirectoryServer server(std::move(directory), std::move(corpus),
+                                options);
+
+  const std::vector<std::string> queries = {
+      "job career", "hotel room flight", "music cd", "book author",
+      "car rental"};
+  constexpr int kSwaps = 5;
+
+  uint64_t fresh_hits = 0;
+  for (int round = 0; round <= kSwaps; ++round) {
+    if (round > 0) {
+      // One refresh batch per round: the 5-swap storm.
+      Corpus incoming = GrowCorpus(100 + static_cast<uint32_t>(round), 24);
+      ASSERT_TRUE(server.ScheduleRefresh(incoming.TakeEntries()).ok());
+      server.WaitForRefreshes();
+    }
+    const uint64_t version = server.snapshot()->version();
+    ASSERT_EQ(version, static_cast<uint64_t>(round) + 1);
+
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const std::string& q : queries) {
+        serve::QueryResponse response = server.Query(SearchRequest(q));
+        ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+        // The invariant: without the stale flag, the answer must carry
+        // the currently published snapshot version — a cached epoch-N
+        // answer must never leak through after N+1 published. (No
+        // refresh is in flight here, so the published version is
+        // stable across the Query call.)
+        EXPECT_FALSE(response.stale);
+        EXPECT_EQ(response.snapshot_version, version)
+            << "round " << round << " query " << q;
+        if (response.cache_hit) ++fresh_hits;
+      }
+    }
+  }
+
+  // The second pass of every round ran at an unchanged version, so the
+  // cache must have produced fresh hits (warm-pass hit rate).
+  EXPECT_GE(fresh_hits, static_cast<uint64_t>(kSwaps + 1) * queries.size());
+
+  serve::ServerStats stats = server.Stats();
+  EXPECT_EQ(stats.refreshes, static_cast<uint64_t>(kSwaps));
+  EXPECT_EQ(stats.stale_served, 0u);  // never overloaded here
+  // Accounting identity across the storm.
+  EXPECT_EQ(stats.submitted, stats.accepted + stats.rejected_queue_full +
+                                 stats.rejected_stopped + stats.cache_hits +
+                                 stats.stale_served);
+  server.Shutdown();
+}
+
+TEST(ResultCacheStormTest, CachedAnswerIsBitIdenticalToRecompute) {
+  Corpus corpus = GrowCorpus(21, 48);
+  DatabaseDirectory directory = BuildDirectory(corpus);
+  Corpus oracle_corpus = GrowCorpus(21, 48);
+  DatabaseDirectory oracle = BuildDirectory(oracle_corpus);
+
+  serve::DirectoryServerOptions options;
+  options.workers = 2;
+  options.cache_bytes = 1 << 20;
+  serve::DirectoryServer server(std::move(directory), std::move(corpus),
+                                options);
+
+  for (const char* q : {"job career", "hotel room flight"}) {
+    serve::QueryResponse cold = server.Query(SearchRequest(q));
+    ASSERT_TRUE(cold.status.ok());
+    EXPECT_FALSE(cold.cache_hit);
+    serve::QueryResponse warm = server.Query(SearchRequest(q));
+    ASSERT_TRUE(warm.status.ok());
+    EXPECT_TRUE(warm.cache_hit);
+
+    auto expected = oracle.Search(q, 5);
+    ASSERT_EQ(warm.hits.size(), expected.size()) << q;
+    ASSERT_EQ(warm.hits.size(), cold.hits.size()) << q;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(warm.hits[i].entry, expected[i].entry) << q;
+      EXPECT_EQ(warm.hits[i].similarity, expected[i].similarity) << q;
+      EXPECT_EQ(warm.hits[i].entry, cold.hits[i].entry) << q;
+      EXPECT_EQ(warm.hits[i].similarity, cold.hits[i].similarity) << q;
+    }
+  }
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace cafc

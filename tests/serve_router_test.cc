@@ -70,7 +70,8 @@ struct Fleet {
   std::unique_ptr<ShardRouter> router;
 
   static Fleet Make(const DatabaseDirectory& global, const Corpus& corpus,
-                    size_t num_shards) {
+                    size_t num_shards,
+                    serve::RouterOptions router_options = {}) {
     Result<std::vector<ShardBundle>> bundles =
         PartitionDirectory(global, corpus, num_shards);
     EXPECT_TRUE(bundles.ok()) << bundles.status().ToString();
@@ -91,7 +92,8 @@ struct Fleet {
       clients.push_back(
           std::make_unique<ipc::ShardClient>(std::move(client_end)));
     }
-    fleet.router = std::make_unique<ShardRouter>(std::move(clients));
+    fleet.router =
+        std::make_unique<ShardRouter>(std::move(clients), router_options);
     return fleet;
   }
 
@@ -138,6 +140,67 @@ TEST(ShardRouterTest, MergedAnswersBitIdenticalToUnshardedDirectory) {
       }
     }
   }
+}
+
+TEST(ShardRouterTest, ClassifyFastPathBitIdenticalToScatter) {
+  Corpus corpus = GrowCorpus(21, 48);
+  DatabaseDirectory global = BuildDirectory(corpus);
+  serve::RouterOptions fast_options;
+  fast_options.classify_fast_path = true;
+  for (size_t num_shards : {1u, 3u}) {
+    Fleet scatter = Fleet::Make(global, corpus, num_shards);
+    Fleet fast = Fleet::Make(global, corpus, num_shards, fast_options);
+    for (const DatasetEntry& entry : corpus.entries()) {
+      RouterResponse want = scatter.router->Classify(entry.doc);
+      ASSERT_TRUE(want.status.ok()) << want.status.ToString();
+      EXPECT_FALSE(want.fast_path);
+      ASSERT_EQ(want.shards.size(), num_shards);
+
+      RouterResponse got = fast.router->Classify(entry.doc);
+      ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+      // One RPC instead of a scatter: a single (owning) shard echo.
+      EXPECT_TRUE(got.fast_path);
+      ASSERT_EQ(got.shards.size(), 1u);
+      EXPECT_TRUE(got.shards[0].status.ok());
+      // Bit-identity against both the scatter merge and the unsharded
+      // oracle — the site partition puts every corpus page's winning
+      // section on its own shard.
+      EXPECT_EQ(got.classification.entry, want.classification.entry)
+          << entry.doc.url;
+      EXPECT_EQ(got.classification.similarity,
+                want.classification.similarity)
+          << entry.doc.url;  // exact doubles
+      DatabaseDirectory::Classification oracle =
+          global.ClassifyDocument(entry.doc);
+      EXPECT_EQ(got.classification.entry, oracle.entry) << entry.doc.url;
+      EXPECT_EQ(got.classification.similarity, oracle.similarity)
+          << entry.doc.url;
+    }
+  }
+}
+
+TEST(ShardRouterTest, FastPathFallsBackToScatterForUrllessDocs) {
+  Corpus corpus = GrowCorpus(21, 48);
+  DatabaseDirectory global = BuildDirectory(corpus);
+  serve::RouterOptions fast_options;
+  fast_options.classify_fast_path = true;
+  Fleet fleet = Fleet::Make(global, corpus, 3, fast_options);
+
+  forms::FormPageDocument doc = corpus.entries().front().doc;
+  doc.url.clear();  // no site to route by — must scatter
+  RouterResponse response = fleet.router->Classify(doc);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_FALSE(response.fast_path);
+  EXPECT_EQ(response.shards.size(), 3u);
+  DatabaseDirectory::Classification oracle = global.ClassifyDocument(doc);
+  EXPECT_EQ(response.classification.entry, oracle.entry);
+  EXPECT_EQ(response.classification.similarity, oracle.similarity);
+
+  // Search is never fast-pathed — it must merge every shard's hits.
+  RouterResponse search = fleet.router->Search("job career", 5);
+  ASSERT_TRUE(search.status.ok());
+  EXPECT_FALSE(search.fast_path);
+  EXPECT_EQ(search.shards.size(), 3u);
 }
 
 TEST(ShardRouterTest, DeadShardYieldsExplicitPartialResult) {

@@ -1,0 +1,130 @@
+// Tests of the policy-ordered backlog behind the DirectoryServer's queue:
+// FIFO arrival order, strict priority bands, earliest-deadline-first
+// within a band, and admission-sequence tie-breaking. The scheduler is
+// deliberately lock-free of the server so these rules are testable
+// without threads.
+
+#include "serve/scheduler.h"
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cafc::serve {
+namespace {
+
+using TimePoint = RequestScheduler<int>::TimePoint;
+
+TimePoint At(int ms) {
+  return TimePoint{} + std::chrono::milliseconds(ms);
+}
+
+constexpr TimePoint kNoDeadline = TimePoint::max();
+
+std::vector<int> Drain(RequestScheduler<int>* scheduler) {
+  std::vector<int> order;
+  int item = 0;
+  while (scheduler->Pop(&item)) order.push_back(item);
+  return order;
+}
+
+TEST(RequestSchedulerTest, FifoPreservesArrivalOrderAcrossPriorities) {
+  RequestScheduler<int> fifo(SchedulingPolicy::kFifo);
+  fifo.Push(QueryPriority::kBatch, At(1), 0);
+  fifo.Push(QueryPriority::kInteractive, At(999), 1);
+  fifo.Push(QueryPriority::kStandard, kNoDeadline, 2);
+  fifo.Push(QueryPriority::kInteractive, At(5), 3);
+  EXPECT_EQ(Drain(&fifo), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(RequestSchedulerTest, HigherBandAlwaysDrainsFirst) {
+  RequestScheduler<int> sched(SchedulingPolicy::kPriorityDeadline);
+  // Admit in worst order: batch first with the tightest deadlines.
+  sched.Push(QueryPriority::kBatch, At(1), 0);
+  sched.Push(QueryPriority::kBatch, At(2), 1);
+  sched.Push(QueryPriority::kStandard, At(500), 2);
+  sched.Push(QueryPriority::kInteractive, kNoDeadline, 3);
+  sched.Push(QueryPriority::kInteractive, At(900), 4);
+  // Interactive (deadlined before deadline-less) -> standard -> batch: a
+  // tight batch deadline never jumps the band fence.
+  EXPECT_EQ(Drain(&sched), (std::vector<int>{4, 3, 2, 0, 1}));
+}
+
+TEST(RequestSchedulerTest, EarliestDeadlineFirstWithinBand) {
+  RequestScheduler<int> sched(SchedulingPolicy::kPriorityDeadline);
+  sched.Push(QueryPriority::kStandard, At(30), 0);
+  sched.Push(QueryPriority::kStandard, At(10), 1);
+  sched.Push(QueryPriority::kStandard, At(20), 2);
+  sched.Push(QueryPriority::kStandard, At(5), 3);
+  EXPECT_EQ(Drain(&sched), (std::vector<int>{3, 1, 2, 0}));
+}
+
+TEST(RequestSchedulerTest, DeadlinelessSortsAfterDeadlinedFifoAmongSelves) {
+  RequestScheduler<int> sched(SchedulingPolicy::kPriorityDeadline);
+  sched.Push(QueryPriority::kStandard, kNoDeadline, 0);
+  sched.Push(QueryPriority::kStandard, kNoDeadline, 1);
+  sched.Push(QueryPriority::kStandard, At(10'000), 2);
+  sched.Push(QueryPriority::kStandard, kNoDeadline, 3);
+  // The lone deadlined request wins; the rest keep admission order.
+  EXPECT_EQ(Drain(&sched), (std::vector<int>{2, 0, 1, 3}));
+}
+
+TEST(RequestSchedulerTest, EqualDeadlinesTieBreakByAdmissionSequence) {
+  RequestScheduler<int> sched(SchedulingPolicy::kPriorityDeadline);
+  for (int i = 0; i < 8; ++i) {
+    sched.Push(QueryPriority::kInteractive, At(50), i);
+  }
+  EXPECT_EQ(Drain(&sched), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(RequestSchedulerTest, SizeTracksPushPopAcrossBands) {
+  RequestScheduler<int> sched(SchedulingPolicy::kPriorityDeadline);
+  EXPECT_TRUE(sched.empty());
+  sched.Push(QueryPriority::kInteractive, At(1), 0);
+  sched.Push(QueryPriority::kBatch, At(2), 1);
+  EXPECT_EQ(sched.size(), 2u);
+  int item = 0;
+  ASSERT_TRUE(sched.Pop(&item));
+  EXPECT_EQ(sched.size(), 1u);
+  ASSERT_TRUE(sched.Pop(&item));
+  EXPECT_TRUE(sched.empty());
+  EXPECT_FALSE(sched.Pop(&item));
+}
+
+TEST(RequestSchedulerTest, InterleavedPushPopStaysMostUrgentFirst) {
+  RequestScheduler<int> sched(SchedulingPolicy::kPriorityDeadline);
+  sched.Push(QueryPriority::kStandard, At(100), 0);
+  sched.Push(QueryPriority::kStandard, At(50), 1);
+  int item = -1;
+  ASSERT_TRUE(sched.Pop(&item));
+  EXPECT_EQ(item, 1);
+  // A later, tighter admission preempts the remaining backlog.
+  sched.Push(QueryPriority::kStandard, At(10), 2);
+  ASSERT_TRUE(sched.Pop(&item));
+  EXPECT_EQ(item, 2);
+  // And a higher band preempts regardless of deadline.
+  sched.Push(QueryPriority::kInteractive, kNoDeadline, 3);
+  ASSERT_TRUE(sched.Pop(&item));
+  EXPECT_EQ(item, 3);
+  ASSERT_TRUE(sched.Pop(&item));
+  EXPECT_EQ(item, 0);
+}
+
+TEST(QueryPriorityTest, NamesRoundTripAndUnknownIsRejected) {
+  for (QueryPriority p : {QueryPriority::kInteractive,
+                          QueryPriority::kStandard, QueryPriority::kBatch}) {
+    QueryPriority parsed = QueryPriority::kStandard;
+    ASSERT_TRUE(ParseQueryPriority(QueryPriorityName(p), &parsed));
+    EXPECT_EQ(parsed, p);
+  }
+  QueryPriority untouched = QueryPriority::kBatch;
+  EXPECT_FALSE(ParseQueryPriority("urgent", &untouched));
+  EXPECT_FALSE(ParseQueryPriority("", &untouched));
+  EXPECT_FALSE(ParseQueryPriority("HIGH", &untouched));
+  EXPECT_EQ(untouched, QueryPriority::kBatch);  // out untouched on failure
+}
+
+}  // namespace
+}  // namespace cafc::serve

@@ -25,6 +25,14 @@ ServerStats SampleStats(uint64_t base) {
   stats.deadline_exceeded = base / 2;
   stats.failed = base % 3;
   stats.completed = base + 8;
+  stats.deadline_missed = base % 4;
+  stats.cache_hits = base * 3;
+  stats.cache_misses = base + 7;
+  stats.cache_evictions = base % 6;
+  stats.cache_entries = base + 2;
+  stats.cache_bytes_used = base * 512;
+  stats.stale_served = base % 3;
+  stats.degraded_truncated = base % 5;
   stats.refreshes = base % 5;
   stats.refresh_failures = base % 2;
   stats.epochs_published = base % 5;
@@ -35,6 +43,12 @@ ServerStats SampleStats(uint64_t base) {
     stats.service_cpu_us.Add(static_cast<double>(i * 90 + 1));
     stats.total_us.Add(static_cast<double>(i * 110 + 2));
     stats.distance_comps.Add(static_cast<double>(i % 7));
+    // Each scheduling class gets a distinct latency regime so a band swap
+    // in a merge or round trip would show up in the sums.
+    for (size_t band = 0; band < kNumQueryPriorities; ++band) {
+      stats.priority_total_us[band].Add(
+          static_cast<double>((band + 1) * 1000 + i));
+    }
   }
   stats.mapped_storage = (base % 2) == 1;
   stats.page_hits = base * 2;
@@ -69,6 +83,83 @@ TEST(ServerStatsMergeTest, CountersAddPeaksMaxStorageGaugesAdd) {
   EXPECT_TRUE(a.mapped_storage);  // b (base 9) is mapped
   EXPECT_EQ(a.page_hits, 8u + 18u);
   EXPECT_EQ(a.storage_resident_bytes, 4u * 1500 + 9u * 1500);
+}
+
+TEST(ServerStatsMergeTest, SchedulingAndCacheCountersAdd) {
+  ServerStats a = SampleStats(4);
+  const ServerStats b = SampleStats(9);
+  const ServerStats before = SampleStats(4);
+  a.Merge(b);
+  EXPECT_EQ(a.deadline_missed, before.deadline_missed + b.deadline_missed);
+  EXPECT_EQ(a.cache_hits, before.cache_hits + b.cache_hits);
+  EXPECT_EQ(a.cache_misses, before.cache_misses + b.cache_misses);
+  EXPECT_EQ(a.cache_evictions, before.cache_evictions + b.cache_evictions);
+  // Cache gauges add like the storage gauges: the merged view answers
+  // "what is the fleet holding now".
+  EXPECT_EQ(a.cache_entries, before.cache_entries + b.cache_entries);
+  EXPECT_EQ(a.cache_bytes_used,
+            before.cache_bytes_used + b.cache_bytes_used);
+  EXPECT_EQ(a.stale_served, before.stale_served + b.stale_served);
+  EXPECT_EQ(a.degraded_truncated,
+            before.degraded_truncated + b.degraded_truncated);
+}
+
+TEST(ServerStatsMergeTest, PriorityHistogramsMergePerBand) {
+  ServerStats a = SampleStats(4);
+  const ServerStats b = SampleStats(9);
+  const ServerStats before = SampleStats(4);
+  a.Merge(b);
+  for (size_t band = 0; band < kNumQueryPriorities; ++band) {
+    EXPECT_EQ(a.priority_total_us[band].count(),
+              before.priority_total_us[band].count() +
+                  b.priority_total_us[band].count())
+        << "band=" << band;
+    EXPECT_EQ(a.priority_total_us[band].sum(),
+              before.priority_total_us[band].sum() +
+                  b.priority_total_us[band].sum())
+        << "band=" << band;
+  }
+}
+
+TEST(ServerStatsMergeTest, HistogramMergeWithEmptySideIsIdentity) {
+  // Both directions: empty.Merge(full) == full, full.Merge(empty) == full.
+  util::Histogram full;
+  for (int i = 0; i < 32; ++i) full.Add(static_cast<double>(i * 13 + 1));
+  util::Histogram onto_empty;
+  onto_empty.Merge(full);
+  EXPECT_EQ(onto_empty.count(), full.count());
+  EXPECT_EQ(onto_empty.sum(), full.sum());
+  EXPECT_EQ(onto_empty.min(), full.min());
+  EXPECT_EQ(onto_empty.max(), full.max());
+  util::Histogram from_empty = full;
+  from_empty.Merge(util::Histogram{});
+  EXPECT_EQ(from_empty.count(), full.count());
+  EXPECT_EQ(from_empty.sum(), full.sum());
+  EXPECT_EQ(from_empty.min(), full.min());
+  EXPECT_EQ(from_empty.max(), full.max());
+}
+
+TEST(ServerStatsMergeTest, HistogramMergeAcrossDisjointBucketRanges) {
+  // The two inputs populate entirely different buckets of the compiled-in
+  // layout; the merge must keep both populations intact rather than
+  // collapsing onto either range.
+  util::Histogram low;
+  for (int i = 0; i < 16; ++i) low.Add(1.0 + i * 0.25);  // ~1-5 us
+  util::Histogram high;
+  for (int i = 0; i < 16; ++i) {
+    high.Add(1e6 + i * 1e5);  // ~1-2.5 s, far buckets
+  }
+  const uint64_t low_count = low.count();
+  const double low_sum = low.sum();
+  low.Merge(high);
+  EXPECT_EQ(low.count(), low_count + high.count());
+  EXPECT_EQ(low.sum(), low_sum + high.sum());
+  EXPECT_EQ(low.min(), 1.0);
+  EXPECT_EQ(low.max(), high.max());
+  // The median stays in the low range and p99 lands in the high range:
+  // both bucket populations survived the merge.
+  EXPECT_LT(low.Percentile(40), 100.0);
+  EXPECT_GT(low.Percentile(99), 1e5);
 }
 
 TEST(ServerStatsMergeTest, MergeWithEmptyIsIdentity) {
@@ -112,10 +203,26 @@ TEST(ServerStatsWireTest, ToWireAndBackPreservesServingFields) {
   EXPECT_EQ(decoded.refresh_failures, stats.refresh_failures);
   EXPECT_EQ(decoded.epochs_published, stats.epochs_published);
   EXPECT_EQ(decoded.queue_peak, stats.queue_peak);
+  EXPECT_EQ(decoded.deadline_missed, stats.deadline_missed);
+  EXPECT_EQ(decoded.cache_hits, stats.cache_hits);
+  EXPECT_EQ(decoded.cache_misses, stats.cache_misses);
+  EXPECT_EQ(decoded.cache_evictions, stats.cache_evictions);
+  EXPECT_EQ(decoded.cache_entries, stats.cache_entries);
+  EXPECT_EQ(decoded.cache_bytes_used, stats.cache_bytes_used);
+  EXPECT_EQ(decoded.stale_served, stats.stale_served);
+  EXPECT_EQ(decoded.degraded_truncated, stats.degraded_truncated);
   EXPECT_EQ(decoded.total_us.count(), stats.total_us.count());
   EXPECT_EQ(decoded.total_us.sum(), stats.total_us.sum());  // bit-exact
   EXPECT_EQ(decoded.service_cpu_us.sum(), stats.service_cpu_us.sum());
   EXPECT_EQ(decoded.distance_comps.count(), stats.distance_comps.count());
+  for (size_t band = 0; band < kNumQueryPriorities; ++band) {
+    EXPECT_EQ(decoded.priority_total_us[band].count(),
+              stats.priority_total_us[band].count())
+        << "band=" << band;
+    EXPECT_EQ(decoded.priority_total_us[band].sum(),
+              stats.priority_total_us[band].sum())
+        << "band=" << band;
+  }
   // Storage gauges do not travel (the RPC reports serving work only).
   EXPECT_FALSE(decoded.mapped_storage);
   EXPECT_EQ(decoded.page_hits, 0u);
@@ -131,6 +238,13 @@ TEST(ServerStatsWireTest, StatsResponseWireRoundTripIsExact) {
   EXPECT_EQ(decoded.submitted, wire.submitted);
   EXPECT_EQ(decoded.completed, wire.completed);
   EXPECT_EQ(decoded.queue_peak, wire.queue_peak);
+  EXPECT_EQ(decoded.cache_hits, wire.cache_hits);
+  EXPECT_EQ(decoded.stale_served, wire.stale_served);
+  EXPECT_EQ(decoded.degraded_truncated, wire.degraded_truncated);
+  EXPECT_EQ(decoded.priority_total_us[0].sum(),
+            wire.priority_total_us[0].sum());
+  EXPECT_EQ(decoded.priority_total_us[2].count(),
+            wire.priority_total_us[2].count());
   EXPECT_EQ(decoded.total_us.count(), wire.total_us.count());
   EXPECT_EQ(decoded.total_us.sum(), wire.total_us.sum());
   EXPECT_EQ(decoded.total_us.min(), wire.total_us.min());

@@ -1,0 +1,250 @@
+// Tests of the deterministic workload generator: same-seed reproduction,
+// Zipf popularity skew, arrival-envelope shapes on the virtual clock,
+// closed-loop client assignment, and the offered-load trace accounting.
+
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace cafc::workload {
+namespace {
+
+std::vector<std::string> Terms(size_t n) {
+  std::vector<std::string> terms;
+  for (size_t i = 0; i < n; ++i) terms.push_back("term" + std::to_string(i));
+  return terms;
+}
+
+WorkloadOptions BaseOptions() {
+  WorkloadOptions options;
+  options.seed = 7;
+  options.num_events = 2000;
+  options.duration_ms = 1000.0;
+  options.zipf_s = 1.0;
+  return options;
+}
+
+TEST(WorkloadGeneratorTest, SameSeedReproducesByteIdenticalSchedule) {
+  const WorkloadOptions options = BaseOptions();
+  const Workload a = GenerateWorkload(options, 100, Terms(20));
+  const Workload b = GenerateWorkload(options, 100, Terms(20));
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].at_ms, b.events[i].at_ms) << i;  // exact doubles
+    EXPECT_EQ(a.events[i].class_index, b.events[i].class_index) << i;
+    EXPECT_EQ(a.events[i].is_classify, b.events[i].is_classify) << i;
+    EXPECT_EQ(a.events[i].page_index, b.events[i].page_index) << i;
+    EXPECT_EQ(a.events[i].query, b.events[i].query) << i;
+  }
+  EXPECT_EQ(a.offered, b.offered);
+}
+
+TEST(WorkloadGeneratorTest, DifferentSeedsDiverge) {
+  WorkloadOptions options = BaseOptions();
+  const Workload a = GenerateWorkload(options, 100, Terms(20));
+  options.seed = 8;
+  const Workload b = GenerateWorkload(options, 100, Terms(20));
+  size_t differing = 0;
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    if (a.events[i].page_index != b.events[i].page_index ||
+        a.events[i].query != b.events[i].query) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, a.events.size() / 4);
+}
+
+TEST(WorkloadGeneratorTest, EventsSortedWithinDurationWindow) {
+  for (ArrivalShape shape : {ArrivalShape::kSteady, ArrivalShape::kBurst,
+                             ArrivalShape::kDiurnal}) {
+    WorkloadOptions options = BaseOptions();
+    options.arrival.shape = shape;
+    const Workload w = GenerateWorkload(options, 100, Terms(20));
+    ASSERT_EQ(w.events.size(), options.num_events);
+    for (size_t i = 0; i < w.events.size(); ++i) {
+      EXPECT_GE(w.events[i].at_ms, 0.0);
+      EXPECT_LE(w.events[i].at_ms, options.duration_ms);
+      if (i > 0) {
+        EXPECT_GE(w.events[i].at_ms, w.events[i - 1].at_ms);
+      }
+    }
+  }
+}
+
+TEST(ZipfSamplerTest, LowerRanksDominateAndAllRanksReachable) {
+  ZipfSampler zipf(50, 1.2);
+  Rng rng(3);
+  std::vector<uint64_t> counts(50, 0);
+  for (int i = 0; i < 50'000; ++i) ++counts[zipf.Sample(&rng)];
+  // Monotone-ish head: rank 0 clearly beats rank 1 beats rank 5 etc.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[5]);
+  EXPECT_GT(counts[5], counts[20]);
+  // The head absorbs most of the traffic — the cache-friendly regime.
+  EXPECT_GT(counts[0] + counts[1] + counts[2],
+            static_cast<uint64_t>(50'000 / 4));
+  // Every rank stays reachable (CDF back() == 1.0 guard).
+  for (size_t r = 0; r < 50; ++r) EXPECT_GT(counts[r], 0u) << "rank " << r;
+}
+
+TEST(ZipfSamplerTest, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  Rng rng(5);
+  std::vector<uint64_t> counts(10, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, 8'000u);
+    EXPECT_LT(c, 12'000u);
+  }
+}
+
+TEST(WorkloadGeneratorTest, BurstShapeConcentratesArrivalsInBurstWindows) {
+  WorkloadOptions options = BaseOptions();
+  options.num_events = 4000;
+  options.arrival.shape = ArrivalShape::kBurst;
+  options.arrival.base_rate_qps = 1000.0;
+  options.arrival.burst_rate_qps = 9000.0;
+  options.arrival.burst_period_ms = 200.0;
+  options.arrival.burst_duty = 0.25;  // burst window = first 50ms of 200
+  const Workload w = GenerateWorkload(options, 100, Terms(20));
+
+  size_t in_burst = 0;
+  for (const WorkloadEvent& e : w.events) {
+    const double phase = std::fmod(e.at_ms, 200.0);
+    if (phase < 50.0) ++in_burst;
+  }
+  // Expected share = 9000*50 / (9000*50 + 1000*150) = 0.75; the
+  // quantile placement is deterministic so the tolerance can be tight.
+  const double share =
+      static_cast<double>(in_burst) / static_cast<double>(w.events.size());
+  EXPECT_GT(share, 0.70);
+  EXPECT_LT(share, 0.80);
+}
+
+TEST(WorkloadGeneratorTest, DiurnalShapeLeansIntoTheFirstHalfWave) {
+  WorkloadOptions options = BaseOptions();
+  options.num_events = 4000;
+  options.arrival.shape = ArrivalShape::kDiurnal;
+  options.arrival.diurnal_amplitude = 0.9;
+  const Workload w = GenerateWorkload(options, 100, Terms(20));
+  // rate(t) = base * (1 + a*sin(2*pi*t/D)): above base in the first half
+  // of the trace, below in the second — so more than half of all events
+  // land before t = D/2, and a steady trace would split evenly.
+  size_t first_half = 0;
+  for (const WorkloadEvent& e : w.events) {
+    if (e.at_ms < options.duration_ms / 2) ++first_half;
+  }
+  const double share = static_cast<double>(first_half) /
+                       static_cast<double>(w.events.size());
+  EXPECT_GT(share, 0.60);
+}
+
+TEST(WorkloadGeneratorTest, ClassMixFollowsWeightsAndCarriesPriorities) {
+  WorkloadOptions options = BaseOptions();
+  options.num_events = 6000;
+  WorkloadClass interactive;
+  interactive.name = "interactive";
+  interactive.priority = serve::QueryPriority::kInteractive;
+  interactive.weight = 0.2;
+  interactive.deadline_ms = 40.0;
+  WorkloadClass batch;
+  batch.name = "batch";
+  batch.priority = serve::QueryPriority::kBatch;
+  batch.weight = 0.8;
+  options.classes = {interactive, batch};
+  const Workload w = GenerateWorkload(options, 100, Terms(20));
+
+  size_t interactive_count = 0;
+  for (const WorkloadEvent& e : w.events) {
+    ASSERT_LT(e.class_index, 2u);
+    if (e.class_index == 0) {
+      ++interactive_count;
+      EXPECT_EQ(e.priority, serve::QueryPriority::kInteractive);
+      EXPECT_EQ(e.deadline_ms, 40.0);
+    } else {
+      EXPECT_EQ(e.priority, serve::QueryPriority::kBatch);
+      EXPECT_EQ(e.deadline_ms, 0.0);
+    }
+  }
+  const double share = static_cast<double>(interactive_count) /
+                       static_cast<double>(w.events.size());
+  EXPECT_GT(share, 0.15);
+  EXPECT_LT(share, 0.25);
+}
+
+TEST(WorkloadGeneratorTest, ClosedLoopDealsEventsRoundRobin) {
+  WorkloadOptions options = BaseOptions();
+  options.num_events = 100;
+  options.closed_loop_clients = 4;
+  const Workload w = GenerateWorkload(options, 100, Terms(20));
+  ASSERT_EQ(w.events.size(), 100u);
+  for (size_t i = 0; i < w.events.size(); ++i) {
+    EXPECT_EQ(w.events[i].client, i % 4) << i;
+  }
+}
+
+TEST(WorkloadGeneratorTest, OfferedTraceAccountsForEveryEvent) {
+  WorkloadOptions options = BaseOptions();
+  options.trace_bucket_ms = 100.0;
+  WorkloadClass a;
+  a.weight = 0.5;
+  WorkloadClass b;
+  b.weight = 0.5;
+  options.classes = {a, b};
+  const Workload w = GenerateWorkload(options, 100, Terms(20));
+
+  ASSERT_EQ(w.offered.size(), 10u);  // 1000ms / 100ms buckets
+  uint64_t total = 0;
+  std::vector<uint64_t> per_class(2, 0);
+  for (const std::vector<uint64_t>& bucket : w.offered) {
+    ASSERT_EQ(bucket.size(), 2u);
+    for (size_t c = 0; c < bucket.size(); ++c) {
+      total += bucket[c];
+      per_class[c] += bucket[c];
+    }
+  }
+  EXPECT_EQ(total, w.events.size());
+  // Cross-check against the events themselves.
+  std::vector<uint64_t> expected(2, 0);
+  for (const WorkloadEvent& e : w.events) ++expected[e.class_index];
+  EXPECT_EQ(per_class, expected);
+}
+
+TEST(WorkloadGeneratorTest, EmptyRankSpacesFallBackGracefully) {
+  WorkloadOptions options = BaseOptions();
+  options.num_events = 200;
+  // No search vocabulary: every event must come out Classify.
+  const Workload no_terms = GenerateWorkload(options, 50, {});
+  for (const WorkloadEvent& e : no_terms.events) {
+    EXPECT_TRUE(e.is_classify);
+    EXPECT_LT(e.page_index, 50u);
+  }
+  // No pages: every event must come out Search.
+  const Workload no_pages = GenerateWorkload(options, 0, Terms(10));
+  for (const WorkloadEvent& e : no_pages.events) {
+    EXPECT_FALSE(e.is_classify);
+    EXPECT_FALSE(e.query.empty());
+  }
+}
+
+TEST(ArrivalShapeTest, ParseNamesAndRejectUnknown) {
+  ArrivalShape shape = ArrivalShape::kSteady;
+  ASSERT_TRUE(ParseArrivalShape("burst", &shape));
+  EXPECT_EQ(shape, ArrivalShape::kBurst);
+  ASSERT_TRUE(ParseArrivalShape("diurnal", &shape));
+  EXPECT_EQ(shape, ArrivalShape::kDiurnal);
+  ASSERT_TRUE(ParseArrivalShape("steady", &shape));
+  EXPECT_EQ(shape, ArrivalShape::kSteady);
+  EXPECT_FALSE(ParseArrivalShape("poisson", &shape));
+  EXPECT_FALSE(ParseArrivalShape("", &shape));
+}
+
+}  // namespace
+}  // namespace cafc::workload

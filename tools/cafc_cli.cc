@@ -41,7 +41,8 @@
 //
 //   cafc serve    [--seed N] [--pages N] [--workers 4] [--clients 4]
 //                 [--requests 64] [--queue 256] [--pad-ms N]
-//                 [--refresh-pages 16]
+//                 [--refresh-pages 16] [--priority high|normal|low]
+//                 [--deadline-ms N] [--cache-bytes BYTES]
 //                 [--snapshot FILE.cafc3] [--memory-budget BYTES]
 //       In-process serving demo: build a corpus + directory, start the
 //       concurrent DirectoryServer, hammer it from client threads while a
@@ -52,6 +53,10 @@
 //       pages are classified by ordinal through the budget-bounded page
 //       LRU (--memory-budget, bytes, 0 = unlimited) and the stats table
 //       gains the storage hit/miss/resident counters.
+//       --priority tags every generated request with a scheduling class
+//       (and switches the backlog to priority/deadline ordering when not
+//       "normal"); --deadline-ms gives each request a latency budget;
+//       --cache-bytes enables the epoch-keyed result cache (0 = off).
 //
 //   cafc compact  --dir FILE --out FILE.cafc3
 //       Convert a directory file (text v1/v2 or binary v3) to a binary v3
@@ -83,9 +88,13 @@
 //       .cafc3); --spawn implies it (default /tmp/cafc-route.cafc3).
 //
 //   cafc query    --dir FILE "query terms" [--top 5]
+//                 [--priority high|normal|low] [--deadline-ms N]
+//                 [--cache-bytes BYTES]
 //       Serve a keyword search over a saved directory through the
 //       DirectoryServer (epoch-pinned snapshot), printing the hits and the
-//       snapshot version that answered.
+//       snapshot version that answered. --priority/--deadline-ms tag the
+//       request's scheduling class and latency budget; --cache-bytes
+//       enables the result cache for the one-shot server.
 //
 //   All numeric flags are validated: a malformed or out-of-range value is
 //   a usage error (exit 2), never a silent fallback to the default. An
@@ -783,7 +792,9 @@ std::string PercentileMs(const util::Histogram& h, double p) {
 /// usual latency table.
 int RunServeSnapshot(const FlagParser& flags, const std::string& path,
                      int64_t workers, int64_t clients, int64_t requests,
-                     int64_t queue, int64_t pad_ms) {
+                     int64_t queue, int64_t pad_ms,
+                     serve::QueryPriority priority, int64_t deadline_ms,
+                     int64_t cache_bytes) {
   int64_t budget = 0;
   if (!FlagValue(flags.GetIntInRange("memory-budget", 0, 0,
                                      std::numeric_limits<int64_t>::max()),
@@ -817,6 +828,10 @@ int RunServeSnapshot(const FlagParser& flags, const std::string& path,
   options.workers = static_cast<size_t>(workers);
   options.queue_capacity = static_cast<size_t>(queue);
   options.service_pad_ms = static_cast<double>(pad_ms);
+  options.cache_bytes = static_cast<size_t>(cache_bytes);
+  if (priority != serve::QueryPriority::kStandard || deadline_ms > 0) {
+    options.scheduling = serve::SchedulingPolicy::kPriorityDeadline;
+  }
   serve::DirectoryServer server(mapped, options);
 
   const char* queries[] = {"job career", "hotel flight", "music cd",
@@ -829,6 +844,8 @@ int RunServeSnapshot(const FlagParser& flags, const std::string& path,
         const size_t pick =
             static_cast<size_t>(c + i * 7) % (num_pages + 5);
         serve::QueryRequest request;
+        request.priority = priority;
+        request.deadline_ms = static_cast<double>(deadline_ms);
         if (pick < num_pages) {
           request.kind = serve::QueryKind::kClassifyStored;
           request.page_ordinal = pick;
@@ -862,6 +879,11 @@ int RunServeSnapshot(const FlagParser& flags, const std::string& path,
   table.AddRow({"throughput (req/s)", throughput});
   table.AddRow({"latency p50 (ms)", PercentileMs(stats.total_us, 50)});
   table.AddRow({"latency p95 (ms)", PercentileMs(stats.total_us, 95)});
+  if (options.cache_bytes > 0) {
+    table.AddRow({"result cache hits", std::to_string(stats.cache_hits)});
+    table.AddRow({"result cache misses",
+                  std::to_string(stats.cache_misses)});
+  }
   // Storage layer: how the memory budget held up under the query load.
   table.AddRow({"page cache hits", std::to_string(stats.page_hits)});
   table.AddRow({"page cache misses", std::to_string(stats.page_misses)});
@@ -894,6 +916,8 @@ int RunServe(const FlagParser& flags) {
   int64_t queue = 0;
   int64_t pad_ms = 0;
   int64_t refresh_pages = 0;
+  int64_t deadline_ms = 0;
+  int64_t cache_bytes = 0;
   if (!FlagValue(flags.GetIntInRange("seed", 42, 0, kMaxSeed), &seed) ||
       !FlagValue(flags.GetIntInRange("pages", 0, 0, 1'000'000), &pages) ||
       !FlagValue(flags.GetIntInRange("workers", 4, 1, 256), &workers) ||
@@ -903,13 +927,27 @@ int RunServe(const FlagParser& flags) {
       !FlagValue(flags.GetIntInRange("queue", 256, 1, 1'000'000), &queue) ||
       !FlagValue(flags.GetIntInRange("pad-ms", 0, 0, 60'000), &pad_ms) ||
       !FlagValue(flags.GetIntInRange("refresh-pages", 16, 0, 1'000'000),
-                 &refresh_pages)) {
+                 &refresh_pages) ||
+      !FlagValue(flags.GetIntInRange("deadline-ms", 0, 0, 600'000),
+                 &deadline_ms) ||
+      !FlagValue(flags.GetIntInRange("cache-bytes", 0, 0,
+                                     int64_t{1} << 40),
+                 &cache_bytes)) {
+    return 2;
+  }
+  serve::QueryPriority priority = serve::QueryPriority::kStandard;
+  const std::string priority_name = flags.GetString("priority", "normal");
+  if (!serve::ParseQueryPriority(priority_name, &priority)) {
+    std::fprintf(stderr,
+                 "--priority must be high|normal|low, got '%s'\n",
+                 priority_name.c_str());
     return 2;
   }
   std::string snapshot_path = flags.GetString("snapshot");
   if (!snapshot_path.empty()) {
     return RunServeSnapshot(flags, snapshot_path, workers, clients, requests,
-                            queue, pad_ms);
+                            queue, pad_ms, priority, deadline_ms,
+                            cache_bytes);
   }
 
   web::SyntheticWeb web = MakeWeb(static_cast<uint64_t>(seed),
@@ -941,6 +979,10 @@ int RunServe(const FlagParser& flags) {
   options.workers = static_cast<size_t>(workers);
   options.queue_capacity = static_cast<size_t>(queue);
   options.service_pad_ms = static_cast<double>(pad_ms);
+  options.cache_bytes = static_cast<size_t>(cache_bytes);
+  if (priority != serve::QueryPriority::kStandard || deadline_ms > 0) {
+    options.scheduling = serve::SchedulingPolicy::kPriorityDeadline;
+  }
   serve::DirectoryServer server(std::move(directory), std::move(corpus),
                                 options);
 
@@ -952,6 +994,8 @@ int RunServe(const FlagParser& flags) {
         const size_t pick = static_cast<size_t>(c + i * 7) %
                             (docs.size() + 5);
         serve::QueryRequest request;
+        request.priority = priority;
+        request.deadline_ms = static_cast<double>(deadline_ms);
         if (pick < docs.size()) {
           request.kind = serve::QueryKind::kClassify;
           request.doc = docs[pick];
@@ -993,6 +1037,15 @@ int RunServe(const FlagParser& flags) {
                 std::to_string(stats.rejected_queue_full)});
   table.AddRow({"deadline exceeded",
                 std::to_string(stats.deadline_exceeded)});
+  table.AddRow({"deadline missed in service",
+                std::to_string(stats.deadline_missed)});
+  if (options.cache_bytes > 0) {
+    table.AddRow({"result cache hits", std::to_string(stats.cache_hits)});
+    table.AddRow({"result cache misses",
+                  std::to_string(stats.cache_misses)});
+    table.AddRow({"stale answers served",
+                  std::to_string(stats.stale_served)});
+  }
   table.AddRow({"queue peak", std::to_string(stats.queue_peak)});
   table.AddRow({"refreshes applied", std::to_string(stats.refreshes)});
   table.AddRow({"snapshot version",
@@ -1034,7 +1087,24 @@ int RunQuery(const FlagParser& flags) {
     return 1;
   }
   int64_t top = 0;
-  if (!FlagValue(flags.GetIntInRange("top", 5, 1, 10'000), &top)) return 2;
+  int64_t deadline_ms = 0;
+  int64_t cache_bytes = 0;
+  if (!FlagValue(flags.GetIntInRange("top", 5, 1, 10'000), &top) ||
+      !FlagValue(flags.GetIntInRange("deadline-ms", 0, 0, 600'000),
+                 &deadline_ms) ||
+      !FlagValue(flags.GetIntInRange("cache-bytes", 0, 0,
+                                     int64_t{1} << 40),
+                 &cache_bytes)) {
+    return 2;
+  }
+  serve::QueryPriority priority = serve::QueryPriority::kStandard;
+  const std::string priority_name = flags.GetString("priority", "normal");
+  if (!serve::ParseQueryPriority(priority_name, &priority)) {
+    std::fprintf(stderr,
+                 "--priority must be high|normal|low, got '%s'\n",
+                 priority_name.c_str());
+    return 2;
+  }
   std::string query;
   for (size_t i = 1; i < flags.positional().size(); ++i) {
     if (!query.empty()) query += ' ';
@@ -1045,11 +1115,17 @@ int RunQuery(const FlagParser& flags) {
   // the snapshot version that answered it (1 — no refreshes here).
   serve::DirectoryServerOptions options;
   options.workers = 2;
+  options.cache_bytes = static_cast<size_t>(cache_bytes);
+  if (priority != serve::QueryPriority::kStandard || deadline_ms > 0) {
+    options.scheduling = serve::SchedulingPolicy::kPriorityDeadline;
+  }
   serve::DirectoryServer server(std::move(*directory), Corpus(), options);
   serve::QueryRequest request;
   request.kind = serve::QueryKind::kSearch;
   request.query = query;
   request.top_k = static_cast<size_t>(top);
+  request.priority = priority;
+  request.deadline_ms = static_cast<double>(deadline_ms);
   serve::QueryResponse response = server.Query(std::move(request));
   if (!response.status.ok()) {
     std::fprintf(stderr, "%s\n", response.status.ToString().c_str());
@@ -1070,9 +1146,10 @@ int RunQuery(const FlagParser& flags) {
                   entry.label});
   }
   std::printf("%s", table.ToString().c_str());
-  std::printf("answered by snapshot v%llu (service %.2f ms)\n",
+  std::printf("answered by snapshot v%llu (service %.2f ms%s%s)\n",
               static_cast<unsigned long long>(response.snapshot_version),
-              response.service_ms);
+              response.service_ms, response.cache_hit ? ", cached" : "",
+              response.deadline_missed ? ", deadline missed" : "");
   return 0;
 }
 
